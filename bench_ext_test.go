@@ -1,0 +1,137 @@
+package repro
+
+// Benchmarks for the extension modules: the §2.2 CONGEST bridge, the §8
+// tidal-flow outlook, the 3D DISTANCE remark, the gate-level compiled
+// polynomial machine, and the latch-based path construction.
+
+import (
+	"fmt"
+	"testing"
+)
+
+func BenchmarkCongestSSSP(b *testing.B) {
+	for _, n := range []int{64, 256} {
+		g := benchGraph(n)
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			var rounds int
+			for i := 0; i < b.N; i++ {
+				_, res := CongestSSSP(g, 0, g.N())
+				rounds = res.Rounds
+			}
+			b.ReportMetric(float64(rounds), "rounds")
+		})
+	}
+}
+
+func BenchmarkSNNToCongest(b *testing.B) {
+	g := RandomGraph(32, 128, Uniform(4), 5)
+	for i := 0; i < b.N; i++ {
+		spiking := NewNetwork(NetworkConfig{})
+		relays := make([]int, g.N())
+		for v := 0; v < g.N(); v++ {
+			relays[v] = spiking.AddNeuron(IntegratorNeuron(1))
+		}
+		for v := 0; v < g.N(); v++ {
+			spiking.Connect(relays[v], relays[v], -float64(g.InDeg(v)+1), 1)
+		}
+		for _, e := range g.Edges() {
+			spiking.Connect(relays[e.From], relays[e.To], 1, e.Len)
+		}
+		spiking.InduceSpike(relays[0], 0)
+		r := SNNToCongest(spiking, 40)
+		if r.Stats.MaxMessageBits > 1 {
+			b.Fatal("message too wide")
+		}
+	}
+}
+
+func BenchmarkTidalFlow(b *testing.B) {
+	for _, width := range []int{4, 8, 16} {
+		g := LayeredGraph(4, width, Uniform(20), 7)
+		s, t := 0, g.N()-1
+		b.Run(fmt.Sprintf("layers=4/width=%d", width), func(b *testing.B) {
+			var cycles int
+			for i := 0; i < b.N; i++ {
+				r := TidalFlow(g, s, t)
+				cycles = r.Cycles
+			}
+			b.ReportMetric(float64(cycles), "tide-cycles")
+		})
+	}
+}
+
+func BenchmarkDinicFlow(b *testing.B) {
+	g := LayeredGraph(4, 16, Uniform(20), 7)
+	s, t := 0, g.N()-1
+	for i := 0; i < b.N; i++ {
+		if DinicFlow(g, s, t) == 0 {
+			b.Fatal("no flow")
+		}
+	}
+}
+
+func BenchmarkScan3D(b *testing.B) {
+	for _, m := range []int{4096, 32768} {
+		b.Run(fmt.Sprintf("m=%d", m), func(b *testing.B) {
+			var cost int64
+			for i := 0; i < b.N; i++ {
+				cost = ScanInput3DMovement(m, 1, RegistersSpread)
+			}
+			b.ReportMetric(float64(cost), "l1-movement")
+			b.ReportMetric(float64(cost)/Scan3DLowerBound(m, 1), "vs-bound")
+		})
+	}
+}
+
+func BenchmarkCompiledPoly(b *testing.B) {
+	g := RandomGraph(8, 20, Uniform(4), 9)
+	for _, k := range []int{2, 4} {
+		b.Run(fmt.Sprintf("k=%d", k), func(b *testing.B) {
+			var spikes int64
+			for i := 0; i < b.N; i++ {
+				cp := CompileKHopPolySSSP(g, 0, k)
+				_, stats := cp.Run()
+				spikes = stats.Spikes
+			}
+			b.ReportMetric(float64(spikes), "spikes")
+		})
+	}
+}
+
+func BenchmarkLatchPathSSSP(b *testing.B) {
+	g := RandomGraph(128, 512, Uniform(40), 11)
+	for i := 0; i < b.N; i++ {
+		r := SpikingSSSPWithLatches(g, 0)
+		if r.Dist[1] < 0 {
+			b.Fatal("impossible")
+		}
+	}
+}
+
+func BenchmarkSSSPMulti(b *testing.B) {
+	g := benchGraph(512)
+	dsts := []int{10, 100, 400}
+	for i := 0; i < b.N; i++ {
+		r := SpikingSSSPMulti(g, 0, dsts)
+		if r.SpikeTime == 0 {
+			b.Fatal("no halt")
+		}
+	}
+}
+
+func BenchmarkEnergyModel(b *testing.B) {
+	g := benchGraph(256)
+	var loihi Platform
+	for _, p := range Table3() {
+		if p.Name == "Loihi" {
+			loihi = p
+		}
+	}
+	var adv float64
+	for i := 0; i < b.N; i++ {
+		spiking := SpikingSSSP(g, 0, -1)
+		ref := Dijkstra(g, 0)
+		adv = EnergyAdvantage(loihi, ref.Ops, spiking.Stats.Deliveries)
+	}
+	b.ReportMetric(adv, "energy-advantage")
+}

@@ -1,0 +1,344 @@
+package repro
+
+// Benchmark harness: one benchmark family per table/figure of the paper.
+// Each benchmark executes the experiment's workload and, where the paper
+// reports a comparison, publishes it via ReportMetric so `go test
+// -bench=.` regenerates the evaluation's rows:
+//
+//	BenchmarkTable1*   — the eight Table 1 cells (advantage ratios)
+//	BenchmarkTable2*   — max-circuit sizes/depths
+//	BenchmarkFigure*   — the circuit gadgets of Figures 1, 3, 4, 5
+//	BenchmarkTheorem61/62 — DISTANCE movement vs lower bounds
+//	BenchmarkTheorem72 — the approximation algorithm
+//	BenchmarkMatVec*   — the §2.2/§2.3 matrix-vector comparison
+//	BenchmarkCompiled* — the gate-level compiled k-hop network
+
+import (
+	"fmt"
+	"testing"
+)
+
+const benchU = 8
+
+func benchGraph(n int) *Graph {
+	return RandomGraph(n, 4*n, Uniform(benchU), int64(n))
+}
+
+// --- Table 1, ignoring data movement (E1-E4) ---
+
+func BenchmarkTable1NoMoveSSSPPseudo(b *testing.B) {
+	for _, n := range []int{64, 256, 1024} {
+		g := benchGraph(n)
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			var adv float64
+			for i := 0; i < b.N; i++ {
+				spiking := SpikingSSSP(g, 0, -1)
+				ref := Dijkstra(g, 0)
+				adv = float64(ref.Ops) / float64(spiking.SpikeTime+spiking.LoadTime)
+			}
+			b.ReportMetric(adv, "advantage")
+		})
+	}
+}
+
+func BenchmarkTable1NoMoveKHopPseudo(b *testing.B) {
+	for _, n := range []int{64, 256, 1024} {
+		g := benchGraph(n)
+		k := 8
+		b.Run(fmt.Sprintf("n=%d/k=%d", n, k), func(b *testing.B) {
+			var adv float64
+			for i := 0; i < b.N; i++ {
+				ttl := SpikingKHopSSSP(g, 0, -1, k)
+				ref := BellmanFordKHop(g, 0, k, false)
+				adv = float64(ref.Relaxations) / float64(ttl.SpikeTime+ttl.LoadTime)
+			}
+			b.ReportMetric(adv, "advantage")
+		})
+	}
+}
+
+func BenchmarkTable1NoMoveKHopPoly(b *testing.B) {
+	for _, n := range []int{64, 256, 1024} {
+		g := benchGraph(n)
+		// The advantage condition is log(nU) = o(k): use a large k.
+		k := 64
+		b.Run(fmt.Sprintf("n=%d/k=%d", n, k), func(b *testing.B) {
+			var adv float64
+			for i := 0; i < b.N; i++ {
+				poly := SpikingKHopPoly(g, 0, k)
+				ref := BellmanFordKHop(g, 0, k, false)
+				adv = float64(ref.Relaxations) / float64(poly.SpikeTime+poly.LoadTime)
+			}
+			b.ReportMetric(adv, "advantage")
+		})
+	}
+}
+
+func BenchmarkTable1NoMoveSSSPPoly(b *testing.B) {
+	for _, n := range []int{64, 256, 1024} {
+		g := benchGraph(n)
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			var adv float64
+			for i := 0; i < b.N; i++ {
+				poly := SpikingSSSPPoly(g, 0)
+				ref := Dijkstra(g, 0)
+				adv = float64(ref.Ops) / float64(poly.SpikeTime+poly.LoadTime)
+			}
+			// Paper: "never" better — advantage stays below 1.
+			b.ReportMetric(adv, "advantage")
+		})
+	}
+}
+
+// --- Table 1, with data movement (E5) ---
+
+func BenchmarkTable1MoveConventional(b *testing.B) {
+	for _, n := range []int{64, 128, 256} {
+		g := benchGraph(n)
+		b.Run(fmt.Sprintf("DijkstraDISTANCE/n=%d", n), func(b *testing.B) {
+			var move int64
+			for i := 0; i < b.N; i++ {
+				move = DistanceDijkstra(g, 0, 4, RegistersSpread).Movement
+			}
+			b.ReportMetric(float64(move), "l1-movement")
+		})
+		b.Run(fmt.Sprintf("BellmanFordDISTANCE/n=%d", n), func(b *testing.B) {
+			var move int64
+			for i := 0; i < b.N; i++ {
+				move = DistanceBellmanFordKHop(g, 0, 8, 4, RegistersSpread).Movement
+			}
+			b.ReportMetric(float64(move), "l1-movement")
+		})
+	}
+}
+
+func BenchmarkTable1MoveCrossbarSSSP(b *testing.B) {
+	for _, n := range []int{32, 64, 128} {
+		g := benchGraph(n)
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			var host int64
+			for i := 0; i < b.N; i++ {
+				cb := NewCrossbar(n)
+				if _, err := cb.Embed(g); err != nil {
+					b.Fatal(err)
+				}
+				host = cb.SSSP(0).HostSpikeTime
+			}
+			b.ReportMetric(float64(host), "host-steps")
+		})
+	}
+}
+
+// --- Table 2 (E6) ---
+
+func BenchmarkTable2WiredOr(b *testing.B) {
+	for _, d := range []int{4, 16, 64} {
+		for _, lambda := range []int{8, 16} {
+			b.Run(fmt.Sprintf("d=%d/lambda=%d", d, lambda), func(b *testing.B) {
+				var neurons int
+				for i := 0; i < b.N; i++ {
+					bb := NewCircuitBuilder(false)
+					neurons = NewMaxWiredOR(bb, d, lambda).Neurons
+				}
+				b.ReportMetric(float64(neurons), "neurons")
+				b.ReportMetric(float64(4*lambda+1), "depth")
+			})
+		}
+	}
+}
+
+func BenchmarkTable2BruteForce(b *testing.B) {
+	for _, d := range []int{4, 16, 64} {
+		b.Run(fmt.Sprintf("d=%d", d), func(b *testing.B) {
+			var neurons int
+			for i := 0; i < b.N; i++ {
+				bb := NewCircuitBuilder(false)
+				neurons = NewMaxBruteForce(bb, d, 8, false).Neurons
+			}
+			b.ReportMetric(float64(neurons), "neurons")
+			b.ReportMetric(5, "depth")
+		})
+	}
+}
+
+// --- Figures (E8, E9, E11, E12, E13) ---
+
+func BenchmarkFigure1ADelayGadget(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		bb := NewCircuitBuilder(false)
+		g := NewDelayGadget(bb, 32)
+		bb.Net.InduceSpike(g.In, 0)
+		bb.Net.Run(100)
+		if bb.Net.FirstSpike(g.Out) != 32 {
+			b.Fatal("gadget mistimed")
+		}
+	}
+}
+
+func BenchmarkFigure1BLatch(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		bb := NewCircuitBuilder(true)
+		l := NewLatch(bb)
+		bb.Net.InduceSpike(l.Set, 0)
+		bb.Net.InduceSpike(l.Recall, 5)
+		bb.Net.Run(10)
+		if bb.Net.FirstSpike(l.Out) < 0 {
+			b.Fatal("latch lost the bit")
+		}
+	}
+}
+
+func BenchmarkFigure3MaxWiredOR(b *testing.B) {
+	vals := []uint64{19, 7, 25, 3, 25, 12, 0, 30}
+	for i := 0; i < b.N; i++ {
+		bb := NewCircuitBuilder(true)
+		m := NewMaxWiredOR(bb, len(vals), 5)
+		if m.Compute(bb, vals, 0) != 30 {
+			b.Fatal("wrong max")
+		}
+	}
+}
+
+func BenchmarkFigure4Adders(b *testing.B) {
+	b.Run("CLA", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			bb := NewCircuitBuilder(true)
+			a := NewAdderCLA(bb, 16)
+			if a.Compute(bb, 12345, 54321, 0) != 66666 {
+				b.Fatal("wrong sum")
+			}
+		}
+	})
+	b.Run("SmallWeight", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			bb := NewCircuitBuilder(true)
+			a := NewAdderSmallWeight(bb, 16)
+			if a.Compute(bb, 12345, 54321, 0) != 66666 {
+				b.Fatal("wrong sum")
+			}
+		}
+	})
+}
+
+func BenchmarkFigure5BruteMax(b *testing.B) {
+	vals := []uint64{12, 61, 3, 61, 40}
+	for i := 0; i < b.N; i++ {
+		bb := NewCircuitBuilder(true)
+		m := NewMaxBruteForce(bb, len(vals), 6, false)
+		v, idx := m.Compute(bb, vals, 0)
+		if v != 61 || idx != 1 {
+			b.Fatal("wrong max/winner")
+		}
+	}
+}
+
+// --- Theorems 6.1 / 6.2 (E14, E15) ---
+
+func BenchmarkTheorem61Scan(b *testing.B) {
+	for _, m := range []int{1024, 16384, 262144} {
+		for _, c := range []int{1, 16} {
+			b.Run(fmt.Sprintf("m=%d/c=%d", m, c), func(b *testing.B) {
+				var cost int64
+				for i := 0; i < b.N; i++ {
+					cost = ScanInputMovement(m, c, RegistersSpread)
+				}
+				b.ReportMetric(float64(cost), "l1-movement")
+				b.ReportMetric(float64(cost)/ScanLowerBound(m, c), "vs-bound")
+			})
+		}
+	}
+}
+
+func BenchmarkTheorem62BellmanFord(b *testing.B) {
+	g := benchGraph(128)
+	for _, k := range []int{2, 8, 32} {
+		b.Run(fmt.Sprintf("k=%d", k), func(b *testing.B) {
+			var move int64
+			for i := 0; i < b.N; i++ {
+				move = DistanceBellmanFordKHop(g, 0, k, 4, RegistersSpread).Movement
+			}
+			b.ReportMetric(float64(move), "l1-movement")
+			b.ReportMetric(float64(move)/KHopLowerBound(g.M(), 4, k), "vs-bound")
+		})
+	}
+}
+
+// --- Theorem 7.2 (E16) ---
+
+func BenchmarkTheorem72Approx(b *testing.B) {
+	g := RandomGraph(128, 1024, Uniform(16), 3)
+	k := 8
+	b.Run("approx", func(b *testing.B) {
+		var neurons int64
+		for i := 0; i < b.N; i++ {
+			neurons = SpikingApproxKHop(g, 0, k, 0).NeuronCount
+		}
+		b.ReportMetric(float64(neurons), "neurons")
+	})
+	b.Run("exact", func(b *testing.B) {
+		var neurons int64
+		for i := 0; i < b.N; i++ {
+			neurons = SpikingKHopPoly(g, 0, k).NeuronCount
+		}
+		b.ReportMetric(float64(neurons), "neurons")
+	})
+}
+
+// --- §2.2 NGA matvec and §2.3 DISTANCE ablation (E17, E19) ---
+
+func BenchmarkMatVecNGA(b *testing.B) {
+	g := ScaleFreeGraph(64, 2, Unit, 1)
+	x := make([]int64, g.N())
+	x[0] = 1
+	for i := 0; i < b.N; i++ {
+		if MatVecPower(g, x, 4, 16)[0] < 0 {
+			b.Fatal("impossible")
+		}
+	}
+}
+
+func BenchmarkMatVecDistance(b *testing.B) {
+	for _, n := range []int{16, 32, 64} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			var move int64
+			for i := 0; i < b.N; i++ {
+				move = MatVecMovement(n, 1, RegistersClustered)
+			}
+			b.ReportMetric(float64(move), "l1-movement")
+		})
+	}
+}
+
+// --- Gate-level compiled k-hop network (Sections 4.1 + 5) ---
+
+func BenchmarkCompiledKHop(b *testing.B) {
+	g := RandomGraph(8, 20, Uniform(4), 9)
+	for _, k := range []int{2, 4} {
+		b.Run(fmt.Sprintf("k=%d", k), func(b *testing.B) {
+			var spikes int64
+			for i := 0; i < b.N; i++ {
+				ct := CompileKHopSSSP(g, 0, k)
+				_, stats := ct.Run()
+				spikes = stats.Spikes
+			}
+			b.ReportMetric(float64(spikes), "spikes")
+		})
+	}
+}
+
+// --- End-to-end simulator throughput (context for all of the above) ---
+
+func BenchmarkSimulatorWavefront(b *testing.B) {
+	for _, n := range []int{1024, 4096} {
+		g := benchGraph(n)
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				r := SpikingSSSP(g, 0, -1)
+				if r.Stats.Spikes == 0 {
+					b.Fatal("no spikes")
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,427 @@
+// Command spaabench regenerates the tables and figures of "Provable
+// Advantages for Graph Algorithms in Spiking Neural Networks" (SPAA 2021)
+// from the reproduction library.
+//
+// Usage:
+//
+//	spaabench table1 [-sizes 64,128,256,512] [-density 4] [-u 8] [-k 8] [-c 4] [-skip-movement]
+//	spaabench table2 [-d 2,4,8,16,32] [-lambda 4,8,16]
+//	spaabench table3
+//	spaabench figures
+//	spaabench experiments            # full EXPERIMENTS.md markdown to stdout
+//	spaabench sssp -n 256 -m 1024 [-u 8] [-seed 1] [-src 0] [-dst -1] [-algo spiking|dijkstra|poly|crossbar|khop] [-k 8]
+//	spaabench gen -n 64 -m 256 [-u 8] [-seed 1]   # edge list to stdout
+//	spaabench raster -n 16 -m 48                  # ASCII spike raster of the SSSP wavefront
+//	spaabench flow -layers 4 -width 6             # tidal max flow with sweep accounting
+//	spaabench congest -n 64 -m 256                # distributed BFS/SSSP with bit accounting
+//	spaabench dot -n 12 -m 30 -dst 5              # Graphviz DOT with highlighted shortest path
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/classic"
+	"repro/internal/congest"
+	"repro/internal/core"
+	"repro/internal/cost"
+	"repro/internal/crossbar"
+	"repro/internal/fleet"
+	"repro/internal/flow"
+	"repro/internal/graph"
+	"repro/internal/harness"
+	"repro/internal/platform"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	cmd, args := os.Args[1], os.Args[2:]
+	var err error
+	switch cmd {
+	case "table1":
+		err = cmdTable1(args)
+	case "table2":
+		err = cmdTable2(args)
+	case "table3":
+		fmt.Print(platform.Render())
+	case "figures":
+		fmt.Print(harness.RunFigures())
+	case "experiments":
+		err = cmdExperiments(args)
+	case "sssp":
+		err = cmdSSSP(args)
+	case "gen":
+		err = cmdGen(args)
+	case "raster":
+		err = cmdRaster(args)
+	case "flow":
+		err = cmdFlow(args)
+	case "congest":
+		err = cmdCongest(args)
+	case "dot":
+		err = cmdDOT(args)
+	case "crossover":
+		err = cmdCrossover(args)
+	case "fleet":
+		err = cmdFleet(args)
+	case "verify":
+		err = cmdVerify(args)
+	default:
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "spaabench:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: spaabench {table1|table2|table3|figures|experiments|sssp|gen|raster|flow|congest|dot|crossover|fleet|verify} [flags]")
+}
+
+func parseInts(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			return nil, fmt.Errorf("bad integer list %q: %w", s, err)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func cmdTable1(args []string) error {
+	fs := flag.NewFlagSet("table1", flag.ExitOnError)
+	sizes := fs.String("sizes", "64,128,256,512", "comma-separated vertex counts")
+	density := fs.Int("density", 4, "edges per vertex")
+	u := fs.Int64("u", 8, "maximum edge length U")
+	k := fs.Int("k", 8, "hop bound")
+	c := fs.Int("c", 4, "DISTANCE-model registers")
+	seed := fs.Int64("seed", 1, "workload seed")
+	skip := fs.Bool("skip-movement", false, "skip the DISTANCE/crossbar half")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	ns, err := parseInts(*sizes)
+	if err != nil {
+		return err
+	}
+	rep := harness.RunTable1(harness.Table1Config{
+		Sizes: ns, Density: *density, U: *u, K: *k, C: *c, Seed: *seed,
+		SkipMovement: *skip,
+	})
+	fmt.Print(rep.Render())
+	return nil
+}
+
+func cmdTable2(args []string) error {
+	fs := flag.NewFlagSet("table2", flag.ExitOnError)
+	ds := fs.String("d", "2,4,8,16,32", "input counts")
+	ls := fs.String("lambda", "4,8,16", "bit widths")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	dd, err := parseInts(*ds)
+	if err != nil {
+		return err
+	}
+	ll, err := parseInts(*ls)
+	if err != nil {
+		return err
+	}
+	fmt.Print(harness.RenderTable2(harness.RunTable2(dd, ll)))
+	return nil
+}
+
+func cmdExperiments(args []string) error {
+	fs := flag.NewFlagSet("experiments", flag.ExitOnError)
+	quick := fs.Bool("quick", false, "smaller sweep (faster)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	cfg := harness.DefaultTable1Config()
+	if *quick {
+		cfg.Sizes = []int{32, 64, 128}
+	}
+	fmt.Print(harness.ExperimentsMarkdown(cfg))
+	return nil
+}
+
+func cmdSSSP(args []string) error {
+	fs := flag.NewFlagSet("sssp", flag.ExitOnError)
+	n := fs.Int("n", 256, "vertices")
+	m := fs.Int("m", 1024, "edges")
+	u := fs.Int64("u", 8, "max edge length")
+	seed := fs.Int64("seed", 1, "seed")
+	src := fs.Int("src", 0, "source vertex")
+	dst := fs.Int("dst", -1, "destination (-1 = all)")
+	k := fs.Int("k", 8, "hop bound (khop algo)")
+	algo := fs.String("algo", "spiking", "spiking|dijkstra|poly|crossbar|khop")
+	in := fs.String("in", "", "read graph from edge-list file instead of generating")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var g *graph.Graph
+	if *in != "" {
+		f, err := os.Open(*in)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		g, err = graph.ReadEdgeList(f)
+		if err != nil {
+			return err
+		}
+	} else {
+		g = graph.RandomGnm(*n, *m, graph.Uniform(*u), *seed, true)
+	}
+
+	report := func(dist []int64, extra string) {
+		reached := 0
+		var maxD int64
+		for _, d := range dist {
+			if d < graph.Inf {
+				reached++
+				if d > maxD {
+					maxD = d
+				}
+			}
+		}
+		fmt.Printf("graph n=%d m=%d U=%d  reached=%d  L=%d  %s\n",
+			g.N(), g.M(), g.MaxLen(), reached, maxD, extra)
+		if *dst >= 0 {
+			d := "inf"
+			if dist[*dst] < graph.Inf {
+				d = fmt.Sprintf("%d", dist[*dst])
+			}
+			fmt.Printf("dist(%d -> %d) = %s\n", *src, *dst, d)
+		}
+	}
+
+	switch *algo {
+	case "spiking":
+		r := core.SSSP(g, *src, *dst)
+		report(r.Dist, fmt.Sprintf("spike-time=%d neurons=%d spikes=%d deliveries=%d",
+			r.SpikeTime, r.Neurons, r.Stats.Spikes, r.Stats.Deliveries))
+	case "dijkstra":
+		r := classic.Dijkstra(g, *src)
+		report(r.Dist, fmt.Sprintf("heap-ops=%d", r.Ops))
+	case "poly":
+		r := core.SSSPPoly(g, *src)
+		report(r.Dist, fmt.Sprintf("rounds=%d spike-time=%d neurons=%d",
+			r.Rounds, r.SpikeTime, r.NeuronCount))
+	case "khop":
+		r := core.KHopTTL(g, *src, *dst, *k)
+		report(r.Dist, fmt.Sprintf("k=%d lambda=%d broadcasts=%d neurons=%d",
+			*k, r.Lambda, r.Broadcasts, r.NeuronCount))
+	case "crossbar":
+		cb := crossbar.New(g.N())
+		if _, err := cb.Embed(g); err != nil {
+			return err
+		}
+		r := cb.SSSP(*src)
+		report(r.Dist, fmt.Sprintf("scale=%d host-neurons=%d host-time=%d",
+			r.Scale, r.HostNeurons, r.HostSpikeTime))
+	default:
+		return fmt.Errorf("unknown algo %q", *algo)
+	}
+	return nil
+}
+
+func cmdGen(args []string) error {
+	fs := flag.NewFlagSet("gen", flag.ExitOnError)
+	n := fs.Int("n", 64, "vertices")
+	m := fs.Int("m", 256, "edges")
+	u := fs.Int64("u", 8, "max edge length")
+	seed := fs.Int64("seed", 1, "seed")
+	kind := fs.String("kind", "random", "random|grid|ring|layered|complete|scalefree")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var g *graph.Graph
+	dist := graph.Uniform(*u)
+	switch *kind {
+	case "random":
+		g = graph.RandomGnm(*n, *m, dist, *seed, true)
+	case "grid":
+		side := 1
+		for side*side < *n {
+			side++
+		}
+		g = graph.Grid(side, side, dist, *seed)
+	case "ring":
+		g = graph.Ring(*n, dist, *seed)
+	case "layered":
+		g = graph.Layered(*n/8+1, 8, dist, *seed)
+	case "complete":
+		g = graph.Complete(*n, dist, *seed)
+	case "scalefree":
+		g = graph.PreferentialAttachment(*n, 2, dist, *seed)
+	default:
+		return fmt.Errorf("unknown kind %q", *kind)
+	}
+	return graph.WriteEdgeList(os.Stdout, g)
+}
+
+func cmdRaster(args []string) error {
+	fs := flag.NewFlagSet("raster", flag.ExitOnError)
+	n := fs.Int("n", 16, "vertices")
+	m := fs.Int("m", 48, "edges")
+	u := fs.Int64("u", 6, "max edge length")
+	seed := fs.Int64("seed", 1, "seed")
+	src := fs.Int("src", 0, "source vertex")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	g := graph.RandomGnm(*n, *m, graph.Uniform(*u), *seed, true)
+	fmt.Print(harness.SSSPRaster(g, *src))
+	return nil
+}
+
+func cmdFlow(args []string) error {
+	fs := flag.NewFlagSet("flow", flag.ExitOnError)
+	layers := fs.Int("layers", 4, "layer count")
+	width := fs.Int("width", 6, "layer width")
+	u := fs.Int64("u", 20, "max capacity")
+	seed := fs.Int64("seed", 1, "seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	g := graph.Layered(*layers, *width, graph.Uniform(*u), *seed)
+	s, t := 0, g.N()-1
+	r := flow.Tidal(g, s, t)
+	d := flow.Dinic(g, s, t)
+	fmt.Printf("layered network n=%d m=%d\n", g.N(), g.M())
+	fmt.Printf("tidal max flow  %d (dinic: %d)\n", r.Value, d)
+	fmt.Printf("phases=%d cycles=%d sweep-rounds=%d sweep-messages=%d fallbacks=%d\n",
+		r.Phases, r.Cycles, r.SweepRounds, r.SweepMessages, r.FallbackAugments)
+	return nil
+}
+
+func cmdCongest(args []string) error {
+	fs := flag.NewFlagSet("congest", flag.ExitOnError)
+	n := fs.Int("n", 64, "vertices")
+	m := fs.Int("m", 256, "edges")
+	u := fs.Int64("u", 8, "max edge length")
+	seed := fs.Int64("seed", 1, "seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	g := graph.RandomGnm(*n, *m, graph.Uniform(*u), *seed, true)
+	_, bfsRes := congest.BFS(g, 0)
+	dist, ssspRes := congest.SSSP(g, 0, g.N())
+	ref := classic.Dijkstra(g, 0)
+	match := true
+	for v := range dist {
+		if dist[v] != ref.Dist[v] {
+			match = false
+		}
+	}
+	fmt.Printf("graph n=%d m=%d\n", g.N(), g.M())
+	fmt.Printf("BFS:  rounds=%d messages=%d max-bits=%d\n", bfsRes.Rounds, bfsRes.MessagesSent, bfsRes.MaxMessageBits)
+	fmt.Printf("SSSP: rounds=%d messages=%d max-bits=%d total-bits=%d matches-dijkstra=%v\n",
+		ssspRes.Rounds, ssspRes.MessagesSent, ssspRes.MaxMessageBits, ssspRes.TotalBits, match)
+	return nil
+}
+
+func cmdDOT(args []string) error {
+	fs := flag.NewFlagSet("dot", flag.ExitOnError)
+	n := fs.Int("n", 12, "vertices")
+	m := fs.Int("m", 30, "edges")
+	u := fs.Int64("u", 9, "max edge length")
+	seed := fs.Int64("seed", 1, "seed")
+	dst := fs.Int("dst", -1, "highlight shortest path to this vertex")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	g := graph.RandomGnm(*n, *m, graph.Uniform(*u), *seed, true)
+	var highlight []int
+	if *dst >= 0 {
+		highlight = core.SSSP(g, 0, -1).Path(*dst)
+	}
+	return graph.WriteDOT(os.Stdout, g, "spaa", highlight)
+}
+
+func cmdCrossover(args []string) error {
+	fs := flag.NewFlagSet("crossover", flag.ExitOnError)
+	n := fs.Int64("n", 256, "vertices")
+	m := fs.Int64("m", 1024, "edges")
+	u := fs.Int64("u", 8, "max edge length")
+	c := fs.Int64("c", 1, "registers")
+	l := fs.Int64("l", 16, "path length L")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	p := cost.Params{N: *n, M: *m, K: 1, L: *l, U: *u, Alpha: 4, C: *c}
+	fmt.Printf("advantage windows at n=%d m=%d U=%d c=%d L=%d (cost-model units):\n", *n, *m, *u, *c, *l)
+	if k := cost.CrossoverK(p, 1<<30); k > 0 {
+		fmt.Printf("  k-hop (no movement): spiking wins for k >= %d (log2(nU) = %.1f)\n",
+			k, logf(float64(*n**u)))
+	} else {
+		fmt.Println("  k-hop (no movement): no crossover in range")
+	}
+	if lmax := cost.CrossoverL(p, 1<<40); lmax > 0 {
+		fmt.Printf("  pseudopolynomial SSSP (no movement): spiking wins for L <= %d\n", lmax)
+	} else {
+		fmt.Println("  pseudopolynomial SSSP (no movement): window closed (m too large)")
+	}
+	if mm := cost.CrossoverMovementM(p, 10, 1<<40); mm > 0 {
+		fmt.Printf("  movement regime: 10x advantage from m >= %d\n", mm)
+	}
+	return nil
+}
+
+func logf(x float64) float64 {
+	l := 0.0
+	for x >= 2 {
+		x /= 2
+		l++
+	}
+	return l
+}
+
+func cmdFleet(args []string) error {
+	fs := flag.NewFlagSet("fleet", flag.ExitOnError)
+	rows := fs.Int("rows", 12, "grid rows")
+	cols := fs.Int("cols", 12, "grid cols")
+	capacity := fs.Int("capacity", 24, "neurons per chip")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	g := graph.Grid(*rows, *cols, graph.Unit, 1)
+	dist := core.SSSP(g, 0, -1).Dist
+	bfs := fleet.PartitionBFS(g, *capacity)
+	rr := fleet.PartitionRoundRobin(g, *capacity)
+	tb := fleet.AnalyzeSSSP(g, bfs, dist)
+	tr := fleet.AnalyzeSSSP(g, rr, dist)
+	loihiPJ := 23.6
+	fmt.Printf("grid %dx%d on chips of %d neurons (%d chips)\n", *rows, *cols, *capacity, bfs.Chips)
+	fmt.Printf("  BFS placement:         cut=%4d  intra=%5d inter=%4d  energy=%.3g J (board penalty 100x)\n",
+		tb.CutEdges, tb.IntraChip, tb.InterChip, tb.EnergyJoules(loihiPJ, 100))
+	fmt.Printf("  round-robin placement: cut=%4d  intra=%5d inter=%4d  energy=%.3g J\n",
+		tr.CutEdges, tr.IntraChip, tr.InterChip, tr.EnergyJoules(loihiPJ, 100))
+	return nil
+}
+
+func cmdVerify(args []string) error {
+	fs := flag.NewFlagSet("verify", flag.ExitOnError)
+	seed := fs.Int64("seed", 1, "workload seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	out, failed := harness.RenderChecks(harness.Verify(*seed))
+	fmt.Print(out)
+	if failed {
+		return fmt.Errorf("verification failed")
+	}
+	fmt.Println("all headline claims verified")
+	return nil
+}

@@ -1,0 +1,47 @@
+// Approximate k-hop shortest paths (Section 7): Nanongkai's rounding
+// scheme run as truncated spiking SSSP sweeps. The payoff is the neuron
+// count: O(n log(kU log n)) instead of the exact algorithm's
+// O(m log(nU)) — a large saving on dense graphs.
+package main
+
+import (
+	"fmt"
+
+	"repro"
+)
+
+func main() {
+	g := repro.RandomGraph(200, 3000, repro.Uniform(50), 11)
+	k := 10
+
+	apx := repro.SpikingApproxKHop(g, 0, k, 0) // eps = 1/log2 n
+	exact := repro.BellmanFordKHop(g, 0, k, false)
+	exactSpiking := repro.SpikingKHopPoly(g, 0, k)
+
+	worst := 1.0
+	within := 0
+	for v := 0; v < g.N(); v++ {
+		if exact.Dist[v] >= repro.Inf || exact.Dist[v] == 0 {
+			continue
+		}
+		ratio := apx.Dist[v] / float64(exact.Dist[v])
+		if ratio > worst {
+			worst = ratio
+		}
+		if ratio <= 1+apx.Epsilon+1e-9 {
+			within++
+		}
+	}
+
+	fmt.Printf("graph: n=%d m=%d U=%d, hop bound k=%d\n", g.N(), g.M(), g.MaxLen(), k)
+	fmt.Printf("epsilon = 1/log2(n) = %.4f, %d rounding scales\n", apx.Epsilon, apx.Scales)
+	fmt.Printf("approximation quality: worst d~/dist_k = %.4f (guarantee <= %.4f)\n",
+		worst, 1+apx.Epsilon)
+	fmt.Printf("vertices within the (1+eps) bound: %d\n", within)
+	fmt.Printf("\nneuron budgets (the Section 7 advantage):\n")
+	fmt.Printf("  approximate: %8d neurons  (n x scales)\n", apx.NeuronCount)
+	fmt.Printf("  exact §4.2:  %8d neurons  (per-edge adders + per-node min circuits)\n",
+		exactSpiking.NeuronCount)
+	fmt.Printf("  saving:      %.1fx fewer neurons on this dense graph\n",
+		float64(exactSpiking.NeuronCount)/float64(apx.NeuronCount))
+}

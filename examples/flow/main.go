@@ -1,0 +1,43 @@
+// Tidal flow (the paper's Section 8 outlook): a maximum-flow algorithm
+// whose iterations are forward/backward message sweeps over the level
+// graph — the structure that makes it a candidate neuromorphic network-
+// flow algorithm. Solves a layered supply network and cross-checks
+// against Dinic and Edmonds-Karp.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+func main() {
+	// A layered supply network: source -> 3 plants -> 4 depots -> sink.
+	g := repro.LayeredGraph(2, 4, repro.Uniform(15), 9)
+	s, t := 0, g.N()-1
+
+	tidal := repro.TidalFlow(g, s, t)
+	dinic := repro.DinicFlow(g, s, t)
+	ek := repro.EdmondsKarpFlow(g, s, t)
+	if tidal.Value != dinic || tidal.Value != ek {
+		log.Fatalf("disagreement: tidal %d, dinic %d, edmonds-karp %d", tidal.Value, dinic, ek)
+	}
+
+	fmt.Printf("network: n=%d m=%d\n", g.N(), g.M())
+	fmt.Printf("maximum flow: %d (tidal == dinic == edmonds-karp)\n", tidal.Value)
+	fmt.Printf("tidal execution: %d level-graph phases, %d tide cycles\n",
+		tidal.Phases, tidal.Cycles)
+	fmt.Printf("NGA-style cost of the sweeps: %d rounds, %d messages\n",
+		tidal.SweepRounds, tidal.SweepMessages)
+	fmt.Printf("(each cycle = flood + ebb + tide: three level-ordered message waves,\n")
+	fmt.Printf(" which is why Section 8 nominates tidal flow for neuromorphic systems)\n")
+
+	// Verify conservation explicitly, edge by edge.
+	out := make([]int64, g.N())
+	for i, e := range g.Edges() {
+		out[e.From] += tidal.EdgeFlow[i]
+		out[e.To] -= tidal.EdgeFlow[i]
+	}
+	fmt.Printf("conservation check: source ships %d, sink receives %d\n", out[s], -out[t])
+}

@@ -1,0 +1,53 @@
+// Matrix powers as a neuromorphic graph algorithm (Section 2.2's NGA
+// example): edges multiply by A_ij, nodes sum, R rounds compute A^R·x.
+// Counting reachable walks in a citation-style graph is the demo; the
+// DISTANCE-model ablation shows why the conventional dense product pays
+// Θ(n³) movement while the NGA stays event-driven.
+package main
+
+import (
+	"fmt"
+
+	"repro"
+)
+
+func main() {
+	// A scale-free "citation" graph; unit weights make A^r x count walks.
+	g := repro.ScaleFreeGraph(24, 2, repro.Unit, 5)
+
+	x := make([]int64, g.N())
+	x[0] = 1 // indicator of vertex 0
+
+	nga := repro.MatVecNGA(g, 16)
+	fmt.Printf("graph: n=%d m=%d; NGA per-round time = T_edge(%d) + T_node(%d)\n",
+		g.N(), g.M(), nga.TEdge, nga.TNode)
+
+	for _, r := range []int{1, 2, 4} {
+		res := nga.Run(x, r, nil)
+		var total int64
+		nonzero := 0
+		for _, v := range res.Messages {
+			total += v
+			if v != 0 {
+				nonzero++
+			}
+		}
+		fmt.Printf("A^%d·e0: %d walks of length %d end at %d distinct vertices "+
+			"(%d messages, Definition-4 time %d)\n",
+			r, total, r, nonzero, res.MessagesSent, res.Time)
+	}
+
+	// DISTANCE ablation (Section 2.3): the O(n²)-operation dense product
+	// becomes Θ(n³) movement with c=O(1) registers.
+	fmt.Printf("\ndense matvec movement under DISTANCE (c=1):\n")
+	prev := int64(0)
+	for _, n := range []int{16, 32, 64} {
+		mv := repro.MatVecMovement(n, 1, repro.RegistersClustered)
+		growth := ""
+		if prev > 0 {
+			growth = fmt.Sprintf("  (x%.1f for 2x n; cubic predicts x8)", float64(mv)/float64(prev))
+		}
+		fmt.Printf("  n=%3d: movement %10d%s\n", n, mv, growth)
+		prev = mv
+	}
+}

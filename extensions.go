@@ -1,0 +1,120 @@
+package repro
+
+import (
+	"repro/internal/congest"
+	"repro/internal/core"
+	"repro/internal/distance"
+	"repro/internal/flow"
+	"repro/internal/platform"
+)
+
+// --- Multi-destination and path-construction variants ---
+
+// SpikingSSSPMulti runs the spiking SSSP with a destination set, halting
+// when every destination has spiked (the paper's multiple-destination
+// generalization).
+func SpikingSSSPMulti(g *Graph, src int, dsts []int) *SSSPResult {
+	return core.SSSPMulti(g, src, dsts)
+}
+
+// LatchSSSP carries distances plus gate-level latched predecessor IDs.
+type LatchSSSP = core.LatchSSSP
+
+// SpikingSSSPWithLatches runs the Section 3 path-construction mechanism
+// in gates: every spike carries the sender's binary ID and every node
+// latches the ID arriving with its first spike.
+func SpikingSSSPWithLatches(g *Graph, src int) *LatchSSSP {
+	return core.SSSPWithLatches(g, src)
+}
+
+// CompiledPoly is the §4.2 polynomial k-hop algorithm compiled to gates.
+type CompiledPoly = core.CompiledPoly
+
+// CompileKHopPolySSSP builds the gate-level network for the polynomial
+// k-hop algorithm: per-edge add-length circuits, per-node valid-gated
+// minimum circuits, synchronized rounds of uniform delay Θ(log kU).
+func CompileKHopPolySSSP(g *Graph, src, k int) *CompiledPoly {
+	return core.CompileKHopPoly(g, src, k)
+}
+
+// --- CONGEST model (Section 2.2) ---
+
+// CongestAlgorithm is a synchronous B-bit-message distributed algorithm.
+type CongestAlgorithm[S any] = congest.Algorithm[S]
+
+// CongestResult reports rounds and message/bit accounting.
+type CongestResult[S any] = congest.Result[S]
+
+// CongestMessage is a payload with explicit bandwidth accounting.
+type CongestMessage = congest.Message
+
+// CongestBFS computes hop distances in the CONGEST model.
+func CongestBFS(g *Graph, src int) ([]int64, *CongestResult[int64]) {
+	return congest.BFS(g, src)
+}
+
+// CongestSSSP computes (hop-bounded) weighted shortest paths with
+// distributed Bellman-Ford; pass k for dist_k or g.N() for exact SSSP.
+func CongestSSSP(g *Graph, src, maxRounds int) ([]int64, *CongestResult[int64]) {
+	return congest.SSSP(g, src, maxRounds)
+}
+
+// SNNToCongest transpiles a spiking network into CONGEST per the paper's
+// mapping (neuron = node, time step = round, 1-bit messages, delays as
+// relay paths) and simulates it for horizon steps.
+func SNNToCongest(net *Network, horizon int64) *congest.FromSNNResult {
+	return congest.FromSNN(net, horizon)
+}
+
+// --- Maximum flow (Section 8's tidal-flow outlook) ---
+
+// TidalResult reports the tidal max-flow with NGA-style sweep accounting.
+type TidalResult = flow.TidalResult
+
+// TidalFlow computes the maximum s-t flow with the tidal-flow algorithm,
+// whose forward/backward sweeps are level-ordered message waves — the
+// paper's candidate for a neuromorphic network-flow algorithm.
+func TidalFlow(g *Graph, s, t int) *TidalResult { return flow.Tidal(g, s, t) }
+
+// DinicFlow computes the maximum s-t flow with Dinic's algorithm.
+func DinicFlow(g *Graph, s, t int) int64 { return flow.Dinic(g, s, t) }
+
+// EdmondsKarpFlow computes the maximum s-t flow with BFS augmentation.
+func EdmondsKarpFlow(g *Graph, s, t int) int64 { return flow.EdmondsKarp(g, s, t) }
+
+// --- 3D DISTANCE variant and energy model ---
+
+// ScanInput3DMovement measures the 3D-lattice input-scan movement (the
+// Ω(m^{4/3}) remark after Theorem 6.1).
+func ScanInput3DMovement(words, c int, p RegisterPlacement) int64 {
+	return distance.ScanInput3D(words, c, p)
+}
+
+// Scan3DLowerBound is the 3D scan bound m^{4/3}/(8·c^{1/3}).
+func Scan3DLowerBound(m, c int) float64 { return distance.Scan3DLowerBound(m, c) }
+
+// SpikeEnergyJoules estimates energy for spike events on a platform using
+// its Table 3 pJ/spike figure.
+func SpikeEnergyJoules(p Platform, spikeEvents int64) float64 {
+	return platform.SpikeEnergyJoules(p, spikeEvents)
+}
+
+// CPUEnergyJoules estimates energy for conventional operations on the
+// Table 3 reference CPU.
+func CPUEnergyJoules(ops int64) float64 { return platform.CPUEnergyJoules(ops) }
+
+// EnergyAdvantage returns the CPU/platform energy ratio for a workload
+// (ops conventional operations vs spikeEvents synaptic events).
+func EnergyAdvantage(p Platform, ops, spikeEvents int64) float64 {
+	return platform.EnergyAdvantage(p, ops, spikeEvents)
+}
+
+// CongestApproxResult reports the CONGEST-native §7 approximation run.
+type CongestApproxResult = congest.ApproxKHopResult
+
+// CongestApproxKHop runs Nanongkai's rounding scheme natively in CONGEST
+// (the algorithm Section 7 adapts to spiking networks), for comparison
+// with SpikingApproxKHop.
+func CongestApproxKHop(g *Graph, src, k int, eps float64) *CongestApproxResult {
+	return congest.ApproxKHop(g, src, k, eps)
+}

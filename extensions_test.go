@@ -1,0 +1,111 @@
+package repro
+
+import (
+	"testing"
+)
+
+func TestFacadeMultiDst(t *testing.T) {
+	g := PathGraph(6, Unit, 0)
+	r := SpikingSSSPMulti(g, 0, []int{3, 4})
+	if r.SpikeTime != 4 || r.Dist[3] != 3 {
+		t.Fatalf("multi-dst: %d / %v", r.SpikeTime, r.Dist[:5])
+	}
+}
+
+func TestFacadeLatchPath(t *testing.T) {
+	g := PathGraph(5, Uniform(9), 3)
+	r := SpikingSSSPWithLatches(g, 0)
+	p, err := r.Path(4)
+	if err != nil || len(p) != 5 {
+		t.Fatalf("latch path %v %v", p, err)
+	}
+}
+
+func TestFacadeCompiledPoly(t *testing.T) {
+	g := NewGraph(4)
+	g.AddEdge(0, 1, 2)
+	g.AddEdge(1, 2, 3)
+	g.AddEdge(0, 2, 9)
+	cp := CompileKHopPolySSSP(g, 0, 2)
+	dist, _ := cp.Run()
+	if dist[2] != 5 {
+		t.Fatalf("compiled poly dist %d, want 5", dist[2])
+	}
+}
+
+func TestFacadeCongest(t *testing.T) {
+	g := RandomGraph(25, 100, Uniform(5), 2)
+	hops, _ := CongestBFS(g, 0)
+	want := g.HopDist(0)
+	for v := range want {
+		if hops[v] != want[v] {
+			t.Fatalf("congest bfs mismatch at %d", v)
+		}
+	}
+	dist, res := CongestSSSP(g, 0, g.N())
+	ref := Dijkstra(g, 0)
+	for v := range dist {
+		if dist[v] != ref.Dist[v] {
+			t.Fatalf("congest sssp mismatch at %d", v)
+		}
+	}
+	if res.MaxMessageBits > 64 {
+		t.Fatalf("message width %d", res.MaxMessageBits)
+	}
+}
+
+func TestFacadeSNNToCongest(t *testing.T) {
+	net := NewNetwork(NetworkConfig{Record: true})
+	a := net.AddNeuron(GateNeuron(1))
+	b := net.AddNeuron(GateNeuron(1))
+	net.Connect(a, b, 1, 4)
+	net.InduceSpike(a, 0)
+	r := SNNToCongest(net, 8)
+	found := false
+	for _, v := range r.Raster[4] {
+		if v == b {
+			found = true
+		}
+	}
+	if !found || r.Relays != 3 {
+		t.Fatalf("transpilation wrong: relays=%d raster=%v", r.Relays, r.Raster[:6])
+	}
+}
+
+func TestFacadeFlow(t *testing.T) {
+	g := NewGraph(4)
+	g.AddEdge(0, 1, 3)
+	g.AddEdge(0, 2, 2)
+	g.AddEdge(1, 3, 2)
+	g.AddEdge(2, 3, 3)
+	want := int64(4)
+	if got := DinicFlow(g, 0, 3); got != want {
+		t.Fatalf("dinic %d", got)
+	}
+	if got := EdmondsKarpFlow(g, 0, 3); got != want {
+		t.Fatalf("ek %d", got)
+	}
+	r := TidalFlow(g, 0, 3)
+	if r.Value != want || r.FallbackAugments != 0 {
+		t.Fatalf("tidal %+v", r)
+	}
+}
+
+func TestFacade3DScanAndEnergy(t *testing.T) {
+	got := ScanInput3DMovement(4096, 1, RegistersSpread)
+	if float64(got) < Scan3DLowerBound(4096, 1) {
+		t.Fatalf("3D scan below bound")
+	}
+	var loihi Platform
+	for _, p := range Table3() {
+		if p.Name == "Loihi" {
+			loihi = p
+		}
+	}
+	if adv := EnergyAdvantage(loihi, 10000, 10000); adv < 100 {
+		t.Fatalf("energy advantage %v", adv)
+	}
+	if CPUEnergyJoules(0) != 0 || SpikeEnergyJoules(loihi, 0) != 0 {
+		t.Fatal("zero-work energy nonzero")
+	}
+}

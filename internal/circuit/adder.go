@@ -1,0 +1,222 @@
+package circuit
+
+import (
+	"fmt"
+
+	"repro/internal/snn"
+)
+
+// AdderCLA adds two λ-bit numbers in depth 2 with O(λ) neurons using
+// exponentially-bounded synaptic weights — the carry-lookahead threshold
+// adder in the style of Ramos and Bohórquez (Figure 4 of the paper).
+//
+// Layer one computes every carry simultaneously: the carry into position
+// j is 1 iff Σ_{i<j} 2^i (x_i + y_i) >= 2^j, a single threshold gate with
+// place-value weights. Layer two computes each sum bit from the identity
+// x_j + y_j + cin_j = 2·cin_{j+1} + s_j, i.e. a unit-threshold gate with
+// inputs (+1,+1,+1,-2). Out has λ+1 bits (the top bit is the carry out).
+type AdderCLA struct {
+	X, Y Num
+	Out  Num // λ+1 bits, valid at t0+Latency
+	Stats
+}
+
+// NewAdderCLA builds the depth-2 carry-lookahead adder.
+func NewAdderCLA(b *Builder, lambda int) *AdderCLA {
+	if lambda < 1 || lambda > 61 {
+		panic(fmt.Sprintf("circuit: adder width %d outside [1,61]", lambda))
+	}
+	x := b.InputNum(lambda)
+	y := b.InputNum(lambda)
+	s := b.snap()
+
+	// carry[j] (j = 1..λ) fires at t0+1 iff the carry into position j is 1.
+	carry := make([]int, lambda+1)
+	for j := 1; j <= lambda; j++ {
+		c := b.Net.AddNeuron(snn.Gate(float64(int64(1) << uint(j))))
+		for i := 0; i < j; i++ {
+			w := float64(int64(1) << uint(i))
+			b.Net.Connect(x.Bits[i], c, w, 1)
+			b.Net.Connect(y.Bits[i], c, w, 1)
+		}
+		carry[j] = c
+	}
+
+	out := Num{Bits: make([]int, lambda+1)}
+	for j := 0; j < lambda; j++ {
+		sj := b.Net.AddNeuron(snn.Gate(1))
+		b.Net.Connect(x.Bits[j], sj, 1, 2)
+		b.Net.Connect(y.Bits[j], sj, 1, 2)
+		if j > 0 {
+			b.Net.Connect(carry[j], sj, 1, 1)
+		}
+		b.Net.Connect(carry[j+1], sj, -2, 1)
+		out.Bits[j] = sj
+	}
+	// The carry out of the top position is the final output bit.
+	top := b.Net.AddNeuron(snn.Gate(1))
+	b.Net.Connect(carry[lambda], top, 1, 1)
+	out.Bits[lambda] = top
+
+	a := &AdderCLA{X: x, Y: y, Out: out}
+	a.Stats = b.diff(s, 2)
+	return a
+}
+
+// Compute runs the adder standalone on (x, y) presented at t0.
+func (a *AdderCLA) Compute(b *Builder, x, y uint64, t0 int64) uint64 {
+	b.ApplyNum(a.X, x, t0)
+	b.ApplyNum(a.Y, y, t0)
+	b.Net.Run(t0 + a.Latency + 1)
+	return b.ReadNum(a.Out, t0+a.Latency)
+}
+
+// AdderSmallWeight adds two λ-bit numbers with O(λ²) neurons and only
+// small (magnitude <= 2) synaptic weights, in depth 4 — the
+// generate/propagate construction in the style of Siu, Roychowdhury and
+// Kailath's small-weight depth-size tradeoffs. Layer one computes
+// generate g_i = x_i AND y_i and propagate p_i = x_i OR y_i; layer two
+// computes the carry-chain conjunctions K_{ij} = g_i AND p_{i+1..j};
+// layer three ORs them into the carries; layer four forms the sum bits.
+type AdderSmallWeight struct {
+	X, Y Num
+	Out  Num // λ+1 bits
+	Stats
+}
+
+// NewAdderSmallWeight builds the small-weight adder.
+func NewAdderSmallWeight(b *Builder, lambda int) *AdderSmallWeight {
+	if lambda < 1 {
+		panic(fmt.Sprintf("circuit: adder width %d < 1", lambda))
+	}
+	x := b.InputNum(lambda)
+	y := b.InputNum(lambda)
+	s := b.snap()
+
+	gen := make([]int, lambda)
+	prop := make([]int, lambda)
+	for i := 0; i < lambda; i++ {
+		g := b.Net.AddNeuron(snn.Gate(2))
+		b.Net.Connect(x.Bits[i], g, 1, 1)
+		b.Net.Connect(y.Bits[i], g, 1, 1)
+		gen[i] = g
+		p := b.Net.AddNeuron(snn.Gate(1))
+		b.Net.Connect(x.Bits[i], p, 1, 1)
+		b.Net.Connect(y.Bits[i], p, 1, 1)
+		prop[i] = p
+	}
+
+	// carry[j+1] = OR_{i<=j} (g_i AND p_{i+1} AND ... AND p_j), at t0+3.
+	carry := make([]int, lambda+1)
+	for j := 0; j < lambda; j++ {
+		or := b.Net.AddNeuron(snn.Gate(1))
+		for i := 0; i <= j; i++ {
+			k := b.Net.AddNeuron(snn.Gate(float64(j - i + 1)))
+			b.Net.Connect(gen[i], k, 1, 1)
+			for t := i + 1; t <= j; t++ {
+				b.Net.Connect(prop[t], k, 1, 1)
+			}
+			b.Net.Connect(k, or, 1, 1)
+		}
+		carry[j+1] = or
+	}
+
+	out := Num{Bits: make([]int, lambda+1)}
+	for j := 0; j < lambda; j++ {
+		sj := b.Net.AddNeuron(snn.Gate(1))
+		b.Net.Connect(x.Bits[j], sj, 1, 4)
+		b.Net.Connect(y.Bits[j], sj, 1, 4)
+		if j > 0 {
+			b.Net.Connect(carry[j], sj, 1, 1)
+		}
+		b.Net.Connect(carry[j+1], sj, -2, 1)
+		out.Bits[j] = sj
+	}
+	top := b.Net.AddNeuron(snn.Gate(1))
+	b.Net.Connect(carry[lambda], top, 1, 1)
+	out.Bits[lambda] = top
+
+	a := &AdderSmallWeight{X: x, Y: y, Out: out}
+	a.Stats = b.diff(s, 4)
+	return a
+}
+
+// Compute runs the adder standalone on (x, y) presented at t0.
+func (a *AdderSmallWeight) Compute(b *Builder, x, y uint64, t0 int64) uint64 {
+	b.ApplyNum(a.X, x, t0)
+	b.ApplyNum(a.Y, y, t0)
+	b.Net.Run(t0 + a.Latency + 1)
+	return b.ReadNum(a.Out, t0+a.Latency)
+}
+
+// AddConst adds a fixed constant to a λ-bit input in depth 2 with O(λ)
+// neurons, by hardwiring the constant's bits into the carry and sum gates
+// of the carry-lookahead construction (the constant contributes a fixed
+// offset to each threshold). It implements the "add the edge length
+// ℓ(uv) to the message value" circuits of Section 4.2, where the constant
+// is the edge length programmed per edge.
+type AddConst struct {
+	X      Num
+	C      uint64
+	TrigIn int // pulse at input time (supplies the constant's 1-bits)
+	Out    Num // λ+1 bits
+	Stats
+}
+
+// NewAddConst builds the add-constant circuit.
+func NewAddConst(b *Builder, lambda int, c uint64) *AddConst {
+	if lambda < 1 || lambda > 61 {
+		panic(fmt.Sprintf("circuit: AddConst width %d outside [1,61]", lambda))
+	}
+	if c > (uint64(1)<<uint(lambda))-1 {
+		panic(fmt.Sprintf("circuit: constant %d exceeds %d bits", c, lambda))
+	}
+	x := b.InputNum(lambda)
+	trig := b.Trigger()
+	s := b.snap()
+
+	// carry[j] fires iff Σ_{i<j} 2^i x_i + (c mod 2^j) >= 2^j; the
+	// constant part lowers the effective threshold (cmod < 2^j keeps it
+	// positive).
+	carry := make([]int, lambda+1)
+	for j := 1; j <= lambda; j++ {
+		cmod := c & ((uint64(1) << uint(j)) - 1)
+		th := float64(int64(1)<<uint(j)) - float64(cmod)
+		cn := b.Net.AddNeuron(snn.Gate(th))
+		for i := 0; i < j; i++ {
+			b.Net.Connect(x.Bits[i], cn, float64(int64(1)<<uint(i)), 1)
+		}
+		carry[j] = cn
+	}
+
+	out := Num{Bits: make([]int, lambda+1)}
+	for j := 0; j < lambda; j++ {
+		// x_j + c_j + cin_j = 2 cin_{j+1} + s_j; the constant bit c_j is
+		// supplied by the trigger so thresholds stay positive.
+		sj := b.Net.AddNeuron(snn.Gate(1))
+		b.Net.Connect(x.Bits[j], sj, 1, 2)
+		if (c>>uint(j))&1 == 1 {
+			b.Net.Connect(trig, sj, 1, 2)
+		}
+		if j > 0 {
+			b.Net.Connect(carry[j], sj, 1, 1)
+		}
+		b.Net.Connect(carry[j+1], sj, -2, 1)
+		out.Bits[j] = sj
+	}
+	top := b.Net.AddNeuron(snn.Gate(1))
+	b.Net.Connect(carry[lambda], top, 1, 1)
+	out.Bits[lambda] = top
+
+	a := &AddConst{X: x, C: c, TrigIn: trig, Out: out}
+	a.Stats = b.diff(s, 2)
+	return a
+}
+
+// Compute runs the circuit standalone on x presented at t0.
+func (a *AddConst) Compute(b *Builder, x uint64, t0 int64) uint64 {
+	b.ApplyNum(a.X, x, t0)
+	b.Net.InduceSpike(a.TrigIn, t0)
+	b.Net.Run(t0 + a.Latency + 1)
+	return b.ReadNum(a.Out, t0+a.Latency)
+}

@@ -1,0 +1,107 @@
+package circuit
+
+import (
+	"fmt"
+
+	"repro/internal/snn"
+)
+
+// AdderRipple is the adder Section 4.1 sketches for the TTL decrement:
+// "we can chain constant-depth parity circuits for two or three bits and
+// threshold gates for the carry bit to do the addition in O(log k) depth
+// with O(log k) neurons". Each bit position computes its sum with a
+// 3-input parity subcircuit and its carry with a single threshold gate,
+// and the carries chain: depth O(λ) (2 steps per position), exactly λ·4+1
+// neurons — the smallest of the three adders, trading depth for size
+// against AdderCLA (depth 2, exponential weights) and AdderSmallWeight
+// (depth 4, O(λ²) neurons).
+type AdderRipple struct {
+	X, Y Num
+	Out  Num // λ+1 bits; bit j valid at t0+OutAt(j)
+	Stats
+}
+
+// OutAt returns the time offset at which output bit j becomes valid:
+// the ripple reaches position j after 2(j+1) steps (sum and carry of
+// earlier positions), and the final carry-out arrives with the last sum.
+func (a *AdderRipple) OutAt(j int) int64 {
+	lambda := len(a.Out.Bits) - 1
+	if j >= lambda {
+		j = lambda - 1
+	}
+	return int64(2*(j+1) + 1)
+}
+
+// NewAdderRipple builds the chained-parity adder.
+func NewAdderRipple(b *Builder, lambda int) *AdderRipple {
+	if lambda < 1 {
+		panic(fmt.Sprintf("circuit: ripple adder width %d < 1", lambda))
+	}
+	x := b.InputNum(lambda)
+	y := b.InputNum(lambda)
+	s := b.snap()
+
+	out := Num{Bits: make([]int, lambda+1)}
+	// carry[j] fires at time 2(j+1) iff position j generates a carry:
+	// x_j + y_j + carry[j-1] >= 2, a single threshold gate.
+	var prevCarry int // neuron id; -1 for position 0
+	prevCarry = -1
+	for j := 0; j < lambda; j++ {
+		inT := int64(2 * j) // time at which this position's inputs align
+		carry := b.Net.AddNeuron(snn.Gate(2))
+		b.Net.Connect(x.Bits[j], carry, 1, inT+2)
+		b.Net.Connect(y.Bits[j], carry, 1, inT+2)
+		if prevCarry >= 0 {
+			b.Net.Connect(prevCarry, carry, 1, 2)
+		}
+		// Parity subcircuit for the sum bit: or - and pairs give
+		// s_j = (x+y+cin >= 1) - 2·(carry) + (x+y+cin >= 3):
+		// one gate with inputs (+1 each), carry (-2), and a threshold-3
+		// "all ones" gate (+1) recovers the exact parity.
+		orG := b.Net.AddNeuron(snn.Gate(1))
+		allG := b.Net.AddNeuron(snn.Gate(3))
+		for _, in := range []struct {
+			id int
+			d  int64
+		}{{x.Bits[j], inT + 2}, {y.Bits[j], inT + 2}} {
+			b.Net.Connect(in.id, orG, 1, in.d)
+			b.Net.Connect(in.id, allG, 1, in.d)
+		}
+		if prevCarry >= 0 {
+			b.Net.Connect(prevCarry, orG, 1, 2)
+			b.Net.Connect(prevCarry, allG, 1, 2)
+		}
+		// Sum bit: with S = x_j+y_j+cin, the gates give or = [S>=1],
+		// all = [S>=3], carry = [S>=2], so or + 2·all − 2·carry >= 1
+		// exactly when S is odd — a three-gate parity.
+		sum := b.Net.AddNeuron(snn.Gate(1))
+		b.Net.Connect(orG, sum, 1, 1)
+		b.Net.Connect(allG, sum, 2, 1)
+		b.Net.Connect(carry, sum, -2, 1)
+		out.Bits[j] = sum
+		prevCarry = carry
+	}
+	// Final carry-out, relayed to align with the last sum bit.
+	top := b.Net.AddNeuron(snn.Gate(1))
+	b.Net.Connect(prevCarry, top, 1, 1)
+	out.Bits[lambda] = top
+
+	a := &AdderRipple{X: x, Y: y, Out: out}
+	a.Stats = b.diff(s, int64(2*lambda+1))
+	return a
+}
+
+// Compute runs the adder standalone on (x, y) presented at t0, reading
+// each output bit at its own valid time.
+func (a *AdderRipple) Compute(b *Builder, x, y uint64, t0 int64) uint64 {
+	b.ApplyNum(a.X, x, t0)
+	b.ApplyNum(a.Y, y, t0)
+	b.Net.Run(t0 + a.Latency + 2)
+	var v uint64
+	for j := range a.Out.Bits {
+		if b.Net.FiredAt(a.Out.Bits[j], t0+a.OutAt(j)) {
+			v |= 1 << uint(j)
+		}
+	}
+	return v
+}

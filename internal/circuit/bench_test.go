@@ -1,0 +1,83 @@
+package circuit
+
+import (
+	"fmt"
+	"testing"
+)
+
+func BenchmarkBuildMaxWiredOR(b *testing.B) {
+	for _, d := range []int{8, 32, 128} {
+		b.Run(fmt.Sprintf("d=%d/lambda=8", d), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				bb := NewBuilder(false)
+				NewMaxWiredOR(bb, d, 8)
+			}
+		})
+	}
+}
+
+func BenchmarkBuildMaxBruteForce(b *testing.B) {
+	for _, d := range []int{8, 32, 128} {
+		b.Run(fmt.Sprintf("d=%d/lambda=8", d), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				bb := NewBuilder(false)
+				NewMaxBruteForce(bb, d, 8, false)
+			}
+		})
+	}
+}
+
+func BenchmarkExecuteMaxWiredOR(b *testing.B) {
+	vals := []uint64{200, 13, 255, 97, 170, 4, 255, 80}
+	for i := 0; i < b.N; i++ {
+		bb := NewBuilder(true)
+		m := NewMaxWiredOR(bb, len(vals), 8)
+		if m.Compute(bb, vals, 0) != 255 {
+			b.Fatal("wrong max")
+		}
+	}
+}
+
+func BenchmarkExecuteAdderCLA(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		bb := NewBuilder(true)
+		a := NewAdderCLA(bb, 24)
+		if a.Compute(bb, 9_000_000, 7_000_000, 0) != 16_000_000 {
+			b.Fatal("wrong sum")
+		}
+	}
+}
+
+func BenchmarkExecuteDecrement(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		bb := NewBuilder(true)
+		d := NewDecrement(bb, 16)
+		if d.Compute(bb, 40_000, 0) != 39_999 {
+			b.Fatal("wrong decrement")
+		}
+	}
+}
+
+func BenchmarkPipelinedMaxWaves(b *testing.B) {
+	// Stream several input waves through ONE max circuit back to back —
+	// the pipelining mode the compiled k-hop machines rely on.
+	for i := 0; i < b.N; i++ {
+		bb := NewBuilder(true)
+		m := NewMaxWiredOR(bb, 3, 6)
+		for wave := int64(0); wave < 8; wave++ {
+			t0 := wave * 3 // tighter than the circuit's full latency
+			bb.ApplyNum(m.In[0], uint64(wave), t0)
+			bb.ApplyNum(m.In[1], uint64(wave+7), t0)
+			bb.ApplyNum(m.In[2], 1, t0)
+			bb.Net.InduceSpike(m.TrigIn, t0)
+		}
+		bb.Net.Run(8*3 + m.Latency + 2)
+		for wave := int64(0); wave < 8; wave++ {
+			if got := bb.ReadNum(m.Out, wave*3+m.Latency); got != uint64(wave+7) {
+				b.Fatalf("wave %d: got %d", wave, got)
+			}
+		}
+	}
+}

@@ -1,0 +1,136 @@
+// Package circuit builds the feed-forward threshold-gate circuits of
+// Section 5 of Aimone et al. (SPAA 2021) as spiking neural networks: the
+// delay-simulation gadget and memory latch of Figure 1, the bit-by-bit
+// ("wired-OR") maximum circuit of Theorem 5.1 / Figure 3, the brute-force
+// maximum circuit of Theorem 5.2 / Figure 5, minimum variants, the
+// carry-lookahead adder of Figure 4, a small-weight adder in the style of
+// Siu et al., and the subtract-one circuit used by the k-hop TTL
+// algorithm.
+//
+// # Conventions
+//
+// Numbers are λ-bit unsigned integers presented as bundles of λ neurons,
+// least-significant bit first; bit j is 1 iff its neuron spikes at the
+// circuit's input time t0. Every circuit also has a Trigger neuron that
+// must be pulsed at t0 — it distributes the constant-1 inputs (the "Eq"
+// and "S" neurons of Figure 5) and the "all numbers start active" seed of
+// Figure 3A. Outputs are valid (spike iff bit set) at exactly t0+Latency.
+// The all-zeros value is represented by no spikes at all, matching the
+// paper's "sending the all-zeros message equates to none of the output
+// neurons firing."
+//
+// All neurons are memoryless threshold gates (full decay) except where a
+// circuit needs integration (the counting neuron of the delay gadget);
+// synapse delays synchronize layers exactly, per the paper's "using delays
+// and dummy neurons, we assume that feed-forward circuits of threshold
+// gates can run in time proportional to depth."
+package circuit
+
+import (
+	"fmt"
+
+	"repro/internal/snn"
+)
+
+// Builder wraps an snn.Network and allocates circuit structures in it.
+// Multiple circuits may share one builder (and thus one network); they are
+// then wired together with Network.Connect.
+type Builder struct {
+	Net *snn.Network
+}
+
+// NewBuilder returns a Builder over a fresh network. Verification flows
+// that read circuit outputs need record=true.
+func NewBuilder(record bool) *Builder {
+	return &Builder{Net: snn.NewNetwork(snn.Config{Rule: snn.FireGTE, Record: record})}
+}
+
+// Num is a bundle of neurons encoding an unsigned integer, LSB first.
+type Num struct {
+	Bits []int // neuron indices; Bits[0] is the least significant bit
+}
+
+// Lambda returns the bit width.
+func (n Num) Lambda() int { return len(n.Bits) }
+
+// MaxValue returns the largest value representable in n.
+func (n Num) MaxValue() uint64 {
+	if len(n.Bits) >= 64 {
+		return ^uint64(0)
+	}
+	return (1 << uint(len(n.Bits))) - 1
+}
+
+// InputNum allocates λ unit-threshold relay neurons forming a number
+// input. The relays can be driven either by induced spikes (ApplyNum) or
+// by synapses from an upstream circuit's output.
+func (b *Builder) InputNum(lambda int) Num {
+	if lambda < 1 {
+		panic(fmt.Sprintf("circuit: number width %d < 1", lambda))
+	}
+	return Num{Bits: b.Net.AddNeurons(lambda, snn.Gate(1))}
+}
+
+// ApplyNum induces spikes on the 1-bits of value at time t.
+func (b *Builder) ApplyNum(n Num, value uint64, t int64) {
+	if value > n.MaxValue() {
+		panic(fmt.Sprintf("circuit: value %d exceeds %d-bit input", value, len(n.Bits)))
+	}
+	for j, id := range n.Bits {
+		if value&(1<<uint(j)) != 0 {
+			b.Net.InduceSpike(id, t)
+		}
+	}
+}
+
+// ReadNum decodes the number whose bit neurons fired at exactly time t.
+// The builder must have been created with record=true.
+func (b *Builder) ReadNum(n Num, t int64) uint64 {
+	var v uint64
+	for j, id := range n.Bits {
+		if b.Net.FiredAt(id, t) {
+			v |= 1 << uint(j)
+		}
+	}
+	return v
+}
+
+// Trigger allocates the constant-distribution neuron a circuit requires;
+// the caller pulses it at the circuit's input time.
+func (b *Builder) Trigger() int {
+	return b.Net.AddNeuron(snn.Gate(1))
+}
+
+// not allocates a NOT gate: fires at tArrive+1 iff in did not fire such
+// that its spike arrives at tArrive. trigger must deliver +1 at the same
+// time as in's (potential) -1; both delays are given explicitly.
+func (b *Builder) not(in, trigger int, inDelay, trigDelay int64) int {
+	g := b.Net.AddNeuron(snn.Gate(1))
+	b.Net.Connect(trigger, g, 1, trigDelay)
+	b.Net.Connect(in, g, -1, inDelay)
+	return g
+}
+
+// Stats describes a constructed circuit for the Table 2 accounting.
+type Stats struct {
+	Neurons  int   // circuit size in neurons (excluding input relays)
+	Synapses int   // synapse count
+	Latency  int64 // time steps from input presentation to output validity
+}
+
+// snapshot captures network size before construction; diff yields Stats.
+type snapshot struct {
+	n, s int
+}
+
+func (b *Builder) snap() snapshot {
+	return snapshot{n: b.Net.N(), s: b.Net.Synapses()}
+}
+
+func (b *Builder) diff(s snapshot, latency int64) Stats {
+	return Stats{
+		Neurons:  b.Net.N() - s.n,
+		Synapses: b.Net.Synapses() - s.s,
+		Latency:  latency,
+	}
+}

@@ -1,0 +1,919 @@
+package circuit
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// --- Delay gadget (Figure 1A, experiment E8) ---
+
+func TestDelayGadgetExact(t *testing.T) {
+	for _, d := range []int64{2, 3, 4, 5, 8, 16, 33, 64} {
+		b := NewBuilder(true)
+		g := NewDelayGadget(b, d)
+		b.Net.InduceSpike(g.In, 0)
+		b.Net.Run(3 * d)
+		if got := b.Net.FirstSpike(g.Out); got != d {
+			t.Fatalf("d=%d: output fired at %d", d, got)
+		}
+		// One-shot: the output must fire exactly once.
+		if spikes := b.Net.Spikes(g.Out); len(spikes) != 1 {
+			t.Fatalf("d=%d: output spiked %d times: %v", d, len(spikes), spikes)
+		}
+	}
+}
+
+func TestDelayGadgetMatchesNativeSynapse(t *testing.T) {
+	// The gadget is a drop-in replacement for a native delay-d synapse.
+	for _, d := range []int64{2, 7, 20} {
+		native := NewBuilder(true)
+		a := native.Trigger()
+		z := native.Trigger()
+		native.Net.Connect(a, z, 1, d)
+		native.Net.InduceSpike(a, 5)
+		native.Net.Run(5 + d + 2)
+		wantTime := native.Net.FirstSpike(z)
+
+		b := NewBuilder(true)
+		g := NewDelayGadget(b, d)
+		b.Net.InduceSpike(g.In, 5)
+		b.Net.Run(5 + 3*d)
+		if got := b.Net.FirstSpike(g.Out); got != wantTime {
+			t.Fatalf("d=%d: gadget %d vs native %d", d, got, wantTime)
+		}
+	}
+}
+
+func TestDelayGadgetUsesTwoNeurons(t *testing.T) {
+	b := NewBuilder(false)
+	g := NewDelayGadget(b, 10)
+	// In relay + generator + counter = 3 neurons; the paper's figure counts
+	// the two gadget neurons beyond the signal's entry point.
+	if g.Neurons != 3 {
+		t.Fatalf("gadget size %d neurons, want 3 (incl. input relay)", g.Neurons)
+	}
+}
+
+func TestDelayGadgetRejectsSmallD(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("d=1 accepted")
+		}
+	}()
+	NewDelayGadget(NewBuilder(false), 1)
+}
+
+// --- Latch (Figure 1B, experiment E9) ---
+
+func TestLatchSetRecall(t *testing.T) {
+	b := NewBuilder(true)
+	l := NewLatch(b)
+	b.Net.InduceSpike(l.Set, 0)
+	b.Net.InduceSpike(l.Recall, 10)
+	b.Net.Run(20)
+	if !b.Net.FiredAt(l.Out, 10+RecallLatency) {
+		t.Fatalf("set latch did not recall; out first spike %d", b.Net.FirstSpike(l.Out))
+	}
+}
+
+func TestLatchRecallUnset(t *testing.T) {
+	b := NewBuilder(true)
+	l := NewLatch(b)
+	b.Net.InduceSpike(l.Recall, 10)
+	b.Net.Run(20)
+	if b.Net.FirstSpike(l.Out) != -1 {
+		t.Fatalf("unset latch recalled a 1 at %d", b.Net.FirstSpike(l.Out))
+	}
+}
+
+func TestLatchReset(t *testing.T) {
+	b := NewBuilder(true)
+	l := NewLatch(b)
+	b.Net.InduceSpike(l.Set, 0)
+	b.Net.InduceSpike(l.Reset, 5)
+	b.Net.InduceSpike(l.Recall, 12)
+	b.Net.Run(20)
+	if b.Net.FirstSpike(l.Out) != -1 {
+		t.Fatalf("reset latch still recalled at %d", b.Net.FirstSpike(l.Out))
+	}
+}
+
+func TestLatchSetResetSet(t *testing.T) {
+	b := NewBuilder(true)
+	l := NewLatch(b)
+	b.Net.InduceSpike(l.Set, 0)
+	b.Net.InduceSpike(l.Reset, 5)
+	b.Net.InduceSpike(l.Set, 10)
+	b.Net.InduceSpike(l.Recall, 15)
+	b.Net.Run(25)
+	if !b.Net.FiredAt(l.Out, 15+RecallLatency) {
+		t.Fatalf("re-set latch did not recall")
+	}
+}
+
+func TestLatchNonDestructiveRecall(t *testing.T) {
+	b := NewBuilder(true)
+	l := NewLatch(b)
+	b.Net.InduceSpike(l.Set, 0)
+	b.Net.InduceSpike(l.Recall, 8)
+	b.Net.InduceSpike(l.Recall, 16)
+	b.Net.Run(30)
+	if !b.Net.FiredAt(l.Out, 8+RecallLatency) || !b.Net.FiredAt(l.Out, 16+RecallLatency) {
+		t.Fatalf("recall was destructive")
+	}
+}
+
+// --- Num helpers ---
+
+func TestNumApplyRead(t *testing.T) {
+	b := NewBuilder(true)
+	n := b.InputNum(6)
+	b.ApplyNum(n, 0b101101, 3)
+	b.Net.Run(10)
+	if got := b.ReadNum(n, 3); got != 0b101101 {
+		t.Fatalf("round trip got %b", got)
+	}
+	if got := b.ReadNum(n, 4); got != 0 {
+		t.Fatalf("wrong-time read got %b", got)
+	}
+}
+
+func TestNumOverflowPanics(t *testing.T) {
+	b := NewBuilder(false)
+	n := b.InputNum(3)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("oversized value accepted")
+		}
+	}()
+	b.ApplyNum(n, 8, 0)
+}
+
+// --- Comparator (Figure 5A, experiment E13) ---
+
+func TestComparatorExhaustive(t *testing.T) {
+	for x := uint64(0); x < 8; x++ {
+		for y := uint64(0); y < 8; y++ {
+			b := NewBuilder(true)
+			c := NewComparator(b, 3, false)
+			if got := c.Compute(b, x, y, 0); got != (x >= y) {
+				t.Fatalf("geq(%d,%d) = %v", x, y, got)
+			}
+			b2 := NewBuilder(true)
+			c2 := NewComparator(b2, 3, true)
+			if got := c2.Compute(b2, x, y, 0); got != (x > y) {
+				t.Fatalf("gt(%d,%d) = %v", x, y, got)
+			}
+		}
+	}
+}
+
+func TestComparatorIsSingleNeuron(t *testing.T) {
+	b := NewBuilder(false)
+	c := NewComparator(b, 8, false)
+	if c.Neurons != 1 || c.Latency != 1 {
+		t.Fatalf("comparator stats %+v, want 1 neuron depth 1", c.Stats)
+	}
+}
+
+// --- Wired-OR max (Theorem 5.1 / Figure 3, experiments E6, E11) ---
+
+func TestMaxWiredORExhaustivePairs(t *testing.T) {
+	for x := uint64(0); x < 8; x++ {
+		for y := uint64(0); y < 8; y++ {
+			b := NewBuilder(true)
+			m := NewMaxWiredOR(b, 2, 3)
+			want := x
+			if y > x {
+				want = y
+			}
+			if got := m.Compute(b, []uint64{x, y}, 0); got != want {
+				t.Fatalf("max(%d,%d) = %d, want %d", x, y, got, want)
+			}
+		}
+	}
+}
+
+func TestMaxWiredORSingleInput(t *testing.T) {
+	b := NewBuilder(true)
+	m := NewMaxWiredOR(b, 1, 4)
+	if got := m.Compute(b, []uint64{13}, 0); got != 13 {
+		t.Fatalf("max of singleton = %d", got)
+	}
+}
+
+func TestMaxWiredORAllZeros(t *testing.T) {
+	b := NewBuilder(true)
+	m := NewMaxWiredOR(b, 3, 4)
+	if got := m.Compute(b, []uint64{0, 0, 0}, 0); got != 0 {
+		t.Fatalf("max of zeros = %d", got)
+	}
+}
+
+func TestMaxWiredORTies(t *testing.T) {
+	b := NewBuilder(true)
+	m := NewMaxWiredOR(b, 4, 4)
+	if got := m.Compute(b, []uint64{9, 3, 9, 1}, 0); got != 9 {
+		t.Fatalf("tied max = %d", got)
+	}
+	// Both tied inputs stay active.
+	fired := 0
+	for i, a := range m.Actives {
+		if b.Net.FiredAt(a, MaxActiveLatency(4)) {
+			if i != 0 && i != 2 {
+				t.Fatalf("non-max input %d active", i)
+			}
+			fired++
+		}
+	}
+	if fired != 2 {
+		t.Fatalf("%d actives, want 2", fired)
+	}
+}
+
+func TestMaxWiredORLatencyFormula(t *testing.T) {
+	for lambda := 1; lambda <= 10; lambda++ {
+		b := NewBuilder(false)
+		m := NewMaxWiredOR(b, 3, lambda)
+		if m.Latency != int64(4*lambda+1) {
+			t.Fatalf("lambda=%d latency %d, want %d", lambda, m.Latency, 4*lambda+1)
+		}
+	}
+}
+
+func TestMaxWiredORSizeIsLinear(t *testing.T) {
+	// O(dλ) scaling: doubling d or λ roughly doubles the neuron count.
+	size := func(d, lambda int) int {
+		b := NewBuilder(false)
+		return NewMaxWiredOR(b, d, lambda).Neurons
+	}
+	s1 := size(8, 8)
+	if s2 := size(16, 8); float64(s2) > 2.5*float64(s1) {
+		t.Fatalf("size not linear in d: %d -> %d", s1, s2)
+	}
+	if s3 := size(8, 16); float64(s3) > 2.5*float64(s1) {
+		t.Fatalf("size not linear in lambda: %d -> %d", s1, s3)
+	}
+}
+
+func TestMaxWiredORRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 25; trial++ {
+		d := rng.Intn(6) + 1
+		lambda := rng.Intn(7) + 1
+		vals := make([]uint64, d)
+		var want uint64
+		for i := range vals {
+			vals[i] = rng.Uint64() & ((1 << uint(lambda)) - 1)
+			if vals[i] > want {
+				want = vals[i]
+			}
+		}
+		b := NewBuilder(true)
+		m := NewMaxWiredOR(b, d, lambda)
+		if got := m.Compute(b, vals, 0); got != want {
+			t.Fatalf("max%v = %d, want %d", vals, got, want)
+		}
+	}
+}
+
+// --- Min wired-OR ---
+
+func TestMinWiredORExhaustivePairs(t *testing.T) {
+	for x := uint64(0); x < 8; x++ {
+		for y := uint64(0); y < 8; y++ {
+			b := NewBuilder(true)
+			m := NewMinWiredOR(b, 2, 3)
+			want := x
+			if y < x {
+				want = y
+			}
+			if got := m.Compute(b, []uint64{x, y}, 0); got != want {
+				t.Fatalf("min(%d,%d) = %d, want %d", x, y, got, want)
+			}
+		}
+	}
+}
+
+func TestMinWiredORRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 20; trial++ {
+		d := rng.Intn(5) + 1
+		lambda := rng.Intn(6) + 1
+		vals := make([]uint64, d)
+		want := uint64(1<<uint(lambda)) - 1
+		for i := range vals {
+			vals[i] = rng.Uint64() & ((1 << uint(lambda)) - 1)
+			if vals[i] < want {
+				want = vals[i]
+			}
+		}
+		b := NewBuilder(true)
+		m := NewMinWiredOR(b, d, lambda)
+		if got := m.Compute(b, vals, 0); got != want {
+			t.Fatalf("min%v = %d, want %d", vals, got, want)
+		}
+	}
+}
+
+// --- Brute-force max (Theorem 5.2 / Figure 5, experiments E6, E13) ---
+
+func TestMaxBruteForceExhaustivePairs(t *testing.T) {
+	for x := uint64(0); x < 8; x++ {
+		for y := uint64(0); y < 8; y++ {
+			b := NewBuilder(true)
+			m := NewMaxBruteForce(b, 2, 3, false)
+			want := x
+			wantIdx := 0
+			if y > x {
+				want, wantIdx = y, 1
+			}
+			got, idx := m.Compute(b, []uint64{x, y}, 0)
+			if got != want || idx != wantIdx {
+				t.Fatalf("max(%d,%d) = %d@%d, want %d@%d", x, y, got, idx, want, wantIdx)
+			}
+		}
+	}
+}
+
+func TestMaxBruteForceTieBreaksToSmallestIndex(t *testing.T) {
+	b := NewBuilder(true)
+	m := NewMaxBruteForce(b, 4, 4, false)
+	got, idx := m.Compute(b, []uint64{3, 9, 9, 9}, 0)
+	if got != 9 || idx != 1 {
+		t.Fatalf("tie: %d@%d, want 9@1", got, idx)
+	}
+}
+
+func TestMaxBruteForceSingleInput(t *testing.T) {
+	b := NewBuilder(true)
+	m := NewMaxBruteForce(b, 1, 4, false)
+	got, idx := m.Compute(b, []uint64{11}, 0)
+	if got != 11 || idx != 0 {
+		t.Fatalf("singleton: %d@%d", got, idx)
+	}
+}
+
+func TestMaxBruteForceConstantDepth(t *testing.T) {
+	for _, d := range []int{2, 5, 12} {
+		b := NewBuilder(false)
+		m := NewMaxBruteForce(b, d, 8, false)
+		if m.Latency != WinnerLatency+2 {
+			t.Fatalf("d=%d latency %d, want %d", d, m.Latency, WinnerLatency+2)
+		}
+	}
+}
+
+func TestMaxBruteForceSizeIsQuadratic(t *testing.T) {
+	size := func(d int) int {
+		b := NewBuilder(false)
+		return NewMaxBruteForce(b, d, 4, false).Neurons
+	}
+	s8, s16 := size(8), size(16)
+	if float64(s16) < 3*float64(s8) {
+		t.Fatalf("size not superlinear in d: %d -> %d", s8, s16)
+	}
+}
+
+func TestMinBruteForceExhaustivePairs(t *testing.T) {
+	for x := uint64(0); x < 8; x++ {
+		for y := uint64(0); y < 8; y++ {
+			b := NewBuilder(true)
+			m := NewMaxBruteForce(b, 2, 3, true)
+			want := x
+			wantIdx := 0
+			if y < x {
+				want, wantIdx = y, 1
+			}
+			got, idx := m.Compute(b, []uint64{x, y}, 0)
+			if got != want || idx != wantIdx {
+				t.Fatalf("min(%d,%d) = %d@%d, want %d@%d", x, y, got, idx, want, wantIdx)
+			}
+		}
+	}
+}
+
+func TestBruteVsWiredOrAgreeProperty(t *testing.T) {
+	f := func(raw []uint16, lraw uint8) bool {
+		lambda := int(lraw%6) + 1
+		if len(raw) == 0 {
+			return true
+		}
+		if len(raw) > 6 {
+			raw = raw[:6]
+		}
+		vals := make([]uint64, len(raw))
+		for i, r := range raw {
+			vals[i] = uint64(r) & ((1 << uint(lambda)) - 1)
+		}
+		b1 := NewBuilder(true)
+		m1 := NewMaxWiredOR(b1, len(vals), lambda)
+		b2 := NewBuilder(true)
+		m2 := NewMaxBruteForce(b2, len(vals), lambda, false)
+		v2, _ := m2.Compute(b2, vals, 0)
+		return m1.Compute(b1, vals, 0) == v2
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// --- Adders (Figure 4, experiment E12) ---
+
+func TestAdderCLAExhaustive(t *testing.T) {
+	for x := uint64(0); x < 16; x++ {
+		for y := uint64(0); y < 16; y++ {
+			b := NewBuilder(true)
+			a := NewAdderCLA(b, 4)
+			if got := a.Compute(b, x, y, 0); got != x+y {
+				t.Fatalf("CLA %d+%d = %d", x, y, got)
+			}
+		}
+	}
+}
+
+func TestAdderCLADepth2(t *testing.T) {
+	b := NewBuilder(false)
+	a := NewAdderCLA(b, 16)
+	if a.Latency != 2 {
+		t.Fatalf("CLA latency %d, want 2", a.Latency)
+	}
+	// O(λ) neurons: λ carries + λ sums + 1 top.
+	if a.Neurons != 2*16+1 {
+		t.Fatalf("CLA neurons %d, want %d", a.Neurons, 2*16+1)
+	}
+}
+
+func TestAdderSmallWeightExhaustive(t *testing.T) {
+	for x := uint64(0); x < 16; x++ {
+		for y := uint64(0); y < 16; y++ {
+			b := NewBuilder(true)
+			a := NewAdderSmallWeight(b, 4)
+			if got := a.Compute(b, x, y, 0); got != x+y {
+				t.Fatalf("SW %d+%d = %d", x, y, got)
+			}
+		}
+	}
+}
+
+func TestAdderSmallWeightQuadraticSize(t *testing.T) {
+	size := func(lambda int) int {
+		b := NewBuilder(false)
+		return NewAdderSmallWeight(b, lambda).Neurons
+	}
+	// Quadrupling λ must grow the circuit clearly superlinearly (a linear
+	// circuit would give 4x; the quadratic carry layer gives ~9.5x here).
+	s8, s32 := size(8), size(32)
+	if float64(s32) < 6*float64(s8) {
+		t.Fatalf("small-weight adder not quadratic: %d -> %d", s8, s32)
+	}
+}
+
+func TestAddersAgreeProperty(t *testing.T) {
+	f := func(x, y uint16) bool {
+		b1 := NewBuilder(true)
+		a1 := NewAdderCLA(b1, 16)
+		b2 := NewBuilder(true)
+		a2 := NewAdderSmallWeight(b2, 16)
+		want := uint64(x) + uint64(y)
+		return a1.Compute(b1, uint64(x), uint64(y), 0) == want &&
+			a2.Compute(b2, uint64(x), uint64(y), 0) == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// --- AddConst (Section 4.2's per-edge length adder) ---
+
+func TestAddConstExhaustive(t *testing.T) {
+	for c := uint64(0); c < 16; c++ {
+		for x := uint64(0); x < 16; x++ {
+			b := NewBuilder(true)
+			a := NewAddConst(b, 4, c)
+			if got := a.Compute(b, x, 0); got != x+c {
+				t.Fatalf("%d+const %d = %d", x, c, got)
+			}
+		}
+	}
+}
+
+func TestAddConstWide(t *testing.T) {
+	b := NewBuilder(true)
+	a := NewAddConst(b, 20, 777777)
+	if got := a.Compute(b, 555555, 0); got != 555555+777777 {
+		t.Fatalf("wide add-const = %d", got)
+	}
+}
+
+// --- Decrement (Section 4.1's TTL subtract-one) ---
+
+func TestDecrementExhaustive(t *testing.T) {
+	for lambda := 1; lambda <= 5; lambda++ {
+		limit := uint64(1) << uint(lambda)
+		for x := uint64(1); x < limit; x++ {
+			b := NewBuilder(true)
+			d := NewDecrement(b, lambda)
+			if got := d.Compute(b, x, 0); got != x-1 {
+				t.Fatalf("lambda=%d: %d-1 = %d", lambda, x, got)
+			}
+		}
+	}
+}
+
+func TestDecrementZeroWraps(t *testing.T) {
+	b := NewBuilder(true)
+	d := NewDecrement(b, 4)
+	if got := d.Compute(b, 0, 0); got != 15 {
+		t.Fatalf("0-1 = %d, want 15 (two's complement wrap)", got)
+	}
+}
+
+func TestDecrementLinearSize(t *testing.T) {
+	size := func(lambda int) int {
+		b := NewBuilder(false)
+		return NewDecrement(b, lambda).Neurons
+	}
+	if s8, s16 := size(8), size(16); s16 != 2*s8 {
+		t.Fatalf("decrement size %d -> %d, want exact doubling", s8, s16)
+	}
+}
+
+// --- Composition: circuits wired to each other in one network ---
+
+func TestComposedDecrementChain(t *testing.T) {
+	// Chain two decrement circuits: x - 2. The second circuit's inputs are
+	// driven synaptically by the first's outputs (with the trigger routed
+	// to match the composed input time).
+	b := NewBuilder(true)
+	d1 := NewDecrement(b, 4)
+	d2 := NewDecrement(b, 4)
+	for j := 0; j < 4; j++ {
+		b.Net.Connect(d1.Out.Bits[j], d2.X.Bits[j], 1, 1)
+	}
+	// d1 outputs at t0+3; d2's inputs fire at t0+4; its trigger too.
+	b.Net.Connect(d1.TrigIn, d2.TrigIn, 1, 4)
+	b.ApplyNum(d1.X, 9, 0)
+	b.Net.InduceSpike(d1.TrigIn, 0)
+	b.Net.Run(20)
+	if got := b.ReadNum(d2.Out, 4+d2.Latency); got != 7 {
+		t.Fatalf("9-2 = %d", got)
+	}
+}
+
+func TestComposedMaxThenDecrement(t *testing.T) {
+	// The per-node TTL pipeline of Section 4.1: max of incoming TTLs, then
+	// subtract one.
+	b := NewBuilder(true)
+	m := NewMaxWiredOR(b, 3, 4)
+	d := NewDecrement(b, 4)
+	for j := 0; j < 4; j++ {
+		b.Net.Connect(m.Out.Bits[j], d.X.Bits[j], 1, 1)
+	}
+	b.Net.Connect(m.TrigIn, d.TrigIn, 1, m.Latency+1)
+	for i, v := range []uint64{3, 11, 6} {
+		b.ApplyNum(m.In[i], v, 0)
+	}
+	b.Net.InduceSpike(m.TrigIn, 0)
+	b.Net.Run(100)
+	if got := b.ReadNum(d.Out, m.Latency+1+d.Latency); got != 10 {
+		t.Fatalf("max(3,11,6)-1 = %d, want 10", got)
+	}
+}
+
+// Property: wired-or max correct on random inputs of random shape.
+func TestMaxWiredORProperty(t *testing.T) {
+	f := func(raw []uint32, lraw uint8) bool {
+		lambda := int(lraw%8) + 1
+		if len(raw) == 0 {
+			return true
+		}
+		if len(raw) > 8 {
+			raw = raw[:8]
+		}
+		vals := make([]uint64, len(raw))
+		var want uint64
+		for i, r := range raw {
+			vals[i] = uint64(r) & ((1 << uint(lambda)) - 1)
+			if vals[i] > want {
+				want = vals[i]
+			}
+		}
+		b := NewBuilder(true)
+		m := NewMaxWiredOR(b, len(vals), lambda)
+		return m.Compute(b, vals, 0) == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: decrement inverts the CLA adder's +1.
+func TestDecrementInvertsIncrementProperty(t *testing.T) {
+	f := func(x uint16) bool {
+		b1 := NewBuilder(true)
+		a := NewAddConst(b1, 17, 1)
+		inc := a.Compute(b1, uint64(x), 0)
+		b2 := NewBuilder(true)
+		d := NewDecrement(b2, 18)
+		return d.Compute(b2, inc, 0) == uint64(x)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPipelinedWavesThroughOneMaxCircuit(t *testing.T) {
+	// The compiled k-hop machines stream arrival batches through shared
+	// combinational circuits; waves closer together than the circuit
+	// latency must not interfere (memoryless gates + exact delays).
+	b := NewBuilder(true)
+	m := NewMaxWiredOR(b, 3, 6)
+	const waves = 10
+	const gap = 2 // much tighter than Latency = 25
+	for w := int64(0); w < waves; w++ {
+		t0 := w * gap
+		b.ApplyNum(m.In[0], uint64(w), t0)
+		b.ApplyNum(m.In[1], uint64(w+11), t0)
+		b.ApplyNum(m.In[2], uint64(3), t0)
+		b.Net.InduceSpike(m.TrigIn, t0)
+	}
+	b.Net.Run(waves*gap + m.Latency + 2)
+	for w := int64(0); w < waves; w++ {
+		if got := b.ReadNum(m.Out, w*gap+m.Latency); got != uint64(w+11) {
+			t.Fatalf("wave %d: got %d, want %d", w, got, w+11)
+		}
+	}
+}
+
+func TestPipelinedWavesThroughAdder(t *testing.T) {
+	b := NewBuilder(true)
+	a := NewAdderCLA(b, 8)
+	for w := int64(0); w < 6; w++ {
+		b.ApplyNum(a.X, uint64(10*w), w)
+		b.ApplyNum(a.Y, uint64(w+1), w)
+	}
+	b.Net.Run(20)
+	for w := int64(0); w < 6; w++ {
+		if got := b.ReadNum(a.Out, w+a.Latency); got != uint64(10*w)+uint64(w+1) {
+			t.Fatalf("wave %d: got %d", w, got)
+		}
+	}
+}
+
+// --- Threshold matrix-vector circuit (§2.2's primitive) ---
+
+func TestMatVecCircuitSmall(t *testing.T) {
+	// A = [[0,1],[1,1]], x = (3, 5): y = (5, 8).
+	b := NewBuilder(true)
+	m := NewMatVec(b, [][]int{{1}, {0, 1}}, 4)
+	y := m.Compute(b, []uint64{3, 5}, 0)
+	if y[0] != 5 || y[1] != 8 {
+		t.Fatalf("y = %v, want [5 8]", y)
+	}
+}
+
+func TestMatVecCircuitZeroRow(t *testing.T) {
+	b := NewBuilder(true)
+	m := NewMatVec(b, [][]int{{}, {0}}, 4)
+	y := m.Compute(b, []uint64{9, 9}, 0)
+	if y[0] != 0 || y[1] != 9 {
+		t.Fatalf("y = %v, want [0 9]", y)
+	}
+}
+
+func TestMatVecCircuitWideFanIn(t *testing.T) {
+	// One row summing seven inputs through an unbalanced-tail tree.
+	b := NewBuilder(true)
+	cols := []int{0, 1, 2, 3, 4, 5, 6}
+	m := NewMatVec(b, [][]int{cols, {}, {}, {}, {}, {}, {}}, 5)
+	x := []uint64{1, 2, 3, 4, 5, 6, 7}
+	y := m.Compute(b, x, 0)
+	if y[0] != 28 {
+		t.Fatalf("sum = %d, want 28", y[0])
+	}
+}
+
+func TestMatVecCircuitRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 15; trial++ {
+		n := rng.Intn(6) + 2
+		lambda := rng.Intn(5) + 2
+		rows := make([][]int, n)
+		for i := range rows {
+			for j := 0; j < n; j++ {
+				if rng.Intn(2) == 1 {
+					rows[i] = append(rows[i], j)
+				}
+			}
+		}
+		x := make([]uint64, n)
+		for i := range x {
+			x[i] = rng.Uint64() & ((1 << uint(lambda)) - 1)
+		}
+		b := NewBuilder(true)
+		m := NewMatVec(b, rows, lambda)
+		y := m.Compute(b, x, 0)
+		for i, cols := range rows {
+			var want uint64
+			for _, j := range cols {
+				want += x[j]
+			}
+			if y[i] != want {
+				t.Fatalf("trial %d row %d: %d, want %d", trial, i, y[i], want)
+			}
+		}
+	}
+}
+
+func TestMatVecCircuitDepthIsLogarithmic(t *testing.T) {
+	latency := func(fanin int) int64 {
+		cols := make([]int, fanin)
+		for i := range cols {
+			cols[i] = i
+		}
+		rows := make([][]int, fanin)
+		rows[0] = cols
+		for i := 1; i < fanin; i++ {
+			rows[i] = nil
+		}
+		b := NewBuilder(false)
+		return NewMatVec(b, rows, 4).Latency
+	}
+	l4, l16, l64 := latency(4), latency(16), latency(64)
+	// Each 4x fan-in adds two tree levels (≈ +6 steps), not a 4x blowup.
+	if l16-l4 != l64-l16 {
+		t.Fatalf("latency growth not logarithmic: %d %d %d", l4, l16, l64)
+	}
+	if l64 > 40 {
+		t.Fatalf("latency %d too deep for fan-in 64", l64)
+	}
+}
+
+// --- Chained-parity (ripple) adder, the §4.1 construction ---
+
+func TestAdderRippleExhaustive(t *testing.T) {
+	for x := uint64(0); x < 16; x++ {
+		for y := uint64(0); y < 16; y++ {
+			b := NewBuilder(true)
+			a := NewAdderRipple(b, 4)
+			if got := a.Compute(b, x, y, 0); got != x+y {
+				t.Fatalf("ripple %d+%d = %d", x, y, got)
+			}
+		}
+	}
+}
+
+func TestAdderRippleSizeAndDepth(t *testing.T) {
+	b := NewBuilder(false)
+	a := NewAdderRipple(b, 16)
+	// Exactly 4 gates per position plus the carry-out relay.
+	if a.Neurons != 4*16+1 {
+		t.Fatalf("ripple neurons %d, want %d", a.Neurons, 4*16+1)
+	}
+	if a.Latency != 2*16+1 {
+		t.Fatalf("ripple latency %d, want %d", a.Latency, 2*16+1)
+	}
+	// The trade-off triangle: CLA is smallest but needs exponential
+	// weights; the ripple is unit-weight and smaller than the other
+	// unit-weight adder, at the price of O(λ) depth.
+	bs := NewBuilder(false)
+	sw := NewAdderSmallWeight(bs, 16)
+	if sw.Neurons <= a.Neurons {
+		t.Fatalf("small-weight %d should exceed ripple %d", sw.Neurons, a.Neurons)
+	}
+	if sw.Latency >= a.Latency {
+		t.Fatalf("ripple should be deeper: %d vs %d", a.Latency, sw.Latency)
+	}
+}
+
+func TestAllThreeAddersAgreeProperty(t *testing.T) {
+	f := func(x, y uint16) bool {
+		want := uint64(x) + uint64(y)
+		b1 := NewBuilder(true)
+		r := NewAdderRipple(b1, 16)
+		b2 := NewBuilder(true)
+		c := NewAdderCLA(b2, 16)
+		b3 := NewBuilder(true)
+		s := NewAdderSmallWeight(b3, 16)
+		return r.Compute(b1, uint64(x), uint64(y), 0) == want &&
+			c.Compute(b2, uint64(x), uint64(y), 0) == want &&
+			s.Compute(b3, uint64(x), uint64(y), 0) == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAdderRippleWide(t *testing.T) {
+	b := NewBuilder(true)
+	a := NewAdderRipple(b, 30)
+	if got := a.Compute(b, 123_456_789, 987_654_321, 0); got != 1_111_111_110 {
+		t.Fatalf("wide ripple = %d", got)
+	}
+}
+
+// --- Constant multiplier (shift-and-add, the integer-matrix upgrade) ---
+
+func TestMulConstExhaustive(t *testing.T) {
+	for c := uint64(0); c < 12; c++ {
+		for x := uint64(0); x < 16; x++ {
+			b := NewBuilder(true)
+			m := NewMulConst(b, 4, c)
+			if got := m.Compute(b, x, 0); got != c*x {
+				t.Fatalf("%d*%d = %d", c, x, got)
+			}
+		}
+	}
+}
+
+func TestMulConstPowersOfTwoAreWiring(t *testing.T) {
+	// Single-set-bit constants need only a relay layer, no adders.
+	b := NewBuilder(true)
+	m := NewMulConst(b, 6, 8)
+	if got := m.Compute(b, 37, 0); got != 296 {
+		t.Fatalf("8*37 = %d", got)
+	}
+	if m.OutAt != 1 {
+		t.Fatalf("power-of-two multiplier depth %d, want 1", m.OutAt)
+	}
+}
+
+func TestMulConstWide(t *testing.T) {
+	b := NewBuilder(true)
+	m := NewMulConst(b, 20, 1000003)
+	if got := m.Compute(b, 999_983, 0); got != 1000003*999_983 {
+		t.Fatalf("wide product = %d", got)
+	}
+}
+
+func TestMulConstRandomProperty(t *testing.T) {
+	f := func(xRaw uint16, cRaw uint8) bool {
+		x, c := uint64(xRaw), uint64(cRaw)
+		b := NewBuilder(true)
+		m := NewMulConst(b, 16, c)
+		return m.Compute(b, x, 0) == c*x
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMatVecWeightedSmall(t *testing.T) {
+	// A = [[2,3],[0,5]], x = (4, 6): y = (26, 30).
+	b := NewBuilder(true)
+	m := NewMatVecWeighted(b, [][]Entry{
+		{{Col: 0, Weight: 2}, {Col: 1, Weight: 3}},
+		{{Col: 1, Weight: 5}},
+	}, 4)
+	y := m.Compute(b, []uint64{4, 6}, 0)
+	if y[0] != 26 || y[1] != 30 {
+		t.Fatalf("y = %v, want [26 30]", y)
+	}
+}
+
+func TestMatVecWeightedZeroWeightAndRow(t *testing.T) {
+	b := NewBuilder(true)
+	m := NewMatVecWeighted(b, [][]Entry{
+		{{Col: 0, Weight: 0}},
+		{},
+		{{Col: 0, Weight: 1}},
+	}, 4)
+	y := m.Compute(b, []uint64{9, 1, 1}, 0)
+	if y[0] != 0 || y[1] != 0 || y[2] != 9 {
+		t.Fatalf("y = %v", y)
+	}
+}
+
+func TestMatVecWeightedRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 10; trial++ {
+		n := rng.Intn(5) + 2
+		lambda := rng.Intn(4) + 2
+		rows := make([][]Entry, n)
+		for i := range rows {
+			for j := 0; j < n; j++ {
+				if rng.Intn(2) == 1 {
+					rows[i] = append(rows[i], Entry{Col: j, Weight: uint64(rng.Intn(8))})
+				}
+			}
+		}
+		x := make([]uint64, n)
+		for i := range x {
+			x[i] = rng.Uint64() & ((1 << uint(lambda)) - 1)
+		}
+		b := NewBuilder(true)
+		m := NewMatVecWeighted(b, rows, lambda)
+		y := m.Compute(b, x, 0)
+		for i, row := range rows {
+			var want uint64
+			for _, e := range row {
+				want += e.Weight * x[e.Col]
+			}
+			if y[i] != want {
+				t.Fatalf("trial %d row %d: %d, want %d", trial, i, y[i], want)
+			}
+		}
+	}
+}

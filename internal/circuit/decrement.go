@@ -1,0 +1,68 @@
+package circuit
+
+import (
+	"fmt"
+
+	"repro/internal/snn"
+)
+
+// Decrement computes x-1 for a λ-bit input x >= 1, the subtract-one
+// circuit of the k-hop TTL algorithm (Section 4.1: "subtract 1 from a
+// ⌈log k⌉-bit number"). Subtracting one flips every bit up to and
+// including the lowest set bit, so the borrow into position j is 1 iff
+// bits 0..j-1 are all zero — a single threshold gate with a constant
+// input and inhibitory taps. The output bit is x_j XOR borrow_j, built
+// from an OR/AND pair. Depth 3, O(λ) neurons (with O(λ) fan-in), unit
+// weights.
+//
+// Input 0 wraps to 2^λ-1 (two's-complement behaviour); the TTL algorithm
+// never decrements 0 because nodes only rebroadcast when the TTL is >= 1.
+type Decrement struct {
+	X      Num
+	TrigIn int
+	Out    Num // λ bits, valid at t0+Latency
+	Stats
+}
+
+// NewDecrement builds the subtract-one circuit.
+func NewDecrement(b *Builder, lambda int) *Decrement {
+	if lambda < 1 {
+		panic(fmt.Sprintf("circuit: Decrement width %d < 1", lambda))
+	}
+	x := b.InputNum(lambda)
+	trig := b.Trigger()
+	s := b.snap()
+
+	out := Num{Bits: make([]int, lambda)}
+	for j := 0; j < lambda; j++ {
+		// borrow_j fires at t0+1 iff x_0..x_{j-1} are all 0 (always, for j=0).
+		borrow := b.Net.AddNeuron(snn.Gate(1))
+		b.Net.Connect(trig, borrow, 1, 1)
+		for i := 0; i < j; i++ {
+			b.Net.Connect(x.Bits[i], borrow, -1, 1)
+		}
+		// s_j = x_j XOR borrow_j: OR minus AND.
+		or := b.Net.AddNeuron(snn.Gate(1))
+		and := b.Net.AddNeuron(snn.Gate(2))
+		b.Net.Connect(x.Bits[j], or, 1, 2)
+		b.Net.Connect(borrow, or, 1, 1)
+		b.Net.Connect(x.Bits[j], and, 1, 2)
+		b.Net.Connect(borrow, and, 1, 1)
+		sj := b.Net.AddNeuron(snn.Gate(1))
+		b.Net.Connect(or, sj, 1, 1)
+		b.Net.Connect(and, sj, -1, 1)
+		out.Bits[j] = sj
+	}
+
+	d := &Decrement{X: x, TrigIn: trig, Out: out}
+	d.Stats = b.diff(s, 3)
+	return d
+}
+
+// Compute runs the circuit standalone on x presented at t0.
+func (d *Decrement) Compute(b *Builder, x uint64, t0 int64) uint64 {
+	b.ApplyNum(d.X, x, t0)
+	b.Net.InduceSpike(d.TrigIn, t0)
+	b.Net.Run(t0 + d.Latency + 1)
+	return b.ReadNum(d.Out, t0+d.Latency)
+}

@@ -1,0 +1,48 @@
+package circuit
+
+import (
+	"fmt"
+
+	"repro/internal/snn"
+)
+
+// DelayGadget simulates a synaptic delay of d >= 2 time steps using two
+// neurons, for architectures without native programmable delays
+// (Figure 1A of the paper). When the input fires at time t, Out fires at
+// exactly t+d — the same behaviour as a native delay-d synapse.
+//
+// The generator neuron A self-excites and fires every step starting one
+// step after the input; the counting neuron B (a no-leak integrator with
+// threshold d-1) fires upon its (d-1)-th arrival from A, then shuts A down
+// with an inhibitory link and latches itself off. The gadget is one-shot:
+// it simulates one spike's delay, which is how the paper uses it (one
+// gadget instance per synapse per traversal).
+type DelayGadget struct {
+	In  int // drive with one spike (induced or synaptic)
+	Out int // fires exactly d steps after In
+	Stats
+}
+
+// NewDelayGadget builds a delay-d gadget, d >= 2. (For d = 1 a native
+// synapse already has the minimum delay; no gadget is needed.)
+func NewDelayGadget(b *Builder, d int64) *DelayGadget {
+	if d < 2 {
+		panic(fmt.Sprintf("circuit: delay gadget needs d >= 2, got %d", d))
+	}
+	s := b.snap()
+	in := b.Net.AddNeuron(snn.Gate(1))
+	gen := b.Net.AddNeuron(snn.Gate(1))                    // neuron A
+	cnt := b.Net.AddNeuron(snn.Integrator(float64(d - 1))) // neuron B
+
+	b.Net.Connect(in, gen, 1, 1)   // input starts the generator at t+1
+	b.Net.Connect(gen, gen, 1, 1)  // feedback loop: fire every step
+	b.Net.Connect(gen, cnt, 1, 1)  // arrivals at t+2 .. t+d
+	b.Net.Connect(cnt, gen, -2, 1) // stop the generator once fired
+	// Latch the counter off: it receives exactly one further arrival from
+	// the generator's final spike; a strong self-inhibition absorbs it.
+	b.Net.Connect(cnt, cnt, -float64(d+2), 1)
+
+	g := &DelayGadget{In: in, Out: cnt}
+	g.Stats = b.diff(s, d)
+	return g
+}

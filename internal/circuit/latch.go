@@ -1,0 +1,47 @@
+package circuit
+
+import "repro/internal/snn"
+
+// Latch is the one-bit neuromorphic memory of Figure 1B. Neuron M
+// self-excites and therefore fires indefinitely once set; pulsing Recall
+// propagates M's value to Out (Out fires at recallTime+RecallLatency iff
+// the latch is set); pulsing Reset clears M with an inhibitory link.
+//
+// Latches are how the paper's graph algorithms "store information at graph
+// nodes" (Sections 2.2 and 4.3), e.g. remembering the predecessor ID that
+// delivered the first spike.
+type Latch struct {
+	Set    int // pulse to store a 1
+	Recall int // pulse to read; Out fires RecallLatency later iff set
+	Reset  int // pulse to clear
+	Out    int
+	M      int // the storage neuron itself (fires every step while set)
+	Stats
+}
+
+// RecallLatency is the number of steps between a Recall pulse and the
+// corresponding Out spike (when the latch holds 1).
+const RecallLatency = 2
+
+// NewLatch builds a memory latch.
+func NewLatch(b *Builder) *Latch {
+	s := b.snap()
+	set := b.Net.AddNeuron(snn.Gate(1))
+	recall := b.Net.AddNeuron(snn.Gate(1))
+	reset := b.Net.AddNeuron(snn.Gate(1))
+	m := b.Net.AddNeuron(snn.Gate(1))
+	c := b.Net.AddNeuron(snn.Gate(2)) // AND of M and Recall
+	out := b.Net.AddNeuron(snn.Gate(1))
+
+	b.Net.Connect(set, m, 1, 1)
+	b.Net.Connect(m, m, 1, 1) // the latching self-loop
+	b.Net.Connect(m, c, 1, 1)
+	b.Net.Connect(recall, c, 1, 1)
+	b.Net.Connect(c, out, 1, 1)
+	// Reset must overcome both the self-loop and a possibly concurrent Set.
+	b.Net.Connect(reset, m, -2, 1)
+
+	l := &Latch{Set: set, Recall: recall, Reset: reset, Out: out, M: m}
+	l.Stats = b.diff(s, RecallLatency)
+	return l
+}

@@ -1,0 +1,244 @@
+package circuit
+
+import (
+	"fmt"
+	"math/bits"
+
+	"repro/internal/snn"
+)
+
+// MatVec is a feed-forward threshold circuit computing y = A·x for a
+// hardwired 0/1 matrix A and a vector x of λ-bit numbers — the
+// matrix-vector primitive of the paper's Section 2.2 NGA example and a
+// small-scale cousin of the constant-depth threshold matrix-multiply
+// circuits of Parekh et al. that the introduction cites. Each output row
+// is a balanced tree of carry-lookahead adders (depth 2 per level), so
+// the whole circuit has depth O(log n) and O(n·nnz-ish·λ) neurons.
+//
+// Row outputs become valid at per-row times OutAt[i] (rows with smaller
+// fan-in finish earlier); rows with no selected entries output the zero
+// message (no spikes).
+type MatVec struct {
+	X     []Num // n input numbers, lambda bits each
+	Out   []Num // n outputs; width lambda + ceil(log2 fanin_i)
+	OutAt []int64
+	Stats
+}
+
+// NewMatVec builds the circuit for the n×n 0/1 matrix given as rows of
+// column indices (row[i] lists the j with A_ij = 1).
+func NewMatVec(b *Builder, rows [][]int, lambda int) *MatVec {
+	n := len(rows)
+	if n < 1 || lambda < 1 {
+		panic(fmt.Sprintf("circuit: MatVec needs rows and width, got %d/%d", n, lambda))
+	}
+	if lambda+bits.Len(uint(n)) > 61 {
+		panic("circuit: MatVec width overflow")
+	}
+	x := make([]Num, n)
+	for i := range x {
+		x[i] = b.InputNum(lambda)
+	}
+	s := b.snap()
+
+	type value struct {
+		num   Num
+		ready int64
+	}
+	var maxLat int64
+	out := make([]Num, n)
+	outAt := make([]int64, n)
+	for i, cols := range rows {
+		var vals []value
+		for _, j := range cols {
+			if j < 0 || j >= n {
+				panic(fmt.Sprintf("circuit: MatVec column %d outside [0,%d)", j, n))
+			}
+			vals = append(vals, value{num: x[j], ready: 0})
+		}
+		switch len(vals) {
+		case 0:
+			// Zero row: a silent output of width lambda.
+			out[i] = Num{Bits: b.Net.AddNeurons(lambda, snn.Gate(1))}
+			outAt[i] = 1
+			continue
+		case 1:
+			// Relay so the output is a distinct neuron set.
+			relay := Num{Bits: make([]int, lambda)}
+			for j := 0; j < lambda; j++ {
+				r := b.Net.AddNeuron(snn.Gate(1))
+				b.Net.Connect(vals[0].num.Bits[j], r, 1, 1)
+				relay.Bits[j] = r
+			}
+			out[i] = relay
+			outAt[i] = 1
+		default:
+			// Balanced adder tree.
+			for len(vals) > 1 {
+				var next []value
+				for p := 0; p+1 < len(vals); p += 2 {
+					next = append(next, b.addPair(vals[p], vals[p+1]))
+				}
+				if len(vals)%2 == 1 {
+					next = append(next, vals[len(vals)-1])
+				}
+				vals = next
+			}
+			out[i] = vals[0].num
+			outAt[i] = vals[0].ready
+		}
+		if outAt[i] > maxLat {
+			maxLat = outAt[i]
+		}
+	}
+
+	m := &MatVec{X: x, Out: out, OutAt: outAt}
+	m.Stats = b.diff(s, maxLat)
+	return m
+}
+
+// addPair joins two tree values with a carry-lookahead adder, aligning
+// their ready times with synaptic delays.
+func (b *Builder) addPair(p, q struct {
+	num   Num
+	ready int64
+}) struct {
+	num   Num
+	ready int64
+} {
+	w := p.num.Lambda()
+	if q.num.Lambda() > w {
+		w = q.num.Lambda()
+	}
+	a := NewAdderCLA(b, w)
+	inT := maxI64(p.ready, q.ready) + 1
+	wire := func(src Num, ready int64, dst Num) {
+		for j := 0; j < dst.Lambda(); j++ {
+			if j < src.Lambda() {
+				b.Net.Connect(src.Bits[j], dst.Bits[j], 1, inT-ready)
+			}
+		}
+	}
+	wire(p.num, p.ready, a.X)
+	wire(q.num, q.ready, a.Y)
+	return struct {
+		num   Num
+		ready int64
+	}{num: a.Out, ready: inT + a.Latency}
+}
+
+func maxI64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Compute runs the circuit standalone on vector x presented at t0 and
+// returns y = A·x. The builder must have record enabled.
+func (m *MatVec) Compute(b *Builder, x []uint64, t0 int64) []uint64 {
+	if len(x) != len(m.X) {
+		panic(fmt.Sprintf("circuit: %d values for %d inputs", len(x), len(m.X)))
+	}
+	for i, v := range x {
+		b.ApplyNum(m.X[i], v, t0)
+	}
+	var horizon int64
+	for _, at := range m.OutAt {
+		if at > horizon {
+			horizon = at
+		}
+	}
+	b.Net.Run(t0 + horizon + 2)
+	y := make([]uint64, len(m.Out))
+	for i := range m.Out {
+		y[i] = b.ReadNum(m.Out[i], t0+m.OutAt[i])
+	}
+	return y
+}
+
+// Entry is one nonzero of a weighted matrix row.
+type Entry struct {
+	Col    int
+	Weight uint64
+}
+
+// NewMatVecWeighted builds y = A·x for a hardwired nonnegative integer
+// matrix: each entry contributes MulConst(A_ij)·x_j and the products are
+// summed with the same adder trees as NewMatVec. This is the full §2.2
+// NGA edge computation ("each edge ij computes A_ij·m_i") in gates.
+func NewMatVecWeighted(b *Builder, rows [][]Entry, lambda int) *MatVec {
+	n := len(rows)
+	if n < 1 || lambda < 1 {
+		panic(fmt.Sprintf("circuit: MatVecWeighted needs rows and width, got %d/%d", n, lambda))
+	}
+	var maxW uint64 = 1
+	for _, row := range rows {
+		for _, e := range row {
+			if e.Weight > maxW {
+				maxW = e.Weight
+			}
+		}
+	}
+	if lambda+bits.Len64(maxW)+bits.Len(uint(n)) > 60 {
+		panic("circuit: MatVecWeighted width overflow")
+	}
+	x := make([]Num, n)
+	for i := range x {
+		x[i] = b.InputNum(lambda)
+	}
+	s := b.snap()
+
+	type value struct {
+		num   Num
+		ready int64
+	}
+	var maxLat int64
+	out := make([]Num, n)
+	outAt := make([]int64, n)
+	for i, row := range rows {
+		var vals []value
+		for _, e := range row {
+			if e.Col < 0 || e.Col >= n {
+				panic(fmt.Sprintf("circuit: MatVecWeighted column %d outside [0,%d)", e.Col, n))
+			}
+			if e.Weight == 0 {
+				continue
+			}
+			// Multiplier fed from the shared input relays.
+			mc := NewMulConst(b, lambda, e.Weight)
+			for j := 0; j < lambda; j++ {
+				b.Net.Connect(x[e.Col].Bits[j], mc.X.Bits[j], 1, 1)
+			}
+			vals = append(vals, value{num: mc.Out, ready: 1 + mc.OutAt})
+		}
+		switch len(vals) {
+		case 0:
+			out[i] = Num{Bits: b.Net.AddNeurons(lambda, snn.Gate(1))}
+			outAt[i] = 1
+			continue
+		case 1:
+			out[i] = vals[0].num
+			outAt[i] = vals[0].ready
+		default:
+			for len(vals) > 1 {
+				var next []value
+				for p := 0; p+1 < len(vals); p += 2 {
+					next = append(next, b.addPair(vals[p], vals[p+1]))
+				}
+				if len(vals)%2 == 1 {
+					next = append(next, vals[len(vals)-1])
+				}
+				vals = next
+			}
+			out[i] = vals[0].num
+			outAt[i] = vals[0].ready
+		}
+		if outAt[i] > maxLat {
+			maxLat = outAt[i]
+		}
+	}
+	m := &MatVec{X: x, Out: out, OutAt: outAt}
+	m.Stats = b.diff(s, maxLat)
+	return m
+}

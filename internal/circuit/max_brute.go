@@ -1,0 +1,178 @@
+package circuit
+
+import (
+	"fmt"
+
+	"repro/internal/snn"
+)
+
+// Comparator is the pairwise comparison gate of Figure 5A: a single
+// threshold neuron whose synapse weights are the binary place values
+// 2^0..2^{λ-1}, positive for x and negative for y, plus a constant from
+// the trigger (the "Eq" input). Out fires at t0+1 iff x >= y (or x > y
+// with strict=true, dropping the Eq input).
+type Comparator struct {
+	X, Y   Num
+	TrigIn int
+	Out    int
+	Stats
+}
+
+// NewComparator builds a λ-bit x-vs-y comparator.
+func NewComparator(b *Builder, lambda int, strict bool) *Comparator {
+	if lambda < 1 || lambda > 62 {
+		panic(fmt.Sprintf("circuit: comparator width %d outside [1,62]", lambda))
+	}
+	x := b.InputNum(lambda)
+	y := b.InputNum(lambda)
+	trig := b.Trigger()
+	s := b.snap()
+
+	g := b.Net.AddNeuron(snn.Gate(1))
+	for j := 0; j < lambda; j++ {
+		w := float64(int64(1) << uint(j))
+		b.Net.Connect(x.Bits[j], g, w, 1)
+		b.Net.Connect(y.Bits[j], g, -w, 1)
+	}
+	if !strict {
+		// x - y + 1 >= 1 iff x >= y.
+		b.Net.Connect(trig, g, 1, 1)
+	}
+
+	c := &Comparator{X: x, Y: y, TrigIn: trig, Out: g}
+	c.Stats = b.diff(s, 1)
+	return c
+}
+
+// Compute runs the comparator standalone and reports the comparison.
+func (c *Comparator) Compute(b *Builder, x, y uint64, t0 int64) bool {
+	b.ApplyNum(c.X, x, t0)
+	b.ApplyNum(c.Y, y, t0)
+	b.Net.InduceSpike(c.TrigIn, t0)
+	b.Net.Run(t0 + 2)
+	return b.Net.FiredAt(c.Out, t0+1)
+}
+
+// MaxBruteForce computes the maximum of d λ-bit numbers with O(d²) neurons
+// in constant depth — the circuit of Theorem 5.2 / Figure 5. Layer one
+// computes C_{xy} (x<y) with exponential weights; layer two computes
+// C_{yx} as its negation; layer three selects the input M_x winning all
+// d-1 comparisons (ties broken toward the smallest index); two further
+// layers extract the winning value onto Out, as in Theorem 5.1's filter.
+//
+// Winners fires the index of the maximum; Out carries its value.
+type MaxBruteForce struct {
+	In      []Num
+	TrigIn  int
+	Out     Num
+	Winners []int // M_x neurons; fire at t0+WinnerLatency
+	Stats
+}
+
+// WinnerLatency is the offset at which the Winners neurons fire.
+const WinnerLatency = 3
+
+// NewMaxBruteForce builds the brute-force max circuit. With minimize=true
+// the comparator weights are negated (as the paper notes after Theorem
+// 5.2), yielding the minimum instead.
+func NewMaxBruteForce(b *Builder, d, lambda int, minimize bool) *MaxBruteForce {
+	if d < 1 || lambda < 1 || lambda > 62 {
+		panic(fmt.Sprintf("circuit: MaxBruteForce(%d,%d) parameters out of range", d, lambda))
+	}
+	in := make([]Num, d)
+	for i := range in {
+		in[i] = b.InputNum(lambda)
+	}
+	trig := b.Trigger()
+	s := b.snap()
+
+	sign := 1.0
+	if minimize {
+		sign = -1.0
+	}
+
+	// comp[x][y] for x != y: neuron firing iff b_x beats-or-ties b_y
+	// (ties resolved toward the smaller index).
+	comp := make([][]int, d)
+	for x := range comp {
+		comp[x] = make([]int, d)
+	}
+	for x := 0; x < d; x++ {
+		for y := x + 1; y < d; y++ {
+			// Layer 1: C_{xy} fires at t0+1 iff b_x >= b_y (or <= when
+			// minimizing); the Eq constant makes ties favor index x.
+			cxy := b.Net.AddNeuron(snn.Gate(1))
+			for j := 0; j < lambda; j++ {
+				w := sign * float64(int64(1)<<uint(j))
+				b.Net.Connect(in[x].Bits[j], cxy, w, 1)
+				b.Net.Connect(in[y].Bits[j], cxy, -w, 1)
+			}
+			b.Net.Connect(trig, cxy, 1, 1) // Eq
+			comp[x][y] = cxy
+			// Layer 2: C_{yx} = NOT C_{xy}, firing at t0+2 (S constant).
+			comp[y][x] = b.not(cxy, trig, 1, 2)
+		}
+	}
+
+	// Layer 3: M_x fires at t0+3 iff x wins all d-1 comparisons.
+	winners := make([]int, d)
+	for x := 0; x < d; x++ {
+		var m int
+		if d == 1 {
+			// Sole input is trivially the winner; relay the trigger.
+			m = b.Net.AddNeuron(snn.Gate(1))
+			b.Net.Connect(trig, m, 1, WinnerLatency)
+		} else {
+			m = b.Net.AddNeuron(snn.Gate(float64(d - 1)))
+			for y := 0; y < d; y++ {
+				if y == x {
+					continue
+				}
+				if x < y {
+					b.Net.Connect(comp[x][y], m, 1, 2) // from t0+1
+				} else {
+					b.Net.Connect(comp[x][y], m, 1, 1) // from t0+2
+				}
+			}
+		}
+		winners[x] = m
+	}
+
+	// Filter and merge the winning value (as in Figure 3C/D).
+	out := Num{Bits: make([]int, lambda)}
+	for j := 0; j < lambda; j++ {
+		merge := b.Net.AddNeuron(snn.Gate(1))
+		for x := 0; x < d; x++ {
+			c := b.Net.AddNeuron(snn.Gate(2))
+			b.Net.Connect(winners[x], c, 1, 1)                  // arrives t0+4
+			b.Net.Connect(in[x].Bits[j], c, 1, WinnerLatency+1) // arrives t0+4
+			b.Net.Connect(c, merge, 1, 1)                       // fires t0+5
+		}
+		out.Bits[j] = merge
+	}
+
+	m := &MaxBruteForce{In: in, TrigIn: trig, Out: out, Winners: winners}
+	m.Stats = b.diff(s, WinnerLatency+2)
+	return m
+}
+
+// Compute runs the circuit standalone on values presented at t0 and
+// returns the extremum and the index of the winning input.
+func (m *MaxBruteForce) Compute(b *Builder, values []uint64, t0 int64) (value uint64, winner int) {
+	if len(values) != len(m.In) {
+		panic(fmt.Sprintf("circuit: %d values for %d inputs", len(values), len(m.In)))
+	}
+	for i, v := range values {
+		b.ApplyNum(m.In[i], v, t0)
+	}
+	b.Net.InduceSpike(m.TrigIn, t0)
+	b.Net.Run(t0 + m.Latency + 1)
+	winner = -1
+	for x, w := range m.Winners {
+		if b.Net.FiredAt(w, t0+WinnerLatency) {
+			winner = x
+			break
+		}
+	}
+	return b.ReadNum(m.Out, t0+m.Latency), winner
+}

@@ -1,0 +1,199 @@
+package circuit
+
+import (
+	"fmt"
+
+	"repro/internal/snn"
+)
+
+// MaxWiredOR computes the maximum of d λ-bit numbers with O(dλ) neurons in
+// O(λ) depth — the bit-by-bit circuit of Theorem 5.1 / Figure 3, inspired
+// by the Connection Machine's wired-or reduction.
+//
+// The circuit processes bits from most significant to least. At each bit
+// level, active numbers with a 0 where some active number has a 1 are
+// disqualified. After the last level, the surviving (maximum) numbers are
+// filtered through AND gates and merged with OR gates onto the output.
+//
+// Per level j (Figure 3B):
+//
+//	V_{i,j}  = a_{i,j+1} AND b_{i,j}        "guaranteed active"
+//	OR_j     = OR_i V_{i,j}
+//	I_{i,j}  = OR_j AND NOT V_{i,j}          "disqualify i"
+//	a_{i,j}  = a_{i,j+1} AND NOT I_{i,j}
+//
+// The top level (Figure 3A) hardwires a_{i,λ} = 1 via the Trigger neuron.
+// Each level costs 4 time steps; Latency = 4λ+1.
+type MaxWiredOR struct {
+	In      []Num // d input numbers
+	TrigIn  int   // pulse at input time t0
+	Out     Num   // valid at t0+Latency
+	Actives []int // a_{i,0}: fires iff input i attains the max (incl. ties)
+	Stats
+}
+
+// MaxActiveLatency is the offset from t0 at which the Actives neurons of a
+// λ-bit MaxWiredOR fire: t0 + 4λ - 1.
+func MaxActiveLatency(lambda int) int64 { return 4*int64(lambda) - 1 }
+
+// NewMaxWiredOR builds the circuit for d numbers of lambda bits each.
+func NewMaxWiredOR(b *Builder, d, lambda int) *MaxWiredOR {
+	if d < 1 || lambda < 1 {
+		panic(fmt.Sprintf("circuit: MaxWiredOR(%d,%d) needs positive parameters", d, lambda))
+	}
+	in := make([]Num, d)
+	for i := range in {
+		in[i] = b.InputNum(lambda)
+	}
+	trig := b.Trigger()
+	// Input relays and the trigger are not counted in the circuit size.
+	s := b.snap()
+
+	// active[i] holds the neuron id of a_{i,j} for the most recently
+	// processed level; actTime is the time (offset from t0) it fires.
+	active := make([]int, d)
+	var actTime int64
+
+	// Top level, bit λ-1 (Figure 3A): a_{i,λ-1} at t0+3.
+	{
+		j := lambda - 1
+		or := b.Net.AddNeuron(snn.Gate(1)) // OR over msbs
+		for i := 0; i < d; i++ {
+			b.Net.Connect(in[i].Bits[j], or, 1, 1)
+		}
+		for i := 0; i < d; i++ {
+			// I_{i,λ-1} fires iff OR=1 and b_{i,λ-1}=0.
+			inh := b.Net.AddNeuron(snn.Gate(1))
+			b.Net.Connect(or, inh, 1, 1)             // arrives t0+2
+			b.Net.Connect(in[i].Bits[j], inh, -1, 2) // arrives t0+2
+			// a_{i,λ-1} = trigger AND NOT I.
+			a := b.Net.AddNeuron(snn.Gate(1))
+			b.Net.Connect(trig, a, 1, 3) // arrives t0+3
+			b.Net.Connect(inh, a, -1, 1) // arrives t0+3
+			active[i] = a
+		}
+		actTime = 3
+	}
+
+	// Remaining levels, bits λ-2 down to 0 (Figure 3B): +4 steps each.
+	for j := lambda - 2; j >= 0; j-- {
+		vs := make([]int, d)
+		for i := 0; i < d; i++ {
+			v := b.Net.AddNeuron(snn.Gate(2))
+			b.Net.Connect(active[i], v, 1, 1)             // arrives actTime+1
+			b.Net.Connect(in[i].Bits[j], v, 1, actTime+1) // from t0
+			vs[i] = v
+		}
+		or := b.Net.AddNeuron(snn.Gate(1))
+		for i := 0; i < d; i++ {
+			b.Net.Connect(vs[i], or, 1, 1) // fires actTime+2
+		}
+		next := make([]int, d)
+		for i := 0; i < d; i++ {
+			inh := b.Net.AddNeuron(snn.Gate(1))
+			b.Net.Connect(or, inh, 1, 1)     // arrives actTime+3
+			b.Net.Connect(vs[i], inh, -1, 2) // arrives actTime+3
+			a := b.Net.AddNeuron(snn.Gate(1))
+			b.Net.Connect(active[i], a, 1, 4) // arrives actTime+4
+			b.Net.Connect(inh, a, -1, 1)      // arrives actTime+4
+			next[i] = a
+		}
+		active = next
+		actTime += 4
+	}
+
+	// Filter (Figure 3C) and merge (Figure 3D).
+	out := Num{Bits: make([]int, lambda)}
+	for j := 0; j < lambda; j++ {
+		merge := b.Net.AddNeuron(snn.Gate(1))
+		for i := 0; i < d; i++ {
+			c := b.Net.AddNeuron(snn.Gate(2))
+			b.Net.Connect(active[i], c, 1, 1)             // arrives actTime+1
+			b.Net.Connect(in[i].Bits[j], c, 1, actTime+1) // from t0
+			b.Net.Connect(c, merge, 1, 1)                 // fires actTime+2
+		}
+		out.Bits[j] = merge
+	}
+
+	m := &MaxWiredOR{In: in, TrigIn: trig, Out: out, Actives: active}
+	m.Stats = b.diff(s, actTime+2)
+	return m
+}
+
+// Compute is a convenience that runs the circuit standalone on the given
+// values (presented at time t0) and returns the maximum. The builder must
+// have record enabled and the circuit must not have been used before on
+// overlapping times.
+func (m *MaxWiredOR) Compute(b *Builder, values []uint64, t0 int64) uint64 {
+	if len(values) != len(m.In) {
+		panic(fmt.Sprintf("circuit: %d values for %d inputs", len(values), len(m.In)))
+	}
+	for i, v := range values {
+		b.ApplyNum(m.In[i], v, t0)
+	}
+	b.Net.InduceSpike(m.TrigIn, t0)
+	b.Net.Run(t0 + m.Latency + 1)
+	return b.ReadNum(m.Out, t0+m.Latency)
+}
+
+// MinWiredOR computes the minimum of d λ-bit numbers by negating the
+// input bits, taking the wired-or maximum, and negating the output — the
+// complement construction the paper describes after Theorem 5.1. It has
+// the same asymptotics: O(dλ) neurons, O(λ) depth.
+type MinWiredOR struct {
+	In     []Num
+	TrigIn int
+	Out    Num
+	Stats
+	inner *MaxWiredOR
+}
+
+// NewMinWiredOR builds the minimum circuit for d numbers of lambda bits.
+func NewMinWiredOR(b *Builder, d, lambda int) *MinWiredOR {
+	if d < 1 || lambda < 1 {
+		panic(fmt.Sprintf("circuit: MinWiredOR(%d,%d) needs positive parameters", d, lambda))
+	}
+	in := make([]Num, d)
+	for i := range in {
+		in[i] = b.InputNum(lambda)
+	}
+	trig := b.Trigger()
+	s := b.snap()
+
+	inner := NewMaxWiredOR(b, d, lambda)
+	// Negate each input bit into the inner circuit's input relays: the
+	// NOT gates fire at t0+1, so the inner circuit's effective input time
+	// is t0+1; feed its trigger from ours with delay 1.
+	for i := 0; i < d; i++ {
+		for j := 0; j < lambda; j++ {
+			ng := b.not(in[i].Bits[j], trig, 1, 1) // fires t0+1 iff bit=0
+			b.Net.Connect(ng, inner.In[i].Bits[j], 1, 1)
+		}
+	}
+	b.Net.Connect(trig, inner.TrigIn, 1, 2)
+
+	// Inner inputs fire at t0+2; inner outputs at t0+2+inner.Latency.
+	innerOutTime := 2 + inner.Latency
+	// Negate the output: out_j = trigger AND NOT innerOut_j.
+	out := Num{Bits: make([]int, lambda)}
+	for j := 0; j < lambda; j++ {
+		out.Bits[j] = b.not(inner.Out.Bits[j], trig, 1, innerOutTime+1)
+	}
+
+	m := &MinWiredOR{In: in, TrigIn: trig, Out: out, inner: inner}
+	m.Stats = b.diff(s, innerOutTime+1)
+	return m
+}
+
+// Compute runs the circuit standalone; see MaxWiredOR.Compute.
+func (m *MinWiredOR) Compute(b *Builder, values []uint64, t0 int64) uint64 {
+	if len(values) != len(m.In) {
+		panic(fmt.Sprintf("circuit: %d values for %d inputs", len(values), len(m.In)))
+	}
+	for i, v := range values {
+		b.ApplyNum(m.In[i], v, t0)
+	}
+	b.Net.InduceSpike(m.TrigIn, t0)
+	b.Net.Run(t0 + m.Latency + 1)
+	return b.ReadNum(m.Out, t0+m.Latency)
+}

@@ -1,0 +1,119 @@
+package circuit
+
+import (
+	"fmt"
+	"math/bits"
+
+	"repro/internal/snn"
+)
+
+// MulConst multiplies a λ-bit input by a hardwired nonnegative constant
+// using shift-and-add: each set bit of the constant contributes a shifted
+// copy of x (shifting is free — it is just wiring), and the copies are
+// summed by a tree of carry-lookahead adders. Size O(popcount(c)·λ'),
+// depth O(log popcount(c)); with c = A_ij this is the per-edge multiplier
+// that upgrades the Section 2.2 matrix-vector NGA from 0/1 to integer
+// matrices.
+type MulConst struct {
+	X   Num
+	C   uint64
+	Out Num // width lambda + bitlen(c)
+	// OutAt is the time offset at which Out is valid.
+	OutAt int64
+	Stats
+}
+
+// NewMulConst builds the multiplier. c = 0 yields a silent (zero) output.
+func NewMulConst(b *Builder, lambda int, c uint64) *MulConst {
+	if lambda < 1 {
+		panic(fmt.Sprintf("circuit: MulConst width %d < 1", lambda))
+	}
+	outW := lambda + bits.Len64(c)
+	if outW > 61 {
+		panic("circuit: MulConst width overflow")
+	}
+	x := b.InputNum(lambda)
+	s := b.snap()
+
+	if c == 0 {
+		out := Num{Bits: b.Net.AddNeurons(lambda, snn.Gate(1))}
+		m := &MulConst{X: x, C: c, Out: out, OutAt: 1}
+		m.Stats = b.diff(s, 1)
+		return m
+	}
+
+	// Shifted copies: value x << shift reuses x's neurons with the bit
+	// indices offset; represent as (num, lowZeros, ready).
+	type value struct {
+		num   Num
+		shift int
+		ready int64
+	}
+	var vals []value
+	for shift := 0; shift < 64; shift++ {
+		if c&(1<<uint(shift)) != 0 {
+			vals = append(vals, value{num: x, shift: shift, ready: 0})
+		}
+	}
+
+	for len(vals) > 1 {
+		var next []value
+		for p := 0; p+1 < len(vals); p += 2 {
+			a, bb := vals[p], vals[p+1]
+			// Adder width covers both shifted operands.
+			w := a.num.Lambda() + a.shift
+			if l := bb.num.Lambda() + bb.shift; l > w {
+				w = l
+			}
+			ad := NewAdderCLA(b, w)
+			inT := a.ready
+			if bb.ready > inT {
+				inT = bb.ready
+			}
+			inT++
+			wireShifted := func(v value, dst Num) {
+				for j := 0; j < v.num.Lambda(); j++ {
+					if j+v.shift < dst.Lambda() {
+						b.Net.Connect(v.num.Bits[j], dst.Bits[j+v.shift], 1, inT-v.ready)
+					}
+				}
+			}
+			wireShifted(a, ad.X)
+			wireShifted(bb, ad.Y)
+			next = append(next, value{num: ad.Out, shift: 0, ready: inT + ad.Latency})
+		}
+		if len(vals)%2 == 1 {
+			next = append(next, vals[len(vals)-1])
+		}
+		vals = next
+	}
+
+	final := vals[0]
+	var out Num
+	if final.shift == 0 && final.ready > 0 {
+		out = final.num
+	} else {
+		// Single-set-bit constant: relay the shifted input.
+		out = Num{Bits: make([]int, outW)}
+		for j := range out.Bits {
+			r := b.Net.AddNeuron(snn.Gate(1))
+			if j >= final.shift && j-final.shift < final.num.Lambda() {
+				b.Net.Connect(final.num.Bits[j-final.shift], r, 1, 1)
+			}
+			out.Bits[j] = r
+		}
+		final = value{num: out, ready: final.ready + 1}
+		out = final.num
+	}
+
+	m := &MulConst{X: x, C: c, Out: out, OutAt: final.ready}
+	m.Stats = b.diff(s, final.ready)
+	return m
+}
+
+// Compute runs the multiplier standalone on x presented at t0.
+func (m *MulConst) Compute(b *Builder, x uint64, t0 int64) uint64 {
+	b.ApplyNum(m.X, x, t0)
+	b.Net.Run(t0 + m.OutAt + 2)
+	return b.ReadNum(m.Out, t0+m.OutAt)
+}

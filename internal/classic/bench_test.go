@@ -1,0 +1,44 @@
+package classic
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func BenchmarkDijkstra(b *testing.B) {
+	for _, n := range []int{256, 1024, 4096} {
+		g := graph.RandomGnm(n, 4*n, graph.Uniform(16), int64(n), true)
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			var ops int64
+			for i := 0; i < b.N; i++ {
+				ops = Dijkstra(g, 0).Ops
+			}
+			b.ReportMetric(float64(ops), "heap-ops")
+		})
+	}
+}
+
+func BenchmarkBellmanFordKHop(b *testing.B) {
+	g := graph.RandomGnm(1024, 4096, graph.Uniform(16), 1, true)
+	for _, k := range []int{4, 16, 64} {
+		b.Run(fmt.Sprintf("k=%d", k), func(b *testing.B) {
+			var relax int64
+			for i := 0; i < b.N; i++ {
+				relax = BellmanFordKHop(g, 0, k, false).Relaxations
+			}
+			b.ReportMetric(float64(relax), "relaxations")
+		})
+	}
+}
+
+func BenchmarkKHopPath(b *testing.B) {
+	g := graph.RandomGnm(256, 1024, graph.Uniform(8), 2, true)
+	for i := 0; i < b.N; i++ {
+		if _, l := KHopPath(g, 0, 99, 8); l < 0 {
+			b.Fatal("impossible")
+		}
+	}
+}

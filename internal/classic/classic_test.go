@@ -1,0 +1,237 @@
+package classic
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/graph"
+)
+
+func diamond() *graph.Graph {
+	// 0 -> 1 -> 3 (len 1+1=2, 2 hops), 0 -> 2 -> 3 (len 5+1=6),
+	// 0 -> 3 direct (len 4, 1 hop).
+	g := graph.New(4)
+	g.AddEdge(0, 1, 1)
+	g.AddEdge(1, 3, 1)
+	g.AddEdge(0, 2, 5)
+	g.AddEdge(2, 3, 1)
+	g.AddEdge(0, 3, 4)
+	return g
+}
+
+func TestDijkstraDiamond(t *testing.T) {
+	r := Dijkstra(diamond(), 0)
+	want := []int64{0, 1, 5, 2}
+	for v, d := range want {
+		if r.Dist[v] != d {
+			t.Fatalf("dist[%d] = %d, want %d", v, r.Dist[v], d)
+		}
+	}
+	if got := r.Path(3); len(got) != 3 || got[0] != 0 || got[1] != 1 || got[2] != 3 {
+		t.Fatalf("path = %v", got)
+	}
+	if r.Hops[3] != 2 {
+		t.Fatalf("hops[3] = %d", r.Hops[3])
+	}
+}
+
+func TestDijkstraUnreachable(t *testing.T) {
+	g := graph.New(3)
+	g.AddEdge(0, 1, 2)
+	r := Dijkstra(g, 0)
+	if r.Dist[2] != graph.Inf {
+		t.Fatalf("unreachable dist %d", r.Dist[2])
+	}
+	if r.Path(2) != nil {
+		t.Fatalf("path to unreachable vertex")
+	}
+}
+
+func TestDijkstraSingleVertex(t *testing.T) {
+	r := Dijkstra(graph.New(1), 0)
+	if r.Dist[0] != 0 || len(r.Path(0)) != 1 {
+		t.Fatalf("trivial graph: %+v", r)
+	}
+}
+
+func TestDijkstraZeroLengthEdges(t *testing.T) {
+	g := graph.New(3)
+	g.AddEdge(0, 1, 0)
+	g.AddEdge(1, 2, 0)
+	r := Dijkstra(g, 0)
+	if r.Dist[2] != 0 {
+		t.Fatalf("zero-length chain dist %d", r.Dist[2])
+	}
+}
+
+func TestDijkstraParallelEdges(t *testing.T) {
+	g := graph.New(2)
+	g.AddEdge(0, 1, 9)
+	g.AddEdge(0, 1, 2)
+	if r := Dijkstra(g, 0); r.Dist[1] != 2 {
+		t.Fatalf("parallel edge dist %d", r.Dist[1])
+	}
+}
+
+func TestDijkstraCountsOps(t *testing.T) {
+	g := graph.RandomGnm(64, 256, graph.Uniform(10), 1, true)
+	r := Dijkstra(g, 0)
+	if r.Ops < int64(g.M()) {
+		t.Fatalf("ops %d below edge count %d", r.Ops, g.M())
+	}
+}
+
+func TestBellmanFordHopLimits(t *testing.T) {
+	g := diamond()
+	// k=1: only the direct edge reaches 3.
+	r1 := BellmanFordKHop(g, 0, 1, false)
+	if r1.Dist[3] != 4 {
+		t.Fatalf("k=1 dist %d, want 4", r1.Dist[3])
+	}
+	// k=2: the 2-hop path wins.
+	r2 := BellmanFordKHop(g, 0, 2, false)
+	if r2.Dist[3] != 2 {
+		t.Fatalf("k=2 dist %d, want 2", r2.Dist[3])
+	}
+	// k=0: only the source.
+	r0 := BellmanFordKHop(g, 0, 0, false)
+	if r0.Dist[0] != 0 || r0.Dist[3] != graph.Inf {
+		t.Fatalf("k=0 dists %v", r0.Dist)
+	}
+}
+
+func TestBellmanFordMonotoneInK(t *testing.T) {
+	g := graph.RandomGnm(40, 160, graph.Uniform(8), 3, true)
+	prev := BellmanFordKHop(g, 0, 0, false).Dist
+	for k := 1; k <= 8; k++ {
+		cur := BellmanFordKHop(g, 0, k, false).Dist
+		for v := range cur {
+			if cur[v] > prev[v] {
+				t.Fatalf("k=%d: dist[%d] increased %d -> %d", k, v, prev[v], cur[v])
+			}
+		}
+		prev = cur
+	}
+}
+
+func TestBellmanFordRelaxationCount(t *testing.T) {
+	g := graph.RandomGnm(30, 120, graph.Uniform(5), 2, true)
+	k := 7
+	r := BellmanFordKHop(g, 0, k, false)
+	if r.Relaxations != int64(k*g.M()) {
+		t.Fatalf("relaxations %d, want %d", r.Relaxations, k*g.M())
+	}
+	if r.Rounds != k {
+		t.Fatalf("rounds %d, want %d", r.Rounds, k)
+	}
+}
+
+func TestBellmanFordEarlyExit(t *testing.T) {
+	g := graph.Path(5, graph.Unit, 0)
+	r := BellmanFordKHop(g, 0, 100, true)
+	if r.Rounds > 5 {
+		t.Fatalf("early exit did not trigger: %d rounds", r.Rounds)
+	}
+	if r.Dist[4] != 4 {
+		t.Fatalf("dist %d", r.Dist[4])
+	}
+}
+
+func TestDijkstraVsBellmanFordProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := graph.RandomGnm(rng.Intn(30)+2, rng.Intn(120), graph.Uniform(int64(rng.Intn(15)+1)), seed, true)
+		d1 := Dijkstra(g, 0).Dist
+		d2 := SSSPViaBellmanFord(g, 0)
+		for v := range d1 {
+			if d1[v] != d2[v] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKHopPathDiamond(t *testing.T) {
+	g := diamond()
+	p, l := KHopPath(g, 0, 3, 1)
+	if l != 4 || len(p) != 2 {
+		t.Fatalf("k=1 path %v len %d", p, l)
+	}
+	p, l = KHopPath(g, 0, 3, 2)
+	if l != 2 || len(p) != 3 {
+		t.Fatalf("k=2 path %v len %d", p, l)
+	}
+	if _, err := g.PathLen(p); err != nil {
+		t.Fatalf("path invalid: %v", err)
+	}
+}
+
+func TestKHopPathUnreachable(t *testing.T) {
+	g := graph.New(3)
+	g.AddEdge(0, 1, 1)
+	p, l := KHopPath(g, 0, 2, 5)
+	if p != nil || l != graph.Inf {
+		t.Fatalf("unreachable: %v %d", p, l)
+	}
+}
+
+func TestKHopPathSourceIsDest(t *testing.T) {
+	g := diamond()
+	p, l := KHopPath(g, 2, 2, 3)
+	if l != 0 || len(p) != 1 || p[0] != 2 {
+		t.Fatalf("self path %v len %d", p, l)
+	}
+}
+
+// Property: KHopPath's length matches BellmanFordKHop's distance, the path
+// is valid in the graph, respects the hop bound, and sums to the distance.
+func TestKHopPathProperty(t *testing.T) {
+	f := func(seed int64, kRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := graph.RandomGnm(rng.Intn(20)+2, rng.Intn(80), graph.Uniform(9), seed, true)
+		k := int(kRaw%10) + 1
+		dst := rng.Intn(g.N())
+		want := BellmanFordKHop(g, 0, k, false).Dist[dst]
+		p, l := KHopPath(g, 0, dst, k)
+		if l != want {
+			return false
+		}
+		if want >= graph.Inf {
+			return p == nil
+		}
+		if len(p)-1 > k {
+			return false
+		}
+		sum, err := g.PathLen(p)
+		return err == nil && sum <= l // parallel shorter edges may undercut
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPanics(t *testing.T) {
+	g := diamond()
+	for i, f := range []func(){
+		func() { Dijkstra(g, -1) },
+		func() { Dijkstra(g, 99) },
+		func() { BellmanFordKHop(g, 0, -1, false) },
+		func() { BellmanFordKHop(g, 9, 1, false) },
+		func() { KHopPath(g, 0, 9, 1) },
+		func() { KHopPath(g, 0, 1, -2) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d did not panic", i)
+				}
+			}()
+			f()
+		}()
+	}
+}

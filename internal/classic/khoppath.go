@@ -1,0 +1,76 @@
+package classic
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+)
+
+// KHopPath returns an optimal path from src to dst using at most k edges,
+// together with its length, or (nil, graph.Inf) if no such path exists.
+// It runs the layered dynamic program with per-round predecessors (memory
+// O(nk)), the reference for validating the neuromorphic path-construction
+// mechanism of Section 4.3.
+func KHopPath(g *graph.Graph, src, dst, k int) ([]int, int64) {
+	n := g.N()
+	if src < 0 || src >= n || dst < 0 || dst >= n {
+		panic(fmt.Sprintf("classic: endpoints (%d,%d) out of range [0,%d)", src, dst, n))
+	}
+	if k < 0 {
+		panic(fmt.Sprintf("classic: negative hop bound %d", k))
+	}
+	// dist[r][v] = shortest path of at most r hops; prev[r][v] = (u, r')
+	// meaning the path reaches v from u attained at round r'.
+	dist := make([][]int64, k+1)
+	prevV := make([][]int32, k+1)
+	dist[0] = make([]int64, n)
+	prevV[0] = make([]int32, n)
+	for v := 0; v < n; v++ {
+		dist[0][v] = graph.Inf
+		prevV[0][v] = -1
+	}
+	dist[0][src] = 0
+
+	edges := g.Edges()
+	for r := 1; r <= k; r++ {
+		dist[r] = make([]int64, n)
+		prevV[r] = make([]int32, n)
+		copy(dist[r], dist[r-1])
+		for v := 0; v < n; v++ {
+			prevV[r][v] = -1 // -1 = inherited from round r-1
+		}
+		for i := range edges {
+			e := &edges[i]
+			if dist[r-1][e.From] >= graph.Inf {
+				continue
+			}
+			if nd := dist[r-1][e.From] + e.Len; nd < dist[r][e.To] {
+				dist[r][e.To] = nd
+				prevV[r][e.To] = int32(e.From)
+			}
+		}
+	}
+
+	if dist[k][dst] >= graph.Inf {
+		return nil, graph.Inf
+	}
+	// Walk back: at round r, if prevV[r][v] == -1 the value was inherited
+	// from round r-1; otherwise step to the predecessor at round r-1.
+	var rev []int
+	v, r := dst, k
+	rev = append(rev, v)
+	for v != src || dist[r][v] != 0 {
+		if prevV[r][v] == -1 {
+			r--
+			continue
+		}
+		u := int(prevV[r][v])
+		rev = append(rev, u)
+		v = u
+		r--
+	}
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	return rev, dist[k][dst]
+}

@@ -1,0 +1,127 @@
+package congest
+
+import (
+	"math/bits"
+
+	"repro/internal/graph"
+)
+
+// bfsState is the per-node state of the BFS algorithm.
+type bfsState struct {
+	dist    int64
+	changed bool
+}
+
+// BFS computes hop distances from src in the CONGEST model: each node
+// broadcasts its distance the round after it improves. It finishes within
+// eccentricity+1 rounds; messages are ⌈log n⌉+1 bits.
+func BFS(g *graph.Graph, src int) ([]int64, *Result[int64]) {
+	b := bits.Len(uint(g.N())) + 1
+	if b < 2 {
+		b = 2
+	}
+	alg := &Algorithm[bfsState]{
+		G: g,
+		B: b,
+		Init: func(v int) bfsState {
+			if v == src {
+				return bfsState{dist: 0, changed: true}
+			}
+			return bfsState{dist: graph.Inf}
+		},
+		Round: func(_ int, v int, st bfsState, in []Incoming) (bfsState, []*Message) {
+			for _, m := range in {
+				if d := int64(m.Msg.Value) + 1; d < st.dist {
+					st.dist = d
+					st.changed = true
+				}
+			}
+			if !st.changed {
+				return st, nil
+			}
+			st.changed = false
+			out := make([]*Message, len(g.Out(v)))
+			msg := &Message{Value: uint64(st.dist), Bits: b}
+			for i := range out {
+				out[i] = msg
+			}
+			return st, out
+		},
+		StopWhenQuiet: true,
+	}
+	r := alg.Run(g.N() + 1)
+	dist := make([]int64, g.N())
+	final := &Result[int64]{
+		Rounds: r.Rounds, MessagesSent: r.MessagesSent,
+		TotalBits: r.TotalBits, MaxMessageBits: r.MaxMessageBits,
+	}
+	for v, st := range r.States {
+		dist[v] = st.dist
+	}
+	final.States = dist
+	return dist, final
+}
+
+// ssspState is the per-node state of the Bellman-Ford SSSP algorithm.
+type ssspState struct {
+	dist    int64
+	changed bool
+}
+
+// SSSP computes weighted shortest paths from src in CONGEST via the
+// distributed Bellman-Ford scheme (the classic O(n)-round algorithm, and
+// the skeleton that Nanongkai's Section 7 algorithm accelerates).
+// maxRounds bounds the rounds (pass k for hop-bounded distances, or
+// g.N() for exact SSSP); messages are ⌈log(nU)⌉+1 bits.
+func SSSP(g *graph.Graph, src, maxRounds int) ([]int64, *Result[int64]) {
+	b := bits.Len64(uint64(g.N())*uint64(maxInt64(g.MaxLen(), 1))) + 1
+	if b < 2 {
+		b = 2
+	}
+	alg := &Algorithm[ssspState]{
+		G: g,
+		B: b,
+		Init: func(v int) ssspState {
+			if v == src {
+				return ssspState{dist: 0, changed: true}
+			}
+			return ssspState{dist: graph.Inf}
+		},
+		Round: func(_ int, v int, st ssspState, in []Incoming) (ssspState, []*Message) {
+			for _, m := range in {
+				if d := int64(m.Msg.Value) + m.Len; d < st.dist {
+					st.dist = d
+					st.changed = true
+				}
+			}
+			if !st.changed {
+				return st, nil
+			}
+			st.changed = false
+			out := make([]*Message, len(g.Out(v)))
+			msg := &Message{Value: uint64(st.dist), Bits: b}
+			for i := range out {
+				out[i] = msg
+			}
+			return st, out
+		},
+		StopWhenQuiet: true,
+	}
+	r := alg.Run(maxRounds + 1)
+	dist := make([]int64, g.N())
+	for v, st := range r.States {
+		dist[v] = st.dist
+	}
+	final := &Result[int64]{
+		States: dist, Rounds: r.Rounds, MessagesSent: r.MessagesSent,
+		TotalBits: r.TotalBits, MaxMessageBits: r.MaxMessageBits,
+	}
+	return dist, final
+}
+
+func maxInt64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,47 @@
+package congest
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/snn"
+)
+
+func BenchmarkCongestBFS(b *testing.B) {
+	for _, n := range []int{256, 1024} {
+		g := graph.RandomGnm(n, 4*n, graph.Unit, int64(n), true)
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if d, _ := BFS(g, 0); d[0] != 0 {
+					b.Fatal("bad root")
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkCongestWeightedSSSP(b *testing.B) {
+	g := graph.RandomGnm(512, 2048, graph.Uniform(16), 1, true)
+	for i := 0; i < b.N; i++ {
+		if d, _ := SSSP(g, 0, g.N()); d[0] != 0 {
+			b.Fatal("bad root")
+		}
+	}
+}
+
+func BenchmarkTranspileAndRun(b *testing.B) {
+	net := snn.NewNetwork(snn.Config{})
+	ids := net.AddNeurons(64, snn.Gate(1))
+	for i := 0; i+1 < len(ids); i++ {
+		net.Connect(ids[i], ids[i+1], 1, int64(i%5+1))
+	}
+	net.InduceSpike(ids[0], 0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := FromSNN(net, 256)
+		if r.Stats.MaxMessageBits > 1 {
+			b.Fatal("wide message")
+		}
+	}
+}

@@ -1,0 +1,122 @@
+// Package congest implements the CONGEST model of distributed computing
+// that Section 2.2 of the paper relates to neuromorphic graph algorithms:
+// a synchronous network of nodes exchanging B-bit messages (B = O(log n))
+// along graph edges, one message per edge per round.
+//
+// The package provides the round engine with bandwidth accounting and
+// validation, reference CONGEST algorithms (BFS and Bellman-Ford SSSP —
+// the building blocks of Nanongkai's algorithm that Section 7 adapts),
+// and a transpiler from spiking neural networks to CONGEST per the
+// paper's explicit mapping: "we may associate a CONGEST graph node with
+// each neuron and a round with each time step. Each message is simply a
+// single bit, indicating whether the neuron fired"; programmable delays
+// are simulated by paths of relay nodes, exactly the workaround the
+// paper discusses.
+package congest
+
+import (
+	"fmt"
+	"math/bits"
+
+	"repro/internal/graph"
+)
+
+// Message is a payload with an explicit bit-size for bandwidth
+// accounting. A nil *Message means silence on that edge.
+type Message struct {
+	Value uint64
+	// Bits is the bandwidth charge; it must cover the payload
+	// (Bits >= bit length of Value) and stay within the algorithm's B.
+	Bits int
+}
+
+// Incoming pairs a received message with its arrival edge.
+type Incoming struct {
+	From int
+	Len  int64 // edge length (local knowledge at the receiver)
+	Msg  Message
+}
+
+// Algorithm is a CONGEST algorithm over node states S.
+type Algorithm[S any] struct {
+	G *graph.Graph
+	// B is the per-edge-per-round bandwidth in bits (CONGEST's O(log n)).
+	B int
+	// Init returns node v's starting state.
+	Init func(v int) S
+	// Round computes node v's next state and its outgoing messages given
+	// the messages received this round (sent in the previous round).
+	// out[i] rides edge G.Out(v)[i]; nil entries are silence. Returning
+	// a short slice leaves the remaining edges silent.
+	Round func(round int, v int, st S, in []Incoming) (S, []*Message)
+	// Quiet, if non-nil, lets the runner stop early: the algorithm is
+	// done when a round exchanges no messages.
+	StopWhenQuiet bool
+}
+
+// Result reports the run.
+type Result[S any] struct {
+	States []S
+	Rounds int
+	// MessagesSent counts non-silent edge messages; TotalBits sums their
+	// sizes; MaxMessageBits is the largest single message.
+	MessagesSent   int64
+	TotalBits      int64
+	MaxMessageBits int
+}
+
+// Run executes up to maxRounds rounds.
+func (a *Algorithm[S]) Run(maxRounds int) *Result[S] {
+	n := a.G.N()
+	if a.B < 1 {
+		panic(fmt.Sprintf("congest: bandwidth %d < 1", a.B))
+	}
+	if maxRounds < 0 {
+		panic("congest: negative round budget")
+	}
+	states := make([]S, n)
+	for v := 0; v < n; v++ {
+		states[v] = a.Init(v)
+	}
+	inbox := make([][]Incoming, n)
+	res := &Result[S]{}
+
+	for round := 1; round <= maxRounds; round++ {
+		nextInbox := make([][]Incoming, n)
+		sent := false
+		for v := 0; v < n; v++ {
+			st, out := a.Round(round, v, states[v], inbox[v])
+			states[v] = st
+			outEdges := a.G.Out(v)
+			if len(out) > len(outEdges) {
+				panic(fmt.Sprintf("congest: node %d sent %d messages on %d edges", v, len(out), len(outEdges)))
+			}
+			for i, msg := range out {
+				if msg == nil {
+					continue
+				}
+				if msg.Bits < bits.Len64(msg.Value) {
+					panic(fmt.Sprintf("congest: node %d message %d bits under payload size", v, msg.Bits))
+				}
+				if msg.Bits > a.B {
+					panic(fmt.Sprintf("congest: node %d message of %d bits exceeds B=%d", v, msg.Bits, a.B))
+				}
+				e := a.G.Edge(int(outEdges[i]))
+				nextInbox[e.To] = append(nextInbox[e.To], Incoming{From: v, Len: e.Len, Msg: *msg})
+				res.MessagesSent++
+				res.TotalBits += int64(msg.Bits)
+				if msg.Bits > res.MaxMessageBits {
+					res.MaxMessageBits = msg.Bits
+				}
+				sent = true
+			}
+		}
+		inbox = nextInbox
+		res.Rounds = round
+		if a.StopWhenQuiet && !sent {
+			break
+		}
+	}
+	res.States = states
+	return res
+}

@@ -1,0 +1,276 @@
+package congest
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/classic"
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/snn"
+)
+
+func TestBFSMatchesHopDist(t *testing.T) {
+	g := graph.RandomGnm(40, 160, graph.Uniform(9), 3, true)
+	dist, res := BFS(g, 0)
+	want := g.HopDist(0)
+	for v := range want {
+		if dist[v] != want[v] {
+			t.Fatalf("bfs[%d] = %d, want %d", v, dist[v], want[v])
+		}
+	}
+	if res.MaxMessageBits > res.Rounds*64 || res.MessagesSent == 0 {
+		t.Fatalf("weird accounting %+v", res)
+	}
+}
+
+func TestBFSBandwidthIsLogN(t *testing.T) {
+	g := graph.RandomGnm(100, 400, graph.Unit, 1, true)
+	_, res := BFS(g, 0)
+	if res.MaxMessageBits > 8 { // ceil(log2 100)+1 = 8
+		t.Fatalf("BFS message %d bits on 100 nodes", res.MaxMessageBits)
+	}
+}
+
+func TestSSSPMatchesDijkstra(t *testing.T) {
+	g := graph.RandomGnm(35, 140, graph.Uniform(7), 5, true)
+	dist, _ := SSSP(g, 0, g.N())
+	want := classic.Dijkstra(g, 0).Dist
+	for v := range want {
+		if dist[v] != want[v] {
+			t.Fatalf("sssp[%d] = %d, want %d", v, dist[v], want[v])
+		}
+	}
+}
+
+func TestSSSPHopBounded(t *testing.T) {
+	g := graph.New(5)
+	g.AddEdge(0, 1, 1)
+	g.AddEdge(1, 2, 1)
+	g.AddEdge(2, 3, 1)
+	g.AddEdge(0, 3, 9)
+	g.AddEdge(3, 4, 1)
+	for k := 1; k <= 4; k++ {
+		dist, _ := SSSP(g, 0, k)
+		want := classic.BellmanFordKHop(g, 0, k, false).Dist
+		for v := range want {
+			if dist[v] != want[v] {
+				t.Fatalf("k=%d dist[%d] = %d, want %d", k, v, dist[v], want[v])
+			}
+		}
+	}
+}
+
+func TestRunnerValidatesBandwidth(t *testing.T) {
+	g := graph.Ring(3, graph.Unit, 0)
+	alg := &Algorithm[int]{
+		G: g, B: 2,
+		Init: func(int) int { return 0 },
+		Round: func(_ int, v int, st int, _ []Incoming) (int, []*Message) {
+			return st, []*Message{{Value: 255, Bits: 8}} // oversize
+		},
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("oversized message accepted")
+		}
+	}()
+	alg.Run(2)
+}
+
+func TestRunnerValidatesPayloadSize(t *testing.T) {
+	g := graph.Ring(3, graph.Unit, 0)
+	alg := &Algorithm[int]{
+		G: g, B: 8,
+		Init: func(int) int { return 0 },
+		Round: func(_ int, v int, st int, _ []Incoming) (int, []*Message) {
+			return st, []*Message{{Value: 255, Bits: 2}} // understated
+		},
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("understated message size accepted")
+		}
+	}()
+	alg.Run(2)
+}
+
+func TestRunnerQuietStop(t *testing.T) {
+	g := graph.Path(4, graph.Unit, 0)
+	dist, res := BFS(g, 0)
+	if res.Rounds > 6 {
+		t.Fatalf("BFS on a 4-path took %d rounds", res.Rounds)
+	}
+	if dist[3] != 3 {
+		t.Fatalf("dist %v", dist)
+	}
+}
+
+// --- SNN -> CONGEST transpilation (the §2.2 mapping) ---
+
+func TestFromSNNSimpleChain(t *testing.T) {
+	net := snn.NewNetwork(snn.Config{Record: true})
+	a := net.AddNeuron(snn.Gate(1))
+	b := net.AddNeuron(snn.Gate(1))
+	c := net.AddNeuron(snn.Gate(1))
+	net.Connect(a, b, 1, 3) // becomes a 2-relay path
+	net.Connect(b, c, 1, 1)
+	net.InduceSpike(a, 0)
+
+	r := FromSNN(net, 10)
+	if r.Relays != 2 {
+		t.Fatalf("relays %d, want 2", r.Relays)
+	}
+	fired := func(t64 int64, id int) bool {
+		for _, v := range r.Raster[t64] {
+			if v == id {
+				return true
+			}
+		}
+		return false
+	}
+	if !fired(0, a) || !fired(3, b) || !fired(4, c) {
+		t.Fatalf("raster %v", r.Raster[:6])
+	}
+	if r.Stats.MaxMessageBits != 1 {
+		t.Fatalf("message width %d", r.Stats.MaxMessageBits)
+	}
+}
+
+func TestFromSNNParallelSynapses(t *testing.T) {
+	// Two parallel delay-1 synapses of weight 1 each must excite a
+	// threshold-2 gate (weights aggregate on the single CONGEST edge).
+	net := snn.NewNetwork(snn.Config{})
+	a := net.AddNeuron(snn.Gate(1))
+	b := net.AddNeuron(snn.Gate(2))
+	net.Connect(a, b, 1, 1)
+	net.Connect(a, b, 1, 1)
+	net.InduceSpike(a, 0)
+	r := FromSNN(net, 3)
+	found := false
+	for _, v := range r.Raster[1] {
+		if v == b {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("aggregated parallel weights lost: %v", r.Raster[:3])
+	}
+}
+
+// TestFromSNNMatchesDense is the cross-model equivalence check: the
+// CONGEST transpilation must reproduce the spike raster of the dense
+// reference engine on random LIF networks.
+func TestFromSNNMatchesDense(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nn := rng.Intn(8) + 2
+		build := func() *snn.Network {
+			r := rand.New(rand.NewSource(seed + 1000))
+			net := snn.NewNetwork(snn.Config{Record: true})
+			for i := 0; i < nn; i++ {
+				if r.Intn(2) == 0 {
+					net.AddNeuron(snn.Gate(float64(r.Intn(3) + 1)))
+				} else {
+					net.AddNeuron(snn.Integrator(float64(r.Intn(3) + 1)))
+				}
+			}
+			for s := 0; s < r.Intn(3*nn); s++ {
+				net.Connect(r.Intn(nn), r.Intn(nn), float64(r.Intn(5))-2, int64(r.Intn(4)+1))
+			}
+			for s := 0; s < r.Intn(4)+1; s++ {
+				net.InduceSpike(r.Intn(nn), int64(r.Intn(6)))
+			}
+			return net
+		}
+		horizon := int64(30)
+		want := build().DenseRun(horizon)
+		got := FromSNN(build(), horizon)
+		for tt := int64(0); tt <= horizon; tt++ {
+			w := map[int]bool{}
+			for _, v := range want[tt] {
+				w[v] = true
+			}
+			g := map[int]bool{}
+			for _, v := range got.Raster[tt] {
+				g[v] = true
+			}
+			if len(w) != len(g) {
+				return false
+			}
+			for v := range w {
+				if !g[v] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFromSNNDelayRelayCount(t *testing.T) {
+	// Total relays = sum over synapses of (delay-1).
+	net := snn.NewNetwork(snn.Config{})
+	a := net.AddNeuron(snn.Gate(1))
+	b := net.AddNeuron(snn.Gate(1))
+	net.Connect(a, b, 1, 5)
+	net.Connect(b, a, 1, 2)
+	net.Connect(a, a, 1, 1)
+	r := FromSNN(net, 1)
+	if r.Relays != 4+1 {
+		t.Fatalf("relays %d, want 5", r.Relays)
+	}
+	if r.Nodes != 2+5 {
+		t.Fatalf("nodes %d", r.Nodes)
+	}
+}
+
+// --- Nanongkai's approximation in its native CONGEST habitat (§7) ---
+
+func TestCongestApproxKHopBicriteria(t *testing.T) {
+	g := graph.RandomGnm(48, 200, graph.Uniform(12), 17, true)
+	k := 6
+	r := ApproxKHop(g, 0, k, 0)
+	distK := classic.BellmanFordKHop(g, 0, k, false).Dist
+	distH := classic.BellmanFordKHop(g, 0, r.HopSlack, false).Dist
+	for v := range distK {
+		if distK[v] >= graph.Inf {
+			continue
+		}
+		if r.Dist[v] < float64(distH[v])-1e-9 {
+			t.Fatalf("approx[%d] = %v below dist_h %d", v, r.Dist[v], distH[v])
+		}
+		if r.Dist[v] > (1+r.Epsilon)*float64(distK[v])+1e-9 {
+			t.Fatalf("approx[%d] = %v above (1+eps)·%d", v, r.Dist[v], distK[v])
+		}
+	}
+	if r.Rounds == 0 || r.MessagesSent == 0 || r.Scales < 2 {
+		t.Fatalf("accounting %+v", r)
+	}
+}
+
+func TestCongestAndSpikingApproxAgree(t *testing.T) {
+	// The CONGEST original and the spiking adaptation implement the same
+	// scheme (the spiking one computes unrestricted truncated distances,
+	// the CONGEST one hop-truncated; both certified estimates satisfy the
+	// same sandwich and the spiking estimates can only be lower).
+	g := graph.RandomGnm(32, 128, graph.Uniform(8), 23, true)
+	k := 5
+	cg := ApproxKHop(g, 0, k, 0)
+	sp := core.ApproxKHop(g, 0, k, 0)
+	if cg.Epsilon != sp.Epsilon || cg.HopSlack != sp.HopSlack {
+		t.Fatalf("parameterization differs: %v/%d vs %v/%d", cg.Epsilon, cg.HopSlack, sp.Epsilon, sp.HopSlack)
+	}
+	for v := 0; v < g.N(); v++ {
+		if cg.Dist[v] >= float64(graph.Inf) {
+			continue
+		}
+		if sp.Dist[v] > cg.Dist[v]+1e-9 {
+			t.Fatalf("spiking estimate %v above CONGEST %v at %d", sp.Dist[v], cg.Dist[v], v)
+		}
+	}
+}

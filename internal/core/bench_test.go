@@ -1,0 +1,82 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func BenchmarkSpikingSSSP(b *testing.B) {
+	for _, n := range []int{256, 1024, 4096} {
+		g := graph.RandomGnm(n, 4*n, graph.Uniform(16), int64(n), true)
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				r := SSSP(g, 0, -1)
+				if r.Stats.Spikes == 0 {
+					b.Fatal("no spikes")
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkKHopTTLMessageLevel(b *testing.B) {
+	g := graph.RandomGnm(1024, 4096, graph.Uniform(8), 1, true)
+	for _, k := range []int{4, 16, 64} {
+		b.Run(fmt.Sprintf("k=%d", k), func(b *testing.B) {
+			var bc int64
+			for i := 0; i < b.N; i++ {
+				bc = KHopTTL(g, 0, -1, k).Broadcasts
+			}
+			b.ReportMetric(float64(bc), "broadcasts")
+		})
+	}
+}
+
+func BenchmarkKHopPolyMessageLevel(b *testing.B) {
+	g := graph.RandomGnm(1024, 4096, graph.Uniform(8), 1, true)
+	for i := 0; i < b.N; i++ {
+		if KHopPoly(g, 0, 16).Rounds == 0 {
+			b.Fatal("no rounds")
+		}
+	}
+}
+
+func BenchmarkApproxKHopAlgorithm(b *testing.B) {
+	g := graph.RandomGnm(256, 1024, graph.Uniform(16), 3, true)
+	for i := 0; i < b.N; i++ {
+		r := ApproxKHop(g, 0, 8, 0)
+		if r.Scales == 0 {
+			b.Fatal("no scales")
+		}
+	}
+}
+
+func BenchmarkCompileTTLVariants(b *testing.B) {
+	g := graph.RandomGnm(10, 30, graph.Uniform(4), 5, true)
+	b.Run("wired-or", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			ct := CompileKHopTTL(g, 0, 4)
+			ct.Run()
+		}
+	})
+	b.Run("brute-force", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			ct := CompileKHopTTLFast(g, 0, 4)
+			ct.Run()
+		}
+	})
+}
+
+func BenchmarkLatchSSSP(b *testing.B) {
+	g := graph.RandomGnm(256, 1024, graph.Uniform(40), 7, true)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r := SSSPWithLatches(g, 0)
+		if r.Neurons == 0 {
+			b.Fatal("no network")
+		}
+	}
+}

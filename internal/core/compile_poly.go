@@ -1,0 +1,217 @@
+package core
+
+import (
+	"fmt"
+	"math/bits"
+
+	"repro/internal/circuit"
+	"repro/internal/graph"
+	"repro/internal/snn"
+)
+
+// CompiledPoly is the polynomial-time k-hop algorithm of Section 4.2
+// compiled down to threshold gates and executed as one spiking network:
+//
+//   - every graph edge carries an AddConst circuit that adds its length
+//     to the λ-bit path-length message in transit (λ = ⌈log₂(kU)⌉), and
+//   - every graph node carries a valid-gated wired-or minimum circuit
+//     over its in-degree that folds the simultaneously arriving messages
+//     into one.
+//
+// All edges share the same per-hop latency x (the paper's uniform synapse
+// delay Θ(log nU)); messages therefore move in synchronized rounds, and a
+// node's minimum output at round r is exactly the shortest length over
+// walks with r edges. A per-message valid spike line distinguishes the
+// value 0 / absent-message cases and gates the min circuit so absent
+// inputs cannot contaminate the minimum.
+type CompiledPoly struct {
+	Net *snn.Network
+	// Lambda is the message width ⌈log₂(kU)⌉.
+	Lambda int
+	// RoundTime is the uniform per-hop latency x = 4λ+8: edge delay,
+	// adder depth, receiver relay, and the node min circuit.
+	RoundTime int64
+	// K is the hop bound (also the number of synchronized rounds).
+	K int
+
+	b       *circuit.Builder
+	g       *graph.Graph
+	src     int
+	outBits []circuit.Num // per node: min-circuit output value
+	outVal  []int         // per node: output valid neuron (-1 if indeg 0)
+}
+
+// CompileKHopPoly builds the gate-level network. Edge lengths must be
+// >= 1 and k >= 1. The construction uses O(m·λ) neurons (per-edge adders
+// plus per-node min circuits), matching Theorem 4.3's loading bound.
+func CompileKHopPoly(g *graph.Graph, src, k int) *CompiledPoly {
+	n := g.N()
+	if src < 0 || src >= n {
+		panic(fmt.Sprintf("core: source %d out of range [0,%d)", src, n))
+	}
+	if k < 1 {
+		panic(fmt.Sprintf("core: hop bound %d < 1", k))
+	}
+	if g.M() > 0 && g.MinLen() < 1 {
+		panic("core: CompileKHopPoly requires edge lengths >= 1")
+	}
+
+	u := uint64(maxInt64(g.MaxLen(), 1))
+	lambda := bits.Len64(uint64(k) * u)
+	if lambda < 1 {
+		lambda = 1
+	}
+	if lambda > 60 {
+		panic("core: message width too large")
+	}
+
+	b := circuit.NewBuilder(true)
+	maxLat := int64(4*lambda + 1)
+	cNode := maxLat + 3 // negate(1) + relay(1) + max + final negate(1)
+	const dEdge = 1     // uniform edge delay before each adder
+	// Per-hop latency: edge delay + adder depth (2) + receiver relay (1)
+	// + node circuit.
+	x := cNode + dEdge + 3
+
+	cp := &CompiledPoly{
+		Net:       b.Net,
+		Lambda:    lambda,
+		RoundTime: x,
+		K:         k,
+		b:         b,
+		g:         g,
+		src:       src,
+		outBits:   make([]circuit.Num, n),
+		outVal:    make([]int, n),
+	}
+
+	// Per-node min circuits. Input interface per in-edge slot: λ bit
+	// relays plus one valid relay, all firing at the node input time T.
+	type nodeIO struct {
+		inBits  []circuit.Num // per slot
+		inValid []int         // per slot
+	}
+	nodes := make([]*nodeIO, n)
+	for v := 0; v < n; v++ {
+		indeg := g.InDeg(v)
+		cp.outVal[v] = -1
+		if indeg == 0 {
+			continue
+		}
+		io := &nodeIO{}
+		for s := 0; s < indeg; s++ {
+			io.inBits = append(io.inBits, b.InputNum(lambda))
+			io.inValid = append(io.inValid, b.Net.AddNeuron(snn.Gate(1)))
+		}
+		// Batch detect: OR of valid lines, fires T+1.
+		batch := b.Net.AddNeuron(snn.Gate(1))
+		for s := 0; s < indeg; s++ {
+			b.Net.Connect(io.inValid[s], batch, 1, 1)
+		}
+		// Valid-gated negation: nb fires at T+1 iff message s present and
+		// bit j = 0.
+		inner := circuit.NewMaxWiredOR(b, indeg, lambda)
+		for s := 0; s < indeg; s++ {
+			for j := 0; j < lambda; j++ {
+				nb := b.Net.AddNeuron(snn.Gate(1))
+				b.Net.Connect(io.inValid[s], nb, 1, 1)
+				b.Net.Connect(io.inBits[s].Bits[j], nb, -1, 1)
+				b.Net.Connect(nb, inner.In[s].Bits[j], 1, 1) // relay at T+2
+			}
+		}
+		b.Net.Connect(batch, inner.TrigIn, 1, 1) // trigger at T+2
+		// Inner max output at T+2+maxLat; final negation at T+3+maxLat.
+		outT := 2 + maxLat
+		out := circuit.Num{Bits: make([]int, lambda)}
+		for j := 0; j < lambda; j++ {
+			oj := b.Net.AddNeuron(snn.Gate(1))
+			b.Net.Connect(batch, oj, 1, outT)           // arrives T+3+maxLat
+			b.Net.Connect(inner.Out.Bits[j], oj, -1, 1) // arrives T+3+maxLat
+			out.Bits[j] = oj
+		}
+		val := b.Net.AddNeuron(snn.Gate(1))
+		b.Net.Connect(batch, val, 1, outT)
+		nodes[v] = io
+		cp.outBits[v] = out
+		cp.outVal[v] = val
+	}
+
+	// Source injection: value 0 (no bit spikes) plus a valid spike at t=0.
+	srcValid := b.Net.AddNeuron(snn.Gate(1))
+	srcBits := b.InputNum(lambda) // stays silent: the zero message
+	b.Net.InduceSpike(srcValid, 0)
+
+	// Edges: sender output -> AddConst(ℓ) -> receiver slot.
+	slot := make([]int, n)
+	for _, e := range g.Edges() {
+		var sBits circuit.Num
+		var sValid int
+		if e.From == src {
+			sBits, sValid = srcBits, srcValid
+		} else {
+			if cp.outVal[e.From] < 0 {
+				slot[e.To]++ // unreachable sender; slot stays silent
+				continue
+			}
+			sBits, sValid = cp.outBits[e.From], cp.outVal[e.From]
+		}
+		io := nodes[e.To]
+		s := slot[e.To]
+		slot[e.To]++
+		adder := circuit.NewAddConst(b, lambda, uint64(e.Len))
+		for j := 0; j < lambda; j++ {
+			b.Net.Connect(sBits.Bits[j], adder.X.Bits[j], 1, dEdge)
+		}
+		b.Net.Connect(sValid, adder.TrigIn, 1, dEdge)
+		// Adder output (low λ bits; the top bit cannot fire because all
+		// path lengths are < 2^λ by the width choice) plus valid.
+		for j := 0; j < lambda; j++ {
+			b.Net.Connect(adder.Out.Bits[j], io.inBits[s].Bits[j], 1, 1)
+		}
+		b.Net.Connect(sValid, io.inValid[s], 1, dEdge+2+1)
+	}
+
+	return cp
+}
+
+// arrivalTime returns the node-input time of round r messages: source
+// output at 0, plus r hops of x each, minus the node-circuit tail of the
+// final hop (inputs land dEdge+2+1 = x - cNode + 1 ... computed directly).
+func (cp *CompiledPoly) arrivalTime(r int) int64 {
+	// Round-1 inputs arrive at dEdge + 2 + 1 = 4; each further round adds x.
+	return 4 + int64(r-1)*cp.RoundTime
+}
+
+// Run executes the compiled network for k rounds and returns dist_k(v)
+// for every vertex plus simulator statistics. Distances are decoded as
+// the minimum over rounds of each node's min-circuit output (present only
+// when the output valid neuron fired for that round).
+func (cp *CompiledPoly) Run() ([]int64, snn.Stats) {
+	n := cp.g.N()
+	lastOut := cp.arrivalTime(cp.K) + (cp.RoundTime - 4) // out time of final round
+	r := cp.Net.Run(lastOut + 2)
+
+	dist := make([]int64, n)
+	for v := range dist {
+		dist[v] = graph.Inf
+	}
+	dist[cp.src] = 0
+	for v := 0; v < n; v++ {
+		if cp.outVal[v] < 0 {
+			continue
+		}
+		// Output of round r fires at arrivalTime(r) + cNode, where cNode
+		// = x - dEdge - 3 = RoundTime - 4.
+		for round := 1; round <= cp.K; round++ {
+			outT := cp.arrivalTime(round) + cp.RoundTime - 4
+			if !cp.Net.FiredAt(cp.outVal[v], outT) {
+				continue
+			}
+			val := int64(cp.b.ReadNum(cp.outBits[v], outT))
+			if val < dist[v] {
+				dist[v] = val
+			}
+		}
+	}
+	return dist, r.Stats
+}

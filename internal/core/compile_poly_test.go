@@ -1,0 +1,173 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/classic"
+	"repro/internal/graph"
+)
+
+func TestCompiledPolyDiamond(t *testing.T) {
+	g := diamond()
+	for k := 1; k <= 3; k++ {
+		cp := CompileKHopPoly(g, 0, k)
+		dist, _ := cp.Run()
+		want := classic.BellmanFordKHop(g, 0, k, false).Dist
+		for v := range want {
+			if dist[v] != want[v] {
+				t.Fatalf("k=%d dist[%d] = %d, want %d", k, v, dist[v], want[v])
+			}
+		}
+	}
+}
+
+func TestCompiledPolyHopBound(t *testing.T) {
+	g := graph.New(5)
+	g.AddEdge(0, 1, 1)
+	g.AddEdge(1, 2, 1)
+	g.AddEdge(2, 3, 1)
+	g.AddEdge(0, 3, 9)
+	g.AddEdge(3, 4, 1)
+	for k := 1; k <= 4; k++ {
+		cp := CompileKHopPoly(g, 0, k)
+		dist, _ := cp.Run()
+		want := classic.BellmanFordKHop(g, 0, k, false).Dist
+		for v := range want {
+			if dist[v] != want[v] {
+				t.Fatalf("k=%d dist[%d] = %d, want %d", k, v, dist[v], want[v])
+			}
+		}
+	}
+}
+
+func TestCompiledPolyZeroMessageValue(t *testing.T) {
+	// The source's round-1 message has value 0 (no bit spikes): the valid
+	// line alone must carry it through the adder and min circuit.
+	g := graph.New(3)
+	g.AddEdge(0, 1, 3)
+	g.AddEdge(1, 2, 4)
+	cp := CompileKHopPoly(g, 0, 2)
+	dist, _ := cp.Run()
+	if dist[1] != 3 || dist[2] != 7 {
+		t.Fatalf("dist = %v, want [0 3 7]", dist)
+	}
+}
+
+func TestCompiledPolyAllOnesValue(t *testing.T) {
+	// A message equal to 2^λ-1 negates to all-zeros inside the min
+	// circuit; absent inputs must not beat it.
+	g := graph.New(2)
+	g.AddEdge(0, 1, 7) // k=1, U=7: lambda = 3, value 7 = 111b
+	cp := CompileKHopPoly(g, 0, 1)
+	if cp.Lambda != 3 {
+		t.Fatalf("lambda %d", cp.Lambda)
+	}
+	dist, _ := cp.Run()
+	if dist[1] != 7 {
+		t.Fatalf("dist[1] = %d, want 7", dist[1])
+	}
+}
+
+func TestCompiledPolyTiedArrivals(t *testing.T) {
+	// Two parallel routes delivering simultaneously: the min circuit must
+	// fold them.
+	g := graph.New(4)
+	g.AddEdge(0, 1, 2)
+	g.AddEdge(0, 2, 2)
+	g.AddEdge(1, 3, 5)
+	g.AddEdge(2, 3, 3)
+	cp := CompileKHopPoly(g, 0, 2)
+	dist, _ := cp.Run()
+	if dist[3] != 5 {
+		t.Fatalf("dist[3] = %d, want 5", dist[3])
+	}
+}
+
+func TestCompiledPolyRandomSmall(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 10; trial++ {
+		n := rng.Intn(7) + 3
+		g := graph.RandomGnm(n, rng.Intn(3*n), graph.Uniform(5), int64(trial+100), true)
+		k := rng.Intn(4) + 1
+		cp := CompileKHopPoly(g, 0, k)
+		dist, _ := cp.Run()
+		want := classic.BellmanFordKHop(g, 0, k, false).Dist
+		for v := range want {
+			if dist[v] != want[v] {
+				t.Fatalf("trial %d (n=%d m=%d k=%d): dist[%d] = %d, want %d",
+					trial, n, g.M(), k, v, dist[v], want[v])
+			}
+		}
+	}
+}
+
+func TestCompiledPolyAgreesWithCompiledTTL(t *testing.T) {
+	// The two gate-level machines implement the same problem with
+	// different encodings; they must agree.
+	g := graph.RandomGnm(7, 18, graph.Uniform(4), 77, true)
+	for k := 1; k <= 3; k++ {
+		pd, _ := CompileKHopPoly(g, 0, k).Run()
+		td, _ := CompileKHopTTL(g, 0, k).Run()
+		for v := range pd {
+			if pd[v] != td[v] {
+				t.Fatalf("k=%d: poly %d vs ttl %d at vertex %d", k, pd[v], td[v], v)
+			}
+		}
+	}
+}
+
+func TestCompiledPolyValidation(t *testing.T) {
+	g := diamond()
+	for i, f := range []func(){
+		func() { CompileKHopPoly(g, -1, 2) },
+		func() { CompileKHopPoly(g, 0, 0) },
+		func() {
+			z := graph.New(2)
+			z.AddEdge(0, 1, 0)
+			CompileKHopPoly(z, 0, 1)
+		},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d did not panic", i)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestCompiledTTLFastVariant(t *testing.T) {
+	// The "time is most important" variant (constant-depth brute-force
+	// max circuits) must compute the same distances with a smaller
+	// per-node latency and scale factor.
+	g := graph.RandomGnm(8, 24, graph.Uniform(4), 55, true)
+	for k := 1; k <= 4; k++ {
+		slow := CompileKHopTTL(g, 0, k)
+		fast := CompileKHopTTLFast(g, 0, k)
+		if k >= 3 && fast.NodeLatency >= slow.NodeLatency {
+			t.Fatalf("k=%d: fast latency %d not below %d", k, fast.NodeLatency, slow.NodeLatency)
+		}
+		sd, _ := slow.Run()
+		fd, _ := fast.Run()
+		want := classic.BellmanFordKHop(g, 0, k, false).Dist
+		for v := range want {
+			if sd[v] != want[v] || fd[v] != want[v] {
+				t.Fatalf("k=%d v=%d: slow %d fast %d want %d", k, v, sd[v], fd[v], want[v])
+			}
+		}
+	}
+}
+
+func TestCompiledTTLFastUsesMoreNeuronsOnDenseNodes(t *testing.T) {
+	// Quadratic-in-degree node circuits: on a dense graph the fast
+	// variant spends more neurons (the Δ² term of Section 4.1).
+	g := graph.Complete(10, graph.Uniform(3), 1)
+	slow := CompileKHopTTL(g, 0, 7)
+	fast := CompileKHopTTLFast(g, 0, 7)
+	if fast.Net.N() <= slow.Net.N() {
+		t.Fatalf("fast %d neurons not above slow %d on K_10", fast.Net.N(), slow.Net.N())
+	}
+}

@@ -1,0 +1,213 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/circuit"
+	"repro/internal/graph"
+	"repro/internal/snn"
+)
+
+// CompiledTTL is the k-hop TTL algorithm of Section 4.1 compiled all the
+// way down to threshold gates: every graph node owns a wired-or max
+// circuit over its in-degree (Theorem 5.1), a decrement circuit, and a
+// forward gate; every graph edge becomes a bundle of λ+1 delayed synapses
+// (λ TTL bits plus one always-spiking valid line, so that a TTL of zero —
+// the all-zeros message — is still a detectable arrival).
+//
+// Timing is the paper's scaling construction: each node's circuits add a
+// fixed latency C, so edge delays are programmed as x·ℓ(e) − C with the
+// scale x chosen so that every delay is >= 1 (this is why Section 4.1
+// "scales all graph edges so the minimum edge length is at least
+// ⌈log k⌉"). First spike arrivals then land at exactly x·dist_k(v).
+type CompiledTTL struct {
+	Net *snn.Network
+	// Scale is the time scale x: arrival time at v is Scale·dist_k(v).
+	Scale int64
+	// NodeLatency is C, the per-node circuit depth (4λ+6).
+	NodeLatency int64
+	Lambda      int
+	// arrive[v] is the neuron whose first spike marks v's first message
+	// arrival (the max circuit's trigger); -1 for in-degree-0 nodes.
+	arrive []int
+	src    int
+	g      *graph.Graph
+	k      int
+}
+
+// CompileKHopTTL builds the gate-level network for hop bound k on g
+// using the neuron-saving wired-or circuits (O(m·λ) neurons, per-hop
+// latency O(λ)) — Section 4.1's "if saving neurons is more important"
+// choice, and the one Theorem 4.2 charges. Edge lengths must be >= 1.
+// It is intended for validating the full vertical stack on small graphs
+// (the message-level KHopTTL scales further).
+func CompileKHopTTL(g *graph.Graph, src, k int) *CompiledTTL {
+	return compileTTL(g, src, k, false)
+}
+
+// CompileKHopTTLFast builds the same machine with the constant-depth
+// brute-force max circuits of Theorem 5.2 — Section 4.1's "if time is
+// most important" choice: per-hop latency O(1) at the price of O(indeg²)
+// neurons per node (the Δ² term of the O(m(Δ²+poly(n)))-neuron bound).
+func CompileKHopTTLFast(g *graph.Graph, src, k int) *CompiledTTL {
+	return compileTTL(g, src, k, true)
+}
+
+func compileTTL(g *graph.Graph, src, k int, fast bool) *CompiledTTL {
+	n := g.N()
+	if src < 0 || src >= n {
+		panic(fmt.Sprintf("core: source %d out of range [0,%d)", src, n))
+	}
+	if k < 1 {
+		panic(fmt.Sprintf("core: hop bound %d < 1", k))
+	}
+	if g.M() > 0 && g.MinLen() < 1 {
+		panic("core: CompileKHopTTL requires edge lengths >= 1")
+	}
+
+	lambda := TTLLambda(k)
+	b := circuit.NewBuilder(false)
+
+	maxLat := int64(4*lambda + 1) // circuit.MaxWiredOR latency
+	if fast {
+		maxLat = circuit.WinnerLatency + 2 // constant-depth brute force
+	}
+	c := maxLat + 5 // node latency: max, dec (+4), gate (+1)
+	minLen := g.MinLen()
+	if minLen < 1 {
+		minLen = 1
+	}
+	x := (c + 1 + minLen - 1) / minLen // ceil((C+1)/minLen)
+
+	ct := &CompiledTTL{
+		Net:         b.Net,
+		Scale:       x,
+		NodeLatency: c,
+		Lambda:      lambda,
+		arrive:      make([]int, n),
+		src:         src,
+		g:           g,
+		k:           k,
+	}
+
+	// Per-node circuits. inSlot[v] tracks the next unused max input.
+	type nodeCircuits struct {
+		in   []circuit.Num
+		trig int
+		dec  *circuit.Decrement
+		en   int   // enable: fires iff max >= 1
+		out  []int // gated forwarded bits g_j, firing at T_v + C
+	}
+	nodes := make([]*nodeCircuits, n)
+	inSlot := make([]int, n)
+	for v := 0; v < n; v++ {
+		indeg := g.InDeg(v)
+		if indeg == 0 {
+			ct.arrive[v] = -1
+			continue
+		}
+		nc := &nodeCircuits{}
+		var maxOut circuit.Num
+		if fast {
+			mx := circuit.NewMaxBruteForce(b, indeg, lambda, false)
+			nc.in, nc.trig, maxOut = mx.In, mx.TrigIn, mx.Out
+		} else {
+			mx := circuit.NewMaxWiredOR(b, indeg, lambda)
+			nc.in, nc.trig, maxOut = mx.In, mx.TrigIn, mx.Out
+		}
+		nc.dec = circuit.NewDecrement(b, lambda)
+		for j := 0; j < lambda; j++ {
+			b.Net.Connect(maxOut.Bits[j], nc.dec.X.Bits[j], 1, 1)
+		}
+		b.Net.Connect(nc.trig, nc.dec.TrigIn, 1, maxLat+1)
+		// Enable: OR over the max output bits, i.e. max >= 1.
+		nc.en = b.Net.AddNeuron(snn.Gate(1))
+		for j := 0; j < lambda; j++ {
+			b.Net.Connect(maxOut.Bits[j], nc.en, 1, 1)
+		}
+		// Gated output: g_j = dec.Out_j AND enable, firing at T+C.
+		nc.out = make([]int, lambda)
+		for j := 0; j < lambda; j++ {
+			gj := b.Net.AddNeuron(snn.Gate(2))
+			b.Net.Connect(nc.dec.Out.Bits[j], gj, 1, 1) // T+maxLat+4 -> T+C
+			b.Net.Connect(nc.en, gj, 1, 4)              // T+maxLat+1 -> T+C
+			nc.out[j] = gj
+		}
+		nodes[v] = nc
+		ct.arrive[v] = nc.trig
+	}
+
+	// Source injection: λ bit neurons plus a valid line, induced at t=0
+	// encoding TTL k-1 (its "output time" is 0, so its edges use the full
+	// delay x·ℓ).
+	srcBits := b.Net.AddNeurons(lambda, snn.Gate(1))
+	srcValid := b.Net.AddNeuron(snn.Gate(1))
+	ttl0 := uint64(k - 1)
+	for j := 0; j < lambda; j++ {
+		if ttl0&(1<<uint(j)) != 0 {
+			b.Net.InduceSpike(srcBits[j], 0)
+		}
+	}
+	b.Net.InduceSpike(srcValid, 0)
+
+	// Edges: sender's gated bits and (delayed) enable line feed the
+	// receiver's max input slot and trigger.
+	for _, e := range g.Edges() {
+		v := e.To
+		nc := nodes[v]
+		slot := inSlot[v]
+		inSlot[v]++
+		if e.From == src {
+			d := x * e.Len
+			for j := 0; j < lambda; j++ {
+				b.Net.Connect(srcBits[j], nc.in[slot].Bits[j], 1, d)
+			}
+			b.Net.Connect(srcValid, nc.trig, 1, d)
+			continue
+		}
+		u := nodes[e.From]
+		if u == nil {
+			continue // unreachable sender (in-degree 0, never fires)
+		}
+		d := x*e.Len - c
+		if d < 1 {
+			panic("core: compiled edge delay underflow")
+		}
+		for j := 0; j < lambda; j++ {
+			b.Net.Connect(u.out[j], nc.in[slot].Bits[j], 1, d)
+		}
+		// The enable fires 4 steps before the gated bits; pad its delay
+		// so the valid spike arrives with them.
+		b.Net.Connect(u.en, nc.trig, 1, d+4)
+	}
+
+	return ct
+}
+
+// Run executes the compiled network to quiescence and returns dist_k(v)
+// for every vertex, plus the raw simulator statistics.
+func (ct *CompiledTTL) Run() ([]int64, snn.Stats) {
+	horizon := ct.Scale*(int64(ct.g.N())*maxInt64(ct.g.MaxLen(), 1)+1) + ct.NodeLatency + 10
+	r := ct.Net.Run(horizon)
+	n := ct.g.N()
+	dist := make([]int64, n)
+	for v := 0; v < n; v++ {
+		switch {
+		case v == ct.src:
+			dist[v] = 0
+		case ct.arrive[v] < 0:
+			dist[v] = graph.Inf
+		default:
+			t := ct.Net.FirstSpike(ct.arrive[v])
+			if t < 0 {
+				dist[v] = graph.Inf
+			} else {
+				if t%ct.Scale != 0 {
+					panic(fmt.Sprintf("core: misaligned arrival %d (scale %d)", t, ct.Scale))
+				}
+				dist[v] = t / ct.Scale
+			}
+		}
+	}
+	return dist, r.Stats
+}

@@ -1,0 +1,34 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/graph"
+)
+
+// SSSPWithFaults runs the Section 3 spiking SSSP on hardware with dead
+// synapses: each graph edge's synapse is independently disabled with
+// probability dropProb (the fire-once self-loops, being local to a
+// neuron, are assumed intact). It returns the result together with the
+// surviving topology.
+//
+// The algorithm degrades soundly rather than silently corrupting: every
+// first-spike time is still the exact shortest-path distance *in the
+// surviving graph* (faults can only remove paths, never shorten them),
+// which the tests verify against Dijkstra on the survivor. This is the
+// failure-model counterpart of the paper's observation that the spiking
+// wavefront computes distances of whatever network physically exists.
+func SSSPWithFaults(g *graph.Graph, src int, dropProb float64, seed int64) (*SSSPResult, *graph.Graph) {
+	if dropProb < 0 || dropProb > 1 {
+		panic(fmt.Sprintf("core: drop probability %v outside [0,1]", dropProb))
+	}
+	rng := rand.New(rand.NewSource(seed))
+	survived := graph.New(g.N())
+	for _, e := range g.Edges() {
+		if rng.Float64() >= dropProb {
+			survived.AddEdge(e.From, e.To, e.Len)
+		}
+	}
+	return SSSP(survived, src, -1), survived
+}

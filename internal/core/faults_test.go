@@ -1,0 +1,74 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/classic"
+	"repro/internal/graph"
+)
+
+func TestFaultsZeroProbIsIdentity(t *testing.T) {
+	g := graph.RandomGnm(30, 120, graph.Uniform(6), 3, true)
+	faulty, survived := SSSPWithFaults(g, 0, 0, 1)
+	if survived.M() != g.M() {
+		t.Fatalf("edges dropped at p=0")
+	}
+	clean := SSSP(g, 0, -1)
+	for v := range clean.Dist {
+		if faulty.Dist[v] != clean.Dist[v] {
+			t.Fatalf("p=0 dist[%d] differs", v)
+		}
+	}
+}
+
+func TestFaultsFullProbIsolatesSource(t *testing.T) {
+	g := graph.RandomGnm(10, 40, graph.Uniform(4), 5, true)
+	r, survived := SSSPWithFaults(g, 0, 1, 2)
+	if survived.M() != 0 {
+		t.Fatalf("edges survived p=1")
+	}
+	for v := 1; v < g.N(); v++ {
+		if r.Dist[v] != graph.Inf {
+			t.Fatalf("vertex %d reachable with no synapses", v)
+		}
+	}
+	if r.Dist[0] != 0 {
+		t.Fatalf("source distance %d", r.Dist[0])
+	}
+}
+
+// Property: under random synapse faults, reported distances are exactly
+// the shortest distances of the surviving graph (soundness), and never
+// below the fault-free distances (monotone degradation).
+func TestFaultsSoundnessProperty(t *testing.T) {
+	f := func(seed int64, pRaw uint8) bool {
+		g := graph.RandomGnm(int(seed%20+20)%20+3, int(seed%60+60)%60+5, graph.Uniform(7), seed, true)
+		p := float64(pRaw%90) / 100
+		faulty, survived := SSSPWithFaults(g, 0, p, seed+1)
+		want := classic.Dijkstra(survived, 0)
+		clean := classic.Dijkstra(g, 0)
+		for v := range want.Dist {
+			if faulty.Dist[v] != want.Dist[v] {
+				return false
+			}
+			if faulty.Dist[v] < clean.Dist[v] {
+				return false // faults shortened a path: impossible
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFaultsValidation(t *testing.T) {
+	g := graph.Ring(3, graph.Unit, 0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("bad probability accepted")
+		}
+	}()
+	SSSPWithFaults(g, 0, 1.5, 0)
+}

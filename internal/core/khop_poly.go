@@ -1,0 +1,111 @@
+package core
+
+import (
+	"fmt"
+	"math/bits"
+
+	"repro/internal/graph"
+	"repro/internal/nga"
+)
+
+// PolyResult reports distances and costs for the polynomial-time spiking
+// algorithms of Section 4.2.
+type PolyResult struct {
+	// Dist[v] = dist_k(v) (or the unrestricted distance for SSSPPoly).
+	Dist []int64
+	// Lambda is the message width ceil(log2(n·U+1)): messages encode path
+	// lengths, which are bounded by n·U.
+	Lambda int
+	// RoundTime is the uniform synapse delay x = Θ(log(nU)): every round
+	// must leave time for the depth-O(log nU) add and min circuits.
+	RoundTime int64
+	// Rounds is the number of synchronous rounds executed (<= k; fewer on
+	// convergence).
+	Rounds int
+	// SpikeTime = Rounds·RoundTime, the O(k log(nU)) term of Theorem 4.3.
+	SpikeTime int64
+	// LoadTime is the O(m log(nU)) circuit-loading charge.
+	LoadTime int64
+	// NeuronCount is the exact gate-level neuron requirement: per edge an
+	// add-length circuit, per node a wired-or min circuit (Section 4.5's
+	// O(m log(nU)) total).
+	NeuronCount int64
+	// MessagesSent counts nonzero λ-bit broadcasts.
+	MessagesSent int64
+}
+
+// PolyLambda returns the message width for an n-vertex graph with maximum
+// edge length U: path lengths are < n·U, so ceil(log2(n·U)) bits suffice.
+func PolyLambda(n int, u int64) int {
+	if u < 1 {
+		u = 1
+	}
+	prod := uint64(n) * uint64(u)
+	lambda := bits.Len64(prod)
+	if lambda == 0 {
+		lambda = 1
+	}
+	return lambda
+}
+
+// AddConstNeurons is the exact neuron count of circuit.NewAddConst:
+// λ carries, λ sums, one top carry bit.
+func AddConstNeurons(lambda int) int64 { return 2*int64(lambda) + 1 }
+
+// MinWiredORNeurons is the exact neuron count of circuit.NewMinWiredOR:
+// the inner max plus dλ input negations and λ output negations.
+func MinWiredORNeurons(d, lambda int) int64 {
+	return MaxWiredORNeurons(d, lambda) + int64(d+1)*int64(lambda)
+}
+
+// KHopPoly runs the polynomial-time k-hop SSSP algorithm of Section 4.2:
+// all synapses share the uniform delay x = Θ(log(nU)); messages are
+// ⌈log(nU)⌉-bit path lengths; each edge adds its length in transit (the
+// AddConst circuit) and each node takes the minimum of simultaneous
+// arrivals and its stored best (the MinWiredOR circuit). After at most k
+// synchronized rounds every dist_k(v) is known.
+//
+// The message-level dynamics are exactly the min-plus NGA of Section 2.2;
+// this wrapper adds the Theorem 4.3 accounting.
+func KHopPoly(g *graph.Graph, src, k int) *PolyResult {
+	n := g.N()
+	if src < 0 || src >= n {
+		panic(fmt.Sprintf("core: source %d out of range [0,%d)", src, n))
+	}
+	if k < 0 {
+		panic(fmt.Sprintf("core: negative hop bound %d", k))
+	}
+	lambda := PolyLambda(n, g.MaxLen())
+	r := nga.KHopDistances(g, src, k, lambda)
+
+	// x must cover the edge adder (depth 2) plus the node min circuit
+	// (depth 4λ+4) plus synchronization slack.
+	roundTime := int64(4*lambda + 8)
+
+	res := &PolyResult{
+		Dist:         r.Messages,
+		Lambda:       lambda,
+		RoundTime:    roundTime,
+		Rounds:       r.Rounds,
+		SpikeTime:    int64(r.Rounds) * roundTime,
+		LoadTime:     int64(g.M()) * int64(lambda),
+		MessagesSent: r.MessagesSent,
+	}
+	for v := 0; v < n; v++ {
+		if d := g.InDeg(v); d > 0 {
+			res.NeuronCount += MinWiredORNeurons(d, lambda)
+		}
+	}
+	res.NeuronCount += int64(g.M()) * AddConstNeurons(lambda)
+	return res
+}
+
+// SSSPPoly runs the polynomial-time unrestricted SSSP algorithm: KHopPoly
+// with k set to n-1 (every shortest path has at most n-1 edges). Per
+// Theorem 4.4, the time bound is O(α log(nU)) where α is the hop count of
+// the shortest path actually found — the convergence-based early exit
+// realizes exactly that.
+func SSSPPoly(g *graph.Graph, src int) *PolyResult {
+	k := g.N() // one extra round to detect convergence
+	return KHopPoly(g, src, k)
+}

@@ -1,0 +1,253 @@
+package core
+
+import (
+	"container/heap"
+	"fmt"
+	"math/bits"
+
+	"repro/internal/graph"
+)
+
+// TTLResult reports distances and paper-accounted costs for the
+// pseudopolynomial k-hop algorithm of Section 4.1.
+type TTLResult struct {
+	// Dist[v] = dist_k(v): shortest path with at most k edges, or graph.Inf.
+	Dist []int64
+	// Pred[v] is the sender of the first spike to arrive at v, or -1.
+	// Because of hop budgets the naive Pred chain may not itself be a
+	// valid <=k-hop path; use Path, which walks the TTL-indexed
+	// predecessor store (the O(k)-factor extra memory of Section 4.3).
+	Pred []int
+	// Lambda is the TTL message width ceil(log2 k).
+	Lambda int
+	// SpikeTime is the execution time of the spiking portion under the
+	// neuron-saving circuits: L·(per-hop circuit latency), the O(L log k)
+	// term of Theorem 4.2. L is the largest finite dist_k seen.
+	SpikeTime int64
+	// LoadTime is the O(m log k) circuit-loading charge of Theorem 4.2.
+	LoadTime int64
+	// NeuronCount is the exact neuron requirement of the gate-level
+	// algorithm: per node one wired-or max circuit over its in-degree
+	// plus one decrement circuit (Section 4.5); the formulas mirror the
+	// constructions in the circuit package and are asserted against them
+	// in tests.
+	NeuronCount int64
+	// Broadcasts counts node rebroadcast events (each carries λ spikes);
+	// the TTL dominance argument bounds it by n·k.
+	Broadcasts int64
+
+	k        int
+	src      int
+	firstTTL []int         // TTL of the first arrival at v
+	sentFrom []map[int]int // v -> (sent TTL -> arrival sender that caused it)
+}
+
+// MaxWiredORNeurons is the exact neuron count of circuit.NewMaxWiredOR
+// (excluding input relays and trigger): the top level contributes 2d+1,
+// each of the remaining λ-1 levels 3d+1, and the filter/merge stage
+// λ(d+1).
+func MaxWiredORNeurons(d, lambda int) int64 {
+	if d < 1 || lambda < 1 {
+		return 0
+	}
+	return int64(2*d+1) + int64(lambda-1)*int64(3*d+1) + int64(lambda)*int64(d+1)
+}
+
+// DecrementNeurons is the exact neuron count of circuit.NewDecrement:
+// four gates (borrow, or, and, sum) per bit.
+func DecrementNeurons(lambda int) int64 { return 4 * int64(lambda) }
+
+type ttlHeap []int64
+
+func (h ttlHeap) Len() int            { return len(h) }
+func (h ttlHeap) Less(i, j int) bool  { return h[i] < h[j] }
+func (h ttlHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *ttlHeap) Push(x interface{}) { *h = append(*h, x.(int64)) }
+func (h *ttlHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+type ttlArrival struct {
+	ttl  int
+	from int
+}
+
+// TTLLambda returns the message width ceil(log2 k) used for a hop budget
+// of k (at least 1 bit).
+func TTLLambda(k int) int {
+	lambda := bits.Len(uint(k - 1))
+	if lambda == 0 {
+		lambda = 1
+	}
+	return lambda
+}
+
+// KHopTTL runs the Section 4.1 algorithm as an exact message-level
+// simulation: the source emits a TTL of k-1 to its neighbors; a node
+// receiving spikes at time t takes the maximum TTL among them (the max
+// circuit of Theorem 5.1), subtracts one (the decrement circuit), and
+// rebroadcasts if the result is nonnegative — but only when the new TTL
+// exceeds every TTL it previously sent, since later spikes with
+// lower-or-equal TTL are dominated (Section 4.1). The first spike arrival
+// at v happens at time dist_k(v) exactly.
+//
+// dst >= 0 stops the simulation at dst's first arrival (only Dist[dst]
+// and vertices reached earlier are then guaranteed); dst = -1 computes
+// all hop-bounded distances. Edge lengths must be >= 1.
+func KHopTTL(g *graph.Graph, src, dst, k int) *TTLResult {
+	n := g.N()
+	if src < 0 || src >= n {
+		panic(fmt.Sprintf("core: source %d out of range [0,%d)", src, n))
+	}
+	if dst < -1 || dst >= n {
+		panic(fmt.Sprintf("core: destination %d out of range", dst))
+	}
+	if k < 1 {
+		panic(fmt.Sprintf("core: hop bound %d < 1", k))
+	}
+	if g.M() > 0 && g.MinLen() < 1 {
+		panic("core: KHopTTL requires edge lengths >= 1")
+	}
+
+	lambda := TTLLambda(k)
+	res := &TTLResult{
+		Dist:     make([]int64, n),
+		Pred:     make([]int, n),
+		Lambda:   lambda,
+		k:        k,
+		src:      src,
+		firstTTL: make([]int, n),
+		sentFrom: make([]map[int]int, n),
+	}
+	for v := range res.Dist {
+		res.Dist[v] = graph.Inf
+		res.Pred[v] = -1
+		res.firstTTL[v] = -1
+	}
+	res.Dist[src] = 0
+
+	// Exact neuron accounting per Section 4.5 (nodes with no incoming
+	// edges need no circuits).
+	for v := 0; v < n; v++ {
+		if d := g.InDeg(v); d > 0 {
+			res.NeuronCount += MaxWiredORNeurons(d, lambda) + DecrementNeurons(lambda)
+		}
+	}
+
+	pending := make(map[int64]map[int]ttlArrival) // time -> node -> best arrival
+	var times ttlHeap
+	schedule := func(t int64, node int, ttl int, from int) {
+		batch, ok := pending[t]
+		if !ok {
+			batch = make(map[int]ttlArrival)
+			pending[t] = batch
+			heap.Push(&times, t)
+		}
+		if cur, ok := batch[node]; !ok || ttl > cur.ttl {
+			batch[node] = ttlArrival{ttl: ttl, from: from}
+		}
+	}
+
+	// maxSent[v] is the largest TTL v has broadcast so far (-1 = none).
+	maxSent := make([]int, n)
+	for v := range maxSent {
+		maxSent[v] = -1
+	}
+
+	// Source broadcast at time 0 with TTL k-1.
+	res.Broadcasts++
+	maxSent[src] = k - 1
+	res.firstTTL[src] = k // so source paths terminate cleanly
+	for _, ei := range g.Out(src) {
+		e := g.Edge(int(ei))
+		schedule(e.Len, e.To, k-1, src)
+	}
+
+	var lastTime int64
+	for len(times) > 0 {
+		t := times[0]
+		heap.Pop(&times)
+		batch := pending[t]
+		delete(pending, t)
+		for v, arr := range batch {
+			if res.Dist[v] == graph.Inf {
+				res.Dist[v] = t
+				res.Pred[v] = arr.from
+				res.firstTTL[v] = arr.ttl
+				if t > lastTime {
+					lastTime = t
+				}
+				if v == dst {
+					res.finishAccounting(g, lambda, t)
+					return res
+				}
+			}
+			// Rebroadcast with TTL-1 if the budget allows and the new TTL
+			// is not dominated by an earlier send.
+			if arr.ttl >= 1 && arr.ttl-1 > maxSent[v] {
+				maxSent[v] = arr.ttl - 1
+				if res.sentFrom[v] == nil {
+					res.sentFrom[v] = make(map[int]int)
+				}
+				res.sentFrom[v][arr.ttl-1] = arr.from
+				res.Broadcasts++
+				for _, ei := range g.Out(v) {
+					e := g.Edge(int(ei))
+					schedule(t+e.Len, e.To, arr.ttl-1, v)
+				}
+			}
+		}
+	}
+	res.finishAccounting(g, lambda, lastTime)
+	return res
+}
+
+// finishAccounting fills the Theorem 4.2 cost terms: under the
+// neuron-saving circuits each unit of graph length is scaled by the
+// per-hop circuit depth O(log k), and loading the O(m log k) circuit
+// neurons takes O(m log k) time.
+func (r *TTLResult) finishAccounting(g *graph.Graph, lambda int, l int64) {
+	perHop := int64(4*lambda + 10) // max circuit 4λ+1, decrement 3, glue
+	r.SpikeTime = l * perHop
+	r.LoadTime = int64(g.M()) * int64(lambda)
+}
+
+// Path reconstructs an optimal <=k-hop path to dst by walking the
+// TTL-indexed broadcast predecessors backwards: dst's first arrival
+// carried TTL t0 from u0, whose broadcast of t0 was caused by an arrival
+// of TTL t0+1, and so on up to the source's initial TTL k-1. The result
+// has at most k edges and length exactly Dist[dst]; nil if unreached.
+func (r *TTLResult) Path(dst int) []int {
+	if r.Dist[dst] >= graph.Inf {
+		return nil
+	}
+	if dst == r.src {
+		return []int{dst}
+	}
+	rev := []int{dst}
+	node := r.Pred[dst]
+	ttl := r.firstTTL[dst]
+	for {
+		rev = append(rev, node)
+		if node == r.src && ttl == r.k-1 {
+			break
+		}
+		from, ok := r.sentFrom[node][ttl]
+		if !ok {
+			panic(fmt.Sprintf("core: broken TTL predecessor chain at node %d ttl %d", node, ttl))
+		}
+		node = from
+		ttl++
+		if len(rev) > len(r.Dist)+r.k {
+			panic("core: TTL predecessor cycle")
+		}
+	}
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	return rev
+}

@@ -1,0 +1,131 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/classic"
+	"repro/internal/graph"
+)
+
+func TestLatchSSSPPathOnTree(t *testing.T) {
+	// A tree has unique shortest paths: every latched ID must decode
+	// exactly and every path must reconstruct.
+	g := graph.New(7)
+	g.AddEdge(0, 1, 3)
+	g.AddEdge(0, 2, 5)
+	g.AddEdge(1, 3, 2)
+	g.AddEdge(1, 4, 7)
+	g.AddEdge(2, 5, 1)
+	g.AddEdge(5, 6, 4)
+	r := SSSPWithLatches(g, 0)
+	want := classic.Dijkstra(g, 0)
+	for v := 0; v < g.N(); v++ {
+		if r.Dist[v] != want.Dist[v] {
+			t.Fatalf("dist[%d] = %d, want %d", v, r.Dist[v], want.Dist[v])
+		}
+		if r.Merged[v] {
+			t.Fatalf("tie-merge on a tree at vertex %d", v)
+		}
+	}
+	p, err := r.Path(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l, err := g.PathLen(p); err != nil || l != want.Dist[6] {
+		t.Fatalf("path %v len %d err %v", p, l, err)
+	}
+	if p[0] != 0 || p[1] != 2 || p[2] != 5 || p[3] != 6 {
+		t.Fatalf("path %v", p)
+	}
+}
+
+func TestLatchSSSPSourceAndUnreachable(t *testing.T) {
+	g := graph.New(3)
+	g.AddEdge(0, 1, 2)
+	r := SSSPWithLatches(g, 0)
+	if r.Pred[0] != -1 || r.Merged[0] {
+		t.Fatalf("source pred %d merged %v", r.Pred[0], r.Merged[0])
+	}
+	if r.Dist[2] != graph.Inf {
+		t.Fatalf("unreachable dist %d", r.Dist[2])
+	}
+	if p, err := r.Path(2); p != nil || err != nil {
+		t.Fatalf("unreachable path %v %v", p, err)
+	}
+	if p, err := r.Path(0); err != nil || len(p) != 1 {
+		t.Fatalf("source path %v %v", p, err)
+	}
+}
+
+func TestLatchSSSPTieMergeDetected(t *testing.T) {
+	// Two tied predecessors with IDs 1 (01b) and 2 (10b) OR-merge to 3,
+	// which is not a valid predecessor of vertex 3: the decoder must
+	// flag it rather than return a wrong path.
+	g := graph.New(4)
+	g.AddEdge(0, 1, 5)
+	g.AddEdge(0, 2, 5)
+	g.AddEdge(1, 3, 5)
+	g.AddEdge(2, 3, 5)
+	r := SSSPWithLatches(g, 0)
+	if r.Dist[3] != 10 {
+		t.Fatalf("dist[3] = %d", r.Dist[3])
+	}
+	if !r.Merged[3] {
+		t.Fatalf("tie-merge not detected: pred=%d", r.Pred[3])
+	}
+	if _, err := r.Path(3); err == nil {
+		t.Fatal("merged path returned without error")
+	}
+}
+
+func TestLatchSSSPTiesWithCompatibleIDs(t *testing.T) {
+	// Ties whose IDs OR to one of the tied senders still decode validly:
+	// predecessors 1 (01b) and 3 (11b) merge to 3, a real predecessor.
+	g := graph.New(5)
+	g.AddEdge(0, 1, 5)
+	g.AddEdge(0, 3, 5)
+	g.AddEdge(1, 4, 5)
+	g.AddEdge(3, 4, 5)
+	r := SSSPWithLatches(g, 0)
+	if r.Merged[4] || r.Pred[4] != 3 {
+		t.Fatalf("pred[4] = %d merged %v, want 3", r.Pred[4], r.Merged[4])
+	}
+}
+
+func TestLatchSSSPNeuronBudget(t *testing.T) {
+	// n·(1 + 3·⌈log₂ n⌉) neurons: the O(log n) memory factor of §3.
+	g := graph.RandomGnm(32, 128, graph.Uniform(9), 1, true)
+	r := SSSPWithLatches(g, 0)
+	want := 32 * (1 + 3*5)
+	if r.Neurons != want {
+		t.Fatalf("neurons %d, want %d", r.Neurons, want)
+	}
+}
+
+func TestLatchSSSPRandomGraphs(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 12; trial++ {
+		n := rng.Intn(30) + 3
+		// Large length range makes simultaneous ties rare but possible;
+		// the decoder must stay sound either way.
+		g := graph.RandomGnm(n, rng.Intn(4*n), graph.Uniform(50), int64(trial), true)
+		r := SSSPWithLatches(g, 0)
+		want := classic.Dijkstra(g, 0)
+		for v := 0; v < n; v++ {
+			if r.Dist[v] != want.Dist[v] {
+				t.Fatalf("trial %d: dist[%d] = %d, want %d", trial, v, r.Dist[v], want.Dist[v])
+			}
+			if v == 0 || r.Dist[v] >= graph.Inf {
+				continue
+			}
+			if !r.Merged[v] {
+				// Decoded predecessor must witness the distance.
+				u := r.Pred[v]
+				if !validPred(g, r.Dist, u, v) {
+					t.Fatalf("trial %d: invalid predecessor %d of %d", trial, u, v)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,73 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/classic"
+	"repro/internal/graph"
+)
+
+func TestSSSPMultiHaltsAtLastDestination(t *testing.T) {
+	g := graph.Path(8, graph.Unit, 0)
+	r := SSSPMulti(g, 0, []int{2, 5})
+	if r.SpikeTime != 5 {
+		t.Fatalf("halt time %d, want 5 (farthest destination)", r.SpikeTime)
+	}
+	if r.Dist[2] != 2 || r.Dist[5] != 5 {
+		t.Fatalf("dists %v", r.Dist[:6])
+	}
+	// The run must not have continued past the farthest destination.
+	if r.Dist[7] != graph.Inf {
+		t.Fatalf("ran past the halt: dist[7]=%d", r.Dist[7])
+	}
+}
+
+func TestSSSPMultiMatchesDijkstraOnDestinations(t *testing.T) {
+	g := graph.RandomGnm(50, 250, graph.Uniform(9), 21, true)
+	dsts := []int{7, 19, 42}
+	r := SSSPMulti(g, 0, dsts)
+	want := classic.Dijkstra(g, 0)
+	for _, d := range dsts {
+		if r.Dist[d] != want.Dist[d] {
+			t.Fatalf("dist[%d] = %d, want %d", d, r.Dist[d], want.Dist[d])
+		}
+	}
+	var far int64
+	for _, d := range dsts {
+		if want.Dist[d] > far {
+			far = want.Dist[d]
+		}
+	}
+	if r.SpikeTime != far {
+		t.Fatalf("halt at %d, want %d", r.SpikeTime, far)
+	}
+}
+
+func TestSSSPMultiUnreachableDestination(t *testing.T) {
+	g := graph.New(3)
+	g.AddEdge(0, 1, 2)
+	r := SSSPMulti(g, 0, []int{1, 2})
+	// Destination 2 never fires: the network goes quiescent instead of
+	// halting; reached distances are still exact.
+	if r.Dist[1] != 2 || r.Dist[2] != graph.Inf {
+		t.Fatalf("dists %v", r.Dist)
+	}
+}
+
+func TestSSSPMultiValidation(t *testing.T) {
+	g := graph.Path(3, graph.Unit, 0)
+	for i, f := range []func(){
+		func() { SSSPMulti(g, -1, []int{1}) },
+		func() { SSSPMulti(g, 0, nil) },
+		func() { SSSPMulti(g, 0, []int{9}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d did not panic", i)
+				}
+			}()
+			f()
+		}()
+	}
+}

@@ -1,0 +1,466 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/classic"
+	"repro/internal/graph"
+)
+
+func diamond() *graph.Graph {
+	g := graph.New(4)
+	g.AddEdge(0, 1, 1)
+	g.AddEdge(1, 3, 1)
+	g.AddEdge(0, 2, 5)
+	g.AddEdge(2, 3, 1)
+	g.AddEdge(0, 3, 4)
+	return g
+}
+
+// --- Pseudopolynomial spiking SSSP (Section 3) ---
+
+func TestSSSPDiamond(t *testing.T) {
+	r := SSSP(diamond(), 0, -1)
+	want := []int64{0, 1, 5, 2}
+	for v, d := range want {
+		if r.Dist[v] != d {
+			t.Fatalf("dist[%d] = %d, want %d", v, r.Dist[v], d)
+		}
+	}
+	if r.SpikeTime != 5 {
+		t.Fatalf("spike time %d, want L=5", r.SpikeTime)
+	}
+	if p := r.Path(3); len(p) != 3 || p[0] != 0 || p[1] != 1 || p[2] != 3 {
+		t.Fatalf("path %v", p)
+	}
+}
+
+func TestSSSPTerminalHaltsEarly(t *testing.T) {
+	g := graph.Path(6, graph.Uniform(4), 3)
+	r := SSSP(g, 0, 2)
+	want := classic.Dijkstra(g, 0)
+	if r.Dist[2] != want.Dist[2] {
+		t.Fatalf("dist to terminal %d, want %d", r.Dist[2], want.Dist[2])
+	}
+	if r.SpikeTime != want.Dist[2] {
+		t.Fatalf("terminal time %d", r.SpikeTime)
+	}
+	// Vertices beyond the terminal must not have been computed.
+	if r.Dist[5] != graph.Inf {
+		t.Fatalf("simulation ran past terminal: dist[5]=%d", r.Dist[5])
+	}
+}
+
+func TestSSSPUnreachable(t *testing.T) {
+	g := graph.New(3)
+	g.AddEdge(0, 1, 2)
+	r := SSSP(g, 0, -1)
+	if r.Dist[2] != graph.Inf || r.Path(2) != nil {
+		t.Fatalf("unreachable handling: %v", r.Dist)
+	}
+}
+
+func TestSSSPFireOnceUnderCycles(t *testing.T) {
+	// A tight cycle must not make neurons re-fire and distort distances.
+	g := graph.Ring(5, graph.Unit, 0)
+	g.AddEdge(3, 1, 1) // extra back edge creating a short cycle
+	r := SSSP(g, 0, -1)
+	want := classic.Dijkstra(g, 0)
+	for v := range want.Dist {
+		if r.Dist[v] != want.Dist[v] {
+			t.Fatalf("cycle graph dist[%d] = %d, want %d", v, r.Dist[v], want.Dist[v])
+		}
+	}
+	// Each vertex spikes exactly once: 5 vertices reachable + source.
+	if r.Stats.Spikes != 5 {
+		t.Fatalf("spikes %d, want 5 (fire-once violated)", r.Stats.Spikes)
+	}
+}
+
+func TestSSSPNeuronCount(t *testing.T) {
+	g := graph.RandomGnm(30, 120, graph.Uniform(6), 1, true)
+	r := SSSP(g, 0, -1)
+	if r.Neurons != g.N() {
+		t.Fatalf("neurons %d, want n=%d", r.Neurons, g.N())
+	}
+	if r.Synapses != g.M()+g.N() { // edges + fire-once self-loops
+		t.Fatalf("synapses %d, want %d", r.Synapses, g.M()+g.N())
+	}
+}
+
+func TestSSSPPathsValid(t *testing.T) {
+	g := graph.RandomGnm(40, 200, graph.Uniform(9), 5, true)
+	r := SSSP(g, 0, -1)
+	want := classic.Dijkstra(g, 0)
+	for v := 0; v < g.N(); v++ {
+		p := r.Path(v)
+		if want.Dist[v] >= graph.Inf {
+			if p != nil {
+				t.Fatalf("path to unreachable %d", v)
+			}
+			continue
+		}
+		l, err := g.PathLen(p)
+		if err != nil {
+			t.Fatalf("invalid path to %d: %v", v, err)
+		}
+		if l != want.Dist[v] {
+			t.Fatalf("path length to %d = %d, want %d", v, l, want.Dist[v])
+		}
+	}
+}
+
+func TestSSSPRejectsZeroLengths(t *testing.T) {
+	g := graph.New(2)
+	g.AddEdge(0, 1, 0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero-length edge accepted")
+		}
+	}()
+	SSSP(g, 0, -1)
+}
+
+func TestSSSPMatchesDijkstraProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := graph.RandomGnm(rng.Intn(30)+2, rng.Intn(150), graph.Uniform(int64(rng.Intn(12)+1)), seed, true)
+		got := SSSP(g, 0, -1).Dist
+		want := classic.Dijkstra(g, 0).Dist
+		for v := range want {
+			if got[v] != want[v] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// --- k-hop TTL (Section 4.1) ---
+
+func TestKHopTTLDiamond(t *testing.T) {
+	g := diamond()
+	r1 := KHopTTL(g, 0, -1, 1)
+	if r1.Dist[3] != 4 {
+		t.Fatalf("k=1 dist %d, want 4", r1.Dist[3])
+	}
+	r2 := KHopTTL(g, 0, -1, 2)
+	if r2.Dist[3] != 2 {
+		t.Fatalf("k=2 dist %d, want 2", r2.Dist[3])
+	}
+}
+
+func TestKHopTTLLambda(t *testing.T) {
+	for _, tc := range []struct{ k, lambda int }{{1, 1}, {2, 1}, {3, 2}, {4, 2}, {5, 3}, {9, 4}, {1000, 10}} {
+		if got := TTLLambda(tc.k); got != tc.lambda {
+			t.Fatalf("TTLLambda(%d) = %d, want %d", tc.k, got, tc.lambda)
+		}
+	}
+}
+
+func TestKHopTTLDestinationHalt(t *testing.T) {
+	g := graph.RandomGnm(30, 120, graph.Uniform(5), 8, true)
+	want := classic.BellmanFordKHop(g, 0, 4, false).Dist
+	r := KHopTTL(g, 0, 7, 4)
+	if r.Dist[7] != want[7] {
+		t.Fatalf("dst dist %d, want %d", r.Dist[7], want[7])
+	}
+}
+
+func TestKHopTTLBroadcastBound(t *testing.T) {
+	g := graph.RandomGnm(25, 150, graph.Uniform(4), 2, true)
+	k := 6
+	r := KHopTTL(g, 0, -1, k)
+	if r.Broadcasts > int64(g.N()*k) {
+		t.Fatalf("broadcasts %d exceed n·k=%d (dominance broken)", r.Broadcasts, g.N()*k)
+	}
+}
+
+func TestKHopTTLPathRespectsHopBound(t *testing.T) {
+	// The hop-constrained instance where the naive Pred chain fails: a
+	// short many-hop route and a long few-hop route.
+	g := graph.New(5)
+	g.AddEdge(0, 1, 1)
+	g.AddEdge(1, 2, 1)
+	g.AddEdge(2, 3, 1) // 0-1-2-3: length 3, 3 hops
+	g.AddEdge(0, 3, 9) // direct: length 9, 1 hop
+	g.AddEdge(3, 4, 1)
+	k := 2
+	r := KHopTTL(g, 0, -1, k)
+	want := classic.BellmanFordKHop(g, 0, k, false).Dist
+	for v := range want {
+		if r.Dist[v] != want[v] {
+			t.Fatalf("dist[%d] = %d, want %d", v, r.Dist[v], want[v])
+		}
+	}
+	p := r.Path(4)
+	if len(p)-1 > k {
+		t.Fatalf("path %v exceeds %d hops", p, k)
+	}
+	if l, err := g.PathLen(p); err != nil || l != want[4] {
+		t.Fatalf("path %v length %d err %v, want %d", p, l, err, want[4])
+	}
+}
+
+func TestKHopTTLMatchesBellmanFordProperty(t *testing.T) {
+	f := func(seed int64, kRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := graph.RandomGnm(rng.Intn(25)+2, rng.Intn(100), graph.Uniform(9), seed, true)
+		k := int(kRaw%12) + 1
+		got := KHopTTL(g, 0, -1, k)
+		want := classic.BellmanFordKHop(g, 0, k, false).Dist
+		for v := range want {
+			if got.Dist[v] != want[v] {
+				return false
+			}
+		}
+		// Spot-check a path.
+		dst := rng.Intn(g.N())
+		if want[dst] < graph.Inf {
+			p := got.Path(dst)
+			if len(p)-1 > k {
+				return false
+			}
+			if l, err := g.PathLen(p); err != nil || l > want[dst] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKHopTTLAccounting(t *testing.T) {
+	g := graph.RandomGnm(20, 80, graph.Uniform(5), 3, true)
+	k := 5
+	r := KHopTTL(g, 0, -1, k)
+	lambda := TTLLambda(k)
+	if r.Lambda != lambda {
+		t.Fatalf("lambda %d", r.Lambda)
+	}
+	var wantNeurons int64
+	for v := 0; v < g.N(); v++ {
+		if d := g.InDeg(v); d > 0 {
+			wantNeurons += MaxWiredORNeurons(d, lambda) + DecrementNeurons(lambda)
+		}
+	}
+	if r.NeuronCount != wantNeurons {
+		t.Fatalf("neuron count %d, want %d", r.NeuronCount, wantNeurons)
+	}
+	if r.LoadTime != int64(g.M()*lambda) {
+		t.Fatalf("load time %d", r.LoadTime)
+	}
+	var l int64
+	for _, d := range r.Dist {
+		if d < graph.Inf && d > l {
+			l = d
+		}
+	}
+	if r.SpikeTime != l*int64(4*lambda+10) {
+		t.Fatalf("spike time %d for L=%d", r.SpikeTime, l)
+	}
+}
+
+// --- Polynomial algorithms (Section 4.2) ---
+
+func TestKHopPolyMatchesBellmanFord(t *testing.T) {
+	g := graph.RandomGnm(30, 150, graph.Uniform(20), 4, true)
+	for _, k := range []int{1, 3, 7} {
+		got := KHopPoly(g, 0, k)
+		want := classic.BellmanFordKHop(g, 0, k, false).Dist
+		for v := range want {
+			if got.Dist[v] != want[v] {
+				t.Fatalf("k=%d dist[%d] = %d, want %d", k, v, got.Dist[v], want[v])
+			}
+		}
+	}
+}
+
+func TestSSSPPolyMatchesDijkstra(t *testing.T) {
+	g := graph.RandomGnm(40, 200, graph.Uniform(50), 6, true)
+	got := SSSPPoly(g, 0)
+	want := classic.Dijkstra(g, 0).Dist
+	for v := range want {
+		if got.Dist[v] != want[v] {
+			t.Fatalf("dist[%d] = %d, want %d", v, got.Dist[v], want[v])
+		}
+	}
+}
+
+func TestPolyLambda(t *testing.T) {
+	if l := PolyLambda(10, 10); l != 7 { // 100 fits in 7 bits
+		t.Fatalf("PolyLambda(10,10) = %d, want 7", l)
+	}
+	if l := PolyLambda(1, 0); l < 1 {
+		t.Fatalf("degenerate lambda %d", l)
+	}
+}
+
+func TestKHopPolyAccounting(t *testing.T) {
+	g := graph.RandomGnm(16, 64, graph.Uniform(7), 9, true)
+	k := 4
+	r := KHopPoly(g, 0, k)
+	if r.Rounds > k {
+		t.Fatalf("rounds %d > k", r.Rounds)
+	}
+	if r.SpikeTime != int64(r.Rounds)*r.RoundTime {
+		t.Fatalf("spike time %d", r.SpikeTime)
+	}
+	if r.RoundTime != int64(4*r.Lambda+8) {
+		t.Fatalf("round time %d for lambda %d", r.RoundTime, r.Lambda)
+	}
+	if r.NeuronCount <= 0 {
+		t.Fatalf("neuron count %d", r.NeuronCount)
+	}
+}
+
+// --- Approximation (Section 7) ---
+
+func TestApproxKHopWithinFactor(t *testing.T) {
+	g := graph.RandomGnm(24, 100, graph.Uniform(12), 11, true)
+	k := 5
+	r := ApproxKHop(g, 0, k, 0)
+	distK := classic.BellmanFordKHop(g, 0, k, false).Dist
+	distH := classic.BellmanFordKHop(g, 0, r.HopSlack, false).Dist
+	for v := range distK {
+		if distK[v] >= graph.Inf {
+			continue
+		}
+		lo := float64(distH[v])
+		hi := (1 + r.Epsilon) * float64(distK[v])
+		if r.Dist[v] < lo-1e-9 || r.Dist[v] > hi+1e-9 {
+			t.Fatalf("approx[%d] = %v outside [%v, %v] (eps=%v)", v, r.Dist[v], lo, hi, r.Epsilon)
+		}
+	}
+}
+
+func TestApproxKHopSourceZero(t *testing.T) {
+	g := diamond()
+	r := ApproxKHop(g, 0, 2, 0)
+	if r.Dist[0] != 0 {
+		t.Fatalf("source approx %v", r.Dist[0])
+	}
+}
+
+func TestApproxKHopNeuronAdvantage(t *testing.T) {
+	// Section 7: the approximation uses O(n log(kU log n)) neurons versus
+	// the exact algorithm's O(m log(nU)).
+	g := graph.RandomGnm(40, 400, graph.Uniform(8), 13, true)
+	k := 6
+	a := ApproxKHop(g, 0, k, 0)
+	e := KHopPoly(g, 0, k)
+	if a.NeuronCount >= e.NeuronCount {
+		t.Fatalf("approx neurons %d not below exact %d on dense graph", a.NeuronCount, e.NeuronCount)
+	}
+}
+
+func TestApproxKHopProperty(t *testing.T) {
+	f := func(seed int64, kRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := graph.RandomGnm(rng.Intn(16)+4, rng.Intn(60)+4, graph.Uniform(9), seed, true)
+		k := int(kRaw%6) + 1
+		r := ApproxKHop(g, 0, k, 0)
+		distK := classic.BellmanFordKHop(g, 0, k, false).Dist
+		distH := classic.BellmanFordKHop(g, 0, r.HopSlack, false).Dist
+		for v := range distK {
+			if distK[v] >= graph.Inf {
+				continue
+			}
+			if r.Dist[v] < float64(distH[v])-1e-9 {
+				return false
+			}
+			if r.Dist[v] > (1+r.Epsilon)*float64(distK[v])+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// --- Compiled gate-level k-hop TTL (Sections 4.1 + 5 end-to-end) ---
+
+func TestCompiledTTLDiamond(t *testing.T) {
+	g := diamond()
+	for k := 1; k <= 3; k++ {
+		ct := CompileKHopTTL(g, 0, k)
+		dist, _ := ct.Run()
+		want := classic.BellmanFordKHop(g, 0, k, false).Dist
+		for v := range want {
+			if dist[v] != want[v] {
+				t.Fatalf("k=%d dist[%d] = %d, want %d", k, v, dist[v], want[v])
+			}
+		}
+	}
+}
+
+func TestCompiledTTLHopBoundBinds(t *testing.T) {
+	// Long cheap path vs short expensive path (the k-hop stress shape).
+	g := graph.New(5)
+	g.AddEdge(0, 1, 1)
+	g.AddEdge(1, 2, 1)
+	g.AddEdge(2, 3, 1)
+	g.AddEdge(0, 3, 9)
+	g.AddEdge(3, 4, 1)
+	for k := 1; k <= 4; k++ {
+		ct := CompileKHopTTL(g, 0, k)
+		dist, _ := ct.Run()
+		want := classic.BellmanFordKHop(g, 0, k, false).Dist
+		for v := range want {
+			if dist[v] != want[v] {
+				t.Fatalf("k=%d dist[%d] = %d, want %d", k, v, dist[v], want[v])
+			}
+		}
+	}
+}
+
+func TestCompiledTTLRandomSmall(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 10; trial++ {
+		n := rng.Intn(8) + 3
+		g := graph.RandomGnm(n, rng.Intn(3*n), graph.Uniform(4), int64(trial), true)
+		k := rng.Intn(4) + 1
+		ct := CompileKHopTTL(g, 0, k)
+		dist, _ := ct.Run()
+		want := classic.BellmanFordKHop(g, 0, k, false).Dist
+		for v := range want {
+			if dist[v] != want[v] {
+				t.Fatalf("trial %d (n=%d k=%d): dist[%d] = %d, want %d", trial, n, k, v, dist[v], want[v])
+			}
+		}
+	}
+}
+
+func TestCompiledTTLNeuronScale(t *testing.T) {
+	// Compiled size tracks the O(m log k) loading bound of Theorem 4.2.
+	g := graph.RandomGnm(10, 40, graph.Uniform(3), 5, true)
+	ct := CompileKHopTTL(g, 0, 4)
+	lambda := TTLLambda(4)
+	// Very loose sanity bounds: within a small constant of m·λ.
+	lower := int64(g.M()) * int64(lambda)
+	upper := 20 * int64(g.M()+g.N()) * int64(lambda+1)
+	got := int64(ct.Net.N())
+	if got < lower/4 || got > upper {
+		t.Fatalf("compiled neurons %d outside [%d, %d]", got, lower/4, upper)
+	}
+}
+
+func TestApproxDistIsFiniteForReachable(t *testing.T) {
+	g := graph.Path(5, graph.Uniform(6), 7)
+	r := ApproxKHop(g, 0, 4, 0)
+	for v := 0; v < 5; v++ {
+		if math.IsInf(r.Dist[v], 1) {
+			t.Fatalf("reachable vertex %d has infinite approx", v)
+		}
+	}
+}

@@ -1,0 +1,134 @@
+// Package cost encodes Table 1 of the paper as an executable model: the
+// closed-form complexities of the conventional and neuromorphic
+// algorithms for SSSP and k-hop SSSP, in both the polynomial and
+// pseudopolynomial regimes, with and without data-movement accounting,
+// together with the paper's "neuromorphic is better when" predicates.
+//
+// All formulas drop big-O constants (coefficient 1) — the package is used
+// to predict growth shapes and crossovers, which constants do not affect.
+package cost
+
+import (
+	"fmt"
+	"math"
+)
+
+// Params carries the problem parameters of Table 1.
+type Params struct {
+	N     int64 // vertices
+	M     int64 // edges
+	K     int64 // hop bound
+	L     int64 // shortest-path length (pseudopolynomial regimes)
+	U     int64 // maximum edge length
+	Alpha int64 // hops on the shortest path (polynomial SSSP)
+	C     int64 // registers in the smallest/fastest memory level
+}
+
+func (p Params) validate() {
+	if p.N < 1 || p.M < 1 || p.C < 1 {
+		panic(fmt.Sprintf("cost: invalid params %+v", p))
+	}
+}
+
+func lg(x float64) float64 {
+	if x < 2 {
+		return 1
+	}
+	return math.Log2(x)
+}
+
+// ConservativeMovementLB is the input-reading lower bound of Theorem 6.1:
+// m^{3/2}/√c, which applies to every conventional algorithm.
+func ConservativeMovementLB(p Params) float64 {
+	p.validate()
+	return math.Pow(float64(p.M), 1.5) / math.Sqrt(float64(p.C))
+}
+
+// KHopMovementLB is the Theorem 6.2 bound for the k-round Bellman-Ford
+// algorithm: k·m^{3/2}/√c.
+func KHopMovementLB(p Params) float64 {
+	return float64(p.K) * ConservativeMovementLB(p)
+}
+
+// Conventional RAM complexities (data movement ignored).
+
+// ConvSSSP is Dijkstra's O(m + n log n).
+func ConvSSSP(p Params) float64 {
+	p.validate()
+	return float64(p.M) + float64(p.N)*lg(float64(p.N))
+}
+
+// ConvKHop is Bellman-Ford's O(km).
+func ConvKHop(p Params) float64 {
+	p.validate()
+	return float64(p.K) * float64(p.M)
+}
+
+// Neuromorphic complexities, with movement (crossbar embedding cost).
+
+// NeuroSSSPPolyMove is Theorem 4.4's O((nα + m)·log(nU)).
+func NeuroSSSPPolyMove(p Params) float64 {
+	p.validate()
+	return (float64(p.N)*float64(p.Alpha) + float64(p.M)) * lg(float64(p.N)*float64(p.U))
+}
+
+// NeuroKHopPolyMove is Theorem 4.3's O((nk + m)·log(nU)).
+func NeuroKHopPolyMove(p Params) float64 {
+	p.validate()
+	return (float64(p.N)*float64(p.K) + float64(p.M)) * lg(float64(p.N)*float64(p.U))
+}
+
+// NeuroSSSPPseudoMove is Theorem 4.1's O(nL + m).
+func NeuroSSSPPseudoMove(p Params) float64 {
+	p.validate()
+	return float64(p.N)*float64(p.L) + float64(p.M)
+}
+
+// NeuroKHopPseudoMove is Theorem 4.2's O((nL + m)·log k).
+func NeuroKHopPseudoMove(p Params) float64 {
+	p.validate()
+	return (float64(p.N)*float64(p.L) + float64(p.M)) * lg(float64(p.K))
+}
+
+// Neuromorphic complexities, movement ignored (O(1) intra-chip movement).
+
+// NeuroSSSPPoly is Theorem 4.4's O(m·log(nU)).
+func NeuroSSSPPoly(p Params) float64 {
+	p.validate()
+	return float64(p.M) * lg(float64(p.N)*float64(p.U))
+}
+
+// NeuroKHopPoly is Theorem 4.3's O(m·log(nU)).
+func NeuroKHopPoly(p Params) float64 { return NeuroSSSPPoly(p) }
+
+// NeuroSSSPPseudo is Section 3's O(L + m).
+func NeuroSSSPPseudo(p Params) float64 {
+	p.validate()
+	return float64(p.L) + float64(p.M)
+}
+
+// NeuroKHopPseudo is Theorem 4.2's O((m + L)·log k).
+func NeuroKHopPseudo(p Params) float64 {
+	p.validate()
+	return (float64(p.M) + float64(p.L)) * lg(float64(p.K))
+}
+
+// ApproxKHopTime is Theorem 7.2's O((k log n + m)·log(kU log n)) (O(1)
+// movement regime).
+func ApproxKHopTime(p Params) float64 {
+	p.validate()
+	logn := lg(float64(p.N))
+	return (float64(p.K)*logn + float64(p.M)) * lg(float64(p.K)*float64(p.U)*logn)
+}
+
+// ApproxKHopNeurons is Section 7's O(n·log(kU log n)) neuron count.
+func ApproxKHopNeurons(p Params) float64 {
+	p.validate()
+	return float64(p.N) * lg(float64(p.K)*float64(p.U)*lg(float64(p.N)))
+}
+
+// ExactKHopNeurons is the exact algorithm's O(m·log(nU)) neuron count.
+func ExactKHopNeurons(p Params) float64 {
+	p.validate()
+	return float64(p.M) * lg(float64(p.N)*float64(p.U))
+}

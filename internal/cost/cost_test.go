@@ -1,0 +1,232 @@
+package cost
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func params() Params {
+	return Params{N: 1024, M: 8192, K: 16, L: 64, U: 32, Alpha: 10, C: 4}
+}
+
+func TestTable1HasEightRows(t *testing.T) {
+	rows := Table1(params())
+	if len(rows) != 8 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	move, nomove := 0, 0
+	for _, r := range rows {
+		if r.WithMovement {
+			move++
+		} else {
+			nomove++
+		}
+		if r.Neuromorphic <= 0 || r.Conventional <= 0 {
+			t.Fatalf("non-positive cost in row %+v", r)
+		}
+		if r.String() == "" {
+			t.Fatalf("empty render")
+		}
+	}
+	if move != 4 || nomove != 4 {
+		t.Fatalf("row split %d/%d", move, nomove)
+	}
+}
+
+func TestConservativeLB(t *testing.T) {
+	p := Params{N: 2, M: 64, K: 1, L: 1, U: 1, Alpha: 1, C: 4}
+	want := math.Pow(64, 1.5) / 2
+	if got := ConservativeMovementLB(p); math.Abs(got-want) > 1e-9 {
+		t.Fatalf("LB %v, want %v", got, want)
+	}
+	if got := KHopMovementLB(Params{N: 2, M: 64, K: 5, C: 4}); math.Abs(got-5*want) > 1e-9 {
+		t.Fatalf("k-hop LB %v", got)
+	}
+}
+
+func TestPolySSSPNeverBetterIgnoringMovement(t *testing.T) {
+	for _, p := range []Params{
+		params(),
+		{N: 100, M: 1000, K: 5, L: 10, U: 1000, Alpha: 3, C: 1},
+		{N: 10000, M: 20000, K: 100, L: 5, U: 2, Alpha: 2, C: 1},
+	} {
+		rows := Table1(p)
+		for _, r := range rows {
+			if r.Problem == "SSSP" && r.Regime == "polynomial" && !r.WithMovement {
+				if r.ConditionHolds {
+					t.Fatalf("poly SSSP no-movement claimed advantage at %+v", p)
+				}
+			}
+		}
+	}
+}
+
+func TestKHopAdvantageWhenKLarge(t *testing.T) {
+	// log(nU) = o(k): with k huge the no-movement k-hop row must favor
+	// the neuromorphic algorithm.
+	p := Params{N: 256, M: 2048, K: 512, L: 64, U: 4, Alpha: 8, C: 1}
+	rows := Table1(p)
+	for _, r := range rows {
+		if r.Problem == "k-hop SSSP" && r.Regime == "polynomial" && !r.WithMovement {
+			if !r.ConditionHolds {
+				t.Fatalf("condition should hold: log(nU)=%v << k=%d", lg(float64(p.N)*float64(p.U)), p.K)
+			}
+			if r.Advantage <= 1 {
+				t.Fatalf("advantage %v <= 1 with k >> log(nU)", r.Advantage)
+			}
+		}
+	}
+}
+
+func TestMovementAdvantageGrowsWithM(t *testing.T) {
+	// In the movement regime with short paths, the conventional side
+	// grows as m^{3/2} while the neuromorphic grows ~ nL + m: the
+	// advantage ratio must increase with m.
+	base := Params{N: 256, M: 2048, K: 8, L: 16, U: 4, Alpha: 4, C: 1}
+	big := base
+	big.M = 4 * base.M
+	advAt := func(p Params) float64 {
+		for _, r := range Table1(p) {
+			if r.Problem == "SSSP" && r.Regime == "pseudopolynomial" && r.WithMovement {
+				return r.Advantage
+			}
+		}
+		t.Fatal("row missing")
+		return 0
+	}
+	if advAt(big) <= advAt(base) {
+		t.Fatalf("movement advantage did not grow with m: %v -> %v", advAt(base), advAt(big))
+	}
+}
+
+func TestFormulasMonotone(t *testing.T) {
+	p := params()
+	p2 := p
+	p2.M *= 2
+	if NeuroSSSPPseudo(p2) <= NeuroSSSPPseudo(p) {
+		t.Fatal("pseudo SSSP not monotone in m")
+	}
+	p3 := p
+	p3.K *= 4
+	if ConvKHop(p3) <= ConvKHop(p) {
+		t.Fatal("conv k-hop not monotone in k")
+	}
+	if KHopMovementLB(p3) <= KHopMovementLB(p) {
+		t.Fatal("k-hop LB not monotone in k")
+	}
+}
+
+func TestApproxFormulas(t *testing.T) {
+	p := params()
+	if ApproxKHopNeurons(p) >= ExactKHopNeurons(p) {
+		t.Fatalf("approx neurons %v not below exact %v at dense params",
+			ApproxKHopNeurons(p), ExactKHopNeurons(p))
+	}
+	if ApproxKHopTime(p) <= 0 {
+		t.Fatal("approx time non-positive")
+	}
+}
+
+func TestValidatePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("invalid params accepted")
+		}
+	}()
+	ConvSSSP(Params{N: 0, M: 1, C: 1})
+}
+
+// Property: every Table 1 advantage ratio is finite and positive, and the
+// conservative LB never exceeds the algorithm-specific conventional LB.
+func TestTable1Property(t *testing.T) {
+	f := func(nRaw, mRaw, kRaw, lRaw, uRaw, aRaw, cRaw uint16) bool {
+		p := Params{
+			N:     int64(nRaw%1000) + 2,
+			M:     int64(mRaw%10000) + 2,
+			K:     int64(kRaw%100) + 1,
+			L:     int64(lRaw%1000) + 1,
+			U:     int64(uRaw%1000) + 1,
+			Alpha: int64(aRaw%50) + 1,
+			C:     int64(cRaw%16) + 1,
+		}
+		for _, r := range Table1(p) {
+			if math.IsNaN(r.Advantage) || math.IsInf(r.Advantage, 0) || r.Advantage <= 0 {
+				return false
+			}
+			if r.WithMovement && r.ConservativeLB > r.Conventional+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCrossoverK(t *testing.T) {
+	p := Params{N: 256, M: 1024, K: 1, L: 10, U: 4, Alpha: 4, C: 1}
+	k := CrossoverK(p, 1<<20)
+	if k == 0 {
+		t.Fatal("no crossover found")
+	}
+	// At the crossover the neuromorphic side must win, and one below it
+	// must not.
+	pk := p
+	pk.K = k
+	if ConvKHop(pk) <= NeuroKHopPoly(pk) {
+		t.Fatalf("k=%d not a win", k)
+	}
+	pk.K = k - 1
+	if k > 1 && ConvKHop(pk) > NeuroKHopPoly(pk) {
+		t.Fatalf("k=%d already a win; crossover not minimal", k-1)
+	}
+	// The paper's shape: crossover scales like log(nU).
+	if k < 5 || k > 100 {
+		t.Fatalf("crossover k=%d implausible for log(nU)=%v", k, lg(float64(p.N)*float64(p.U)))
+	}
+	if got := CrossoverK(p, 2); got != 0 {
+		t.Fatalf("bounded search returned %d", got)
+	}
+}
+
+func TestCrossoverL(t *testing.T) {
+	// Sparse graph: m << n log n leaves room for the pseudopolynomial
+	// advantage window.
+	p := Params{N: 1024, M: 2048, K: 4, L: 1, U: 4, Alpha: 4, C: 1}
+	l := CrossoverL(p, 1<<30)
+	if l == 0 {
+		t.Fatal("no window found")
+	}
+	pl := p
+	pl.L = l
+	if ConvSSSP(pl) <= NeuroSSSPPseudo(pl) {
+		t.Fatalf("L=%d not a win", l)
+	}
+	pl.L = l + 1
+	if ConvSSSP(pl) > NeuroSSSPPseudo(pl) {
+		t.Fatalf("L=%d still a win; crossover not maximal", l+1)
+	}
+	// Dense graph: m >= n log n closes the window entirely.
+	dense := Params{N: 64, M: 100000, K: 4, L: 1, U: 4, Alpha: 4, C: 1}
+	if got := CrossoverL(dense, 1<<20); got == 0 {
+		t.Fatalf("even L=1 should win when m dominates both sides? got %d", got)
+	}
+}
+
+func TestCrossoverMovementM(t *testing.T) {
+	p := Params{N: 64, M: 2, K: 4, L: 16, U: 4, Alpha: 4, C: 1}
+	m := CrossoverMovementM(p, 10, 1<<40)
+	if m == 0 {
+		t.Fatal("no movement crossover")
+	}
+	q := p
+	q.M = m
+	if ConservativeMovementLB(q) <= 10*NeuroSSSPPseudoMove(q) {
+		t.Fatalf("m=%d does not clear the factor", m)
+	}
+	if got := CrossoverMovementM(p, 1e12, 1<<20); got != 0 {
+		t.Fatalf("absurd factor satisfied at m=%d", got)
+	}
+}

@@ -1,0 +1,76 @@
+package cost
+
+// Crossover analysis: Table 1's "neuromorphic is better when" conditions
+// describe asymptotic windows; these solvers find the concrete parameter
+// values at which the cost-model ratio crosses 1 for a given family of
+// instances, so experiments can place their sweeps on both sides of the
+// boundary.
+
+// CrossoverK returns the smallest hop bound k in [1, kMax] at which the
+// no-movement k-hop row favors the neuromorphic algorithm (conventional
+// O(km) exceeds neuromorphic O(m log nU)), or 0 if none does. The paper's
+// condition is log(nU) = o(k); the solver makes the constant concrete.
+func CrossoverK(p Params, kMax int64) int64 {
+	lo, hi := int64(1), kMax
+	if !khopBetterAt(p, hi) {
+		return 0
+	}
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if khopBetterAt(p, mid) {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo
+}
+
+func khopBetterAt(p Params, k int64) bool {
+	q := p
+	q.K = k
+	return ConvKHop(q) > NeuroKHopPoly(q)
+}
+
+// CrossoverL returns the largest shortest-path length L at which the
+// no-movement pseudopolynomial SSSP row still favors the neuromorphic
+// algorithm (O(L+m) below O(m + n log n)), or 0 if even L=1 loses. The
+// paper's window is L = o(n log n) with m = o(n log n).
+func CrossoverL(p Params, lMax int64) int64 {
+	if !pseudoBetterAt(p, 1) {
+		return 0
+	}
+	lo, hi := int64(1), lMax
+	for lo < hi {
+		mid := (lo + hi + 1) / 2
+		if pseudoBetterAt(p, mid) {
+			lo = mid
+		} else {
+			hi = mid - 1
+		}
+	}
+	return lo
+}
+
+func pseudoBetterAt(p Params, l int64) bool {
+	q := p
+	q.L = l
+	return ConvSSSP(q) > NeuroSSSPPseudo(q)
+}
+
+// CrossoverMovementM returns the smallest edge count m (scanning powers
+// of two up to mMax) at which the movement-charged pseudopolynomial SSSP
+// row favors the neuromorphic algorithm by at least the given factor,
+// or 0 if none does. Because the conventional side grows as m^{3/2} and
+// the neuromorphic as nL+m, the advantage is monotone in m for fixed
+// n·L — this solver quantifies where it clears the factor.
+func CrossoverMovementM(p Params, factor float64, mMax int64) int64 {
+	for m := int64(2); m <= mMax; m *= 2 {
+		q := p
+		q.M = m
+		if ConservativeMovementLB(q) > factor*NeuroSSSPPseudoMove(q) {
+			return m
+		}
+	}
+	return 0
+}

@@ -1,0 +1,100 @@
+package cost
+
+import (
+	"fmt"
+	"math"
+)
+
+// Row is one line of Table 1, evaluated at concrete parameters.
+type Row struct {
+	Problem      string // "SSSP" or "k-hop SSSP"
+	Regime       string // "polynomial" or "pseudopolynomial"
+	WithMovement bool
+	// ConservativeLB is the input-reading movement bound (movement rows
+	// only; 0 otherwise).
+	ConservativeLB float64
+	// Conventional is the conventional cost: the algorithm-specific
+	// movement lower bound (movement rows) or the RAM complexity.
+	Conventional float64
+	// Neuromorphic is the spiking algorithm's cost.
+	Neuromorphic float64
+	// Advantage is Conventional/Neuromorphic: > 1 means the neuromorphic
+	// algorithm wins at these parameters.
+	Advantage float64
+	// BetterWhen restates the paper's asymptotic advantage condition.
+	BetterWhen string
+	// ConditionHolds evaluates a concrete proxy of BetterWhen at the
+	// given parameters (o(·)/ω(·) conditions are checked as strict
+	// inequalities of the corresponding expressions).
+	ConditionHolds bool
+}
+
+func (r Row) String() string {
+	move := "no-move"
+	if r.WithMovement {
+		move = "move"
+	}
+	return fmt.Sprintf("%-28s %-8s conv=%.3g neuro=%.3g adv=%.3gx cond=%v",
+		r.Problem+"/"+r.Regime, move, r.Conventional, r.Neuromorphic, r.Advantage, r.ConditionHolds)
+}
+
+func row(problem, regime string, move bool, cons, conv, neuro float64, when string, holds bool) Row {
+	adv := 0.0
+	if neuro > 0 {
+		adv = conv / neuro
+	}
+	return Row{
+		Problem: problem, Regime: regime, WithMovement: move,
+		ConservativeLB: cons, Conventional: conv, Neuromorphic: neuro,
+		Advantage: adv, BetterWhen: when, ConditionHolds: holds,
+	}
+}
+
+// Table1 evaluates all eight rows of Table 1 at the given parameters.
+func Table1(p Params) []Row {
+	p.validate()
+	n, m := float64(p.N), float64(p.M)
+	k, l := float64(p.K), float64(p.L)
+	u, c := float64(p.U), float64(p.C)
+	alpha := float64(p.Alpha)
+	logn := lg(n)
+	lognu := lg(n * u)
+	logk := lg(k)
+	sqrtc := math.Sqrt(c)
+
+	rows := []Row{
+		// --- with data movement ---
+		row("SSSP", "polynomial", true,
+			ConservativeMovementLB(p), ConservativeMovementLB(p), NeuroSSSPPolyMove(p),
+			"log U = O(log n), c = o(m/log² n), α = o(m^{3/2}/(n·log n·√c))",
+			lg(u) <= 2*logn && c < m/(logn*logn) && alpha < math.Pow(m, 1.5)/(n*logn*sqrtc)),
+		row("k-hop SSSP", "polynomial", true,
+			ConservativeMovementLB(p), KHopMovementLB(p), NeuroKHopPolyMove(p),
+			"log U = O(log n), c = o(m³/(n²·log² n)), c = o(k²m/log² n)",
+			lg(u) <= 2*logn && c < m*m*m/(n*n*logn*logn) && c < k*k*m/(logn*logn)),
+		row("SSSP", "pseudopolynomial", true,
+			ConservativeMovementLB(p), ConservativeMovementLB(p), NeuroSSSPPseudoMove(p),
+			"L = o(m^{3/2}/(n·√c))",
+			l < math.Pow(m, 1.5)/(n*sqrtc)),
+		row("k-hop SSSP", "pseudopolynomial", true,
+			ConservativeMovementLB(p), KHopMovementLB(p), NeuroKHopPseudoMove(p),
+			"L = o(k·m^{3/2}/(n·√c·log k))",
+			l < k*math.Pow(m, 1.5)/(n*sqrtc*logk)),
+		// --- ignoring data movement ---
+		row("SSSP", "polynomial", false,
+			0, ConvSSSP(p), NeuroSSSPPoly(p),
+			"never", false),
+		row("k-hop SSSP", "polynomial", false,
+			0, ConvKHop(p), NeuroKHopPoly(p),
+			"log(nU) = o(k)", lognu < k),
+		row("SSSP", "pseudopolynomial", false,
+			0, ConvSSSP(p), NeuroSSSPPseudo(p),
+			"m, L = o(n log n) and L = o(m)",
+			m < n*logn && l < n*logn && l < m),
+		row("k-hop SSSP", "pseudopolynomial", false,
+			0, ConvKHop(p), NeuroKHopPseudo(p),
+			"L = o(km/log k) and k = ω(1)",
+			l < k*m/logk && k > 2),
+	}
+	return rows
+}

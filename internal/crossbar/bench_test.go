@@ -1,0 +1,50 @@
+package crossbar
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func BenchmarkBuildCrossbar(b *testing.B) {
+	for _, n := range []int{16, 64, 128} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				New(n)
+			}
+		})
+	}
+}
+
+func BenchmarkEmbedUnembed(b *testing.B) {
+	n := 64
+	cb := New(n)
+	g := graph.RandomGnm(n, 4*n, graph.Uniform(8), 1, true)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cb.Embed(g); err != nil {
+			b.Fatal(err)
+		}
+		cb.Unembed()
+	}
+}
+
+func BenchmarkCrossbarSSSP(b *testing.B) {
+	for _, n := range []int{16, 48} {
+		g := graph.RandomGnm(n, 4*n, graph.Uniform(6), int64(n), true)
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				cb := New(n)
+				if _, err := cb.Embed(g); err != nil {
+					b.Fatal(err)
+				}
+				r := cb.SSSP(0)
+				if r.Spikes == 0 {
+					b.Fatal("no spikes")
+				}
+			}
+		})
+	}
+}

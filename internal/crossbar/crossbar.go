@@ -1,0 +1,215 @@
+// Package crossbar implements the stacked-grid ("crossbar") host topology
+// H_n of Section 4.4 and the embedding of arbitrary graphs into it.
+//
+// H_n has 2n² vertices v⁻_ij and v⁺_ij and six edge types; vertex i of an
+// input graph G is represented by row i of the + layer together with
+// column i of the − layer, and the graph edge ij corresponds to the
+// type-2 "drop" edge v⁺_ij → v⁻_ij. All edges of types 1 and 3–6 carry
+// the unit hardware delay δ=1; a type-2 edge carries delay
+// ℓ(ij) − 2|i−j| − 1 after all input lengths are scaled so the minimum is
+// at least 2n, making every programmed delay positive. A canonical
+// i-to-j traversal then costs exactly the scaled ℓ(ij):
+//
+//	1 + |j−i| + (ℓ(ij) − 2|i−j| − 1) + |j−i| = ℓ(ij).
+//
+// Type-2 edges of absent graph edges are "disabled" by programming the
+// infinite delay graph.Inf, so the fixed hardware topology hosts any
+// n-vertex graph, and re-embedding another graph touches only O(m) edges
+// (the paper's embed/unembed sequence argument).
+package crossbar
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+)
+
+// EdgeType labels the six edge families of the H_n definition.
+type EdgeType int8
+
+const (
+	// TypeDiag is type 1: v⁻_ii → v⁺_ii.
+	TypeDiag EdgeType = 1
+	// TypeDrop is type 2: v⁺_ij → v⁻_ij (i≠j), the programmable edges.
+	TypeDrop EdgeType = 2
+	// TypeRowRight is type 3: v⁺_ij → v⁺_i(j+1) for i <= j.
+	TypeRowRight EdgeType = 3
+	// TypeRowLeft is type 4: v⁺_i(j+1) → v⁺_ij for i > j.
+	TypeRowLeft EdgeType = 4
+	// TypeColDown is type 5: v⁻_ij → v⁻_(i+1)j for i < j.
+	TypeColDown EdgeType = 5
+	// TypeColUp is type 6: v⁻_(i+1)j → v⁻_ij for i >= j.
+	TypeColUp EdgeType = 6
+)
+
+// Crossbar is an H_n instance with programmable type-2 delays.
+type Crossbar struct {
+	// Order is n: the crossbar hosts graphs with up to n vertices.
+	Order int
+	// G is the host graph: 2n² vertices, 3n²−2n edges, whose edge
+	// lengths are the currently programmed delays.
+	G *graph.Graph
+	// Types[e] is the edge family of host edge e.
+	Types []EdgeType
+
+	drop     [][]int32 // drop[i][j] = index of the type-2 edge (i≠j), -1 on diagonal
+	embedded *graph.Graph
+	scale    int64
+	position []int // graph vertex -> crossbar slot (nil = identity)
+	// Reprogrammed counts type-2 delay writes over the crossbar's
+	// lifetime; each Embed/Unembed adds O(m).
+	Reprogrammed int64
+}
+
+// VMinus returns the host index of v⁻_ij (0-based i, j).
+func (c *Crossbar) VMinus(i, j int) int { return i*c.Order + j }
+
+// VPlus returns the host index of v⁺_ij.
+func (c *Crossbar) VPlus(i, j int) int { return c.Order*c.Order + i*c.Order + j }
+
+// Entry returns the host vertex representing graph vertex i: v⁻_pp at
+// the vertex's crossbar slot p (its own index for plain Embed, its
+// assigned position for EmbedOrdered) — the endpoint of the shortest-path
+// equivalence of Section 4.4.
+func (c *Crossbar) Entry(i int) int {
+	p := i
+	if c.position != nil {
+		p = c.position[i]
+	}
+	return c.VMinus(p, p)
+}
+
+// New builds H_n with all fixed edges at delay 1 and all type-2 edges
+// disabled (delay graph.Inf).
+func New(n int) *Crossbar {
+	if n < 1 {
+		panic(fmt.Sprintf("crossbar: order %d < 1", n))
+	}
+	c := &Crossbar{
+		Order: n,
+		G:     graph.New(2 * n * n),
+		drop:  make([][]int32, n),
+	}
+	add := func(u, v int, l int64, t EdgeType) int {
+		idx := c.G.AddEdge(u, v, l)
+		c.Types = append(c.Types, t)
+		return idx
+	}
+	for i := 0; i < n; i++ {
+		c.drop[i] = make([]int32, n)
+		for j := 0; j < n; j++ {
+			c.drop[i][j] = -1
+		}
+	}
+	for i := 0; i < n; i++ {
+		add(c.VMinus(i, i), c.VPlus(i, i), 1, TypeDiag)
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i != j {
+				c.drop[i][j] = int32(add(c.VPlus(i, j), c.VMinus(i, j), graph.Inf, TypeDrop))
+			}
+		}
+	}
+	for j := 0; j+1 < n; j++ {
+		for i := 0; i <= j; i++ {
+			add(c.VPlus(i, j), c.VPlus(i, j+1), 1, TypeRowRight)
+		}
+		for i := j + 1; i < n; i++ {
+			add(c.VPlus(i, j+1), c.VPlus(i, j), 1, TypeRowLeft)
+		}
+	}
+	for i := 0; i+1 < n; i++ {
+		for j := i + 1; j < n; j++ {
+			add(c.VMinus(i, j), c.VMinus(i+1, j), 1, TypeColDown)
+		}
+		for j := 0; j <= i; j++ {
+			add(c.VMinus(i+1, j), c.VMinus(i, j), 1, TypeColUp)
+		}
+	}
+	return c
+}
+
+// Scale returns the length multiplier of the current embedding (0 when
+// nothing is embedded): host distances are Scale × graph distances.
+func (c *Crossbar) Scale() int64 { return c.scale }
+
+// Embedded returns the currently embedded graph, or nil.
+func (c *Crossbar) Embedded() *graph.Graph { return c.embedded }
+
+// Embed programs g into the crossbar. g must have at most Order vertices,
+// no self-loops, and positive edge lengths; parallel edges collapse to
+// their minimum length (the crossbar has one drop edge per vertex pair).
+// It returns the length scale applied. Only O(m) type-2 delays are
+// written. Embed fails if another graph is currently embedded — call
+// Unembed first (the serial embedding workflow of Section 4.4).
+func (c *Crossbar) Embed(g *graph.Graph) (int64, error) {
+	if c.embedded != nil {
+		return 0, fmt.Errorf("crossbar: already hosting a graph; Unembed first")
+	}
+	if g.N() > c.Order {
+		return 0, fmt.Errorf("crossbar: graph has %d vertices, order is %d", g.N(), c.Order)
+	}
+	minLen := g.MinLen()
+	if g.M() > 0 && minLen < 1 {
+		return 0, fmt.Errorf("crossbar: edge lengths must be >= 1")
+	}
+	for _, e := range g.Edges() {
+		if e.From == e.To {
+			return 0, fmt.Errorf("crossbar: self-loop (%d,%d) cannot be embedded", e.From, e.To)
+		}
+	}
+	// Scale all lengths so the smallest is at least 2n, guaranteeing
+	// every type-2 delay ℓ − 2|i−j| − 1 >= 1.
+	n64 := int64(c.Order)
+	scale := int64(1)
+	if g.M() > 0 && minLen < 2*n64 {
+		scale = (2*n64 + minLen - 1) / minLen
+	}
+	for _, e := range g.Edges() {
+		l := e.Len * scale
+		delay := l - 2*absDiff(e.From, e.To) - 1
+		if delay < 1 {
+			panic("crossbar: scaled drop delay underflow")
+		}
+		idx := c.drop[e.From][e.To]
+		// Parallel edges: keep the smallest delay.
+		if cur := c.G.Edge(int(idx)).Len; delay < cur {
+			c.G.SetLen(int(idx), delay)
+			c.Reprogrammed++
+		}
+	}
+	c.embedded = g
+	c.scale = scale
+	c.position = nil
+	return scale, nil
+}
+
+// Unembed disables the type-2 edges of the current embedding, restoring
+// the pristine crossbar in O(m) delay writes.
+func (c *Crossbar) Unembed() {
+	if c.embedded == nil {
+		return
+	}
+	for _, e := range c.embedded.Edges() {
+		pu, pv := e.From, e.To
+		if c.position != nil {
+			pu, pv = c.position[e.From], c.position[e.To]
+		}
+		idx := c.drop[pu][pv]
+		if c.G.Edge(int(idx)).Len != graph.Inf {
+			c.G.SetLen(int(idx), graph.Inf)
+			c.Reprogrammed++
+		}
+	}
+	c.embedded = nil
+	c.scale = 0
+	c.position = nil
+}
+
+func absDiff(a, b int) int64 {
+	if a > b {
+		return int64(a - b)
+	}
+	return int64(b - a)
+}

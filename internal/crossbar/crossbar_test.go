@@ -1,0 +1,268 @@
+package crossbar
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/classic"
+	"repro/internal/graph"
+)
+
+func TestH3Structure(t *testing.T) {
+	// Figure 2: H_3 has 2·3² = 18 vertices and the six edge families.
+	c := New(3)
+	if c.G.N() != 18 {
+		t.Fatalf("H_3 vertices %d, want 18", c.G.N())
+	}
+	if c.G.M() != 3*9-2*3 {
+		t.Fatalf("H_3 edges %d, want %d", c.G.M(), 3*9-2*3)
+	}
+	counts := map[EdgeType]int{}
+	for _, ty := range c.Types {
+		counts[ty]++
+	}
+	want := map[EdgeType]int{
+		TypeDiag:     3,
+		TypeDrop:     6,
+		TypeRowRight: 3,
+		TypeRowLeft:  3,
+		TypeColDown:  3,
+		TypeColUp:    3,
+	}
+	for ty, w := range want {
+		if counts[ty] != w {
+			t.Fatalf("type %d count %d, want %d", ty, counts[ty], w)
+		}
+	}
+}
+
+func TestHnEdgeCounts(t *testing.T) {
+	for _, n := range []int{1, 2, 4, 8, 16} {
+		c := New(n)
+		if c.G.N() != 2*n*n {
+			t.Fatalf("H_%d vertices %d", n, c.G.N())
+		}
+		if c.G.M() != 3*n*n-2*n {
+			t.Fatalf("H_%d edges %d, want %d", n, c.G.M(), 3*n*n-2*n)
+		}
+		if err := c.G.Validate(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestPathLengthIdentity(t *testing.T) {
+	// The canonical i->j traversal costs exactly the programmed length:
+	// 1 + |j-i| + (L - 2|i-j| - 1) + |j-i| = L (Section 4.4).
+	g := graph.New(5)
+	g.AddEdge(1, 4, 25) // long enough that no scaling distorts: minLen 25 >= 2n=10
+	c := New(5)
+	scale, err := c.Embed(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if scale != 1 {
+		t.Fatalf("scale %d, want 1 (minLen already >= 2n)", scale)
+	}
+	d := classic.Dijkstra(c.G, c.Entry(1))
+	if got := d.Dist[c.Entry(4)]; got != 25 {
+		t.Fatalf("host distance %d, want 25", got)
+	}
+}
+
+func TestEmbedScaling(t *testing.T) {
+	g := graph.New(4)
+	g.AddEdge(0, 3, 1) // minLen 1 < 2n=8 -> scale 8
+	c := New(4)
+	scale, err := c.Embed(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if scale != 8 {
+		t.Fatalf("scale %d, want 8", scale)
+	}
+	d := classic.Dijkstra(c.G, c.Entry(0))
+	if got := d.Dist[c.Entry(3)]; got != 8 {
+		t.Fatalf("host distance %d, want scale·1 = 8", got)
+	}
+}
+
+func TestEmbedDisabledEdgesBlockPaths(t *testing.T) {
+	g := graph.New(3)
+	g.AddEdge(0, 1, 1)
+	c := New(3)
+	if _, err := c.Embed(g); err != nil {
+		t.Fatal(err)
+	}
+	d := classic.Dijkstra(c.G, c.Entry(0))
+	if d.Dist[c.Entry(2)] < graph.Inf {
+		t.Fatalf("path to unconnected vertex via disabled edges: %d", d.Dist[c.Entry(2)])
+	}
+}
+
+func TestEmbedRejections(t *testing.T) {
+	c := New(3)
+	big := graph.Ring(4, graph.Unit, 0)
+	if _, err := c.Embed(big); err == nil {
+		t.Fatal("oversized graph accepted")
+	}
+	loop := graph.New(2)
+	loop.AddEdge(1, 1, 3)
+	if _, err := c.Embed(loop); err == nil {
+		t.Fatal("self-loop accepted")
+	}
+	zero := graph.New(2)
+	zero.AddEdge(0, 1, 0)
+	if _, err := c.Embed(zero); err == nil {
+		t.Fatal("zero-length edge accepted")
+	}
+	ok := graph.New(2)
+	ok.AddEdge(0, 1, 1)
+	if _, err := c.Embed(ok); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Embed(ok); err == nil {
+		t.Fatal("double embed accepted")
+	}
+}
+
+func TestEmbedUnembedSequence(t *testing.T) {
+	// Section 4.4: serially embedding p graphs costs O(sum m_i) delay
+	// writes, not O(p·n²).
+	c := New(8)
+	var totalM int64
+	for p := 0; p < 5; p++ {
+		g := graph.RandomGnm(8, 20, graph.Uniform(5), int64(p), true)
+		scale, err := c.Embed(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if scale < 1 {
+			t.Fatalf("scale %d", scale)
+		}
+		// Distances on the crossbar match direct Dijkstra.
+		want := classic.Dijkstra(g, 0)
+		got := c.SSSP(0)
+		for v := 0; v < g.N(); v++ {
+			if got.Dist[v] != want.Dist[v] {
+				t.Fatalf("embed %d: dist[%d] = %d, want %d", p, v, got.Dist[v], want.Dist[v])
+			}
+		}
+		c.Unembed()
+		totalM += int64(g.M())
+	}
+	if c.Reprogrammed > 2*totalM {
+		t.Fatalf("reprogrammed %d delays for %d total edges", c.Reprogrammed, totalM)
+	}
+	if c.Embedded() != nil || c.Scale() != 0 {
+		t.Fatalf("unembed incomplete")
+	}
+}
+
+func TestCrossbarSSSPMatchesDijkstra(t *testing.T) {
+	g := graph.RandomGnm(12, 50, graph.Uniform(6), 7, true)
+	c := New(12)
+	if _, err := c.Embed(g); err != nil {
+		t.Fatal(err)
+	}
+	got := c.SSSP(0)
+	want := classic.Dijkstra(g, 0)
+	for v := 0; v < g.N(); v++ {
+		if got.Dist[v] != want.Dist[v] {
+			t.Fatalf("dist[%d] = %d, want %d", v, got.Dist[v], want.Dist[v])
+		}
+	}
+	if got.HostNeurons != 2*12*12 {
+		t.Fatalf("host neurons %d", got.HostNeurons)
+	}
+}
+
+func TestEmbeddingCostFactor(t *testing.T) {
+	// The crossbar run is slower by the scale factor ~2n/minLen: the O(n)
+	// embedding cost of Section 4.5.
+	g := graph.RandomGnm(10, 40, graph.Unit, 3, true)
+	c := New(10)
+	if _, err := c.Embed(g); err != nil {
+		t.Fatal(err)
+	}
+	r := c.SSSP(0)
+	direct := classic.Dijkstra(g, 0)
+	var l int64
+	for v, d := range direct.Dist {
+		if d < graph.Inf && d > l {
+			l = direct.Dist[v]
+		}
+	}
+	if r.HostSpikeTime != r.Scale*l {
+		t.Fatalf("host time %d, want scale %d × L %d", r.HostSpikeTime, r.Scale, l)
+	}
+	if r.Scale != 2*10 {
+		t.Fatalf("unit-length graph scale %d, want 2n=20", r.Scale)
+	}
+}
+
+func TestParallelEdgesKeepShortest(t *testing.T) {
+	g := graph.New(2)
+	g.AddEdge(0, 1, 30)
+	g.AddEdge(0, 1, 50)
+	c := New(2)
+	if _, err := c.Embed(g); err != nil {
+		t.Fatal(err)
+	}
+	got := c.SSSP(0)
+	if got.Dist[1] != 30 {
+		t.Fatalf("parallel embed dist %d, want 30", got.Dist[1])
+	}
+}
+
+func TestSmallOrders(t *testing.T) {
+	// H_1 hosts the single-vertex graph.
+	c := New(1)
+	g := graph.New(1)
+	if _, err := c.Embed(g); err != nil {
+		t.Fatal(err)
+	}
+	r := c.SSSP(0)
+	if r.Dist[0] != 0 {
+		t.Fatalf("H_1 self distance %d", r.Dist[0])
+	}
+	// H_2 with both directions.
+	c2 := New(2)
+	g2 := graph.New(2)
+	g2.AddEdge(0, 1, 2)
+	g2.AddEdge(1, 0, 3)
+	if _, err := c2.Embed(g2); err != nil {
+		t.Fatal(err)
+	}
+	r2 := c2.SSSP(0)
+	if r2.Dist[1] != 2 {
+		t.Fatalf("H_2 dist %d, want 2", r2.Dist[1])
+	}
+}
+
+// Property: crossbar SSSP equals direct Dijkstra for random graphs,
+// random orders, and graphs smaller than the crossbar order.
+func TestCrossbarEquivalenceProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nG := rng.Intn(9) + 2
+		order := nG + rng.Intn(3)
+		g := graph.RandomGnm(nG, rng.Intn(4*nG), graph.Uniform(int64(rng.Intn(8)+1)), seed, true)
+		c := New(order)
+		if _, err := c.Embed(g); err != nil {
+			return false
+		}
+		got := c.SSSP(0)
+		want := classic.Dijkstra(g, 0)
+		for v := 0; v < nG; v++ {
+			if got.Dist[v] != want.Dist[v] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

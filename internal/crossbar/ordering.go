@@ -1,0 +1,157 @@
+package crossbar
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/graph"
+)
+
+// Section 4.4 closes with: "The embedding cost is conservative since we
+// assume the worst case of embedding a complete SNN directed graph G into
+// a crossbar. It is likely that better embeddings exist for special graph
+// classes of interest." This file realizes that remark.
+//
+// The general embedding scales lengths to 2n because a drop edge (i,j)
+// must absorb a detour of 2|i−j|, and |i−j| can reach n−1. But the
+// detour only depends on the *bandwidth* of the vertex numbering: if a
+// numbering keeps every edge's endpoints within b positions, scaling to
+// 2b+2 suffices. Low-bandwidth numberings exist for paths (b=1), grids
+// (b=side), and generally for graphs with small separators; the classic
+// heuristic is the (reverse) Cuthill–McKee BFS ordering.
+
+// Bandwidth returns the bandwidth of g under the given numbering
+// position[v] (the maximum |position[u]−position[v]| over edges).
+func Bandwidth(g *graph.Graph, position []int) int64 {
+	var b int64
+	for _, e := range g.Edges() {
+		d := absDiff(position[e.From], position[e.To])
+		if d > b {
+			b = d
+		}
+	}
+	return b
+}
+
+// CuthillMcKee computes a reverse Cuthill–McKee ordering of g's
+// undirected support and returns position[v] = the slot assigned to
+// vertex v. Disconnected components are processed from successive
+// minimum-degree seeds.
+func CuthillMcKee(g *graph.Graph) []int {
+	n := g.N()
+	// Undirected adjacency with degrees.
+	adj := make([][]int, n)
+	seenPair := map[[2]int]bool{}
+	addUndirected := func(u, v int) {
+		if u == v {
+			return
+		}
+		a, b := u, v
+		if a > b {
+			a, b = b, a
+		}
+		if seenPair[[2]int{a, b}] {
+			return
+		}
+		seenPair[[2]int{a, b}] = true
+		adj[u] = append(adj[u], v)
+		adj[v] = append(adj[v], u)
+	}
+	for _, e := range g.Edges() {
+		addUndirected(e.From, e.To)
+	}
+	deg := func(v int) int { return len(adj[v]) }
+
+	visited := make([]bool, n)
+	order := make([]int, 0, n)
+	for len(order) < n {
+		// Seed: unvisited vertex of minimum degree.
+		seed, best := -1, n+1
+		for v := 0; v < n; v++ {
+			if !visited[v] && deg(v) < best {
+				seed, best = v, deg(v)
+			}
+		}
+		visited[seed] = true
+		queue := []int{seed}
+		for len(queue) > 0 {
+			u := queue[0]
+			queue = queue[1:]
+			order = append(order, u)
+			nbrs := make([]int, 0, len(adj[u]))
+			for _, w := range adj[u] {
+				if !visited[w] {
+					visited[w] = true
+					nbrs = append(nbrs, w)
+				}
+			}
+			sort.Slice(nbrs, func(i, j int) bool { return deg(nbrs[i]) < deg(nbrs[j]) })
+			queue = append(queue, nbrs...)
+		}
+	}
+	// Reverse (RCM) and convert to positions.
+	position := make([]int, n)
+	for i, v := range order {
+		position[v] = n - 1 - i
+	}
+	return position
+}
+
+// EmbedOrdered programs g into the crossbar under the vertex numbering
+// position[v] ∈ [0, Order): graph vertex v occupies crossbar row/column
+// position[v], and lengths are scaled to 2·bandwidth+2 instead of the
+// worst-case 2n — the "better embedding" of Section 4.4's closing remark.
+// Entry and SSSP transparently apply the numbering.
+func (c *Crossbar) EmbedOrdered(g *graph.Graph, position []int) (int64, error) {
+	if c.embedded != nil {
+		return 0, fmt.Errorf("crossbar: already hosting a graph; Unembed first")
+	}
+	if g.N() > c.Order {
+		return 0, fmt.Errorf("crossbar: graph has %d vertices, order is %d", g.N(), c.Order)
+	}
+	if len(position) != g.N() {
+		return 0, fmt.Errorf("crossbar: %d positions for %d vertices", len(position), g.N())
+	}
+	used := make([]bool, c.Order)
+	for v, p := range position {
+		if p < 0 || p >= c.Order {
+			return 0, fmt.Errorf("crossbar: position %d of vertex %d outside [0,%d)", p, v, c.Order)
+		}
+		if used[p] {
+			return 0, fmt.Errorf("crossbar: duplicate position %d", p)
+		}
+		used[p] = true
+	}
+	minLen := g.MinLen()
+	if g.M() > 0 && minLen < 1 {
+		return 0, fmt.Errorf("crossbar: edge lengths must be >= 1")
+	}
+	for _, e := range g.Edges() {
+		if e.From == e.To {
+			return 0, fmt.Errorf("crossbar: self-loop (%d,%d) cannot be embedded", e.From, e.To)
+		}
+	}
+	bw := Bandwidth(g, position)
+	need := 2*bw + 2
+	scale := int64(1)
+	if g.M() > 0 && minLen < need {
+		scale = (need + minLen - 1) / minLen
+	}
+	for _, e := range g.Edges() {
+		pu, pv := position[e.From], position[e.To]
+		l := e.Len * scale
+		delay := l - 2*absDiff(pu, pv) - 1
+		if delay < 1 {
+			panic("crossbar: ordered drop delay underflow")
+		}
+		idx := c.drop[pu][pv]
+		if cur := c.G.Edge(int(idx)).Len; delay < cur {
+			c.G.SetLen(int(idx), delay)
+			c.Reprogrammed++
+		}
+	}
+	c.embedded = g
+	c.scale = scale
+	c.position = position
+	return scale, nil
+}

@@ -1,0 +1,188 @@
+package crossbar
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/classic"
+	"repro/internal/graph"
+)
+
+func identityPos(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	return p
+}
+
+func TestBandwidth(t *testing.T) {
+	g := graph.Path(5, graph.Unit, 0)
+	if b := Bandwidth(g, identityPos(5)); b != 1 {
+		t.Fatalf("path bandwidth %d", b)
+	}
+	rev := []int{4, 3, 2, 1, 0}
+	if b := Bandwidth(g, rev); b != 1 {
+		t.Fatalf("reversed path bandwidth %d", b)
+	}
+	scrambled := []int{0, 4, 1, 3, 2}
+	if b := Bandwidth(g, scrambled); b <= 1 {
+		t.Fatalf("scrambled bandwidth %d", b)
+	}
+}
+
+func TestCuthillMcKeeReducesPathBandwidth(t *testing.T) {
+	// A path presented in scrambled vertex order has terrible identity
+	// bandwidth; RCM recovers bandwidth 1.
+	n := 40
+	perm := rand.New(rand.NewSource(5)).Perm(n)
+	g := graph.New(n)
+	for i := 0; i+1 < n; i++ {
+		g.AddEdge(perm[i], perm[i+1], 1)
+		g.AddEdge(perm[i+1], perm[i], 1)
+	}
+	idBW := Bandwidth(g, identityPos(n))
+	pos := CuthillMcKee(g)
+	rcmBW := Bandwidth(g, pos)
+	if rcmBW != 1 {
+		t.Fatalf("RCM path bandwidth %d, want 1 (identity had %d)", rcmBW, idBW)
+	}
+}
+
+func TestCuthillMcKeeGrid(t *testing.T) {
+	g := graph.Grid(6, 6, graph.Unit, 0)
+	pos := CuthillMcKee(g)
+	bw := Bandwidth(g, pos)
+	// Grid bandwidth is Θ(side); RCM should be near 6-8, far below n=36.
+	if bw > 12 {
+		t.Fatalf("grid RCM bandwidth %d", bw)
+	}
+}
+
+func TestCuthillMcKeeIsPermutation(t *testing.T) {
+	g := graph.RandomGnm(30, 90, graph.Unit, 7, true)
+	pos := CuthillMcKee(g)
+	seen := make([]bool, len(pos))
+	for _, p := range pos {
+		if p < 0 || p >= len(pos) || seen[p] {
+			t.Fatalf("positions not a permutation: %v", pos)
+		}
+		seen[p] = true
+	}
+}
+
+func TestCuthillMcKeeDisconnected(t *testing.T) {
+	g := graph.New(6)
+	g.AddEdge(0, 1, 1)
+	g.AddEdge(3, 4, 1)
+	pos := CuthillMcKee(g)
+	seen := make([]bool, 6)
+	for _, p := range pos {
+		seen[p] = true
+	}
+	for i, ok := range seen {
+		if !ok {
+			t.Fatalf("slot %d unassigned", i)
+		}
+	}
+}
+
+func TestEmbedOrderedScaleBeatsGeneral(t *testing.T) {
+	// Unit-length path graph of n=32: general embedding scales by 2n=64;
+	// RCM-ordered embedding scales by 2·1+2 = 4.
+	n := 32
+	perm := rand.New(rand.NewSource(9)).Perm(n)
+	g := graph.New(n)
+	for i := 0; i+1 < n; i++ {
+		g.AddEdge(perm[i], perm[i+1], 1)
+	}
+	general := New(n)
+	gs, err := general.Embed(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ordered := New(n)
+	pos := CuthillMcKee(g)
+	os, err := ordered.EmbedOrdered(g, pos)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if os >= gs {
+		t.Fatalf("ordered scale %d not below general %d", os, gs)
+	}
+	if os != 4 {
+		t.Fatalf("ordered path scale %d, want 4", os)
+	}
+}
+
+func TestEmbedOrderedDistancesCorrect(t *testing.T) {
+	for seed := int64(0); seed < 6; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(10) + 4
+		g := graph.RandomGnm(n, rng.Intn(3*n), graph.Uniform(5), seed, true)
+		cb := New(n)
+		pos := CuthillMcKee(g)
+		if _, err := cb.EmbedOrdered(g, pos); err != nil {
+			t.Fatal(err)
+		}
+		got := cb.SSSP(0)
+		want := classic.Dijkstra(g, 0)
+		for v := 0; v < n; v++ {
+			if got.Dist[v] != want.Dist[v] {
+				t.Fatalf("seed %d: dist[%d] = %d, want %d", seed, v, got.Dist[v], want.Dist[v])
+			}
+		}
+		// Re-embedding after unembed must work with positions applied.
+		cb.Unembed()
+		if _, err := cb.Embed(g); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestEmbedOrderedValidation(t *testing.T) {
+	g := graph.Path(3, graph.Unit, 0)
+	cb := New(3)
+	if _, err := cb.EmbedOrdered(g, []int{0, 1}); err == nil {
+		t.Fatal("short position vector accepted")
+	}
+	if _, err := cb.EmbedOrdered(g, []int{0, 1, 1}); err == nil {
+		t.Fatal("duplicate positions accepted")
+	}
+	if _, err := cb.EmbedOrdered(g, []int{0, 1, 9}); err == nil {
+		t.Fatal("out-of-range position accepted")
+	}
+	if _, err := cb.EmbedOrdered(g, []int{0, 1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cb.EmbedOrdered(g, []int{0, 1, 2}); err == nil {
+		t.Fatal("double embed accepted")
+	}
+}
+
+func TestEmbedOrderedSSSPFasterHostTime(t *testing.T) {
+	// Lower scale means proportionally lower host spiking time.
+	n := 24
+	g := graph.New(n)
+	for i := 0; i+1 < n; i++ {
+		g.AddEdge(i, i+1, 1)
+	}
+	general := New(n)
+	if _, err := general.Embed(g); err != nil {
+		t.Fatal(err)
+	}
+	gRun := general.SSSP(0)
+	ordered := New(n)
+	if _, err := ordered.EmbedOrdered(g, CuthillMcKee(g)); err != nil {
+		t.Fatal(err)
+	}
+	oRun := ordered.SSSP(0)
+	if oRun.HostSpikeTime >= gRun.HostSpikeTime {
+		t.Fatalf("ordered host time %d not below general %d", oRun.HostSpikeTime, gRun.HostSpikeTime)
+	}
+	for v := 0; v < n; v++ {
+		if oRun.Dist[v] != gRun.Dist[v] {
+			t.Fatalf("distance mismatch at %d", v)
+		}
+	}
+}

@@ -1,0 +1,66 @@
+package crossbar
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+)
+
+// SSSPResult reports a spiking SSSP run executed on the crossbar rather
+// than on the input graph directly, with the embedding-cost accounting of
+// Section 4.5.
+type SSSPResult struct {
+	// Dist[v] is the (unscaled) shortest-path distance in the embedded
+	// graph, decoded from host first-spike times.
+	Dist []int64
+	// HostSpikeTime is the simulated time on the crossbar: Scale × L.
+	// The ratio HostSpikeTime/L is the measured embedding cost (the O(n)
+	// factor of Theorem 4.1's "otherwise" clause).
+	HostSpikeTime int64
+	// Scale is the length multiplier of the embedding.
+	Scale int64
+	// HostNeurons and HostSynapses describe the crossbar network (Θ(n²)).
+	HostNeurons, HostSynapses int
+	// Spikes counts host neuron firings during the run.
+	Spikes int64
+}
+
+// SSSP runs the pseudopolynomial spiking SSSP algorithm of Section 3 on
+// the crossbar hosting the currently embedded graph, from the embedded
+// graph's vertex src. Distances are read at the diagonal entry vertices
+// and unscaled; vertices of the host that do not correspond to embedded
+// vertices are ignored.
+func (c *Crossbar) SSSP(src int) *SSSPResult {
+	if c.embedded == nil {
+		panic("crossbar: no graph embedded")
+	}
+	g := c.embedded
+	if src < 0 || src >= g.N() {
+		panic(fmt.Sprintf("crossbar: source %d out of range [0,%d)", src, g.N()))
+	}
+	run := core.SSSP(c.G, c.Entry(src), -1)
+
+	res := &SSSPResult{
+		Dist:         make([]int64, g.N()),
+		Scale:        c.scale,
+		HostNeurons:  run.Neurons,
+		HostSynapses: run.Synapses,
+		Spikes:       run.Stats.Spikes,
+	}
+	for v := 0; v < g.N(); v++ {
+		d := run.Dist[c.Entry(v)]
+		if d >= graph.Inf {
+			res.Dist[v] = graph.Inf
+			continue
+		}
+		if d%c.scale != 0 {
+			panic(fmt.Sprintf("crossbar: host distance %d not a multiple of scale %d", d, c.scale))
+		}
+		res.Dist[v] = d / c.scale
+		if d > res.HostSpikeTime {
+			res.HostSpikeTime = d
+		}
+	}
+	return res
+}

@@ -1,0 +1,247 @@
+package distance
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+)
+
+// ScanInput charges the cost of reading an m-word input once (every input
+// word travels to its nearest register) and returns the movement cost —
+// the quantity Theorem 6.1 lower-bounds.
+func ScanInput(words, c int, placement Placement) int64 {
+	m := NewMachine(words, c, placement)
+	in := m.Alloc(words)
+	for i := 0; i < words; i++ {
+		m.Load(in.At(i))
+	}
+	return m.Cost
+}
+
+// BFResult reports a DISTANCE-instrumented k-hop Bellman-Ford run.
+type BFResult struct {
+	Dist []int64
+	// Movement is the accumulated ℓ1 data movement, the Theorem 6.2
+	// quantity.
+	Movement int64
+	// Touches counts load/store events.
+	Touches int64
+}
+
+// BellmanFordKHop runs the Section 6.2 algorithm on the DISTANCE machine:
+// the edge list (three words per edge: endpoints and length) and the two
+// distance arrays live on the lattice; each round relaxes every edge,
+// moving the edge record and the endpoint distances through a register.
+func BellmanFordKHop(g *graph.Graph, src, k, c int, placement Placement) *BFResult {
+	n, mEdges := g.N(), g.M()
+	if src < 0 || src >= n {
+		panic(fmt.Sprintf("distance: source %d out of range", src))
+	}
+	if k < 0 {
+		panic("distance: negative hop bound")
+	}
+	total := 3*mEdges + 2*n + 4
+	mach := NewMachine(total, c, placement)
+	edgeSpan := mach.Alloc(3 * mEdges) // (from, to, len) per edge
+	curSpan := mach.Alloc(n)
+	nextSpan := mach.Alloc(n)
+
+	cur := make([]int64, n)
+	for v := range cur {
+		cur[v] = graph.Inf
+	}
+	cur[src] = 0
+	next := make([]int64, n)
+
+	edges := g.Edges()
+	for round := 1; round <= k; round++ {
+		// next <- cur: each word moves through a register.
+		for v := 0; v < n; v++ {
+			mach.Op(curSpan.At(v), curSpan.At(v), nextSpan.At(v))
+		}
+		copy(next, cur)
+		for i := range edges {
+			e := &edges[i]
+			// Move the edge record to a register...
+			mach.Load(edgeSpan.At(3 * i))
+			mach.Load(edgeSpan.At(3*i + 1))
+			mach.Load(edgeSpan.At(3*i + 2))
+			// ...and relax: dist[from] + len compared against next[to],
+			// result written back to next[to].
+			mach.Op(curSpan.At(e.From), edgeSpan.At(3*i+2), nextSpan.At(e.To))
+			if cur[e.From] >= graph.Inf {
+				continue
+			}
+			if nd := cur[e.From] + e.Len; nd < next[e.To] {
+				next[e.To] = nd
+			}
+		}
+		cur, next = next, cur
+		curSpan, nextSpan = nextSpan, curSpan
+	}
+	return &BFResult{
+		Dist:     cur,
+		Movement: mach.Cost,
+		Touches:  mach.Loads + mach.Stores + mach.Ops,
+	}
+}
+
+// DijkstraResult reports a DISTANCE-instrumented Dijkstra run.
+type DijkstraResult struct {
+	Dist     []int64
+	Movement int64
+	Touches  int64
+}
+
+// Dijkstra runs binary-heap Dijkstra on the DISTANCE machine: the CSR
+// arrays (offsets, targets, lengths), the distance array and the heap all
+// live on the lattice, and every access pays its travel. Even though
+// Dijkstra's RAM complexity is O(m + n log n), each of the m edge reads
+// alone costs Ω(√(m/c)) movement — the Theorem 6.1 floor.
+func Dijkstra(g *graph.Graph, src, c int, placement Placement) *DijkstraResult {
+	n, mEdges := g.N(), g.M()
+	if src < 0 || src >= n {
+		panic(fmt.Sprintf("distance: source %d out of range", src))
+	}
+	heapCap := mEdges + n + 1
+	total := (n + 1) + 2*mEdges + n + 2*heapCap
+	mach := NewMachine(total, c, placement)
+	offSpan := mach.Alloc(n + 1)
+	toSpan := mach.Alloc(mEdges)
+	lenSpan := mach.Alloc(mEdges)
+	distSpan := mach.Alloc(n)
+	heapSpan := mach.Alloc(2 * heapCap) // (vertex, key) pairs
+
+	// CSR construction (charged as part of loading, not the run).
+	off := make([]int, n+1)
+	for v := 0; v < n; v++ {
+		off[v+1] = off[v] + g.OutDeg(v)
+	}
+	eTo := make([]int, mEdges)
+	eLen := make([]int64, mEdges)
+	fill := make([]int, n)
+	for v := 0; v < n; v++ {
+		for _, ei := range g.Out(v) {
+			e := g.Edge(int(ei))
+			idx := off[v] + fill[v]
+			fill[v]++
+			eTo[idx] = e.To
+			eLen[idx] = e.Len
+		}
+	}
+
+	dist := make([]int64, n)
+	for v := range dist {
+		dist[v] = graph.Inf
+	}
+	dist[src] = 0
+	mach.Store(distSpan.At(src))
+
+	type hItem struct {
+		v int
+		d int64
+	}
+	heapArr := make([]hItem, 0, heapCap)
+	heapTouch := func(slot int) {
+		mach.Load(heapSpan.At(2 * slot))
+		mach.Load(heapSpan.At(2*slot + 1))
+	}
+	push := func(it hItem) {
+		heapArr = append(heapArr, it)
+		i := len(heapArr) - 1
+		mach.Store(heapSpan.At(2 * i))
+		mach.Store(heapSpan.At(2*i + 1))
+		for i > 0 {
+			p := (i - 1) / 2
+			heapTouch(p)
+			if heapArr[p].d <= heapArr[i].d {
+				break
+			}
+			heapArr[p], heapArr[i] = heapArr[i], heapArr[p]
+			mach.Store(heapSpan.At(2 * p))
+			mach.Store(heapSpan.At(2 * i))
+			i = p
+		}
+	}
+	pop := func() hItem {
+		heapTouch(0)
+		top := heapArr[0]
+		last := len(heapArr) - 1
+		heapArr[0] = heapArr[last]
+		heapArr = heapArr[:last]
+		if last > 0 {
+			mach.Store(heapSpan.At(0))
+		}
+		i := 0
+		for {
+			l, r := 2*i+1, 2*i+2
+			small := i
+			if l < len(heapArr) {
+				heapTouch(l)
+				if heapArr[l].d < heapArr[small].d {
+					small = l
+				}
+			}
+			if r < len(heapArr) {
+				heapTouch(r)
+				if heapArr[r].d < heapArr[small].d {
+					small = r
+				}
+			}
+			if small == i {
+				break
+			}
+			heapArr[i], heapArr[small] = heapArr[small], heapArr[i]
+			mach.Store(heapSpan.At(2 * i))
+			mach.Store(heapSpan.At(2 * small))
+			i = small
+		}
+		return top
+	}
+
+	push(hItem{v: src, d: 0})
+	done := make([]bool, n)
+	for len(heapArr) > 0 {
+		it := pop()
+		if done[it.v] {
+			continue
+		}
+		done[it.v] = true
+		mach.Load(offSpan.At(it.v))
+		mach.Load(offSpan.At(it.v + 1))
+		for idx := off[it.v]; idx < off[it.v+1]; idx++ {
+			mach.Load(toSpan.At(idx))
+			mach.Load(lenSpan.At(idx))
+			to := eTo[idx]
+			mach.Op(distSpan.At(it.v), lenSpan.At(idx), distSpan.At(to))
+			if nd := dist[it.v] + eLen[idx]; nd < dist[to] {
+				dist[to] = nd
+				push(hItem{v: to, d: nd})
+			}
+		}
+	}
+	return &DijkstraResult{
+		Dist:     dist,
+		Movement: mach.Cost,
+		Touches:  mach.Loads + mach.Stores + mach.Ops,
+	}
+}
+
+// MatVecMovement charges the standard O(n²)-operation dense matrix-vector
+// product y = A·x on the DISTANCE machine and returns the movement cost —
+// the Section 2.3 observation that it becomes Θ(n³): each of the n²
+// matrix words sits Θ(n) from the nearest register when c = O(1).
+func MatVecMovement(n, c int, placement Placement) int64 {
+	total := n*n + 2*n
+	mach := NewMachine(total, c, placement)
+	a := mach.Alloc(n * n)
+	x := mach.Alloc(n)
+	y := mach.Alloc(n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			// a_ij and x_j to a register; accumulate into y_i.
+			mach.Op(a.At(i*n+j), x.At(j), y.At(i))
+		}
+	}
+	return mach.Cost
+}

@@ -1,0 +1,62 @@
+package distance
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func BenchmarkScan2D(b *testing.B) {
+	for _, m := range []int{4096, 65536} {
+		b.Run(fmt.Sprintf("m=%d", m), func(b *testing.B) {
+			var cost int64
+			for i := 0; i < b.N; i++ {
+				cost = ScanInput(m, 4, Spread)
+			}
+			b.ReportMetric(float64(cost), "l1-movement")
+		})
+	}
+}
+
+func BenchmarkDistanceDijkstra(b *testing.B) {
+	for _, n := range []int{128, 512} {
+		g := graph.RandomGnm(n, 4*n, graph.Uniform(8), int64(n), true)
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			var move int64
+			for i := 0; i < b.N; i++ {
+				move = Dijkstra(g, 0, 4, Spread).Movement
+			}
+			b.ReportMetric(float64(move), "l1-movement")
+		})
+	}
+}
+
+func BenchmarkDistanceBellmanFord(b *testing.B) {
+	g := graph.RandomGnm(256, 1024, graph.Uniform(8), 2, true)
+	for _, k := range []int{4, 16} {
+		b.Run(fmt.Sprintf("k=%d", k), func(b *testing.B) {
+			var move int64
+			for i := 0; i < b.N; i++ {
+				move = BellmanFordKHop(g, 0, k, 4, Spread).Movement
+			}
+			b.ReportMetric(float64(move), "l1-movement")
+		})
+	}
+}
+
+func BenchmarkRegisterPlacements(b *testing.B) {
+	for _, pl := range []Placement{Spread, Clustered} {
+		name := "spread"
+		if pl == Clustered {
+			name = "clustered"
+		}
+		b.Run(name, func(b *testing.B) {
+			var cost int64
+			for i := 0; i < b.N; i++ {
+				cost = ScanInput(16384, 8, pl)
+			}
+			b.ReportMetric(float64(cost), "l1-movement")
+		})
+	}
+}

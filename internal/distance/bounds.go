@@ -1,0 +1,25 @@
+package distance
+
+import "math"
+
+// ScanLowerBound is the explicit constant-bearing form of Theorem 6.1: an
+// algorithm reading an m-word input with c registers moves data at least
+// (m/2)·(√(m/c)/4) = m^{3/2}/(8√c), for any register placement.
+func ScanLowerBound(m, c int) float64 {
+	return float64(m) / 2 * math.Sqrt(float64(m)/float64(c)) / 4
+}
+
+// KHopLowerBound is Theorem 6.2: the k-round Bellman-Ford algorithm moves
+// every edge length to a register in each round, so its movement cost is
+// at least k times the scan bound.
+func KHopLowerBound(m, c, k int) float64 {
+	return float64(k) * ScanLowerBound(m, c)
+}
+
+// Scan3DLowerBound is the three-dimensional variant mentioned after
+// Theorem 6.1: with memory in 3D and c = O(1), reading the input costs
+// Ω(m^{4/3}). A cube of side (m/c)^{1/3}/2 around each register covers
+// fewer than m/2 words, giving the constant below.
+func Scan3DLowerBound(m, c int) float64 {
+	return float64(m) / 2 * math.Cbrt(float64(m)/float64(c)) / 4
+}

@@ -1,0 +1,242 @@
+package distance
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/classic"
+	"repro/internal/graph"
+)
+
+func TestPointL1(t *testing.T) {
+	if d := (Point{0, 0}).l1(Point{3, 4}); d != 7 {
+		t.Fatalf("l1 = %d", d)
+	}
+	if d := (Point{5, 2}).l1(Point{1, 9}); d != 11 {
+		t.Fatalf("l1 = %d", d)
+	}
+}
+
+func TestMachineAllocAndAddr(t *testing.T) {
+	m := NewMachine(100, 4, Spread)
+	if m.Side != 10 {
+		t.Fatalf("side %d", m.Side)
+	}
+	s1 := m.Alloc(30)
+	s2 := m.Alloc(70)
+	if s1.Lo != 0 || s2.Lo != 30 {
+		t.Fatalf("spans %+v %+v", s1, s2)
+	}
+	if p := m.Addr(23); p != (Point{3, 2}) {
+		t.Fatalf("addr %v", p)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("arena overflow not caught")
+		}
+	}()
+	m.Alloc(1)
+}
+
+func TestRegisterPlacements(t *testing.T) {
+	mc := NewMachine(10000, 4, Clustered)
+	for _, r := range mc.Registers() {
+		if r.X > 4 || r.Y > 0 {
+			t.Fatalf("clustered register at %v", r)
+		}
+	}
+	ms := NewMachine(10000, 4, Spread)
+	regs := ms.Registers()
+	if len(regs) != 4 {
+		t.Fatalf("%d registers", len(regs))
+	}
+	// Spread registers are pairwise far apart (~side/2).
+	for i := 0; i < 4; i++ {
+		for j := i + 1; j < 4; j++ {
+			if regs[i].l1(regs[j]) < int64(ms.Side)/4 {
+				t.Fatalf("spread registers too close: %v %v", regs[i], regs[j])
+			}
+		}
+	}
+}
+
+func TestLoadChargesNearestRegister(t *testing.T) {
+	m := NewMachine(64, 1, Clustered) // single register at origin
+	m.Load(0)
+	if m.Cost != 0 {
+		t.Fatalf("cost %d for register-resident word", m.Cost)
+	}
+	m.Load(63) // at (7,7): distance 14
+	if m.Cost != 14 {
+		t.Fatalf("cost %d, want 14", m.Cost)
+	}
+}
+
+func TestOpChargesThreeLegs(t *testing.T) {
+	m := NewMachine(64, 1, Clustered)
+	// operands at (1,0) and (2,0), result to (3,0): register at origin.
+	m.Op(1, 2, 3)
+	if m.Cost != 1+2+3 {
+		t.Fatalf("op cost %d, want 6", m.Cost)
+	}
+	if m.Ops != 1 {
+		t.Fatalf("ops %d", m.Ops)
+	}
+}
+
+// --- Theorem 6.1 (experiment E14) ---
+
+func TestScanRespectsLowerBound(t *testing.T) {
+	for _, words := range []int{64, 256, 1024, 4096} {
+		for _, c := range []int{1, 4, 16} {
+			for _, pl := range []Placement{Spread, Clustered} {
+				got := ScanInput(words, c, pl)
+				lb := ScanLowerBound(words, c)
+				if float64(got) < lb {
+					t.Fatalf("scan(%d words, c=%d, placement %d) = %d below bound %v",
+						words, c, pl, got, lb)
+				}
+			}
+		}
+	}
+}
+
+func TestScanGrowsAsM32(t *testing.T) {
+	// log-log slope between m and 16m should be ~1.5 (within tolerance).
+	a := float64(ScanInput(1024, 4, Spread))
+	b := float64(ScanInput(16*1024, 4, Spread))
+	slope := math.Log(b/a) / math.Log(16)
+	if slope < 1.4 || slope > 1.6 {
+		t.Fatalf("scan growth exponent %v, want ≈1.5", slope)
+	}
+}
+
+func TestScanImprovesWithRegisters(t *testing.T) {
+	// More spread registers must reduce movement (≈ 1/√c).
+	c1 := ScanInput(4096, 1, Spread)
+	c16 := ScanInput(4096, 16, Spread)
+	if c16 >= c1 {
+		t.Fatalf("16 registers (%d) not cheaper than 1 (%d)", c16, c1)
+	}
+	ratio := float64(c1) / float64(c16)
+	if ratio < 2 || ratio > 8 { // ideal √16 = 4
+		t.Fatalf("register scaling ratio %v, want ≈4", ratio)
+	}
+}
+
+// --- Theorem 6.2 (experiment E15) ---
+
+func TestBellmanFordMovementBound(t *testing.T) {
+	g := graph.RandomGnm(40, 200, graph.Uniform(9), 3, true)
+	for _, k := range []int{1, 3, 6} {
+		r := BellmanFordKHop(g, 0, k, 4, Spread)
+		lb := KHopLowerBound(g.M(), 4, k)
+		if float64(r.Movement) < lb {
+			t.Fatalf("k=%d movement %d below bound %v", k, r.Movement, lb)
+		}
+	}
+}
+
+func TestBellmanFordDistancesCorrect(t *testing.T) {
+	g := graph.RandomGnm(30, 120, graph.Uniform(7), 5, true)
+	k := 5
+	r := BellmanFordKHop(g, 0, k, 4, Spread)
+	want := classic.BellmanFordKHop(g, 0, k, false).Dist
+	for v := range want {
+		if r.Dist[v] != want[v] {
+			t.Fatalf("dist[%d] = %d, want %d", v, r.Dist[v], want[v])
+		}
+	}
+}
+
+func TestBellmanFordMovementLinearInK(t *testing.T) {
+	g := graph.RandomGnm(30, 150, graph.Uniform(5), 7, true)
+	m2 := BellmanFordKHop(g, 0, 2, 2, Spread).Movement
+	m8 := BellmanFordKHop(g, 0, 8, 2, Spread).Movement
+	ratio := float64(m8) / float64(m2)
+	if ratio < 3.5 || ratio > 4.5 {
+		t.Fatalf("movement k-scaling %v, want ≈4", ratio)
+	}
+}
+
+// --- Dijkstra under DISTANCE ---
+
+func TestDistanceDijkstraCorrect(t *testing.T) {
+	g := graph.RandomGnm(35, 140, graph.Uniform(9), 11, true)
+	r := Dijkstra(g, 0, 4, Spread)
+	want := classic.Dijkstra(g, 0).Dist
+	for v := range want {
+		if r.Dist[v] != want[v] {
+			t.Fatalf("dist[%d] = %d, want %d", v, r.Dist[v], want[v])
+		}
+	}
+}
+
+func TestDistanceDijkstraMovementFloor(t *testing.T) {
+	// Dijkstra reads all m edges, so the scan bound applies to it too.
+	g := graph.RandomGnm(40, 240, graph.Uniform(9), 13, true)
+	r := Dijkstra(g, 0, 4, Spread)
+	lb := ScanLowerBound(g.M(), 4)
+	if float64(r.Movement) < lb {
+		t.Fatalf("Dijkstra movement %d below scan bound %v", r.Movement, lb)
+	}
+}
+
+// --- Matrix-vector ablation (experiment E19) ---
+
+func TestMatVecMovementCubic(t *testing.T) {
+	// Doubling n should multiply movement by ~8 (Θ(n³)) with c=O(1).
+	a := MatVecMovement(16, 1, Clustered)
+	b := MatVecMovement(32, 1, Clustered)
+	ratio := float64(b) / float64(a)
+	if ratio < 6 || ratio > 10 {
+		t.Fatalf("matvec movement scaling %v, want ≈8", ratio)
+	}
+}
+
+func TestLowerBoundFormulas(t *testing.T) {
+	if lb := ScanLowerBound(64, 1); math.Abs(lb-64.0/2*8/4) > 1e-9 {
+		t.Fatalf("scan LB %v", lb)
+	}
+	if lb := KHopLowerBound(64, 1, 3); math.Abs(lb-3*64.0/2*8/4) > 1e-9 {
+		t.Fatalf("khop LB %v", lb)
+	}
+	if lb := Scan3DLowerBound(64, 1); math.Abs(lb-64.0/2*4/4) > 1e-9 {
+		t.Fatalf("3d LB %v", lb)
+	}
+}
+
+// Property: scan cost always respects the bound and is monotone in words.
+func TestScanBoundProperty(t *testing.T) {
+	f := func(wRaw uint16, cRaw uint8) bool {
+		words := int(wRaw%2000) + 16
+		c := int(cRaw%8) + 1
+		got := float64(ScanInput(words, c, Spread))
+		return got >= ScanLowerBound(words, c)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: instrumented Bellman-Ford distances equal the plain version.
+func TestDistanceBFProperty(t *testing.T) {
+	f := func(seed int64, kRaw uint8) bool {
+		n := int(seed%15+15)%15 + 3 // 3..17 regardless of sign
+		m := int(seed%40+40)%40 + 5
+		g := graph.RandomGnm(n, m, graph.Uniform(6), seed, true)
+		k := int(kRaw%6) + 1
+		got := BellmanFordKHop(g, 0, k, 2, Clustered).Dist
+		want := classic.BellmanFordKHop(g, 0, k, false).Dist
+		for v := range want {
+			if got[v] != want[v] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

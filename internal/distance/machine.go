@@ -1,0 +1,172 @@
+// Package distance implements the DISTANCE data-movement model of
+// Definition 5: memory is a 2D lattice of one-word cells, c of which are
+// registers; every operation must move its operands to a register and its
+// result back out, paying the ℓ1 (Manhattan) distance travelled.
+//
+// The package provides an instrumented machine, word-granular memory
+// allocation over the lattice, register-placement strategies, and
+// DISTANCE-instrumented implementations of the algorithms the paper lower
+// bounds: an input scan (Theorem 6.1), k-hop Bellman-Ford (Theorem 6.2),
+// Dijkstra, and dense matrix-vector multiplication (the Section 2.3
+// O(n²) → Θ(n³) observation). Measured movement costs are compared
+// against the closed-form lower bounds in bounds.go.
+package distance
+
+import (
+	"fmt"
+	"math"
+)
+
+// Point is a lattice cell.
+type Point struct{ X, Y int }
+
+func (p Point) l1(q Point) int64 {
+	dx := int64(p.X - q.X)
+	if dx < 0 {
+		dx = -dx
+	}
+	dy := int64(p.Y - q.Y)
+	if dy < 0 {
+		dy = -dy
+	}
+	return dx + dy
+}
+
+// Placement selects where the c registers sit on the lattice.
+type Placement int
+
+const (
+	// Spread places registers on a uniform ⌈√c⌉×⌈√c⌉ grid over the data
+	// square — the layout the Theorem 6.1 proof implicitly optimizes
+	// against (it lower-bounds ANY placement).
+	Spread Placement = iota
+	// Clustered places all registers contiguously at the origin,
+	// modelling a conventional register file next to the ALU.
+	Clustered
+)
+
+// Machine is an instrumented DISTANCE-model memory.
+type Machine struct {
+	// Side is the data square's side length; words live at
+	// (i mod Side, i / Side).
+	Side int
+	regs []Point
+	next int // allocation cursor
+
+	// Cost is the accumulated ℓ1 movement (the model's complexity measure).
+	Cost int64
+	// Loads, Stores and Ops count the primitive events.
+	Loads, Stores, Ops int64
+}
+
+// NewMachine builds a machine able to hold totalWords words, with c
+// registers placed by the given strategy.
+func NewMachine(totalWords, c int, placement Placement) *Machine {
+	if totalWords < 1 || c < 1 {
+		panic(fmt.Sprintf("distance: machine needs positive size/registers, got %d/%d", totalWords, c))
+	}
+	side := int(math.Ceil(math.Sqrt(float64(totalWords))))
+	if side < 1 {
+		side = 1
+	}
+	m := &Machine{Side: side}
+	switch placement {
+	case Clustered:
+		for r := 0; r < c; r++ {
+			m.regs = append(m.regs, Point{X: r % side, Y: r / side})
+		}
+	case Spread:
+		s := int(math.Ceil(math.Sqrt(float64(c))))
+		placed := 0
+		for gy := 0; gy < s && placed < c; gy++ {
+			for gx := 0; gx < s && placed < c; gx++ {
+				m.regs = append(m.regs, Point{
+					X: (2*gx + 1) * side / (2 * s),
+					Y: (2*gy + 1) * side / (2 * s),
+				})
+				placed++
+			}
+		}
+	default:
+		panic(fmt.Sprintf("distance: unknown placement %d", placement))
+	}
+	return m
+}
+
+// Registers returns the register positions.
+func (m *Machine) Registers() []Point { return m.regs }
+
+// Addr maps word index i to its lattice cell.
+func (m *Machine) Addr(i int) Point {
+	if i < 0 {
+		panic(fmt.Sprintf("distance: negative address %d", i))
+	}
+	return Point{X: i % m.Side, Y: i / m.Side}
+}
+
+// Span is a contiguous word range returned by Alloc.
+type Span struct {
+	Lo, N int
+}
+
+// At returns the word index of element i of the span.
+func (s Span) At(i int) int {
+	if i < 0 || i >= s.N {
+		panic(fmt.Sprintf("distance: span index %d out of [0,%d)", i, s.N))
+	}
+	return s.Lo + i
+}
+
+// Alloc reserves a contiguous block of words on the lattice.
+func (m *Machine) Alloc(words int) Span {
+	if words < 0 {
+		panic("distance: negative allocation")
+	}
+	s := Span{Lo: m.next, N: words}
+	m.next += words
+	if m.next > m.Side*m.Side {
+		panic(fmt.Sprintf("distance: arena overflow (%d words in %d²)", m.next, m.Side))
+	}
+	return s
+}
+
+// nearestReg returns the register closest to p and the distance to it.
+func (m *Machine) nearestReg(p Point) (Point, int64) {
+	best := m.regs[0]
+	bd := p.l1(best)
+	for _, r := range m.regs[1:] {
+		if d := p.l1(r); d < bd {
+			best, bd = r, d
+		}
+	}
+	return best, bd
+}
+
+// Load charges moving word i to its nearest register.
+func (m *Machine) Load(i int) {
+	_, d := m.nearestReg(m.Addr(i))
+	m.Cost += d
+	m.Loads++
+}
+
+// Store charges moving a register value out to word i.
+func (m *Machine) Store(i int) {
+	_, d := m.nearestReg(m.Addr(i))
+	m.Cost += d
+	m.Stores++
+}
+
+// Op charges a two-operand operation per Definition 5: operands at words
+// i1 and i2 travel to the register minimizing the total trip, and the
+// result travels from that register to word i3.
+func (m *Machine) Op(i1, i2, i3 int) {
+	p1, p2, p3 := m.Addr(i1), m.Addr(i2), m.Addr(i3)
+	best := int64(math.MaxInt64)
+	for _, r := range m.regs {
+		if t := p1.l1(r) + p2.l1(r) + p3.l1(r); t < best {
+			best = t
+		}
+	}
+	m.Cost += best
+	m.Ops++
+}

@@ -1,0 +1,69 @@
+package distance
+
+import (
+	"math"
+	"testing"
+)
+
+func TestPoint3L1(t *testing.T) {
+	if d := (Point3{0, 0, 0}).l1(Point3{1, 2, 3}); d != 6 {
+		t.Fatalf("l1 = %d", d)
+	}
+}
+
+func TestMachine3DAddr(t *testing.T) {
+	m := NewMachine3D(27, 1, Clustered)
+	if m.Side != 3 {
+		t.Fatalf("side %d", m.Side)
+	}
+	if p := m.Addr(26); p != (Point3{2, 2, 2}) {
+		t.Fatalf("addr %v", p)
+	}
+	if p := m.Addr(5); p != (Point3{2, 1, 0}) {
+		t.Fatalf("addr %v", p)
+	}
+}
+
+func TestMachine3DOverflowPanics(t *testing.T) {
+	m := NewMachine3D(8, 1, Spread)
+	m.Alloc(8)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("3D arena overflow not caught")
+		}
+	}()
+	m.Alloc(1)
+}
+
+func TestScan3DRespectsLowerBound(t *testing.T) {
+	for _, words := range []int{64, 512, 4096, 32768} {
+		for _, c := range []int{1, 8} {
+			got := ScanInput3D(words, c, Spread)
+			lb := Scan3DLowerBound(words, c)
+			if float64(got) < lb {
+				t.Fatalf("3D scan(%d, c=%d) = %d below bound %v", words, c, got, lb)
+			}
+		}
+	}
+}
+
+func TestScan3DGrowsAsM43(t *testing.T) {
+	// The 3D remark after Theorem 6.1: exponent drops from 3/2 to 4/3.
+	a := float64(ScanInput3D(4096, 1, Spread))
+	b := float64(ScanInput3D(64*4096, 1, Spread))
+	slope := math.Log(b/a) / math.Log(64)
+	if slope < 1.25 || slope > 1.42 {
+		t.Fatalf("3D scan exponent %v, want ≈4/3", slope)
+	}
+}
+
+func TestScan3DCheaperThan2D(t *testing.T) {
+	// The extra dimension shortens trips: 3D scans move strictly less
+	// than 2D scans of the same input.
+	words := 32768
+	d2 := ScanInput(words, 1, Spread)
+	d3 := ScanInput3D(words, 1, Spread)
+	if d3 >= d2 {
+		t.Fatalf("3D scan %d not below 2D scan %d", d3, d2)
+	}
+}

@@ -1,0 +1,152 @@
+// Package fleet models the multi-chip aggregation of Figure 7 and
+// Section 2.3: "current neuromorphic architectures aggregate many-core
+// chips into boards", and the paper's comparison assumes single chips
+// that "may be aggregated in a similar fashion to form larger parallel
+// systems". The package places a graph workload onto chips of bounded
+// neuron capacity and accounts for the spike traffic that crosses chip
+// boundaries — the quantity board-level interconnects (and energy
+// budgets) care about.
+package fleet
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+)
+
+// Assignment maps each graph vertex to a chip.
+type Assignment struct {
+	Chip  []int // vertex -> chip index
+	Chips int
+	// Capacity is the neuron budget per chip the assignment respects.
+	Capacity int
+}
+
+// Validate checks the assignment covers every vertex within capacity.
+func (a *Assignment) Validate() error {
+	load := make([]int, a.Chips)
+	for v, c := range a.Chip {
+		if c < 0 || c >= a.Chips {
+			return fmt.Errorf("fleet: vertex %d on chip %d of %d", v, c, a.Chips)
+		}
+		load[c]++
+	}
+	for c, l := range load {
+		if l > a.Capacity {
+			return fmt.Errorf("fleet: chip %d holds %d > capacity %d", c, l, a.Capacity)
+		}
+	}
+	return nil
+}
+
+// PartitionBFS places vertices on chips by growing breadth-first regions
+// of at most capacity vertices: a cheap locality-preserving placement
+// (neighbors tend to land on the same chip, so spike traffic stays
+// on-chip). Deterministic given the graph.
+func PartitionBFS(g *graph.Graph, capacity int) *Assignment {
+	n := g.N()
+	if capacity < 1 {
+		panic(fmt.Sprintf("fleet: capacity %d < 1", capacity))
+	}
+	a := &Assignment{Chip: make([]int, n), Capacity: capacity}
+	for v := range a.Chip {
+		a.Chip[v] = -1
+	}
+	chip, used := 0, 0
+	place := func(v int) {
+		if used == capacity {
+			chip++
+			used = 0
+		}
+		a.Chip[v] = chip
+		used++
+	}
+	for seed := 0; seed < n; seed++ {
+		if a.Chip[seed] >= 0 {
+			continue
+		}
+		queue := []int{seed}
+		place(seed)
+		for len(queue) > 0 {
+			u := queue[0]
+			queue = queue[1:]
+			for _, ei := range g.Out(u) {
+				w := g.Edge(int(ei)).To
+				if a.Chip[w] < 0 {
+					place(w)
+					queue = append(queue, w)
+				}
+			}
+			for _, ei := range g.In(u) {
+				w := g.Edge(int(ei)).From
+				if a.Chip[w] < 0 {
+					place(w)
+					queue = append(queue, w)
+				}
+			}
+		}
+	}
+	a.Chips = chip + 1
+	return a
+}
+
+// PartitionRoundRobin places vertex v on chip v mod ceil(n/capacity):
+// the locality-free baseline that BFS placement is compared against.
+func PartitionRoundRobin(g *graph.Graph, capacity int) *Assignment {
+	n := g.N()
+	if capacity < 1 {
+		panic(fmt.Sprintf("fleet: capacity %d < 1", capacity))
+	}
+	chips := (n + capacity - 1) / capacity
+	if chips < 1 {
+		chips = 1
+	}
+	a := &Assignment{Chip: make([]int, n), Chips: chips, Capacity: capacity}
+	for v := 0; v < n; v++ {
+		a.Chip[v] = v % chips
+	}
+	return a
+}
+
+// Traffic reports where a run's spike deliveries travelled.
+type Traffic struct {
+	IntraChip int64 // deliveries between neurons on the same chip
+	InterChip int64 // deliveries crossing chip boundaries (board links)
+	CutEdges  int   // graph edges whose endpoints sit on different chips
+}
+
+// AnalyzeSSSP accounts the Section 3 SSSP run's traffic under an
+// assignment: the fire-once wavefront delivers exactly one spike per
+// out-edge of every reached vertex (dist[u] finite).
+func AnalyzeSSSP(g *graph.Graph, a *Assignment, dist []int64) *Traffic {
+	if len(dist) != g.N() || len(a.Chip) != g.N() {
+		panic("fleet: size mismatch")
+	}
+	t := &Traffic{}
+	for _, e := range g.Edges() {
+		cross := a.Chip[e.From] != a.Chip[e.To]
+		if cross {
+			t.CutEdges++
+		}
+		if dist[e.From] >= graph.Inf {
+			continue // sender never fired: no spike on this synapse
+		}
+		if cross {
+			t.InterChip++
+		} else {
+			t.IntraChip++
+		}
+	}
+	return t
+}
+
+// EnergyJoules estimates the run's communication energy: intra-chip
+// events at the platform's pJ/spike figure, inter-chip events at
+// boardPenalty times that (board-level links cost roughly one to two
+// orders of magnitude more than on-chip routing).
+func (t *Traffic) EnergyJoules(pjPerSpike, boardPenalty float64) float64 {
+	if pjPerSpike <= 0 || boardPenalty < 1 {
+		panic("fleet: invalid energy parameters")
+	}
+	return (float64(t.IntraChip) + boardPenalty*float64(t.InterChip)) * pjPerSpike * 1e-12
+}

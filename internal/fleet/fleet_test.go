@@ -1,0 +1,117 @@
+package fleet
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+)
+
+func TestPartitionBFSValid(t *testing.T) {
+	g := graph.RandomGnm(50, 200, graph.Uniform(5), 3, true)
+	a := PartitionBFS(g, 8)
+	if err := a.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if a.Chips < 50/8 {
+		t.Fatalf("too few chips: %d", a.Chips)
+	}
+}
+
+func TestPartitionRoundRobinValid(t *testing.T) {
+	g := graph.RandomGnm(50, 200, graph.Uniform(5), 3, true)
+	a := PartitionRoundRobin(g, 8)
+	if err := a.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBFSPlacementCutsFewerEdgesOnGrids(t *testing.T) {
+	// Locality-preserving placement beats round-robin on a lattice.
+	g := graph.Grid(12, 12, graph.Unit, 0)
+	bfs := PartitionBFS(g, 24)
+	rr := PartitionRoundRobin(g, 24)
+	dist := core.SSSP(g, 0, -1).Dist
+	tb := AnalyzeSSSP(g, bfs, dist)
+	tr := AnalyzeSSSP(g, rr, dist)
+	if tb.CutEdges >= tr.CutEdges {
+		t.Fatalf("BFS cut %d not below round-robin %d", tb.CutEdges, tr.CutEdges)
+	}
+	if tb.InterChip >= tr.InterChip {
+		t.Fatalf("BFS inter-chip %d not below round-robin %d", tb.InterChip, tr.InterChip)
+	}
+}
+
+func TestTrafficConservation(t *testing.T) {
+	// Every reached vertex's out-edges carry exactly one spike: intra +
+	// inter must equal that count.
+	g := graph.RandomGnm(30, 120, graph.Uniform(4), 7, true)
+	a := PartitionBFS(g, 10)
+	r := core.SSSP(g, 0, -1)
+	tr := AnalyzeSSSP(g, a, r.Dist)
+	var want int64
+	for _, e := range g.Edges() {
+		if r.Dist[e.From] < graph.Inf {
+			want++
+		}
+	}
+	if tr.IntraChip+tr.InterChip != want {
+		t.Fatalf("traffic %d+%d != %d", tr.IntraChip, tr.InterChip, want)
+	}
+	// Connected graph: traffic equals the simulator's graph-synapse
+	// deliveries (self-loop inhibition adds one per fired vertex).
+	if got := r.Stats.Deliveries - r.Stats.Spikes; got != want {
+		t.Fatalf("simulator deliveries %d != edge traffic %d", got, want)
+	}
+}
+
+func TestSingleChipNoInterTraffic(t *testing.T) {
+	g := graph.RandomGnm(20, 80, graph.Uniform(4), 1, true)
+	a := PartitionBFS(g, 100)
+	if a.Chips != 1 {
+		t.Fatalf("chips %d", a.Chips)
+	}
+	dist := core.SSSP(g, 0, -1).Dist
+	tr := AnalyzeSSSP(g, a, dist)
+	if tr.InterChip != 0 || tr.CutEdges != 0 {
+		t.Fatalf("single chip has inter traffic: %+v", tr)
+	}
+}
+
+func TestEnergyJoules(t *testing.T) {
+	tr := &Traffic{IntraChip: 1000, InterChip: 10}
+	e := tr.EnergyJoules(23.6, 100)
+	want := (1000 + 100*10) * 23.6e-12
+	if diff := e - want; diff > 1e-18 || diff < -1e-18 {
+		t.Fatalf("energy %v, want %v", e, want)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("invalid params accepted")
+		}
+	}()
+	tr.EnergyJoules(0, 10)
+}
+
+// Property: both partitioners always produce valid assignments and
+// identical total traffic (placement moves events between intra/inter,
+// never changes the total).
+func TestPartitionProperty(t *testing.T) {
+	f := func(seed int64, capRaw uint8) bool {
+		g := graph.RandomGnm(int(seed%25+25)%25+2, int(seed%80+80)%80, graph.Uniform(5), seed, true)
+		capacity := int(capRaw%16) + 1
+		dist := core.SSSP(g, 0, -1).Dist
+		b := PartitionBFS(g, capacity)
+		r := PartitionRoundRobin(g, capacity)
+		if b.Validate() != nil || r.Validate() != nil {
+			return false
+		}
+		tb := AnalyzeSSSP(g, b, dist)
+		tr := AnalyzeSSSP(g, r, dist)
+		return tb.IntraChip+tb.InterChip == tr.IntraChip+tr.InterChip
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

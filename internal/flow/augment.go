@@ -1,0 +1,44 @@
+package flow
+
+import "repro/internal/graph"
+
+// augmentOnce pushes flow along one shortest residual s-t path (a single
+// Edmonds-Karp step) and returns the pushed amount, or 0 if t is
+// unreachable. It backs the tidal solver's defensive progress guard.
+func (nw *Network) augmentOnce(s, t int) int64 {
+	prevArc := make([]int32, nw.n)
+	for i := range prevArc {
+		prevArc[i] = -1
+	}
+	prevArc[s] = -2
+	queue := []int{s}
+	for len(queue) > 0 && prevArc[t] == -1 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, ai := range nw.head[u] {
+			a := nw.arcs[ai]
+			if a.cap > 0 && prevArc[a.to] == -1 {
+				prevArc[a.to] = ai
+				queue = append(queue, int(a.to))
+			}
+		}
+	}
+	if prevArc[t] == -1 {
+		return 0
+	}
+	aug := graph.Inf
+	for v := t; v != s; {
+		ai := prevArc[v]
+		if nw.arcs[ai].cap < aug {
+			aug = nw.arcs[ai].cap
+		}
+		v = int(nw.arcs[ai^1].to)
+	}
+	for v := t; v != s; {
+		ai := prevArc[v]
+		nw.arcs[ai].cap -= aug
+		nw.arcs[ai^1].cap += aug
+		v = int(nw.arcs[ai^1].to)
+	}
+	return aug
+}

@@ -1,0 +1,40 @@
+package flow
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func benchNet(width int) (*graph.Graph, int, int) {
+	g := graph.Layered(6, width, graph.Uniform(50), int64(width))
+	return g, 0, g.N() - 1
+}
+
+func BenchmarkMaxFlowAlgorithms(b *testing.B) {
+	for _, width := range []int{8, 16} {
+		g, s, t := benchNet(width)
+		b.Run(fmt.Sprintf("tidal/width=%d", width), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if Tidal(g, s, t).Value == 0 {
+					b.Fatal("no flow")
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("dinic/width=%d", width), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if Dinic(g, s, t) == 0 {
+					b.Fatal("no flow")
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("edmondskarp/width=%d", width), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if EdmondsKarp(g, s, t) == 0 {
+					b.Fatal("no flow")
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,106 @@
+package flow
+
+import "repro/internal/graph"
+
+// Dinic computes the maximum s-t flow with Dinic's algorithm (level
+// graphs + blocking flows via iterative DFS) — the conventional reference
+// the tidal implementation is validated against.
+func Dinic(g *graph.Graph, s, t int) int64 {
+	nw := NewNetwork(g)
+	return nw.dinic(s, t)
+}
+
+func (nw *Network) dinic(s, t int) int64 {
+	if s == t {
+		return 0
+	}
+	var total int64
+	iter := make([]int, nw.n)
+	for {
+		level := nw.levelBFS(s)
+		if level[t] < 0 {
+			return total
+		}
+		for i := range iter {
+			iter[i] = 0
+		}
+		for {
+			pushed := nw.dinicDFS(s, t, graph.Inf, level, iter)
+			if pushed == 0 {
+				break
+			}
+			total += pushed
+		}
+	}
+}
+
+func (nw *Network) dinicDFS(u, t int, limit int64, level []int32, iter []int) int64 {
+	if u == t {
+		return limit
+	}
+	for ; iter[u] < len(nw.head[u]); iter[u]++ {
+		ai := nw.head[u][iter[u]]
+		a := &nw.arcs[ai]
+		if a.cap <= 0 || level[a.to] != level[u]+1 {
+			continue
+		}
+		cap := limit
+		if a.cap < cap {
+			cap = a.cap
+		}
+		if pushed := nw.dinicDFS(int(a.to), t, cap, level, iter); pushed > 0 {
+			a.cap -= pushed
+			nw.arcs[ai^1].cap += pushed
+			return pushed
+		}
+	}
+	return 0
+}
+
+// EdmondsKarp computes the maximum s-t flow with BFS augmenting paths —
+// a second, independently coded reference for the property tests.
+func EdmondsKarp(g *graph.Graph, s, t int) int64 {
+	nw := NewNetwork(g)
+	if s == t {
+		return 0
+	}
+	var total int64
+	prevArc := make([]int32, nw.n)
+	for {
+		for i := range prevArc {
+			prevArc[i] = -1
+		}
+		prevArc[s] = -2
+		queue := []int{s}
+		for len(queue) > 0 && prevArc[t] == -1 {
+			u := queue[0]
+			queue = queue[1:]
+			for _, ai := range nw.head[u] {
+				a := nw.arcs[ai]
+				if a.cap > 0 && prevArc[a.to] == -1 {
+					prevArc[a.to] = ai
+					queue = append(queue, int(a.to))
+				}
+			}
+		}
+		if prevArc[t] == -1 {
+			return total
+		}
+		// Find the bottleneck and apply.
+		aug := graph.Inf
+		for v := t; v != s; {
+			ai := prevArc[v]
+			if nw.arcs[ai].cap < aug {
+				aug = nw.arcs[ai].cap
+			}
+			v = int(nw.arcs[ai^1].to)
+		}
+		for v := t; v != s; {
+			ai := prevArc[v]
+			nw.arcs[ai].cap -= aug
+			nw.arcs[ai^1].cap += aug
+			v = int(nw.arcs[ai^1].to)
+		}
+		total += aug
+	}
+}

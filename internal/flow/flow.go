@@ -1,0 +1,112 @@
+// Package flow implements maximum-flow algorithms around the paper's
+// Section 8 outlook: "Tidal flow may be a promising starting point for a
+// neuromorphic network-flow algorithm. Each iteration of tidal flow has a
+// forward sweep from the source (breadth-first-search-like messages), a
+// backward sweep from the sink and some local computation."
+//
+// The package provides the tidal-flow algorithm (after Fontaine,
+// Olympiads in Informatics 2018) with the message-passing cost accounting
+// an NGA implementation would incur (its sweeps are level-ordered message
+// waves, exactly the paper's observation), plus Dinic and Edmonds-Karp as
+// independent conventional references.
+package flow
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+)
+
+// arc is one directed residual arc; arcs come in pairs (i ^ 1 gives the
+// reverse arc).
+type arc struct {
+	to  int32
+	cap int64
+}
+
+// Network is a flow network built from a graph whose edge lengths are
+// interpreted as capacities.
+type Network struct {
+	n    int
+	arcs []arc
+	head [][]int32 // arc indices per vertex
+}
+
+// NewNetwork builds a flow network from g: every edge becomes a forward
+// arc with capacity = length and a residual reverse arc of capacity 0.
+// Edges of zero capacity are permitted and simply never carry flow.
+func NewNetwork(g *graph.Graph) *Network {
+	nw := &Network{
+		n:    g.N(),
+		head: make([][]int32, g.N()),
+	}
+	for _, e := range g.Edges() {
+		nw.addArc(e.From, e.To, e.Len)
+	}
+	return nw
+}
+
+func (nw *Network) addArc(u, v int, cap int64) {
+	if cap < 0 {
+		panic(fmt.Sprintf("flow: negative capacity %d", cap))
+	}
+	nw.head[u] = append(nw.head[u], int32(len(nw.arcs)))
+	nw.arcs = append(nw.arcs, arc{to: int32(v), cap: cap})
+	nw.head[v] = append(nw.head[v], int32(len(nw.arcs)))
+	nw.arcs = append(nw.arcs, arc{to: int32(u), cap: 0})
+}
+
+// clone duplicates the residual state so one Network value can be solved
+// by several algorithms in tests.
+func (nw *Network) clone() *Network {
+	c := &Network{n: nw.n, head: nw.head}
+	c.arcs = make([]arc, len(nw.arcs))
+	copy(c.arcs, nw.arcs)
+	return c
+}
+
+// Flow returns the net flow currently on original edge index i (the i-th
+// added edge), derived from the reverse arc's accumulated capacity.
+func (nw *Network) Flow(i int) int64 { return nw.arcs[2*i+1].cap }
+
+// OutflowOf returns the net outflow of vertex v under the current
+// residual state: Σ flow(v→·) − Σ flow(·→v). Used by conservation checks.
+func (nw *Network) OutflowOf(v int) int64 {
+	var net int64
+	for i := 0; i+1 < len(nw.arcs); i += 2 {
+		// arcs[i] is forward u->to with original capacity arcs[i].cap +
+		// arcs[i+1].cap; flow = arcs[i+1].cap.
+		f := nw.arcs[i+1].cap
+		to := int(nw.arcs[i].to)
+		from := int(nw.arcs[i+1].to)
+		if from == v {
+			net += f
+		}
+		if to == v {
+			net -= f
+		}
+	}
+	return net
+}
+
+// levelBFS labels vertices by residual BFS depth from s; -1 = unreachable.
+func (nw *Network) levelBFS(s int) []int32 {
+	level := make([]int32, nw.n)
+	for i := range level {
+		level[i] = -1
+	}
+	level[s] = 0
+	queue := []int32{int32(s)}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, ai := range nw.head[u] {
+			a := nw.arcs[ai]
+			if a.cap > 0 && level[a.to] < 0 {
+				level[a.to] = level[u] + 1
+				queue = append(queue, a.to)
+			}
+		}
+	}
+	return level
+}

@@ -1,0 +1,199 @@
+package flow
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/graph"
+)
+
+// classicNet is the CLRS example network with max flow 23.
+func classicNet() (*graph.Graph, int, int) {
+	g := graph.New(6)
+	g.AddEdge(0, 1, 16)
+	g.AddEdge(0, 2, 13)
+	g.AddEdge(1, 2, 10)
+	g.AddEdge(2, 1, 4)
+	g.AddEdge(1, 3, 12)
+	g.AddEdge(3, 2, 9)
+	g.AddEdge(2, 4, 14)
+	g.AddEdge(4, 3, 7)
+	g.AddEdge(3, 5, 20)
+	g.AddEdge(4, 5, 4)
+	return g, 0, 5
+}
+
+func TestDinicClassic(t *testing.T) {
+	g, s, tt := classicNet()
+	if got := Dinic(g, s, tt); got != 23 {
+		t.Fatalf("dinic = %d, want 23", got)
+	}
+}
+
+func TestEdmondsKarpClassic(t *testing.T) {
+	g, s, tt := classicNet()
+	if got := EdmondsKarp(g, s, tt); got != 23 {
+		t.Fatalf("edmonds-karp = %d, want 23", got)
+	}
+}
+
+func TestTidalClassic(t *testing.T) {
+	g, s, tt := classicNet()
+	r := Tidal(g, s, tt)
+	if r.Value != 23 {
+		t.Fatalf("tidal = %d, want 23", r.Value)
+	}
+	if r.FallbackAugments != 0 {
+		t.Fatalf("tidal needed %d fallback augments", r.FallbackAugments)
+	}
+	if r.Cycles < 1 || r.SweepRounds < 3 || r.SweepMessages < 3 {
+		t.Fatalf("sweep accounting %+v", r)
+	}
+}
+
+func TestTidalFlowIsValid(t *testing.T) {
+	g, s, tt := classicNet()
+	r := Tidal(g, s, tt)
+	// Capacity constraints and exact conservation via edge flows.
+	out := make([]int64, g.N())
+	for i, e := range g.Edges() {
+		f := r.EdgeFlow[i]
+		if f < 0 || f > e.Len {
+			t.Fatalf("edge %d flow %d outside [0,%d]", i, f, e.Len)
+		}
+		out[e.From] += f
+		out[e.To] -= f
+	}
+	for v := 0; v < g.N(); v++ {
+		switch v {
+		case s:
+			if out[v] != r.Value {
+				t.Fatalf("source outflow %d != value %d", out[v], r.Value)
+			}
+		case tt:
+			if out[v] != -r.Value {
+				t.Fatalf("sink inflow %d != value %d", -out[v], r.Value)
+			}
+		default:
+			if out[v] != 0 {
+				t.Fatalf("conservation violated at %d: %d", v, out[v])
+			}
+		}
+	}
+}
+
+func TestFlowTrivialCases(t *testing.T) {
+	g := graph.New(3)
+	g.AddEdge(0, 1, 5)
+	if Tidal(g, 0, 2).Value != 0 {
+		t.Fatal("unreachable sink should have zero flow")
+	}
+	if Tidal(g, 0, 0).Value != 0 {
+		t.Fatal("s == t should have zero flow")
+	}
+	if Dinic(g, 0, 2) != 0 || EdmondsKarp(g, 0, 2) != 0 {
+		t.Fatal("references disagree on unreachable sink")
+	}
+	// Single edge.
+	if got := Tidal(g, 0, 1); got.Value != 5 {
+		t.Fatalf("single edge flow %d", got.Value)
+	}
+}
+
+func TestFlowZeroCapacityEdges(t *testing.T) {
+	g := graph.New(2)
+	g.AddEdge(0, 1, 0)
+	if Tidal(g, 0, 1).Value != 0 {
+		t.Fatal("zero-capacity edge carried flow")
+	}
+}
+
+func TestFlowParallelEdges(t *testing.T) {
+	g := graph.New(2)
+	g.AddEdge(0, 1, 3)
+	g.AddEdge(0, 1, 4)
+	if got := Tidal(g, 0, 1).Value; got != 7 {
+		t.Fatalf("parallel edges flow %d, want 7", got)
+	}
+}
+
+func TestTidalLayeredWide(t *testing.T) {
+	// Wide layered network: the tide should need few phases.
+	g := graph.Layered(4, 6, graph.Uniform(9), 3)
+	s, tt := 0, g.N()-1
+	r := Tidal(g, s, tt)
+	want := Dinic(g, s, tt)
+	if r.Value != want {
+		t.Fatalf("tidal %d vs dinic %d", r.Value, want)
+	}
+	if r.FallbackAugments != 0 {
+		t.Fatalf("fallbacks %d", r.FallbackAugments)
+	}
+}
+
+// Property: tidal == dinic == edmonds-karp on random graphs, with a valid
+// flow decomposition and no fallbacks.
+func TestMaxFlowAgreementProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(18) + 2
+		g := graph.RandomGnm(n, rng.Intn(5*n), graph.Uniform(int64(rng.Intn(20)+1)), seed, false)
+		s := 0
+		tt := rng.Intn(n)
+		d := Dinic(g, s, tt)
+		ek := EdmondsKarp(g, s, tt)
+		td := Tidal(g, s, tt)
+		if d != ek || td.Value != d || td.FallbackAugments != 0 {
+			t.Logf("seed %d: dinic %d ek %d tidal %d fallbacks %d", seed, d, ek, td.Value, td.FallbackAugments)
+			return false
+		}
+		// Flow validity.
+		out := make([]int64, n)
+		for i, e := range g.Edges() {
+			fl := td.EdgeFlow[i]
+			if fl < 0 || fl > e.Len {
+				return false
+			}
+			out[e.From] += fl
+			out[e.To] -= fl
+		}
+		for v := 0; v < n; v++ {
+			want := int64(0)
+			if s == tt {
+				want = 0
+			} else if v == s {
+				want = td.Value
+			} else if v == tt {
+				want = -td.Value
+			}
+			if out[v] != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTidalSweepAccountingScales(t *testing.T) {
+	g := graph.Layered(5, 5, graph.Uniform(6), 1)
+	r := Tidal(g, 0, g.N()-1)
+	// Each cycle = 3 sweeps of depth 6 (layers+1).
+	if r.SweepRounds != int64(r.Cycles)*3*6 {
+		t.Fatalf("rounds %d for %d cycles", r.SweepRounds, r.Cycles)
+	}
+}
+
+func TestOutflowOfHelper(t *testing.T) {
+	g := graph.New(3)
+	g.AddEdge(0, 1, 5)
+	g.AddEdge(1, 2, 5)
+	nw := NewNetwork(g)
+	nw.augmentOnce(0, 2)
+	if nw.OutflowOf(0) != 5 || nw.OutflowOf(1) != 0 || nw.OutflowOf(2) != -5 {
+		t.Fatalf("outflows %d %d %d", nw.OutflowOf(0), nw.OutflowOf(1), nw.OutflowOf(2))
+	}
+}

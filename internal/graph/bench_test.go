@@ -1,0 +1,53 @@
+package graph
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+)
+
+func BenchmarkRandomGnm(b *testing.B) {
+	for _, n := range []int{1024, 8192} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				RandomGnm(n, 4*n, Uniform(16), int64(i), true)
+			}
+		})
+	}
+}
+
+func BenchmarkEdgeListRoundTrip(b *testing.B) {
+	g := RandomGnm(2048, 8192, Uniform(16), 1, true)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		var buf bytes.Buffer
+		if err := WriteEdgeList(&buf, g); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := ReadEdgeList(&buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkHopDist(b *testing.B) {
+	g := RandomGnm(4096, 16384, Unit, 3, true)
+	for i := 0; i < b.N; i++ {
+		if HopDistSum(g) == 0 {
+			b.Fatal("impossible")
+		}
+	}
+}
+
+// HopDistSum is a bench helper forcing full traversal.
+func HopDistSum(g *Graph) int64 {
+	d := g.HopDist(0)
+	var s int64
+	for _, x := range d {
+		if x < Inf {
+			s += x
+		}
+	}
+	return s
+}

@@ -1,0 +1,42 @@
+package graph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+)
+
+// WriteDOT renders g in Graphviz DOT syntax with edge lengths as labels,
+// for visualizing workloads and (small) spiking topologies. Optional
+// highlight marks a vertex path (e.g. a shortest path) in bold.
+func WriteDOT(w io.Writer, g *Graph, name string, highlight []int) error {
+	bw := bufio.NewWriter(w)
+	if name == "" {
+		name = "G"
+	}
+	fmt.Fprintf(bw, "digraph %q {\n  rankdir=LR;\n  node [shape=circle];\n", name)
+	onPath := map[[2]int]bool{}
+	for i := 0; i+1 < len(highlight); i++ {
+		onPath[[2]int{highlight[i], highlight[i+1]}] = true
+	}
+	inPath := map[int]bool{}
+	for _, v := range highlight {
+		inPath[v] = true
+	}
+	for v := 0; v < g.N(); v++ {
+		attr := ""
+		if inPath[v] {
+			attr = " [style=bold,color=red]"
+		}
+		fmt.Fprintf(bw, "  %d%s;\n", v, attr)
+	}
+	for _, e := range g.Edges() {
+		attr := fmt.Sprintf(" [label=%d]", e.Len)
+		if onPath[[2]int{e.From, e.To}] {
+			attr = fmt.Sprintf(" [label=%d,style=bold,color=red]", e.Len)
+		}
+		fmt.Fprintf(bw, "  %d -> %d%s;\n", e.From, e.To, attr)
+	}
+	fmt.Fprintln(bw, "}")
+	return bw.Flush()
+}

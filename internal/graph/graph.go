@@ -1,0 +1,238 @@
+// Package graph provides the weighted directed graphs that every algorithm
+// in this repository operates on: the input graphs of the shortest-path
+// problems, the synaptic topology of spiking networks, and the crossbar
+// host graphs.
+//
+// Vertices are dense integers 0..N-1. Edge lengths are nonnegative int64
+// values; Inf marks an unreachable distance. Graphs may contain parallel
+// edges and self-loops (both occur naturally in spiking networks).
+package graph
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Inf is the distance reported for unreachable vertices. It is chosen so
+// that Inf+x for any realistic edge length x does not overflow int64.
+const Inf int64 = math.MaxInt64 / 4
+
+// Edge is a directed edge with a nonnegative length.
+type Edge struct {
+	From int
+	To   int
+	Len  int64
+}
+
+// Graph is a directed multigraph with nonnegative integer edge lengths.
+// The zero value is an empty graph with no vertices; use New to create a
+// graph with a fixed vertex count.
+type Graph struct {
+	n     int
+	edges []Edge
+	out   [][]int32 // edge indices, per source vertex
+	in    [][]int32 // edge indices, per destination vertex
+}
+
+// New returns an empty graph on n vertices.
+func New(n int) *Graph {
+	if n < 0 {
+		panic(fmt.Sprintf("graph: negative vertex count %d", n))
+	}
+	return &Graph{
+		n:   n,
+		out: make([][]int32, n),
+		in:  make([][]int32, n),
+	}
+}
+
+// N returns the number of vertices.
+func (g *Graph) N() int { return g.n }
+
+// M returns the number of edges.
+func (g *Graph) M() int { return len(g.edges) }
+
+// AddEdge appends a directed edge from u to v with length w and returns
+// its edge index. Lengths must be nonnegative.
+func (g *Graph) AddEdge(u, v int, w int64) int {
+	if u < 0 || u >= g.n || v < 0 || v >= g.n {
+		panic(fmt.Sprintf("graph: edge (%d,%d) out of range [0,%d)", u, v, g.n))
+	}
+	if w < 0 {
+		panic(fmt.Sprintf("graph: negative edge length %d on (%d,%d)", w, u, v))
+	}
+	idx := len(g.edges)
+	g.edges = append(g.edges, Edge{From: u, To: v, Len: w})
+	g.out[u] = append(g.out[u], int32(idx))
+	g.in[v] = append(g.in[v], int32(idx))
+	return idx
+}
+
+// Edge returns the edge with the given index.
+func (g *Graph) Edge(i int) Edge { return g.edges[i] }
+
+// Edges returns the edge slice. The caller must not modify it.
+func (g *Graph) Edges() []Edge { return g.edges }
+
+// SetLen changes the length of edge i. It is used by the crossbar embedder,
+// which re-programs delays on a fixed topology.
+func (g *Graph) SetLen(i int, w int64) {
+	if w < 0 {
+		panic(fmt.Sprintf("graph: negative edge length %d", w))
+	}
+	g.edges[i].Len = w
+}
+
+// Out returns the indices of edges leaving u. The caller must not modify it.
+func (g *Graph) Out(u int) []int32 { return g.out[u] }
+
+// In returns the indices of edges entering v. The caller must not modify it.
+func (g *Graph) In(v int) []int32 { return g.in[v] }
+
+// OutDeg returns the out-degree of u.
+func (g *Graph) OutDeg(u int) int { return len(g.out[u]) }
+
+// InDeg returns the in-degree of v.
+func (g *Graph) InDeg(v int) int { return len(g.in[v]) }
+
+// MaxDeg returns the maximum of in- and out-degrees over all vertices,
+// the Δ parameter of Section 4.1 of the paper.
+func (g *Graph) MaxDeg() int {
+	d := 0
+	for v := 0; v < g.n; v++ {
+		if len(g.out[v]) > d {
+			d = len(g.out[v])
+		}
+		if len(g.in[v]) > d {
+			d = len(g.in[v])
+		}
+	}
+	return d
+}
+
+// MaxLen returns the largest edge length, the parameter U of the paper.
+// It returns 0 for an edgeless graph.
+func (g *Graph) MaxLen() int64 {
+	var u int64
+	for i := range g.edges {
+		if g.edges[i].Len > u {
+			u = g.edges[i].Len
+		}
+	}
+	return u
+}
+
+// MinLen returns the smallest edge length, or 0 for an edgeless graph.
+func (g *Graph) MinLen() int64 {
+	if len(g.edges) == 0 {
+		return 0
+	}
+	m := g.edges[0].Len
+	for i := range g.edges {
+		if g.edges[i].Len < m {
+			m = g.edges[i].Len
+		}
+	}
+	return m
+}
+
+// Clone returns a deep copy of g.
+func (g *Graph) Clone() *Graph {
+	h := New(g.n)
+	for _, e := range g.edges {
+		h.AddEdge(e.From, e.To, e.Len)
+	}
+	return h
+}
+
+// Scale returns a copy of g with every edge length multiplied by f.
+// It panics if f <= 0 or if any product would overflow past Inf.
+func (g *Graph) Scale(f int64) *Graph {
+	if f <= 0 {
+		panic(fmt.Sprintf("graph: nonpositive scale factor %d", f))
+	}
+	h := New(g.n)
+	for _, e := range g.edges {
+		if e.Len > Inf/f {
+			panic("graph: scaled edge length overflows")
+		}
+		h.AddEdge(e.From, e.To, e.Len*f)
+	}
+	return h
+}
+
+// Map returns a copy of g with every edge length replaced by fn(len).
+// Lengths mapped to negative values cause a panic.
+func (g *Graph) Map(fn func(int64) int64) *Graph {
+	h := New(g.n)
+	for _, e := range g.edges {
+		h.AddEdge(e.From, e.To, fn(e.Len))
+	}
+	return h
+}
+
+// Reverse returns the graph with all edges reversed.
+func (g *Graph) Reverse() *Graph {
+	h := New(g.n)
+	for _, e := range g.edges {
+		h.AddEdge(e.To, e.From, e.Len)
+	}
+	return h
+}
+
+// Degrees returns the sorted multiset of out-degrees, useful in tests.
+func (g *Graph) Degrees() []int {
+	ds := make([]int, g.n)
+	for v := range ds {
+		ds[v] = len(g.out[v])
+	}
+	sort.Ints(ds)
+	return ds
+}
+
+// String summarizes the graph.
+func (g *Graph) String() string {
+	return fmt.Sprintf("graph{n=%d m=%d U=%d}", g.n, len(g.edges), g.MaxLen())
+}
+
+// Validate checks internal consistency of the adjacency structure and
+// returns an error describing the first inconsistency found.
+func (g *Graph) Validate() error {
+	if len(g.out) != g.n || len(g.in) != g.n {
+		return fmt.Errorf("graph: adjacency arrays sized %d/%d, want %d", len(g.out), len(g.in), g.n)
+	}
+	seen := 0
+	for u := 0; u < g.n; u++ {
+		for _, ei := range g.out[u] {
+			if int(ei) >= len(g.edges) {
+				return fmt.Errorf("graph: out[%d] references edge %d of %d", u, ei, len(g.edges))
+			}
+			if g.edges[ei].From != u {
+				return fmt.Errorf("graph: edge %d in out[%d] has From=%d", ei, u, g.edges[ei].From)
+			}
+			seen++
+		}
+	}
+	if seen != len(g.edges) {
+		return fmt.Errorf("graph: out lists contain %d edges, want %d", seen, len(g.edges))
+	}
+	seen = 0
+	for v := 0; v < g.n; v++ {
+		for _, ei := range g.in[v] {
+			if g.edges[ei].To != v {
+				return fmt.Errorf("graph: edge %d in in[%d] has To=%d", ei, v, g.edges[ei].To)
+			}
+			seen++
+		}
+	}
+	if seen != len(g.edges) {
+		return fmt.Errorf("graph: in lists contain %d edges, want %d", seen, len(g.edges))
+	}
+	for i, e := range g.edges {
+		if e.Len < 0 {
+			return fmt.Errorf("graph: edge %d has negative length %d", i, e.Len)
+		}
+	}
+	return nil
+}

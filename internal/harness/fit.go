@@ -1,0 +1,51 @@
+// Package harness drives the paper-reproduction experiments: it sweeps
+// workloads, measures the neuromorphic and conventional cost quantities,
+// fits growth exponents, and renders the tables and figure narratives
+// that EXPERIMENTS.md and the spaabench CLI report.
+package harness
+
+import (
+	"fmt"
+	"math"
+)
+
+// LogLogSlope fits a power law y = a·x^s by least squares in log-log
+// space and returns the exponent s. It panics on mismatched or
+// insufficient input, and requires positive samples.
+func LogLogSlope(xs, ys []float64) float64 {
+	if len(xs) != len(ys) || len(xs) < 2 {
+		panic(fmt.Sprintf("harness: need >= 2 paired samples, got %d/%d", len(xs), len(ys)))
+	}
+	var sx, sy, sxx, sxy float64
+	for i := range xs {
+		if xs[i] <= 0 || ys[i] <= 0 {
+			panic(fmt.Sprintf("harness: non-positive sample (%v,%v)", xs[i], ys[i]))
+		}
+		lx, ly := math.Log(xs[i]), math.Log(ys[i])
+		sx += lx
+		sy += ly
+		sxx += lx * lx
+		sxy += lx * ly
+	}
+	n := float64(len(xs))
+	denom := n*sxx - sx*sx
+	if denom == 0 {
+		panic("harness: degenerate x samples")
+	}
+	return (n*sxy - sx*sy) / denom
+}
+
+// GeometricMean returns the geometric mean of positive samples.
+func GeometricMean(xs []float64) float64 {
+	if len(xs) == 0 {
+		panic("harness: empty samples")
+	}
+	var s float64
+	for _, x := range xs {
+		if x <= 0 {
+			panic("harness: non-positive sample")
+		}
+		s += math.Log(x)
+	}
+	return math.Exp(s / float64(len(xs)))
+}

@@ -1,0 +1,194 @@
+package harness
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestLogLogSlope(t *testing.T) {
+	xs := []float64{1, 2, 4, 8, 16}
+	ys := make([]float64, len(xs))
+	for i, x := range xs {
+		ys[i] = 3 * math.Pow(x, 1.5)
+	}
+	if s := LogLogSlope(xs, ys); math.Abs(s-1.5) > 1e-9 {
+		t.Fatalf("slope %v", s)
+	}
+	for i, x := range xs {
+		ys[i] = 7 * x
+	}
+	if s := LogLogSlope(xs, ys); math.Abs(s-1) > 1e-9 {
+		t.Fatalf("slope %v", s)
+	}
+}
+
+func TestLogLogSlopePanics(t *testing.T) {
+	for i, f := range []func(){
+		func() { LogLogSlope([]float64{1}, []float64{1}) },
+		func() { LogLogSlope([]float64{1, 2}, []float64{1}) },
+		func() { LogLogSlope([]float64{1, 2}, []float64{0, 1}) },
+		func() { LogLogSlope([]float64{3, 3}, []float64{1, 2}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d did not panic", i)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestGeometricMean(t *testing.T) {
+	if g := GeometricMean([]float64{1, 4}); math.Abs(g-2) > 1e-9 {
+		t.Fatalf("gm %v", g)
+	}
+}
+
+func TestRunTable1SmallSweep(t *testing.T) {
+	cfg := Table1Config{
+		Sizes: []int{32, 64}, Density: 4, U: 8, K: 4, C: 2, Seed: 3,
+	}
+	rep := RunTable1(cfg)
+	// 4 no-movement + 4 movement rows per size.
+	if len(rep.Rows) != 16 {
+		t.Fatalf("%d rows", len(rep.Rows))
+	}
+	for _, r := range rep.Rows {
+		if r.Conventional <= 0 || r.Neuromorphic <= 0 {
+			t.Fatalf("non-positive measurement: %+v", r)
+		}
+		if r.Advantage <= 0 || math.IsInf(r.Advantage, 0) {
+			t.Fatalf("bad advantage: %+v", r)
+		}
+	}
+	out := rep.Render()
+	if !strings.Contains(out, "k-hop SSSP") || !strings.Contains(out, "charged") {
+		t.Fatalf("render missing content:\n%s", out)
+	}
+}
+
+func TestRunTable1SkipMovement(t *testing.T) {
+	cfg := Table1Config{Sizes: []int{32}, Density: 3, U: 4, K: 3, C: 1, Seed: 5, SkipMovement: true}
+	rep := RunTable1(cfg)
+	if len(rep.Rows) != 4 {
+		t.Fatalf("%d rows with movement skipped", len(rep.Rows))
+	}
+	for _, r := range rep.Rows {
+		if r.WithMovement {
+			t.Fatalf("movement row present despite skip")
+		}
+	}
+}
+
+func TestTable1MovementSlopeIsSuperlinear(t *testing.T) {
+	// The DISTANCE-instrumented Dijkstra must grow ~m^{1.5} while the
+	// pseudo-poly spiking side grows ~linearly in m (short random-graph
+	// distances): the heart of the paper's movement-regime advantage.
+	cfg := Table1Config{Sizes: []int{32, 64, 128, 256}, Density: 4, U: 8, K: 4, C: 2, Seed: 7}
+	rep := RunTable1(cfg)
+	conv := rep.Slope("SSSP", "pseudopolynomial", true, func(r Table1Row) float64 { return r.Conventional })
+	if conv < 1.3 {
+		t.Fatalf("conventional movement slope %v, want >= 1.3 (≈1.5)", conv)
+	}
+	neuroSlope := rep.Slope("SSSP", "pseudopolynomial", true, func(r Table1Row) float64 { return r.Neuromorphic })
+	if neuroSlope > conv {
+		t.Fatalf("neuromorphic slope %v not below conventional %v", neuroSlope, conv)
+	}
+}
+
+func TestRunTable2(t *testing.T) {
+	rows := RunTable2([]int{2, 4, 8}, []int{3, 6})
+	if len(rows) != 12 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	for _, r := range rows {
+		switch r.Name {
+		case "wired-or":
+			if r.Depth != int64(4*r.Lambda+1) {
+				t.Fatalf("wired-or depth %d for lambda %d", r.Depth, r.Lambda)
+			}
+		case "brute force":
+			if r.Depth != 5 {
+				t.Fatalf("brute depth %d", r.Depth)
+			}
+		default:
+			t.Fatalf("unknown row %q", r.Name)
+		}
+		if r.Neurons <= 0 {
+			t.Fatalf("no neurons: %+v", r)
+		}
+	}
+	out := RenderTable2(rows)
+	if !strings.Contains(out, "wired-or") || !strings.Contains(out, "brute force") {
+		t.Fatalf("render:\n%s", out)
+	}
+}
+
+func TestRunFigures(t *testing.T) {
+	out := RunFigures()
+	for _, want := range []string{
+		"Figure 1A", "Figure 1B", "Figure 2", "Figure 3", "Figure 4",
+		"Figure 5", "gate-level compiled",
+		"out fired at t=64", // delay gadget at d=64
+		"max[19 7 25 25] = 25",
+		"700+345=1045",
+		"= 61 at index 1",
+		"dist(1)=2",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("figures output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestVerifyAllPass(t *testing.T) {
+	for seed := int64(1); seed <= 3; seed++ {
+		checks := Verify(seed)
+		if len(checks) < 8 {
+			t.Fatalf("only %d checks", len(checks))
+		}
+		out, failed := RenderChecks(checks)
+		if failed {
+			t.Fatalf("verification failed (seed %d):\n%s", seed, out)
+		}
+		if !strings.Contains(out, "PASS") {
+			t.Fatalf("render:\n%s", out)
+		}
+	}
+}
+
+func TestExperimentsMarkdownStructure(t *testing.T) {
+	cfg := Table1Config{Sizes: []int{32, 64}, Density: 3, U: 4, K: 4, C: 2, Seed: 2}
+	md := ExperimentsMarkdown(cfg)
+	for _, section := range []string{
+		"# EXPERIMENTS",
+		"## Table 1 —",
+		"## Table 2 —",
+		"## Table 3 —",
+		"## Figures 1–5 —",
+		"## Theorem 6.1 —",
+		"## Theorem 6.2 —",
+		"## Theorem 7.2 —",
+		"## §2.2 NGA example",
+		"## §4.4 — embed/unembed",
+		"## Abstract's energy claim",
+		"## §2.2 — the CONGEST bridge",
+		"## §8 — tidal flow outlook",
+		"## Theorem 6.1's 3D remark",
+		"## Gate-level compiled machines",
+		"## §4.4's closing remark",
+		"## Figure 7 — multi-chip aggregation",
+		"## Caveats",
+	} {
+		if !strings.Contains(md, section) {
+			t.Fatalf("experiments report missing %q", section)
+		}
+	}
+	// No unfilled format verbs leaked into the document.
+	if strings.Contains(md, "%!") {
+		t.Fatal("format error artifact in report")
+	}
+}

@@ -1,0 +1,73 @@
+package harness
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/graph"
+	"repro/internal/snn"
+)
+
+// SSSPRaster runs the Section 3 relay network with spike recording and
+// renders the wavefront as an ASCII raster: one row per vertex, a '|' at
+// the step its neuron fired. The row order is by distance, so the
+// diagonal sweep of the wavefront — the "spike timing mimics the priority
+// queue" picture — is visible directly.
+func SSSPRaster(g *graph.Graph, src int) string {
+	n := g.N()
+	net := snn.NewNetwork(snn.Config{Rule: snn.FireGTE, Record: true})
+	relays := make([]int, n)
+	for v := 0; v < n; v++ {
+		relays[v] = net.AddNeuron(snn.Integrator(1))
+	}
+	for v := 0; v < n; v++ {
+		net.Connect(relays[v], relays[v], -float64(g.InDeg(v)+1), 1)
+	}
+	for _, e := range g.Edges() {
+		net.Connect(relays[e.From], relays[e.To], 1, e.Len)
+	}
+	net.InduceSpike(relays[src], 0)
+	horizon := int64(n)*maxInt64(g.MaxLen(), 1) + 1
+	net.Run(horizon)
+
+	type row struct {
+		v int
+		t int64
+	}
+	rows := make([]row, 0, n)
+	var last int64
+	for v := 0; v < n; v++ {
+		t := net.FirstSpike(relays[v])
+		if t < 0 {
+			continue
+		}
+		rows = append(rows, row{v: v, t: t})
+		if t > last {
+			last = t
+		}
+	}
+	// Insertion sort by first-spike time (stable by vertex id).
+	for i := 1; i < len(rows); i++ {
+		for j := i; j > 0 && (rows[j].t < rows[j-1].t || (rows[j].t == rows[j-1].t && rows[j].v < rows[j-1].v)); j-- {
+			rows[j], rows[j-1] = rows[j-1], rows[j]
+		}
+	}
+	ids := make([]int, len(rows))
+	labels := make([]string, len(rows))
+	for i, r := range rows {
+		ids[i] = relays[r.v]
+		labels[i] = fmt.Sprintf("v%-3d d=%-4d", r.v, r.t)
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "spiking SSSP wavefront (n=%d, m=%d, src=%d): %d vertices reached, L=%d\n",
+		n, g.M(), src, len(rows), last)
+	b.WriteString(net.RenderRaster(ids, labels, 0, last))
+	return b.String()
+}
+
+func maxInt64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

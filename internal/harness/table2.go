@@ -1,0 +1,61 @@
+package harness
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/circuit"
+)
+
+// Table2Row records the measured size and depth of one max-circuit
+// construction, against the paper's Table 2 bounds.
+type Table2Row struct {
+	Name    string // "wired-or" or "brute force"
+	D       int    // number of inputs
+	Lambda  int    // bits per input
+	Neurons int
+	Depth   int64
+	// PaperSize and PaperDepth are the Table 2 bounds evaluated with
+	// coefficient 1 (O(dλ)/O(λ) for wired-or, O(d²)/3 for brute force).
+	PaperSize  int
+	PaperDepth int64
+}
+
+// RunTable2 constructs both max circuits over a (d, λ) grid and records
+// their exact neuron counts and latencies.
+func RunTable2(ds, lambdas []int) []Table2Row {
+	var rows []Table2Row
+	for _, d := range ds {
+		for _, lambda := range lambdas {
+			bw := circuit.NewBuilder(false)
+			w := circuit.NewMaxWiredOR(bw, d, lambda)
+			rows = append(rows, Table2Row{
+				Name: "wired-or", D: d, Lambda: lambda,
+				Neurons: w.Neurons, Depth: w.Latency,
+				PaperSize: d * lambda, PaperDepth: int64(lambda),
+			})
+			bb := circuit.NewBuilder(false)
+			f := circuit.NewMaxBruteForce(bb, d, lambda, false)
+			rows = append(rows, Table2Row{
+				Name: "brute force", D: d, Lambda: lambda,
+				Neurons: f.Neurons, Depth: f.Latency,
+				PaperSize: d * d, PaperDepth: 3,
+			})
+		}
+	}
+	return rows
+}
+
+// RenderTable2 formats the circuit survey.
+func RenderTable2(rows []Table2Row) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 2 reproduction: max-of-d λ-bit-numbers circuits\n")
+	fmt.Fprintf(&b, "%-12s %5s %7s %9s %7s %11s %11s\n",
+		"circuit", "d", "lambda", "neurons", "depth", "paper-size", "paper-depth")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-12s %5d %7d %9d %7d %10sx %11d\n",
+			r.Name, r.D, r.Lambda, r.Neurons, r.Depth,
+			fmt.Sprintf("%.2g", float64(r.Neurons)/float64(r.PaperSize)), r.PaperDepth)
+	}
+	return b.String()
+}

@@ -1,0 +1,88 @@
+package nga
+
+import (
+	"math/bits"
+
+	"repro/internal/graph"
+)
+
+// MatVec builds the matrix-vector NGA of Section 2.2's example: edges
+// multiply messages by the matrix entry A_ij (stored as the edge length)
+// and nodes sum their incoming messages, so R rounds compute A^R·m0.
+// Nodes do not retain their previous message (pure Definition 4
+// semantics): a vertex with no incoming messages goes to zero.
+//
+// T_edge is the depth of a shift-and-add multiplier on λ-bit values and
+// T_node the depth of an adder tree over the in-degree; both are O(λ) and
+// O(log deg)·O(1) respectively — we charge the depth-2 carry-lookahead
+// adder (circuit.AdderCLA) per level, matching Section 5's circuits.
+func MatVec(g *graph.Graph, lambda int) *Algorithm[int64] {
+	degDepth := int64(bits.Len(uint(g.MaxDeg()))) // adder-tree levels
+	if degDepth == 0 {
+		degDepth = 1
+	}
+	return &Algorithm[int64]{
+		G:      g,
+		IsZero: func(m int64) bool { return m == 0 },
+		EdgeFn: func(e graph.Edge, m int64) int64 { return e.Len * m },
+		NodeFn: func(_ int, _ int64, in []int64) int64 {
+			var s int64
+			for _, m := range in {
+				s += m
+			}
+			return s
+		},
+		TEdge:  int64(lambda), // shift-and-add multiply, one adder per bit
+		TNode:  2 * degDepth,  // adder tree of depth-2 CLAs
+		Lambda: lambda,
+	}
+}
+
+// MatVecPower computes A^r·x directly by repeated NGA rounds and returns
+// the final vector (a convenience wrapper used by examples and tests).
+func MatVecPower(g *graph.Graph, x []int64, r, lambda int) []int64 {
+	return MatVec(g, lambda).Run(x, r, nil).Messages
+}
+
+// MinPlus builds the tropical-semiring NGA the paper derives from MatVec
+// ("by summing entries of A with message values on the edges and taking
+// the minimum of message values at the nodes"): edges add their length to
+// the message, nodes take the min of their previous value and all
+// arrivals. Messages are path lengths; graph.Inf is the zero (absent)
+// message. R rounds from the source indicator vector compute the
+// hop-bounded distances dist_R(v).
+//
+// T_edge charges the depth-2 carry-lookahead adder; T_node charges the
+// wired-or min circuit of Theorem 5.1, depth 4λ+4.
+func MinPlus(g *graph.Graph, lambda int) *Algorithm[int64] {
+	return &Algorithm[int64]{
+		G:      g,
+		IsZero: func(m int64) bool { return m >= graph.Inf },
+		EdgeFn: func(e graph.Edge, m int64) int64 { return m + e.Len },
+		NodeFn: func(_ int, prev int64, in []int64) int64 {
+			best := prev
+			for _, m := range in {
+				if m < best {
+					best = m
+				}
+			}
+			return best
+		},
+		TEdge:  2,
+		TNode:  4*int64(lambda) + 4,
+		Lambda: lambda,
+	}
+}
+
+// KHopDistances runs the min-plus NGA for k rounds from src and returns
+// dist_k(v) for every v — the message-passing formulation of the k-hop
+// SSSP problem that Sections 4.1-4.2 implement with spiking circuits.
+func KHopDistances(g *graph.Graph, src, k, lambda int) *Result[int64] {
+	init := make([]int64, g.N())
+	for v := range init {
+		init[v] = graph.Inf
+	}
+	init[src] = 0
+	eq := func(a, b int64) bool { return a == b }
+	return MinPlus(g, lambda).Run(init, k, eq)
+}

@@ -1,0 +1,106 @@
+// Package nga implements the Neuromorphic Graph Algorithm model of
+// Definition 4 of the paper: computation proceeds in rounds on a directed
+// graph; at each round every node broadcasts a λ-bit message across its
+// outgoing edges, each edge transforms the message in transit, and each
+// node folds its incoming messages into its next message.
+//
+// Per the paper, "sending the all-zeros message equates to none of the
+// output neurons firing": zero messages are not broadcast, which is what
+// makes the model's communication event-driven and energy-proportional.
+//
+// The total execution time of an R-round NGA is R·(T_edge + T_node),
+// where T_edge and T_node are the depths of the edge and node SNN
+// circuits (Definition 4); Run reports this quantity using the circuit
+// depths from the circuit package.
+package nga
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+)
+
+// Algorithm describes one NGA: the graph it runs on, the message algebra,
+// and the circuit-depth parameters for time accounting.
+//
+// NodeFn receives the node's previous message alongside the incoming
+// ones; Definition 4's nodes are functions of incoming messages only, and
+// passing the previous message is equivalent to giving every node a
+// zero-cost self-loop edge (the construction the paper uses to let nodes
+// retain state via memory neurons, Section 2.2).
+type Algorithm[M any] struct {
+	G      *graph.Graph
+	IsZero func(M) bool                  // identity/no-message test
+	EdgeFn func(e graph.Edge, m M) M     // computes m_{ij,r-1}
+	NodeFn func(v int, prev M, in []M) M // computes m_{j,r}
+	TEdge  int64                         // edge-SNN depth (time steps)
+	TNode  int64                         // node-SNN depth (time steps)
+	Lambda int                           // message width in bits/spikes
+}
+
+// Result reports the outcome and cost of an NGA execution.
+type Result[M any] struct {
+	Messages []M   // final node messages m_{i,R}
+	Rounds   int   // rounds executed
+	Time     int64 // R·(T_edge+T_node), the Definition 4 execution time
+	// MessagesSent counts nonzero broadcasts over edges: the CONGEST-style
+	// communication volume, and (×λ) the spike count.
+	MessagesSent int64
+	// Converged is set when the run stopped early because a round left
+	// every message unchanged (only when an Eq comparator is provided).
+	Converged bool
+}
+
+// Run executes up to rounds rounds starting from the initial messages
+// m_{i,0} = init[i]. If eq is non-nil, the run stops early once a round
+// produces messages equal to the previous round's.
+func (a *Algorithm[M]) Run(init []M, rounds int, eq func(M, M) bool) *Result[M] {
+	n := a.G.N()
+	if len(init) != n {
+		panic(fmt.Sprintf("nga: %d initial messages for %d nodes", len(init), n))
+	}
+	if rounds < 0 {
+		panic(fmt.Sprintf("nga: negative round count %d", rounds))
+	}
+	msgs := make([]M, n)
+	copy(msgs, init)
+	res := &Result[M]{}
+
+	incoming := make([][]M, n)
+	for r := 1; r <= rounds; r++ {
+		for v := range incoming {
+			incoming[v] = incoming[v][:0]
+		}
+		for u := 0; u < n; u++ {
+			if a.IsZero(msgs[u]) {
+				continue // all-zeros message: no spikes, no broadcast
+			}
+			for _, ei := range a.G.Out(u) {
+				e := a.G.Edge(int(ei))
+				me := a.EdgeFn(e, msgs[u])
+				if a.IsZero(me) {
+					continue
+				}
+				incoming[e.To] = append(incoming[e.To], me)
+				res.MessagesSent++
+			}
+		}
+		next := make([]M, n)
+		changed := false
+		for v := 0; v < n; v++ {
+			next[v] = a.NodeFn(v, msgs[v], incoming[v])
+			if eq != nil && !changed && !eq(next[v], msgs[v]) {
+				changed = true
+			}
+		}
+		msgs = next
+		res.Rounds = r
+		if eq != nil && !changed {
+			res.Converged = true
+			break
+		}
+	}
+	res.Messages = msgs
+	res.Time = int64(res.Rounds) * (a.TEdge + a.TNode)
+	return res
+}

@@ -1,0 +1,255 @@
+package nga
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/classic"
+	"repro/internal/graph"
+)
+
+// matPower computes A^r·x directly with dense arithmetic as a reference.
+func matPower(g *graph.Graph, x []int64, r int) []int64 {
+	n := g.N()
+	cur := make([]int64, n)
+	copy(cur, x)
+	for round := 0; round < r; round++ {
+		next := make([]int64, n)
+		for _, e := range g.Edges() {
+			next[e.To] += e.Len * cur[e.From]
+		}
+		cur = next
+	}
+	return cur
+}
+
+func TestMatVecOneRound(t *testing.T) {
+	g := graph.New(3)
+	g.AddEdge(0, 1, 2)
+	g.AddEdge(0, 2, 3)
+	g.AddEdge(1, 2, 5)
+	r := MatVec(g, 8).Run([]int64{1, 1, 0}, 1, nil)
+	// node1 <- 2*1, node2 <- 3*1 + 5*1 = 8; node0 <- nothing = 0.
+	want := []int64{0, 2, 8}
+	for v := range want {
+		if r.Messages[v] != want[v] {
+			t.Fatalf("messages %v, want %v", r.Messages, want)
+		}
+	}
+}
+
+func TestMatVecMatchesDensePower(t *testing.T) {
+	g := graph.RandomGnm(12, 30, graph.Uniform(3), 9, false)
+	x := make([]int64, g.N())
+	for i := range x {
+		x[i] = int64(i % 3)
+	}
+	for r := 0; r <= 4; r++ {
+		got := MatVecPower(g, x, r, 8)
+		want := matPower(g, x, r)
+		for v := range want {
+			if got[v] != want[v] {
+				t.Fatalf("r=%d: A^r x [%d] = %d, want %d", r, v, got[v], want[v])
+			}
+		}
+	}
+}
+
+func TestMatVecZeroSkipsBroadcast(t *testing.T) {
+	g := graph.New(2)
+	g.AddEdge(0, 1, 7)
+	r := MatVec(g, 8).Run([]int64{0, 0}, 3, nil)
+	if r.MessagesSent != 0 {
+		t.Fatalf("zero vector sent %d messages", r.MessagesSent)
+	}
+}
+
+func TestMatVecTimeAccounting(t *testing.T) {
+	g := graph.Ring(4, graph.Unit, 0)
+	a := MatVec(g, 8)
+	r := a.Run([]int64{1, 0, 0, 0}, 5, nil)
+	if r.Time != 5*(a.TEdge+a.TNode) {
+		t.Fatalf("time %d, want %d", r.Time, 5*(a.TEdge+a.TNode))
+	}
+	if r.Rounds != 5 {
+		t.Fatalf("rounds %d", r.Rounds)
+	}
+}
+
+func TestKHopDistancesMatchBellmanFord(t *testing.T) {
+	g := graph.RandomGnm(25, 100, graph.Uniform(9), 4, true)
+	for _, k := range []int{0, 1, 2, 5, 24} {
+		got := KHopDistances(g, 0, k, 12)
+		want := classic.BellmanFordKHop(g, 0, k, false).Dist
+		for v := range want {
+			if got.Messages[v] != want[v] {
+				t.Fatalf("k=%d dist[%d] = %d, want %d", k, v, got.Messages[v], want[v])
+			}
+		}
+	}
+}
+
+func TestKHopConvergesEarly(t *testing.T) {
+	g := graph.Path(4, graph.Unit, 0)
+	r := KHopDistances(g, 0, 100, 8)
+	if !r.Converged {
+		t.Fatalf("no convergence flag")
+	}
+	if r.Rounds > 5 {
+		t.Fatalf("took %d rounds on a 4-path", r.Rounds)
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	g := graph.Ring(3, graph.Unit, 0)
+	a := MatVec(g, 4)
+	for i, f := range []func(){
+		func() { a.Run([]int64{1}, 1, nil) },
+		func() { a.Run([]int64{1, 0, 0}, -1, nil) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d did not panic", i)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestMessagesSentCountsNonzeroOnly(t *testing.T) {
+	g := graph.New(3)
+	g.AddEdge(0, 1, 1)
+	g.AddEdge(1, 2, 1)
+	r := KHopDistances(g, 0, 2, 8)
+	// Round 1: node0 broadcasts (1 msg). Round 2: node0 and node1
+	// broadcast (2 msgs). Total 3.
+	if r.MessagesSent != 3 {
+		t.Fatalf("messages sent %d, want 3", r.MessagesSent)
+	}
+}
+
+// Property: min-plus NGA equals Bellman-Ford for random graphs and hop
+// bounds; matvec NGA equals dense matrix power.
+func TestInstancesProperty(t *testing.T) {
+	f := func(seed int64, kRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := graph.RandomGnm(rng.Intn(15)+2, rng.Intn(50), graph.Uniform(7), seed, true)
+		k := int(kRaw % 8)
+		got := KHopDistances(g, 0, k, 10).Messages
+		want := classic.BellmanFordKHop(g, 0, k, false).Dist
+		for v := range want {
+			if got[v] != want[v] {
+				return false
+			}
+		}
+		x := make([]int64, g.N())
+		for i := range x {
+			x[i] = rng.Int63n(3)
+		}
+		r := int(kRaw % 4)
+		mv := MatVecPower(g, x, r, 8)
+		ref := matPower(g, x, r)
+		for v := range ref {
+			if mv[v] != ref[v] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// --- PageRank (the general-application NGA instance) ---
+
+func TestPageRankSumsToOne(t *testing.T) {
+	g := graph.PreferentialAttachment(40, 2, graph.Unit, 9)
+	pr, rounds := PageRank(g, 0.85, 1e-10, 500)
+	if rounds == 0 || rounds >= 500 {
+		t.Fatalf("rounds %d", rounds)
+	}
+	var sum float64
+	for _, p := range pr {
+		if p <= 0 {
+			t.Fatalf("nonpositive rank %v", p)
+		}
+		sum += p
+	}
+	if sum < 0.999 || sum > 1.001 {
+		t.Fatalf("ranks sum to %v", sum)
+	}
+}
+
+func TestPageRankMatchesDirectPowerIteration(t *testing.T) {
+	g := graph.RandomGnm(15, 60, graph.Unit, 3, false)
+	d := 0.85
+	n := g.N()
+	// Direct dense power iteration reference.
+	cur := make([]float64, n)
+	for i := range cur {
+		cur[i] = 1 / float64(n)
+	}
+	for it := 0; it < 200; it++ {
+		next := make([]float64, n)
+		var dangling float64
+		for v := 0; v < n; v++ {
+			if g.OutDeg(v) == 0 {
+				dangling += cur[v]
+				continue
+			}
+			share := cur[v] / float64(g.OutDeg(v))
+			for _, ei := range g.Out(v) {
+				next[g.Edge(int(ei)).To] += share
+			}
+		}
+		for v := range next {
+			next[v] = (1-d)/float64(n) + d*(next[v]+dangling/float64(n))
+		}
+		cur = next
+	}
+	got, _ := PageRank(g, d, 1e-12, 500)
+	for v := range cur {
+		if diff := got[v] - cur[v]; diff > 1e-6 || diff < -1e-6 {
+			t.Fatalf("rank[%d] = %v, want %v", v, got[v], cur[v])
+		}
+	}
+}
+
+func TestPageRankHubGetsTopRank(t *testing.T) {
+	// Star graph: every leaf points at the hub.
+	g := graph.New(9)
+	for v := 1; v < 9; v++ {
+		g.AddEdge(v, 0, 1)
+	}
+	pr, _ := PageRank(g, 0.85, 1e-9, 200)
+	for v := 1; v < 9; v++ {
+		if pr[0] <= pr[v] {
+			t.Fatalf("hub rank %v not above leaf %v", pr[0], pr[v])
+		}
+	}
+}
+
+func TestPageRankValidation(t *testing.T) {
+	g := graph.Ring(3, graph.Unit, 0)
+	for i, f := range []func(){
+		func() { PageRank(g, 0, 1e-9, 10) },
+		func() { PageRank(g, 1, 1e-9, 10) },
+		func() { PageRank(g, 0.5, 0, 10) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d did not panic", i)
+				}
+			}()
+			f()
+		}()
+	}
+	if pr, _ := PageRank(graph.New(0), 0.85, 1e-9, 10); pr != nil {
+		t.Fatal("empty graph should return nil")
+	}
+}

@@ -1,0 +1,76 @@
+package nga
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/graph"
+)
+
+// PageRank runs power iteration with damping d as an NGA: each round,
+// every node broadcasts its mass divided by its out-degree (the edge
+// function), and every node folds arriving mass into
+// (1-d)/n + d·Σ incoming (the node function). It is the archetypal
+// "general computational application" of the matrix-vector NGA pattern
+// that Section 2.2 generalizes to.
+//
+// Dangling nodes (out-degree 0) redistribute their mass uniformly, the
+// standard correction, handled by a per-round rescale so total mass stays
+// 1. The run stops when the L1 change drops below tol or after maxRounds.
+func PageRank(g *graph.Graph, damping float64, tol float64, maxRounds int) ([]float64, int) {
+	n := g.N()
+	if n == 0 {
+		return nil, 0
+	}
+	if damping <= 0 || damping >= 1 {
+		panic(fmt.Sprintf("nga: damping %v outside (0,1)", damping))
+	}
+	if tol <= 0 {
+		panic("nga: tolerance must be positive")
+	}
+
+	alg := &Algorithm[float64]{
+		G:      g,
+		IsZero: func(m float64) bool { return m == 0 },
+		EdgeFn: func(e graph.Edge, m float64) float64 {
+			return m / float64(g.OutDeg(e.From))
+		},
+		NodeFn: func(_ int, _ float64, in []float64) float64 {
+			var s float64
+			for _, m := range in {
+				s += m
+			}
+			return s
+		},
+		TEdge: 1, TNode: 1, Lambda: 64,
+	}
+
+	cur := make([]float64, n)
+	for v := range cur {
+		cur[v] = 1 / float64(n)
+	}
+	rounds := 0
+	for rounds < maxRounds {
+		r := alg.Run(cur, 1, nil)
+		next := r.Messages
+		// Damping plus dangling-mass redistribution: whatever mass did not
+		// flow (dangling nodes) spreads uniformly.
+		var flowed float64
+		for _, m := range next {
+			flowed += m
+		}
+		base := (1-damping)/float64(n) + damping*(1-flowed)/float64(n)
+		var delta float64
+		for v := range next {
+			nv := base + damping*next[v]
+			delta += math.Abs(nv - cur[v])
+			next[v] = nv
+		}
+		cur = next
+		rounds++
+		if delta < tol {
+			break
+		}
+	}
+	return cur, rounds
+}

@@ -1,0 +1,52 @@
+package platform
+
+import (
+	"math"
+	"testing"
+)
+
+func byName(t *testing.T, name string) Platform {
+	t.Helper()
+	for _, p := range Table3() {
+		if p.Name == name {
+			return p
+		}
+	}
+	t.Fatalf("platform %q missing", name)
+	return Platform{}
+}
+
+func TestSpikeEnergy(t *testing.T) {
+	loihi := byName(t, "Loihi")
+	j := SpikeEnergyJoules(loihi, 1_000_000)
+	want := 1e6 * 23.6e-12
+	if math.Abs(j-want) > 1e-18 {
+		t.Fatalf("energy %v, want %v", j, want)
+	}
+	sp2 := byName(t, "SpiNNaker 2")
+	if SpikeEnergyJoules(sp2, 100) != 0 {
+		t.Fatal("platform without pJ figure should return 0")
+	}
+}
+
+func TestCPUEnergyPerOp(t *testing.T) {
+	e := CPUEnergyPerOpJoules()
+	// 35 W / 4.3 GHz ≈ 8.1 nJ.
+	if e < 7e-9 || e > 9e-9 {
+		t.Fatalf("per-op energy %v", e)
+	}
+}
+
+func TestEnergyAdvantageOrdersOfMagnitude(t *testing.T) {
+	// The abstract's claim: for a workload where the conventional side
+	// does about as many operations as the spiking side has spike events,
+	// the energy gap is orders of magnitude.
+	loihi := byName(t, "Loihi")
+	adv := EnergyAdvantage(loihi, 1000, 1000)
+	if adv < 100 {
+		t.Fatalf("energy advantage %v, want >= 100x", adv)
+	}
+	if EnergyAdvantage(byName(t, "SpiNNaker 2"), 1000, 1000) != 0 {
+		t.Fatal("no-figure platform should report 0")
+	}
+}

@@ -1,0 +1,124 @@
+// Package platform carries the Table 3 survey data of Appendix A: the
+// characteristics of current scalable neuromorphic platforms (TrueNorth,
+// Loihi, SpiNNaker 1 and 2) against a conventional CPU reference (Intel
+// Core i7-9700T), plus the derived comparisons the paper draws from them
+// (neuron density per chip versus core counts, energy per spike event
+// versus CPU power).
+package platform
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Platform is one column of Table 3. Zero-valued fields render as "-"
+// (unspecified in the paper's table).
+type Platform struct {
+	Name           string
+	Organization   string
+	Design         string
+	ProcessNm      int
+	Clock          string
+	NeuronsPerCore int
+	CoresPerChip   int
+	// NeuronsPerChip is listed directly when the paper gives a per-chip
+	// figure (SpiNNaker 2), else derived as NeuronsPerCore·CoresPerChip.
+	NeuronsPerChip int
+	// PicoJoulePerSpike is the pJ/spike-event energy (0 = not given).
+	PicoJoulePerSpike float64
+	// RunningPowerWatts is the approximate running power (per chip where
+	// the paper says so).
+	RunningPowerWatts float64
+	// IsCPU marks the conventional reference column.
+	IsCPU bool
+}
+
+// Table3 returns the paper's platform survey verbatim.
+func Table3() []Platform {
+	return []Platform{
+		{
+			Name: "TrueNorth", Organization: "IBM", Design: "ASIC",
+			ProcessNm: 28, Clock: "1KHz",
+			NeuronsPerCore: 256, CoresPerChip: 4096, NeuronsPerChip: 256 * 4096,
+			PicoJoulePerSpike: 26, RunningPowerWatts: 0.11, // 70-150 mW per chip
+		},
+		{
+			Name: "Loihi", Organization: "Intel", Design: "ASIC",
+			ProcessNm: 14, Clock: "Asynchronous",
+			NeuronsPerCore: 1024, CoresPerChip: 128, NeuronsPerChip: 1024 * 128,
+			PicoJoulePerSpike: 23.6, RunningPowerWatts: 0.45,
+		},
+		{
+			Name: "SpiNNaker 1", Organization: "U. Manchester", Design: "ARM",
+			ProcessNm: 130, Clock: "-",
+			NeuronsPerCore: 1000, CoresPerChip: 16, NeuronsPerChip: 1000 * 16,
+			PicoJoulePerSpike: 7000, RunningPowerWatts: 1, // 6-8 nJ, 1W peak/chip
+		},
+		{
+			Name: "SpiNNaker 2", Organization: "U. Manchester", Design: "ARM",
+			ProcessNm: 22, Clock: "100-600MHz",
+			NeuronsPerChip:    800_000,
+			RunningPowerWatts: 0.72,
+		},
+		{
+			Name: "Core i7-9700T", Organization: "Intel", Design: "CPU",
+			ProcessNm: 14, Clock: "4.30GHz (Max Turbo)",
+			CoresPerChip: 8, RunningPowerWatts: 35, IsCPU: true,
+		},
+	}
+}
+
+// NeuronDensityRatio returns how many neurons per chip the platform
+// offers per conventional CPU core (the Section 2.3 scalability
+// argument: 128K-1M neurons per chip versus 8-32 cores).
+func NeuronDensityRatio(p, cpu Platform) float64 {
+	if p.NeuronsPerChip == 0 || cpu.CoresPerChip == 0 {
+		return 0
+	}
+	return float64(p.NeuronsPerChip) / float64(cpu.CoresPerChip)
+}
+
+// PowerRatio returns cpu power / platform power: how much less power the
+// neuromorphic platform draws.
+func PowerRatio(p, cpu Platform) float64 {
+	if p.RunningPowerWatts == 0 {
+		return 0
+	}
+	return cpu.RunningPowerWatts / p.RunningPowerWatts
+}
+
+// CPU returns the conventional reference column.
+func CPU() Platform {
+	for _, p := range Table3() {
+		if p.IsCPU {
+			return p
+		}
+	}
+	panic("platform: no CPU reference in Table 3")
+}
+
+// Render formats the table for terminal output.
+func Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-14s %-14s %-5s %-7s %-20s %12s %10s %10s %8s\n",
+		"Platform", "Organization", "Design", "Process", "Clock",
+		"Neurons/Chip", "pJ/Spike", "Power(W)", "Cores")
+	for _, p := range Table3() {
+		neurons := "-"
+		if p.NeuronsPerChip > 0 {
+			neurons = fmt.Sprintf("%d", p.NeuronsPerChip)
+		}
+		pj := "-"
+		if p.PicoJoulePerSpike > 0 {
+			pj = fmt.Sprintf("%.1f", p.PicoJoulePerSpike)
+		}
+		cores := "-"
+		if p.CoresPerChip > 0 {
+			cores = fmt.Sprintf("%d", p.CoresPerChip)
+		}
+		fmt.Fprintf(&b, "%-14s %-14s %-5s %-7s %-20s %12s %10s %10.2f %8s\n",
+			p.Name, p.Organization, p.Design, fmt.Sprintf("%dnm", p.ProcessNm),
+			p.Clock, neurons, pj, p.RunningPowerWatts, cores)
+	}
+	return b.String()
+}

@@ -1,0 +1,62 @@
+package platform
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTable3Contents(t *testing.T) {
+	ps := Table3()
+	if len(ps) != 5 {
+		t.Fatalf("%d platforms, want 5", len(ps))
+	}
+	byName := map[string]Platform{}
+	for _, p := range ps {
+		byName[p.Name] = p
+	}
+	if byName["TrueNorth"].NeuronsPerChip != 256*4096 {
+		t.Fatalf("TrueNorth neurons %d", byName["TrueNorth"].NeuronsPerChip)
+	}
+	if byName["Loihi"].NeuronsPerChip != 131072 {
+		t.Fatalf("Loihi neurons %d", byName["Loihi"].NeuronsPerChip)
+	}
+	if byName["SpiNNaker 2"].NeuronsPerChip != 800_000 {
+		t.Fatalf("SpiNNaker 2 neurons %d", byName["SpiNNaker 2"].NeuronsPerChip)
+	}
+	if !byName["Core i7-9700T"].IsCPU {
+		t.Fatal("CPU flag missing")
+	}
+}
+
+func TestDerivedRatios(t *testing.T) {
+	cpu := CPU()
+	byName := map[string]Platform{}
+	for _, p := range Table3() {
+		byName[p.Name] = p
+	}
+	// Section 2.3: 128K-1M neurons/chip vs 8-32 cores/chip.
+	if r := NeuronDensityRatio(byName["Loihi"], cpu); r < 10_000 {
+		t.Fatalf("Loihi density ratio %v", r)
+	}
+	// Neuromorphic platforms draw far less power than the 35W CPU.
+	for _, name := range []string{"TrueNorth", "Loihi", "SpiNNaker 1", "SpiNNaker 2"} {
+		if r := PowerRatio(byName[name], cpu); r < 10 {
+			t.Fatalf("%s power ratio %v, want >= 10", name, r)
+		}
+	}
+	if NeuronDensityRatio(cpu, cpu) != 0 {
+		t.Fatal("CPU density ratio should be 0 (no neurons)")
+	}
+}
+
+func TestRender(t *testing.T) {
+	out := Render()
+	for _, want := range []string{"TrueNorth", "Loihi", "SpiNNaker 1", "SpiNNaker 2", "Core i7-9700T", "pJ/Spike"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+	if lines := strings.Count(out, "\n"); lines != 6 {
+		t.Fatalf("%d lines", lines)
+	}
+}

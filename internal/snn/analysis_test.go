@@ -1,0 +1,101 @@
+package snn
+
+import "testing"
+
+func analysisNet(t *testing.T) (*Network, int, int) {
+	t.Helper()
+	n := NewNetwork(Config{Record: true})
+	latch := n.AddNeuron(Gate(1))
+	quiet := n.AddNeuron(Gate(1))
+	n.Connect(latch, latch, 1, 1)
+	n.Connect(latch, quiet, 1, 3)
+	n.InduceSpike(latch, 2)
+	n.Run(10)
+	return n, latch, quiet
+}
+
+func TestFirstSpikeLatencies(t *testing.T) {
+	n, latch, quiet := analysisNet(t)
+	ls := n.FirstSpikeLatencies()
+	if ls[latch] != 2 || ls[quiet] != 5 {
+		t.Fatalf("latencies %v", ls)
+	}
+	// Mutating the copy must not affect the network.
+	ls[latch] = 99
+	if n.FirstSpike(latch) != 2 {
+		t.Fatal("latency slice aliases internals")
+	}
+}
+
+func TestSpikeCountAndRate(t *testing.T) {
+	n, latch, quiet := analysisNet(t)
+	if c := n.SpikeCount(latch); c != 9 { // fires 2..10
+		t.Fatalf("latch count %d", c)
+	}
+	if c := n.SpikeCount(quiet); c != 9-3 { // fires 5..10
+		t.Fatalf("quiet count %d", c)
+	}
+	if r := n.MeanRate(latch, 2, 10); r != 1 {
+		t.Fatalf("latch rate %v", r)
+	}
+	if r := n.MeanRate(latch, 0, 1); r != 0 {
+		t.Fatalf("pre-onset rate %v", r)
+	}
+}
+
+func TestInterSpikeIntervals(t *testing.T) {
+	n, latch, _ := analysisNet(t)
+	isi := n.InterSpikeIntervals(latch)
+	if len(isi) != 8 {
+		t.Fatalf("isi count %d", len(isi))
+	}
+	for _, d := range isi {
+		if d != 1 {
+			t.Fatalf("latch isi %v", isi)
+		}
+	}
+	silent := NewNetwork(Config{Record: true})
+	a := silent.AddNeuron(Gate(1))
+	if silent.InterSpikeIntervals(a) != nil {
+		t.Fatal("silent neuron has ISIs")
+	}
+}
+
+func TestActiveNeuronsAndBusiestStep(t *testing.T) {
+	n, _, _ := analysisNet(t)
+	if a := n.ActiveNeurons(); a != 2 {
+		t.Fatalf("active %d", a)
+	}
+	step, count := n.BusiestStep()
+	// From t=5 both neurons fire each step; earliest such step wins.
+	if count != 2 || step != 5 {
+		t.Fatalf("busiest %d@%d", count, step)
+	}
+}
+
+func TestAnalysisGuards(t *testing.T) {
+	n := NewNetwork(Config{})
+	n.AddNeuron(Gate(1))
+	for i, f := range []func(){
+		func() { n.SpikeCount(0) },
+		func() { n.BusiestStep() },
+		func() { n.InterSpikeIntervals(0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d did not panic without Record", i)
+				}
+			}()
+			f()
+		}()
+	}
+	rec := NewNetwork(Config{Record: true})
+	rec.AddNeuron(Gate(1))
+	defer func() {
+		if recover() == nil {
+			t.Error("inverted rate window accepted")
+		}
+	}()
+	rec.MeanRate(0, 5, 2)
+}

@@ -1,0 +1,110 @@
+package snn
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// buildWavefront constructs a random delay-coded relay network of n
+// fire-once neurons, the SSSP workload shape.
+func buildWavefront(n, m int, seed int64) *Network {
+	rng := rand.New(rand.NewSource(seed))
+	net := NewNetwork(Config{})
+	for i := 0; i < n; i++ {
+		net.AddNeuron(Integrator(1))
+	}
+	indeg := make([]int, n)
+	type e struct {
+		u, v int
+		d    int64
+	}
+	edges := make([]e, 0, m)
+	for len(edges) < m {
+		u, v := rng.Intn(n), rng.Intn(n)
+		if u == v {
+			continue
+		}
+		edges = append(edges, e{u, v, int64(rng.Intn(16) + 1)})
+		indeg[v]++
+	}
+	for i := 0; i < n; i++ {
+		net.Connect(i, i, -float64(indeg[i]+1), 1)
+	}
+	for _, ed := range edges {
+		net.Connect(ed.u, ed.v, 1, ed.d)
+	}
+	net.InduceSpike(0, 0)
+	return net
+}
+
+func BenchmarkEngineWavefront(b *testing.B) {
+	for _, n := range []int{256, 1024, 4096} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				net := buildWavefront(n, 4*n, int64(n))
+				b.StartTimer()
+				net.Run(1 << 30)
+			}
+		})
+	}
+}
+
+func BenchmarkEngineDeliveryThroughput(b *testing.B) {
+	// A dense oscillator: k latch neurons all feeding each other, firing
+	// every step — measures raw delivery processing.
+	const k = 64
+	net := NewNetwork(Config{})
+	for i := 0; i < k; i++ {
+		net.AddNeuron(Gate(1))
+	}
+	for i := 0; i < k; i++ {
+		net.Connect(i, (i+1)%k, 1, 1)
+		net.Connect(i, (i+7)%k, 1, 1)
+	}
+	net.InduceSpike(0, 0)
+	b.ResetTimer()
+	var t int64
+	for i := 0; i < b.N; i++ {
+		t += 64
+		net.Run(t)
+	}
+	st := net.TotalStats()
+	b.ReportMetric(float64(st.Deliveries)/float64(b.N), "deliveries/op")
+}
+
+func BenchmarkEngineVsDense(b *testing.B) {
+	b.Run("event", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			net := buildWavefront(256, 1024, 7)
+			b.StartTimer()
+			net.Run(1 << 20)
+		}
+	})
+	b.Run("dense", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			net := buildWavefront(256, 1024, 7)
+			b.StartTimer()
+			net.DenseRun(4096)
+		}
+	})
+}
+
+func BenchmarkNetlistRoundTrip(b *testing.B) {
+	net := buildWavefront(512, 2048, 3)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		var buf bytes.Buffer
+		if err := WriteNetlist(&buf, net); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := ReadNetlist(&buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

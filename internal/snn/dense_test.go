@@ -1,0 +1,122 @@
+package snn
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// buildRandomNetwork creates a random network plus induced spikes and
+// returns it with its configuration replayed onto a twin, so the
+// event-driven and dense engines can be compared on identical inputs.
+func buildRandomNetwork(seed int64, rule FireRule) (*Network, *Network, int64) {
+	rng := rand.New(rand.NewSource(seed))
+	nn := rng.Intn(12) + 2
+	build := func() *Network {
+		r := rand.New(rand.NewSource(seed))
+		net := NewNetwork(Config{Rule: rule, Record: true})
+		for i := 0; i < nn; i++ {
+			kind := r.Intn(3)
+			switch kind {
+			case 0:
+				net.AddNeuron(Gate(float64(r.Intn(3) + 1)))
+			case 1:
+				net.AddNeuron(Integrator(float64(r.Intn(3) + 1)))
+			default:
+				net.AddNeuron(Neuron{Reset: 0, Threshold: float64(r.Intn(2) + 1), Decay: 0.5})
+			}
+		}
+		syn := r.Intn(4 * nn)
+		for s := 0; s < syn; s++ {
+			from, to := r.Intn(nn), r.Intn(nn)
+			w := float64(r.Intn(5)) - 2 // -2..2 incl. inhibitory and zero
+			d := int64(r.Intn(6) + 1)
+			net.Connect(from, to, w, d)
+		}
+		spikes := r.Intn(6) + 1
+		for s := 0; s < spikes; s++ {
+			net.InduceSpike(r.Intn(nn), int64(r.Intn(10)))
+		}
+		return net
+	}
+	return build(), build(), 60
+}
+
+// TestDenseAndEventEnginesAgree is the simulator's executable-spec check:
+// on random networks with mixed decay regimes, inhibition, self-loops and
+// multi-delay synapses, the event-driven engine's spike trains must equal
+// the dense step-by-step engine's raster exactly.
+func TestDenseAndEventEnginesAgree(t *testing.T) {
+	for _, rule := range []FireRule{FireGTE, FireStrict} {
+		f := func(seed int64) bool {
+			evNet, denseNet, horizon := buildRandomNetwork(seed, rule)
+			evNet.Run(horizon)
+			raster := denseNet.DenseRun(horizon)
+			for i := 0; i < evNet.N(); i++ {
+				var denseTrain []int64
+				for tt, fired := range raster {
+					for _, f := range fired {
+						if f == i {
+							denseTrain = append(denseTrain, int64(tt))
+						}
+					}
+				}
+				evTrain := evNet.Spikes(i)
+				if len(evTrain) != len(denseTrain) {
+					t.Logf("seed %d rule %v neuron %d: event %v dense %v", seed, rule, i, evTrain, denseTrain)
+					return false
+				}
+				for j := range evTrain {
+					if evTrain[j] != denseTrain[j] {
+						t.Logf("seed %d rule %v neuron %d: event %v dense %v", seed, rule, i, evTrain, denseTrain)
+						return false
+					}
+				}
+			}
+			return true
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+			t.Fatalf("rule %v: %v", rule, err)
+		}
+	}
+}
+
+func TestDenseRunGuards(t *testing.T) {
+	n := NewNetwork(Config{})
+	a := n.AddNeuron(Gate(1))
+	n.InduceSpike(a, 0)
+	n.Run(5)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("DenseRun on a used network did not panic")
+		}
+	}()
+	n.DenseRun(5)
+}
+
+func TestDenseRunNegativeHorizonPanics(t *testing.T) {
+	n := NewNetwork(Config{})
+	n.AddNeuron(Gate(1))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative horizon accepted")
+		}
+	}()
+	n.DenseRun(-1)
+}
+
+func TestDenseRunLatch(t *testing.T) {
+	n := NewNetwork(Config{})
+	m := n.AddNeuron(Gate(1))
+	n.Connect(m, m, 1, 1)
+	n.InduceSpike(m, 2)
+	raster := n.DenseRun(6)
+	for tt := 2; tt <= 6; tt++ {
+		if len(raster[tt]) != 1 || raster[tt][0] != m {
+			t.Fatalf("latch raster at %d: %v", tt, raster[tt])
+		}
+	}
+	if len(raster[0]) != 0 || len(raster[1]) != 0 {
+		t.Fatalf("early firing: %v %v", raster[0], raster[1])
+	}
+}

@@ -1,0 +1,231 @@
+package snn
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Netlist serialization: a plain-text interchange format for spiking
+// networks, the artifact a neuromorphic toolchain would hand to hardware
+// (the paper's O(m)-time "loading the graph into the SNA" step works on
+// exactly this kind of description). The format is line-oriented:
+//
+//	snn v1 <gte|strict> <record:0|1>
+//	neurons <n>
+//	<reset> <threshold> <decay>           # one line per neuron
+//	synapses <m>
+//	<from> <to> <weight> <delay>          # one line per synapse
+//	induced <k>
+//	<time> <neuron>                       # scheduled input spikes
+//	terminals <j> <any|all>
+//	<neuron>                              # one line per terminal
+//
+// '#' starts a comment; blank lines are ignored. Dynamic state (voltages,
+// spike history) is not serialized: a read network is freshly built.
+
+// WriteNetlist serializes the network's structure, pending induced
+// spikes, and terminal configuration.
+func WriteNetlist(w io.Writer, n *Network) error {
+	bw := bufio.NewWriter(w)
+	rule := "gte"
+	if n.Rule() == FireStrict {
+		rule = "strict"
+	}
+	record := 0
+	if n.Recording() {
+		record = 1
+	}
+	fmt.Fprintf(bw, "snn v1 %s %d\n", rule, record)
+	fmt.Fprintf(bw, "neurons %d\n", n.N())
+	for i := 0; i < n.N(); i++ {
+		p := n.Params(i)
+		fmt.Fprintf(bw, "%s %s %s\n", ftoa(p.Reset), ftoa(p.Threshold), ftoa(p.Decay))
+	}
+	fmt.Fprintf(bw, "synapses %d\n", n.Synapses())
+	for i := 0; i < n.N(); i++ {
+		for _, s := range n.OutSynapses(i) {
+			fmt.Fprintf(bw, "%d %d %s %d\n", i, s.To, ftoa(s.Weight), s.Delay)
+		}
+	}
+	induced := n.InducedSpikes()
+	count := 0
+	for _, ids := range induced {
+		count += len(ids)
+	}
+	fmt.Fprintf(bw, "induced %d\n", count)
+	// Deterministic order: ascending time, then neuron id order as stored.
+	times := make([]int64, 0, len(induced))
+	for t := range induced {
+		times = append(times, t)
+	}
+	for i := 0; i < len(times); i++ {
+		for j := i + 1; j < len(times); j++ {
+			if times[j] < times[i] {
+				times[i], times[j] = times[j], times[i]
+			}
+		}
+	}
+	for _, t := range times {
+		for _, id := range induced[t] {
+			fmt.Fprintf(bw, "%d %d\n", t, id)
+		}
+	}
+	terms, all := n.Terminals()
+	mode := "any"
+	if all {
+		mode = "all"
+	}
+	fmt.Fprintf(bw, "terminals %d %s\n", len(terms), mode)
+	for _, t := range terms {
+		fmt.Fprintf(bw, "%d\n", t)
+	}
+	return bw.Flush()
+}
+
+func ftoa(f float64) string { return strconv.FormatFloat(f, 'g', -1, 64) }
+
+// ReadNetlist parses the WriteNetlist format into a fresh network.
+func ReadNetlist(r io.Reader) (*Network, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<24)
+	next := func() (string, error) {
+		for sc.Scan() {
+			line := strings.TrimSpace(sc.Text())
+			if line == "" || strings.HasPrefix(line, "#") {
+				continue
+			}
+			return line, nil
+		}
+		if err := sc.Err(); err != nil {
+			return "", err
+		}
+		return "", io.ErrUnexpectedEOF
+	}
+
+	header, err := next()
+	if err != nil {
+		return nil, fmt.Errorf("snn: netlist header: %w", err)
+	}
+	var ruleStr string
+	var record int
+	if _, err := fmt.Sscanf(header, "snn v1 %s %d", &ruleStr, &record); err != nil {
+		return nil, fmt.Errorf("snn: bad netlist header %q: %w", header, err)
+	}
+	cfg := Config{Record: record != 0}
+	switch ruleStr {
+	case "gte":
+		cfg.Rule = FireGTE
+	case "strict":
+		cfg.Rule = FireStrict
+	default:
+		return nil, fmt.Errorf("snn: unknown fire rule %q", ruleStr)
+	}
+	net := NewNetwork(cfg)
+
+	var count int
+	line, err := next()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := fmt.Sscanf(line, "neurons %d", &count); err != nil || count < 0 {
+		return nil, fmt.Errorf("snn: bad neurons line %q", line)
+	}
+	for i := 0; i < count; i++ {
+		line, err := next()
+		if err != nil {
+			return nil, fmt.Errorf("snn: neuron %d: %w", i, err)
+		}
+		f := strings.Fields(line)
+		if len(f) != 3 {
+			return nil, fmt.Errorf("snn: bad neuron line %q", line)
+		}
+		var p Neuron
+		if p.Reset, err = strconv.ParseFloat(f[0], 64); err != nil {
+			return nil, fmt.Errorf("snn: neuron %d reset: %w", i, err)
+		}
+		if p.Threshold, err = strconv.ParseFloat(f[1], 64); err != nil {
+			return nil, fmt.Errorf("snn: neuron %d threshold: %w", i, err)
+		}
+		if p.Decay, err = strconv.ParseFloat(f[2], 64); err != nil {
+			return nil, fmt.Errorf("snn: neuron %d decay: %w", i, err)
+		}
+		net.AddNeuron(p)
+	}
+
+	line, err = next()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := fmt.Sscanf(line, "synapses %d", &count); err != nil || count < 0 {
+		return nil, fmt.Errorf("snn: bad synapses line %q", line)
+	}
+	for i := 0; i < count; i++ {
+		line, err := next()
+		if err != nil {
+			return nil, fmt.Errorf("snn: synapse %d: %w", i, err)
+		}
+		f := strings.Fields(line)
+		if len(f) != 4 {
+			return nil, fmt.Errorf("snn: bad synapse line %q", line)
+		}
+		from, err1 := strconv.Atoi(f[0])
+		to, err2 := strconv.Atoi(f[1])
+		weight, err3 := strconv.ParseFloat(f[2], 64)
+		delay, err4 := strconv.ParseInt(f[3], 10, 64)
+		if err1 != nil || err2 != nil || err3 != nil || err4 != nil {
+			return nil, fmt.Errorf("snn: bad synapse line %q", line)
+		}
+		net.Connect(from, to, weight, delay)
+	}
+
+	line, err = next()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := fmt.Sscanf(line, "induced %d", &count); err != nil || count < 0 {
+		return nil, fmt.Errorf("snn: bad induced line %q", line)
+	}
+	for i := 0; i < count; i++ {
+		line, err := next()
+		if err != nil {
+			return nil, fmt.Errorf("snn: induced %d: %w", i, err)
+		}
+		var t int64
+		var id int
+		if _, err := fmt.Sscanf(line, "%d %d", &t, &id); err != nil {
+			return nil, fmt.Errorf("snn: bad induced line %q", line)
+		}
+		net.InduceSpike(id, t)
+	}
+
+	line, err = next()
+	if err != nil {
+		return nil, err
+	}
+	var mode string
+	if _, err := fmt.Sscanf(line, "terminals %d %s", &count, &mode); err != nil || count < 0 {
+		return nil, fmt.Errorf("snn: bad terminals line %q", line)
+	}
+	for i := 0; i < count; i++ {
+		line, err := next()
+		if err != nil {
+			return nil, fmt.Errorf("snn: terminal %d: %w", i, err)
+		}
+		id, err := strconv.Atoi(line)
+		if err != nil {
+			return nil, fmt.Errorf("snn: bad terminal line %q", line)
+		}
+		net.SetTerminal(id)
+	}
+	switch mode {
+	case "any":
+	case "all":
+		net.RequireAllTerminals()
+	default:
+		return nil, fmt.Errorf("snn: unknown terminal mode %q", mode)
+	}
+	return net, nil
+}

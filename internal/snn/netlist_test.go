@@ -1,0 +1,143 @@
+package snn
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestNetlistRoundTrip(t *testing.T) {
+	n := NewNetwork(Config{Rule: FireStrict, Record: true})
+	a := n.AddNeuron(Neuron{Reset: -0.5, Threshold: 1.25, Decay: 0.75})
+	b := n.AddNeuron(Gate(2))
+	c := n.AddNeuron(Integrator(3))
+	n.Connect(a, b, 1.5, 2)
+	n.Connect(b, c, -2, 7)
+	n.Connect(c, c, 0.25, 1)
+	n.InduceSpike(a, 0)
+	n.InduceSpike(b, 5)
+	n.SetTerminal(c)
+	n.RequireAllTerminals()
+
+	var buf bytes.Buffer
+	if err := WriteNetlist(&buf, n); err != nil {
+		t.Fatal(err)
+	}
+	m, err := ReadNetlist(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.N() != 3 || m.Synapses() != 3 {
+		t.Fatalf("shape %d/%d", m.N(), m.Synapses())
+	}
+	if m.Rule() != FireStrict || !m.Recording() {
+		t.Fatalf("config lost")
+	}
+	if p := m.Params(a); p != (Neuron{Reset: -0.5, Threshold: 1.25, Decay: 0.75}) {
+		t.Fatalf("params %+v", p)
+	}
+	if s := m.OutSynapses(b); len(s) != 1 || s[0] != (SynapseInfo{To: c, Weight: -2, Delay: 7}) {
+		t.Fatalf("synapses %+v", s)
+	}
+	terms, all := m.Terminals()
+	if len(terms) != 1 || terms[0] != c || !all {
+		t.Fatalf("terminals %v %v", terms, all)
+	}
+	induced := m.InducedSpikes()
+	if len(induced[0]) != 1 || len(induced[5]) != 1 {
+		t.Fatalf("induced %v", induced)
+	}
+}
+
+func TestNetlistRoundTripBehaviour(t *testing.T) {
+	// A serialized network must run identically to the original.
+	build := func() *Network {
+		n := NewNetwork(Config{Record: true})
+		ids := n.AddNeurons(4, Gate(1))
+		n.Connect(ids[0], ids[1], 1, 2)
+		n.Connect(ids[1], ids[2], 1, 3)
+		n.Connect(ids[2], ids[3], 1, 4)
+		n.InduceSpike(ids[0], 1)
+		return n
+	}
+	orig := build()
+	var buf bytes.Buffer
+	if err := WriteNetlist(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	copyNet, err := ReadNetlist(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig.Run(20)
+	copyNet.Run(20)
+	for i := 0; i < 4; i++ {
+		if orig.FirstSpike(i) != copyNet.FirstSpike(i) {
+			t.Fatalf("neuron %d: %d vs %d", i, orig.FirstSpike(i), copyNet.FirstSpike(i))
+		}
+	}
+}
+
+func TestNetlistComments(t *testing.T) {
+	src := `# a comment
+snn v1 gte 0
+neurons 1
+
+0 1 1
+synapses 0
+induced 1
+0 0
+terminals 0 any
+`
+	n, err := ReadNetlist(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.Run(3)
+	if n.FirstSpike(0) != 0 {
+		t.Fatalf("induced spike lost")
+	}
+}
+
+func TestNetlistErrors(t *testing.T) {
+	cases := []string{
+		"",
+		"bogus header",
+		"snn v1 weird 0\nneurons 0\nsynapses 0\ninduced 0\nterminals 0 any\n",
+		"snn v1 gte 0\nneurons x\n",
+		"snn v1 gte 0\nneurons 1\n0 1\nsynapses 0\ninduced 0\nterminals 0 any\n",          // short neuron line
+		"snn v1 gte 0\nneurons 1\n0 1 0\nsynapses 1\n0 0 1\ninduced 0\nterminals 0 any\n", // short synapse
+		"snn v1 gte 0\nneurons 1\n0 1 0\nsynapses 0\ninduced 1\nzz\nterminals 0 any\n",
+		"snn v1 gte 0\nneurons 1\n0 1 0\nsynapses 0\ninduced 0\nterminals 1 any\nqq\n",
+		"snn v1 gte 0\nneurons 1\n0 1 0\nsynapses 0\ninduced 0\nterminals 0 weird\n",
+	}
+	for i, src := range cases {
+		if _, err := ReadNetlist(strings.NewReader(src)); err == nil {
+			t.Fatalf("case %d accepted", i)
+		}
+	}
+}
+
+// Property: write/read/write produces identical bytes (canonical form).
+func TestNetlistCanonicalProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		n1, _, _ := buildRandomNetwork(seed, FireGTE)
+		var b1 bytes.Buffer
+		if WriteNetlist(&b1, n1) != nil {
+			return false
+		}
+		n2, err := ReadNetlist(bytes.NewReader(b1.Bytes()))
+		if err != nil {
+			return false
+		}
+		var b2 bytes.Buffer
+		if WriteNetlist(&b2, n2) != nil {
+			return false
+		}
+		return bytes.Equal(b1.Bytes(), b2.Bytes())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,527 @@
+package snn
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestEmptyNetworkQuiescent(t *testing.T) {
+	n := NewNetwork(Config{})
+	r := n.Run(100)
+	if !r.Quiescent || r.Halted {
+		t.Fatalf("empty network: %+v", r)
+	}
+}
+
+func TestSingleInducedSpike(t *testing.T) {
+	n := NewNetwork(Config{Record: true})
+	a := n.AddNeuron(Gate(1))
+	n.InduceSpike(a, 0)
+	r := n.Run(10)
+	if !r.Quiescent {
+		t.Fatalf("result %+v", r)
+	}
+	if n.FirstSpike(a) != 0 {
+		t.Fatalf("first spike %d, want 0", n.FirstSpike(a))
+	}
+	if got := n.Spikes(a); len(got) != 1 || got[0] != 0 {
+		t.Fatalf("spike train %v", got)
+	}
+	if r.Stats.Spikes != 1 {
+		t.Fatalf("spikes %d", r.Stats.Spikes)
+	}
+}
+
+func TestDelayPropagation(t *testing.T) {
+	// A spike at time 0 over a delay-d synapse fires the target at exactly d.
+	for _, d := range []int64{1, 2, 3, 7, 100, 12345} {
+		n := NewNetwork(Config{})
+		a := n.AddNeuron(Gate(1))
+		b := n.AddNeuron(Gate(1))
+		n.Connect(a, b, 1, d)
+		n.InduceSpike(a, 0)
+		n.Run(d + 10)
+		if got := n.FirstSpike(b); got != d {
+			t.Fatalf("delay %d: target fired at %d", d, got)
+		}
+	}
+}
+
+func TestChainDelaysAdd(t *testing.T) {
+	// Delays compose additively along a chain: total = sum of delays.
+	n := NewNetwork(Config{})
+	ids := n.AddNeurons(4, Gate(1))
+	delays := []int64{3, 5, 11}
+	var total int64
+	for i, d := range delays {
+		n.Connect(ids[i], ids[i+1], 1, d)
+		total += d
+	}
+	n.InduceSpike(ids[0], 0)
+	n.Run(1000)
+	if got := n.FirstSpike(ids[3]); got != total {
+		t.Fatalf("chain arrival %d, want %d", got, total)
+	}
+}
+
+func TestThresholdAND(t *testing.T) {
+	// Threshold-2 gate with two unit inputs fires only when both arrive
+	// simultaneously (the V_{i,j} neuron of Figure 3).
+	build := func() (*Network, int, int, int) {
+		n := NewNetwork(Config{})
+		x := n.AddNeuron(Gate(1))
+		y := n.AddNeuron(Gate(1))
+		z := n.AddNeuron(Gate(2))
+		n.Connect(x, z, 1, 1)
+		n.Connect(y, z, 1, 1)
+		return n, x, y, z
+	}
+
+	n, x, y, z := build()
+	n.InduceSpike(x, 0)
+	n.InduceSpike(y, 0)
+	n.Run(10)
+	if n.FirstSpike(z) != 1 {
+		t.Fatalf("AND with both inputs: fired at %d, want 1", n.FirstSpike(z))
+	}
+
+	n, x, _, z = build()
+	n.InduceSpike(x, 0)
+	n.Run(10)
+	if n.FirstSpike(z) != -1 {
+		t.Fatalf("AND with one input fired at %d", n.FirstSpike(z))
+	}
+
+	// Memoryless gate: staggered inputs must NOT fire it.
+	n, x, y, z = build()
+	n.InduceSpike(x, 0)
+	n.InduceSpike(y, 1)
+	n.Run(10)
+	if n.FirstSpike(z) != -1 {
+		t.Fatalf("memoryless AND fired on staggered inputs at %d", n.FirstSpike(z))
+	}
+}
+
+func TestIntegratorAccumulates(t *testing.T) {
+	// τ=0 neuron sums staggered inputs (Figure 1A's counting neuron).
+	n := NewNetwork(Config{})
+	src := n.AddNeuron(Gate(1))
+	acc := n.AddNeuron(Integrator(3))
+	n.Connect(src, acc, 1, 1)
+	for i := int64(0); i < 3; i++ {
+		n.InduceSpike(src, i*5)
+	}
+	n.Run(100)
+	if got := n.FirstSpike(acc); got != 11 {
+		t.Fatalf("integrator fired at %d, want 11 (third arrival)", got)
+	}
+}
+
+func TestStrictVsGTERule(t *testing.T) {
+	// v̂ exactly at threshold: GTE fires, Strict does not.
+	for _, tc := range []struct {
+		rule FireRule
+		want int64
+	}{{FireGTE, 1}, {FireStrict, -1}} {
+		n := NewNetwork(Config{Rule: tc.rule})
+		a := n.AddNeuron(Gate(1))
+		b := n.AddNeuron(Neuron{Reset: 0, Threshold: 1, Decay: 1})
+		n.Connect(a, b, 1, 1)
+		n.InduceSpike(a, 0)
+		n.Run(10)
+		if got := n.FirstSpike(b); got != tc.want {
+			t.Fatalf("rule %v: fired at %d, want %d", tc.rule, got, tc.want)
+		}
+	}
+}
+
+func TestStrictRuleAboveThreshold(t *testing.T) {
+	n := NewNetwork(Config{Rule: FireStrict})
+	a := n.AddNeuron(Gate(1))
+	b := n.AddNeuron(Neuron{Reset: 0, Threshold: 1, Decay: 1})
+	n.Connect(a, b, 1.5, 1)
+	n.InduceSpike(a, 0)
+	n.Run(10)
+	if n.FirstSpike(b) != 1 {
+		t.Fatalf("strict rule did not fire above threshold")
+	}
+}
+
+func TestInhibitionBlocksFiring(t *testing.T) {
+	// Simultaneous +1 and -1 cancel (the I_{i,j} suppression of Figure 3).
+	n := NewNetwork(Config{})
+	ex := n.AddNeuron(Gate(1))
+	inh := n.AddNeuron(Gate(1))
+	tgt := n.AddNeuron(Gate(1))
+	n.Connect(ex, tgt, 1, 1)
+	n.Connect(inh, tgt, -1, 1)
+	n.InduceSpike(ex, 0)
+	n.InduceSpike(inh, 0)
+	n.Run(10)
+	if n.FirstSpike(tgt) != -1 {
+		t.Fatalf("inhibited neuron fired at %d", n.FirstSpike(tgt))
+	}
+}
+
+func TestSelfLoopLatch(t *testing.T) {
+	// Figure 1B: a neuron with a unit self-loop fires indefinitely once lit.
+	n := NewNetwork(Config{Record: true})
+	m := n.AddNeuron(Gate(1))
+	n.Connect(m, m, 1, 1)
+	n.InduceSpike(m, 3)
+	n.Run(10)
+	want := []int64{3, 4, 5, 6, 7, 8, 9, 10}
+	got := n.Spikes(m)
+	if len(got) != len(want) {
+		t.Fatalf("latch spikes %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("latch spikes %v, want %v", got, want)
+		}
+	}
+}
+
+func TestLatchReset(t *testing.T) {
+	// An inhibitory pulse stops a running latch (Figure 1B reset).
+	n := NewNetwork(Config{Record: true})
+	m := n.AddNeuron(Gate(1))
+	c := n.AddNeuron(Gate(1))
+	n.Connect(m, m, 1, 1)
+	n.Connect(c, m, -1, 1)
+	n.InduceSpike(m, 0)
+	n.InduceSpike(c, 4)
+	n.Run(20)
+	got := n.Spikes(m)
+	// m fires 0..4; the -1 arriving at t=5 cancels the self-loop +1.
+	if len(got) != 5 || got[len(got)-1] != 4 {
+		t.Fatalf("latch not stopped: %v", got)
+	}
+}
+
+func TestLeakDecay(t *testing.T) {
+	// τ=0.5 halves the above-reset voltage each silent step.
+	n := NewNetwork(Config{})
+	src := n.AddNeuron(Gate(1))
+	leaky := n.AddNeuron(Neuron{Reset: 0, Threshold: 10, Decay: 0.5})
+	n.Connect(src, leaky, 8, 1)
+	n.InduceSpike(src, 0)
+	n.Run(1) // delivery lands at t=1: v = 8
+	if v := n.Voltage(leaky); v != 8 {
+		t.Fatalf("voltage after delivery %v, want 8", v)
+	}
+	n.InduceSpike(src, 2) // keep the engine stepping
+	n.Run(3)              // at t=3: decayed 8 -> 4 -> 2, plus arrival 8 = 10... fires
+	if n.FirstSpike(leaky) != 3 {
+		// v(1)=8, v(2)=4 (decay), v̂(3) = 4*0.5 + 8 = 10 >= 10 -> fire.
+		t.Fatalf("leaky neuron first spike %d, want 3", n.FirstSpike(leaky))
+	}
+}
+
+func TestLazyDecayAcrossSkippedSteps(t *testing.T) {
+	// Decay across silent (skipped) steps matches step-by-step decay.
+	n := NewNetwork(Config{})
+	src := n.AddNeuron(Gate(1))
+	leaky := n.AddNeuron(Neuron{Reset: 0, Threshold: 100, Decay: 0.25})
+	n.Connect(src, leaky, 64, 1)
+	n.InduceSpike(src, 0)
+	n.InduceSpike(src, 9) // forces the engine to visit t=10
+	n.Run(10)
+	// v(1) = 64; nine silent steps of ×0.75 then +64.
+	want := 64*math.Pow(0.75, 9) + 64
+	if v := n.Voltage(leaky); math.Abs(v-want) > 1e-9 {
+		t.Fatalf("voltage %v, want %v", v, want)
+	}
+}
+
+func TestTerminalHaltsRun(t *testing.T) {
+	n := NewNetwork(Config{})
+	ids := n.AddNeurons(5, Gate(1))
+	for i := 0; i+1 < len(ids); i++ {
+		n.Connect(ids[i], ids[i+1], 1, 2)
+	}
+	n.SetTerminal(ids[2])
+	n.InduceSpike(ids[0], 0)
+	r := n.Run(1000)
+	if !r.Halted || r.TerminalTime != 4 {
+		t.Fatalf("result %+v, want halt at 4", r)
+	}
+	// Neurons beyond the terminal must not have fired yet.
+	if n.FirstSpike(ids[4]) != -1 {
+		t.Fatalf("simulation ran past terminal")
+	}
+}
+
+func TestMaxTimeCutoff(t *testing.T) {
+	n := NewNetwork(Config{})
+	a := n.AddNeuron(Gate(1))
+	b := n.AddNeuron(Gate(1))
+	n.Connect(a, b, 1, 50)
+	n.InduceSpike(a, 0)
+	r := n.Run(10)
+	if r.Halted || r.Quiescent {
+		t.Fatalf("run should have hit deadline: %+v", r)
+	}
+	if n.FirstSpike(b) != -1 {
+		t.Fatalf("event past deadline processed")
+	}
+	// Resuming with a later deadline processes the pending event.
+	n.Run(100)
+	if n.FirstSpike(b) != 50 {
+		t.Fatalf("resumed run: b fired at %d", n.FirstSpike(b))
+	}
+}
+
+func TestFirstCauseTracksPredecessor(t *testing.T) {
+	n := NewNetwork(Config{})
+	a := n.AddNeuron(Gate(1))
+	b := n.AddNeuron(Gate(1))
+	c := n.AddNeuron(Gate(1))
+	n.Connect(a, c, 1, 5)
+	n.Connect(b, c, 1, 2)
+	n.InduceSpike(a, 0)
+	n.InduceSpike(b, 0)
+	n.Run(10)
+	if n.FirstSpike(c) != 2 {
+		t.Fatalf("c fired at %d", n.FirstSpike(c))
+	}
+	if n.FirstCause(c) != b {
+		t.Fatalf("first cause %d, want %d", n.FirstCause(c), b)
+	}
+	if n.FirstCause(a) != -1 {
+		t.Fatalf("induced spike should have no cause")
+	}
+}
+
+func TestFireOnceGadget(t *testing.T) {
+	// Section 3's relay: inhibitory self-loop of weight -(indeg+1) makes a
+	// neuron propagate only its first incoming spike.
+	n := NewNetwork(Config{Record: true})
+	s1 := n.AddNeuron(Gate(1))
+	s2 := n.AddNeuron(Gate(1))
+	s3 := n.AddNeuron(Gate(1))
+	relay := n.AddNeuron(Integrator(1))
+	n.Connect(relay, relay, -4, 1) // indeg 3 -> weight -(3+1)
+	for _, s := range []int{s1, s2, s3} {
+		n.Connect(s, relay, 1, 1)
+	}
+	n.InduceSpike(s1, 0)
+	n.InduceSpike(s2, 3)
+	n.InduceSpike(s3, 9)
+	n.Run(100)
+	if got := n.Spikes(relay); len(got) != 1 || got[0] != 1 {
+		t.Fatalf("relay fired %v, want exactly [1]", got)
+	}
+}
+
+func TestResetRestoresNetwork(t *testing.T) {
+	n := NewNetwork(Config{Record: true})
+	a := n.AddNeuron(Gate(1))
+	b := n.AddNeuron(Integrator(2))
+	n.Connect(a, b, 1, 1)
+	n.InduceSpike(a, 0)
+	n.Run(10)
+	if n.Voltage(b) != 1 {
+		t.Fatalf("pre-reset voltage %v", n.Voltage(b))
+	}
+	n.Reset()
+	if n.Voltage(b) != 0 || n.FirstSpike(a) != -1 || n.Now() != 0 {
+		t.Fatalf("reset incomplete: v=%v first=%d now=%d", n.Voltage(b), n.FirstSpike(a), n.Now())
+	}
+	if n.TotalStats() != (Stats{}) {
+		t.Fatalf("stats not reset: %+v", n.TotalStats())
+	}
+	// The same topology runs again identically.
+	n.InduceSpike(a, 0)
+	n.InduceSpike(a, 1)
+	n.Run(10)
+	if n.FirstSpike(b) != 2 {
+		t.Fatalf("after reset, b fired at %d, want 2", n.FirstSpike(b))
+	}
+}
+
+func TestStatsAccounting(t *testing.T) {
+	n := NewNetwork(Config{})
+	a := n.AddNeuron(Gate(1))
+	b := n.AddNeuron(Gate(1))
+	c := n.AddNeuron(Gate(1))
+	n.Connect(a, b, 1, 1)
+	n.Connect(a, c, 1, 1)
+	n.InduceSpike(a, 0)
+	r := n.Run(10)
+	if r.Stats.Spikes != 3 {
+		t.Fatalf("spikes %d, want 3", r.Stats.Spikes)
+	}
+	if r.Stats.Deliveries != 2 {
+		t.Fatalf("deliveries %d, want 2", r.Stats.Deliveries)
+	}
+}
+
+func TestEventSkippingIsExact(t *testing.T) {
+	// Huge delays are simulated in O(events), and timing stays exact.
+	n := NewNetwork(Config{})
+	a := n.AddNeuron(Gate(1))
+	b := n.AddNeuron(Gate(1))
+	n.Connect(a, b, 1, 1_000_000_000)
+	n.InduceSpike(a, 0)
+	r := n.Run(2_000_000_000)
+	if n.FirstSpike(b) != 1_000_000_000 {
+		t.Fatalf("b fired at %d", n.FirstSpike(b))
+	}
+	if r.Stats.Steps > 3 {
+		t.Fatalf("engine took %d steps for 2 events", r.Stats.Steps)
+	}
+}
+
+func TestGuardPanics(t *testing.T) {
+	cases := []func(){
+		func() { NewNetwork(Config{}).AddNeuron(Neuron{Reset: 1, Threshold: 1, Decay: 0}) }, // self-firing under GTE
+		func() { NewNetwork(Config{}).AddNeuron(Neuron{Decay: 2, Threshold: 1}) },
+		func() { NewNetwork(Config{}).AddNeuron(Neuron{Decay: -0.1, Threshold: 1}) },
+		func() { NewNetwork(Config{}).AddNeuron(Neuron{Threshold: math.NaN()}) },
+		func() {
+			n := NewNetwork(Config{})
+			a := n.AddNeuron(Gate(1))
+			n.Connect(a, a, 1, 0) // zero delay prohibited
+		},
+		func() {
+			n := NewNetwork(Config{})
+			a := n.AddNeuron(Gate(1))
+			n.Connect(a, 5, 1, 1)
+		},
+		func() {
+			n := NewNetwork(Config{})
+			n.InduceSpike(0, 0)
+		},
+		func() {
+			n := NewNetwork(Config{})
+			a := n.AddNeuron(Gate(1))
+			n.InduceSpike(a, 5)
+			n.Run(10)
+			n.InduceSpike(a, 2) // past time
+		},
+	}
+	for i, f := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d did not panic", i)
+				}
+			}()
+			f()
+		}()
+	}
+	// Reset=Threshold is legal under the strict rule (never self-fires).
+	n := NewNetwork(Config{Rule: FireStrict})
+	n.AddNeuron(Neuron{Reset: 1, Threshold: 1, Decay: 0})
+}
+
+func TestForcedSpikeDeduplicated(t *testing.T) {
+	n := NewNetwork(Config{Record: true})
+	a := n.AddNeuron(Gate(1))
+	n.InduceSpike(a, 0)
+	n.InduceSpike(a, 0)
+	r := n.Run(10)
+	if got := n.Spikes(a); len(got) != 1 {
+		t.Fatalf("duplicate induced spikes recorded: %v", got)
+	}
+	if r.Stats.Spikes != 1 {
+		t.Fatalf("stats counted duplicates: %d", r.Stats.Spikes)
+	}
+}
+
+func TestSynapsesCount(t *testing.T) {
+	n := NewNetwork(Config{})
+	ids := n.AddNeurons(3, Gate(1))
+	n.Connect(ids[0], ids[1], 1, 1)
+	n.Connect(ids[0], ids[2], 1, 1)
+	n.Connect(ids[1], ids[2], 1, 1)
+	if n.Synapses() != 3 || n.N() != 3 {
+		t.Fatalf("N=%d Synapses=%d", n.N(), n.Synapses())
+	}
+}
+
+// Property: a two-hop chain with random delays fires the sink at exactly
+// the delay sum; the engine's event skipping never distorts timing.
+func TestDelayAdditivityProperty(t *testing.T) {
+	f := func(d1Raw, d2Raw uint16, start uint8) bool {
+		d1 := int64(d1Raw%1000) + 1
+		d2 := int64(d2Raw%1000) + 1
+		t0 := int64(start % 50)
+		n := NewNetwork(Config{})
+		a := n.AddNeuron(Gate(1))
+		b := n.AddNeuron(Gate(1))
+		c := n.AddNeuron(Gate(1))
+		n.Connect(a, b, 1, d1)
+		n.Connect(b, c, 1, d2)
+		n.InduceSpike(a, t0)
+		n.Run(t0 + d1 + d2 + 10)
+		return n.FirstSpike(c) == t0+d1+d2
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: across a fan-in of sources with random delays, the target's
+// first spike equals the minimum delay (the Dijkstra wavefront primitive).
+func TestMinArrivalProperty(t *testing.T) {
+	f := func(raw []uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		if len(raw) > 12 {
+			raw = raw[:12]
+		}
+		n := NewNetwork(Config{})
+		tgt := n.AddNeuron(Gate(1))
+		min := int64(1 << 30)
+		for _, r := range raw {
+			d := int64(r%500) + 1
+			if d < min {
+				min = d
+			}
+			s := n.AddNeuron(Gate(1))
+			n.Connect(s, tgt, 1, d)
+			n.InduceSpike(s, 0)
+		}
+		n.Run(1 << 31)
+		return n.FirstSpike(tgt) == min
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRenderRaster(t *testing.T) {
+	n := NewNetwork(Config{Record: true})
+	a := n.AddNeuron(Gate(1))
+	b := n.AddNeuron(Gate(1))
+	n.Connect(a, b, 1, 2)
+	n.InduceSpike(a, 0)
+	n.Run(5)
+	out := n.RenderRaster([]int{a, b}, []string{"src", "dst"}, 0, 4)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("raster lines: %q", out)
+	}
+	if !strings.Contains(lines[1], "src |····") {
+		t.Fatalf("src row wrong: %q", lines[1])
+	}
+	if !strings.Contains(lines[2], "dst ··|··") {
+		t.Fatalf("dst row wrong: %q", lines[2])
+	}
+}
+
+func TestRenderRasterGuards(t *testing.T) {
+	n := NewNetwork(Config{})
+	n.AddNeuron(Gate(1))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("raster without record did not panic")
+		}
+	}()
+	n.RenderRaster([]int{0}, nil, 0, 2)
+}

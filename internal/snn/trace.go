@@ -1,0 +1,61 @@
+package snn
+
+import (
+	"fmt"
+	"strings"
+)
+
+// RenderRaster draws an ASCII spike raster for the given neurons over
+// [from, to]: one row per neuron, '|' at time steps where it fired,
+// '·' elsewhere. Requires Config.Record. Labels default to neuron ids;
+// pass labels to name rows (len must match ids when non-nil).
+//
+// Rasters are the standard oscilloscope view of a spiking computation;
+// the spaabench CLI uses this to show the SSSP wavefront sweeping a
+// graph.
+func (n *Network) RenderRaster(ids []int, labels []string, from, to int64) string {
+	if !n.cfg.Record {
+		panic("snn: RenderRaster requires Config.Record")
+	}
+	if to < from {
+		panic(fmt.Sprintf("snn: raster range [%d,%d] inverted", from, to))
+	}
+	if labels != nil && len(labels) != len(ids) {
+		panic("snn: labels length mismatch")
+	}
+	width := 0
+	for i, id := range ids {
+		l := labelFor(i, id, labels)
+		if len(l) > width {
+			width = len(l)
+		}
+	}
+	var b strings.Builder
+	// Header with tens marks every 10 steps.
+	fmt.Fprintf(&b, "%*s t=%d", width, "", from)
+	b.WriteByte('\n')
+	for i, id := range ids {
+		fmt.Fprintf(&b, "%*s ", width, labelFor(i, id, labels))
+		train := n.Spikes(id)
+		ti := 0
+		for t := from; t <= to; t++ {
+			for ti < len(train) && train[ti] < t {
+				ti++
+			}
+			if ti < len(train) && train[ti] == t {
+				b.WriteByte('|')
+			} else {
+				b.WriteRune('·')
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func labelFor(i, id int, labels []string) string {
+	if labels != nil {
+		return labels[i]
+	}
+	return fmt.Sprintf("n%d", id)
+}

@@ -1,0 +1,163 @@
+package repro
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestFacadeQuickstartFlow(t *testing.T) {
+	g := RandomGraph(64, 256, Uniform(8), 1)
+	spiking := SpikingSSSP(g, 0, -1)
+	reference := Dijkstra(g, 0)
+	for v := 0; v < g.N(); v++ {
+		if spiking.Dist[v] != reference.Dist[v] {
+			t.Fatalf("dist[%d]: spiking %d vs dijkstra %d", v, spiking.Dist[v], reference.Dist[v])
+		}
+	}
+}
+
+func TestFacadeKHopFlow(t *testing.T) {
+	g := RandomGraph(40, 160, Uniform(6), 2)
+	k := 5
+	ttl := SpikingKHopSSSP(g, 0, -1, k)
+	poly := SpikingKHopPoly(g, 0, k)
+	bf := BellmanFordKHop(g, 0, k, false)
+	for v := 0; v < g.N(); v++ {
+		if ttl.Dist[v] != bf.Dist[v] || poly.Dist[v] != bf.Dist[v] {
+			t.Fatalf("k-hop mismatch at %d: ttl %d poly %d bf %d",
+				v, ttl.Dist[v], poly.Dist[v], bf.Dist[v])
+		}
+	}
+}
+
+func TestFacadeCrossbarFlow(t *testing.T) {
+	g := RandomGraph(10, 40, Uniform(4), 3)
+	cb := NewCrossbar(10)
+	if _, err := cb.Embed(g); err != nil {
+		t.Fatal(err)
+	}
+	got := cb.SSSP(0)
+	want := Dijkstra(g, 0)
+	for v := 0; v < g.N(); v++ {
+		if got.Dist[v] != want.Dist[v] {
+			t.Fatalf("crossbar dist[%d] = %d, want %d", v, got.Dist[v], want.Dist[v])
+		}
+	}
+}
+
+func TestFacadeCircuits(t *testing.T) {
+	b := NewCircuitBuilder(true)
+	m := NewMaxWiredOR(b, 3, 4)
+	if got := m.Compute(b, []uint64{5, 11, 2}, 0); got != 11 {
+		t.Fatalf("facade max = %d", got)
+	}
+	b2 := NewCircuitBuilder(true)
+	a := NewAdderCLA(b2, 8)
+	if got := a.Compute(b2, 100, 55, 0); got != 155 {
+		t.Fatalf("facade add = %d", got)
+	}
+}
+
+func TestFacadeNetwork(t *testing.T) {
+	n := NewNetwork(NetworkConfig{Rule: FireGTE})
+	a := n.AddNeuron(GateNeuron(1))
+	z := n.AddNeuron(IntegratorNeuron(2))
+	n.Connect(a, z, 1, 3)
+	n.InduceSpike(a, 0)
+	n.InduceSpike(a, 1)
+	n.Run(10)
+	if n.FirstSpike(z) != 4 {
+		t.Fatalf("integrator fired at %d", n.FirstSpike(z))
+	}
+}
+
+func TestFacadeNGA(t *testing.T) {
+	g := RingGraph(4, Unit, 0)
+	out := MatVecPower(g, []int64{1, 0, 0, 0}, 4, 8)
+	// One full trip around the unit ring returns the indicator.
+	if out[0] != 1 || out[1] != 0 {
+		t.Fatalf("ring matvec %v", out)
+	}
+}
+
+func TestFacadeDistanceModel(t *testing.T) {
+	cost := ScanInputMovement(1024, 4, RegistersSpread)
+	if float64(cost) < ScanLowerBound(1024, 4) {
+		t.Fatalf("scan %d below bound", cost)
+	}
+	g := RandomGraph(20, 80, Uniform(5), 4)
+	r := DistanceBellmanFordKHop(g, 0, 3, 2, RegistersSpread)
+	if float64(r.Movement) < KHopLowerBound(g.M(), 2, 3) {
+		t.Fatalf("BF movement below bound")
+	}
+}
+
+func TestFacadeCostAndPlatforms(t *testing.T) {
+	rows := Table1(CostParams{N: 128, M: 512, K: 8, L: 20, U: 4, Alpha: 5, C: 2})
+	if len(rows) != 8 {
+		t.Fatalf("%d cost rows", len(rows))
+	}
+	if len(Table3()) != 5 {
+		t.Fatalf("platform count")
+	}
+	if !strings.Contains(RenderTable3(), "Loihi") {
+		t.Fatal("render missing Loihi")
+	}
+}
+
+func TestFacadeGraphIO(t *testing.T) {
+	g := GridGraph(3, 3, Unit, 0)
+	var buf bytes.Buffer
+	if err := WriteGraph(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	h, err := ReadGraph(&buf)
+	if err != nil || h.N() != g.N() || h.M() != g.M() {
+		t.Fatalf("round trip: %v", err)
+	}
+}
+
+func TestFacadeCompiledTTL(t *testing.T) {
+	g := NewGraph(4)
+	g.AddEdge(0, 1, 1)
+	g.AddEdge(1, 2, 1)
+	g.AddEdge(0, 2, 5)
+	ct := CompileKHopSSSP(g, 0, 2)
+	dist, _ := ct.Run()
+	if dist[2] != 2 {
+		t.Fatalf("compiled dist %d, want 2", dist[2])
+	}
+}
+
+func TestFacadeApprox(t *testing.T) {
+	g := RandomGraph(20, 80, Uniform(6), 9)
+	r := SpikingApproxKHop(g, 0, 4, 0)
+	exact := BellmanFordKHop(g, 0, 4, false)
+	for v := 0; v < g.N(); v++ {
+		if exact.Dist[v] >= Inf {
+			continue
+		}
+		if r.Dist[v] > (1+r.Epsilon)*float64(exact.Dist[v])+1e-9 {
+			t.Fatalf("approx[%d] = %v above (1+eps)·%d", v, r.Dist[v], exact.Dist[v])
+		}
+	}
+}
+
+func TestFacadeGenerators(t *testing.T) {
+	if CompleteGraph(5, Unit, 0).M() != 20 {
+		t.Fatal("complete graph")
+	}
+	if PathGraph(5, Unit, 0).M() != 4 {
+		t.Fatal("path graph")
+	}
+	if LayeredGraph(2, 3, Unit, 0).N() != 8 {
+		t.Fatal("layered graph")
+	}
+	if ScaleFreeGraph(10, 1, Unit, 0).N() != 10 {
+		t.Fatal("scale-free graph")
+	}
+	if MatVecMovement(8, 1, RegistersClustered) <= 0 {
+		t.Fatal("matvec movement")
+	}
+}

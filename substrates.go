@@ -1,0 +1,253 @@
+package repro
+
+import (
+	"repro/internal/circuit"
+	"repro/internal/cost"
+	"repro/internal/distance"
+	"repro/internal/harness"
+	"repro/internal/nga"
+	"repro/internal/platform"
+	"repro/internal/snn"
+)
+
+// --- Spiking neural network simulator (Definitions 1-3) ---
+
+// Network is a discrete-time LIF spiking neural network.
+type Network = snn.Network
+
+// Neuron holds the programmable parameters (reset, threshold, decay).
+type Neuron = snn.Neuron
+
+// NetworkConfig controls fire rule and spike recording.
+type NetworkConfig = snn.Config
+
+// FireRule selects the threshold comparison (>= or strict >).
+type FireRule = snn.FireRule
+
+// Fire rules: FireGTE is used by all the paper's circuits; FireStrict is
+// Definition 2 verbatim.
+const (
+	FireGTE    = snn.FireGTE
+	FireStrict = snn.FireStrict
+)
+
+// NetworkStats aggregates spikes, synaptic deliveries, and steps.
+type NetworkStats = snn.Stats
+
+// NewNetwork returns an empty LIF network.
+func NewNetwork(cfg NetworkConfig) *Network { return snn.NewNetwork(cfg) }
+
+// GateNeuron returns a memoryless threshold-gate neuron (full decay).
+func GateNeuron(threshold float64) Neuron { return snn.Gate(threshold) }
+
+// IntegratorNeuron returns a no-leak accumulator neuron (zero decay).
+func IntegratorNeuron(threshold float64) Neuron { return snn.Integrator(threshold) }
+
+// --- Threshold circuits (Section 5) ---
+
+// CircuitBuilder allocates the paper's threshold circuits in one network.
+type CircuitBuilder = circuit.Builder
+
+// NewCircuitBuilder returns a builder; record enables output readout.
+func NewCircuitBuilder(record bool) *CircuitBuilder { return circuit.NewBuilder(record) }
+
+// Num is a bundle of neurons encoding an unsigned integer, LSB first.
+type Num = circuit.Num
+
+// CircuitStats reports neurons, synapses, and latency of a construction.
+type CircuitStats = circuit.Stats
+
+// MaxWiredOR is the O(dλ)-neuron, O(λ)-depth max circuit (Theorem 5.1).
+type MaxWiredOR = circuit.MaxWiredOR
+
+// NewMaxWiredOR builds the bit-by-bit max circuit of Figure 3.
+func NewMaxWiredOR(b *CircuitBuilder, d, lambda int) *MaxWiredOR {
+	return circuit.NewMaxWiredOR(b, d, lambda)
+}
+
+// MinWiredOR is the complement-based min variant of Theorem 5.1.
+type MinWiredOR = circuit.MinWiredOR
+
+// NewMinWiredOR builds the wired-or minimum circuit.
+func NewMinWiredOR(b *CircuitBuilder, d, lambda int) *MinWiredOR {
+	return circuit.NewMinWiredOR(b, d, lambda)
+}
+
+// MaxBruteForce is the O(d²)-neuron, depth-3 max circuit (Theorem 5.2).
+type MaxBruteForce = circuit.MaxBruteForce
+
+// NewMaxBruteForce builds the Figure 5 circuit; minimize flips it to min.
+func NewMaxBruteForce(b *CircuitBuilder, d, lambda int, minimize bool) *MaxBruteForce {
+	return circuit.NewMaxBruteForce(b, d, lambda, minimize)
+}
+
+// Comparator is the single-neuron x-vs-y comparison of Figure 5A.
+type Comparator = circuit.Comparator
+
+// NewComparator builds a λ-bit comparator (x >= y, or x > y if strict).
+func NewComparator(b *CircuitBuilder, lambda int, strict bool) *Comparator {
+	return circuit.NewComparator(b, lambda, strict)
+}
+
+// AdderCLA is the depth-2, O(λ)-neuron carry-lookahead adder (Figure 4).
+type AdderCLA = circuit.AdderCLA
+
+// NewAdderCLA builds the exponential-weight adder.
+func NewAdderCLA(b *CircuitBuilder, lambda int) *AdderCLA { return circuit.NewAdderCLA(b, lambda) }
+
+// AdderSmallWeight is the O(λ²)-neuron small-weight adder.
+type AdderSmallWeight = circuit.AdderSmallWeight
+
+// NewAdderSmallWeight builds the generate/propagate adder.
+func NewAdderSmallWeight(b *CircuitBuilder, lambda int) *AdderSmallWeight {
+	return circuit.NewAdderSmallWeight(b, lambda)
+}
+
+// AddConst adds a hardwired constant (the per-edge length adder of §4.2).
+type AddConst = circuit.AddConst
+
+// NewAddConst builds the add-constant circuit.
+func NewAddConst(b *CircuitBuilder, lambda int, c uint64) *AddConst {
+	return circuit.NewAddConst(b, lambda, c)
+}
+
+// Decrement is the subtract-one circuit of the TTL algorithm (§4.1).
+type Decrement = circuit.Decrement
+
+// NewDecrement builds the subtract-one circuit.
+func NewDecrement(b *CircuitBuilder, lambda int) *Decrement { return circuit.NewDecrement(b, lambda) }
+
+// Latch is the one-bit memory of Figure 1B.
+type Latch = circuit.Latch
+
+// NewLatch builds a set/recall/reset memory latch.
+func NewLatch(b *CircuitBuilder) *Latch { return circuit.NewLatch(b) }
+
+// DelayGadget simulates a delay-d synapse with two neurons (Figure 1A).
+type DelayGadget = circuit.DelayGadget
+
+// NewDelayGadget builds the delay gadget for d >= 2.
+func NewDelayGadget(b *CircuitBuilder, d int64) *DelayGadget { return circuit.NewDelayGadget(b, d) }
+
+// --- NGA round framework (Definition 4) ---
+
+// NGA is a round-based neuromorphic graph algorithm over messages M.
+type NGA[M any] = nga.Algorithm[M]
+
+// NGAResult reports messages, rounds, and Definition 4 execution time.
+type NGAResult[M any] = nga.Result[M]
+
+// MatVecNGA builds the A^r·x matrix-vector NGA of Section 2.2.
+func MatVecNGA(g *Graph, lambda int) *NGA[int64] { return nga.MatVec(g, lambda) }
+
+// MatVecPower computes A^r·x through r NGA rounds.
+func MatVecPower(g *Graph, x []int64, r, lambda int) []int64 {
+	return nga.MatVecPower(g, x, r, lambda)
+}
+
+// MinPlusNGA builds the tropical-semiring NGA (edges add, nodes min).
+func MinPlusNGA(g *Graph, lambda int) *NGA[int64] { return nga.MinPlus(g, lambda) }
+
+// --- DISTANCE model (Definition 5, Section 6) ---
+
+// DistanceMachine is the instrumented 2D-lattice memory with c registers.
+type DistanceMachine = distance.Machine
+
+// RegisterPlacement selects where the registers sit.
+type RegisterPlacement = distance.Placement
+
+// Register placements.
+const (
+	RegistersSpread    = distance.Spread
+	RegistersClustered = distance.Clustered
+)
+
+// NewDistanceMachine builds a machine holding totalWords with c registers.
+func NewDistanceMachine(totalWords, c int, p RegisterPlacement) *DistanceMachine {
+	return distance.NewMachine(totalWords, c, p)
+}
+
+// ScanInputMovement measures the movement cost of reading an m-word input
+// (the Theorem 6.1 quantity).
+func ScanInputMovement(words, c int, p RegisterPlacement) int64 {
+	return distance.ScanInput(words, c, p)
+}
+
+// DistanceDijkstra runs movement-instrumented Dijkstra.
+func DistanceDijkstra(g *Graph, src, c int, p RegisterPlacement) *distance.DijkstraResult {
+	return distance.Dijkstra(g, src, c, p)
+}
+
+// DistanceBellmanFordKHop runs movement-instrumented k-hop Bellman-Ford
+// (the Theorem 6.2 algorithm).
+func DistanceBellmanFordKHop(g *Graph, src, k, c int, p RegisterPlacement) *distance.BFResult {
+	return distance.BellmanFordKHop(g, src, k, c, p)
+}
+
+// MatVecMovement measures dense matrix-vector movement cost (the §2.3
+// O(n²) → Θ(n³) observation).
+func MatVecMovement(n, c int, p RegisterPlacement) int64 {
+	return distance.MatVecMovement(n, c, p)
+}
+
+// ScanLowerBound is Theorem 6.1's m^{3/2}/(8√c) with explicit constant.
+func ScanLowerBound(m, c int) float64 { return distance.ScanLowerBound(m, c) }
+
+// KHopLowerBound is Theorem 6.2's k·m^{3/2}/(8√c).
+func KHopLowerBound(m, c, k int) float64 { return distance.KHopLowerBound(m, c, k) }
+
+// --- Cost model (Table 1) and platforms (Table 3) ---
+
+// CostParams carries the Table 1 problem parameters.
+type CostParams = cost.Params
+
+// CostRow is one evaluated Table 1 line.
+type CostRow = cost.Row
+
+// Table1 evaluates all eight Table 1 rows at concrete parameters.
+func Table1(p CostParams) []CostRow { return cost.Table1(p) }
+
+// Platform is one column of the Table 3 platform survey.
+type Platform = platform.Platform
+
+// Table3 returns the platform survey data.
+func Table3() []Platform { return platform.Table3() }
+
+// RenderTable3 formats Table 3 for terminal output.
+func RenderTable3() string { return platform.Render() }
+
+// --- Experiment harness ---
+
+// Table1Config parameterizes the Table 1 reproduction sweep.
+type Table1Config = harness.Table1Config
+
+// Table1Report is the measured sweep.
+type Table1Report = harness.Table1Report
+
+// RunTable1 measures conventional vs spiking costs across a sweep.
+func RunTable1(cfg Table1Config) *Table1Report { return harness.RunTable1(cfg) }
+
+// RunTable2 measures the max-circuit constructions over a (d, λ) grid.
+func RunTable2(ds, lambdas []int) []harness.Table2Row { return harness.RunTable2(ds, lambdas) }
+
+// RunFigures executes the figure-level demonstrations (Figures 1-5 and
+// the compiled gate-level k-hop run) and returns a narrative report.
+func RunFigures() string { return harness.RunFigures() }
+
+// AdderRipple is the chained-parity ripple adder of Section 4.1's
+// decrement discussion: unit weights, O(λ) neurons, O(λ) depth.
+type AdderRipple = circuit.AdderRipple
+
+// NewAdderRipple builds the chained-parity adder.
+func NewAdderRipple(b *CircuitBuilder, lambda int) *AdderRipple {
+	return circuit.NewAdderRipple(b, lambda)
+}
+
+// MulConst multiplies a λ-bit input by a hardwired constant via
+// shift-and-add adder trees (the integer-matrix upgrade of §2.2).
+type MulConst = circuit.MulConst
+
+// NewMulConst builds the constant multiplier.
+func NewMulConst(b *CircuitBuilder, lambda int, c uint64) *MulConst {
+	return circuit.NewMulConst(b, lambda, c)
+}
