@@ -15,6 +15,7 @@
 //	spaabench flow -layers 4 -width 6             # tidal max flow with sweep accounting
 //	spaabench congest -n 64 -m 256                # distributed BFS/SSSP with bit accounting
 //	spaabench dot -n 12 -m 30 -dst 5              # Graphviz DOT with highlighted shortest path
+//	spaabench validate <netlist>                  # static Definition 1-2 checks ("-" = stdin)
 package main
 
 import (
@@ -34,6 +35,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/harness"
 	"repro/internal/platform"
+	"repro/internal/snn"
 )
 
 func main() {
@@ -72,6 +74,8 @@ func main() {
 		err = cmdFleet(args)
 	case "verify":
 		err = cmdVerify(args)
+	case "validate":
+		err = cmdValidate(args)
 	default:
 		usage()
 		os.Exit(2)
@@ -83,7 +87,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: spaabench {table1|table2|table3|figures|experiments|sssp|gen|raster|flow|congest|dot|crossover|fleet|verify} [flags]")
+	fmt.Fprintln(os.Stderr, "usage: spaabench {table1|table2|table3|figures|experiments|sssp|gen|raster|flow|congest|dot|crossover|fleet|verify|validate} [flags]")
 }
 
 func parseInts(s string) ([]int, error) {
@@ -408,6 +412,55 @@ func cmdFleet(args []string) error {
 		tb.CutEdges, tb.IntraChip, tb.InterChip, tb.EnergyJoules(loihiPJ, 100))
 	fmt.Printf("  round-robin placement: cut=%4d  intra=%5d inter=%4d  energy=%.3g J\n",
 		tr.CutEdges, tr.IntraChip, tr.InterChip, tr.EnergyJoules(loihiPJ, 100))
+	return nil
+}
+
+// cmdValidate statically verifies a netlist file against the paper's
+// Definition 1-2 invariants without simulating it (the compile-time
+// counterpart is `go run ./cmd/spaavet ./...`). Exit is nonzero when any
+// error-level violation is present; warnings are reported but tolerated
+// unless -strict is set.
+func cmdValidate(args []string) error {
+	fs := flag.NewFlagSet("validate", flag.ExitOnError)
+	strict := fs.Bool("strict", false, "treat warnings as failures")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("usage: spaabench validate [-strict] <netlist-file | ->")
+	}
+	in := os.Stdin
+	if name := fs.Arg(0); name != "-" {
+		f, err := os.Open(name)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		in = f
+	}
+	info, violations, err := snn.LintNetlist(in)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("netlist: %d neurons, %d synapses, %d induced spikes, %d terminals (rule=%s record=%v)\n",
+		info.Neurons, info.Synapses, info.Induced, info.Terminals, info.Rule, info.Record)
+	errors, warnings := 0, 0
+	for _, v := range violations {
+		fmt.Println(" ", v)
+		if v.Severity == snn.SevError {
+			errors++
+		} else {
+			warnings++
+		}
+	}
+	if errors > 0 || (*strict && warnings > 0) {
+		return fmt.Errorf("%d error(s), %d warning(s)", errors, warnings)
+	}
+	if warnings > 0 {
+		fmt.Printf("ok with %d warning(s)\n", warnings)
+	} else {
+		fmt.Println("ok: all Definition 1-2 invariants hold")
+	}
 	return nil
 }
 

@@ -1,0 +1,165 @@
+// Command spaavet is the repository's static-analysis multichecker: it
+// runs the internal/lint analyzers (mapiter, delaybound, floateq,
+// errflush) over Go packages and exits nonzero on any finding. It is the
+// compile-time half of the verification story — the runtime half is
+// snn.Validate / `spaabench validate`, which checks constructed networks
+// against the paper's Definition 1-2 invariants.
+//
+// Usage:
+//
+//	go run ./cmd/spaavet ./...          # analyze the whole module
+//	go run ./cmd/spaavet -tests ./...   # include _test.go files
+//	go run ./cmd/spaavet help           # describe the analyzers
+//
+// spaavet must run from inside the module (the stdlib source importer
+// resolves module-local imports through the go command). Findings can be
+// waived line-by-line with //lint:<analyzer> directives; see docs/MODEL.md
+// for the //lint:deterministic convention.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"go/token"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+
+	"repro/internal/lint"
+	"repro/internal/lint/analysis"
+	"repro/internal/lint/load"
+)
+
+func main() {
+	tests := flag.Bool("tests", false, "also analyze _test.go files of each package")
+	flag.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: spaavet [-tests] [package patterns]")
+		fmt.Fprintln(os.Stderr, "       spaavet help")
+	}
+	flag.Parse()
+	args := flag.Args()
+	if len(args) == 1 && args[0] == "help" {
+		printHelp()
+		return
+	}
+	if len(args) == 0 {
+		args = []string{"./..."}
+	}
+	findings, err := run(args, *tests)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "spaavet:", err)
+		os.Exit(2)
+	}
+	for _, f := range findings {
+		fmt.Println(f)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "spaavet: %d finding(s)\n", len(findings))
+		os.Exit(1)
+	}
+}
+
+func printHelp() {
+	fmt.Println("spaavet analyzers:")
+	for _, a := range lint.All() {
+		fmt.Printf("\n%s: %s\n", a.Name, a.Doc)
+		if scope, ok := lint.Scopes[a.Name]; ok {
+			fmt.Printf("  scope: %v\n", scope)
+		} else {
+			fmt.Printf("  scope: all packages\n")
+		}
+	}
+}
+
+// listedPackage is the subset of `go list -json` output spaavet needs.
+type listedPackage struct {
+	Dir         string
+	ImportPath  string
+	GoFiles     []string
+	TestGoFiles []string
+}
+
+func run(patterns []string, tests bool) ([]string, error) {
+	pkgs, err := goList(patterns)
+	if err != nil {
+		return nil, err
+	}
+	loader := load.New()
+	var findings []string
+	for _, p := range pkgs {
+		files := append([]string{}, p.GoFiles...)
+		if tests {
+			files = append(files, p.TestGoFiles...)
+		}
+		if len(files) == 0 {
+			continue
+		}
+		for i, f := range files {
+			files[i] = filepath.Join(p.Dir, f)
+		}
+		pkg, err := loader.Files(p.ImportPath, files)
+		if err != nil {
+			return nil, err
+		}
+		for _, terr := range pkg.TypeErrors {
+			findings = append(findings, fmt.Sprintf("%v (typecheck)", terr))
+		}
+		for _, a := range lint.All() {
+			if !lint.InScope(a.Name, p.ImportPath) {
+				continue
+			}
+			pass := analysis.NewPass(a, pkg.Fset, pkg.Files, pkg.Pkg, pkg.Info)
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("%s on %s: %w", a.Name, p.ImportPath, err)
+			}
+			for _, d := range pass.Diagnostics() {
+				findings = append(findings, formatDiagnostic(loader.Fset, d))
+			}
+		}
+	}
+	sort.Strings(findings)
+	return findings, nil
+}
+
+func formatDiagnostic(fset *token.FileSet, d analysis.Diagnostic) string {
+	pos := fset.Position(d.Pos)
+	name := pos.Filename
+	if rel, err := filepath.Rel(mustGetwd(), name); err == nil && !filepath.IsAbs(rel) {
+		name = rel
+	}
+	return fmt.Sprintf("%s:%d:%d: %s (%s)", name, pos.Line, pos.Column, d.Message, d.Analyzer)
+}
+
+func mustGetwd() string {
+	wd, err := os.Getwd()
+	if err != nil {
+		return "."
+	}
+	return wd
+}
+
+func goList(patterns []string) ([]listedPackage, error) {
+	cmd := exec.Command("go", append([]string{"list", "-json"}, patterns...)...)
+	var out, stderr bytes.Buffer
+	cmd.Stdout = &out
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("go list: %v: %s", err, stderr.String())
+	}
+	dec := json.NewDecoder(&out)
+	var pkgs []listedPackage
+	for {
+		var p listedPackage
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list output: %w", err)
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}

@@ -1,0 +1,49 @@
+package circuit
+
+import (
+	"fmt"
+
+	"repro/internal/snn"
+)
+
+// Lint statically verifies the network a Builder has assembled: the
+// Definition 1-2 invariants via snn.Validate, plus circuit-level hygiene —
+// an isolated neuron (no synapses in or out and no induced input) is
+// almost always a wiring mistake in a feed-forward threshold circuit,
+// where every allocated gate should sit on some input→output path. Run it
+// after construction and before handing the network to a simulator or
+// serializing it for hardware.
+func Lint(b *Builder) []snn.Violation {
+	vs := snn.Validate(b.Net)
+
+	net := b.Net
+	n := net.N()
+	connected := make([]bool, n)
+	for i := 0; i < n; i++ {
+		for _, s := range net.OutSynapses(i) {
+			connected[i] = true
+			if s.To >= 0 && s.To < n {
+				connected[s.To] = true
+			}
+		}
+	}
+	//lint:deterministic marks members of an id set; per-key, order-independent
+	for _, ids := range net.InducedSpikes() {
+		for _, id := range ids {
+			if id >= 0 && id < n {
+				connected[id] = true
+			}
+		}
+	}
+	for i := 0; i < n; i++ {
+		if !connected[i] {
+			vs = append(vs, snn.Violation{
+				Severity: snn.SevWarn,
+				Kind:     "isolated",
+				Index:    i,
+				Msg:      fmt.Sprintf("neuron %d has no synapses and no induced input; dead gate in a feed-forward circuit", i),
+			})
+		}
+	}
+	return vs
+}

@@ -1,0 +1,46 @@
+package circuit
+
+import (
+	"testing"
+
+	"repro/internal/snn"
+)
+
+func TestLintCleanCircuits(t *testing.T) {
+	b := NewBuilder(true)
+	trigger := b.Trigger()
+	in := b.InputNum(4)
+	b.ApplyNum(in, 9, 0)
+	b.Net.InduceSpike(trigger, 0)
+	// Wire the input through a NOT gate so everything is connected.
+	for _, bit := range in.Bits {
+		b.not(bit, trigger, 1, 1)
+	}
+	if vs := Lint(b); len(vs) != 0 {
+		t.Fatalf("clean circuit reported violations: %v", vs)
+	}
+}
+
+func TestLintFlagsIsolatedNeuron(t *testing.T) {
+	b := NewBuilder(false)
+	b.Net.AddNeuron(snn.Gate(1)) // allocated, never wired or driven
+	vs := Lint(b)
+	if len(vs) != 1 || vs[0].Kind != "isolated" || vs[0].Severity != snn.SevWarn {
+		t.Fatalf("expected one isolated warning, got %v", vs)
+	}
+}
+
+func TestLintOnBuiltCircuits(t *testing.T) {
+	// The real Section 5 circuits must lint clean once their inputs are
+	// driven: build the wired-OR max over two 4-bit numbers.
+	b := NewBuilder(true)
+	m := NewMaxWiredOR(b, 2, 4)
+	if got := m.Compute(b, []uint64{5, 11}, 0); got != 11 {
+		t.Fatalf("max = %d, want 11", got)
+	}
+	for _, v := range Lint(b) {
+		if v.Severity == snn.SevError {
+			t.Fatalf("built circuit has error-level violation: %v", v)
+		}
+	}
+}

@@ -43,9 +43,9 @@ func (q *pq) Less(i, j int) bool {
 	*q.ops++
 	return q.items[i].dist < q.items[j].dist
 }
-func (q *pq) Swap(i, j int)      { q.items[i], q.items[j] = q.items[j], q.items[i] }
-func (q *pq) Push(x interface{}) { q.items = append(q.items, x.(pqItem)) }
-func (q *pq) Pop() interface{} {
+func (q *pq) Swap(i, j int) { q.items[i], q.items[j] = q.items[j], q.items[i] }
+func (q *pq) Push(x any)    { q.items = append(q.items, x.(pqItem)) }
+func (q *pq) Pop() any {
 	old := q.items
 	n := len(old)
 	x := old[n-1]

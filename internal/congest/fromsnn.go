@@ -2,6 +2,7 @@ package congest
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/graph"
 	"repro/internal/snn"
@@ -103,9 +104,15 @@ func FromSNN(net *snn.Network, horizon int64) *FromSNNResult {
 	}
 
 	induced := net.InducedSpikes()
+	inducedTimes := make([]int64, 0, len(induced))
+	//lint:deterministic keys are collected here and sorted below
+	for t := range induced {
+		inducedTimes = append(inducedTimes, t)
+	}
+	sort.Slice(inducedTimes, func(i, j int) bool { return inducedTimes[i] < inducedTimes[j] })
 	forcedAt := make([]map[int64]bool, total)
-	for t, ids := range induced {
-		for _, id := range ids {
+	for _, t := range inducedTimes {
+		for _, id := range induced[t] {
 			if forcedAt[id] == nil {
 				forcedAt[id] = map[int64]bool{}
 			}

@@ -4,6 +4,7 @@ import (
 	"container/heap"
 	"fmt"
 	"math/bits"
+	"sort"
 
 	"repro/internal/graph"
 )
@@ -59,11 +60,11 @@ func DecrementNeurons(lambda int) int64 { return 4 * int64(lambda) }
 
 type ttlHeap []int64
 
-func (h ttlHeap) Len() int            { return len(h) }
-func (h ttlHeap) Less(i, j int) bool  { return h[i] < h[j] }
-func (h ttlHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *ttlHeap) Push(x interface{}) { *h = append(*h, x.(int64)) }
-func (h *ttlHeap) Pop() interface{} {
+func (h ttlHeap) Len() int           { return len(h) }
+func (h ttlHeap) Less(i, j int) bool { return h[i] < h[j] }
+func (h ttlHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *ttlHeap) Push(x any)        { *h = append(*h, x.(int64)) }
+func (h *ttlHeap) Pop() any {
 	old := *h
 	n := len(old)
 	x := old[n-1]
@@ -173,7 +174,18 @@ func KHopTTL(g *graph.Graph, src, dst, k int) *TTLResult {
 		heap.Pop(&times)
 		batch := pending[t]
 		delete(pending, t)
-		for v, arr := range batch {
+		// Process the batch in ascending node order: iteration order is
+		// observable through the early return at dst and the Broadcasts
+		// accounting, so a raw map range would make Table 1 numbers
+		// depend on Go's map randomization.
+		nodes := make([]int, 0, len(batch))
+		//lint:deterministic keys are collected here and sorted below
+		for v := range batch {
+			nodes = append(nodes, v)
+		}
+		sort.Ints(nodes)
+		for _, v := range nodes {
+			arr := batch[v]
 			if res.Dist[v] == graph.Inf {
 				res.Dist[v] = t
 				res.Pred[v] = arr.from

@@ -26,7 +26,7 @@ type Check struct {
 // argument) and reports a one-line verdict.
 func Verify(seed int64) []Check {
 	var out []Check
-	add := func(name string, ok bool, note string, args ...interface{}) {
+	add := func(name string, ok bool, note string, args ...any) {
 		out = append(out, Check{Name: name, OK: ok, Note: fmt.Sprintf(note, args...)})
 	}
 

@@ -1,0 +1,146 @@
+// Package analysis is a minimal, dependency-free analogue of
+// golang.org/x/tools/go/analysis: just enough framework to write typed AST
+// analyzers and run them from a multichecker (cmd/spaavet) or a fixture
+// test harness (internal/lint/analysistest). The container this repository
+// builds in has no network access to fetch x/tools, so the framework is
+// implemented on the standard library alone (go/ast, go/types, go/token).
+//
+// The shape mirrors x/tools deliberately — an Analyzer owns a Run function
+// over a Pass — so that migrating to the real go/analysis package later is
+// a mechanical substitution.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzer describes one static check.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and waiver directives.
+	Name string
+	// Doc is a one-paragraph description shown by `spaavet help`.
+	Doc string
+	// Run performs the check, reporting findings via pass.Report.
+	Run func(*Pass) error
+}
+
+// Pass carries one package's parsed and type-checked representation to an
+// analyzer, plus the diagnostic sink.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	diagnostics []Diagnostic
+	waivers     map[string]map[int][]string // filename -> line -> directives
+}
+
+// Diagnostic is one finding at a source position.
+type Diagnostic struct {
+	Pos      token.Pos
+	Analyzer string
+	Message  string
+}
+
+// NewPass assembles a Pass and indexes //lint: waiver directives from the
+// files' comments.
+func NewPass(a *Analyzer, fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info) *Pass {
+	p := &Pass{
+		Analyzer:  a,
+		Fset:      fset,
+		Files:     files,
+		Pkg:       pkg,
+		TypesInfo: info,
+		waivers:   map[string]map[int][]string{},
+	}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				text = strings.TrimSpace(text)
+				if !strings.HasPrefix(text, "lint:") {
+					continue
+				}
+				directive := strings.Fields(strings.TrimPrefix(text, "lint:"))
+				if len(directive) == 0 {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				byLine := p.waivers[pos.Filename]
+				if byLine == nil {
+					byLine = map[int][]string{}
+					p.waivers[pos.Filename] = byLine
+				}
+				byLine[pos.Line] = append(byLine[pos.Line], directive[0])
+			}
+		}
+	}
+	return p
+}
+
+// Report records a finding unless the line (or the line directly above it)
+// carries a waiver directive for this analyzer.
+func (p *Pass) Report(pos token.Pos, format string, args ...any) {
+	if p.Waived(pos) {
+		return
+	}
+	p.diagnostics = append(p.diagnostics, Diagnostic{
+		Pos:      pos,
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Waived reports whether pos is covered by a //lint: directive naming this
+// analyzer (or the blanket alias recognised by the analyzer, e.g. mapiter
+// honours //lint:deterministic). Directives apply to their own source line
+// and to the line immediately below (comment-above-statement style).
+func (p *Pass) Waived(pos token.Pos) bool {
+	position := p.Fset.Position(pos)
+	byLine := p.waivers[position.Filename]
+	if byLine == nil {
+		return false
+	}
+	for _, line := range []int{position.Line, position.Line - 1} {
+		for _, d := range byLine[line] {
+			if d == p.Analyzer.Name || p.aliasMatches(d) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// aliasMatches recognises the repository-wide //lint:deterministic waiver
+// for the determinism analyzers (mapiter), per docs/MODEL.md.
+func (p *Pass) aliasMatches(directive string) bool {
+	return directive == "deterministic" && p.Analyzer.Name == "mapiter"
+}
+
+// Diagnostics returns the findings reported so far, sorted by position.
+func (p *Pass) Diagnostics() []Diagnostic {
+	sort.SliceStable(p.diagnostics, func(i, j int) bool {
+		return p.diagnostics[i].Pos < p.diagnostics[j].Pos
+	})
+	return p.diagnostics
+}
+
+// Inspect walks every file's AST in source order, calling fn for each node;
+// fn returning false prunes the subtree (ast.Inspect semantics).
+func (p *Pass) Inspect(fn func(ast.Node) bool) {
+	for _, f := range p.Files {
+		ast.Inspect(f, fn)
+	}
+}
+
+// TypeOf returns the type of expression e, or nil if unknown.
+func (p *Pass) TypeOf(e ast.Expr) types.Type {
+	return p.TypesInfo.TypeOf(e)
+}

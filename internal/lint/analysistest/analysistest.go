@@ -1,0 +1,95 @@
+// Package analysistest runs a lint analyzer over a fixture directory and
+// checks its diagnostics against `// want "regexp"` comments, mirroring
+// golang.org/x/tools/go/analysis/analysistest on the standard library
+// alone. A fixture directory holds one package; every line that should
+// trigger the analyzer carries a trailing `// want "pattern"` comment
+// whose pattern must match the diagnostic message; lines without a want
+// comment must produce no diagnostic. Fixture packages may import only the
+// standard library (module-local imports would require module-aware
+// loading that fixtures do not need).
+package analysistest
+
+import (
+	"regexp"
+	"strings"
+	"testing"
+
+	"repro/internal/lint/analysis"
+	"repro/internal/lint/load"
+)
+
+var wantRE = regexp.MustCompile(`// want "((?:[^"\\]|\\.)*)"`)
+
+// Run loads dir as one package, applies the analyzer, and reports any
+// mismatch between produced diagnostics and want comments as test errors.
+func Run(t *testing.T, a *analysis.Analyzer, dir string) {
+	t.Helper()
+	pkg, err := load.New().Dir(dir)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", dir, err)
+	}
+	for _, terr := range pkg.TypeErrors {
+		t.Fatalf("fixture %s does not type-check: %v", dir, terr)
+	}
+
+	pass := analysis.NewPass(a, pkg.Fset, pkg.Files, pkg.Pkg, pkg.Info)
+	if err := a.Run(pass); err != nil {
+		t.Fatalf("analyzer %s: %v", a.Name, err)
+	}
+
+	type key struct {
+		file string
+		line int
+	}
+	wants := map[key][]*regexp.Regexp{}
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				rx, err := regexp.Compile(m[1])
+				if err != nil {
+					t.Fatalf("bad want pattern %q: %v", m[1], err)
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				k := key{pos.Filename, pos.Line}
+				wants[k] = append(wants[k], rx)
+			}
+		}
+	}
+
+	matched := map[key]int{}
+	for _, d := range pass.Diagnostics() {
+		pos := pkg.Fset.Position(d.Pos)
+		k := key{pos.Filename, pos.Line}
+		rxs := wants[k]
+		if len(rxs) == 0 {
+			t.Errorf("%s: unexpected diagnostic: %s", pos, d.Message)
+			continue
+		}
+		ok := false
+		for _, rx := range rxs {
+			if rx.MatchString(d.Message) {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			t.Errorf("%s: diagnostic %q matches no want pattern on its line", pos, d.Message)
+			continue
+		}
+		matched[k]++
+	}
+	for k, rxs := range wants {
+		if matched[k] < len(rxs) {
+			var pats []string
+			for _, rx := range rxs {
+				pats = append(pats, rx.String())
+			}
+			t.Errorf("%s:%d: expected diagnostic matching %s, got %d",
+				k.file, k.line, strings.Join(pats, " | "), matched[k])
+		}
+	}
+}

@@ -1,0 +1,49 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+
+	"repro/internal/lint/analysis"
+)
+
+// DelayBound flags Connect/AddSynapse calls whose delay argument is a
+// compile-time constant below 1. Definition 1 of the paper fixes a minimum
+// programmable synaptic delay δ >= 1 (one discrete time step); a zero or
+// negative constant delay always panics at runtime, so it is reported at
+// analysis time instead. The delay is the final argument of both methods
+// (snn.Network.Connect(from, to, weight, delay) and any AddSynapse-shaped
+// builder API).
+var DelayBound = &analysis.Analyzer{
+	Name: "delaybound",
+	Doc:  "flags Connect/AddSynapse calls with a constant delay < 1 (paper minimum δ = 1)",
+	Run:  runDelayBound,
+}
+
+func runDelayBound(pass *analysis.Pass) error {
+	pass.Inspect(func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || len(call.Args) < 2 || call.Ellipsis.IsValid() {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		if name := sel.Sel.Name; name != "Connect" && name != "AddSynapse" {
+			return true
+		}
+		delayArg := call.Args[len(call.Args)-1]
+		tv, ok := pass.TypesInfo.Types[delayArg]
+		if !ok || tv.Value == nil || tv.Value.Kind() != constant.Int {
+			return true
+		}
+		if v, exact := constant.Int64Val(tv.Value); exact && v < 1 {
+			pass.Report(call.Pos(),
+				"%s called with constant delay %d; the paper's minimum programmable delay is 1",
+				sel.Sel.Name, v)
+		}
+		return true
+	})
+	return nil
+}

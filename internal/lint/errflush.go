@@ -1,0 +1,101 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/lint/analysis"
+)
+
+// ErrFlush flags ignored errors from buffered/stream writes in
+// serialization code: a discarded (*bufio.Writer).Flush means a truncated
+// netlist or table silently passes for a complete one, and a discarded
+// Write on an io.Writer interface value loses the only failure signal a
+// stream sink has. The check fires when such a call appears as a bare
+// expression statement; assigning the error (even to _) is considered an
+// explicit decision and is not flagged. Concrete in-memory writers whose
+// errors are vacuous (strings.Builder, bytes.Buffer) are exempt because
+// the receiver type is not an interface.
+var ErrFlush = &analysis.Analyzer{
+	Name: "errflush",
+	Doc:  "flags ignored errors from bufio.Writer.Flush and io.Writer writes in serialization code",
+	Run:  runErrFlush,
+}
+
+var errFlushMethods = map[string]bool{
+	"Flush":       true,
+	"Write":       true,
+	"WriteString": true,
+	"WriteByte":   true,
+	"WriteRune":   true,
+}
+
+func runErrFlush(pass *analysis.Pass) error {
+	pass.Inspect(func(n ast.Node) bool {
+		stmt, ok := n.(*ast.ExprStmt)
+		if !ok {
+			return true
+		}
+		call, ok := stmt.X.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || !errFlushMethods[sel.Sel.Name] {
+			return true
+		}
+		sig, ok := pass.TypeOf(sel).(*types.Signature)
+		if !ok || !lastResultIsError(sig) {
+			return true
+		}
+		recv := pass.TypeOf(sel.X)
+		if recv == nil {
+			return true
+		}
+		if !isBufioWriter(recv) && !isWriterInterface(recv) {
+			return true
+		}
+		pass.Report(call.Pos(),
+			"error from %s.%s is discarded; a failed flush/write silently truncates serialized output",
+			types.ExprString(sel.X), sel.Sel.Name)
+		return true
+	})
+	return nil
+}
+
+func lastResultIsError(sig *types.Signature) bool {
+	res := sig.Results()
+	if res.Len() == 0 {
+		return false
+	}
+	last := res.At(res.Len() - 1).Type()
+	named, ok := last.(*types.Named)
+	return ok && named.Obj().Pkg() == nil && named.Obj().Name() == "error"
+}
+
+func isBufioWriter(t types.Type) bool {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "bufio" && obj.Name() == "Writer"
+}
+
+// isWriterInterface reports whether t is an interface type (io.Writer or a
+// superset of it reached through an interface-typed variable).
+func isWriterInterface(t types.Type) bool {
+	iface, ok := t.Underlying().(*types.Interface)
+	if !ok {
+		return false
+	}
+	for i := 0; i < iface.NumMethods(); i++ {
+		if iface.Method(i).Name() == "Write" {
+			return true
+		}
+	}
+	return false
+}

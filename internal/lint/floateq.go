@@ -1,0 +1,46 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/lint/analysis"
+)
+
+// FloatEq flags == and != between floating-point expressions in simulation
+// packages. Membrane voltages pass through math.Pow decay and summed
+// synaptic weights, so exact equality on computed floats is almost always
+// a latent bug. Comparisons against exact sentinels (a configured
+// parameter against the literal it was set from, e.g. Decay == 0 selecting
+// the perfect-integrator fast path) are legitimate: waive those lines with
+// //lint:floateq and a justification.
+var FloatEq = &analysis.Analyzer{
+	Name: "floateq",
+	Doc:  "flags ==/!= between float expressions in simulation packages; waive exact sentinels with //lint:floateq",
+	Run:  runFloatEq,
+}
+
+func runFloatEq(pass *analysis.Pass) error {
+	isFloat := func(e ast.Expr) bool {
+		t := pass.TypeOf(e)
+		if t == nil {
+			return false
+		}
+		b, ok := t.Underlying().(*types.Basic)
+		return ok && b.Info()&types.IsFloat != 0
+	}
+	pass.Inspect(func(n ast.Node) bool {
+		be, ok := n.(*ast.BinaryExpr)
+		if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+			return true
+		}
+		if isFloat(be.X) && isFloat(be.Y) {
+			pass.Report(be.OpPos,
+				"%s comparison between float expressions %s and %s; use a tolerance or waive with //lint:floateq",
+				be.Op, types.ExprString(be.X), types.ExprString(be.Y))
+		}
+		return true
+	})
+	return nil
+}

@@ -1,0 +1,50 @@
+// Package lint hosts the spaavet analyzers: project-specific static checks
+// that enforce the paper's model invariants and the determinism guarantees
+// the reproduced Tables 1-2 depend on, before any simulation runs. The
+// analyzers are built on internal/lint/analysis (a stdlib-only analogue of
+// golang.org/x/tools/go/analysis) and are executed by cmd/spaavet.
+package lint
+
+import "repro/internal/lint/analysis"
+
+// All returns every registered analyzer in a stable order.
+func All() []*analysis.Analyzer {
+	return []*analysis.Analyzer{MapIter, DelayBound, FloatEq, ErrFlush}
+}
+
+// Scopes restricts analyzers to the packages where their property matters.
+// An analyzer absent from this map runs everywhere. Paths are exact import
+// paths within this module.
+var Scopes = map[string][]string{
+	// Determinism-critical packages: anything whose iteration order can
+	// leak into netlists, tables, CONGEST transcripts, or raster output.
+	"mapiter": {
+		"repro/internal/snn",
+		"repro/internal/circuit",
+		"repro/internal/core",
+		"repro/internal/congest",
+		"repro/internal/harness",
+	},
+	// Simulation packages where exact float equality is a latent bug
+	// (voltages decay through math.Pow and accumulate through sums).
+	"floateq": {
+		"repro/internal/snn",
+		"repro/internal/circuit",
+		"repro/internal/core",
+		"repro/internal/congest",
+	},
+}
+
+// InScope reports whether analyzer name should run on package path.
+func InScope(name, pkgPath string) bool {
+	scope, ok := Scopes[name]
+	if !ok {
+		return true
+	}
+	for _, p := range scope {
+		if p == pkgPath {
+			return true
+		}
+	}
+	return false
+}

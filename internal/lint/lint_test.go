@@ -1,0 +1,50 @@
+package lint_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"repro/internal/lint"
+	"repro/internal/lint/analysistest"
+)
+
+func TestMapIter(t *testing.T) {
+	analysistest.Run(t, lint.MapIter, filepath.Join("testdata", "mapiter"))
+}
+
+func TestDelayBound(t *testing.T) {
+	analysistest.Run(t, lint.DelayBound, filepath.Join("testdata", "delaybound"))
+}
+
+func TestFloatEq(t *testing.T) {
+	analysistest.Run(t, lint.FloatEq, filepath.Join("testdata", "floateq"))
+}
+
+func TestErrFlush(t *testing.T) {
+	analysistest.Run(t, lint.ErrFlush, filepath.Join("testdata", "errflush"))
+}
+
+func TestScopes(t *testing.T) {
+	cases := []struct {
+		analyzer, pkg string
+		want          bool
+	}{
+		{"mapiter", "repro/internal/snn", true},
+		{"mapiter", "repro/internal/graph", false},
+		{"mapiter", "repro/internal/harness", true},
+		{"floateq", "repro/internal/congest", true},
+		{"floateq", "repro/internal/harness", false},
+		{"delaybound", "repro/internal/graph", true}, // unscoped: runs everywhere
+		{"errflush", "repro/internal/snn", true},
+	}
+	for _, c := range cases {
+		if got := lint.InScope(c.analyzer, c.pkg); got != c.want {
+			t.Errorf("InScope(%q, %q) = %v, want %v", c.analyzer, c.pkg, got, c.want)
+		}
+	}
+	for _, a := range lint.All() {
+		if a.Name == "" || a.Doc == "" || a.Run == nil {
+			t.Errorf("analyzer %+v incompletely registered", a)
+		}
+	}
+}

@@ -1,0 +1,108 @@
+// Package load parses and type-checks Go packages for the lint analyzers
+// using only the standard library: go/parser for syntax and go/types with
+// the "source" importer for semantics. The source importer resolves
+// module-local imports through the go command, so loading must run with the
+// working directory inside the module (cmd/spaavet is always invoked that
+// way via `go run`).
+package load
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one parsed, type-checked package ready for analysis.
+type Package struct {
+	Path  string // import path (or directory-derived name for fixtures)
+	Fset  *token.FileSet
+	Files []*ast.File
+	Pkg   *types.Package
+	Info  *types.Info
+	// TypeErrors collects soft type-checking errors; analyzers still run
+	// on the partial information, but drivers should surface these.
+	TypeErrors []error
+}
+
+// Loader type-checks packages against a shared file set and importer so
+// that dependency packages are parsed once per process, not once per
+// analyzed package.
+type Loader struct {
+	Fset *token.FileSet
+	imp  types.Importer
+}
+
+// New returns a Loader backed by the stdlib source importer.
+func New() *Loader {
+	fset := token.NewFileSet()
+	return &Loader{
+		Fset: fset,
+		imp:  importer.ForCompiler(fset, "source", nil),
+	}
+}
+
+// Files parses and type-checks the named files as one package with the
+// given import path.
+func (l *Loader) Files(path string, filenames []string) (*Package, error) {
+	if len(filenames) == 0 {
+		return nil, fmt.Errorf("load: no Go files for %s", path)
+	}
+	var files []*ast.File
+	for _, name := range filenames {
+		f, err := parser.ParseFile(l.Fset, name, nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("load: %w", err)
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+	}
+	var soft []error
+	conf := types.Config{
+		Importer: l.imp,
+		Error:    func(err error) { soft = append(soft, err) },
+	}
+	pkg, err := conf.Check(path, l.Fset, files, info)
+	if pkg == nil && err != nil {
+		return nil, fmt.Errorf("load: %s: %w", path, err)
+	}
+	return &Package{
+		Path:       path,
+		Fset:       l.Fset,
+		Files:      files,
+		Pkg:        pkg,
+		Info:       info,
+		TypeErrors: soft,
+	}, nil
+}
+
+// Dir loads every non-test .go file in dir as one package. The import path
+// is synthesized from the directory base name; fixture packages must only
+// import the standard library.
+func (l *Loader) Dir(dir string) (*Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("load: %w", err)
+	}
+	var filenames []string
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		filenames = append(filenames, filepath.Join(dir, name))
+	}
+	sort.Strings(filenames)
+	return l.Files(filepath.Base(dir), filenames)
+}

@@ -1,0 +1,42 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/lint/analysis"
+)
+
+// MapIter flags `range` statements over map values. Go randomizes map
+// iteration order, so in determinism-critical packages (netlist writers,
+// CONGEST round schedulers, table generators) any map range whose body has
+// order-dependent effects can silently corrupt reproducibility. Sort the
+// keys into a slice first, or — when the body is provably
+// order-independent, e.g. it only populates another keyed map — waive the
+// line with a //lint:deterministic comment explaining why.
+var MapIter = &analysis.Analyzer{
+	Name: "mapiter",
+	Doc: "flags range over a map in determinism-critical packages; " +
+		"sort keys first or waive with //lint:deterministic",
+	Run: runMapIter,
+}
+
+func runMapIter(pass *analysis.Pass) error {
+	pass.Inspect(func(n ast.Node) bool {
+		rs, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		t := pass.TypeOf(rs.X)
+		if t == nil {
+			return true
+		}
+		if _, isMap := t.Underlying().(*types.Map); isMap {
+			pass.Report(rs.For,
+				"range over map %s has nondeterministic iteration order; sort keys first or waive with //lint:deterministic",
+				types.ExprString(rs.X))
+		}
+		return true
+	})
+	return nil
+}

@@ -1,0 +1,31 @@
+// Fixture for the delaybound analyzer: Connect/AddSynapse with a constant
+// final (delay) argument below 1 is flagged; runtime-computed or valid
+// constant delays are not.
+package fixture
+
+type network struct{}
+
+func (network) Connect(from, to int, weight float64, delay int64)    {}
+func (network) AddSynapse(from, to int, weight float64, delay int64) {}
+
+const zeroDelay = 0
+
+func positives(n network) {
+	n.Connect(0, 1, 1.0, 0)         // want "Connect called with constant delay 0"
+	n.Connect(0, 1, 1.0, -3)        // want "Connect called with constant delay -3"
+	n.AddSynapse(0, 1, 1.0, 0)      // want "AddSynapse called with constant delay 0"
+	n.Connect(0, 1, 1.0, zeroDelay) // want "Connect called with constant delay 0"
+	n.Connect(0, 1, 1.0, 2-2)       // want "Connect called with constant delay 0"
+}
+
+func negatives(n network, d int64) {
+	n.Connect(0, 1, 1.0, 1)     // minimum legal delay
+	n.Connect(0, 1, 1.0, 5)     // fine
+	n.AddSynapse(0, 1, 1.0, 2)  // fine
+	n.Connect(0, 1, 1.0, d)     // non-constant: runtime check's job
+	n.Connect(0, 1, 1.0, d-1)   // non-constant expression
+	connect(0, 0)               // bare function, not a method selector
+	n.Connect(0, 1, 1.0, 1+0*3) // constant but >= 1
+}
+
+func connect(a, b int) int { return a + b }

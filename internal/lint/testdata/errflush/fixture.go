@@ -1,0 +1,33 @@
+// Fixture for the errflush analyzer: discarded errors from
+// (*bufio.Writer).Flush and io.Writer writes are flagged; checked or
+// assigned errors and vacuous in-memory writers are not.
+package fixture
+
+import (
+	"bufio"
+	"bytes"
+	"io"
+	"strings"
+)
+
+func positives(bw *bufio.Writer, w io.Writer) {
+	bw.Flush()                 // want "error from bw.Flush is discarded"
+	bw.Write([]byte("x"))      // want "error from bw.Write is discarded"
+	bw.WriteString("x")        // want "error from bw.WriteString is discarded"
+	w.Write([]byte("netlist")) // want "error from w.Write is discarded"
+	bufio.NewWriter(w).Flush() // want "Flush is discarded"
+	bw.WriteByte('x')          // want "error from bw.WriteByte is discarded"
+}
+
+func negatives(bw *bufio.Writer, w io.Writer, sb *strings.Builder, buf *bytes.Buffer) error {
+	if err := bw.Flush(); err != nil { // checked: fine
+		return err
+	}
+	_ = bw.Flush()         // explicit discard: an intentional decision
+	n, err := w.Write(nil) // assigned: fine
+	_ = n
+	sb.WriteString("report") // strings.Builder never fails: fine
+	buf.WriteString("table") // bytes.Buffer never fails: fine
+	sb.Write([]byte("x"))    // fine
+	return err
+}

@@ -1,0 +1,39 @@
+// Fixture for the floateq analyzer: exact equality between float
+// expressions is flagged; integer comparisons and waived sentinel lines
+// are not.
+package fixture
+
+func positives(a, b float64, f32 float32) bool {
+	if a == b { // want "== comparison between float expressions a and b"
+		return true
+	}
+	if a != b { // want "!= comparison between float expressions a and b"
+		return true
+	}
+	if a == 0 { // want "== comparison between float expressions a and 0"
+		return true
+	}
+	if float64(f32) == a { // want "== comparison between float expressions"
+		return true
+	}
+	return a*2 == b+1 // want "== comparison between float expressions"
+}
+
+type params struct{ decay float64 }
+
+func negatives(a, b float64, i, j int, p params) bool {
+	if i == j { // ints: fine
+		return true
+	}
+	if a < b || a >= b { // ordered comparisons: fine
+		return true
+	}
+	//lint:floateq decay is set exactly from a literal, sentinel compare
+	if p.decay == 0 {
+		return true
+	}
+	if p.decay == 1 { //lint:floateq exact sentinel
+		return true
+	}
+	return i != 0
+}

@@ -1,0 +1,48 @@
+// Fixture for the mapiter analyzer: positive cases range directly over a
+// map; negative cases range over sorted key slices, non-map collections,
+// or carry a waiver directive.
+package fixture
+
+import "sort"
+
+func positives(m map[string]int, nested map[int]map[int]bool) int {
+	total := 0
+	for k, v := range m { // want "range over map m has nondeterministic iteration order"
+		total += len(k) + v
+	}
+	for t := range nested { // want "range over map nested"
+		total += t
+	}
+	type wrapped map[int]int
+	var w wrapped
+	for k := range w { // want "range over map w"
+		total += k
+	}
+	return total
+}
+
+func negatives(m map[string]int, xs []int, s string) int {
+	keys := make([]string, 0, len(m))
+	//lint:deterministic keys are collected then sorted below
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	total := 0
+	for _, k := range keys { // slice range: fine
+		total += m[k]
+	}
+	for _, x := range xs { // slice range: fine
+		total += x
+	}
+	for _, r := range s { // string range: fine
+		total += int(r)
+	}
+	for i := 0; i < 3; i++ { // plain for: fine
+		total += i
+	}
+	for k := range m { //lint:deterministic same-line waiver
+		total += len(k)
+	}
+	return total
+}

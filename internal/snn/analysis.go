@@ -76,6 +76,7 @@ func (n *Network) BusiestStep() (int64, int) {
 		}
 	}
 	best, bestCount := int64(-1), 0
+	//lint:deterministic result is order-independent: (min t, max c) wins every order
 	for t, c := range counts {
 		if c > bestCount || (c == bestCount && t < best) {
 			best, bestCount = t, c

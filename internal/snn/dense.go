@@ -39,6 +39,7 @@ func (n *Network) DenseRun(maxTime int64) [][]int {
 			}
 		}
 	}
+	//lint:deterministic builds a keyed map from a map; per-key, order-independent
 	for t, b := range n.pending {
 		if len(b.deliveries) > 0 {
 			panic("snn: DenseRun cannot resume pending deliveries")

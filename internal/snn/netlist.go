@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"fmt"
 	"io"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -52,24 +53,20 @@ func WriteNetlist(w io.Writer, n *Network) error {
 	}
 	induced := n.InducedSpikes()
 	count := 0
-	for _, ids := range induced {
-		count += len(ids)
-	}
-	fmt.Fprintf(bw, "induced %d\n", count)
-	// Deterministic order: ascending time, then neuron id order as stored.
 	times := make([]int64, 0, len(induced))
-	for t := range induced {
+	//lint:deterministic keys are collected here and sorted below
+	for t, ids := range induced {
+		count += len(ids)
 		times = append(times, t)
 	}
-	for i := 0; i < len(times); i++ {
-		for j := i + 1; j < len(times); j++ {
-			if times[j] < times[i] {
-				times[i], times[j] = times[j], times[i]
-			}
-		}
-	}
+	fmt.Fprintf(bw, "induced %d\n", count)
+	// Canonical order: ascending time, then ascending neuron id, so the
+	// same network always serializes to byte-identical output.
+	sort.Slice(times, func(i, j int) bool { return times[i] < times[j] })
 	for _, t := range times {
-		for _, id := range induced[t] {
+		ids := append([]int(nil), induced[t]...)
+		sort.Ints(ids)
+		for _, id := range ids {
 			fmt.Fprintf(bw, "%d %d\n", t, id)
 		}
 	}
@@ -87,8 +84,77 @@ func WriteNetlist(w io.Writer, n *Network) error {
 
 func ftoa(f float64) string { return strconv.FormatFloat(f, 'g', -1, 64) }
 
-// ReadNetlist parses the WriteNetlist format into a fresh network.
+// ReadNetlist parses the WriteNetlist format into a fresh network. The
+// parsed structure is statically verified against the Definition 1-2
+// invariants (see Validate) before any network is built, so a malformed
+// netlist — delay 0, decay outside [0,1], reset >= threshold, an
+// out-of-range synapse endpoint — yields an error, never a panic.
 func ReadNetlist(r io.Reader) (*Network, error) {
+	spec, err := parseNetlist(r)
+	if err != nil {
+		return nil, err
+	}
+	if err := errorFromViolations(validateSpec(spec)); err != nil {
+		return nil, err
+	}
+	return spec.build(), nil
+}
+
+// NetlistInfo summarizes a parsed netlist for tooling.
+type NetlistInfo struct {
+	Neurons   int
+	Synapses  int
+	Induced   int
+	Terminals int
+	Rule      FireRule
+	Record    bool
+}
+
+// LintNetlist parses a netlist without building a network and returns its
+// summary plus every static violation, error-level and warning-level (the
+// `spaabench validate` entry point). The error return is non-nil only for
+// syntactic failures; semantic problems arrive as Violations.
+func LintNetlist(r io.Reader) (NetlistInfo, []Violation, error) {
+	spec, err := parseNetlist(r)
+	if err != nil {
+		return NetlistInfo{}, nil, err
+	}
+	info := NetlistInfo{
+		Neurons:   len(spec.neurons),
+		Synapses:  len(spec.synapses),
+		Induced:   len(spec.induced),
+		Terminals: len(spec.terminals),
+		Rule:      spec.cfg.Rule,
+		Record:    spec.cfg.Record,
+	}
+	return info, validateSpec(spec), nil
+}
+
+// build constructs the network through the public API; the spec must have
+// passed validateSpec with no errors first (so no builder call can panic).
+func (s *netSpec) build() *Network {
+	net := NewNetwork(s.cfg)
+	for _, p := range s.neurons {
+		net.AddNeuron(p)
+	}
+	for _, syn := range s.synapses {
+		net.Connect(syn.From, syn.To, syn.Weight, syn.Delay)
+	}
+	for _, in := range s.induced {
+		net.InduceSpike(in.Neuron, in.Time)
+	}
+	for _, t := range s.terminals {
+		net.SetTerminal(t)
+	}
+	if s.terminalAll {
+		net.RequireAllTerminals()
+	}
+	return net
+}
+
+// parseNetlist reads the line-oriented format into the neutral structural
+// form. Only syntax is rejected here; semantic checks live in validateSpec.
+func parseNetlist(r io.Reader) (*netSpec, error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 1<<16), 1<<24)
 	next := func() (string, error) {
@@ -114,16 +180,15 @@ func ReadNetlist(r io.Reader) (*Network, error) {
 	if _, err := fmt.Sscanf(header, "snn v1 %s %d", &ruleStr, &record); err != nil {
 		return nil, fmt.Errorf("snn: bad netlist header %q: %w", header, err)
 	}
-	cfg := Config{Record: record != 0}
+	spec := &netSpec{cfg: Config{Record: record != 0}}
 	switch ruleStr {
 	case "gte":
-		cfg.Rule = FireGTE
+		spec.cfg.Rule = FireGTE
 	case "strict":
-		cfg.Rule = FireStrict
+		spec.cfg.Rule = FireStrict
 	default:
 		return nil, fmt.Errorf("snn: unknown fire rule %q", ruleStr)
 	}
-	net := NewNetwork(cfg)
 
 	var count int
 	line, err := next()
@@ -152,7 +217,7 @@ func ReadNetlist(r io.Reader) (*Network, error) {
 		if p.Decay, err = strconv.ParseFloat(f[2], 64); err != nil {
 			return nil, fmt.Errorf("snn: neuron %d decay: %w", i, err)
 		}
-		net.AddNeuron(p)
+		spec.neurons = append(spec.neurons, p)
 	}
 
 	line, err = next()
@@ -178,7 +243,7 @@ func ReadNetlist(r io.Reader) (*Network, error) {
 		if err1 != nil || err2 != nil || err3 != nil || err4 != nil {
 			return nil, fmt.Errorf("snn: bad synapse line %q", line)
 		}
-		net.Connect(from, to, weight, delay)
+		spec.synapses = append(spec.synapses, specSynapse{From: from, To: to, Weight: weight, Delay: delay})
 	}
 
 	line, err = next()
@@ -198,7 +263,7 @@ func ReadNetlist(r io.Reader) (*Network, error) {
 		if _, err := fmt.Sscanf(line, "%d %d", &t, &id); err != nil {
 			return nil, fmt.Errorf("snn: bad induced line %q", line)
 		}
-		net.InduceSpike(id, t)
+		spec.induced = append(spec.induced, specInduced{Time: t, Neuron: id})
 	}
 
 	line, err = next()
@@ -218,14 +283,14 @@ func ReadNetlist(r io.Reader) (*Network, error) {
 		if err != nil {
 			return nil, fmt.Errorf("snn: bad terminal line %q", line)
 		}
-		net.SetTerminal(id)
+		spec.terminals = append(spec.terminals, id)
 	}
 	switch mode {
 	case "any":
 	case "all":
-		net.RequireAllTerminals()
+		spec.terminalAll = true
 	default:
 		return nil, fmt.Errorf("snn: unknown terminal mode %q", mode)
 	}
-	return net, nil
+	return spec, nil
 }

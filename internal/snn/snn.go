@@ -103,11 +103,11 @@ type bucket struct {
 // timeHeap is a min-heap of pending event times.
 type timeHeap []int64
 
-func (h timeHeap) Len() int            { return len(h) }
-func (h timeHeap) Less(i, j int) bool  { return h[i] < h[j] }
-func (h timeHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *timeHeap) Push(x interface{}) { *h = append(*h, x.(int64)) }
-func (h *timeHeap) Pop() interface{} {
+func (h timeHeap) Len() int           { return len(h) }
+func (h timeHeap) Less(i, j int) bool { return h[i] < h[j] }
+func (h timeHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *timeHeap) Push(x any)        { *h = append(*h, x.(int64)) }
+func (h *timeHeap) Pop() any {
 	old := *h
 	n := len(old)
 	x := old[n-1]
@@ -421,8 +421,10 @@ func (n *Network) decayedVoltage(i int, t int64) float64 {
 	}
 	p := n.neurons[i]
 	switch {
+	//lint:floateq exact sentinel: Decay is assigned only from literals 0/1 or validated input
 	case p.Decay == 0:
 		return n.voltage[i]
+	//lint:floateq exact sentinel
 	case p.Decay == 1:
 		return p.Reset
 	default:
@@ -455,6 +457,7 @@ func (n *Network) OutSynapses(i int) []SynapseInfo {
 // consumed by Run.
 func (n *Network) InducedSpikes() map[int64][]int {
 	out := make(map[int64][]int)
+	//lint:deterministic builds a keyed map from a map; per-key, order-independent
 	for t, b := range n.pending {
 		for _, i := range b.forced {
 			out[t] = append(out[t], int(i))

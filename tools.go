@@ -34,8 +34,32 @@ func WriteDOT(w io.Writer, g *Graph, name string, highlight []int) error {
 // terminals) as plain text.
 func WriteNetlist(w io.Writer, n *Network) error { return snn.WriteNetlist(w, n) }
 
-// ReadNetlist parses the WriteNetlist format into a fresh network.
+// ReadNetlist parses the WriteNetlist format into a fresh network. The
+// parsed structure is statically validated (see Validate) before
+// construction; malformed netlists return errors, never panic.
 func ReadNetlist(r io.Reader) (*Network, error) { return snn.ReadNetlist(r) }
+
+// --- Static verification (Definition 1-2 invariants, no simulation) ---
+
+// Violation is one static check failure from Validate/LintNetlist.
+type Violation = snn.Violation
+
+// NetlistInfo summarizes a parsed netlist for tooling.
+type NetlistInfo = snn.NetlistInfo
+
+// Validate statically checks a network against the paper's Definition 1-2
+// invariants: finite parameters, decay in [0,1], reset strictly below
+// threshold, delays >= 1, in-range synapse endpoints, and reachable
+// terminals. An empty result means the network is safe to simulate.
+func Validate(n *Network) []Violation { return snn.Validate(n) }
+
+// LintNetlist parses a netlist without building a network, returning its
+// summary and every static violation (`spaabench validate` in API form).
+func LintNetlist(r io.Reader) (NetlistInfo, []Violation, error) { return snn.LintNetlist(r) }
+
+// LintCircuit verifies a circuit builder's network: Validate plus
+// circuit-level hygiene such as isolated (dead) gates.
+func LintCircuit(b *CircuitBuilder) []Violation { return circuit.Lint(b) }
 
 // --- Crossover analysis (Table 1's advantage windows, made concrete) ---
 
