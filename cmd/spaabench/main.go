@@ -15,7 +15,14 @@
 //	spaabench flow -layers 4 -width 6             # tidal max flow with sweep accounting
 //	spaabench congest -n 64 -m 256                # distributed BFS/SSSP with bit accounting
 //	spaabench dot -n 12 -m 30 -dst 5              # Graphviz DOT with highlighted shortest path
+//	spaabench timeline -n 16 -m 48                # raster plus per-step telemetry sparklines
 //	spaabench validate <netlist>                  # static Definition 1-2 checks ("-" = stdin)
+//
+// The sssp, table1, flow, congest, fleet, and timeline subcommands also
+// accept observability flags: -metrics out.json writes a JSON run
+// manifest (the BENCH_*.json format), -trace out.json writes Chrome
+// trace_event JSON viewable in Perfetto, and -cpuprofile / -memprofile
+// write pprof profiles. See docs/OBSERVABILITY.md.
 package main
 
 import (
@@ -36,6 +43,7 @@ import (
 	"repro/internal/harness"
 	"repro/internal/platform"
 	"repro/internal/snn"
+	"repro/internal/telemetry"
 )
 
 func main() {
@@ -62,6 +70,8 @@ func main() {
 		err = cmdGen(args)
 	case "raster":
 		err = cmdRaster(args)
+	case "timeline":
+		err = cmdTimeline(args)
 	case "flow":
 		err = cmdFlow(args)
 	case "congest":
@@ -87,7 +97,8 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: spaabench {table1|table2|table3|figures|experiments|sssp|gen|raster|flow|congest|dot|crossover|fleet|verify|validate} [flags]")
+	fmt.Fprintln(os.Stderr, "usage: spaabench {table1|table2|table3|figures|experiments|sssp|gen|raster|timeline|flow|congest|dot|crossover|fleet|verify|validate} [flags]")
+	fmt.Fprintln(os.Stderr, "observability (sssp, table1, flow, congest, fleet, timeline): -metrics out.json -trace out.json -cpuprofile out.pprof -memprofile out.pprof")
 }
 
 func parseInts(s string) ([]int, error) {
@@ -111,6 +122,7 @@ func cmdTable1(args []string) error {
 	c := fs.Int("c", 4, "DISTANCE-model registers")
 	seed := fs.Int64("seed", 1, "workload seed")
 	skip := fs.Bool("skip-movement", false, "skip the DISTANCE/crossbar half")
+	o := addObsFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -118,12 +130,18 @@ func cmdTable1(args []string) error {
 	if err != nil {
 		return err
 	}
+	if err := o.begin("table1"); err != nil {
+		return err
+	}
+	o.Man.SetConfig("sizes", ns).SetConfig("density", *density).
+		SetConfig("u", *u).SetConfig("k", *k).SetConfig("c", *c).
+		SetConfig("seed", *seed).SetConfig("skip_movement", *skip)
 	rep := harness.RunTable1(harness.Table1Config{
 		Sizes: ns, Density: *density, U: *u, K: *k, C: *c, Seed: *seed,
-		SkipMovement: *skip,
+		SkipMovement: *skip, DistanceProbe: o.distanceProbe(),
 	})
 	fmt.Print(rep.Render())
-	return nil
+	return o.finish()
 }
 
 func cmdTable2(args []string) error {
@@ -170,7 +188,11 @@ func cmdSSSP(args []string) error {
 	k := fs.Int("k", 8, "hop bound (khop algo)")
 	algo := fs.String("algo", "spiking", "spiking|dijkstra|poly|crossbar|khop")
 	in := fs.String("in", "", "read graph from edge-list file instead of generating")
+	o := addObsFlags(fs)
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if err := o.begin("sssp"); err != nil {
 		return err
 	}
 	var g *graph.Graph
@@ -187,6 +209,8 @@ func cmdSSSP(args []string) error {
 	} else {
 		g = graph.RandomGnm(*n, *m, graph.Uniform(*u), *seed, true)
 	}
+	o.setGraph(g, *seed, "random")
+	o.Man.SetConfig("algo", *algo).SetConfig("src", *src).SetConfig("dst", *dst)
 
 	report := func(dist []int64, extra string) {
 		reached := 0
@@ -212,20 +236,29 @@ func cmdSSSP(args []string) error {
 
 	switch *algo {
 	case "spiking":
-		r := core.SSSP(g, *src, *dst)
+		r := core.SSSP(g, *src, *dst, o.snnProbes()...)
 		report(r.Dist, fmt.Sprintf("spike-time=%d neurons=%d spikes=%d deliveries=%d",
 			r.SpikeTime, r.Neurons, r.Stats.Spikes, r.Stats.Deliveries))
+		o.Man.Stats = telemetry.StatsFrom(r.Stats)
+		o.Rec.Add("neurons", int64(r.Neurons))
+		o.Tr.Span("phase", "wavefront", 0, r.SpikeTime)
 	case "dijkstra":
 		r := classic.Dijkstra(g, *src)
 		report(r.Dist, fmt.Sprintf("heap-ops=%d", r.Ops))
+		o.Rec.Add("heap_ops", r.Ops)
 	case "poly":
 		r := core.SSSPPoly(g, *src)
 		report(r.Dist, fmt.Sprintf("rounds=%d spike-time=%d neurons=%d",
 			r.Rounds, r.SpikeTime, r.NeuronCount))
+		o.Rec.Add("rounds", int64(r.Rounds))
+		o.Rec.Add("neurons", int64(r.NeuronCount))
+		o.Tr.Span("phase", "poly-rounds", 0, r.SpikeTime)
 	case "khop":
 		r := core.KHopTTL(g, *src, *dst, *k)
 		report(r.Dist, fmt.Sprintf("k=%d lambda=%d broadcasts=%d neurons=%d",
 			*k, r.Lambda, r.Broadcasts, r.NeuronCount))
+		o.Rec.Add("broadcasts", int64(r.Broadcasts))
+		o.Rec.Add("neurons", int64(r.NeuronCount))
 	case "crossbar":
 		cb := crossbar.New(g.N())
 		if _, err := cb.Embed(g); err != nil {
@@ -234,10 +267,13 @@ func cmdSSSP(args []string) error {
 		r := cb.SSSP(*src)
 		report(r.Dist, fmt.Sprintf("scale=%d host-neurons=%d host-time=%d",
 			r.Scale, r.HostNeurons, r.HostSpikeTime))
+		o.Rec.Add("crossbar_scale", r.Scale)
+		o.Rec.Add("host_neurons", int64(r.HostNeurons))
+		o.Tr.Span("phase", "crossbar-host", 0, r.HostSpikeTime)
 	default:
 		return fmt.Errorf("unknown algo %q", *algo)
 	}
-	return nil
+	return o.finish()
 }
 
 func cmdGen(args []string) error {
@@ -290,13 +326,42 @@ func cmdRaster(args []string) error {
 	return nil
 }
 
+func cmdTimeline(args []string) error {
+	fs := flag.NewFlagSet("timeline", flag.ExitOnError)
+	n := fs.Int("n", 16, "vertices")
+	m := fs.Int("m", 48, "edges")
+	u := fs.Int64("u", 6, "max edge length")
+	seed := fs.Int64("seed", 1, "seed")
+	src := fs.Int("src", 0, "source vertex")
+	o := addObsFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if err := o.begin("timeline"); err != nil {
+		return err
+	}
+	g := graph.RandomGnm(*n, *m, graph.Uniform(*u), *seed, true)
+	o.setGraph(g, *seed, "random")
+	o.Man.SetConfig("src", *src)
+	out, rec := harness.SSSPTimeline(g, *src)
+	fmt.Print(out)
+	// SSSPTimeline owns the probe for its run; adopt its recorder so
+	// -metrics / -trace export the same series the sparklines show.
+	o.Rec = rec
+	return o.finish()
+}
+
 func cmdFlow(args []string) error {
 	fs := flag.NewFlagSet("flow", flag.ExitOnError)
 	layers := fs.Int("layers", 4, "layer count")
 	width := fs.Int("width", 6, "layer width")
 	u := fs.Int64("u", 20, "max capacity")
 	seed := fs.Int64("seed", 1, "seed")
+	o := addObsFlags(fs)
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if err := o.begin("flow"); err != nil {
 		return err
 	}
 	g := graph.Layered(*layers, *width, graph.Uniform(*u), *seed)
@@ -307,7 +372,15 @@ func cmdFlow(args []string) error {
 	fmt.Printf("tidal max flow  %d (dinic: %d)\n", r.Value, d)
 	fmt.Printf("phases=%d cycles=%d sweep-rounds=%d sweep-messages=%d fallbacks=%d\n",
 		r.Phases, r.Cycles, r.SweepRounds, r.SweepMessages, r.FallbackAugments)
-	return nil
+	o.setGraph(g, *seed, "layered")
+	o.Man.SetConfig("layers", *layers).SetConfig("width", *width)
+	o.Rec.Add("flow_value", r.Value)
+	o.Rec.Add("flow_phases", int64(r.Phases))
+	o.Rec.Add("flow_cycles", int64(r.Cycles))
+	o.Rec.Add("flow_sweep_rounds", int64(r.SweepRounds))
+	o.Rec.Add("flow_sweep_messages", int64(r.SweepMessages))
+	o.Rec.Add("flow_fallback_augments", int64(r.FallbackAugments))
+	return o.finish()
 }
 
 func cmdCongest(args []string) error {
@@ -316,12 +389,19 @@ func cmdCongest(args []string) error {
 	m := fs.Int("m", 256, "edges")
 	u := fs.Int64("u", 8, "max edge length")
 	seed := fs.Int64("seed", 1, "seed")
+	o := addObsFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	if err := o.begin("congest"); err != nil {
+		return err
+	}
 	g := graph.RandomGnm(*n, *m, graph.Uniform(*u), *seed, true)
+	o.setGraph(g, *seed, "random")
 	_, bfsRes := congest.BFS(g, 0)
-	dist, ssspRes := congest.SSSP(g, 0, g.N())
+	// Only the SSSP run feeds the per-round probe series; BFS totals go
+	// into plain counters so the two runs' rounds don't interleave.
+	dist, ssspRes := congest.SSSP(g, 0, g.N(), o.congestProbes()...)
 	ref := classic.Dijkstra(g, 0)
 	match := true
 	for v := range dist {
@@ -333,7 +413,12 @@ func cmdCongest(args []string) error {
 	fmt.Printf("BFS:  rounds=%d messages=%d max-bits=%d\n", bfsRes.Rounds, bfsRes.MessagesSent, bfsRes.MaxMessageBits)
 	fmt.Printf("SSSP: rounds=%d messages=%d max-bits=%d total-bits=%d matches-dijkstra=%v\n",
 		ssspRes.Rounds, ssspRes.MessagesSent, ssspRes.MaxMessageBits, ssspRes.TotalBits, match)
-	return nil
+	o.Rec.Add("bfs_rounds", int64(bfsRes.Rounds))
+	o.Rec.Add("bfs_messages", bfsRes.MessagesSent)
+	o.Rec.Add("sssp_rounds", int64(ssspRes.Rounds))
+	o.Rec.Add("sssp_max_message_bits", int64(ssspRes.MaxMessageBits))
+	o.Tr.Span("phase", "congest-sssp", 0, int64(ssspRes.Rounds))
+	return o.finish()
 }
 
 func cmdDOT(args []string) error {
@@ -397,14 +482,23 @@ func cmdFleet(args []string) error {
 	rows := fs.Int("rows", 12, "grid rows")
 	cols := fs.Int("cols", 12, "grid cols")
 	capacity := fs.Int("capacity", 24, "neurons per chip")
+	o := addObsFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	if err := o.begin("fleet"); err != nil {
+		return err
+	}
 	g := graph.Grid(*rows, *cols, graph.Unit, 1)
-	dist := core.SSSP(g, 0, -1).Dist
+	o.setGraph(g, 1, "grid")
+	o.Man.SetConfig("rows", *rows).SetConfig("cols", *cols).SetConfig("capacity", *capacity)
+	r := core.SSSP(g, 0, -1, o.snnProbes()...)
+	dist := r.Dist
 	bfs := fleet.PartitionBFS(g, *capacity)
 	rr := fleet.PartitionRoundRobin(g, *capacity)
-	tb := fleet.AnalyzeSSSP(g, bfs, dist)
+	// Only the BFS placement feeds the per-chip probe series; the
+	// round-robin contrast run is summarized in counters below.
+	tb := fleet.AnalyzeSSSP(g, bfs, dist, o.fleetProbes()...)
 	tr := fleet.AnalyzeSSSP(g, rr, dist)
 	loihiPJ := 23.6
 	fmt.Printf("grid %dx%d on chips of %d neurons (%d chips)\n", *rows, *cols, *capacity, bfs.Chips)
@@ -412,7 +506,12 @@ func cmdFleet(args []string) error {
 		tb.CutEdges, tb.IntraChip, tb.InterChip, tb.EnergyJoules(loihiPJ, 100))
 	fmt.Printf("  round-robin placement: cut=%4d  intra=%5d inter=%4d  energy=%.3g J\n",
 		tr.CutEdges, tr.IntraChip, tr.InterChip, tr.EnergyJoules(loihiPJ, 100))
-	return nil
+	o.Man.Stats = telemetry.StatsFrom(r.Stats)
+	o.Rec.Add("chips", int64(bfs.Chips))
+	o.Rec.Add("bfs_cut_edges", int64(tb.CutEdges))
+	o.Rec.Add("roundrobin_cut_edges", int64(tr.CutEdges))
+	o.Rec.Add("roundrobin_inter_chip", tr.InterChip)
+	return o.finish()
 }
 
 // cmdValidate statically verifies a netlist file against the paper's

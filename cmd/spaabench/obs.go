@@ -1,0 +1,134 @@
+package main
+
+import (
+	"flag"
+	"time"
+
+	"repro/internal/congest"
+	"repro/internal/distance"
+	"repro/internal/fleet"
+	"repro/internal/graph"
+	"repro/internal/snn"
+	"repro/internal/telemetry"
+)
+
+// obs bundles the observability flags shared by the benchmark
+// subcommands: -metrics (JSON run manifest), -trace (Chrome trace_event
+// JSON for Perfetto), -cpuprofile and -memprofile (pprof). See
+// docs/OBSERVABILITY.md for the formats.
+type obs struct {
+	metricsPath, tracePath, cpuPath, memPath string
+
+	command string
+	start   time.Time
+	stopCPU func() error
+
+	// Rec is the probe sink handed to the instrumented engines; Man and
+	// Tr accumulate what finish() writes out.
+	Rec *telemetry.Recorder
+	Man *telemetry.Manifest
+	Tr  *telemetry.Tracer
+}
+
+// addObsFlags registers the observability flags on fs.
+func addObsFlags(fs *flag.FlagSet) *obs {
+	o := &obs{}
+	fs.StringVar(&o.metricsPath, "metrics", "", "write a JSON run manifest to this file")
+	fs.StringVar(&o.tracePath, "trace", "", "write Chrome trace_event JSON (open in Perfetto) to this file")
+	fs.StringVar(&o.cpuPath, "cpuprofile", "", "write a pprof CPU profile to this file")
+	fs.StringVar(&o.memPath, "memprofile", "", "write a pprof heap profile to this file")
+	return o
+}
+
+// on reports whether any telemetry output was requested; engines are
+// probed only in that case, keeping the default path on the nil-probe
+// fast branch.
+func (o *obs) on() bool { return o.metricsPath != "" || o.tracePath != "" }
+
+// begin starts profiling and the wall clock. Call after flag parsing,
+// before the measured work.
+func (o *obs) begin(command string) error {
+	o.command = command
+	o.start = time.Now()
+	o.Rec = telemetry.NewRecorder()
+	o.Man = telemetry.NewManifest("spaabench", command)
+	o.Tr = telemetry.NewTracer()
+	if o.cpuPath != "" {
+		stop, err := telemetry.StartCPUProfile(o.cpuPath)
+		if err != nil {
+			return err
+		}
+		o.stopCPU = stop
+	}
+	return nil
+}
+
+// snnProbes returns the recorder as an optional snn probe argument.
+func (o *obs) snnProbes() []snn.StepProbe {
+	if !o.on() {
+		return nil
+	}
+	return []snn.StepProbe{o.Rec}
+}
+
+// congestProbes returns the recorder as an optional congest probe argument.
+func (o *obs) congestProbes() []congest.Probe {
+	if !o.on() {
+		return nil
+	}
+	return []congest.Probe{o.Rec}
+}
+
+// fleetProbes returns the recorder as an optional fleet probe argument.
+func (o *obs) fleetProbes() []fleet.Probe {
+	if !o.on() {
+		return nil
+	}
+	return []fleet.Probe{o.Rec}
+}
+
+// distanceProbe returns the recorder as a distance probe, or nil when
+// telemetry is off.
+func (o *obs) distanceProbe() distance.Probe {
+	if !o.on() {
+		return nil
+	}
+	return o.Rec
+}
+
+// setGraph records the workload graph's parameters in the manifest.
+func (o *obs) setGraph(g *graph.Graph, seed int64, kind string) {
+	o.Man.Graph = &telemetry.GraphParams{
+		N: g.N(), M: g.M(), MaxLen: g.MaxLen(), Seed: seed, Kind: kind,
+	}
+}
+
+// finish stops profiling and writes every requested output.
+func (o *obs) finish() error {
+	if o.stopCPU != nil {
+		if err := o.stopCPU(); err != nil {
+			return err
+		}
+		o.stopCPU = nil
+	}
+	if o.memPath != "" {
+		if err := telemetry.WriteHeapProfile(o.memPath); err != nil {
+			return err
+		}
+	}
+	if o.metricsPath != "" {
+		o.Man.CreatedUnixMS = o.start.UnixMilli()
+		o.Man.WallMS = float64(time.Since(o.start).Microseconds()) / 1e3
+		o.Man.AddRecorder(o.Rec)
+		if err := o.Man.WriteFile(o.metricsPath); err != nil {
+			return err
+		}
+	}
+	if o.tracePath != "" {
+		o.Tr.AddRecorder(o.Rec)
+		if err := o.Tr.WriteFile(o.tracePath); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -14,15 +14,17 @@ type bfsState struct {
 
 // BFS computes hop distances from src in the CONGEST model: each node
 // broadcasts its distance the round after it improves. It finishes within
-// eccentricity+1 rounds; messages are ⌈log n⌉+1 bits.
-func BFS(g *graph.Graph, src int) ([]int64, *Result[int64]) {
+// eccentricity+1 rounds; messages are ⌈log n⌉+1 bits. An optional probe
+// observes each round's bandwidth.
+func BFS(g *graph.Graph, src int, probe ...Probe) ([]int64, *Result[int64]) {
 	b := bits.Len(uint(g.N())) + 1
 	if b < 2 {
 		b = 2
 	}
 	alg := &Algorithm[bfsState]{
-		G: g,
-		B: b,
+		Probe: firstProbe(probe),
+		G:     g,
+		B:     b,
 		Init: func(v int) bfsState {
 			if v == src {
 				return bfsState{dist: 0, changed: true}
@@ -72,15 +74,17 @@ type ssspState struct {
 // distributed Bellman-Ford scheme (the classic O(n)-round algorithm, and
 // the skeleton that Nanongkai's Section 7 algorithm accelerates).
 // maxRounds bounds the rounds (pass k for hop-bounded distances, or
-// g.N() for exact SSSP); messages are ⌈log(nU)⌉+1 bits.
-func SSSP(g *graph.Graph, src, maxRounds int) ([]int64, *Result[int64]) {
+// g.N() for exact SSSP); messages are ⌈log(nU)⌉+1 bits. An optional
+// probe observes each round's bandwidth.
+func SSSP(g *graph.Graph, src, maxRounds int, probe ...Probe) ([]int64, *Result[int64]) {
 	b := bits.Len64(uint64(g.N())*uint64(maxInt64(g.MaxLen(), 1))) + 1
 	if b < 2 {
 		b = 2
 	}
 	alg := &Algorithm[ssspState]{
-		G: g,
-		B: b,
+		Probe: firstProbe(probe),
+		G:     g,
+		B:     b,
 		Init: func(v int) ssspState {
 			if v == src {
 				return ssspState{dist: 0, changed: true}
@@ -124,4 +128,12 @@ func maxInt64(a, b int64) int64 {
 		return a
 	}
 	return b
+}
+
+// firstProbe unwraps the optional trailing probe argument.
+func firstProbe(probe []Probe) Probe {
+	if len(probe) > 0 {
+		return probe[0]
+	}
+	return nil
 }

@@ -52,6 +52,15 @@ type Algorithm[S any] struct {
 	// Quiet, if non-nil, lets the runner stop early: the algorithm is
 	// done when a round exchanges no messages.
 	StopWhenQuiet bool
+	// Probe, when non-nil, observes every executed round's bandwidth.
+	Probe Probe
+}
+
+// Probe observes each CONGEST round with that round's deltas: non-silent
+// messages exchanged and their summed bit size. Scalar arguments only, so
+// probing allocates nothing (telemetry.Recorder implements it).
+type Probe interface {
+	OnCongestRound(round int, messages, bits int64)
 }
 
 // Result reports the run.
@@ -84,6 +93,7 @@ func (a *Algorithm[S]) Run(maxRounds int) *Result[S] {
 	for round := 1; round <= maxRounds; round++ {
 		nextInbox := make([][]Incoming, n)
 		sent := false
+		msgsBefore, bitsBefore := res.MessagesSent, res.TotalBits
 		for v := 0; v < n; v++ {
 			st, out := a.Round(round, v, states[v], inbox[v])
 			states[v] = st
@@ -113,6 +123,9 @@ func (a *Algorithm[S]) Run(maxRounds int) *Result[S] {
 		}
 		inbox = nextInbox
 		res.Rounds = round
+		if a.Probe != nil {
+			a.Probe.OnCongestRound(round, res.MessagesSent-msgsBefore, res.TotalBits-bitsBefore)
+		}
 		if a.StopWhenQuiet && !sent {
 			break
 		}

@@ -56,7 +56,10 @@ type SSSPResult struct {
 //
 // dst >= 0 halts the computation when dst first spikes (Definition 3's
 // terminal neuron); dst = -1 computes distances to every vertex.
-func SSSP(g *graph.Graph, src, dst int) *SSSPResult {
+//
+// An optional snn.StepProbe observes every simulated step (the telemetry
+// hook: per-step spikes, deliveries, active neurons, queue depth).
+func SSSP(g *graph.Graph, src, dst int, probe ...snn.StepProbe) *SSSPResult {
 	n := g.N()
 	if src < 0 || src >= n {
 		panic(fmt.Sprintf("core: source %d out of range [0,%d)", src, n))
@@ -70,6 +73,9 @@ func SSSP(g *graph.Graph, src, dst int) *SSSPResult {
 
 	rn := newRelayNetwork(g)
 	net, relays := rn.net, rn.relays
+	if len(probe) > 0 {
+		net.SetProbe(probe[0])
+	}
 	if dst >= 0 {
 		net.SetTerminal(relays[dst])
 	}

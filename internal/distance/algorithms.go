@@ -32,7 +32,7 @@ type BFResult struct {
 // the edge list (three words per edge: endpoints and length) and the two
 // distance arrays live on the lattice; each round relaxes every edge,
 // moving the edge record and the endpoint distances through a register.
-func BellmanFordKHop(g *graph.Graph, src, k, c int, placement Placement) *BFResult {
+func BellmanFordKHop(g *graph.Graph, src, k, c int, placement Placement, probe ...Probe) *BFResult {
 	n, mEdges := g.N(), g.M()
 	if src < 0 || src >= n {
 		panic(fmt.Sprintf("distance: source %d out of range", src))
@@ -42,6 +42,9 @@ func BellmanFordKHop(g *graph.Graph, src, k, c int, placement Placement) *BFResu
 	}
 	total := 3*mEdges + 2*n + 4
 	mach := NewMachine(total, c, placement)
+	if len(probe) > 0 {
+		mach.Probe = probe[0]
+	}
 	edgeSpan := mach.Alloc(3 * mEdges) // (from, to, len) per edge
 	curSpan := mach.Alloc(n)
 	nextSpan := mach.Alloc(n)
@@ -98,7 +101,7 @@ type DijkstraResult struct {
 // live on the lattice, and every access pays its travel. Even though
 // Dijkstra's RAM complexity is O(m + n log n), each of the m edge reads
 // alone costs Ω(√(m/c)) movement — the Theorem 6.1 floor.
-func Dijkstra(g *graph.Graph, src, c int, placement Placement) *DijkstraResult {
+func Dijkstra(g *graph.Graph, src, c int, placement Placement, probe ...Probe) *DijkstraResult {
 	n, mEdges := g.N(), g.M()
 	if src < 0 || src >= n {
 		panic(fmt.Sprintf("distance: source %d out of range", src))
@@ -106,6 +109,9 @@ func Dijkstra(g *graph.Graph, src, c int, placement Placement) *DijkstraResult {
 	heapCap := mEdges + n + 1
 	total := (n + 1) + 2*mEdges + n + 2*heapCap
 	mach := NewMachine(total, c, placement)
+	if len(probe) > 0 {
+		mach.Probe = probe[0]
+	}
 	offSpan := mach.Alloc(n + 1)
 	toSpan := mach.Alloc(mEdges)
 	lenSpan := mach.Alloc(mEdges)

@@ -45,6 +45,33 @@ const (
 	Clustered
 )
 
+// OpKind identifies a DISTANCE-machine primitive for probing.
+type OpKind int
+
+const (
+	KindLoad OpKind = iota
+	KindStore
+	KindOp
+)
+
+func (k OpKind) String() string {
+	switch k {
+	case KindLoad:
+		return "load"
+	case KindStore:
+		return "store"
+	default:
+		return "op"
+	}
+}
+
+// Probe observes every charged machine primitive with its ℓ1 movement
+// delta. Scalar arguments only, so probing allocates nothing; a nil probe
+// costs one branch per primitive (telemetry.Recorder implements it).
+type Probe interface {
+	OnDistanceOp(kind OpKind, cost int64)
+}
+
 // Machine is an instrumented DISTANCE-model memory.
 type Machine struct {
 	// Side is the data square's side length; words live at
@@ -57,6 +84,9 @@ type Machine struct {
 	Cost int64
 	// Loads, Stores and Ops count the primitive events.
 	Loads, Stores, Ops int64
+
+	// Probe, when non-nil, receives every primitive's cost delta.
+	Probe Probe
 }
 
 // NewMachine builds a machine able to hold totalWords words, with c
@@ -147,6 +177,9 @@ func (m *Machine) Load(i int) {
 	_, d := m.nearestReg(m.Addr(i))
 	m.Cost += d
 	m.Loads++
+	if m.Probe != nil {
+		m.Probe.OnDistanceOp(KindLoad, d)
+	}
 }
 
 // Store charges moving a register value out to word i.
@@ -154,6 +187,9 @@ func (m *Machine) Store(i int) {
 	_, d := m.nearestReg(m.Addr(i))
 	m.Cost += d
 	m.Stores++
+	if m.Probe != nil {
+		m.Probe.OnDistanceOp(KindStore, d)
+	}
 }
 
 // Op charges a two-operand operation per Definition 5: operands at words
@@ -169,4 +205,7 @@ func (m *Machine) Op(i1, i2, i3 int) {
 	}
 	m.Cost += best
 	m.Ops++
+	if m.Probe != nil {
+		m.Probe.OnDistanceOp(KindOp, best)
+	}
 }

@@ -30,6 +30,9 @@ type Machine3D struct {
 	Cost   int64
 	Loads  int64
 	Stores int64
+
+	// Probe, when non-nil, receives every primitive's cost delta.
+	Probe Probe
 }
 
 // NewMachine3D builds a cube-shaped machine holding totalWords with c
@@ -101,6 +104,9 @@ func (m *Machine3D) Load(i int) {
 	}
 	m.Cost += best
 	m.Loads++
+	if m.Probe != nil {
+		m.Probe.OnDistanceOp(KindLoad, best)
+	}
 }
 
 // ScanInput3D charges reading an m-word input once on the 3D machine —

@@ -108,23 +108,49 @@ func PartitionRoundRobin(g *graph.Graph, capacity int) *Assignment {
 	return a
 }
 
+// Probe observes every spike delivery of an analyzed run with its send
+// time and the chips involved (fromChip == toChip for on-chip routing).
+// Scalar arguments only, so probing allocates nothing; telemetry.Recorder
+// implements it and turns the stream into per-chip counters and trace
+// tracks.
+type Probe interface {
+	OnFleetDelivery(t int64, fromChip, toChip int)
+}
+
+// ChipShare is one chip's share of a run's deliveries.
+type ChipShare struct {
+	// Intra counts deliveries that stayed on this chip; Out and In count
+	// board-link deliveries this chip sent and received respectively.
+	Intra, Out, In int64
+}
+
 // Traffic reports where a run's spike deliveries travelled.
 type Traffic struct {
 	IntraChip int64 // deliveries between neurons on the same chip
 	InterChip int64 // deliveries crossing chip boundaries (board links)
 	CutEdges  int   // graph edges whose endpoints sit on different chips
+	// PerChip breaks the totals down by chip (summing Intra and Out over
+	// chips reproduces IntraChip and InterChip).
+	PerChip []ChipShare
 }
 
 // AnalyzeSSSP accounts the Section 3 SSSP run's traffic under an
 // assignment: the fire-once wavefront delivers exactly one spike per
-// out-edge of every reached vertex (dist[u] finite).
-func AnalyzeSSSP(g *graph.Graph, a *Assignment, dist []int64) *Traffic {
+// out-edge of every reached vertex (dist[u] finite). An optional probe
+// receives every delivery with its send time (the sender's first-spike
+// time, i.e. dist[u]).
+func AnalyzeSSSP(g *graph.Graph, a *Assignment, dist []int64, probe ...Probe) *Traffic {
 	if len(dist) != g.N() || len(a.Chip) != g.N() {
 		panic("fleet: size mismatch")
 	}
-	t := &Traffic{}
+	var p Probe
+	if len(probe) > 0 {
+		p = probe[0]
+	}
+	t := &Traffic{PerChip: make([]ChipShare, a.Chips)}
 	for _, e := range g.Edges() {
-		cross := a.Chip[e.From] != a.Chip[e.To]
+		from, to := a.Chip[e.From], a.Chip[e.To]
+		cross := from != to
 		if cross {
 			t.CutEdges++
 		}
@@ -133,8 +159,14 @@ func AnalyzeSSSP(g *graph.Graph, a *Assignment, dist []int64) *Traffic {
 		}
 		if cross {
 			t.InterChip++
+			t.PerChip[from].Out++
+			t.PerChip[to].In++
 		} else {
 			t.IntraChip++
+			t.PerChip[from].Intra++
+		}
+		if p != nil {
+			p.OnFleetDelivery(dist[e.From], from, to)
 		}
 	}
 	return t

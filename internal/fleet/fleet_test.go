@@ -94,6 +94,102 @@ func TestEnergyJoules(t *testing.T) {
 	tr.EnergyJoules(0, 10)
 }
 
+func TestAnalyzeSSSPUnreachableSenders(t *testing.T) {
+	// 0 -> 1 is reachable; 2 -> 3 sits in a separate component. The cut
+	// is a static property of the placement, but the 2->3 synapse never
+	// carries a spike, so it must not show up in the traffic totals.
+	g := graph.New(4)
+	g.AddEdge(0, 1, 1)
+	g.AddEdge(2, 3, 1)
+	a := &Assignment{Chip: []int{0, 1, 0, 1}, Chips: 2, Capacity: 2}
+	if err := a.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	dist := core.SSSP(g, 0, -1).Dist
+	if dist[2] < graph.Inf || dist[3] < graph.Inf {
+		t.Fatalf("vertices 2,3 should be unreachable: %v", dist)
+	}
+	tr := AnalyzeSSSP(g, a, dist)
+	if tr.CutEdges != 2 {
+		t.Fatalf("cut edges %d, want 2", tr.CutEdges)
+	}
+	if tr.IntraChip != 0 || tr.InterChip != 1 {
+		t.Fatalf("traffic %+v, want 0 intra / 1 inter", tr)
+	}
+	if tr.PerChip[0].Out != 1 || tr.PerChip[1].In != 1 {
+		t.Fatalf("per-chip shares %+v", tr.PerChip)
+	}
+	if tr.PerChip[0].Intra != 0 || tr.PerChip[1].Out != 0 {
+		t.Fatalf("unreached component produced traffic: %+v", tr.PerChip)
+	}
+}
+
+func TestSingleChipPerChipShares(t *testing.T) {
+	g := graph.RandomGnm(20, 80, graph.Uniform(4), 1, true)
+	a := PartitionBFS(g, 100)
+	dist := core.SSSP(g, 0, -1).Dist
+	tr := AnalyzeSSSP(g, a, dist)
+	if len(tr.PerChip) != 1 {
+		t.Fatalf("per-chip length %d, want 1", len(tr.PerChip))
+	}
+	s := tr.PerChip[0]
+	if s.Out != 0 || s.In != 0 {
+		t.Fatalf("single chip has board-link traffic: %+v", s)
+	}
+	if s.Intra != tr.IntraChip {
+		t.Fatalf("chip share %d != intra total %d", s.Intra, tr.IntraChip)
+	}
+}
+
+func TestPerChipSharesSumToTotals(t *testing.T) {
+	g := graph.RandomGnm(40, 160, graph.Uniform(5), 9, true)
+	a := PartitionBFS(g, 7)
+	dist := core.SSSP(g, 0, -1).Dist
+	tr := AnalyzeSSSP(g, a, dist)
+	if len(tr.PerChip) != a.Chips {
+		t.Fatalf("per-chip length %d, want %d chips", len(tr.PerChip), a.Chips)
+	}
+	var intra, out, in int64
+	for _, s := range tr.PerChip {
+		intra += s.Intra
+		out += s.Out
+		in += s.In
+	}
+	if intra != tr.IntraChip {
+		t.Fatalf("sum of intra shares %d != %d", intra, tr.IntraChip)
+	}
+	if out != tr.InterChip || in != tr.InterChip {
+		t.Fatalf("sum of out %d / in %d shares != inter total %d", out, in, tr.InterChip)
+	}
+}
+
+func TestEnergyJoulesInvalidParams(t *testing.T) {
+	tr := &Traffic{IntraChip: 10, InterChip: 1}
+	for _, tc := range []struct {
+		name                     string
+		pjPerSpike, boardPenalty float64
+	}{
+		{"zero pj", 0, 100},
+		{"negative pj", -23.6, 100},
+		{"penalty below one", 23.6, 0.5},
+		{"negative penalty", 23.6, -1},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("EnergyJoules(%v, %v) accepted", tc.pjPerSpike, tc.boardPenalty)
+				}
+			}()
+			tr.EnergyJoules(tc.pjPerSpike, tc.boardPenalty)
+		})
+	}
+	// boardPenalty == 1 is the boundary: board links as cheap as on-chip
+	// routing is legal (a degenerate but meaningful model).
+	if e := tr.EnergyJoules(1, 1); e <= 0 {
+		t.Fatalf("boundary penalty rejected: %v", e)
+	}
+}
+
 // Property: both partitioners always produce valid assignments and
 // identical total traffic (placement moves events between intra/inter,
 // never changes the total).

@@ -8,14 +8,13 @@ import (
 	"repro/internal/snn"
 )
 
-// SSSPRaster runs the Section 3 relay network with spike recording and
-// renders the wavefront as an ASCII raster: one row per vertex, a '|' at
-// the step its neuron fired. The row order is by distance, so the
-// diagonal sweep of the wavefront — the "spike timing mimics the priority
-// queue" picture — is visible directly.
-func SSSPRaster(g *graph.Graph, src int) string {
+// runWavefront builds the Section 3 relay network with spike recording,
+// optionally attaches a telemetry probe, and runs it to quiescence. It
+// returns the network and the relay neuron ids (== vertex ids).
+func runWavefront(g *graph.Graph, src int, probe snn.StepProbe) (*snn.Network, []int) {
 	n := g.N()
 	net := snn.NewNetwork(snn.Config{Rule: snn.FireGTE, Record: true})
+	net.SetProbe(probe)
 	relays := make([]int, n)
 	for v := 0; v < n; v++ {
 		relays[v] = net.AddNeuron(snn.Integrator(1))
@@ -29,14 +28,19 @@ func SSSPRaster(g *graph.Graph, src int) string {
 	net.InduceSpike(relays[src], 0)
 	horizon := int64(n)*maxInt64(g.MaxLen(), 1) + 1
 	net.Run(horizon)
+	return net, relays
+}
 
+// wavefrontRows orders the reached vertices by first-spike time (the
+// raster's diagonal sweep) and returns their raster ids, row labels, and
+// the last spike time L.
+func wavefrontRows(net *snn.Network, relays []int) (ids []int, labels []string, last int64) {
 	type row struct {
 		v int
 		t int64
 	}
-	rows := make([]row, 0, n)
-	var last int64
-	for v := 0; v < n; v++ {
+	rows := make([]row, 0, len(relays))
+	for v := range relays {
 		t := net.FirstSpike(relays[v])
 		if t < 0 {
 			continue
@@ -52,15 +56,26 @@ func SSSPRaster(g *graph.Graph, src int) string {
 			rows[j], rows[j-1] = rows[j-1], rows[j]
 		}
 	}
-	ids := make([]int, len(rows))
-	labels := make([]string, len(rows))
+	ids = make([]int, len(rows))
+	labels = make([]string, len(rows))
 	for i, r := range rows {
 		ids[i] = relays[r.v]
 		labels[i] = fmt.Sprintf("v%-3d d=%-4d", r.v, r.t)
 	}
+	return ids, labels, last
+}
+
+// SSSPRaster runs the Section 3 relay network with spike recording and
+// renders the wavefront as an ASCII raster: one row per vertex, a '|' at
+// the step its neuron fired. The row order is by distance, so the
+// diagonal sweep of the wavefront — the "spike timing mimics the priority
+// queue" picture — is visible directly.
+func SSSPRaster(g *graph.Graph, src int) string {
+	net, relays := runWavefront(g, src, nil)
+	ids, labels, last := wavefrontRows(net, relays)
 	var b strings.Builder
 	fmt.Fprintf(&b, "spiking SSSP wavefront (n=%d, m=%d, src=%d): %d vertices reached, L=%d\n",
-		n, g.M(), src, len(rows), last)
+		g.N(), g.M(), src, len(ids), last)
 	b.WriteString(net.RenderRaster(ids, labels, 0, last))
 	return b.String()
 }

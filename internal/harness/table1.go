@@ -29,6 +29,9 @@ type Table1Config struct {
 	// SkipMovement skips the DISTANCE/crossbar measurements (they carry
 	// Θ(n²) crossbar networks and are the slow half).
 	SkipMovement bool
+	// DistanceProbe, when non-nil, observes every DISTANCE-machine
+	// primitive of the movement half (spaabench table1 -metrics).
+	DistanceProbe distance.Probe
 }
 
 // DefaultTable1Config returns the sweep used by the checked-in
@@ -135,8 +138,12 @@ func RunTable1(cfg Table1Config) *Table1Report {
 		}
 
 		// --- with data movement (E5) ---
-		dijMove := distance.Dijkstra(g, 0, cfg.C, distance.Spread)
-		bfMove := distance.BellmanFordKHop(g, 0, cfg.K, cfg.C, distance.Spread)
+		var dprobes []distance.Probe
+		if cfg.DistanceProbe != nil {
+			dprobes = append(dprobes, cfg.DistanceProbe)
+		}
+		dijMove := distance.Dijkstra(g, 0, cfg.C, distance.Spread, dprobes...)
+		bfMove := distance.BellmanFordKHop(g, 0, cfg.K, cfg.C, distance.Spread, dprobes...)
 
 		cb := crossbar.New(n)
 		if _, err := cb.Embed(g); err != nil {

@@ -95,6 +95,25 @@ func BenchmarkEngineVsDense(b *testing.B) {
 	})
 }
 
+// BenchmarkEngineProbeOverhead guards the telemetry hook's cost contract:
+// with a nil probe the step loop pays only a branch (the nil case must
+// match the seed engine's numbers), and even an attached counting probe
+// adds no per-step allocations.
+func BenchmarkEngineProbeOverhead(b *testing.B) {
+	run := func(b *testing.B, probe StepProbe) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			net := buildWavefront(1024, 4096, 42)
+			net.SetProbe(probe)
+			b.StartTimer()
+			net.Run(1 << 30)
+		}
+	}
+	b.Run("nil", func(b *testing.B) { run(b, nil) })
+	b.Run("counting", func(b *testing.B) { run(b, &countingProbe{}) })
+}
+
 func BenchmarkNetlistRoundTrip(b *testing.B) {
 	net := buildWavefront(512, 2048, 3)
 	b.ReportAllocs()

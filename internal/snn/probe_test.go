@@ -1,0 +1,133 @@
+package snn
+
+import (
+	"strings"
+	"testing"
+)
+
+// countingProbe is a minimal StepProbe for engine-level tests (the full
+// aggregating implementation lives in internal/telemetry).
+type countingProbe struct {
+	steps, spikes, deliveries int64
+	maxQueue                  int64
+}
+
+func (p *countingProbe) OnStep(t int64, spikes, deliveries, active, queueDepth int) {
+	p.steps++
+	p.spikes += int64(spikes)
+	p.deliveries += int64(deliveries)
+	if q := int64(queueDepth); q > p.maxQueue {
+		p.maxQueue = q
+	}
+}
+
+func TestProbeSeesEveryStep(t *testing.T) {
+	net := buildWavefront(128, 512, 11)
+	p := &countingProbe{}
+	net.SetProbe(p)
+	net.Run(1 << 30)
+	st := net.TotalStats()
+	if p.steps != st.Steps {
+		t.Fatalf("probe saw %d steps, stats %d", p.steps, st.Steps)
+	}
+	if p.spikes != st.Spikes {
+		t.Fatalf("probe saw %d spikes, stats %d", p.spikes, st.Spikes)
+	}
+	if p.deliveries != st.Deliveries {
+		t.Fatalf("probe saw %d deliveries, stats %d", p.deliveries, st.Deliveries)
+	}
+	if p.maxQueue > st.MaxQueueDepth {
+		t.Fatalf("probe max queue %d exceeds stats %d", p.maxQueue, st.MaxQueueDepth)
+	}
+}
+
+func TestStatsQueueDepthAndSilentSkips(t *testing.T) {
+	// A three-neuron chain with delay-10 synapses: the engine processes
+	// exactly 3 steps (t=0,10,20) and skips the 18 silent ones between.
+	net := NewNetwork(Config{})
+	a := net.AddNeuron(Gate(1))
+	b := net.AddNeuron(Gate(1))
+	c := net.AddNeuron(Gate(1))
+	net.Connect(a, b, 1, 10)
+	net.Connect(b, c, 1, 10)
+	net.InduceSpike(a, 0)
+	net.Run(100)
+	st := net.TotalStats()
+	if st.Steps != 3 {
+		t.Fatalf("steps %d", st.Steps)
+	}
+	if st.SilentStepsSkipped != 18 {
+		t.Fatalf("silent skips %d, want 18", st.SilentStepsSkipped)
+	}
+	// Queue high-water: at most one delivery is ever in flight.
+	if st.MaxQueueDepth != 1 {
+		t.Fatalf("max queue depth %d, want 1", st.MaxQueueDepth)
+	}
+
+	// Reset clears the new counters too.
+	net.Reset()
+	if got := net.TotalStats(); got != (Stats{}) {
+		t.Fatalf("stats after reset: %+v", got)
+	}
+	// A silent gap before the first event counts as skipped.
+	net.InduceSpike(a, 5)
+	net.Run(100)
+	if got := net.TotalStats().SilentStepsSkipped; got != 5+18 {
+		t.Fatalf("silent skips after reset %d, want 23", got)
+	}
+}
+
+func TestMaxQueueDepthCountsFanout(t *testing.T) {
+	// A hub spiking into 50 targets schedules 50 deliveries at once.
+	net := NewNetwork(Config{})
+	hub := net.AddNeuron(Gate(1))
+	for i := 0; i < 50; i++ {
+		v := net.AddNeuron(Gate(1))
+		net.Connect(hub, v, 1, int64(1+i%7))
+	}
+	net.InduceSpike(hub, 0)
+	net.Run(100)
+	if got := net.TotalStats().MaxQueueDepth; got != 50 {
+		t.Fatalf("max queue depth %d, want 50", got)
+	}
+}
+
+func TestRenderRasterTensMarks(t *testing.T) {
+	n := NewNetwork(Config{Record: true})
+	a := n.AddNeuron(Gate(1))
+	n.InduceSpike(a, 0)
+	n.Run(40)
+	out := n.RenderRaster([]int{a}, nil, 0, 35)
+	header := strings.Split(out, "\n")[0]
+	for _, tick := range []string{"t=0", "10", "20", "30"} {
+		if !strings.Contains(header, tick) {
+			t.Fatalf("header %q missing tick %q", header, tick)
+		}
+	}
+	// Each tick must start in the column of its time step: the label
+	// column width is len("n0") = 2, plus one separator space.
+	if idx := strings.Index(header, "10"); idx != 2+1+10 {
+		t.Fatalf("tick 10 at column %d of %q", idx, header)
+	}
+	if idx := strings.Index(header, "30"); idx != 2+1+30 {
+		t.Fatalf("tick 30 at column %d of %q", idx, header)
+	}
+
+	// Short ranges keep the t=from label and gain no spurious ticks.
+	short := n.RenderRaster([]int{a}, nil, 3, 7)
+	h := strings.Split(short, "\n")[0]
+	if !strings.Contains(h, "t=3") || strings.Contains(h, "10") {
+		t.Fatalf("short header %q", h)
+	}
+	// A tick whose column would collide with the previous label is dropped
+	// rather than corrupted: from=8 puts "t=8" at columns 0-2, colliding
+	// with the tick for 10 (column 2); 20 (column 12) still lands.
+	collide := n.RenderRaster([]int{a}, nil, 8, 28)
+	h = strings.Split(collide, "\n")[0]
+	if !strings.Contains(h, "t=8") || !strings.Contains(h, "20") {
+		t.Fatalf("collision header %q", h)
+	}
+	if strings.Contains(h, "10") {
+		t.Fatalf("collision header kept overlapping tick: %q", h)
+	}
+}

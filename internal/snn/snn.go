@@ -123,6 +123,18 @@ type Config struct {
 	Record bool
 }
 
+// StepProbe observes every non-silent simulation step. The engine calls
+// OnStep once per processed time step with that step's deltas: the number
+// of neurons that fired, the synaptic deliveries consumed, the neurons
+// whose membrane state was touched, and the pending-event queue depth
+// (deliveries plus induced spikes still scheduled) after the step. All
+// arguments are scalars so a probe costs one interface call and zero
+// allocations; a nil probe costs a single predictable branch
+// (telemetry.Recorder is the standard implementation).
+type StepProbe interface {
+	OnStep(t int64, spikes, deliveries, active, queueDepth int)
+}
+
 // Network is a spiking neural network: a directed graph of LIF neurons.
 // Build the topology with AddNeuron/Connect, inject inputs with
 // InduceSpike, then call Run. Reset restores dynamic state so the same
@@ -156,25 +168,43 @@ type Network struct {
 	gen int64
 
 	stats Stats
+	// pendingEvents counts scheduled-but-unconsumed deliveries and forced
+	// spikes; its running maximum is Stats.MaxQueueDepth.
+	pendingEvents int64
+	lastStep      int64 // last processed step time, -1 before any step
+	probe         StepProbe
 }
 
 // Stats aggregates the cost measures of a simulation: Spikes is the total
 // number of firings, Deliveries the number of synaptic events (the energy
 // proxy of Table 3's pJ/spike-event accounting), and Steps the number of
-// non-silent time steps actually processed.
+// non-silent time steps actually processed. MaxQueueDepth is the high-water
+// mark of scheduled-but-unconsumed events (deliveries + induced spikes),
+// the engine's memory footprint; SilentStepsSkipped counts the simulated
+// time steps the event-driven engine never materialized — the measurable
+// payoff of the silence-skipping optimization (Steps + SilentStepsSkipped
+// spans the simulated interval actually covered).
 type Stats struct {
-	Spikes     int64
-	Deliveries int64
-	Steps      int64
+	Spikes             int64
+	Deliveries         int64
+	Steps              int64
+	MaxQueueDepth      int64
+	SilentStepsSkipped int64
 }
 
 // NewNetwork returns an empty network with the given configuration.
 func NewNetwork(cfg Config) *Network {
 	return &Network{
-		cfg:     cfg,
-		pending: make(map[int64]*bucket),
+		cfg:      cfg,
+		pending:  make(map[int64]*bucket),
+		lastStep: -1,
 	}
 }
+
+// SetProbe installs (or, with nil, removes) a per-step observer. Probing
+// adds no per-step allocations; with a nil probe the step loop pays only
+// a nil check (guarded by BenchmarkEngineProbeOverhead).
+func (n *Network) SetProbe(p StepProbe) { n.probe = p }
 
 // N returns the number of neurons.
 func (n *Network) N() int { return len(n.neurons) }
@@ -257,6 +287,7 @@ func (n *Network) InduceSpike(i int, t int64) {
 	}
 	b := n.bucketAt(t)
 	b.forced = append(b.forced, int32(i))
+	n.pendingEvents++
 }
 
 // SetTerminal marks neuron i as a terminal: Run halts (after finishing the
@@ -310,6 +341,11 @@ func (n *Network) Run(maxTime int64) Result {
 		b := n.pending[t]
 		delete(n.pending, t)
 		n.now = t
+		n.pendingEvents -= int64(len(b.deliveries) + len(b.forced))
+		if t > n.lastStep+1 {
+			n.stats.SilentStepsSkipped += t - n.lastStep - 1
+		}
+		n.lastStep = t
 		if n.step(t, b) {
 			return Result{Halted: true, TerminalTime: t, Now: t, Stats: n.stats}
 		}
@@ -390,6 +426,10 @@ func (n *Network) step(t int64, b *bucket) bool {
 			nb := n.bucketAt(t + s.delay)
 			nb.deliveries = append(nb.deliveries, delivery{to: s.to, from: i, weight: s.weight})
 		}
+		n.pendingEvents += int64(len(n.out[i]))
+	}
+	if n.pendingEvents > n.stats.MaxQueueDepth {
+		n.stats.MaxQueueDepth = n.pendingEvents
 	}
 	if len(n.terminals) > 0 {
 		if n.terminalAll {
@@ -408,6 +448,9 @@ func (n *Network) step(t int64, b *bucket) bool {
 				}
 			}
 		}
+	}
+	if n.probe != nil {
+		n.probe.OnStep(t, len(fired), len(b.deliveries), len(n.touched), int(n.pendingEvents))
 	}
 	return terminal
 }
@@ -541,4 +584,6 @@ func (n *Network) Reset() {
 	n.now = 0
 	n.gen = 0
 	n.stats = Stats{}
+	n.pendingEvents = 0
+	n.lastStep = -1
 }

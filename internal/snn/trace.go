@@ -31,8 +31,10 @@ func (n *Network) RenderRaster(ids []int, labels []string, from, to int64) strin
 		}
 	}
 	var b strings.Builder
-	// Header with tens marks every 10 steps.
-	fmt.Fprintf(&b, "%*s t=%d", width, "", from)
+	// Header with tens marks every 10 steps: the tick value is printed in
+	// the column of its time step (t=from always gets a tick; later ticks
+	// that would collide with the previous label are dropped).
+	fmt.Fprintf(&b, "%*s %s", width, "", tensMarks(from, to))
 	b.WriteByte('\n')
 	for i, id := range ids {
 		fmt.Fprintf(&b, "%*s ", width, labelFor(i, id, labels))
@@ -58,4 +60,35 @@ func labelFor(i, id int, labels []string) string {
 		return labels[i]
 	}
 	return fmt.Sprintf("n%d", id)
+}
+
+// tensMarks renders the raster header ruler for [from, to]: the decimal
+// value of every tenth time step, each starting in its own column, with
+// "t=" prefixed to the first tick.
+func tensMarks(from, to int64) string {
+	cols := make([]byte, to-from+1)
+	for i := range cols {
+		cols[i] = ' '
+	}
+	place := func(col int64, label string) {
+		end := col + int64(len(label))
+		if end > int64(len(cols)) {
+			end = int64(len(cols))
+		}
+		if col > 0 && cols[col-1] != ' ' {
+			return // would abut the previous label
+		}
+		for j := col; j < end; j++ {
+			if cols[j] != ' ' {
+				return // would overwrite the previous label
+			}
+		}
+		copy(cols[col:end], label)
+	}
+	place(0, fmt.Sprintf("t=%d", from))
+	next := (from/10 + 1) * 10 // first multiple of 10 strictly after from
+	for t := next; t <= to; t += 10 {
+		place(t-from, fmt.Sprintf("%d", t))
+	}
+	return strings.TrimRight(string(cols), " ")
 }

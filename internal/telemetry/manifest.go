@@ -1,0 +1,132 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/snn"
+)
+
+// ManifestSchema identifies the run-manifest JSON format; bump the suffix
+// on breaking changes. Checked-in BENCH_*.json baselines use this format.
+const ManifestSchema = "spaa-run-manifest/v1"
+
+// GraphParams records the workload graph of a run.
+type GraphParams struct {
+	N      int    `json:"n"`
+	M      int    `json:"m"`
+	MaxLen int64  `json:"max_len,omitempty"`
+	Seed   int64  `json:"seed,omitempty"`
+	Kind   string `json:"kind,omitempty"`
+}
+
+// RunStats mirrors snn.Stats in the manifest's stable JSON spelling.
+type RunStats struct {
+	Spikes             int64 `json:"spikes"`
+	Deliveries         int64 `json:"deliveries"`
+	Steps              int64 `json:"steps"`
+	MaxQueueDepth      int64 `json:"max_queue_depth"`
+	SilentStepsSkipped int64 `json:"silent_steps_skipped"`
+}
+
+// StatsFrom converts simulator statistics into manifest form.
+func StatsFrom(s snn.Stats) *RunStats {
+	return &RunStats{
+		Spikes:             s.Spikes,
+		Deliveries:         s.Deliveries,
+		Steps:              s.Steps,
+		MaxQueueDepth:      s.MaxQueueDepth,
+		SilentStepsSkipped: s.SilentStepsSkipped,
+	}
+}
+
+// Manifest is the structured record of one benchmark run: what was run
+// (tool, command, config, graph), what it cost (stats, counters), and how
+// the cost unfolded over time (series). It is the format `spaabench
+// -metrics` emits and BENCH_*.json baselines are committed in.
+type Manifest struct {
+	Schema  string `json:"schema"`
+	Tool    string `json:"tool"`
+	Command string `json:"command,omitempty"`
+	// CreatedUnixMS is the wall-clock creation time (Unix milliseconds);
+	// WallMS is the measured duration of the run itself.
+	CreatedUnixMS int64   `json:"created_unix_ms,omitempty"`
+	WallMS        float64 `json:"wall_ms,omitempty"`
+
+	Config   map[string]any   `json:"config,omitempty"`
+	Graph    *GraphParams     `json:"graph,omitempty"`
+	Stats    *RunStats        `json:"stats,omitempty"`
+	Counters map[string]int64 `json:"counters,omitempty"`
+	Series   []Series         `json:"series,omitempty"`
+}
+
+// NewManifest returns a manifest skeleton for the given tool/command.
+func NewManifest(tool, command string) *Manifest {
+	return &Manifest{Schema: ManifestSchema, Tool: tool, Command: command}
+}
+
+// AddRecorder folds a Recorder's counters and series into the manifest.
+func (m *Manifest) AddRecorder(r *Recorder) *Manifest {
+	if r == nil {
+		return m
+	}
+	if len(r.counters) > 0 {
+		if m.Counters == nil {
+			m.Counters = make(map[string]int64)
+		}
+		//lint:deterministic copies into a map; per-key, order-independent
+		for k, v := range r.counters {
+			m.Counters[k] += v
+		}
+	}
+	m.Series = append(m.Series, r.Series()...)
+	return m
+}
+
+// SetConfig stores one config key (flag values, sweep parameters).
+func (m *Manifest) SetConfig(key string, value any) *Manifest {
+	if m.Config == nil {
+		m.Config = make(map[string]any)
+	}
+	m.Config[key] = value
+	return m
+}
+
+// Encode writes the manifest as indented JSON.
+func (m *Manifest) Encode(w io.Writer) error {
+	if m.Schema == "" {
+		return fmt.Errorf("telemetry: manifest missing schema")
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(m)
+}
+
+// WriteFile writes the manifest to path (the -metrics flag target).
+func (m *Manifest) WriteFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := m.Encode(f); err != nil {
+		f.Close()
+		return fmt.Errorf("telemetry: encoding manifest: %w", err)
+	}
+	return f.Close()
+}
+
+// ReadManifest parses a manifest (schema-checked) — the validation path
+// CI's smoke test and the bench-trajectory tooling use.
+func ReadManifest(r io.Reader) (*Manifest, error) {
+	var m Manifest
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&m); err != nil {
+		return nil, fmt.Errorf("telemetry: parsing manifest: %w", err)
+	}
+	if m.Schema != ManifestSchema {
+		return nil, fmt.Errorf("telemetry: unknown manifest schema %q (want %q)", m.Schema, ManifestSchema)
+	}
+	return &m, nil
+}

@@ -1,0 +1,75 @@
+package telemetry
+
+import "strings"
+
+// sparkRunes are the eight block heights of a sparkline column; index 0
+// is reserved for exact zero so silence is visually distinct.
+var sparkRunes = []rune("·▁▂▃▄▅▆▇█")
+
+// Sparkline renders values as one block character per sample, scaled to
+// the series maximum ('·' marks exact zeros). The inline companion to the
+// spike raster: `spaabench timeline` prints spikes/step this way.
+func Sparkline(values []int64) string {
+	var max int64
+	for _, v := range values {
+		if v > max {
+			max = v
+		}
+	}
+	var b strings.Builder
+	for _, v := range values {
+		b.WriteRune(sparkRune(v, max))
+	}
+	return b.String()
+}
+
+// SparklineWidth renders values max-pooled down to at most width columns
+// (wide runs stay readable in a terminal). width < 1 defaults to 80.
+func SparklineWidth(values []int64, width int) string {
+	if width < 1 {
+		width = 80
+	}
+	if len(values) <= width {
+		return Sparkline(values)
+	}
+	pooled := make([]int64, width)
+	for i, v := range values {
+		// Bucket i*width/len keeps pooling exact with integer math.
+		b := i * width / len(values)
+		if v > pooled[b] {
+			pooled[b] = v
+		}
+	}
+	return Sparkline(pooled)
+}
+
+func sparkRune(v, max int64) rune {
+	if v <= 0 {
+		return sparkRunes[0]
+	}
+	if max <= 0 {
+		return sparkRunes[0]
+	}
+	// Scale 1..max onto the 8 non-zero glyphs (ceiling, so v==max hits █).
+	idx := int((v*int64(len(sparkRunes)-1) + max - 1) / max)
+	if idx >= len(sparkRunes) {
+		idx = len(sparkRunes) - 1
+	}
+	return sparkRunes[idx]
+}
+
+// Timeline expands a sparse series (times, values) onto the dense step
+// axis [from, to] so sparklines align column-for-column with a raster
+// rendered over the same interval.
+func Timeline(s *Series, from, to int64) []int64 {
+	if to < from {
+		return nil
+	}
+	dense := make([]int64, to-from+1)
+	for i, t := range s.Times {
+		if t >= from && t <= to {
+			dense[t-from] = s.Values[i]
+		}
+	}
+	return dense
+}

@@ -1,0 +1,233 @@
+// Package telemetry is the observability backbone of the reproduction:
+// it turns the per-event probe streams of the simulator stack into time
+// series, counters, JSON run manifests (the BENCH_*.json format), and
+// Chrome trace_event files viewable in Perfetto.
+//
+// The paper's entire argument is a cost accounting — spikes, synaptic
+// deliveries, time steps, ℓ1 movement, message bits — so every
+// instrumented engine exposes a small probe interface called with scalar
+// deltas only (no per-event allocation, a single nil-check when probing
+// is off):
+//
+//   - snn.StepProbe       — per simulated step: spikes, deliveries,
+//     active neurons, pending-queue depth
+//   - distance.Probe      — per machine primitive: kind and ℓ1 cost delta
+//   - congest.Probe       — per round: messages and bits exchanged
+//   - fleet.Probe         — per delivery: send time and chips involved
+//
+// Recorder implements all four, so one value can watch a whole vertical
+// run (graph → algorithm → simulator → chips). See docs/OBSERVABILITY.md.
+package telemetry
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/distance"
+)
+
+// Series is one named time series of a run manifest: parallel time and
+// value vectors (times are simulated steps, CONGEST rounds, or whatever
+// unit the producing probe uses).
+type Series struct {
+	Name   string  `json:"name"`
+	Times  []int64 `json:"t"`
+	Values []int64 `json:"v"`
+}
+
+// Sum returns the sum of the series' values.
+func (s *Series) Sum() int64 {
+	var total int64
+	for _, v := range s.Values {
+		total += v
+	}
+	return total
+}
+
+// fleetEvent is one probed chip-to-chip delivery.
+type fleetEvent struct {
+	t        int64
+	from, to int
+}
+
+// Recorder aggregates probe callbacks into time series and counters. It
+// implements snn.StepProbe, distance.Probe, congest.Probe and
+// fleet.Probe; attach it with snn.(*Network).SetProbe, distance
+// Machine.Probe, congest Algorithm.Probe, or the optional trailing probe
+// argument the algorithm entry points accept. A Recorder is not safe for
+// concurrent use; give each engine under test its own or serialize runs.
+type Recorder struct {
+	stepT, stepSpikes, stepDeliveries, stepActive, stepQueue []int64
+
+	roundT, roundMessages, roundBits []int64
+
+	fleetEvents []fleetEvent
+	chipCount   int
+
+	counters map[string]int64
+}
+
+// NewRecorder returns an empty Recorder.
+func NewRecorder() *Recorder {
+	return &Recorder{counters: make(map[string]int64)}
+}
+
+// OnStep implements snn.StepProbe: one sample per non-silent simulated
+// step.
+func (r *Recorder) OnStep(t int64, spikes, deliveries, active, queueDepth int) {
+	r.stepT = append(r.stepT, t)
+	r.stepSpikes = append(r.stepSpikes, int64(spikes))
+	r.stepDeliveries = append(r.stepDeliveries, int64(deliveries))
+	r.stepActive = append(r.stepActive, int64(active))
+	r.stepQueue = append(r.stepQueue, int64(queueDepth))
+}
+
+// OnDistanceOp implements distance.Probe: per-primitive ℓ1 cost deltas,
+// aggregated into movement counters by kind.
+func (r *Recorder) OnDistanceOp(kind distance.OpKind, cost int64) {
+	r.counters["distance_"+kind.String()+"s"]++
+	r.counters["distance_movement"] += cost
+}
+
+// OnCongestRound implements congest.Probe: one sample per executed round.
+func (r *Recorder) OnCongestRound(round int, messages, bits int64) {
+	r.roundT = append(r.roundT, int64(round))
+	r.roundMessages = append(r.roundMessages, messages)
+	r.roundBits = append(r.roundBits, bits)
+	r.counters["congest_messages"] += messages
+	r.counters["congest_bits"] += bits
+}
+
+// OnFleetDelivery implements fleet.Probe: one event per spike delivery
+// with its send time and the chips involved.
+func (r *Recorder) OnFleetDelivery(t int64, fromChip, toChip int) {
+	r.fleetEvents = append(r.fleetEvents, fleetEvent{t: t, from: fromChip, to: toChip})
+	if fromChip >= r.chipCount {
+		r.chipCount = fromChip + 1
+	}
+	if toChip >= r.chipCount {
+		r.chipCount = toChip + 1
+	}
+	if fromChip == toChip {
+		r.counters["fleet_intra"]++
+	} else {
+		r.counters["fleet_inter"]++
+	}
+}
+
+// Add accumulates an ad-hoc named counter (CLI commands use it for
+// quantities that have no probe stream, e.g. flow sweep rounds).
+func (r *Recorder) Add(name string, delta int64) {
+	r.counters[name] += delta
+}
+
+// Counter returns the current value of a named counter (0 if never added).
+func (r *Recorder) Counter(name string) int64 { return r.counters[name] }
+
+// StepCount returns the number of recorded simulator steps.
+func (r *Recorder) StepCount() int { return len(r.stepT) }
+
+// TotalSpikes returns the sum of the per-step spike series — by
+// construction equal to the run's snn.Stats.Spikes.
+func (r *Recorder) TotalSpikes() int64 {
+	var total int64
+	for _, v := range r.stepSpikes {
+		total += v
+	}
+	return total
+}
+
+// TotalDeliveries returns the sum of the per-step delivery series.
+func (r *Recorder) TotalDeliveries() int64 {
+	var total int64
+	for _, v := range r.stepDeliveries {
+		total += v
+	}
+	return total
+}
+
+// StepSeries returns the named per-step series ("spikes", "deliveries",
+// "active", "queue_depth") or nil if nothing was recorded.
+func (r *Recorder) StepSeries(name string) *Series {
+	if len(r.stepT) == 0 {
+		return nil
+	}
+	var vals []int64
+	switch name {
+	case "spikes":
+		vals = r.stepSpikes
+	case "deliveries":
+		vals = r.stepDeliveries
+	case "active":
+		vals = r.stepActive
+	case "queue_depth":
+		vals = r.stepQueue
+	default:
+		return nil
+	}
+	return &Series{Name: name + "_per_step", Times: r.stepT, Values: vals}
+}
+
+// Series returns every recorded time series in deterministic order:
+// the per-step simulator series, the per-round CONGEST series, and one
+// sends-per-step series per chip seen by the fleet probe.
+func (r *Recorder) Series() []Series {
+	var out []Series
+	for _, name := range []string{"spikes", "deliveries", "active", "queue_depth"} {
+		if s := r.StepSeries(name); s != nil {
+			out = append(out, *s)
+		}
+	}
+	if len(r.roundT) > 0 {
+		out = append(out,
+			Series{Name: "messages_per_round", Times: r.roundT, Values: r.roundMessages},
+			Series{Name: "bits_per_round", Times: r.roundT, Values: r.roundBits},
+		)
+	}
+	out = append(out, r.chipSeries()...)
+	return out
+}
+
+// chipSeries aggregates fleet events into one sends-per-time series per
+// source chip.
+func (r *Recorder) chipSeries() []Series {
+	if len(r.fleetEvents) == 0 {
+		return nil
+	}
+	perChip := make([]map[int64]int64, r.chipCount)
+	for _, e := range r.fleetEvents {
+		if perChip[e.from] == nil {
+			perChip[e.from] = make(map[int64]int64)
+		}
+		perChip[e.from][e.t]++
+	}
+	var out []Series
+	for chip, m := range perChip {
+		if m == nil {
+			continue
+		}
+		times := make([]int64, 0, len(m))
+		//lint:deterministic keys are sorted below before use
+		for t := range m {
+			times = append(times, t)
+		}
+		sort.Slice(times, func(i, j int) bool { return times[i] < times[j] })
+		s := Series{Name: fmt.Sprintf("chip%d_sends_per_step", chip)}
+		for _, t := range times {
+			s.Times = append(s.Times, t)
+			s.Values = append(s.Values, m[t])
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+// Counters returns a copy of the counter map.
+func (r *Recorder) Counters() map[string]int64 {
+	out := make(map[string]int64, len(r.counters))
+	//lint:deterministic copies into a map; per-key, order-independent
+	for k, v := range r.counters {
+		out[k] = v
+	}
+	return out
+}

@@ -1,0 +1,130 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// Tracer collects Chrome trace_event records and serializes them in the
+// JSON Object Format ({"traceEvents": [...]}) that chrome://tracing and
+// Perfetto accept. Timestamps are microseconds; the simulator emits one
+// microsecond per simulated step, so the trace timeline reads directly in
+// model time. Tracks (one per algorithm phase group, one per chip under a
+// fleet assignment) map to thread lanes named via metadata events.
+type Tracer struct {
+	events []traceEvent
+	tids   map[string]int
+	tracks []string
+}
+
+// traceEvent is one record of the trace_event format. Only the fields the
+// viewers require are emitted.
+type traceEvent struct {
+	Name  string         `json:"name"`
+	Cat   string         `json:"cat,omitempty"`
+	Phase string         `json:"ph"`
+	TS    int64          `json:"ts"`
+	Dur   int64          `json:"dur,omitempty"`
+	PID   int            `json:"pid"`
+	TID   int            `json:"tid"`
+	Scope string         `json:"s,omitempty"`
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+// NewTracer returns an empty Tracer.
+func NewTracer() *Tracer {
+	return &Tracer{tids: make(map[string]int)}
+}
+
+// track interns a lane name to a thread id.
+func (tr *Tracer) track(name string) int {
+	if tid, ok := tr.tids[name]; ok {
+		return tid
+	}
+	tid := len(tr.tracks)
+	tr.tids[name] = tid
+	tr.tracks = append(tr.tracks, name)
+	return tid
+}
+
+// Span records a complete ("X") event of the given duration on a track —
+// one algorithm phase (build, simulate, readout, ...).
+func (tr *Tracer) Span(track, name string, ts, dur int64) {
+	if dur < 1 {
+		dur = 1 // zero-duration complete events render invisibly
+	}
+	tr.events = append(tr.events, traceEvent{
+		Name: name, Cat: "phase", Phase: "X", TS: ts, Dur: dur, TID: tr.track(track),
+	})
+}
+
+// Instant records an instantaneous thread-scoped event on a track.
+func (tr *Tracer) Instant(track, name string, ts int64) {
+	tr.events = append(tr.events, traceEvent{
+		Name: name, Cat: "event", Phase: "i", TS: ts, TID: tr.track(track), Scope: "t",
+	})
+}
+
+// Counter records a counter ("C") sample; viewers render each counter
+// name as its own graph track.
+func (tr *Tracer) Counter(name string, ts, value int64) {
+	tr.events = append(tr.events, traceEvent{
+		Name: name, Phase: "C", TS: ts, TID: tr.track(name),
+		Args: map[string]any{"value": value},
+	})
+}
+
+// Events returns the number of recorded (non-metadata) events.
+func (tr *Tracer) Events() int { return len(tr.events) }
+
+// AddRecorder emits a Recorder's series as counter tracks: the per-step
+// simulator series, the per-round CONGEST series, and one counter per
+// chip seen by the fleet probe.
+func (tr *Tracer) AddRecorder(r *Recorder) {
+	if r == nil {
+		return
+	}
+	for _, s := range r.Series() {
+		for i := range s.Times {
+			tr.Counter(s.Name, s.Times[i], s.Values[i])
+		}
+	}
+}
+
+// Encode writes the trace as trace_event JSON. Metadata events name each
+// track so Perfetto shows "phases", "chip 3", etc. instead of bare tids.
+func (tr *Tracer) Encode(w io.Writer) error {
+	type file struct {
+		TraceEvents     []traceEvent `json:"traceEvents"`
+		DisplayTimeUnit string       `json:"displayTimeUnit"`
+	}
+	all := make([]traceEvent, 0, len(tr.tracks)+len(tr.events)+1)
+	all = append(all, traceEvent{
+		Name: "process_name", Phase: "M",
+		Args: map[string]any{"name": "spaabench"},
+	})
+	for tid, name := range tr.tracks {
+		all = append(all, traceEvent{
+			Name: "thread_name", Phase: "M", TID: tid,
+			Args: map[string]any{"name": name},
+		})
+	}
+	all = append(all, tr.events...)
+	enc := json.NewEncoder(w)
+	return enc.Encode(file{TraceEvents: all, DisplayTimeUnit: "ms"})
+}
+
+// WriteFile writes the trace to path (the -trace flag target).
+func (tr *Tracer) WriteFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := tr.Encode(f); err != nil {
+		f.Close()
+		return fmt.Errorf("telemetry: encoding trace: %w", err)
+	}
+	return f.Close()
+}
