@@ -17,12 +17,17 @@
 //	spaabench dot -n 12 -m 30 -dst 5              # Graphviz DOT with highlighted shortest path
 //	spaabench timeline -n 16 -m 48                # raster plus per-step telemetry sparklines
 //	spaabench validate <netlist>                  # static Definition 1-2 checks ("-" = stdin)
+//	spaabench why -n 64 -m 256 -dst 5 [-save log.jsonl]   # causal proof tree behind a spike
+//	spaabench replay <log.jsonl>                  # re-execute a provenance log, verify bit-identical
+//	spaabench regress [-tol 0.02] BENCH_*.json    # diff fresh runs against committed baselines
 //
 // The sssp, table1, flow, congest, fleet, and timeline subcommands also
 // accept observability flags: -metrics out.json writes a JSON run
 // manifest (the BENCH_*.json format), -trace out.json writes Chrome
 // trace_event JSON viewable in Perfetto, and -cpuprofile / -memprofile
-// write pprof profiles. See docs/OBSERVABILITY.md.
+// write pprof profiles. `why -save` writes a spaa-provenance/v1 causal
+// spike log that `replay` re-executes; `regress` is the CI gate over the
+// committed BENCH_*.json manifests. See docs/OBSERVABILITY.md.
 package main
 
 import (
@@ -33,7 +38,6 @@ import (
 	"strings"
 
 	"repro/internal/classic"
-	"repro/internal/congest"
 	"repro/internal/core"
 	"repro/internal/cost"
 	"repro/internal/crossbar"
@@ -82,6 +86,12 @@ func main() {
 		err = cmdCrossover(args)
 	case "fleet":
 		err = cmdFleet(args)
+	case "why":
+		err = cmdWhy(args)
+	case "replay":
+		err = cmdReplay(args)
+	case "regress":
+		err = cmdRegress(args)
 	case "verify":
 		err = cmdVerify(args)
 	case "validate":
@@ -97,8 +107,9 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: spaabench {table1|table2|table3|figures|experiments|sssp|gen|raster|timeline|flow|congest|dot|crossover|fleet|verify|validate} [flags]")
+	fmt.Fprintln(os.Stderr, "usage: spaabench {table1|table2|table3|figures|experiments|sssp|gen|raster|timeline|flow|congest|dot|crossover|fleet|why|replay|regress|verify|validate} [flags]")
 	fmt.Fprintln(os.Stderr, "observability (sssp, table1, flow, congest, fleet, timeline): -metrics out.json -trace out.json -cpuprofile out.pprof -memprofile out.pprof")
+	fmt.Fprintln(os.Stderr, "forensics: why -dst N [-save log.jsonl] | replay log.jsonl | regress [-tol 0.02] BENCH_*.json")
 }
 
 func parseInts(s string) ([]int, error) {
@@ -133,12 +144,9 @@ func cmdTable1(args []string) error {
 	if err := o.begin("table1"); err != nil {
 		return err
 	}
-	o.Man.SetConfig("sizes", ns).SetConfig("density", *density).
-		SetConfig("u", *u).SetConfig("k", *k).SetConfig("c", *c).
-		SetConfig("seed", *seed).SetConfig("skip_movement", *skip)
-	rep := harness.RunTable1(harness.Table1Config{
+	rep := runTable1(o, harness.Table1Config{
 		Sizes: ns, Density: *density, U: *u, K: *k, C: *c, Seed: *seed,
-		SkipMovement: *skip, DistanceProbe: o.distanceProbe(),
+		SkipMovement: *skip,
 	})
 	fmt.Print(rep.Render())
 	return o.finish()
@@ -236,12 +244,9 @@ func cmdSSSP(args []string) error {
 
 	switch *algo {
 	case "spiking":
-		r := core.SSSP(g, *src, *dst, o.snnProbes()...)
+		r := runSSSPSpiking(o, g, *seed, *src, *dst)
 		report(r.Dist, fmt.Sprintf("spike-time=%d neurons=%d spikes=%d deliveries=%d",
 			r.SpikeTime, r.Neurons, r.Stats.Spikes, r.Stats.Deliveries))
-		o.Man.Stats = telemetry.StatsFrom(r.Stats)
-		o.Rec.Add("neurons", int64(r.Neurons))
-		o.Tr.Span("phase", "wavefront", 0, r.SpikeTime)
 	case "dijkstra":
 		r := classic.Dijkstra(g, *src)
 		report(r.Dist, fmt.Sprintf("heap-ops=%d", r.Ops))
@@ -397,27 +402,11 @@ func cmdCongest(args []string) error {
 		return err
 	}
 	g := graph.RandomGnm(*n, *m, graph.Uniform(*u), *seed, true)
-	o.setGraph(g, *seed, "random")
-	_, bfsRes := congest.BFS(g, 0)
-	// Only the SSSP run feeds the per-round probe series; BFS totals go
-	// into plain counters so the two runs' rounds don't interleave.
-	dist, ssspRes := congest.SSSP(g, 0, g.N(), o.congestProbes()...)
-	ref := classic.Dijkstra(g, 0)
-	match := true
-	for v := range dist {
-		if dist[v] != ref.Dist[v] {
-			match = false
-		}
-	}
+	r := runCongest(o, g, *seed)
 	fmt.Printf("graph n=%d m=%d\n", g.N(), g.M())
-	fmt.Printf("BFS:  rounds=%d messages=%d max-bits=%d\n", bfsRes.Rounds, bfsRes.MessagesSent, bfsRes.MaxMessageBits)
+	fmt.Printf("BFS:  rounds=%d messages=%d max-bits=%d\n", r.BFSRounds, r.BFSMessages, r.BFSMaxBits)
 	fmt.Printf("SSSP: rounds=%d messages=%d max-bits=%d total-bits=%d matches-dijkstra=%v\n",
-		ssspRes.Rounds, ssspRes.MessagesSent, ssspRes.MaxMessageBits, ssspRes.TotalBits, match)
-	o.Rec.Add("bfs_rounds", int64(bfsRes.Rounds))
-	o.Rec.Add("bfs_messages", bfsRes.MessagesSent)
-	o.Rec.Add("sssp_rounds", int64(ssspRes.Rounds))
-	o.Rec.Add("sssp_max_message_bits", int64(ssspRes.MaxMessageBits))
-	o.Tr.Span("phase", "congest-sssp", 0, int64(ssspRes.Rounds))
+		r.SSSPRounds, r.SSSPMessages, r.SSSPMaxBits, r.SSSPTotalBits, r.MatchesDijkstra)
 	return o.finish()
 }
 

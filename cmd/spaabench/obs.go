@@ -19,9 +19,15 @@ import (
 type obs struct {
 	metricsPath, tracePath, cpuPath, memPath string
 
-	command string
-	start   time.Time
-	stopCPU func() error
+	// force turns probing on without any output path — `spaabench
+	// regress` re-runs baselines through the same code paths and collects
+	// the manifest in memory.
+	force bool
+
+	command   string
+	start     time.Time
+	stopCPU   func() error
+	recFolded bool
 
 	// Rec is the probe sink handed to the instrumented engines; Man and
 	// Tr accumulate what finish() writes out.
@@ -43,7 +49,7 @@ func addObsFlags(fs *flag.FlagSet) *obs {
 // on reports whether any telemetry output was requested; engines are
 // probed only in that case, keeping the default path on the nil-probe
 // fast branch.
-func (o *obs) on() bool { return o.metricsPath != "" || o.tracePath != "" }
+func (o *obs) on() bool { return o.force || o.metricsPath != "" || o.tracePath != "" }
 
 // begin starts profiling and the wall clock. Call after flag parsing,
 // before the measured work.
@@ -103,6 +109,16 @@ func (o *obs) setGraph(g *graph.Graph, seed int64, kind string) {
 	}
 }
 
+// manifest folds the recorder into the manifest (once) and returns it —
+// the in-memory form `spaabench regress` diffs without writing a file.
+func (o *obs) manifest() *telemetry.Manifest {
+	if !o.recFolded {
+		o.Man.AddRecorder(o.Rec)
+		o.recFolded = true
+	}
+	return o.Man
+}
+
 // finish stops profiling and writes every requested output.
 func (o *obs) finish() error {
 	if o.stopCPU != nil {
@@ -117,10 +133,10 @@ func (o *obs) finish() error {
 		}
 	}
 	if o.metricsPath != "" {
-		o.Man.CreatedUnixMS = o.start.UnixMilli()
-		o.Man.WallMS = float64(time.Since(o.start).Microseconds()) / 1e3
-		o.Man.AddRecorder(o.Rec)
-		if err := o.Man.WriteFile(o.metricsPath); err != nil {
+		man := o.manifest()
+		man.CreatedUnixMS = o.start.UnixMilli()
+		man.WallMS = float64(time.Since(o.start).Microseconds()) / 1e3
+		if err := man.WriteFile(o.metricsPath); err != nil {
 			return err
 		}
 	}

@@ -101,6 +101,22 @@ func (b *Builder) Trigger() int {
 	return b.Net.AddNeuron(snn.Gate(1))
 }
 
+// Label names a neuron in the underlying network. Labels are advisory
+// metadata: provenance logs carry them and `spaabench why` proof trees
+// print them next to neuron ids.
+func (b *Builder) Label(id int, label string) {
+	b.Net.SetLabel(id, label)
+}
+
+// LabelNum labels every bit neuron of a number bundle as prefix.b<j>
+// (LSB first), so causal traces through arithmetic circuits read as bit
+// lanes instead of bare neuron ids.
+func (b *Builder) LabelNum(n Num, prefix string) {
+	for j, id := range n.Bits {
+		b.Label(id, fmt.Sprintf("%s.b%d", prefix, j))
+	}
+}
+
 // not allocates a NOT gate: fires at tArrive+1 iff in did not fire such
 // that its spike arrives at tArrive. trigger must deliver +1 at the same
 // time as in's (potential) -1; both delays are given explicitly.

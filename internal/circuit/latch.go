@@ -1,6 +1,10 @@
 package circuit
 
-import "repro/internal/snn"
+import (
+	"fmt"
+
+	"repro/internal/snn"
+)
 
 // Latch is the one-bit neuromorphic memory of Figure 1B. Neuron M
 // self-excites and therefore fires indefinitely once set; pulsing Recall
@@ -43,5 +47,13 @@ func NewLatch(b *Builder) *Latch {
 
 	l := &Latch{Set: set, Recall: recall, Reset: reset, Out: out, M: m}
 	l.Stats = b.diff(s, RecallLatency)
+	// Name the roles after the storage neuron's id (unique per latch), so
+	// causal traces through latch circuitry read as Figure 1B roles.
+	prefix := fmt.Sprintf("latch%d.", m)
+	b.Label(set, prefix+"set")
+	b.Label(recall, prefix+"recall")
+	b.Label(reset, prefix+"reset")
+	b.Label(m, prefix+"m")
+	b.Label(out, prefix+"out")
 	return l
 }

@@ -20,6 +20,7 @@ package core
 
 import (
 	"fmt"
+	"strconv"
 
 	"repro/internal/graph"
 	"repro/internal/snn"
@@ -57,8 +58,12 @@ type SSSPResult struct {
 // dst >= 0 halts the computation when dst first spikes (Definition 3's
 // terminal neuron); dst = -1 computes distances to every vertex.
 //
-// An optional snn.StepProbe observes every simulated step (the telemetry
-// hook: per-step spikes, deliveries, active neurons, queue depth).
+// Optional probes observe the run: a plain snn.StepProbe sees every
+// simulated step (the telemetry hook: per-step spikes, deliveries,
+// active neurons, queue depth); a probe that also implements
+// snn.FlightProbe (telemetry.FlightRecorder) is attached as the causal
+// flight recorder instead, capturing every firing with its antecedent
+// set for provenance logs.
 func SSSP(g *graph.Graph, src, dst int, probe ...snn.StepProbe) *SSSPResult {
 	n := g.N()
 	if src < 0 || src >= n {
@@ -73,9 +78,7 @@ func SSSP(g *graph.Graph, src, dst int, probe ...snn.StepProbe) *SSSPResult {
 
 	rn := newRelayNetwork(g)
 	net, relays := rn.net, rn.relays
-	if len(probe) > 0 {
-		net.SetProbe(probe[0])
-	}
+	attachProbes(net, probe)
 	if dst >= 0 {
 		net.SetTerminal(relays[dst])
 	}
@@ -157,9 +160,32 @@ type relayNetwork struct {
 	relays []int
 }
 
+// attachProbes routes the optional probe arguments of the algorithm
+// entry points: probes that implement snn.FlightProbe become the causal
+// flight recorder, the first remaining probe becomes the step probe.
+func attachProbes(net *snn.Network, probes []snn.StepProbe) {
+	stepSet := false
+	for _, p := range probes {
+		if p == nil {
+			continue
+		}
+		if fp, ok := p.(snn.FlightProbe); ok {
+			net.SetFlightProbe(fp)
+			continue
+		}
+		if !stepSet {
+			net.SetProbe(p)
+			stepSet = true
+		}
+	}
+}
+
 func newRelayNetwork(g *graph.Graph) *relayNetwork {
 	n := g.N()
 	net := snn.NewNetwork(snn.Config{Rule: snn.FireGTE})
+	// Relay ids equal vertex ids; the lazy labeler costs nothing unless a
+	// provenance log asks for names.
+	net.SetLabeler(func(i int) string { return "v" + strconv.Itoa(i) })
 	relays := make([]int, n)
 	for v := 0; v < n; v++ {
 		relays[v] = net.AddNeuron(snn.Integrator(1))

@@ -24,6 +24,9 @@ var Scopes = map[string][]string{
 		"repro/internal/core",
 		"repro/internal/congest",
 		"repro/internal/harness",
+		// Serializes manifests, provenance logs, and regression diffs —
+		// map-order nondeterminism there breaks replay and the regress gate.
+		"repro/internal/telemetry",
 	},
 	// Simulation packages where exact float equality is a latent bug
 	// (voltages decay through math.Pow and accumulate through sums).

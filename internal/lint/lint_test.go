@@ -32,6 +32,8 @@ func TestScopes(t *testing.T) {
 		{"mapiter", "repro/internal/snn", true},
 		{"mapiter", "repro/internal/graph", false},
 		{"mapiter", "repro/internal/harness", true},
+		{"mapiter", "repro/internal/telemetry", true},
+		{"floateq", "repro/internal/telemetry", false},
 		{"floateq", "repro/internal/congest", true},
 		{"floateq", "repro/internal/harness", false},
 		{"delaybound", "repro/internal/graph", true}, // unscoped: runs everywhere

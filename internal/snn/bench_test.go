@@ -114,6 +114,33 @@ func BenchmarkEngineProbeOverhead(b *testing.B) {
 	b.Run("counting", func(b *testing.B) { run(b, &countingProbe{}) })
 }
 
+// BenchmarkEngineFlightOverhead guards the provenance hook's cost
+// contract alongside BenchmarkEngineProbeOverhead: with no flight probe
+// attached ("off") the step loop pays only a nil check and must match the
+// nil-probe fast path; "on" shows the opt-in cost of full causal capture
+// (per-delivery delay metadata plus antecedent grouping).
+func BenchmarkEngineFlightOverhead(b *testing.B) {
+	run := func(b *testing.B, probe FlightProbe) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			net := buildWavefront(1024, 4096, 42)
+			net.SetFlightProbe(probe)
+			b.StartTimer()
+			net.Run(1 << 30)
+		}
+	}
+	b.Run("off", func(b *testing.B) { run(b, nil) })
+	b.Run("on", func(b *testing.B) { run(b, &discardFlightProbe{}) })
+}
+
+// discardFlightProbe consumes OnSpike calls without retaining anything.
+type discardFlightProbe struct{ events int64 }
+
+func (p *discardFlightProbe) OnSpike(t int64, neuron int32, forced bool, vBefore, vAfter float64, ants []Antecedent) {
+	p.events++
+}
+
 func BenchmarkNetlistRoundTrip(b *testing.B) {
 	net := buildWavefront(512, 2048, 3)
 	b.ReportAllocs()

@@ -1,0 +1,231 @@
+package snn
+
+import (
+	"testing"
+)
+
+// capturedSpike is one OnSpike callback, with antecedents copied out of
+// the engine-owned scratch.
+type capturedSpike struct {
+	t               int64
+	neuron          int32
+	forced          bool
+	vBefore, vAfter float64
+	antecedents     []Antecedent
+}
+
+// captureProbe records every OnSpike call (the test double for
+// telemetry.FlightRecorder).
+type captureProbe struct {
+	events []capturedSpike
+}
+
+func (p *captureProbe) OnSpike(t int64, neuron int32, forced bool, vBefore, vAfter float64, ants []Antecedent) {
+	p.events = append(p.events, capturedSpike{
+		t: t, neuron: neuron, forced: forced, vBefore: vBefore, vAfter: vAfter,
+		antecedents: append([]Antecedent(nil), ants...),
+	})
+}
+
+func (p *captureProbe) of(neuron int) []capturedSpike {
+	var out []capturedSpike
+	for _, e := range p.events {
+		if int(e.neuron) == neuron {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+func TestFlightProbeCapturesCausalChain(t *testing.T) {
+	// a --(w=1,d=3)--> b --(w=1,d=5)--> c
+	net := NewNetwork(Config{})
+	a := net.AddNeuron(Gate(1))
+	b := net.AddNeuron(Gate(1))
+	c := net.AddNeuron(Gate(1))
+	net.Connect(a, b, 1, 3)
+	net.Connect(b, c, 1, 5)
+	p := &captureProbe{}
+	net.SetFlightProbe(p)
+	net.InduceSpike(a, 0)
+	net.Run(100)
+
+	if len(p.events) != 3 {
+		t.Fatalf("captured %d events, want 3: %+v", len(p.events), p.events)
+	}
+	ea := p.of(a)[0]
+	if !ea.forced || ea.t != 0 || len(ea.antecedents) != 0 {
+		t.Fatalf("induced event %+v", ea)
+	}
+	eb := p.of(b)[0]
+	if eb.forced || eb.t != 3 {
+		t.Fatalf("b event %+v", eb)
+	}
+	if len(eb.antecedents) != 1 {
+		t.Fatalf("b antecedents %+v", eb.antecedents)
+	}
+	ant := eb.antecedents[0]
+	if int(ant.From) != a || ant.Weight != 1 || ant.Delay != 3 {
+		t.Fatalf("b antecedent %+v", ant)
+	}
+	// Gate(1): voltage 0 before, 1 after the unit delivery.
+	if eb.vBefore != 0 || eb.vAfter != 1 {
+		t.Fatalf("b voltages %v -> %v", eb.vBefore, eb.vAfter)
+	}
+	ec := p.of(c)[0]
+	if ec.t != 8 || len(ec.antecedents) != 1 || int(ec.antecedents[0].From) != b || ec.antecedents[0].Delay != 5 {
+		t.Fatalf("c event %+v", ec)
+	}
+}
+
+func TestFlightProbeRecordsInhibitoryAntecedents(t *testing.T) {
+	// Two unit excitations and one -0.5 inhibition converge on a unit
+	// gate: it fires (net input 1.5 >= 1), and the antecedent set must
+	// include the inhibitory delivery with its negative weight.
+	net := NewNetwork(Config{})
+	x := net.AddNeuron(Gate(1))
+	y := net.AddNeuron(Gate(1))
+	z := net.AddNeuron(Gate(1))
+	g := net.AddNeuron(Gate(1))
+	net.Connect(x, g, 1, 1)
+	net.Connect(y, g, 1, 1)
+	net.Connect(z, g, -0.5, 1)
+	p := &captureProbe{}
+	net.SetFlightProbe(p)
+	net.InduceSpike(x, 0)
+	net.InduceSpike(y, 0)
+	net.InduceSpike(z, 0)
+	net.Run(10)
+
+	ev := p.of(g)
+	if len(ev) != 1 {
+		t.Fatalf("gate fired %d times, want 1", len(ev))
+	}
+	if got := len(ev[0].antecedents); got != 3 {
+		t.Fatalf("antecedents %d, want 3 (inhibition included): %+v", got, ev[0].antecedents)
+	}
+	var sawInhibitory bool
+	for _, a := range ev[0].antecedents {
+		if int(a.From) == z && a.Weight == -0.5 {
+			sawInhibitory = true
+		}
+	}
+	if !sawInhibitory {
+		t.Fatalf("inhibitory delivery missing from antecedents %+v", ev[0].antecedents)
+	}
+	if ev[0].vAfter != 1.5 {
+		t.Fatalf("vAfter %v, want 1.5", ev[0].vAfter)
+	}
+}
+
+func TestFlightProbeFanIn(t *testing.T) {
+	net := NewNetwork(Config{})
+	x := net.AddNeuron(Gate(1))
+	y := net.AddNeuron(Gate(1))
+	and := net.AddNeuron(Gate(2))
+	net.Connect(x, and, 1, 2)
+	net.Connect(y, and, 1, 2)
+	p := &captureProbe{}
+	net.SetFlightProbe(p)
+	net.InduceSpike(x, 0)
+	net.InduceSpike(y, 0)
+	net.Run(10)
+
+	ev := p.of(and)
+	if len(ev) != 1 {
+		t.Fatalf("AND fired %d times, want 1", len(ev))
+	}
+	if got := len(ev[0].antecedents); got != 2 {
+		t.Fatalf("AND antecedents %d, want 2: %+v", got, ev[0].antecedents)
+	}
+	froms := map[int32]bool{}
+	for _, a := range ev[0].antecedents {
+		froms[a.From] = true
+		if a.Weight != 1 || a.Delay != 2 {
+			t.Fatalf("antecedent %+v", a)
+		}
+	}
+	if !froms[int32(x)] || !froms[int32(y)] {
+		t.Fatalf("antecedent sources %v", froms)
+	}
+	if ev[0].vBefore != 0 || ev[0].vAfter != 2 {
+		t.Fatalf("voltages %v -> %v", ev[0].vBefore, ev[0].vAfter)
+	}
+}
+
+func TestFlightProbeScratchIsPerStep(t *testing.T) {
+	// The same neuron firing twice in different steps must not accumulate
+	// antecedents across steps (the scratch lists are cleared per step).
+	net := NewNetwork(Config{})
+	src := net.AddNeuron(Gate(1))
+	relay := net.AddNeuron(Gate(1))
+	net.Connect(src, relay, 1, 1)
+	p := &captureProbe{}
+	net.SetFlightProbe(p)
+	net.InduceSpike(src, 0)
+	net.InduceSpike(src, 5)
+	net.Run(20)
+
+	ev := p.of(relay)
+	if len(ev) != 2 {
+		t.Fatalf("relay fired %d times, want 2", len(ev))
+	}
+	for _, e := range ev {
+		if len(e.antecedents) != 1 {
+			t.Fatalf("antecedents leaked across steps: %+v", e)
+		}
+	}
+}
+
+func TestFlightProbeMatchesStats(t *testing.T) {
+	net := buildWavefront(128, 512, 7)
+	p := &captureProbe{}
+	net.SetFlightProbe(p)
+	net.Run(1 << 30)
+	st := net.TotalStats()
+	if int64(len(p.events)) != st.Spikes {
+		t.Fatalf("captured %d events, stats count %d spikes", len(p.events), st.Spikes)
+	}
+	var ants int64
+	for _, e := range p.events {
+		ants += int64(len(e.antecedents))
+		for _, a := range e.antecedents {
+			if a.Delay < 1 {
+				t.Fatalf("antecedent with unknown delay despite pre-run attach: %+v", e)
+			}
+		}
+	}
+	// Every antecedent is a delivery that arrived at a step where its
+	// target fired; there can be no more of them than total deliveries.
+	if ants > st.Deliveries {
+		t.Fatalf("antecedents %d exceed deliveries %d", ants, st.Deliveries)
+	}
+}
+
+func TestLabels(t *testing.T) {
+	net := NewNetwork(Config{})
+	a := net.AddNeuron(Gate(1))
+	b := net.AddNeuron(Gate(1))
+	if got := net.Label(a); got != "" {
+		t.Fatalf("unlabeled neuron has label %q", got)
+	}
+	net.SetLabeler(func(i int) string {
+		if i == a {
+			return "lazy-a"
+		}
+		return ""
+	})
+	if got := net.Label(a); got != "lazy-a" {
+		t.Fatalf("labeler label %q", got)
+	}
+	net.SetLabel(a, "explicit-a")
+	if got := net.Label(a); got != "explicit-a" {
+		t.Fatalf("explicit label %q, want override of labeler", got)
+	}
+	if got := net.Label(b); got != "" {
+		t.Fatalf("b label %q", got)
+	}
+	if got := net.Label(-1); got != "" {
+		t.Fatalf("out-of-range label %q", got)
+	}
+}

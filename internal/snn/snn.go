@@ -95,9 +95,13 @@ type delivery struct {
 }
 
 // bucket collects everything that happens at one future time step.
+// delays carries per-delivery synaptic delays for provenance capture; it
+// is populated (index-aligned with deliveries) only while a FlightProbe
+// is attached, so the recorder-off path allocates nothing extra.
 type bucket struct {
 	deliveries []delivery
 	forced     []int32
+	delays     []int64
 }
 
 // timeHeap is a min-heap of pending event times.
@@ -173,6 +177,14 @@ type Network struct {
 	pendingEvents int64
 	lastStep      int64 // last processed step time, -1 before any step
 	probe         StepProbe
+
+	// causal provenance (see provenance.go); all nil/empty unless a
+	// FlightProbe is attached.
+	flight     FlightProbe
+	ants       [][]Antecedent // per-neuron antecedents of the current step
+	antTargets []int32        // neurons with non-empty ants, for clearing
+	labels     []string
+	labeler    func(i int) string
 }
 
 // Stats aggregates the cost measures of a simulation: Spikes is the total
@@ -379,6 +391,9 @@ func (n *Network) step(t int64, b *bucket) bool {
 		}
 		n.stats.Deliveries++
 	}
+	if n.flight != nil {
+		n.captureAntecedents(b)
+	}
 
 	// Determine firings: forced inputs plus threshold crossings.
 	var fired []int32
@@ -410,6 +425,14 @@ func (n *Network) step(t int64, b *bucket) bool {
 
 	terminal := false
 	for _, i := range fired {
+		var vBefore, vAfter float64
+		if n.flight != nil {
+			vBefore = n.decayedVoltage(int(i), t)
+			vAfter = vBefore
+			if n.touchedAt[i] == n.gen {
+				vAfter += n.synIn[i]
+			}
+		}
 		n.voltage[i] = n.neurons[i].Reset
 		n.vtime[i] = t
 		n.stats.Spikes++
@@ -425,8 +448,17 @@ func (n *Network) step(t int64, b *bucket) bool {
 		for _, s := range n.out[i] {
 			nb := n.bucketAt(t + s.delay)
 			nb.deliveries = append(nb.deliveries, delivery{to: s.to, from: i, weight: s.weight})
+			if n.flight != nil {
+				nb.delays = append(nb.delays, s.delay)
+			}
 		}
 		n.pendingEvents += int64(len(n.out[i]))
+		if n.flight != nil {
+			n.flight.OnSpike(t, i, forcedSet[i], vBefore, vAfter, n.ants[i])
+		}
+	}
+	if n.flight != nil {
+		n.clearAntecedents()
 	}
 	if n.pendingEvents > n.stats.MaxQueueDepth {
 		n.stats.MaxQueueDepth = n.pendingEvents

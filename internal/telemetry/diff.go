@@ -1,0 +1,179 @@
+package telemetry
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Manifest regression diffing: `spaabench regress` re-runs the workload a
+// committed BENCH_*.json baseline describes and compares the fresh
+// manifest against it field by field. Every quantity in a manifest except
+// created_unix_ms and wall_ms is a deterministic model cost, so the
+// default tolerance is zero — any drift is a behavior change.
+
+// Tolerance configures how much relative drift DiffManifests accepts.
+type Tolerance struct {
+	// Rel is the accepted relative deviation for cost quantities (stats,
+	// counters, series sums and lengths): |fresh-base| <= Rel*|base|.
+	// Zero demands exact equality. Workload identity (graph parameters)
+	// is always compared exactly.
+	Rel float64
+}
+
+// within reports whether fresh lies inside the tolerance band around base.
+func (tol Tolerance) within(base, fresh int64) bool {
+	if base == fresh {
+		return true
+	}
+	return math.Abs(float64(fresh-base)) <= tol.Rel*math.Abs(float64(base))
+}
+
+// Drift is one quantity that moved outside tolerance between a baseline
+// manifest and a fresh run.
+type Drift struct {
+	Field       string
+	Base, Fresh int64
+	// Msg, when set, replaces the numeric rendering (structural drift
+	// like a renamed command or a vanished series).
+	Msg string
+}
+
+func (d Drift) String() string {
+	if d.Msg != "" {
+		return d.Field + ": " + d.Msg
+	}
+	delta := "n/a"
+	if d.Base != 0 {
+		delta = fmt.Sprintf("%+.1f%%", 100*float64(d.Fresh-d.Base)/math.Abs(float64(d.Base)))
+	}
+	return fmt.Sprintf("%s: baseline %d, fresh %d (%s)", d.Field, d.Base, d.Fresh, delta)
+}
+
+// DiffManifests compares a fresh manifest against a baseline under the
+// tolerance and returns every drifted quantity in deterministic field
+// order (empty slice: no drift). Wall-clock fields (created_unix_ms,
+// wall_ms) are never compared. Compared are:
+//
+//   - workload identity: command and graph parameters (exact),
+//   - stats: all snn.Stats fields,
+//   - counters: the union of names (a counter present on one side only
+//     is drift),
+//   - series: matched by name; lengths and value sums.
+func DiffManifests(base, fresh *Manifest, tol Tolerance) []Drift {
+	var out []Drift
+	check := func(field string, b, f int64, exact bool) {
+		if b == f {
+			return
+		}
+		if !exact && tol.within(b, f) {
+			return
+		}
+		out = append(out, Drift{Field: field, Base: b, Fresh: f})
+	}
+
+	if base.Command != fresh.Command {
+		out = append(out, Drift{Field: "command", Msg: fmt.Sprintf("baseline %q, fresh %q", base.Command, fresh.Command)})
+	}
+	switch {
+	case base.Graph == nil && fresh.Graph == nil:
+	case base.Graph == nil || fresh.Graph == nil:
+		out = append(out, Drift{Field: "graph", Msg: "present on one side only"})
+	default:
+		check("graph.n", int64(base.Graph.N), int64(fresh.Graph.N), true)
+		check("graph.m", int64(base.Graph.M), int64(fresh.Graph.M), true)
+		check("graph.max_len", base.Graph.MaxLen, fresh.Graph.MaxLen, true)
+		check("graph.seed", base.Graph.Seed, fresh.Graph.Seed, true)
+	}
+
+	switch {
+	case base.Stats == nil && fresh.Stats == nil:
+	case base.Stats == nil || fresh.Stats == nil:
+		out = append(out, Drift{Field: "stats", Msg: "present on one side only"})
+	default:
+		check("stats.spikes", base.Stats.Spikes, fresh.Stats.Spikes, false)
+		check("stats.deliveries", base.Stats.Deliveries, fresh.Stats.Deliveries, false)
+		check("stats.steps", base.Stats.Steps, fresh.Stats.Steps, false)
+		check("stats.max_queue_depth", base.Stats.MaxQueueDepth, fresh.Stats.MaxQueueDepth, false)
+		check("stats.silent_steps_skipped", base.Stats.SilentStepsSkipped, fresh.Stats.SilentStepsSkipped, false)
+	}
+
+	for _, name := range counterNames(base.Counters, fresh.Counters) {
+		b, inBase := base.Counters[name]
+		f, inFresh := fresh.Counters[name]
+		switch {
+		case !inBase:
+			out = append(out, Drift{Field: "counters." + name + " (new)", Base: 0, Fresh: f})
+		case !inFresh:
+			out = append(out, Drift{Field: "counters." + name + " (gone)", Base: b, Fresh: 0})
+		default:
+			check("counters."+name, b, f, false)
+		}
+	}
+
+	baseSeries := seriesByName(base.Series)
+	freshSeries := seriesByName(fresh.Series)
+	for _, name := range seriesNames(base.Series, fresh.Series) {
+		b, inBase := baseSeries[name]
+		f, inFresh := freshSeries[name]
+		switch {
+		case !inBase:
+			out = append(out, Drift{Field: "series." + name + " (new)", Base: 0, Fresh: int64(len(f.Times))})
+		case !inFresh:
+			out = append(out, Drift{Field: "series." + name + " (gone)", Base: int64(len(b.Times)), Fresh: 0})
+		default:
+			check("series."+name+".len", int64(len(b.Times)), int64(len(f.Times)), false)
+			check("series."+name+".sum", b.Sum(), f.Sum(), false)
+		}
+	}
+	return out
+}
+
+// counterNames returns the sorted union of counter names.
+func counterNames(a, b map[string]int64) []string {
+	seen := make(map[string]bool, len(a)+len(b))
+	var names []string
+	//lint:deterministic keys are collected here and sorted below
+	for k := range a {
+		if !seen[k] {
+			seen[k] = true
+			names = append(names, k)
+		}
+	}
+	//lint:deterministic keys are collected here and sorted below
+	for k := range b {
+		if !seen[k] {
+			seen[k] = true
+			names = append(names, k)
+		}
+	}
+	sort.Strings(names)
+	return names
+}
+
+func seriesByName(s []Series) map[string]*Series {
+	out := make(map[string]*Series, len(s))
+	for i := range s {
+		out[s[i].Name] = &s[i]
+	}
+	return out
+}
+
+// seriesNames returns the union of series names, baseline order first.
+func seriesNames(a, b []Series) []string {
+	seen := make(map[string]bool, len(a)+len(b))
+	var names []string
+	for i := range a {
+		if !seen[a[i].Name] {
+			seen[a[i].Name] = true
+			names = append(names, a[i].Name)
+		}
+	}
+	for i := range b {
+		if !seen[b[i].Name] {
+			seen[b[i].Name] = true
+			names = append(names, b[i].Name)
+		}
+	}
+	return names
+}

@@ -1,0 +1,104 @@
+package telemetry
+
+import (
+	"strings"
+	"testing"
+)
+
+// baselineManifest builds the fixture both sides of a diff start from.
+func baselineManifest() *Manifest {
+	m := NewManifest("spaabench", "sssp")
+	m.Graph = &GraphParams{N: 256, M: 1024, MaxLen: 8, Seed: 1}
+	m.Stats = &RunStats{Spikes: 200, Deliveries: 800, Steps: 150, MaxQueueDepth: 40, SilentStepsSkipped: 900}
+	m.Counters = map[string]int64{"congest_messages": 5000}
+	m.Series = []Series{{Name: "spikes_per_step", Times: []int64{1, 2}, Values: []int64{120, 80}}}
+	return m
+}
+
+func TestDiffManifestsIdentical(t *testing.T) {
+	if drifts := DiffManifests(baselineManifest(), baselineManifest(), Tolerance{}); len(drifts) != 0 {
+		t.Fatalf("identical manifests drifted: %v", drifts)
+	}
+}
+
+func TestDiffManifestsWallClockIgnored(t *testing.T) {
+	fresh := baselineManifest()
+	fresh.CreatedUnixMS = 1234567890
+	fresh.WallMS = 99.5
+	if drifts := DiffManifests(baselineManifest(), fresh, Tolerance{}); len(drifts) != 0 {
+		t.Fatalf("wall-clock fields compared: %v", drifts)
+	}
+}
+
+func TestDiffManifestsSpikeDoubling(t *testing.T) {
+	fresh := baselineManifest()
+	fresh.Stats.Spikes *= 2
+	drifts := DiffManifests(baselineManifest(), fresh, Tolerance{})
+	if len(drifts) != 1 {
+		t.Fatalf("drifts %v, want exactly stats.spikes", drifts)
+	}
+	if drifts[0].Field != "stats.spikes" {
+		t.Fatalf("drift field %q", drifts[0].Field)
+	}
+	if s := drifts[0].String(); !strings.Contains(s, "+100.0%") {
+		t.Fatalf("drift rendering %q, want +100.0%%", s)
+	}
+}
+
+func TestDiffManifestsTolerance(t *testing.T) {
+	fresh := baselineManifest()
+	fresh.Stats.Deliveries = 820 // +2.5%
+	if drifts := DiffManifests(baselineManifest(), fresh, Tolerance{Rel: 0.05}); len(drifts) != 0 {
+		t.Fatalf("2.5%% drift rejected under 5%% tolerance: %v", drifts)
+	}
+	if drifts := DiffManifests(baselineManifest(), fresh, Tolerance{Rel: 0.01}); len(drifts) != 1 {
+		t.Fatalf("2.5%% drift accepted under 1%% tolerance: %v", drifts)
+	}
+	// Workload identity is exact regardless of tolerance.
+	fresh = baselineManifest()
+	fresh.Graph.Seed = 2
+	if drifts := DiffManifests(baselineManifest(), fresh, Tolerance{Rel: 10}); len(drifts) != 1 || drifts[0].Field != "graph.seed" {
+		t.Fatalf("seed change not flagged exactly: %v", drifts)
+	}
+}
+
+func TestDiffManifestsCommandMismatch(t *testing.T) {
+	fresh := baselineManifest()
+	fresh.Command = "congest"
+	drifts := DiffManifests(baselineManifest(), fresh, Tolerance{})
+	if len(drifts) != 1 || drifts[0].Field != "command" {
+		t.Fatalf("drifts %v", drifts)
+	}
+	if s := drifts[0].String(); !strings.Contains(s, `"sssp"`) || !strings.Contains(s, `"congest"`) {
+		t.Fatalf("command drift rendering %q", s)
+	}
+}
+
+func TestDiffManifestsCounterAppearsAndVanishes(t *testing.T) {
+	fresh := baselineManifest()
+	fresh.Counters = map[string]int64{"fleet_intra": 10}
+	drifts := DiffManifests(baselineManifest(), fresh, Tolerance{})
+	fields := make(map[string]bool)
+	for _, d := range drifts {
+		fields[d.Field] = true
+	}
+	if !fields["counters.congest_messages (gone)"] || !fields["counters.fleet_intra (new)"] {
+		t.Fatalf("drifts %v", drifts)
+	}
+}
+
+func TestDiffManifestsSeries(t *testing.T) {
+	fresh := baselineManifest()
+	fresh.Series[0].Values = []int64{120, 160} // sum 200 -> 280, same length
+	drifts := DiffManifests(baselineManifest(), fresh, Tolerance{})
+	if len(drifts) != 1 || drifts[0].Field != "series.spikes_per_step.sum" {
+		t.Fatalf("drifts %v", drifts)
+	}
+
+	fresh = baselineManifest()
+	fresh.Series = nil
+	drifts = DiffManifests(baselineManifest(), fresh, Tolerance{})
+	if len(drifts) != 1 || drifts[0].Field != "series.spikes_per_step (gone)" {
+		t.Fatalf("drifts %v", drifts)
+	}
+}

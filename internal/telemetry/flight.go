@@ -1,0 +1,116 @@
+package telemetry
+
+import (
+	"sync"
+
+	"repro/internal/snn"
+)
+
+// Antecedent is one causal contribution to a spike in serialized form:
+// the presynaptic neuron, synapse weight, and synaptic delay (the source
+// spike was emitted at the event's T minus Delay; Delay -1 means the
+// delivery predates flight-probe attachment). The compact JSON keys keep
+// provenance logs small (one object per delivery).
+type Antecedent struct {
+	From   int32   `json:"from"`
+	Weight float64 `json:"w"`
+	Delay  int64   `json:"d"`
+}
+
+// SpikeEvent is one recorded firing with its full causal context — the
+// unit of the spaa-provenance/v1 log. VBefore/VAfter bracket the
+// synaptic integration that crossed threshold (equal for pure decay;
+// VAfter is the v̂ of Definition 2 at the firing step).
+type SpikeEvent struct {
+	T           int64        `json:"t"`
+	Neuron      int32        `json:"neuron"`
+	Forced      bool         `json:"forced,omitempty"`
+	VBefore     float64      `json:"v_before"`
+	VAfter      float64      `json:"v_after"`
+	Antecedents []Antecedent `json:"antecedents,omitempty"`
+}
+
+// DefaultFlightCapacity bounds a FlightRecorder when no explicit
+// capacity is given: 1 Mi events (~64 MB worst case), far above any
+// reproduction workload but still a hard ceiling.
+const DefaultFlightCapacity = 1 << 20
+
+// FlightRecorder implements snn.FlightProbe with a bounded ring buffer:
+// every firing is stored with its causal antecedent set; once the
+// capacity is reached the oldest events are overwritten and counted in
+// Dropped. It also implements snn.StepProbe as a no-op so it can ride
+// the same optional probe arguments the algorithm entry points accept
+// (core.SSSP attaches probes that implement snn.FlightProbe via
+// SetFlightProbe instead of SetProbe).
+//
+// A FlightRecorder is safe for concurrent use, but interleaving events
+// from two engines in one ring makes the log unreplayable; give each
+// recorded run its own.
+type FlightRecorder struct {
+	mu      sync.Mutex
+	ring    []SpikeEvent
+	start   int // index of the oldest event
+	count   int
+	dropped int64
+}
+
+// NewFlightRecorder returns a recorder holding at most capacity events
+// (capacity <= 0 selects DefaultFlightCapacity).
+func NewFlightRecorder(capacity int) *FlightRecorder {
+	if capacity <= 0 {
+		capacity = DefaultFlightCapacity
+	}
+	return &FlightRecorder{ring: make([]SpikeEvent, 0, capacity)}
+}
+
+// OnSpike implements snn.FlightProbe: it copies the engine-owned
+// antecedent scratch into the ring.
+func (f *FlightRecorder) OnSpike(t int64, neuron int32, forced bool, vBefore, vAfter float64, ants []snn.Antecedent) {
+	ev := SpikeEvent{T: t, Neuron: neuron, Forced: forced, VBefore: vBefore, VAfter: vAfter}
+	if len(ants) > 0 {
+		ev.Antecedents = make([]Antecedent, len(ants))
+		for i, a := range ants {
+			ev.Antecedents[i] = Antecedent{From: a.From, Weight: a.Weight, Delay: a.Delay}
+		}
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.count < cap(f.ring) {
+		f.ring = append(f.ring, ev)
+		f.count++
+		return
+	}
+	f.ring[f.start] = ev
+	f.start = (f.start + 1) % cap(f.ring)
+	f.dropped++
+}
+
+// OnStep implements snn.StepProbe as a no-op, so a FlightRecorder can be
+// passed through APIs typed on the step-probe interface.
+func (f *FlightRecorder) OnStep(t int64, spikes, deliveries, active, queueDepth int) {}
+
+// Len returns the number of retained events.
+func (f *FlightRecorder) Len() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.count
+}
+
+// Dropped returns how many events were overwritten after the ring
+// filled (a non-zero value means Events holds only the tail of the run).
+func (f *FlightRecorder) Dropped() int64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.dropped
+}
+
+// Events returns the retained events oldest-first (a copy).
+func (f *FlightRecorder) Events() []SpikeEvent {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make([]SpikeEvent, 0, f.count)
+	for i := 0; i < f.count; i++ {
+		out = append(out, f.ring[(f.start+i)%cap(f.ring)])
+	}
+	return out
+}

@@ -1,0 +1,96 @@
+package telemetry
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/snn"
+)
+
+// The FlightRecorder must satisfy the flight-probe interface and, so it
+// can ride the optional probe arguments of the algorithm entry points,
+// the step-probe interface too.
+var (
+	_ snn.FlightProbe = (*FlightRecorder)(nil)
+	_ snn.StepProbe   = (*FlightRecorder)(nil)
+)
+
+func TestFlightRecorderRingBounds(t *testing.T) {
+	rec := NewFlightRecorder(4)
+	for i := 0; i < 10; i++ {
+		rec.OnSpike(int64(i), int32(i), false, 0, 1, nil)
+	}
+	if got := rec.Len(); got != 4 {
+		t.Fatalf("Len %d, want capacity 4", got)
+	}
+	if got := rec.Dropped(); got != 6 {
+		t.Fatalf("Dropped %d, want 6", got)
+	}
+	ev := rec.Events()
+	if len(ev) != 4 {
+		t.Fatalf("Events returned %d", len(ev))
+	}
+	// Oldest-first tail of the stream: t = 6, 7, 8, 9.
+	for i, e := range ev {
+		if e.T != int64(6+i) || e.Neuron != int32(6+i) {
+			t.Fatalf("event %d = %+v, want t=%d", i, e, 6+i)
+		}
+	}
+}
+
+func TestFlightRecorderDefaultCapacity(t *testing.T) {
+	rec := NewFlightRecorder(0)
+	if got := cap(rec.ring); got != DefaultFlightCapacity {
+		t.Fatalf("default capacity %d, want %d", got, DefaultFlightCapacity)
+	}
+}
+
+func TestFlightRecorderCopiesScratch(t *testing.T) {
+	rec := NewFlightRecorder(8)
+	scratch := []snn.Antecedent{{From: 1, Weight: 1, Delay: 3}}
+	rec.OnSpike(5, 2, false, 0, 1, scratch)
+	scratch[0] = snn.Antecedent{From: 99, Weight: -9, Delay: 1} // engine reuses scratch
+	ev := rec.Events()
+	if len(ev) != 1 || len(ev[0].Antecedents) != 1 {
+		t.Fatalf("events %+v", ev)
+	}
+	if a := ev[0].Antecedents[0]; a.From != 1 || a.Weight != 1 || a.Delay != 3 {
+		t.Fatalf("recorded antecedent aliases engine scratch: %+v", a)
+	}
+}
+
+// TestRecorderConcurrentEngines runs two probed SSSP engines in parallel
+// against one shared Recorder; with -race this doubles as the data-race
+// check for the mutex-protected Recorder, and the counter totals must be
+// the sum over both runs.
+func TestRecorderConcurrentEngines(t *testing.T) {
+	g1 := graph.RandomGnm(96, 384, graph.Uniform(8), 11, true)
+	g2 := graph.RandomGnm(128, 512, graph.Uniform(6), 12, true)
+	rec := NewRecorder()
+
+	var wg sync.WaitGroup
+	results := make([]*core.SSSPResult, 2)
+	for i, g := range []*graph.Graph{g1, g2} {
+		wg.Add(1)
+		go func(i int, g *graph.Graph) {
+			defer wg.Done()
+			results[i] = core.SSSP(g, 0, -1, rec)
+		}(i, g)
+	}
+	wg.Wait()
+
+	wantSpikes := results[0].Stats.Spikes + results[1].Stats.Spikes
+	if got := rec.TotalSpikes(); got != wantSpikes {
+		t.Fatalf("shared recorder spikes %d, want %d", got, wantSpikes)
+	}
+	wantDeliveries := results[0].Stats.Deliveries + results[1].Stats.Deliveries
+	if got := rec.TotalDeliveries(); got != wantDeliveries {
+		t.Fatalf("shared recorder deliveries %d, want %d", got, wantDeliveries)
+	}
+	wantSteps := results[0].Stats.Steps + results[1].Stats.Steps
+	if got := int64(rec.StepCount()); got != wantSteps {
+		t.Fatalf("shared recorder steps %d, want %d", got, wantSteps)
+	}
+}

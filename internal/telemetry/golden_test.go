@@ -1,0 +1,80 @@
+package telemetry
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files under testdata/")
+
+// checkGolden compares got against the named golden file, rewriting it
+// under -update.
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("reading golden file (run `go test -run %s -update ./internal/telemetry/` to create it): %v", t.Name(), err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("output differs from %s (re-run with -update after verifying):\n--- got ---\n%s\n--- want ---\n%s", path, got, want)
+	}
+}
+
+// TestTraceGolden locks the Chrome trace_event serialization byte for
+// byte: metadata events first, stable track interning, counters from a
+// recorder's series. Perfetto-compatibility regressions (field renames,
+// ordering changes) show up as a golden diff.
+func TestTraceGolden(t *testing.T) {
+	rec := NewRecorder()
+	// A deterministic synthetic run: three steps, then two CONGEST rounds.
+	rec.OnStep(0, 1, 0, 1, 2)
+	rec.OnStep(3, 2, 4, 2, 3)
+	rec.OnStep(8, 1, 2, 1, 1)
+	rec.OnCongestRound(0, 12, 96)
+	rec.OnCongestRound(1, 8, 64)
+
+	tr := NewTracer()
+	tr.Span("phases", "build", 0, 2)
+	tr.Span("phases", "simulate", 2, 7)
+	tr.Instant("phases", "first spike", 3)
+	tr.Counter("movement", 4, 17)
+	tr.AddRecorder(rec)
+
+	var buf bytes.Buffer
+	if err := tr.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "trace.golden.json", buf.Bytes())
+}
+
+// TestSparklineGolden locks the sparkline glyph mapping and max-pooling.
+func TestSparklineGolden(t *testing.T) {
+	var b strings.Builder
+	ramp := []int64{0, 1, 2, 3, 4, 5, 6, 7, 8}
+	fmt.Fprintf(&b, "ramp      %s\n", Sparkline(ramp))
+	burst := []int64{0, 0, 9, 0, 0, 3, 0, 1, 0}
+	fmt.Fprintf(&b, "burst     %s\n", Sparkline(burst))
+	wide := make([]int64, 100)
+	for i := range wide {
+		wide[i] = int64(i % 10)
+	}
+	fmt.Fprintf(&b, "pooled    %s\n", SparklineWidth(wide, 20))
+	fmt.Fprintf(&b, "flat      %s\n", Sparkline([]int64{5, 5, 5, 5}))
+	fmt.Fprintf(&b, "silence   %s\n", Sparkline(make([]int64, 8)))
+	checkGolden(t, "sparkline.golden.txt", []byte(b.String()))
+}

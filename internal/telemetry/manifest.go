@@ -72,12 +72,12 @@ func (m *Manifest) AddRecorder(r *Recorder) *Manifest {
 	if r == nil {
 		return m
 	}
-	if len(r.counters) > 0 {
+	if counters := r.Counters(); len(counters) > 0 {
 		if m.Counters == nil {
 			m.Counters = make(map[string]int64)
 		}
 		//lint:deterministic copies into a map; per-key, order-independent
-		for k, v := range r.counters {
+		for k, v := range counters {
 			m.Counters[k] += v
 		}
 	}

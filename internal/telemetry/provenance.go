@@ -1,0 +1,560 @@
+package telemetry
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+
+	"repro/internal/snn"
+)
+
+// ProvenanceSchema identifies the causal spike log format: a JSONL file
+// whose first line is a ProvenanceHeader (carrying the netlist of the
+// recorded network and the run horizon) and whose remaining lines are
+// one SpikeEvent each, in engine order. The header makes every log a
+// self-contained regression test: `spaabench replay` rebuilds the
+// network from the embedded netlist, re-executes it, and verifies the
+// event stream is bit-identical.
+const ProvenanceSchema = "spaa-provenance/v1"
+
+// NeuronLabel names one neuron in a provenance header. Labels are
+// emitted sorted by neuron id so logs diff cleanly run-over-run.
+type NeuronLabel struct {
+	Neuron int    `json:"neuron"`
+	Label  string `json:"label"`
+}
+
+// ProvenanceHeader is the first JSONL line of a provenance log.
+type ProvenanceHeader struct {
+	Schema  string `json:"schema"`
+	Tool    string `json:"tool,omitempty"`
+	Command string `json:"command,omitempty"`
+	// MaxTime is the horizon the recorded run was executed with; Replay
+	// re-runs to exactly this time.
+	MaxTime int64 `json:"max_time"`
+	// Netlist is the snn netlist (text format) of the network as built,
+	// captured BEFORE the run so it still carries the induced input
+	// spikes (CaptureNetlist).
+	Netlist string        `json:"netlist"`
+	Labels  []NeuronLabel `json:"labels,omitempty"`
+	// Events is the number of event lines that follow; Dropped counts
+	// ring-buffer overwrites (non-zero means the log holds only the tail
+	// of the run and cannot replay cleanly).
+	Events  int   `json:"events"`
+	Dropped int64 `json:"dropped,omitempty"`
+}
+
+// ProvenanceLog is a parsed (or freshly recorded) causal spike log.
+type ProvenanceLog struct {
+	Header ProvenanceHeader
+	Events []SpikeEvent
+
+	labels map[int32]string
+	// byNeuron indexes events per neuron in chronological order, built
+	// lazily for causal walks.
+	byNeuron map[int32][]int
+}
+
+// CaptureNetlist serializes a network to the netlist text embedded in
+// provenance headers. Call it after building the network and scheduling
+// its input spikes but BEFORE Run — the netlist format only carries
+// still-pending induced spikes, and Replay needs the full input
+// schedule.
+func CaptureNetlist(net *snn.Network) (string, error) {
+	var b strings.Builder
+	if err := snn.WriteNetlist(&b, net); err != nil {
+		return "", fmt.Errorf("telemetry: capturing netlist: %w", err)
+	}
+	return b.String(), nil
+}
+
+// CaptureLabels collects the non-empty neuron labels of a network in
+// ascending neuron order (the header spelling).
+func CaptureLabels(net *snn.Network) []NeuronLabel {
+	var out []NeuronLabel
+	for i := 0; i < net.N(); i++ {
+		if l := net.Label(i); l != "" {
+			out = append(out, NeuronLabel{Neuron: i, Label: l})
+		}
+	}
+	return out
+}
+
+// NewProvenanceLog assembles a log from a pre-run netlist capture, the
+// horizon the run used, optional labels, and the recorder that watched
+// the run.
+func NewProvenanceLog(tool, command, netlist string, maxTime int64, labels []NeuronLabel, rec *FlightRecorder) *ProvenanceLog {
+	events := rec.Events()
+	return &ProvenanceLog{
+		Header: ProvenanceHeader{
+			Schema: ProvenanceSchema, Tool: tool, Command: command,
+			MaxTime: maxTime, Netlist: netlist, Labels: labels,
+			Events: len(events), Dropped: rec.Dropped(),
+		},
+		Events: events,
+	}
+}
+
+// Label returns the recorded label of a neuron, or "".
+func (l *ProvenanceLog) Label(neuron int32) string {
+	if l.labels == nil {
+		l.labels = make(map[int32]string, len(l.Header.Labels))
+		for _, nl := range l.Header.Labels {
+			l.labels[int32(nl.Neuron)] = nl.Label
+		}
+	}
+	return l.labels[neuron]
+}
+
+// Encode writes the log in JSONL form: header line, then one event per
+// line.
+func (l *ProvenanceLog) Encode(w io.Writer) error {
+	if l.Header.Schema != ProvenanceSchema {
+		return fmt.Errorf("telemetry: provenance header missing schema")
+	}
+	if l.Header.Events != len(l.Events) {
+		return fmt.Errorf("telemetry: header says %d events, log has %d", l.Header.Events, len(l.Events))
+	}
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	if err := enc.Encode(l.Header); err != nil {
+		return fmt.Errorf("telemetry: encoding provenance header: %w", err)
+	}
+	for i := range l.Events {
+		if err := enc.Encode(&l.Events[i]); err != nil {
+			return fmt.Errorf("telemetry: encoding event %d: %w", i, err)
+		}
+	}
+	return bw.Flush()
+}
+
+// WriteFile writes the log to path.
+func (l *ProvenanceLog) WriteFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := l.Encode(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// ReadProvenance parses a JSONL provenance log (schema-checked).
+func ReadProvenance(r io.Reader) (*ProvenanceLog, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<26)
+	if !sc.Scan() {
+		if err := sc.Err(); err != nil {
+			return nil, err
+		}
+		return nil, fmt.Errorf("telemetry: empty provenance log")
+	}
+	var h ProvenanceHeader
+	if err := json.Unmarshal(sc.Bytes(), &h); err != nil {
+		return nil, fmt.Errorf("telemetry: parsing provenance header: %w", err)
+	}
+	if h.Schema != ProvenanceSchema {
+		return nil, fmt.Errorf("telemetry: unknown provenance schema %q (want %q)", h.Schema, ProvenanceSchema)
+	}
+	log := &ProvenanceLog{Header: h, Events: make([]SpikeEvent, 0, h.Events)}
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		var ev SpikeEvent
+		if err := json.Unmarshal([]byte(line), &ev); err != nil {
+			return nil, fmt.Errorf("telemetry: parsing event %d: %w", len(log.Events), err)
+		}
+		log.Events = append(log.Events, ev)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(log.Events) != h.Events {
+		return nil, fmt.Errorf("telemetry: header says %d events, log has %d", h.Events, len(log.Events))
+	}
+	return log, nil
+}
+
+// ReadProvenanceFile parses a provenance log from disk.
+func ReadProvenanceFile(path string) (*ProvenanceLog, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadProvenance(f)
+}
+
+// index builds the per-neuron event index.
+func (l *ProvenanceLog) index() {
+	if l.byNeuron != nil {
+		return
+	}
+	l.byNeuron = make(map[int32][]int)
+	for i := range l.Events {
+		n := l.Events[i].Neuron
+		l.byNeuron[n] = append(l.byNeuron[n], i)
+	}
+}
+
+// EventOf returns the event of neuron firing at exactly time t, or, with
+// t < 0, the neuron's first recorded firing. Returns nil if no such
+// event was recorded.
+func (l *ProvenanceLog) EventOf(neuron int32, t int64) *SpikeEvent {
+	l.index()
+	idxs := l.byNeuron[neuron]
+	if len(idxs) == 0 {
+		return nil
+	}
+	if t < 0 {
+		return &l.Events[idxs[0]]
+	}
+	for _, i := range idxs {
+		if l.Events[i].T == t {
+			return &l.Events[i]
+		}
+	}
+	return nil
+}
+
+// CauseNode is one node of a causal proof tree: a spike event, the
+// delivery that linked it to its consequence (nil at the root), and the
+// spikes that caused it. Parents follow the event's excitatory
+// antecedents in delivery order, so Parents[0] matches the engine's
+// FirstCause latching.
+type CauseNode struct {
+	Event *SpikeEvent
+	Label string
+	// Via is the antecedent through which this node excited its child in
+	// the tree (nil for the root).
+	Via *Antecedent
+	// Parents are the causes of this spike; empty for induced spikes and
+	// for events whose causes were not recorded (ring overwrite).
+	Parents []*CauseNode
+	// Truncated marks nodes whose parents were cut by WalkOptions limits.
+	Truncated bool
+	// Unresolved marks synthesized leaves: the delivery is recorded but
+	// the spike that sent it fell outside the ring's retention window.
+	Unresolved bool
+}
+
+// WalkOptions bounds a causal walk.
+type WalkOptions struct {
+	// MaxDepth limits the tree depth in causal links (<= 0: 4096).
+	MaxDepth int
+	// MaxFan limits how many excitatory antecedents are expanded per
+	// event (<= 0: 8). The first antecedent — the FirstCause latch — is
+	// always included.
+	MaxFan int
+}
+
+// CausalTree walks the causal DAG backward from neuron's spike at time t
+// (t < 0: its first spike) and returns the proof tree: every excitatory
+// antecedent delivery resolved to the source spike that produced it.
+// Spike times strictly decrease along every path, so the walk always
+// terminates at induced spikes or at events older than the ring retained.
+func (l *ProvenanceLog) CausalTree(neuron int32, t int64, opt WalkOptions) (*CauseNode, error) {
+	if opt.MaxDepth <= 0 {
+		opt.MaxDepth = 4096
+	}
+	if opt.MaxFan <= 0 {
+		opt.MaxFan = 8
+	}
+	ev := l.EventOf(neuron, t)
+	if ev == nil {
+		if t < 0 {
+			return nil, fmt.Errorf("telemetry: neuron %d never fired in this log", neuron)
+		}
+		return nil, fmt.Errorf("telemetry: no recorded spike of neuron %d at t=%d", neuron, t)
+	}
+	return l.walk(ev, nil, opt.MaxDepth, opt.MaxFan), nil
+}
+
+func (l *ProvenanceLog) walk(ev *SpikeEvent, via *Antecedent, depth, fan int) *CauseNode {
+	node := &CauseNode{Event: ev, Label: l.Label(ev.Neuron), Via: via}
+	if depth == 0 {
+		node.Truncated = true
+		return node
+	}
+	expanded := 0
+	for i := range ev.Antecedents {
+		a := &ev.Antecedents[i]
+		if a.Weight <= 0 {
+			continue // inhibition cannot cause a firing
+		}
+		if expanded >= fan {
+			node.Truncated = true
+			break
+		}
+		expanded++
+		src := l.sourceOf(ev, a)
+		if src == nil {
+			// The causing spike predates the ring's retention window (or
+			// the delivery predates probe attachment): a leaf.
+			node.Parents = append(node.Parents, &CauseNode{
+				Label: l.Label(a.From), Via: a, Unresolved: true,
+				Event: &SpikeEvent{T: sentTime(ev, a), Neuron: a.From},
+			})
+			continue
+		}
+		node.Parents = append(node.Parents, l.walk(src, a, depth-1, fan))
+	}
+	return node
+}
+
+// sentTime is the emission time of the spike behind an antecedent, or -1
+// when the delay is unknown.
+func sentTime(ev *SpikeEvent, a *Antecedent) int64 {
+	if a.Delay < 0 {
+		return -1
+	}
+	return ev.T - a.Delay
+}
+
+// sourceOf resolves an antecedent delivery to the recorded spike that
+// sent it: the event of a.From at time ev.T - a.Delay, or, when the
+// delay is unknown, the latest recorded spike of a.From before ev.T.
+func (l *ProvenanceLog) sourceOf(ev *SpikeEvent, a *Antecedent) *SpikeEvent {
+	l.index()
+	if a.Delay >= 0 {
+		return l.EventOf(a.From, ev.T-a.Delay)
+	}
+	idxs := l.byNeuron[a.From]
+	var latest *SpikeEvent
+	for _, i := range idxs {
+		if l.Events[i].T < ev.T {
+			latest = &l.Events[i]
+		}
+	}
+	return latest
+}
+
+// Depth returns the length in causal links of the longest chain under
+// the node (0 for a leaf).
+func (n *CauseNode) Depth() int {
+	max := 0
+	for _, p := range n.Parents {
+		if d := p.Depth() + 1; d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// PrimaryChain returns the chain following each node's first parent —
+// the engine's FirstCause latch — from the node down to its ultimate
+// cause, inclusive of both ends.
+func (n *CauseNode) PrimaryChain() []*CauseNode {
+	chain := []*CauseNode{n}
+	for cur := n; len(cur.Parents) > 0; cur = cur.Parents[0] {
+		chain = append(chain, cur.Parents[0])
+	}
+	return chain
+}
+
+// describe renders one node's spike in human form.
+func (n *CauseNode) describe() string {
+	name := fmt.Sprintf("n%d", n.Event.Neuron)
+	if n.Label != "" {
+		name = fmt.Sprintf("n%d %q", n.Event.Neuron, n.Label)
+	}
+	switch {
+	case n.Unresolved:
+		if n.Event.T < 0 {
+			return fmt.Sprintf("%s @ t=? (outside recorded window)", name)
+		}
+		return fmt.Sprintf("%s @ t=%d (outside recorded window)", name, n.Event.T)
+	case n.Event.Forced:
+		return fmt.Sprintf("%s @ t=%d (induced input spike)", name, n.Event.T)
+	default:
+		return fmt.Sprintf("%s @ t=%d (v %g -> %g)", name, n.Event.T, n.Event.VBefore, n.Event.VAfter)
+	}
+}
+
+// RenderCauseTree pretty-prints a causal proof tree:
+//
+//	n5 "v5" @ t=12 (v 0 -> 1)
+//	└─ +1 after d=3 from n2 "v2" @ t=9 (v 0 -> 1)
+//	   └─ +1 after d=9 from n0 "v0" @ t=0 (induced input spike)
+func RenderCauseTree(root *CauseNode) string {
+	var b strings.Builder
+	b.WriteString(root.describe())
+	b.WriteByte('\n')
+	renderChildren(&b, root, "")
+	return b.String()
+}
+
+func renderChildren(b *strings.Builder, n *CauseNode, indent string) {
+	for i, p := range n.Parents {
+		last := i == len(n.Parents)-1
+		branch, cont := "├─ ", "│  "
+		if last {
+			branch, cont = "└─ ", "   "
+		}
+		edge := ""
+		if p.Via != nil {
+			if p.Via.Delay >= 0 {
+				edge = fmt.Sprintf("%+g after d=%d from ", p.Via.Weight, p.Via.Delay)
+			} else {
+				edge = fmt.Sprintf("%+g from ", p.Via.Weight)
+			}
+		}
+		fmt.Fprintf(b, "%s%s%s%s\n", indent, branch, edge, p.describe())
+		renderChildren(b, p, indent+cont)
+	}
+	if n.Truncated && len(n.Parents) > 0 {
+		fmt.Fprintf(b, "%s…\n", indent)
+	}
+}
+
+// Divergence describes the first disagreement between a recorded run and
+// its replay.
+type Divergence struct {
+	// Index is the position in the canonical event order (events sorted
+	// by time, then neuron) where the two runs first disagree.
+	Index     int
+	Want, Got *SpikeEvent // nil when one run has no event at Index
+	Reason    string
+}
+
+func (d Divergence) String() string {
+	switch {
+	case d.Want == nil:
+		return fmt.Sprintf("event %d: replay produced extra spike n%d @ t=%d", d.Index, d.Got.Neuron, d.Got.T)
+	case d.Got == nil:
+		return fmt.Sprintf("event %d: replay missing spike n%d @ t=%d", d.Index, d.Want.Neuron, d.Want.T)
+	default:
+		return fmt.Sprintf("event %d: %s (recorded n%d @ t=%d, replay n%d @ t=%d)",
+			d.Index, d.Reason, d.Want.Neuron, d.Want.T, d.Got.Neuron, d.Got.T)
+	}
+}
+
+// ReplayReport is the outcome of re-executing a recorded run.
+type ReplayReport struct {
+	// Events is the number of canonical events compared (max of the two
+	// streams' lengths).
+	Events int
+	// Divergence is nil when the replay was bit-identical.
+	Divergence *Divergence
+	// Stats are the replay engine's cost counters.
+	Stats snn.Stats
+}
+
+// Replay rebuilds the recorded network from the embedded netlist,
+// re-executes it to the recorded horizon, and compares the fresh event
+// stream against the log: every spike's time, neuron, voltages, and
+// antecedent set must match bit-for-bit. Events within one time step are
+// compared in canonical (neuron-sorted) order, so input-schedule
+// reorderings that are semantically identical do not count as drift. The
+// first divergence, if any, is reported.
+func (l *ProvenanceLog) Replay() (*ReplayReport, error) {
+	if l.Header.Dropped > 0 {
+		return nil, fmt.Errorf("telemetry: log dropped %d events (ring overflow); replay needs a complete recording", l.Header.Dropped)
+	}
+	net, err := snn.ReadNetlist(strings.NewReader(l.Header.Netlist))
+	if err != nil {
+		return nil, fmt.Errorf("telemetry: rebuilding recorded network: %w", err)
+	}
+	capacity := 2*len(l.Events) + 1024
+	rec := NewFlightRecorder(capacity)
+	net.SetFlightProbe(rec)
+	net.Run(l.Header.MaxTime)
+
+	want := canonicalOrder(l.Events)
+	got := canonicalOrder(rec.Events())
+	report := &ReplayReport{Stats: net.TotalStats()}
+	report.Events = len(want)
+	if len(got) > report.Events {
+		report.Events = len(got)
+	}
+	if rec.Dropped() > 0 {
+		report.Divergence = &Divergence{Index: 0, Reason: fmt.Sprintf("replay overflowed its ring (%d dropped): spike count diverged wildly", rec.Dropped())}
+		return report, nil
+	}
+	for i := 0; i < report.Events; i++ {
+		var w, g *SpikeEvent
+		if i < len(want) {
+			w = want[i]
+		}
+		if i < len(got) {
+			g = got[i]
+		}
+		if w == nil || g == nil {
+			report.Divergence = &Divergence{Index: i, Want: w, Got: g}
+			return report, nil
+		}
+		if reason := eventDiff(w, g); reason != "" {
+			report.Divergence = &Divergence{Index: i, Want: w, Got: g, Reason: reason}
+			return report, nil
+		}
+	}
+	return report, nil
+}
+
+// canonicalOrder sorts events by time then neuron id (a stable spelling
+// of the same-step firing set, which the engine may order by input
+// schedule).
+func canonicalOrder(events []SpikeEvent) []*SpikeEvent {
+	out := make([]*SpikeEvent, len(events))
+	for i := range events {
+		out[i] = &events[i]
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].T != out[j].T {
+			return out[i].T < out[j].T
+		}
+		return out[i].Neuron < out[j].Neuron
+	})
+	return out
+}
+
+// eventDiff compares two events bit-for-bit and returns a human-readable
+// reason for the first mismatch, or "".
+func eventDiff(w, g *SpikeEvent) string {
+	switch {
+	case w.T != g.T || w.Neuron != g.Neuron:
+		return "spike identity differs"
+	case w.Forced != g.Forced:
+		return "forced flag differs"
+	//lint:floateq bit-identical replay is the contract being verified
+	case w.VBefore != g.VBefore:
+		return fmt.Sprintf("v_before %g != %g", g.VBefore, w.VBefore)
+	//lint:floateq bit-identical replay is the contract being verified
+	case w.VAfter != g.VAfter:
+		return fmt.Sprintf("v_after %g != %g", g.VAfter, w.VAfter)
+	}
+	if len(w.Antecedents) != len(g.Antecedents) {
+		return fmt.Sprintf("antecedent count %d != %d", len(g.Antecedents), len(w.Antecedents))
+	}
+	wa := sortedAntecedents(w.Antecedents)
+	ga := sortedAntecedents(g.Antecedents)
+	for i := range wa {
+		//lint:floateq bit-identical replay is the contract being verified
+		if wa[i].From != ga[i].From || wa[i].Weight != ga[i].Weight || wa[i].Delay != ga[i].Delay {
+			return fmt.Sprintf("antecedent %d differs (%+v != %+v)", i, ga[i], wa[i])
+		}
+	}
+	return ""
+}
+
+func sortedAntecedents(a []Antecedent) []Antecedent {
+	out := append([]Antecedent(nil), a...)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].From != out[j].From {
+			return out[i].From < out[j].From
+		}
+		if out[i].Delay != out[j].Delay {
+			return out[i].Delay < out[j].Delay
+		}
+		return out[i].Weight < out[j].Weight
+	})
+	return out
+}

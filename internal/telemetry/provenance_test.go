@@ -1,0 +1,230 @@
+package telemetry
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/snn"
+)
+
+// recordChain builds the canonical three-neuron relay a→b→c (delays 3
+// and 5), records it with a FlightRecorder, and returns the assembled
+// provenance log. Firing times: a@0 (induced), b@3, c@8.
+func recordChain(t *testing.T) *ProvenanceLog {
+	t.Helper()
+	net := snn.NewNetwork(snn.Config{})
+	a := net.AddNeuron(snn.Gate(1))
+	b := net.AddNeuron(snn.Gate(1))
+	c := net.AddNeuron(snn.Gate(1))
+	net.Connect(a, b, 1, 3)
+	net.Connect(b, c, 1, 5)
+	net.SetLabel(a, "src")
+	net.SetLabel(c, "dst")
+	net.InduceSpike(a, 0)
+
+	netlist, err := CaptureNetlist(net) // before Run: keeps the induced spike
+	if err != nil {
+		t.Fatal(err)
+	}
+	labels := CaptureLabels(net)
+	rec := NewFlightRecorder(64)
+	net.SetFlightProbe(rec)
+	net.Run(100)
+	return NewProvenanceLog("spaabench", "why", netlist, 100, labels, rec)
+}
+
+func TestProvenanceRoundTrip(t *testing.T) {
+	log := recordChain(t)
+	if log.Header.Events != 3 {
+		t.Fatalf("recorded %d events, want 3", log.Header.Events)
+	}
+	var buf bytes.Buffer
+	if err := log.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadProvenance(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Header.Schema != ProvenanceSchema || back.Header.MaxTime != 100 {
+		t.Fatalf("round-tripped header %+v", back.Header)
+	}
+	if back.Header.Netlist != log.Header.Netlist {
+		t.Fatal("netlist changed in round trip")
+	}
+	if len(back.Events) != len(log.Events) {
+		t.Fatalf("round-tripped %d events, want %d", len(back.Events), len(log.Events))
+	}
+	for i := range back.Events {
+		if reason := eventDiff(&log.Events[i], &back.Events[i]); reason != "" {
+			t.Fatalf("event %d changed in round trip: %s", i, reason)
+		}
+	}
+	if got := back.Label(0); got != "src" {
+		t.Fatalf("label of n0 = %q, want src", got)
+	}
+}
+
+func TestReadProvenanceRejectsBadInput(t *testing.T) {
+	if _, err := ReadProvenance(strings.NewReader("")); err == nil {
+		t.Fatal("empty log accepted")
+	}
+	if _, err := ReadProvenance(strings.NewReader(`{"schema":"other/v9"}`)); err == nil {
+		t.Fatal("foreign schema accepted")
+	}
+	short := `{"schema":"spaa-provenance/v1","max_time":10,"netlist":"","events":2}` + "\n" +
+		`{"t":0,"neuron":0,"v_before":0,"v_after":0}` + "\n"
+	if _, err := ReadProvenance(strings.NewReader(short)); err == nil {
+		t.Fatal("event-count mismatch accepted")
+	}
+}
+
+func TestReplayBitIdentical(t *testing.T) {
+	log := recordChain(t)
+	report, err := log.Replay()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Divergence != nil {
+		t.Fatalf("replay diverged: %v", report.Divergence)
+	}
+	if report.Events != 3 {
+		t.Fatalf("compared %d events, want 3", report.Events)
+	}
+	if report.Stats.Spikes != 3 {
+		t.Fatalf("replay stats %+v", report.Stats)
+	}
+}
+
+func TestReplayDetectsTamperedVoltage(t *testing.T) {
+	log := recordChain(t)
+	log.Events[2].VAfter += 0.25
+	report, err := log.Replay()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Divergence == nil {
+		t.Fatal("tampered voltage replayed clean")
+	}
+	if !strings.Contains(report.Divergence.Reason, "v_after") {
+		t.Fatalf("divergence %v, want v_after mismatch", report.Divergence)
+	}
+}
+
+func TestReplayDetectsMissingEvent(t *testing.T) {
+	log := recordChain(t)
+	log.Events = log.Events[:len(log.Events)-1]
+	log.Header.Events = len(log.Events)
+	report, err := log.Replay()
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := report.Divergence
+	if d == nil || d.Want != nil || d.Got == nil {
+		t.Fatalf("divergence %+v, want extra replay spike", d)
+	}
+	if !strings.Contains(d.String(), "extra spike") {
+		t.Fatalf("divergence rendering %q", d.String())
+	}
+}
+
+func TestReplayRejectsOverflowedLog(t *testing.T) {
+	log := recordChain(t)
+	log.Header.Dropped = 7
+	if _, err := log.Replay(); err == nil {
+		t.Fatal("overflowed log accepted for replay")
+	}
+}
+
+func TestCausalTreeChainDepthMatchesHops(t *testing.T) {
+	log := recordChain(t)
+	// Last event is c@8; t<0 selects its first (only) firing.
+	root, err := log.CausalTree(2, -1, WalkOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if root.Event.T != 8 || root.Event.Neuron != 2 {
+		t.Fatalf("root %+v", root.Event)
+	}
+	if got := root.Depth(); got != 2 {
+		t.Fatalf("causal depth %d, want 2 hops", got)
+	}
+	chain := root.PrimaryChain()
+	if len(chain) != 3 {
+		t.Fatalf("primary chain length %d, want 3", len(chain))
+	}
+	last := chain[len(chain)-1]
+	if !last.Event.Forced || last.Event.Neuron != 0 {
+		t.Fatalf("chain does not end at the induced input: %+v", last.Event)
+	}
+	if chain[1].Via == nil || chain[1].Via.Delay != 5 {
+		t.Fatalf("c's causal edge %+v, want d=5 from b", chain[1].Via)
+	}
+
+	out := RenderCauseTree(root)
+	for _, want := range []string{`n2 "dst" @ t=8`, "└─ +1 after d=5 from n1 @ t=3", `n0 "src" @ t=0 (induced input spike)`} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("rendered tree missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCausalTreeUnresolvedSource(t *testing.T) {
+	log := recordChain(t)
+	// Drop a's event: b's antecedent delivery survives but its source
+	// spike is outside the retained window.
+	log.Events = log.Events[1:]
+	log.Header.Events = len(log.Events)
+	root, err := log.CausalTree(1, 3, WalkOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(root.Parents) != 1 || !root.Parents[0].Unresolved {
+		t.Fatalf("want one unresolved parent, got %+v", root.Parents)
+	}
+	if !strings.Contains(RenderCauseTree(root), "outside recorded window") {
+		t.Fatalf("rendering does not flag the unresolved leaf:\n%s", RenderCauseTree(root))
+	}
+}
+
+func TestCausalTreeErrors(t *testing.T) {
+	log := recordChain(t)
+	if _, err := log.CausalTree(1, 99, WalkOptions{}); err == nil {
+		t.Fatal("missing (neuron, t) accepted")
+	}
+	if _, err := log.CausalTree(42, -1, WalkOptions{}); err == nil {
+		t.Fatal("never-fired neuron accepted")
+	}
+}
+
+func TestCausalTreeFanLimit(t *testing.T) {
+	// 4 sources converge on a threshold-4 gate; MaxFan 2 must truncate.
+	net := snn.NewNetwork(snn.Config{})
+	gate := -1
+	var srcs []int
+	for i := 0; i < 4; i++ {
+		srcs = append(srcs, net.AddNeuron(snn.Gate(1)))
+	}
+	gate = net.AddNeuron(snn.Gate(4))
+	for _, s := range srcs {
+		net.Connect(s, gate, 1, 1)
+		net.InduceSpike(s, 0)
+	}
+	netlist, err := CaptureNetlist(net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := NewFlightRecorder(64)
+	net.SetFlightProbe(rec)
+	net.Run(10)
+	log := NewProvenanceLog("t", "t", netlist, 10, nil, rec)
+
+	root, err := log.CausalTree(int32(gate), -1, WalkOptions{MaxFan: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(root.Parents) != 2 || !root.Truncated {
+		t.Fatalf("fan limit not applied: %d parents, truncated=%v", len(root.Parents), root.Truncated)
+	}
+}

@@ -22,6 +22,7 @@ package telemetry
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"repro/internal/distance"
 )
@@ -54,9 +55,16 @@ type fleetEvent struct {
 // implements snn.StepProbe, distance.Probe, congest.Probe and
 // fleet.Probe; attach it with snn.(*Network).SetProbe, distance
 // Machine.Probe, congest Algorithm.Probe, or the optional trailing probe
-// argument the algorithm entry points accept. A Recorder is not safe for
-// concurrent use; give each engine under test its own or serialize runs.
+// argument the algorithm entry points accept. A Recorder is safe for
+// concurrent use: one value can be shared by engines running in
+// parallel, with counters accumulating across all of them. Note that
+// per-step series samples from concurrent engines interleave in arrival
+// order, so a shared Recorder's series are aggregate load curves, not
+// per-run traces; give each engine its own Recorder when the series
+// must stay attributable.
 type Recorder struct {
+	mu sync.Mutex
+
 	stepT, stepSpikes, stepDeliveries, stepActive, stepQueue []int64
 
 	roundT, roundMessages, roundBits []int64
@@ -75,6 +83,8 @@ func NewRecorder() *Recorder {
 // OnStep implements snn.StepProbe: one sample per non-silent simulated
 // step.
 func (r *Recorder) OnStep(t int64, spikes, deliveries, active, queueDepth int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	r.stepT = append(r.stepT, t)
 	r.stepSpikes = append(r.stepSpikes, int64(spikes))
 	r.stepDeliveries = append(r.stepDeliveries, int64(deliveries))
@@ -85,12 +95,16 @@ func (r *Recorder) OnStep(t int64, spikes, deliveries, active, queueDepth int) {
 // OnDistanceOp implements distance.Probe: per-primitive ℓ1 cost deltas,
 // aggregated into movement counters by kind.
 func (r *Recorder) OnDistanceOp(kind distance.OpKind, cost int64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	r.counters["distance_"+kind.String()+"s"]++
 	r.counters["distance_movement"] += cost
 }
 
 // OnCongestRound implements congest.Probe: one sample per executed round.
 func (r *Recorder) OnCongestRound(round int, messages, bits int64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	r.roundT = append(r.roundT, int64(round))
 	r.roundMessages = append(r.roundMessages, messages)
 	r.roundBits = append(r.roundBits, bits)
@@ -101,6 +115,8 @@ func (r *Recorder) OnCongestRound(round int, messages, bits int64) {
 // OnFleetDelivery implements fleet.Probe: one event per spike delivery
 // with its send time and the chips involved.
 func (r *Recorder) OnFleetDelivery(t int64, fromChip, toChip int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	r.fleetEvents = append(r.fleetEvents, fleetEvent{t: t, from: fromChip, to: toChip})
 	if fromChip >= r.chipCount {
 		r.chipCount = fromChip + 1
@@ -118,18 +134,30 @@ func (r *Recorder) OnFleetDelivery(t int64, fromChip, toChip int) {
 // Add accumulates an ad-hoc named counter (CLI commands use it for
 // quantities that have no probe stream, e.g. flow sweep rounds).
 func (r *Recorder) Add(name string, delta int64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	r.counters[name] += delta
 }
 
 // Counter returns the current value of a named counter (0 if never added).
-func (r *Recorder) Counter(name string) int64 { return r.counters[name] }
+func (r *Recorder) Counter(name string) int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.counters[name]
+}
 
 // StepCount returns the number of recorded simulator steps.
-func (r *Recorder) StepCount() int { return len(r.stepT) }
+func (r *Recorder) StepCount() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.stepT)
+}
 
 // TotalSpikes returns the sum of the per-step spike series — by
 // construction equal to the run's snn.Stats.Spikes.
 func (r *Recorder) TotalSpikes() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	var total int64
 	for _, v := range r.stepSpikes {
 		total += v
@@ -139,6 +167,8 @@ func (r *Recorder) TotalSpikes() int64 {
 
 // TotalDeliveries returns the sum of the per-step delivery series.
 func (r *Recorder) TotalDeliveries() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	var total int64
 	for _, v := range r.stepDeliveries {
 		total += v
@@ -147,8 +177,16 @@ func (r *Recorder) TotalDeliveries() int64 {
 }
 
 // StepSeries returns the named per-step series ("spikes", "deliveries",
-// "active", "queue_depth") or nil if nothing was recorded.
+// "active", "queue_depth") or nil if nothing was recorded. The returned
+// series is a snapshot copy.
 func (r *Recorder) StepSeries(name string) *Series {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.stepSeriesLocked(name)
+}
+
+// stepSeriesLocked builds the named per-step series; r.mu must be held.
+func (r *Recorder) stepSeriesLocked(name string) *Series {
 	if len(r.stepT) == 0 {
 		return nil
 	}
@@ -165,23 +203,31 @@ func (r *Recorder) StepSeries(name string) *Series {
 	default:
 		return nil
 	}
-	return &Series{Name: name + "_per_step", Times: r.stepT, Values: vals}
+	return &Series{
+		Name:   name + "_per_step",
+		Times:  append([]int64(nil), r.stepT...),
+		Values: append([]int64(nil), vals...),
+	}
 }
 
 // Series returns every recorded time series in deterministic order:
 // the per-step simulator series, the per-round CONGEST series, and one
-// sends-per-step series per chip seen by the fleet probe.
+// sends-per-step series per chip seen by the fleet probe. The returned
+// series are snapshot copies.
 func (r *Recorder) Series() []Series {
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	var out []Series
 	for _, name := range []string{"spikes", "deliveries", "active", "queue_depth"} {
-		if s := r.StepSeries(name); s != nil {
+		if s := r.stepSeriesLocked(name); s != nil {
 			out = append(out, *s)
 		}
 	}
 	if len(r.roundT) > 0 {
+		roundT := append([]int64(nil), r.roundT...)
 		out = append(out,
-			Series{Name: "messages_per_round", Times: r.roundT, Values: r.roundMessages},
-			Series{Name: "bits_per_round", Times: r.roundT, Values: r.roundBits},
+			Series{Name: "messages_per_round", Times: roundT, Values: append([]int64(nil), r.roundMessages...)},
+			Series{Name: "bits_per_round", Times: roundT, Values: append([]int64(nil), r.roundBits...)},
 		)
 	}
 	out = append(out, r.chipSeries()...)
@@ -189,7 +235,7 @@ func (r *Recorder) Series() []Series {
 }
 
 // chipSeries aggregates fleet events into one sends-per-time series per
-// source chip.
+// source chip; r.mu must be held.
 func (r *Recorder) chipSeries() []Series {
 	if len(r.fleetEvents) == 0 {
 		return nil
@@ -224,6 +270,8 @@ func (r *Recorder) chipSeries() []Series {
 
 // Counters returns a copy of the counter map.
 func (r *Recorder) Counters() map[string]int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	out := make(map[string]int64, len(r.counters))
 	//lint:deterministic copies into a map; per-key, order-independent
 	for k, v := range r.counters {
