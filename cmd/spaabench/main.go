@@ -17,6 +17,7 @@
 //	spaabench dot -n 12 -m 30 -dst 5              # Graphviz DOT with highlighted shortest path
 //	spaabench timeline -n 16 -m 48                # raster plus per-step telemetry sparklines
 //	spaabench validate <netlist>                  # static Definition 1-2 checks ("-" = stdin)
+//	spaabench faults [-rates 0,0.01] [-trials 20] [-k 3]  # fault-injection sweep + degradation curve
 //	spaabench why -n 64 -m 256 -dst 5 [-save log.jsonl]   # causal proof tree behind a spike
 //	spaabench replay <log.jsonl>                  # re-execute a provenance log, verify bit-identical
 //	spaabench regress [-tol 0.02] BENCH_*.json    # diff fresh runs against committed baselines
@@ -41,6 +42,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/cost"
 	"repro/internal/crossbar"
+	"repro/internal/faults"
 	"repro/internal/fleet"
 	"repro/internal/flow"
 	"repro/internal/graph"
@@ -86,6 +88,8 @@ func main() {
 		err = cmdCrossover(args)
 	case "fleet":
 		err = cmdFleet(args)
+	case "faults":
+		err = cmdFaults(args)
 	case "why":
 		err = cmdWhy(args)
 	case "replay":
@@ -107,7 +111,8 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: spaabench {table1|table2|table3|figures|experiments|sssp|gen|raster|timeline|flow|congest|dot|crossover|fleet|why|replay|regress|verify|validate} [flags]")
+	fmt.Fprintln(os.Stderr, "usage: spaabench {table1|table2|table3|figures|experiments|sssp|gen|raster|timeline|flow|congest|dot|crossover|fleet|faults|why|replay|regress|verify|validate} [flags]")
+	fmt.Fprintln(os.Stderr, "robustness: faults [-rates 0,0.01,...] [-trials 20] [-k 3] [-retries 3] [-strict] [-metrics out.json]")
 	fmt.Fprintln(os.Stderr, "observability (sssp, table1, flow, congest, fleet, timeline): -metrics out.json -trace out.json -cpuprofile out.pprof -memprofile out.pprof")
 	fmt.Fprintln(os.Stderr, "forensics: why -dst N [-save log.jsonl] | replay log.jsonl | regress [-tol 0.02] BENCH_*.json")
 }
@@ -181,7 +186,7 @@ func cmdExperiments(args []string) error {
 	if *quick {
 		cfg.Sizes = []int{32, 64, 128}
 	}
-	fmt.Print(harness.ExperimentsMarkdown(cfg))
+	fmt.Print(harness.ExperimentsMarkdown(cfg, faults.ExperimentsSection()))
 	return nil
 }
 
@@ -423,7 +428,11 @@ func cmdDOT(args []string) error {
 	g := graph.RandomGnm(*n, *m, graph.Uniform(*u), *seed, true)
 	var highlight []int
 	if *dst >= 0 {
-		highlight = core.SSSP(g, 0, -1).Path(*dst)
+		r, err := core.SSSP(g, 0, -1)
+		if err != nil {
+			return err
+		}
+		highlight = r.Path(*dst)
 	}
 	return graph.WriteDOT(os.Stdout, g, "spaa", highlight)
 }
@@ -481,7 +490,10 @@ func cmdFleet(args []string) error {
 	g := graph.Grid(*rows, *cols, graph.Unit, 1)
 	o.setGraph(g, 1, "grid")
 	o.Man.SetConfig("rows", *rows).SetConfig("cols", *cols).SetConfig("capacity", *capacity)
-	r := core.SSSP(g, 0, -1, o.snnProbes()...)
+	r, err := core.SSSP(g, 0, -1, o.snnProbes()...)
+	if err != nil {
+		return err
+	}
 	dist := r.Dist
 	bfs := fleet.PartitionBFS(g, *capacity)
 	rr := fleet.PartitionRoundRobin(g, *capacity)

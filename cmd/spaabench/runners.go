@@ -21,7 +21,11 @@ func runSSSPSpiking(o *obs, g *graph.Graph, seed int64, src, dst int) *core.SSSP
 	o.setGraph(g, seed, "random")
 	o.Man.SetConfig("algo", "spiking").SetConfig("src", src).SetConfig("dst", dst).
 		SetConfig("u", g.MaxLen())
-	r := core.SSSP(g, src, dst, o.snnProbes()...)
+	r, err := core.SSSP(g, src, dst, o.snnProbes()...)
+	if err != nil {
+		// Fault-free runs cannot time out; a failure here is an engine bug.
+		panic(err)
+	}
 	o.Man.Stats = telemetry.StatsFrom(r.Stats)
 	o.Rec.Add("neurons", int64(r.Neurons))
 	o.Tr.Span("phase", "wavefront", 0, r.SpikeTime)

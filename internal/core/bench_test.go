@@ -13,7 +13,7 @@ func BenchmarkSpikingSSSP(b *testing.B) {
 		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
-				r := SSSP(g, 0, -1)
+				r, _ := SSSP(g, 0, -1)
 				if r.Stats.Spikes == 0 {
 					b.Fatal("no spikes")
 				}

@@ -19,6 +19,10 @@ import (
 // which the tests verify against Dijkstra on the survivor. This is the
 // failure-model counterpart of the paper's observation that the spiking
 // wavefront computes distances of whatever network physically exists.
+//
+// This models permanent topology damage only. For transient per-delivery
+// faults (spike loss, delay jitter, stuck neurons, voltage upsets) and
+// the recovery harness around them, see internal/faults.
 func SSSPWithFaults(g *graph.Graph, src int, dropProb float64, seed int64) (*SSSPResult, *graph.Graph) {
 	if dropProb < 0 || dropProb > 1 {
 		panic(fmt.Sprintf("core: drop probability %v outside [0,1]", dropProb))
@@ -30,5 +34,10 @@ func SSSPWithFaults(g *graph.Graph, src int, dropProb float64, seed int64) (*SSS
 			survived.AddEdge(e.From, e.To, e.Len)
 		}
 	}
-	return SSSP(survived, src, -1), survived
+	// dst = -1 on a fault-free simulator cannot time out.
+	res, err := SSSP(survived, src, -1)
+	if err != nil {
+		panic(err)
+	}
+	return res, survived
 }

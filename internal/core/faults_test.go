@@ -14,7 +14,7 @@ func TestFaultsZeroProbIsIdentity(t *testing.T) {
 	if survived.M() != g.M() {
 		t.Fatalf("edges dropped at p=0")
 	}
-	clean := SSSP(g, 0, -1)
+	clean := mustSSSP(g, 0, -1)
 	for v := range clean.Dist {
 		if faulty.Dist[v] != clean.Dist[v] {
 			t.Fatalf("p=0 dist[%d] differs", v)

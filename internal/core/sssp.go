@@ -19,6 +19,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"strconv"
 
@@ -43,9 +44,21 @@ type SSSPResult struct {
 	LoadTime int64
 	// Neurons and Synapses describe the constructed network.
 	Neurons, Synapses int
+	// TimedOut is true when the simulation exhausted its horizon with
+	// events still pending (possible only under fault injection, which
+	// can jitter deliveries past the analytic n·U bound): distances of
+	// vertices that had not yet spiked are unreliable, not proofs of
+	// unreachability. Fault-free runs never time out — the horizon
+	// dominates every finite first-spike time.
+	TimedOut bool
 	// Stats carries spike/delivery/step counts from the simulator.
 	Stats snn.Stats
 }
+
+// ErrTimedOut reports that a bounded-horizon run ended with the terminal
+// neuron unfired and events still pending: the destination's distance is
+// unknown, not infinite.
+var ErrTimedOut = errors.New("core: simulation horizon exhausted before the terminal fired")
 
 // SSSP runs the pseudopolynomial spiking SSSP algorithm of Section 3 on
 // the LIF simulator. Each graph vertex becomes one relay neuron; each
@@ -64,13 +77,34 @@ type SSSPResult struct {
 // snn.FlightProbe (telemetry.FlightRecorder) is attached as the causal
 // flight recorder instead, capturing every firing with its antecedent
 // set for provenance logs.
-func SSSP(g *graph.Graph, src, dst int, probe ...snn.StepProbe) *SSSPResult {
+//
+// The returned error is non-nil exactly when dst >= 0 and the simulation
+// horizon was exhausted before the terminal fired (ErrTimedOut): the
+// destination's distance is then unknown rather than infinite. Fault-free
+// runs never hit this — the horizon exceeds every finite first-spike
+// time — so callers on the pristine path may treat the error as an
+// internal invariant violation.
+func SSSP(g *graph.Graph, src, dst int, probe ...snn.StepProbe) (*SSSPResult, error) {
+	return SSSPInjected(g, src, dst, nil, 0, probe...)
+}
+
+// SSSPInjected runs the Section 3 spiking SSSP with an optional hardware
+// fault injector attached to the simulator (internal/faults builds the
+// standard one) and the simulation horizon extended by horizonSlack
+// steps. Delay jitter makes deliveries arrive later than the analytic
+// n·U bound, so fault campaigns pass a slack of n·maxJitter; everything
+// else matches SSSP, and SSSPInjected(g, src, dst, nil, 0) is exactly the
+// fault-free run.
+func SSSPInjected(g *graph.Graph, src, dst int, inj snn.Injector, horizonSlack int64, probe ...snn.StepProbe) (*SSSPResult, error) {
 	n := g.N()
 	if src < 0 || src >= n {
 		panic(fmt.Sprintf("core: source %d out of range [0,%d)", src, n))
 	}
 	if dst < -1 || dst >= n {
 		panic(fmt.Sprintf("core: destination %d out of range", dst))
+	}
+	if horizonSlack < 0 {
+		panic(fmt.Sprintf("core: negative horizon slack %d", horizonSlack))
 	}
 	if g.M() > 0 && g.MinLen() < 1 {
 		panic("core: SSSP requires edge lengths >= 1 (the minimum synaptic delay)")
@@ -83,8 +117,20 @@ func SSSP(g *graph.Graph, src, dst int, probe ...snn.StepProbe) *SSSPResult {
 		net.SetTerminal(relays[dst])
 	}
 	net.InduceSpike(relays[src], 0)
+	if inj != nil {
+		net.SetInjector(inj) // after topology + induced input: Prepare sees the final network
+	}
 
-	r := net.Run(ssspHorizon(g))
+	horizon := ssspHorizon(g)
+	saturated := horizon == graph.Inf-1
+	if !saturated && horizonSlack > 0 {
+		if horizonSlack > graph.Inf-1-horizon {
+			horizon, saturated = graph.Inf-1, true
+		} else {
+			horizon += horizonSlack
+		}
+	}
+	r := net.Run(horizon)
 
 	res := &SSSPResult{
 		Dist:     make([]int64, n),
@@ -93,6 +139,11 @@ func SSSP(g *graph.Graph, src, dst int, probe ...snn.StepProbe) *SSSPResult {
 		Neurons:  net.N(),
 		Synapses: net.Synapses(),
 		Stats:    r.Stats,
+		// A saturated horizon (graph.Inf-length "disabled" edges, as the
+		// crossbar embedder programs) always leaves events pending at or
+		// beyond graph.Inf; those targets are unreachable by definition,
+		// not timed out.
+		TimedOut: r.TimedOut && !saturated,
 	}
 	for v := 0; v < n; v++ {
 		t := net.FirstSpike(relays[v])
@@ -110,7 +161,10 @@ func SSSP(g *graph.Graph, src, dst int, probe ...snn.StepProbe) *SSSPResult {
 	if dst >= 0 && r.Halted {
 		res.SpikeTime = r.TerminalTime
 	}
-	return res
+	if dst >= 0 && !r.Halted && res.TimedOut {
+		return res, fmt.Errorf("%w (dst %d unfired at horizon %d)", ErrTimedOut, dst, horizon)
+	}
+	return res, nil
 }
 
 // Path reconstructs the shortest path to dst from the latched

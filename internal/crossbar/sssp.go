@@ -39,7 +39,12 @@ func (c *Crossbar) SSSP(src int) *SSSPResult {
 	if src < 0 || src >= g.N() {
 		panic(fmt.Sprintf("crossbar: source %d out of range [0,%d)", src, g.N()))
 	}
-	run := core.SSSP(c.G, c.Entry(src), -1)
+	// dst = -1 cannot time out (the host run's saturated horizon marks
+	// disabled-edge targets unreachable, not timed out).
+	run, err := core.SSSP(c.G, c.Entry(src), -1)
+	if err != nil {
+		panic(err)
+	}
 
 	res := &SSSPResult{
 		Dist:         make([]int64, g.N()),

@@ -1,0 +1,147 @@
+package faults
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/fleet"
+	"repro/internal/graph"
+	"repro/internal/snn"
+)
+
+// ChipFaults is the board-level fault injector: whole dead chips and
+// severed inter-chip links, drawn deterministically per (seed, rates)
+// from the "chip-dead" and "link-severed" streams. It applies to the
+// Section 3 relay network, where neuron ids equal vertex ids, so the
+// assignment's vertex→chip map doubles as the neuron→chip map.
+type ChipFaults struct {
+	Assignment *fleet.Assignment
+	// Dead lists the failed chips (ascending); Severed the failed board
+	// links as ordered (lo, hi) chip pairs — links are bidirectional.
+	Dead    []int
+	Severed [][2]int
+
+	// SuppressedFires counts spikes killed on dead chips; DroppedLinks
+	// counts deliveries lost on severed or dead-endpoint links.
+	SuppressedFires int64
+	DroppedLinks    int64
+
+	deadSet map[int]bool
+	sevSet  map[[2]int]bool
+}
+
+var _ snn.Injector = (*ChipFaults)(nil)
+
+// DrawChipFaults draws each chip dead with probability deadProb and each
+// potential board link (unordered surviving-chip pair) severed with
+// probability severProb. At least one chip always survives: the draw
+// spares the lowest-numbered chip if it would have killed them all.
+func DrawChipFaults(a *fleet.Assignment, seed int64, deadProb, severProb float64) *ChipFaults {
+	if deadProb < 0 || deadProb > 1 || severProb < 0 || severProb > 1 {
+		panic("faults: chip fault probability outside [0,1]")
+	}
+	cf := &ChipFaults{Assignment: a, deadSet: make(map[int]bool), sevSet: make(map[[2]int]bool)}
+	dead := NewStream(seed, "chip-dead")
+	for c := 0; c < a.Chips; c++ {
+		if deadProb > 0 && dead.Float64() < deadProb {
+			cf.deadSet[c] = true
+			cf.Dead = append(cf.Dead, c)
+		}
+	}
+	if len(cf.Dead) == a.Chips && a.Chips > 0 {
+		delete(cf.deadSet, cf.Dead[0])
+		cf.Dead = cf.Dead[1:]
+	}
+	sev := NewStream(seed, "link-severed")
+	for lo := 0; lo < a.Chips; lo++ {
+		for hi := lo + 1; hi < a.Chips; hi++ {
+			if severProb > 0 && !cf.deadSet[lo] && !cf.deadSet[hi] && sev.Float64() < severProb {
+				key := [2]int{lo, hi}
+				cf.sevSet[key] = true
+				cf.Severed = append(cf.Severed, key)
+			}
+		}
+	}
+	sort.Ints(cf.Dead)
+	return cf
+}
+
+// Prepare checks the relay-id convention holds for this network.
+func (cf *ChipFaults) Prepare(n *snn.Network) {
+	if n.N() != len(cf.Assignment.Chip) {
+		panic(fmt.Sprintf("faults: chip injector for a %d-vertex assignment attached to a %d-neuron network (relay ids must equal vertex ids)",
+			len(cf.Assignment.Chip), n.N()))
+	}
+}
+
+// FilterDelivery drops every delivery whose endpoint chips are dead or
+// whose board link is severed.
+func (cf *ChipFaults) FilterDelivery(t int64, from, to int32, w float64, d int64) (float64, int64, bool) {
+	cFrom, cTo := cf.Assignment.Chip[from], cf.Assignment.Chip[to]
+	if cf.deadSet[cFrom] || cf.deadSet[cTo] {
+		cf.DroppedLinks++
+		return w, d, true
+	}
+	if cFrom != cTo {
+		lo, hi := cFrom, cTo
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		if cf.sevSet[[2]int{lo, hi}] {
+			cf.DroppedLinks++
+			return w, d, true
+		}
+	}
+	return w, d, false
+}
+
+// FilterFire suppresses every spike on a dead chip (including induced
+// inputs — a dead chip's neurons cannot be stimulated either).
+func (cf *ChipFaults) FilterFire(t int64, i int32, induced bool) bool {
+	if cf.deadSet[cf.Assignment.Chip[i]] {
+		cf.SuppressedFires++
+		return false
+	}
+	return true
+}
+
+// PerturbVoltage is a no-op: chip faults are structural, not analog.
+func (cf *ChipFaults) PerturbVoltage(t int64, i int32) float64 { return 0 }
+
+// ChipRecoveryRun is the outcome of the chip-failure recovery path: the
+// repaired placement, the re-run's result and traffic, and the total
+// board-link bill including the one-time migration.
+type ChipRecoveryRun struct {
+	Recovery *fleet.Recovery
+	Res      *core.SSSPResult
+	Traffic  *fleet.Traffic
+	// TotalInterChip is the re-run's board-link traffic plus the
+	// migration events charged by the recovery.
+	TotalInterChip int64
+}
+
+// RecoverAndRerun is the degraded-hardware continuation: given the chips
+// that died, it re-places their residents on surviving capacity
+// (fleet.Recover), re-runs the Section 3 SSSP on the intact network —
+// the graph itself did not change, only its physical placement — and
+// accounts the new traffic with the migration bill added to the
+// board-link total. Returns fleet.Recover's error when the surviving
+// capacity cannot absorb the displaced vertices.
+func RecoverAndRerun(g *graph.Graph, a *fleet.Assignment, dead []int, src int) (*ChipRecoveryRun, error) {
+	rec, err := fleet.Recover(g, a, dead)
+	if err != nil {
+		return nil, err
+	}
+	res, err := core.SSSP(g, src, -1)
+	if err != nil {
+		return nil, err
+	}
+	tr := fleet.AnalyzeSSSP(g, rec.Survivor, res.Dist)
+	return &ChipRecoveryRun{
+		Recovery:       rec,
+		Res:            res,
+		Traffic:        tr,
+		TotalInterChip: tr.InterChip + rec.MigrationTraffic,
+	}, nil
+}

@@ -1,0 +1,45 @@
+package faults
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/graph"
+)
+
+// ExperimentsSection renders the fault-sweep experiment (E30) for
+// EXPERIMENTS.md: a deterministic degradation curve on the standard
+// random workload, showing where bare runs fail and how far NMR voting
+// and the self-check/retry path push the robustness margin.
+func ExperimentsSection() string {
+	const n, m, u, seed = 128, 512, 8, 1
+	g := graph.RandomGnm(n, m, graph.Uniform(u), seed, true)
+	man := Sweep(SweepConfig{
+		G: g, GraphSeed: seed, GraphKind: "gnm", Src: 0,
+		Base:   Model{Seed: 1},
+		Rates:  []float64{0, 0.002, 0.005, 0.01, 0.02, 0.05},
+		Trials: 10, K: 3, Retries: 3,
+	})
+	var b strings.Builder
+	w := func(format string, a ...any) { fmt.Fprintf(&b, format, a...) }
+	w("## Fault sweep — robustness margin of spiking SSSP (E30)\n\n")
+	w("Random G(n=%d, m=%d, U=%d) under synaptic spike-drop faults, %d trials\n",
+		n, m, u, 10)
+	w("per rate (`spaabench faults`, seeds derived per trial from a named\n")
+	w("PRNG stream, so the table reproduces bit-identically):\n\n")
+	w("```\n")
+	RenderCurve(&b, man)
+	w("```\n\n")
+	p := man.Points[len(man.Points)-1]
+	w("A single fire-once wavefront has no slack: any dropped delivery on a\n")
+	w("shortest path silently lengthens a distance, so the bare success rate\n")
+	w("collapses within a fraction of a percent of drop probability. Voting\n")
+	w("over K=3 independently-perturbed replicas recovers most of the margin,\n")
+	w("and the self-check path (verify against Dijkstra, retry with a fresh\n")
+	w("seed under exponential backoff) recovers the rest — at %g drop it\n", p.Rate)
+	w("caught %d wrong runs and degraded to the classic fallback %d times,\n",
+		p.SelfCheckCaught, p.Degraded)
+	w("never returning a wrong distance. `docs/ROBUSTNESS.md` documents the\n")
+	w("fault models and the seed discipline.\n\n")
+	return b.String()
+}

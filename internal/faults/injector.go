@@ -1,0 +1,161 @@
+package faults
+
+import (
+	"repro/internal/snn"
+)
+
+// Counters tallies every fault the injector actually landed during a
+// run — the ground truth the faults manifest reports per sweep point.
+type Counters struct {
+	Dropped         int64 `json:"dropped"`          // deliveries lost in the fabric
+	Jittered        int64 `json:"jittered"`         // deliveries with perturbed delay
+	WeightPerturbed int64 `json:"weight_perturbed"` // deliveries with scaled weight
+	Upsets          int64 `json:"upsets"`           // transient membrane upsets applied
+	SuppressedFires int64 `json:"suppressed_fires"` // spikes killed by stuck-at-silent
+	SpuriousFires   int64 `json:"spurious_fires"`   // induced stuck-at-firing spikes
+	StuckSilent     int   `json:"stuck_silent"`     // neurons drawn stuck-at-silent
+	StuckFiring     int   `json:"stuck_firing"`     // neurons drawn stuck-at-firing
+}
+
+// Add accumulates c2 into c (sweep points aggregate trial counters).
+func (c *Counters) Add(c2 Counters) {
+	c.Dropped += c2.Dropped
+	c.Jittered += c2.Jittered
+	c.WeightPerturbed += c2.WeightPerturbed
+	c.Upsets += c2.Upsets
+	c.SuppressedFires += c2.SuppressedFires
+	c.SpuriousFires += c2.SpuriousFires
+	c.StuckSilent += c2.StuckSilent
+	c.StuckFiring += c2.StuckFiring
+}
+
+// Injector implements snn.Injector for a Model: the standard hardware
+// fault source. Each fault class draws from its own named stream, so the
+// sequence one class consumes is independent of every other class — and
+// because the engine consults the hooks at deterministic points in
+// deterministic order, a (seed, Model) pair reproduces a faulted run
+// bit-identically.
+//
+// An Injector is single-run: it carries per-run counters and stuck-fault
+// draws. Build a fresh one (New) per replica/retry with a derived seed.
+type Injector struct {
+	Model Model
+	// Counters is valid after the run completes.
+	Counters Counters
+
+	drop   *Stream // one draw per scheduled delivery
+	jitter *Stream // two draws per jittered delivery (gate, magnitude)
+	weight *Stream // one draw per delivery when WeightNoise > 0
+	upset  *Stream // up to two draws per touched neuron (gate, magnitude)
+	stuck  *Stream // one draw per neuron at Prepare
+	train  *Stream // one draw per stuck-firing neuron at Prepare
+
+	silent map[int32]bool // stuck-at-silent set (incl. PinnedSilent)
+	firing []int32        // stuck-at-firing set, ascending id order
+}
+
+var _ snn.Injector = (*Injector)(nil)
+
+// New builds the injector for model. The model is validated here so a
+// bad sweep configuration fails before any simulation runs.
+func New(model Model) *Injector {
+	model.Validate()
+	seed := model.Seed
+	return &Injector{
+		Model:  model,
+		drop:   NewStream(seed, "delivery-drop"),
+		jitter: NewStream(seed, "delay-jitter"),
+		weight: NewStream(seed, "weight-noise"),
+		upset:  NewStream(seed, "voltage-upset"),
+		stuck:  NewStream(seed, "stuck-draw"),
+		train:  NewStream(seed, "stuck-train"),
+		silent: make(map[int32]bool),
+	}
+}
+
+// Prepare draws the per-neuron stuck faults (in ascending neuron order —
+// the deterministic part of the contract) and schedules the spurious
+// spike trains of stuck-at-firing neurons. The engine cannot fire a
+// neuron spontaneously (it only evaluates neurons that receive events),
+// so stuck-at-firing is modeled as induced spikes at drawn times.
+func (inj *Injector) Prepare(n *snn.Network) {
+	m := inj.Model
+	for _, v := range m.PinnedSilent {
+		if v < 0 || v >= n.N() {
+			continue // pinned id from a different workload size: ignore
+		}
+		inj.silent[int32(v)] = true
+	}
+	if m.StuckSilentProb > 0 || m.StuckFireProb > 0 {
+		for i := 0; i < n.N(); i++ {
+			u := inj.stuck.Float64()
+			switch {
+			case u < m.StuckSilentProb:
+				inj.silent[int32(i)] = true
+			case u < m.StuckSilentProb+m.StuckFireProb:
+				if !inj.silent[int32(i)] { // pinned-silent wins
+					inj.firing = append(inj.firing, int32(i))
+				}
+			}
+		}
+	}
+	inj.Counters.StuckSilent = len(inj.silent)
+	inj.Counters.StuckFiring = len(inj.firing)
+
+	// Spurious trains: each stuck-firing neuron emits stuckTrain()
+	// consecutive spikes from a start time drawn in [1, n.N()] — always
+	// inside the SSSP horizon (n·U+1 with U >= 1), and covered by
+	// Model.HorizonSlack for the tail.
+	window := int64(n.N())
+	if window < 1 {
+		window = 1
+	}
+	for _, i := range inj.firing {
+		start := 1 + inj.train.Int63n(window)
+		for k := 0; k < m.stuckTrain(); k++ {
+			n.InduceSpike(int(i), start+int64(k))
+			inj.Counters.SpuriousFires++
+		}
+	}
+}
+
+// FilterDelivery implements the fabric faults: drop, delay jitter,
+// weight noise — consulted once per scheduled synaptic delivery.
+func (inj *Injector) FilterDelivery(t int64, from, to int32, w float64, d int64) (float64, int64, bool) {
+	m := &inj.Model
+	if m.DropProb > 0 && inj.drop.Float64() < m.DropProb {
+		inj.Counters.Dropped++
+		return w, d, true
+	}
+	if m.JitterProb > 0 && inj.jitter.Float64() < m.JitterProb {
+		if j := inj.jitter.Jitter(m.JitterMax); j != 0 {
+			d += j
+			inj.Counters.Jittered++
+		}
+	}
+	if m.WeightNoise > 0 {
+		w *= 1 + inj.weight.Symmetric(m.WeightNoise)
+		inj.Counters.WeightPerturbed++
+	}
+	return w, d, false
+}
+
+// FilterFire suppresses every spike — threshold-crossing or induced — of
+// a stuck-at-silent neuron.
+func (inj *Injector) FilterFire(t int64, i int32, induced bool) bool {
+	if inj.silent[i] {
+		inj.Counters.SuppressedFires++
+		return false
+	}
+	return true
+}
+
+// PerturbVoltage implements transient membrane upsets.
+func (inj *Injector) PerturbVoltage(t int64, i int32) float64 {
+	m := &inj.Model
+	if m.UpsetProb > 0 && inj.upset.Float64() < m.UpsetProb {
+		inj.Counters.Upsets++
+		return inj.upset.Symmetric(m.UpsetMag)
+	}
+	return 0
+}

@@ -1,0 +1,150 @@
+package faults
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Model describes one fault environment: the per-event and per-neuron
+// misbehavior probabilities of a hypothetical neuromorphic platform,
+// plus the campaign seed every draw derives from. The zero value is the
+// ideal Definition 1-2 hardware (no faults).
+type Model struct {
+	// DropProb loses each synaptic delivery independently with this
+	// probability (spike loss on the routing fabric).
+	DropProb float64
+	// JitterProb perturbs each delivery's delay, uniformly in
+	// [-JitterMax, +JitterMax], with this probability (congestion on
+	// shared routers); the result is clamped to the hardware minimum 1.
+	JitterProb float64
+	JitterMax  int64
+	// WeightNoise scales each delivered weight by 1 + U(-WeightNoise,
+	// +WeightNoise): transient analog noise in the synapse array.
+	WeightNoise float64
+	// StuckSilentProb marks each neuron, independently, permanently
+	// unable to fire (dead axon driver); StuckFireProb marks it firing
+	// spuriously instead. A neuron draws at most one stuck fault, silent
+	// taking precedence.
+	StuckSilentProb float64
+	StuckFireProb   float64
+	// StuckFireTrain is the number of spurious spikes a stuck-firing
+	// neuron emits (consecutive steps from a random start time). 0 means
+	// the default of 4.
+	StuckFireTrain int
+	// UpsetProb adds a transient voltage upset, uniform in [-UpsetMag,
+	// +UpsetMag], to a neuron's membrane integration with this
+	// probability (charge injection, radiation events).
+	UpsetProb float64
+	UpsetMag  float64
+	// PinnedSilent forces the listed neuron ids stuck-at-silent
+	// regardless of probability draws — the targeted-fault hook CI's
+	// negative test uses to kill the SSSP source deliberately.
+	PinnedSilent []int
+	// Seed anchors every PRNG stream of the campaign.
+	Seed int64
+}
+
+// Validate panics on out-of-range parameters (probabilities outside
+// [0,1], negative magnitudes).
+func (m Model) Validate() {
+	check := func(name string, p float64) {
+		if p < 0 || p > 1 {
+			panic(fmt.Sprintf("faults: %s %v outside [0,1]", name, p))
+		}
+	}
+	check("DropProb", m.DropProb)
+	check("JitterProb", m.JitterProb)
+	check("WeightNoise", m.WeightNoise)
+	check("StuckSilentProb", m.StuckSilentProb)
+	check("StuckFireProb", m.StuckFireProb)
+	check("UpsetProb", m.UpsetProb)
+	if m.StuckSilentProb+m.StuckFireProb > 1 {
+		panic("faults: stuck probabilities sum above 1")
+	}
+	if m.JitterMax < 0 || m.UpsetMag < 0 || m.StuckFireTrain < 0 {
+		panic("faults: negative fault magnitude")
+	}
+}
+
+// Zero reports whether the model injects nothing: the runners skip
+// injector attachment entirely in that case, so a zero-rate campaign
+// point reproduces the pristine engine path byte-for-byte.
+func (m Model) Zero() bool {
+	return m.DropProb == 0 && m.JitterProb == 0 && m.WeightNoise == 0 &&
+		m.StuckSilentProb == 0 && m.StuckFireProb == 0 && m.UpsetProb == 0 &&
+		len(m.PinnedSilent) == 0
+}
+
+// WithSeed returns a copy of the model reseeded for a derived campaign
+// (per-trial, per-replica, per-retry).
+func (m Model) WithSeed(seed int64) Model {
+	m2 := m
+	m2.Seed = seed
+	return m2
+}
+
+// WithDrop returns a copy with the drop probability replaced — the knob
+// the sweep campaign turns.
+func (m Model) WithDrop(p float64) Model {
+	m2 := m
+	m2.DropProb = p
+	return m2
+}
+
+// HorizonSlack returns the extra simulation horizon a run under this
+// model needs: delay jitter can push every hop of an n-vertex path
+// JitterMax steps late, and spurious stuck-firing trains extend activity
+// by at most the train length.
+func (m Model) HorizonSlack(n int) int64 {
+	slack := int64(0)
+	if m.JitterProb > 0 {
+		slack += int64(n) * m.JitterMax
+	}
+	if m.StuckFireProb > 0 || len(m.PinnedSilent) > 0 {
+		slack += int64(m.stuckTrain())
+	}
+	return slack
+}
+
+func (m Model) stuckTrain() int {
+	if m.StuckFireTrain > 0 {
+		return m.StuckFireTrain
+	}
+	return 4
+}
+
+// String renders the non-zero knobs compactly ("drop=0.01 jitter=0.1±2
+// seed=7"), for logs and degradation-curve headers.
+func (m Model) String() string {
+	var parts []string
+	if m.DropProb > 0 {
+		parts = append(parts, fmt.Sprintf("drop=%g", m.DropProb))
+	}
+	if m.JitterProb > 0 {
+		parts = append(parts, fmt.Sprintf("jitter=%g±%d", m.JitterProb, m.JitterMax))
+	}
+	if m.WeightNoise > 0 {
+		parts = append(parts, fmt.Sprintf("wnoise=%g", m.WeightNoise))
+	}
+	if m.StuckSilentProb > 0 {
+		parts = append(parts, fmt.Sprintf("silent=%g", m.StuckSilentProb))
+	}
+	if m.StuckFireProb > 0 {
+		parts = append(parts, fmt.Sprintf("fire=%g×%d", m.StuckFireProb, m.stuckTrain()))
+	}
+	if m.UpsetProb > 0 {
+		parts = append(parts, fmt.Sprintf("upset=%g±%g", m.UpsetProb, m.UpsetMag))
+	}
+	if len(m.PinnedSilent) > 0 {
+		pins := make([]int, len(m.PinnedSilent))
+		copy(pins, m.PinnedSilent)
+		sort.Ints(pins)
+		parts = append(parts, fmt.Sprintf("pinned-silent=%v", pins))
+	}
+	if len(parts) == 0 {
+		parts = append(parts, "ideal")
+	}
+	parts = append(parts, fmt.Sprintf("seed=%d", m.Seed))
+	return strings.Join(parts, " ")
+}

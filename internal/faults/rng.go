@@ -1,0 +1,89 @@
+// Package faults is the hardware-misbehavior layer of the reproduction:
+// deterministic, seed-driven injection of the non-idealities every target
+// platform of the paper (Loihi, TrueNorth, SpiNNaker) exhibits in
+// practice — dropped spikes, delay jitter, analog weight noise, stuck
+// neurons, transient voltage upsets, dead chips — plus the resilience
+// harness that measures how much of it the Section 3/4 algorithms
+// tolerate and makes the runners degrade gracefully instead of silently
+// returning wrong distances.
+//
+// Everything is reproducible: every fault is drawn from a named PRNG
+// stream derived from (seed, stream name), so a (seed, Model) pair
+// replays bit-identically — the same discipline the provenance/replay
+// subsystem (PR 3) enforces for the fault-free engine. The generator is
+// implemented in-package (splitmix64) rather than on math/rand so the
+// byte-identical-manifest guarantee cannot drift with the Go runtime;
+// the spaavet `randsrc` rule keeps global math/rand state out of the
+// rest of the repository.
+package faults
+
+import "hash/fnv"
+
+// Stream is one named deterministic PRNG stream: a splitmix64 generator
+// whose initial state mixes the campaign seed with an FNV-1a hash of the
+// stream name. Distinct names yield statistically independent streams
+// from one seed, so each fault class (drops, jitter, stuck sets, …)
+// consumes its own sequence and adding a draw to one class cannot shift
+// another — the property that keeps fault manifests stable across code
+// evolution.
+type Stream struct {
+	state uint64
+}
+
+// NewStream derives the stream identified by name from seed.
+func NewStream(seed int64, name string) *Stream {
+	h := fnv.New64a()
+	//lint:errflush hash.Hash.Write is documented to never return an error
+	h.Write([]byte(name))
+	s := &Stream{state: uint64(seed) ^ h.Sum64()}
+	// One warm-up mix decorrelates nearby seeds.
+	s.Uint64()
+	return s
+}
+
+// DeriveSeed returns a sub-seed for the (name, i) child campaign — the
+// mechanism behind per-replica and per-retry seeds.
+func DeriveSeed(seed int64, name string, i int) int64 {
+	s := NewStream(seed, name)
+	for k := 0; k <= i; k++ {
+		s.Uint64()
+	}
+	return int64(s.state)
+}
+
+// Uint64 advances the stream (splitmix64, Steele et al. 2014).
+func (s *Stream) Uint64() uint64 {
+	s.state += 0x9e3779b97f4a7c15
+	z := s.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Float64 returns a uniform draw in [0,1) with 53 bits of precision.
+func (s *Stream) Float64() float64 {
+	return float64(s.Uint64()>>11) / (1 << 53)
+}
+
+// Int63n returns a uniform draw in [0,n). It panics if n <= 0.
+func (s *Stream) Int63n(n int64) int64 {
+	if n <= 0 {
+		panic("faults: Int63n on non-positive bound")
+	}
+	// Modulo bias is below 2^-40 for every bound this package draws
+	// (horizons and neuron counts), far under the fault-rate resolution.
+	return int64(s.Uint64() % uint64(n))
+}
+
+// Jitter returns a uniform draw in [-max, +max]. max = 0 always returns 0.
+func (s *Stream) Jitter(max int64) int64 {
+	if max <= 0 {
+		return 0
+	}
+	return s.Int63n(2*max+1) - max
+}
+
+// Symmetric returns a uniform draw in [-mag, +mag].
+func (s *Stream) Symmetric(mag float64) float64 {
+	return (2*s.Float64() - 1) * mag
+}

@@ -1,0 +1,111 @@
+package faults
+
+import "testing"
+
+func TestStreamDeterministic(t *testing.T) {
+	a := NewStream(42, "delivery-drop")
+	b := NewStream(42, "delivery-drop")
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("same (seed, name) diverged at draw %d", i)
+		}
+	}
+}
+
+func TestStreamsIndependentByName(t *testing.T) {
+	a := NewStream(42, "delivery-drop")
+	b := NewStream(42, "delay-jitter")
+	same := 0
+	for i := 0; i < 64; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same != 0 {
+		t.Fatalf("%d/64 draws collide between distinct streams", same)
+	}
+}
+
+func TestStreamsDivergeBySeed(t *testing.T) {
+	a := NewStream(1, "delivery-drop")
+	b := NewStream(2, "delivery-drop")
+	if a.Uint64() == b.Uint64() {
+		t.Fatal("adjacent seeds produced identical first draws")
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	s := NewStream(7, "x")
+	for i := 0; i < 10000; i++ {
+		f := s.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of [0,1): %v", f)
+		}
+	}
+}
+
+func TestInt63nBoundsAndPanic(t *testing.T) {
+	s := NewStream(7, "x")
+	for i := 0; i < 10000; i++ {
+		v := s.Int63n(13)
+		if v < 0 || v >= 13 {
+			t.Fatalf("Int63n(13) = %d", v)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Int63n(0) accepted")
+		}
+	}()
+	s.Int63n(0)
+}
+
+func TestJitterRangeAndZero(t *testing.T) {
+	s := NewStream(7, "x")
+	if s.Jitter(0) != 0 {
+		t.Fatal("Jitter(0) nonzero")
+	}
+	sawNeg, sawPos := false, false
+	for i := 0; i < 10000; i++ {
+		j := s.Jitter(3)
+		if j < -3 || j > 3 {
+			t.Fatalf("Jitter(3) = %d", j)
+		}
+		if j < 0 {
+			sawNeg = true
+		}
+		if j > 0 {
+			sawPos = true
+		}
+	}
+	if !sawNeg || !sawPos {
+		t.Fatal("jitter never covered both signs")
+	}
+}
+
+func TestSymmetricRange(t *testing.T) {
+	s := NewStream(7, "x")
+	for i := 0; i < 10000; i++ {
+		v := s.Symmetric(0.5)
+		if v < -0.5 || v > 0.5 {
+			t.Fatalf("Symmetric(0.5) = %v", v)
+		}
+	}
+}
+
+func TestDeriveSeedDistinct(t *testing.T) {
+	seen := map[int64]bool{}
+	for i := 0; i < 100; i++ {
+		s := DeriveSeed(1, "nmr-replica", i)
+		if seen[s] {
+			t.Fatalf("derived seed collision at index %d", i)
+		}
+		seen[s] = true
+	}
+	if DeriveSeed(1, "nmr-replica", 0) != DeriveSeed(1, "nmr-replica", 0) {
+		t.Fatal("DeriveSeed not deterministic")
+	}
+	if DeriveSeed(1, "a", 0) == DeriveSeed(1, "b", 0) {
+		t.Fatal("derived seeds ignore the stream name")
+	}
+}

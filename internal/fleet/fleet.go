@@ -23,17 +23,27 @@ type Assignment struct {
 }
 
 // Validate checks the assignment covers every vertex within capacity.
+// Error messages name the first offending vertex or chip and the counts
+// involved, so a failed placement is diagnosable from the message alone.
 func (a *Assignment) Validate() error {
+	if a.Chips < 1 {
+		return fmt.Errorf("fleet: assignment declares %d chips (need at least 1)", a.Chips)
+	}
+	if a.Capacity < 1 {
+		return fmt.Errorf("fleet: assignment declares capacity %d (need at least 1)", a.Capacity)
+	}
 	load := make([]int, a.Chips)
 	for v, c := range a.Chip {
 		if c < 0 || c >= a.Chips {
-			return fmt.Errorf("fleet: vertex %d on chip %d of %d", v, c, a.Chips)
+			return fmt.Errorf("fleet: vertex %d placed on chip %d, outside the %d-chip range [0,%d)",
+				v, c, a.Chips, a.Chips)
 		}
 		load[c]++
 	}
 	for c, l := range load {
 		if l > a.Capacity {
-			return fmt.Errorf("fleet: chip %d holds %d > capacity %d", c, l, a.Capacity)
+			return fmt.Errorf("fleet: chip %d holds %d vertices, %d over its capacity %d",
+				c, l, l-a.Capacity, a.Capacity)
 		}
 	}
 	return nil

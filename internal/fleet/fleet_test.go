@@ -32,7 +32,7 @@ func TestBFSPlacementCutsFewerEdgesOnGrids(t *testing.T) {
 	g := graph.Grid(12, 12, graph.Unit, 0)
 	bfs := PartitionBFS(g, 24)
 	rr := PartitionRoundRobin(g, 24)
-	dist := core.SSSP(g, 0, -1).Dist
+	dist := mustSSSP(g).Dist
 	tb := AnalyzeSSSP(g, bfs, dist)
 	tr := AnalyzeSSSP(g, rr, dist)
 	if tb.CutEdges >= tr.CutEdges {
@@ -48,7 +48,7 @@ func TestTrafficConservation(t *testing.T) {
 	// inter must equal that count.
 	g := graph.RandomGnm(30, 120, graph.Uniform(4), 7, true)
 	a := PartitionBFS(g, 10)
-	r := core.SSSP(g, 0, -1)
+	r := mustSSSP(g)
 	tr := AnalyzeSSSP(g, a, r.Dist)
 	var want int64
 	for _, e := range g.Edges() {
@@ -72,7 +72,7 @@ func TestSingleChipNoInterTraffic(t *testing.T) {
 	if a.Chips != 1 {
 		t.Fatalf("chips %d", a.Chips)
 	}
-	dist := core.SSSP(g, 0, -1).Dist
+	dist := mustSSSP(g).Dist
 	tr := AnalyzeSSSP(g, a, dist)
 	if tr.InterChip != 0 || tr.CutEdges != 0 {
 		t.Fatalf("single chip has inter traffic: %+v", tr)
@@ -105,7 +105,7 @@ func TestAnalyzeSSSPUnreachableSenders(t *testing.T) {
 	if err := a.Validate(); err != nil {
 		t.Fatal(err)
 	}
-	dist := core.SSSP(g, 0, -1).Dist
+	dist := mustSSSP(g).Dist
 	if dist[2] < graph.Inf || dist[3] < graph.Inf {
 		t.Fatalf("vertices 2,3 should be unreachable: %v", dist)
 	}
@@ -127,7 +127,7 @@ func TestAnalyzeSSSPUnreachableSenders(t *testing.T) {
 func TestSingleChipPerChipShares(t *testing.T) {
 	g := graph.RandomGnm(20, 80, graph.Uniform(4), 1, true)
 	a := PartitionBFS(g, 100)
-	dist := core.SSSP(g, 0, -1).Dist
+	dist := mustSSSP(g).Dist
 	tr := AnalyzeSSSP(g, a, dist)
 	if len(tr.PerChip) != 1 {
 		t.Fatalf("per-chip length %d, want 1", len(tr.PerChip))
@@ -144,7 +144,7 @@ func TestSingleChipPerChipShares(t *testing.T) {
 func TestPerChipSharesSumToTotals(t *testing.T) {
 	g := graph.RandomGnm(40, 160, graph.Uniform(5), 9, true)
 	a := PartitionBFS(g, 7)
-	dist := core.SSSP(g, 0, -1).Dist
+	dist := mustSSSP(g).Dist
 	tr := AnalyzeSSSP(g, a, dist)
 	if len(tr.PerChip) != a.Chips {
 		t.Fatalf("per-chip length %d, want %d chips", len(tr.PerChip), a.Chips)
@@ -197,7 +197,7 @@ func TestPartitionProperty(t *testing.T) {
 	f := func(seed int64, capRaw uint8) bool {
 		g := graph.RandomGnm(int(seed%25+25)%25+2, int(seed%80+80)%80, graph.Uniform(5), seed, true)
 		capacity := int(capRaw%16) + 1
-		dist := core.SSSP(g, 0, -1).Dist
+		dist := mustSSSP(g).Dist
 		b := PartitionBFS(g, capacity)
 		r := PartitionRoundRobin(g, capacity)
 		if b.Validate() != nil || r.Validate() != nil {
@@ -210,4 +210,14 @@ func TestPartitionProperty(t *testing.T) {
 	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
 		t.Fatal(err)
 	}
+}
+
+// mustSSSP runs the fault-free spiking SSSP (all destinations), which
+// cannot time out.
+func mustSSSP(g *graph.Graph) *core.SSSPResult {
+	r, err := core.SSSP(g, 0, -1)
+	if err != nil {
+		panic(err)
+	}
+	return r
 }

@@ -1,0 +1,135 @@
+package fleet
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/graph"
+)
+
+// Recovery describes how a placement survived a set of chip failures:
+// which vertices moved where, and what the migration cost.
+type Recovery struct {
+	// Survivor is the repaired assignment: dead chips hold no vertices,
+	// surviving chips keep their original residents (minimal migration).
+	Survivor *Assignment
+	// Dead lists the failed chips, ascending.
+	Dead []int
+	// Migrated counts vertices moved off dead chips. MigrationTraffic
+	// charges the board-link events of re-loading their state: one event
+	// per migrated neuron plus one per synapse row (out-edge) that must
+	// be reprogrammed on the destination chip — the same unit the
+	// Traffic/EnergyJoules accounting uses for spikes.
+	Migrated         int
+	MigrationTraffic int64
+	// SeveredEdges counts graph edges that had an endpoint on a dead chip
+	// (their synapse rows existed on failed silicon and were re-created
+	// during migration).
+	SeveredEdges int
+}
+
+// Recover re-places the residents of dead chips onto surviving spare
+// capacity, preferring chips that already hold the vertex's neighbors
+// (the same locality bias as PartitionBFS). Surviving residents never
+// move. It returns an error when the surviving chips cannot absorb the
+// displaced vertices — the caller must then re-partition from scratch
+// with more hardware, not silently overload chips.
+func Recover(g *graph.Graph, a *Assignment, dead []int) (*Recovery, error) {
+	if err := a.Validate(); err != nil {
+		return nil, err
+	}
+	if len(a.Chip) != g.N() {
+		return nil, fmt.Errorf("fleet: assignment covers %d vertices, graph has %d", len(a.Chip), g.N())
+	}
+	isDead := make(map[int]bool, len(dead))
+	for _, c := range dead {
+		if c < 0 || c >= a.Chips {
+			return nil, fmt.Errorf("fleet: dead chip %d outside [0,%d)", c, a.Chips)
+		}
+		isDead[c] = true
+	}
+	rec := &Recovery{
+		Survivor: &Assignment{Chip: make([]int, len(a.Chip)), Chips: a.Chips, Capacity: a.Capacity},
+	}
+	for c := range isDead {
+		rec.Dead = append(rec.Dead, c)
+	}
+	sort.Ints(rec.Dead)
+	copy(rec.Survivor.Chip, a.Chip)
+	if len(rec.Dead) == 0 {
+		return rec, nil
+	}
+	if len(rec.Dead) >= a.Chips {
+		return nil, fmt.Errorf("fleet: all %d chips dead", a.Chips)
+	}
+
+	load := make([]int, a.Chips)
+	var displaced []int
+	for v, c := range a.Chip {
+		if isDead[c] {
+			displaced = append(displaced, v)
+		} else {
+			load[c]++
+		}
+	}
+	spare := 0
+	for c := 0; c < a.Chips; c++ {
+		if !isDead[c] {
+			spare += a.Capacity - load[c]
+		}
+	}
+	if spare < len(displaced) {
+		return nil, fmt.Errorf("fleet: %d displaced vertices exceed surviving spare capacity %d (%d of %d chips dead)",
+			len(displaced), spare, len(rec.Dead), a.Chips)
+	}
+
+	place := func(v int) int {
+		// Prefer the surviving chip holding most of v's already-placed
+		// neighbors; fall back to the least-loaded surviving chip.
+		affinity := make(map[int]int)
+		count := func(w int) {
+			c := rec.Survivor.Chip[w]
+			if !isDead[c] && load[c] < a.Capacity {
+				affinity[c]++
+			}
+		}
+		for _, ei := range g.Out(v) {
+			count(g.Edge(int(ei)).To)
+		}
+		for _, ei := range g.In(v) {
+			count(g.Edge(int(ei)).From)
+		}
+		best, bestScore := -1, -1
+		//lint:deterministic ties broken by smallest chip id below
+		for c, score := range affinity {
+			if score > bestScore || (score == bestScore && c < best) {
+				best, bestScore = c, score
+			}
+		}
+		if best >= 0 {
+			return best
+		}
+		for c := 0; c < a.Chips; c++ {
+			if !isDead[c] && load[c] < a.Capacity && (best < 0 || load[c] < load[best]) {
+				best = c
+			}
+		}
+		return best
+	}
+	for _, v := range displaced {
+		c := place(v)
+		rec.Survivor.Chip[v] = c
+		load[c]++
+		rec.Migrated++
+		rec.MigrationTraffic += 1 + int64(len(g.Out(v)))
+	}
+	for _, e := range g.Edges() {
+		if isDead[a.Chip[e.From]] || isDead[a.Chip[e.To]] {
+			rec.SeveredEdges++
+		}
+	}
+	if err := rec.Survivor.Validate(); err != nil {
+		return nil, fmt.Errorf("fleet: recovery produced invalid assignment: %w", err)
+	}
+	return rec, nil
+}

@@ -1,0 +1,188 @@
+package fleet
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// looseAssignment spreads n vertices across chips with spare capacity,
+// so recovery has room to absorb displaced vertices.
+func looseAssignment(n, chips, capacity int) *Assignment {
+	a := &Assignment{Chip: make([]int, n), Chips: chips, Capacity: capacity}
+	for v := range a.Chip {
+		a.Chip[v] = v % chips
+	}
+	return a
+}
+
+func TestValidateBranches(t *testing.T) {
+	cases := []struct {
+		name string
+		a    *Assignment
+		want string // substring of the error, "" for valid
+	}{
+		{"valid", looseAssignment(8, 2, 8), ""},
+		{"no chips", &Assignment{Chips: 0, Capacity: 4}, "declares 0 chips"},
+		{"negative chips", &Assignment{Chips: -3, Capacity: 4}, "declares -3 chips"},
+		{"no capacity", &Assignment{Chips: 2, Capacity: 0}, "declares capacity 0"},
+		{"vertex below range", &Assignment{Chip: []int{0, -1}, Chips: 2, Capacity: 4},
+			"vertex 1 placed on chip -1"},
+		{"vertex above range", &Assignment{Chip: []int{0, 2}, Chips: 2, Capacity: 4},
+			"vertex 1 placed on chip 2, outside the 2-chip range [0,2)"},
+		{"over capacity", &Assignment{Chip: []int{0, 0, 0, 1}, Chips: 2, Capacity: 2},
+			"chip 0 holds 3 vertices, 1 over its capacity 2"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.a.Validate()
+			if tc.want == "" {
+				if err != nil {
+					t.Fatalf("valid assignment rejected: %v", err)
+				}
+				return
+			}
+			if err == nil {
+				t.Fatalf("invalid assignment accepted")
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestRecoverNoDeadIsNoOp(t *testing.T) {
+	g := graph.RandomGnm(32, 96, graph.Uniform(4), 5, true)
+	a := looseAssignment(32, 4, 16)
+	rec, err := Recover(g, a, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Migrated != 0 || rec.MigrationTraffic != 0 || rec.SeveredEdges != 0 {
+		t.Fatalf("no-op recovery reported work: %+v", rec)
+	}
+	for v := range a.Chip {
+		if rec.Survivor.Chip[v] != a.Chip[v] {
+			t.Fatalf("vertex %d moved without a failure", v)
+		}
+	}
+}
+
+func TestRecoverMigratesOnlyDeadResidents(t *testing.T) {
+	g := graph.RandomGnm(32, 96, graph.Uniform(4), 5, true)
+	a := looseAssignment(32, 4, 16)
+	rec, err := Recover(g, a, []int{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantMigrated := 0
+	var wantTraffic int64
+	for v, c := range a.Chip {
+		if c == 1 {
+			wantMigrated++
+			wantTraffic += 1 + int64(len(g.Out(v)))
+			if rec.Survivor.Chip[v] == 1 {
+				t.Fatalf("vertex %d left on dead chip 1", v)
+			}
+		} else if rec.Survivor.Chip[v] != c {
+			t.Fatalf("surviving vertex %d moved from chip %d to %d", v, c, rec.Survivor.Chip[v])
+		}
+	}
+	if rec.Migrated != wantMigrated {
+		t.Fatalf("migrated %d, want %d", rec.Migrated, wantMigrated)
+	}
+	if rec.MigrationTraffic != wantTraffic {
+		t.Fatalf("migration traffic %d, want 1+outdeg per vertex = %d", rec.MigrationTraffic, wantTraffic)
+	}
+	wantSevered := 0
+	for _, e := range g.Edges() {
+		if a.Chip[e.From] == 1 || a.Chip[e.To] == 1 {
+			wantSevered++
+		}
+	}
+	if rec.SeveredEdges != wantSevered {
+		t.Fatalf("severed %d edges, want %d", rec.SeveredEdges, wantSevered)
+	}
+	if err := rec.Survivor.Validate(); err != nil {
+		t.Fatalf("survivor invalid: %v", err)
+	}
+}
+
+func TestRecoverDeterministic(t *testing.T) {
+	g := graph.RandomGnm(48, 144, graph.Uniform(4), 9, true)
+	a := looseAssignment(48, 6, 16)
+	r1, err := Recover(g, a, []int{0, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Recover(g, a, []int{3, 0}) // order of dead list must not matter
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := range r1.Survivor.Chip {
+		if r1.Survivor.Chip[v] != r2.Survivor.Chip[v] {
+			t.Fatalf("placement of vertex %d differs between identical recoveries", v)
+		}
+	}
+	if r1.MigrationTraffic != r2.MigrationTraffic {
+		t.Fatal("migration traffic differs between identical recoveries")
+	}
+}
+
+func TestRecoverPrefersNeighborChips(t *testing.T) {
+	// Vertex 0 sits alone on chip 0; all its neighbors live on chip 1,
+	// which has spare room. Affinity placement must choose chip 1 even
+	// though chip 2 is completely empty (least-loaded).
+	g := graph.New(4)
+	g.AddEdge(0, 1, 1)
+	g.AddEdge(0, 2, 1)
+	g.AddEdge(3, 0, 1)
+	a := &Assignment{Chip: []int{0, 1, 1, 1}, Chips: 3, Capacity: 4}
+	rec, err := Recover(g, a, []int{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rec.Survivor.Chip[0]; got != 1 {
+		t.Fatalf("vertex 0 placed on chip %d, want neighbor chip 1", got)
+	}
+}
+
+func TestRecoverErrors(t *testing.T) {
+	g := graph.RandomGnm(16, 32, graph.Uniform(4), 2, true)
+	t.Run("all chips dead", func(t *testing.T) {
+		a := looseAssignment(16, 2, 8)
+		if _, err := Recover(g, a, []int{0, 1}); err == nil ||
+			!strings.Contains(err.Error(), "all 2 chips dead") {
+			t.Fatalf("got %v", err)
+		}
+	})
+	t.Run("dead chip out of range", func(t *testing.T) {
+		a := looseAssignment(16, 2, 8)
+		if _, err := Recover(g, a, []int{5}); err == nil ||
+			!strings.Contains(err.Error(), "dead chip 5") {
+			t.Fatalf("got %v", err)
+		}
+	})
+	t.Run("insufficient spare capacity", func(t *testing.T) {
+		a := PartitionBFS(g, 4) // packed full: zero spare anywhere
+		if _, err := Recover(g, a, []int{0}); err == nil ||
+			!strings.Contains(err.Error(), "spare capacity") {
+			t.Fatalf("got %v", err)
+		}
+	})
+	t.Run("size mismatch", func(t *testing.T) {
+		a := looseAssignment(8, 2, 8) // covers 8 of 16 vertices
+		if _, err := Recover(g, a, nil); err == nil ||
+			!strings.Contains(err.Error(), "covers 8 vertices") {
+			t.Fatalf("got %v", err)
+		}
+	})
+	t.Run("invalid assignment", func(t *testing.T) {
+		a := &Assignment{Chip: make([]int, 16), Chips: 0, Capacity: 8}
+		if _, err := Recover(g, a, nil); err == nil {
+			t.Fatal("invalid assignment accepted")
+		}
+	})
+}

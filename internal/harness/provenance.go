@@ -29,6 +29,17 @@ type RecordedSSSP struct {
 // The recorder is sized to hold every possible event (relay neurons fire
 // at most once), so Dropped is always zero and the log replays cleanly.
 func RecordSSSP(g *graph.Graph, src, dst int, tool, command string) (*RecordedSSSP, error) {
+	return RecordSSSPInjected(g, src, dst, tool, command, nil)
+}
+
+// RecordSSSPInjected is RecordSSSP with a hardware fault injector
+// attached for the recorded run. The netlist is captured before the
+// injector, so the log describes the pristine network: replaying it
+// re-executes fault-free, and any observable perturbation the injector
+// caused surfaces as a replay divergence — the forensic path for
+// diagnosing faulted runs (and the determinism check that different
+// fault seeds produce different event streams).
+func RecordSSSPInjected(g *graph.Graph, src, dst int, tool, command string, inj snn.Injector) (*RecordedSSSP, error) {
 	n := g.N()
 	if src < 0 || src >= n {
 		return nil, fmt.Errorf("harness: source %d out of range [0,%d)", src, n)
@@ -58,8 +69,17 @@ func RecordSSSP(g *graph.Graph, src, dst int, tool, command string) (*RecordedSS
 		return nil, err
 	}
 	labels := telemetry.CaptureLabels(net)
-	rec := telemetry.NewFlightRecorder(n + 64) // fire-once: at most n events
+	// Spurious stuck-firing spikes and extra fires under voltage upsets can
+	// exceed the fire-once bound; size the ring for the worst faulted case.
+	capacity := n + 64
+	if inj != nil {
+		capacity = 4*n + 256
+	}
+	rec := telemetry.NewFlightRecorder(capacity)
 	net.SetFlightProbe(rec)
+	if inj != nil {
+		net.SetInjector(inj) // after netlist capture: the log stays pristine
+	}
 	horizon := int64(n)*maxInt64(g.MaxLen(), 1) + 1
 	net.Run(horizon)
 

@@ -14,7 +14,7 @@ func TestRecordSSSPMatchesCore(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	want := core.SSSP(g, 0, -1)
+	want, _ := core.SSSP(g, 0, -1)
 	for v := range rec.Dist {
 		if rec.Dist[v] != want.Dist[v] {
 			t.Fatalf("recorded dist[%d]=%d, core says %d", v, rec.Dist[v], want.Dist[v])

@@ -98,7 +98,7 @@ func RunTable1(cfg Table1Config) *Table1Report {
 		}
 		bf := classic.BellmanFordKHop(g, 0, cfg.K, false)
 
-		ssspN := core.SSSP(g, 0, -1)
+		ssspN := mustSSSP(g, 0, -1)
 		ttl := core.KHopTTL(g, 0, -1, cfg.K)
 		poly := core.KHopPoly(g, 0, cfg.K)
 		polySSSP := core.SSSPPoly(g, 0)

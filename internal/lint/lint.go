@@ -9,7 +9,7 @@ import "repro/internal/lint/analysis"
 
 // All returns every registered analyzer in a stable order.
 func All() []*analysis.Analyzer {
-	return []*analysis.Analyzer{MapIter, DelayBound, FloatEq, ErrFlush}
+	return []*analysis.Analyzer{MapIter, DelayBound, FloatEq, ErrFlush, RandSrc}
 }
 
 // Scopes restricts analyzers to the packages where their property matters.
@@ -38,8 +38,22 @@ var Scopes = map[string][]string{
 	},
 }
 
+// Excluded carves packages out of an otherwise-global analyzer: the
+// inverse of Scopes, for rules with a single designated exception.
+var Excluded = map[string][]string{
+	// internal/faults owns the repository's randomness discipline (named
+	// splitmix64 streams); the rule protects everyone else from the
+	// globally seeded math/rand state.
+	"randsrc": {"repro/internal/faults"},
+}
+
 // InScope reports whether analyzer name should run on package path.
 func InScope(name, pkgPath string) bool {
+	for _, p := range Excluded[name] {
+		if p == pkgPath {
+			return false
+		}
+	}
 	scope, ok := Scopes[name]
 	if !ok {
 		return true

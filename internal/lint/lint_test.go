@@ -24,6 +24,10 @@ func TestErrFlush(t *testing.T) {
 	analysistest.Run(t, lint.ErrFlush, filepath.Join("testdata", "errflush"))
 }
 
+func TestRandSrc(t *testing.T) {
+	analysistest.Run(t, lint.RandSrc, filepath.Join("testdata", "randsrc"))
+}
+
 func TestScopes(t *testing.T) {
 	cases := []struct {
 		analyzer, pkg string
@@ -38,6 +42,8 @@ func TestScopes(t *testing.T) {
 		{"floateq", "repro/internal/harness", false},
 		{"delaybound", "repro/internal/graph", true}, // unscoped: runs everywhere
 		{"errflush", "repro/internal/snn", true},
+		{"randsrc", "repro/internal/graph", true},   // unscoped: runs everywhere...
+		{"randsrc", "repro/internal/faults", false}, // ...except the faults package itself
 	}
 	for _, c := range cases {
 		if got := lint.InScope(c.analyzer, c.pkg); got != c.want {

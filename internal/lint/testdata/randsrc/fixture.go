@@ -1,0 +1,29 @@
+// Fixture for the randsrc analyzer: global math/rand state is flagged,
+// explicitly seeded sources and their methods are not.
+package fixture
+
+import "math/rand"
+
+func globalDraws() int {
+	n := rand.Intn(10)                 // want "global math/rand state"
+	_ = rand.Float64()                 // want "global math/rand state"
+	_ = rand.Int63n(100)               // want "global math/rand state"
+	rand.Shuffle(3, func(i, j int) {}) // want "global math/rand state"
+	_ = rand.Perm(4)                   // want "global math/rand state"
+	return n
+}
+
+func seededSource(seed int64) int64 {
+	rng := rand.New(rand.NewSource(seed)) // constructors are fine
+	_ = rng.Float64()                     // methods on *rand.Rand are fine
+	rng.Shuffle(3, func(i, j int) {})
+	return rng.Int63n(100)
+}
+
+func passedAround(rng *rand.Rand) float64 {
+	return rng.NormFloat64()
+}
+
+func asValue() func() float64 {
+	return rand.Float64 // want "global math/rand state"
+}

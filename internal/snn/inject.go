@@ -1,0 +1,56 @@
+package snn
+
+// Injector perturbs the engine's microscopic events as they happen — the
+// hardware-fault hook of internal/faults. Every method is consulted at a
+// deterministic point of the step loop, in deterministic order, so an
+// injector driven by seeded PRNG streams reproduces a run bit-identically
+// from (seed, model). A nil injector costs one predictable branch per
+// hook site; the pristine path is untouched.
+//
+// The three hooks cover the fault classes of neuromorphic hardware:
+//
+//   - FilterDelivery: spike loss on a synapse (drop), delay jitter
+//     (routing congestion), and transient weight perturbation (analog
+//     noise in the synapse array).
+//   - FilterFire: stuck-at-silent neurons (a dead axon suppresses every
+//     spike, including induced inputs).
+//   - PerturbVoltage: transient membrane upsets (charge injection,
+//     radiation events) applied to v̂ before the threshold comparison.
+//
+// Stuck-at-firing faults need no engine hook: the event-driven engine
+// only evaluates neurons that receive events, so a spontaneously firing
+// neuron is modeled by scheduling spurious induced spikes from Prepare.
+type Injector interface {
+	// Prepare is called once when the injector is attached, after the
+	// network is fully built: the injector sizes its per-neuron fault
+	// draws here and may call InduceSpike to schedule spurious
+	// (stuck-at-firing) events.
+	Prepare(n *Network)
+	// FilterDelivery is consulted once for each synaptic delivery at the
+	// moment it is scheduled (presynaptic spike time t). It returns the
+	// possibly perturbed weight and delay, or drop=true to lose the spike
+	// entirely. Returned delays are clamped to the hardware minimum 1.
+	FilterDelivery(t int64, from, to int32, weight float64, delay int64) (w float64, d int64, drop bool)
+	// FilterFire is consulted when neuron i is about to fire at time t,
+	// whether by threshold crossing or by induced input; returning false
+	// suppresses the spike (the membrane keeps its integrated voltage).
+	FilterFire(t int64, i int32, induced bool) bool
+	// PerturbVoltage returns a transient additive upset for neuron i's
+	// membrane at time t. It is consulted only for neurons that receive
+	// synaptic input at t (the event-driven engine never evaluates idle
+	// neurons, so upsets on silent neurons are unobservable by
+	// construction).
+	PerturbVoltage(t int64, i int32) float64
+}
+
+// SetInjector attaches (or, with nil, removes) a fault injector. The
+// injector's Prepare hook runs immediately, so attach only after the
+// topology is complete. Injection composes with probes and the flight
+// recorder: dropped deliveries never reach the postsynaptic neuron, the
+// provenance log records the jittered delays actually in effect.
+func (n *Network) SetInjector(inj Injector) {
+	n.injector = inj
+	if inj != nil {
+		inj.Prepare(n)
+	}
+}

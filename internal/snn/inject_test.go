@@ -1,0 +1,179 @@
+package snn
+
+import "testing"
+
+// testInjector is a programmable injector for engine-hook tests.
+type testInjector struct {
+	prepared    *Network
+	dropAll     bool
+	extraDelay  int64
+	weightScale float64
+	silence     map[int32]bool
+	upset       map[int32]float64
+}
+
+func (ti *testInjector) Prepare(n *Network) { ti.prepared = n }
+
+func (ti *testInjector) FilterDelivery(t int64, from, to int32, w float64, d int64) (float64, int64, bool) {
+	if ti.dropAll {
+		return w, d, true
+	}
+	if ti.weightScale != 0 {
+		w *= ti.weightScale
+	}
+	return w, d + ti.extraDelay, false
+}
+
+func (ti *testInjector) FilterFire(t int64, i int32, induced bool) bool {
+	return !ti.silence[i]
+}
+
+func (ti *testInjector) PerturbVoltage(t int64, i int32) float64 {
+	return ti.upset[i]
+}
+
+// chain builds src -> a -> b with unit weights and the given delay.
+func chain(delay int64) (*Network, []int) {
+	net := NewNetwork(Config{Rule: FireGTE})
+	ids := make([]int, 3)
+	for i := range ids {
+		ids[i] = net.AddNeuron(Integrator(1))
+	}
+	net.Connect(ids[0], ids[1], 1, delay)
+	net.Connect(ids[1], ids[2], 1, delay)
+	net.InduceSpike(ids[0], 0)
+	return net, ids
+}
+
+func TestSetInjectorCallsPrepare(t *testing.T) {
+	net, _ := chain(1)
+	ti := &testInjector{}
+	net.SetInjector(ti)
+	if ti.prepared != net {
+		t.Fatal("Prepare not invoked with the network")
+	}
+}
+
+func TestInjectorDropAllIsolatesSource(t *testing.T) {
+	net, ids := chain(1)
+	net.SetInjector(&testInjector{dropAll: true})
+	r := net.Run(100)
+	if !r.Quiescent {
+		t.Fatalf("expected quiescent run, got %+v", r)
+	}
+	if net.FirstSpike(ids[0]) != 0 {
+		t.Fatalf("source spike time %d", net.FirstSpike(ids[0]))
+	}
+	if net.FirstSpike(ids[1]) >= 0 || net.FirstSpike(ids[2]) >= 0 {
+		t.Fatal("dropped deliveries still fired downstream neurons")
+	}
+	if r.Stats.Deliveries != 0 {
+		t.Fatalf("dropped deliveries were counted: %d", r.Stats.Deliveries)
+	}
+}
+
+func TestInjectorDelayJitterShiftsSpikes(t *testing.T) {
+	net, ids := chain(2)
+	net.SetInjector(&testInjector{extraDelay: 3})
+	net.Run(100)
+	if got := net.FirstSpike(ids[1]); got != 5 {
+		t.Fatalf("first hop fired at %d, want 5 (delay 2 + jitter 3)", got)
+	}
+	if got := net.FirstSpike(ids[2]); got != 10 {
+		t.Fatalf("second hop fired at %d, want 10", got)
+	}
+}
+
+func TestInjectorDelayClampedToMinimum(t *testing.T) {
+	net, ids := chain(2)
+	net.SetInjector(&testInjector{extraDelay: -10}) // would go below 1
+	net.Run(100)
+	if got := net.FirstSpike(ids[1]); got != 1 {
+		t.Fatalf("first hop fired at %d, want 1 (hardware minimum delay)", got)
+	}
+}
+
+func TestInjectorStuckSilentSuppressesInducedSpike(t *testing.T) {
+	net, ids := chain(1)
+	net.SetInjector(&testInjector{silence: map[int32]bool{int32(ids[0]): true}})
+	r := net.Run(100)
+	if net.FirstSpike(ids[0]) >= 0 {
+		t.Fatal("stuck-at-silent neuron fired from induced input")
+	}
+	if r.Stats.Spikes != 0 {
+		t.Fatalf("spikes %d, want 0", r.Stats.Spikes)
+	}
+}
+
+func TestInjectorStuckSilentKeepsMembraneCharge(t *testing.T) {
+	// Suppressing a threshold crossing must not reset the membrane: the
+	// voltage keeps its integrated charge (a stuck axon, not a discharge).
+	net := NewNetwork(Config{Rule: FireGTE})
+	a := net.AddNeuron(Integrator(1))
+	b := net.AddNeuron(Integrator(2)) // needs two unit arrivals
+	net.Connect(a, b, 1, 1)
+	net.InduceSpike(a, 0)
+	net.SetInjector(&testInjector{silence: map[int32]bool{int32(b): true}})
+	net.Run(10)
+	if v := net.Voltage(b); v != 1 {
+		t.Fatalf("suppressed neuron voltage %v, want integrated 1", v)
+	}
+}
+
+func TestInjectorVoltageUpsetCausesSpuriousFire(t *testing.T) {
+	net := NewNetwork(Config{Rule: FireGTE})
+	a := net.AddNeuron(Integrator(1))
+	b := net.AddNeuron(Integrator(2)) // one unit arrival is subthreshold
+	net.Connect(a, b, 1, 1)
+	net.InduceSpike(a, 0)
+	net.SetInjector(&testInjector{upset: map[int32]float64{int32(b): 1}})
+	net.Run(10)
+	if got := net.FirstSpike(b); got != 1 {
+		t.Fatalf("upset neuron first spike %d, want 1", got)
+	}
+}
+
+func TestRunTimedOutFlag(t *testing.T) {
+	net, ids := chain(10)
+	r := net.Run(5) // horizon before the first delivery lands
+	if !r.TimedOut || r.Halted || r.Quiescent {
+		t.Fatalf("want timed-out result, got %+v", r)
+	}
+	if net.FirstSpike(ids[1]) >= 0 {
+		t.Fatal("neuron fired beyond the horizon")
+	}
+	// Fault-free completion path: the same topology with time to finish.
+	net2, ids2 := chain(10)
+	r2 := net2.Run(100)
+	if r2.TimedOut || !r2.Quiescent {
+		t.Fatalf("want quiescent result, got %+v", r2)
+	}
+	if net2.FirstSpike(ids2[2]) != 20 {
+		t.Fatalf("chain end fired at %d, want 20", net2.FirstSpike(ids2[2]))
+	}
+}
+
+func TestNilInjectorMatchesPristine(t *testing.T) {
+	run := func(attach bool) ([]int64, Stats) {
+		net, ids := chain(3)
+		if attach {
+			net.SetInjector(nil)
+		}
+		r := net.Run(100)
+		out := make([]int64, len(ids))
+		for i, id := range ids {
+			out[i] = net.FirstSpike(id)
+		}
+		return out, r.Stats
+	}
+	gotT, gotS := run(true)
+	wantT, wantS := run(false)
+	for i := range gotT {
+		if gotT[i] != wantT[i] {
+			t.Fatalf("spike times diverge at %d: %v vs %v", i, gotT, wantT)
+		}
+	}
+	if gotS != wantS {
+		t.Fatalf("stats diverge: %+v vs %+v", gotS, wantS)
+	}
+}

@@ -177,6 +177,7 @@ type Network struct {
 	pendingEvents int64
 	lastStep      int64 // last processed step time, -1 before any step
 	probe         StepProbe
+	injector      Injector
 
 	// causal provenance (see provenance.go); all nil/empty unless a
 	// FlightProbe is attached.
@@ -335,6 +336,14 @@ type Result struct {
 	// Quiescent is true when the network ran out of pending events before
 	// any terminal fired or the deadline was reached.
 	Quiescent bool
+	// TimedOut is true when the run stopped because simulated time would
+	// exceed maxTime while events were still pending: the network neither
+	// halted nor went quiescent, so results read from it may be
+	// incomplete. Callers that treat "terminal never fired" as
+	// unreachable must check this flag first — under fault injection
+	// (delay jitter, dropped spikes) an exhausted deadline is a failed
+	// run, not a proof of unreachability.
+	TimedOut bool
 	// Now is the simulation time after the run.
 	Now   int64
 	Stats Stats
@@ -366,7 +375,7 @@ func (n *Network) Run(maxTime int64) Result {
 		return Result{Quiescent: true, Now: n.now, Stats: n.stats}
 	}
 	n.now = maxTime
-	return Result{Now: n.now, Stats: n.stats}
+	return Result{TimedOut: true, Now: n.now, Stats: n.stats}
 }
 
 // step processes all activity at time t and returns true if a terminal fired.
@@ -400,6 +409,9 @@ func (n *Network) step(t int64, b *bucket) bool {
 	forcedSet := map[int32]bool{}
 	for _, i := range b.forced {
 		if !forcedSet[i] {
+			if n.injector != nil && !n.injector.FilterFire(t, i, true) {
+				continue // stuck-at-silent: even induced inputs are lost
+			}
 			forcedSet[i] = true
 			fired = append(fired, i)
 		}
@@ -411,9 +423,15 @@ func (n *Network) step(t int64, b *bucket) bool {
 		p := n.neurons[i]
 		v := n.decayedVoltage(int(i), t)
 		vhat := v + n.synIn[i]
+		if n.injector != nil {
+			vhat += n.injector.PerturbVoltage(t, i)
+		}
 		cross := vhat >= p.Threshold
 		if n.cfg.Rule == FireStrict {
 			cross = vhat > p.Threshold
+		}
+		if cross && n.injector != nil && !n.injector.FilterFire(t, i, false) {
+			cross = false // suppressed spike: membrane keeps its charge
 		}
 		if cross {
 			fired = append(fired, i)
@@ -445,14 +463,26 @@ func (n *Network) step(t int64, b *bucket) bool {
 		if n.cfg.Record {
 			n.spikeLog[i] = append(n.spikeLog[i], t)
 		}
+		scheduled := 0
 		for _, s := range n.out[i] {
-			nb := n.bucketAt(t + s.delay)
-			nb.deliveries = append(nb.deliveries, delivery{to: s.to, from: i, weight: s.weight})
-			if n.flight != nil {
-				nb.delays = append(nb.delays, s.delay)
+			w, d := s.weight, s.delay
+			if n.injector != nil {
+				var drop bool
+				if w, d, drop = n.injector.FilterDelivery(t, i, s.to, w, d); drop {
+					continue
+				}
+				if d < 1 {
+					d = 1 // hardware minimum delay
+				}
 			}
+			nb := n.bucketAt(t + d)
+			nb.deliveries = append(nb.deliveries, delivery{to: s.to, from: i, weight: w})
+			if n.flight != nil {
+				nb.delays = append(nb.delays, d)
+			}
+			scheduled++
 		}
-		n.pendingEvents += int64(len(n.out[i]))
+		n.pendingEvents += int64(scheduled)
 		if n.flight != nil {
 			n.flight.OnSpike(t, i, forcedSet[i], vBefore, vAfter, n.ants[i])
 		}

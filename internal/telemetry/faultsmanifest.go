@@ -1,0 +1,155 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// FaultsSchema identifies the fault-sweep manifest format emitted by
+// `spaabench faults`. Unlike spaa-run-manifest/v1, this format carries
+// no wall-clock fields at all: a (seed, model, workload) triple must
+// re-encode byte-identically, which is what CI's determinism check
+// compares.
+const FaultsSchema = "spaa-faults/v1"
+
+// FaultModel is the manifest spelling of the fault environment swept
+// (mirrors faults.Model; telemetry cannot import faults — the dependency
+// runs the other way).
+type FaultModel struct {
+	DropProb        float64 `json:"drop_prob"`
+	JitterProb      float64 `json:"jitter_prob,omitempty"`
+	JitterMax       int64   `json:"jitter_max,omitempty"`
+	WeightNoise     float64 `json:"weight_noise,omitempty"`
+	StuckSilentProb float64 `json:"stuck_silent_prob,omitempty"`
+	StuckFireProb   float64 `json:"stuck_fire_prob,omitempty"`
+	StuckFireTrain  int     `json:"stuck_fire_train,omitempty"`
+	UpsetProb       float64 `json:"upset_prob,omitempty"`
+	UpsetMag        float64 `json:"upset_mag,omitempty"`
+	PinnedSilent    []int   `json:"pinned_silent,omitempty"`
+	Seed            int64   `json:"seed"`
+}
+
+// FaultTally is the manifest spelling of faults.Counters: every fault
+// the injectors actually landed across a sweep point's trials.
+type FaultTally struct {
+	Dropped         int64 `json:"dropped,omitempty"`
+	Jittered        int64 `json:"jittered,omitempty"`
+	WeightPerturbed int64 `json:"weight_perturbed,omitempty"`
+	Upsets          int64 `json:"upsets,omitempty"`
+	SuppressedFires int64 `json:"suppressed_fires,omitempty"`
+	SpuriousFires   int64 `json:"spurious_fires,omitempty"`
+	StuckSilent     int   `json:"stuck_silent,omitempty"`
+	StuckFiring     int   `json:"stuck_firing,omitempty"`
+}
+
+// FaultsPoint is one row of the degradation curve: the sweep's outcome
+// statistics at one fault rate, aggregated over Trials independent
+// seeds.
+type FaultsPoint struct {
+	Rate   float64 `json:"rate"`
+	Trials int     `json:"trials"`
+
+	// Single-run outcomes (no redundancy, no self-check): Success counts
+	// trials whose distances matched the reference exactly, WrongAnswer
+	// trials that returned wrong finite-looking distances, TimedOut
+	// trials whose horizon ran out.
+	Success     int `json:"success"`
+	WrongAnswer int `json:"wrong_answer"`
+	TimedOut    int `json:"timed_out"`
+
+	// NMRSuccess counts trials whose K-replica majority vote recovered
+	// the exact distances; NMRDisagreeing totals replicas flagged as
+	// disagreeing with their vote across all trials.
+	NMRSuccess     int `json:"nmr_success"`
+	NMRDisagreeing int `json:"nmr_disagreeing"`
+
+	// Self-check outcomes: Caught counts wrong/timed-out attempts the
+	// check intercepted, Recovered trials that verified within the retry
+	// budget, Degraded trials that fell back to classic Dijkstra.
+	// Retries and BackoffUnits total the recovery cost.
+	SelfCheckCaught    int   `json:"selfcheck_caught"`
+	SelfCheckRecovered int   `json:"selfcheck_recovered"`
+	Degraded           int   `json:"degraded"`
+	Retries            int64 `json:"retries"`
+	BackoffUnits       int64 `json:"backoff_units"`
+
+	// Overheads, totalled over the point's single-run trials, in
+	// simulated units (never wall-clock): compare against Trials × the
+	// manifest's Baseline to get ratios.
+	Spikes     int64 `json:"spikes"`
+	Deliveries int64 `json:"deliveries"`
+	Steps      int64 `json:"steps"`
+	SpikeTime  int64 `json:"spike_time"`
+
+	Faults FaultTally `json:"faults"`
+}
+
+// FaultsManifest is the full record of one `spaabench faults` sweep.
+type FaultsManifest struct {
+	Schema string `json:"schema"`
+	Tool   string `json:"tool"`
+
+	Graph  *GraphParams   `json:"graph,omitempty"`
+	Config map[string]any `json:"config,omitempty"`
+	Model  *FaultModel    `json:"model,omitempty"`
+
+	// Baseline is the fault-free run's cost on the same workload (the
+	// BENCH_snn_sssp.json quantities), BaselineTime its SpikeTime.
+	Baseline     *RunStats `json:"baseline,omitempty"`
+	BaselineTime int64     `json:"baseline_time,omitempty"`
+
+	Points []FaultsPoint `json:"points"`
+}
+
+// NewFaultsManifest returns a manifest skeleton.
+func NewFaultsManifest(tool string) *FaultsManifest {
+	return &FaultsManifest{Schema: FaultsSchema, Tool: tool}
+}
+
+// SetConfig stores one config key (flag values, sweep parameters).
+func (m *FaultsManifest) SetConfig(key string, value any) *FaultsManifest {
+	if m.Config == nil {
+		m.Config = make(map[string]any)
+	}
+	m.Config[key] = value
+	return m
+}
+
+// Encode writes the manifest as indented JSON. Map keys marshal sorted
+// and no field carries wall-clock time, so equal sweeps encode to equal
+// bytes — the property the determinism acceptance check rides on.
+func (m *FaultsManifest) Encode(w io.Writer) error {
+	if m.Schema == "" {
+		return fmt.Errorf("telemetry: faults manifest missing schema")
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(m)
+}
+
+// WriteFile writes the manifest to path (the -metrics flag target).
+func (m *FaultsManifest) WriteFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := m.Encode(f); err != nil {
+		f.Close()
+		return fmt.Errorf("telemetry: encoding faults manifest: %w", err)
+	}
+	return f.Close()
+}
+
+// ReadFaultsManifest parses a faults manifest (schema-checked).
+func ReadFaultsManifest(r io.Reader) (*FaultsManifest, error) {
+	var m FaultsManifest
+	if err := json.NewDecoder(r).Decode(&m); err != nil {
+		return nil, fmt.Errorf("telemetry: parsing faults manifest: %w", err)
+	}
+	if m.Schema != FaultsSchema {
+		return nil, fmt.Errorf("telemetry: unknown faults manifest schema %q (want %q)", m.Schema, FaultsSchema)
+	}
+	return &m, nil
+}

@@ -1,0 +1,87 @@
+package telemetry
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func sampleFaultsManifest() *FaultsManifest {
+	m := NewFaultsManifest("spaabench faults")
+	m.Graph = &GraphParams{N: 256, M: 1024, MaxLen: 8, Seed: 1, Kind: "gnm"}
+	m.Model = &FaultModel{DropProb: 0.01, JitterProb: 0.1, JitterMax: 2, Seed: 7, PinnedSilent: []int{3}}
+	m.Baseline = &RunStats{Spikes: 256, Deliveries: 1280, Steps: 28, MaxQueueDepth: 482}
+	m.BaselineTime = 19
+	m.SetConfig("src", 0).SetConfig("trials", 20).SetConfig("rates", []float64{0, 0.01})
+	m.Points = append(m.Points, FaultsPoint{
+		Rate: 0.01, Trials: 20, Success: 12, WrongAnswer: 6, TimedOut: 2,
+		NMRSuccess: 19, NMRDisagreeing: 14,
+		SelfCheckCaught: 8, SelfCheckRecovered: 18, Degraded: 2,
+		Retries: 11, BackoffUnits: 25,
+		Spikes: 5000, Deliveries: 24000, Steps: 550, SpikeTime: 400,
+		Faults: FaultTally{Dropped: 240, Jittered: 2300, StuckSilent: 3},
+	})
+	return m
+}
+
+func TestFaultsManifestRoundTrip(t *testing.T) {
+	m := sampleFaultsManifest()
+	var buf bytes.Buffer
+	if err := m.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFaultsManifest(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Schema != FaultsSchema || got.Tool != m.Tool {
+		t.Fatalf("header mangled: %+v", got)
+	}
+	if *got.Graph != *m.Graph || *got.Baseline != *m.Baseline || got.BaselineTime != 19 {
+		t.Fatal("graph/baseline did not round-trip")
+	}
+	if got.Model.DropProb != 0.01 || got.Model.Seed != 7 || len(got.Model.PinnedSilent) != 1 {
+		t.Fatalf("model did not round-trip: %+v", got.Model)
+	}
+	if len(got.Points) != 1 {
+		t.Fatalf("points did not round-trip: %d", len(got.Points))
+	}
+	p := got.Points[0]
+	if p != m.Points[0] {
+		t.Fatalf("point did not round-trip:\n got %+v\nwant %+v", p, m.Points[0])
+	}
+}
+
+func TestFaultsManifestEncodeDeterministic(t *testing.T) {
+	// Two encodings of the same logical sweep must be byte-identical:
+	// map-valued config marshals with sorted keys and no field carries
+	// wall-clock time.
+	build := func() []byte {
+		m := sampleFaultsManifest()
+		m.SetConfig("k", 3).SetConfig("retries", 3).SetConfig("alpha", 1)
+		var buf bytes.Buffer
+		if err := m.Encode(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	if !bytes.Equal(build(), build()) {
+		t.Fatal("identical manifests encoded to different bytes")
+	}
+}
+
+func TestFaultsManifestRejectsWrongSchema(t *testing.T) {
+	if _, err := ReadFaultsManifest(strings.NewReader(`{"schema":"spaa-run-manifest/v1","points":[]}`)); err == nil {
+		t.Fatal("foreign schema accepted")
+	}
+	if _, err := ReadFaultsManifest(strings.NewReader(`not json`)); err == nil {
+		t.Fatal("malformed JSON accepted")
+	}
+}
+
+func TestFaultsManifestEncodeRequiresSchema(t *testing.T) {
+	m := &FaultsManifest{}
+	if err := m.Encode(&bytes.Buffer{}); err == nil {
+		t.Fatal("schema-less manifest encoded")
+	}
+}

@@ -76,7 +76,7 @@ func TestRecorderConcurrentEngines(t *testing.T) {
 		wg.Add(1)
 		go func(i int, g *graph.Graph) {
 			defer wg.Done()
-			results[i] = core.SSSP(g, 0, -1, rec)
+			results[i] = mustSSSP(g, rec)
 		}(i, g)
 	}
 	wg.Wait()

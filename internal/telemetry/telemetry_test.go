@@ -27,7 +27,7 @@ var (
 func TestSSSPSeriesSumsToStats(t *testing.T) {
 	g := graph.RandomGnm(128, 512, graph.Uniform(8), 1, true)
 	rec := NewRecorder()
-	r := core.SSSP(g, 0, -1, rec)
+	r := mustSSSP(g, rec)
 
 	if got := rec.TotalSpikes(); got != r.Stats.Spikes {
 		t.Fatalf("spike series sums to %d, stats say %d", got, r.Stats.Spikes)
@@ -63,7 +63,7 @@ func TestSSSPSeriesSumsToStats(t *testing.T) {
 func TestManifestRoundTrip(t *testing.T) {
 	g := graph.RandomGnm(64, 256, graph.Uniform(8), 3, true)
 	rec := NewRecorder()
-	r := core.SSSP(g, 0, -1, rec)
+	r := mustSSSP(g, rec)
 
 	man := NewManifest("spaabench", "sssp")
 	man.Graph = &GraphParams{N: g.N(), M: g.M(), MaxLen: g.MaxLen(), Seed: 3}
@@ -147,7 +147,7 @@ func TestCongestProbeMatchesResult(t *testing.T) {
 
 func TestFleetProbeMatchesTraffic(t *testing.T) {
 	g := graph.Grid(8, 8, graph.Unit, 0)
-	dist := core.SSSP(g, 0, -1).Dist
+	dist := mustSSSP(g).Dist
 	a := fleet.PartitionBFS(g, 16)
 	rec := NewRecorder()
 	tr := fleet.AnalyzeSSSP(g, a, dist, rec)
@@ -172,7 +172,7 @@ func TestFleetProbeMatchesTraffic(t *testing.T) {
 func TestTracerEncodesValidTraceEventJSON(t *testing.T) {
 	g := graph.RandomGnm(32, 128, graph.Uniform(4), 2, true)
 	rec := NewRecorder()
-	r := core.SSSP(g, 0, -1, rec)
+	r := mustSSSP(g, rec)
 
 	tr := NewTracer()
 	tr.Span("phases", "simulate", 0, r.SpikeTime)
@@ -290,11 +290,21 @@ func TestProfilesWrite(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	core.SSSP(graph.RandomGnm(64, 256, graph.Uniform(4), 4, true), 0, -1)
+	mustSSSP(graph.RandomGnm(64, 256, graph.Uniform(4), 4, true))
 	if err := stop(); err != nil {
 		t.Fatal(err)
 	}
 	if err := WriteHeapProfile(dir + "/mem.pprof"); err != nil {
 		t.Fatal(err)
 	}
+}
+
+// mustSSSP runs the fault-free spiking SSSP (all destinations), which
+// cannot time out.
+func mustSSSP(g *graph.Graph, probe ...snn.StepProbe) *core.SSSPResult {
+	r, err := core.SSSP(g, 0, -1, probe...)
+	if err != nil {
+		panic(err)
+	}
+	return r
 }
