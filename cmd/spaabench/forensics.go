@@ -195,7 +195,9 @@ func readManifestFile(path string) (*telemetry.Manifest, error) {
 // through the shared runner for its command and returns the fresh
 // manifest.
 func rerunBaseline(base *telemetry.Manifest) (*telemetry.Manifest, error) {
-	o := &obs{force: true}
+	// deterministic: regress compares counters, not wall clocks; a
+	// re-run manifest must be byte-stable modulo the measured series.
+	o := &obs{force: true, deterministic: true}
 	if err := o.begin(base.Command); err != nil {
 		return nil, err
 	}

@@ -21,14 +21,20 @@
 //	spaabench why -n 64 -m 256 -dst 5 [-save log.jsonl]   # causal proof tree behind a spike
 //	spaabench replay <log.jsonl>                  # re-execute a provenance log, verify bit-identical
 //	spaabench regress [-tol 0.02] BENCH_*.json    # diff fresh runs against committed baselines
+//	spaabench serve [-addr 127.0.0.1:9090]        # live metrics daemon: /metrics, dashboard, SSE
+//	spaabench soak [-workers 8] [-iters 16] [-addr URL]  # concurrent load driver
 //
 // The sssp, table1, flow, congest, fleet, and timeline subcommands also
 // accept observability flags: -metrics out.json writes a JSON run
-// manifest (the BENCH_*.json format), -trace out.json writes Chrome
-// trace_event JSON viewable in Perfetto, and -cpuprofile / -memprofile
-// write pprof profiles. `why -save` writes a spaa-provenance/v1 causal
-// spike log that `replay` re-executes; `regress` is the CI gate over the
-// committed BENCH_*.json manifests. See docs/OBSERVABILITY.md.
+// manifest (the BENCH_*.json format; add -deterministic for
+// byte-reproducible output), -trace out.json writes Chrome trace_event
+// JSON viewable in Perfetto, and -cpuprofile / -memprofile write pprof
+// profiles. `why -save` writes a spaa-provenance/v1 causal spike log
+// that `replay` re-executes; `regress` is the CI gate over the
+// committed BENCH_*.json manifests. `serve` exposes a Prometheus-style
+// /metrics endpoint plus a live dashboard; `soak` drives seeded
+// concurrent load through the instrumented stack and can stream its run
+// manifests to a serve daemon. See docs/OBSERVABILITY.md.
 package main
 
 import (
@@ -53,11 +59,20 @@ import (
 )
 
 func main() {
-	if len(os.Args) < 2 {
+	os.Exit(realMain(os.Args[1:]))
+}
+
+// realMain is the single exit path: every subcommand returns here, and
+// profiling outputs are flushed before the process status is decided —
+// a failing run (nonzero exit) still emits its -cpuprofile/-memprofile
+// files, where a bare os.Exit inside the dispatch would have dropped
+// them.
+func realMain(argv []string) int {
+	if len(argv) < 1 {
 		usage()
-		os.Exit(2)
+		return 2
 	}
-	cmd, args := os.Args[1], os.Args[2:]
+	cmd, args := argv[0], argv[1:]
 	var err error
 	switch cmd {
 	case "table1":
@@ -100,21 +115,28 @@ func main() {
 		err = cmdVerify(args)
 	case "validate":
 		err = cmdValidate(args)
+	case "serve":
+		err = cmdServe(args)
+	case "soak":
+		err = cmdSoak(args)
 	default:
 		usage()
-		os.Exit(2)
+		return 2
 	}
+	flushProfiles()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "spaabench:", err)
-		os.Exit(1)
+		return 1
 	}
+	return 0
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: spaabench {table1|table2|table3|figures|experiments|sssp|gen|raster|timeline|flow|congest|dot|crossover|fleet|faults|why|replay|regress|verify|validate} [flags]")
+	fmt.Fprintln(os.Stderr, "usage: spaabench {table1|table2|table3|figures|experiments|sssp|gen|raster|timeline|flow|congest|dot|crossover|fleet|faults|why|replay|regress|verify|validate|serve|soak} [flags]")
 	fmt.Fprintln(os.Stderr, "robustness: faults [-rates 0,0.01,...] [-trials 20] [-k 3] [-retries 3] [-strict] [-metrics out.json]")
-	fmt.Fprintln(os.Stderr, "observability (sssp, table1, flow, congest, fleet, timeline): -metrics out.json -trace out.json -cpuprofile out.pprof -memprofile out.pprof")
+	fmt.Fprintln(os.Stderr, "observability (sssp, table1, flow, congest, fleet, timeline): -metrics out.json [-deterministic] -trace out.json -cpuprofile out.pprof -memprofile out.pprof")
 	fmt.Fprintln(os.Stderr, "forensics: why -dst N [-save log.jsonl] | replay log.jsonl | regress [-tol 0.02] BENCH_*.json")
+	fmt.Fprintln(os.Stderr, "live: serve [-addr 127.0.0.1:9090] [-preload 'BENCH_*.json'] | soak [-workers 8] [-iters 16] [-mix sssp,congest,fleet,table1] [-addr http://127.0.0.1:9090]")
 }
 
 func parseInts(s string) ([]int, error) {

@@ -2,6 +2,9 @@ package main
 
 import (
 	"flag"
+	"fmt"
+	"os"
+	"sync"
 	"time"
 
 	"repro/internal/congest"
@@ -19,6 +22,11 @@ import (
 type obs struct {
 	metricsPath, tracePath, cpuPath, memPath string
 
+	// deterministic zeroes the manifest's wall-clock fields so the
+	// -metrics output is byte-reproducible (the spaa-faults/v1 property,
+	// opt-in here).
+	deterministic bool
+
 	// force turns probing on without any output path — `spaabench
 	// regress` re-runs baselines through the same code paths and collects
 	// the manifest in memory.
@@ -27,6 +35,7 @@ type obs struct {
 	command   string
 	start     time.Time
 	stopCPU   func() error
+	memDone   bool
 	recFolded bool
 
 	// Rec is the probe sink handed to the instrumented engines; Man and
@@ -43,7 +52,60 @@ func addObsFlags(fs *flag.FlagSet) *obs {
 	fs.StringVar(&o.tracePath, "trace", "", "write Chrome trace_event JSON (open in Perfetto) to this file")
 	fs.StringVar(&o.cpuPath, "cpuprofile", "", "write a pprof CPU profile to this file")
 	fs.StringVar(&o.memPath, "memprofile", "", "write a pprof heap profile to this file")
+	fs.BoolVar(&o.deterministic, "deterministic", false, "zero the manifest's wall-clock fields (created_unix_ms, wall_ms) so -metrics output is byte-reproducible")
 	return o
+}
+
+// activeObs tracks bundles whose profiling outputs are not yet
+// finalized. cmd* functions return errors to main, which calls os.Exit —
+// skipping any deferred pprof finalization — so the exit path flushes
+// this list instead (flushProfiles). Guarded by a mutex only for the
+// sake of tests; the CLI itself is single-threaded here.
+var (
+	activeObsMu sync.Mutex
+	activeObs   []*obs
+)
+
+// flushProfiles finalizes profiling for every obs bundle still open —
+// the error-exit path's guarantee that a failing run never loses its
+// -cpuprofile/-memprofile output. Flush errors are reported to stderr
+// but do not change the exit code: the run's own error takes precedence.
+func flushProfiles() {
+	activeObsMu.Lock()
+	pending := append([]*obs(nil), activeObs...)
+	activeObsMu.Unlock()
+	for _, o := range pending {
+		if err := o.finishProfiles(); err != nil {
+			fmt.Fprintln(os.Stderr, "spaabench: flushing profiles:", err)
+		}
+	}
+}
+
+// finishProfiles stops the CPU profile and writes the heap profile
+// (each at most once), then deregisters the bundle.
+func (o *obs) finishProfiles() error {
+	var first error
+	if o.stopCPU != nil {
+		if err := o.stopCPU(); err != nil {
+			first = err
+		}
+		o.stopCPU = nil
+	}
+	if o.memPath != "" && !o.memDone {
+		o.memDone = true
+		if err := telemetry.WriteHeapProfile(o.memPath); err != nil && first == nil {
+			first = err
+		}
+	}
+	activeObsMu.Lock()
+	for i, a := range activeObs {
+		if a == o {
+			activeObs = append(activeObs[:i], activeObs[i+1:]...)
+			break
+		}
+	}
+	activeObsMu.Unlock()
+	return first
 }
 
 // on reports whether any telemetry output was requested; engines are
@@ -65,6 +127,11 @@ func (o *obs) begin(command string) error {
 			return err
 		}
 		o.stopCPU = stop
+	}
+	if o.cpuPath != "" || o.memPath != "" {
+		activeObsMu.Lock()
+		activeObs = append(activeObs, o)
+		activeObsMu.Unlock()
 	}
 	return nil
 }
@@ -121,21 +188,12 @@ func (o *obs) manifest() *telemetry.Manifest {
 
 // finish stops profiling and writes every requested output.
 func (o *obs) finish() error {
-	if o.stopCPU != nil {
-		if err := o.stopCPU(); err != nil {
-			return err
-		}
-		o.stopCPU = nil
-	}
-	if o.memPath != "" {
-		if err := telemetry.WriteHeapProfile(o.memPath); err != nil {
-			return err
-		}
+	if err := o.finishProfiles(); err != nil {
+		return err
 	}
 	if o.metricsPath != "" {
 		man := o.manifest()
-		man.CreatedUnixMS = o.start.UnixMilli()
-		man.WallMS = float64(time.Since(o.start).Microseconds()) / 1e3
+		man.Finalize(o.start, time.Since(o.start), telemetry.ManifestOptions{Deterministic: o.deterministic})
 		if err := man.WriteFile(o.metricsPath); err != nil {
 			return err
 		}

@@ -1,0 +1,99 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// checkProfile asserts path holds a non-empty gzip stream — the pprof
+// container format both profile kinds use.
+func checkProfile(t *testing.T, path string) {
+	t.Helper()
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("profile missing: %v", err)
+	}
+	if len(raw) < 2 || raw[0] != 0x1f || raw[1] != 0x8b {
+		t.Errorf("%s is not a gzipped pprof profile (%d bytes, magic %x)",
+			path, len(raw), raw[:min(2, len(raw))])
+	}
+}
+
+// TestFailingRunStillWritesProfiles is the profile-flush regression
+// test: a subcommand that errors out after profiling has started (here:
+// an unknown -algo rejected after o.begin) must still leave valid
+// -cpuprofile/-memprofile files behind, because realMain flushes
+// profiles before deciding the exit status.
+func TestFailingRunStillWritesProfiles(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.pprof")
+	mem := filepath.Join(dir, "mem.pprof")
+	code := realMain([]string{"sssp", "-n", "16", "-m", "32",
+		"-algo", "definitely-not-an-algo",
+		"-cpuprofile", cpu, "-memprofile", mem})
+	if code != 1 {
+		t.Fatalf("exit code %d, want 1", code)
+	}
+	checkProfile(t, cpu)
+	checkProfile(t, mem)
+
+	activeObsMu.Lock()
+	left := len(activeObs)
+	activeObsMu.Unlock()
+	if left != 0 {
+		t.Errorf("%d obs bundles still registered after flush", left)
+	}
+}
+
+// TestSucceedingRunWritesProfilesOnce checks the happy path through the
+// same exit machinery: finish() finalizes the profiles, and the
+// subsequent flushProfiles call must not rewrite (and thereby truncate)
+// them.
+func TestSucceedingRunWritesProfilesOnce(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.pprof")
+	mem := filepath.Join(dir, "mem.pprof")
+	code := realMain([]string{"sssp", "-n", "16", "-m", "32",
+		"-cpuprofile", cpu, "-memprofile", mem})
+	if code != 0 {
+		t.Fatalf("exit code %d, want 0", code)
+	}
+	checkProfile(t, cpu)
+	checkProfile(t, mem)
+}
+
+// TestUsageExitCode pins the no-arguments and unknown-command paths.
+func TestUsageExitCode(t *testing.T) {
+	if code := realMain(nil); code != 2 {
+		t.Errorf("no-args exit = %d, want 2", code)
+	}
+	if code := realMain([]string{"not-a-command"}); code != 2 {
+		t.Errorf("unknown-command exit = %d, want 2", code)
+	}
+}
+
+// TestDeterministicManifestFlag runs the same seeded workload twice with
+// -deterministic; the emitted manifests must be byte-identical.
+func TestDeterministicManifestFlag(t *testing.T) {
+	dir := t.TempDir()
+	a := filepath.Join(dir, "a.json")
+	b := filepath.Join(dir, "b.json")
+	for _, path := range []string{a, b} {
+		if code := realMain([]string{"sssp", "-n", "32", "-m", "96", "-seed", "3",
+			"-deterministic", "-metrics", path}); code != 0 {
+			t.Fatalf("sssp run failed with code %d", code)
+		}
+	}
+	ab, err := os.ReadFile(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bb, err := os.ReadFile(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(ab) != string(bb) {
+		t.Errorf("-deterministic manifests differ:\n%s\nvs\n%s", ab, bb)
+	}
+}

@@ -1,0 +1,79 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/telemetry"
+)
+
+// cmdServe runs the live-metrics daemon: a Prometheus-style scrape
+// endpoint plus run ingestion and an embedded dashboard. Point a
+// `spaabench soak -addr` campaign (or any process POSTing
+// spaa-run-manifest/v1 documents to /runs) at it and watch the cost
+// measures accumulate live.
+//
+//	GET  /         live dashboard (single-file HTML)
+//	GET  /metrics  Prometheus text exposition
+//	GET  /healthz  liveness JSON
+//	GET  /runs     JSON run index + totals
+//	POST /runs     ingest one run manifest
+//	GET  /events   SSE stream of per-run summaries
+func cmdServe(args []string) error {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	addr := fs.String("addr", "127.0.0.1:9090", "listen address")
+	preload := fs.String("preload", "", "glob of run-manifest JSON files to ingest at startup (e.g. 'BENCH_*.json')")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	srv := metrics.NewServer(metrics.NewRegistry())
+	if *preload != "" {
+		names, err := filepath.Glob(*preload)
+		if err != nil {
+			return err
+		}
+		for _, name := range names {
+			man, err := readManifestFile(name)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "spaabench serve: skipping %s: %v\n", name, err)
+				continue
+			}
+			srv.Ingest(man)
+			fmt.Fprintf(os.Stderr, "preloaded %s (%s)\n", name, man.Command)
+		}
+	}
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("spaabench serve: dashboard http://%s/  metrics http://%s/metrics\n", ln.Addr(), ln.Addr())
+	return (&http.Server{
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}).Serve(ln)
+}
+
+// postManifest delivers one run manifest to a serve daemon — the soak
+// driver's Submit hook.
+func postManifest(client *http.Client, baseURL string, man *telemetry.Manifest) error {
+	var body bytes.Buffer
+	if err := man.Encode(&body); err != nil {
+		return err
+	}
+	resp, err := client.Post(baseURL+"/runs", "application/json", &body)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		return fmt.Errorf("POST /runs: %s", resp.Status)
+	}
+	return nil
+}

@@ -1,0 +1,221 @@
+package harness
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/congest"
+	"repro/internal/core"
+	"repro/internal/fleet"
+	"repro/internal/graph"
+	"repro/internal/snn"
+	"repro/internal/telemetry"
+)
+
+// SoakWorkloads is the default workload mix of the soak driver: one
+// representative of each instrumented vertical (spiking SSSP, CONGEST
+// SSSP, chip-fleet analysis, and the Table 1 sweep with its DISTANCE
+// movement half).
+var SoakWorkloads = []string{"sssp", "congest", "fleet", "table1"}
+
+// SoakConfig parameterizes a concurrent soak campaign: Workers
+// goroutines each executing Iters seeded runs drawn round-robin from
+// Mix. Every run gets its own telemetry.Recorder (so manifests stay
+// attributable) teed with the shared Probes sink (so a live metrics
+// registry sees the aggregate load); the finished manifest goes to
+// Submit.
+type SoakConfig struct {
+	// Workers is the goroutine count; Iters the runs per worker.
+	Workers, Iters int
+	// Seed derives every run's workload seed (splitmix64 over
+	// worker/iteration), so a campaign is reproducible end to end.
+	Seed int64
+	// Mix lists the workloads to cycle through (default SoakWorkloads).
+	Mix []string
+	// Probes, when non-nil, additionally observes every run (pass a
+	// metrics.Bridge to feed a live registry). If it also implements
+	// ObserveRunStats(maxQueueDepth, silentStepsSkipped int64), completed
+	// runs report their queue-pressure stats through it.
+	Probes telemetry.ProbeSink
+	// Submit, when non-nil, receives every completed run manifest (POST
+	// to a `spaabench serve` daemon, or collect in a test). Called
+	// concurrently from worker goroutines.
+	Submit func(*telemetry.Manifest) error
+	// Deterministic finalizes manifests without wall-clock fields.
+	Deterministic bool
+}
+
+// SoakReport aggregates a finished campaign.
+type SoakReport struct {
+	Runs, Errors int64
+	// Spikes, Deliveries, Steps, MaxQueueDepth and SilentStepsSkipped
+	// sum (respectively high-water) the simulator stats of every run
+	// that carried an SNN half — by construction equal to the sum over
+	// the emitted manifests' stats.
+	Spikes, Deliveries, Steps         int64
+	MaxQueueDepth, SilentStepsSkipped int64
+	// PerWorkload counts completed runs by workload name.
+	PerWorkload map[string]int64
+	// Wall is the campaign's measured duration.
+	Wall time.Duration
+	// FirstError preserves the first failure for reporting.
+	FirstError error
+}
+
+// RatePerSecond returns completed runs per wall-clock second.
+func (r *SoakReport) RatePerSecond() float64 {
+	if r.Wall <= 0 {
+		return 0
+	}
+	return float64(r.Runs) / r.Wall.Seconds()
+}
+
+// splitmix64 is the per-run seed derivation (the same construction
+// internal/faults uses for named streams): one golden-gamma step plus
+// finalization, so adjacent (worker, iter) pairs land in uncorrelated
+// parts of the seed space without any shared mutable generator state.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// Soak runs the campaign and blocks until every worker finishes. The
+// report is always returned; the error is the first per-run failure (the
+// remaining runs still execute — a soak measures sustained behavior, so
+// one failed submit must not stop the load).
+func Soak(cfg SoakConfig) (*SoakReport, error) {
+	if cfg.Workers < 1 {
+		cfg.Workers = 1
+	}
+	if cfg.Iters < 1 {
+		cfg.Iters = 1
+	}
+	mix := cfg.Mix
+	if len(mix) == 0 {
+		mix = SoakWorkloads
+	}
+	for _, w := range mix {
+		if !soakRunnable(w) {
+			return nil, fmt.Errorf("harness: unknown soak workload %q (have %v)", w, SoakWorkloads)
+		}
+	}
+
+	rep := &SoakReport{PerWorkload: make(map[string]int64)}
+	var mu sync.Mutex
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.Workers; w++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			for i := 0; i < cfg.Iters; i++ {
+				workload := mix[(worker+i)%len(mix)]
+				runSeed := int64(splitmix64(uint64(cfg.Seed)^uint64(worker)<<32^uint64(i)) >> 1)
+				_, stats, err := soakRun(workload, runSeed, cfg)
+				mu.Lock()
+				if err != nil {
+					rep.Errors++
+					if rep.FirstError == nil {
+						rep.FirstError = fmt.Errorf("%s worker %d iter %d: %w", workload, worker, i, err)
+					}
+					mu.Unlock()
+					continue
+				}
+				rep.Runs++
+				rep.PerWorkload[workload]++
+				if stats != nil {
+					rep.Spikes += stats.Spikes
+					rep.Deliveries += stats.Deliveries
+					rep.Steps += stats.Steps
+					rep.SilentStepsSkipped += stats.SilentStepsSkipped
+					if stats.MaxQueueDepth > rep.MaxQueueDepth {
+						rep.MaxQueueDepth = stats.MaxQueueDepth
+					}
+				}
+				mu.Unlock()
+			}
+		}(w)
+	}
+	wg.Wait()
+	rep.Wall = time.Since(start)
+	return rep, rep.FirstError
+}
+
+func soakRunnable(name string) bool {
+	for _, w := range SoakWorkloads {
+		if w == name {
+			return true
+		}
+	}
+	return false
+}
+
+// soakRun executes one seeded workload instance: private recorder teed
+// with the shared sink, manifest built the way the corresponding
+// spaabench subcommand builds it, queue-pressure stats reported to the
+// sink, manifest submitted.
+func soakRun(workload string, runSeed int64, cfg SoakConfig) (*telemetry.Manifest, *snn.Stats, error) {
+	rec := telemetry.NewRecorder()
+	sink := telemetry.Tee(rec, cfg.Probes)
+	man := telemetry.NewManifest("spaabench", workload)
+	man.SetConfig("soak_seed", runSeed)
+	start := time.Now()
+
+	var stats *snn.Stats
+	switch workload {
+	case "sssp":
+		g := graph.RandomGnm(96, 384, graph.Uniform(8), runSeed, true)
+		man.Graph = &telemetry.GraphParams{N: g.N(), M: g.M(), MaxLen: g.MaxLen(), Seed: runSeed, Kind: "random"}
+		r, err := core.SSSP(g, 0, -1, sink)
+		if err != nil {
+			return nil, nil, err
+		}
+		stats = &r.Stats
+		rec.Add("neurons", int64(r.Neurons))
+	case "congest":
+		g := graph.RandomGnm(40, 160, graph.Uniform(8), runSeed, true)
+		man.Graph = &telemetry.GraphParams{N: g.N(), M: g.M(), MaxLen: g.MaxLen(), Seed: runSeed, Kind: "random"}
+		_, res := congest.SSSP(g, 0, g.N(), sink)
+		rec.Add("sssp_rounds", int64(res.Rounds))
+	case "fleet":
+		g := graph.Grid(8, 8, graph.Unit, runSeed)
+		man.Graph = &telemetry.GraphParams{N: g.N(), M: g.M(), MaxLen: g.MaxLen(), Seed: runSeed, Kind: "grid"}
+		r, err := core.SSSP(g, 0, -1, sink)
+		if err != nil {
+			return nil, nil, err
+		}
+		stats = &r.Stats
+		asn := fleet.PartitionBFS(g, 16)
+		fleet.AnalyzeSSSP(g, asn, r.Dist, sink)
+		rec.Add("chips", int64(asn.Chips))
+	case "table1":
+		RunTable1(Table1Config{
+			Sizes: []int{32}, Density: 4, U: 8, K: 8, C: 4, Seed: runSeed,
+			DistanceProbe: sink,
+		})
+		man.SetConfig("sizes", []int{32})
+	default:
+		return nil, nil, fmt.Errorf("harness: unknown soak workload %q", workload)
+	}
+
+	if stats != nil {
+		man.Stats = telemetry.StatsFrom(*stats)
+		if o, ok := cfg.Probes.(interface{ ObserveRunStats(int64, int64) }); ok {
+			o.ObserveRunStats(stats.MaxQueueDepth, stats.SilentStepsSkipped)
+		}
+	}
+	man.AddRecorder(rec)
+	man.Finalize(start, time.Since(start), telemetry.ManifestOptions{Deterministic: cfg.Deterministic})
+	if cfg.Submit != nil {
+		if err := cfg.Submit(man); err != nil {
+			return nil, nil, err
+		}
+	}
+	return man, stats, nil
+}

@@ -9,7 +9,7 @@ import "repro/internal/lint/analysis"
 
 // All returns every registered analyzer in a stable order.
 func All() []*analysis.Analyzer {
-	return []*analysis.Analyzer{MapIter, DelayBound, FloatEq, ErrFlush, RandSrc}
+	return []*analysis.Analyzer{MapIter, DelayBound, FloatEq, ErrFlush, RandSrc, MetricName}
 }
 
 // Scopes restricts analyzers to the packages where their property matters.

@@ -28,6 +28,10 @@ func TestRandSrc(t *testing.T) {
 	analysistest.Run(t, lint.RandSrc, filepath.Join("testdata", "randsrc"))
 }
 
+func TestMetricName(t *testing.T) {
+	analysistest.Run(t, lint.MetricName, filepath.Join("testdata", "metricname"))
+}
+
 func TestScopes(t *testing.T) {
 	cases := []struct {
 		analyzer, pkg string

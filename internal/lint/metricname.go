@@ -1,0 +1,179 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"regexp"
+	"strings"
+
+	"repro/internal/lint/analysis"
+)
+
+// MetricName vets every metrics.Registry collector registration —
+// Counter, Gauge, Histogram calls on a Registry receiver — against the
+// Prometheus naming conventions docs/OBSERVABILITY.md commits to:
+//
+//   - metric names must be constant strings in the Prometheus charset
+//     ([a-zA-Z_:][a-zA-Z0-9_:]*);
+//   - counter names end in `_total`; gauge and histogram names do not
+//     (Prometheus appends `_bucket`/`_sum`/`_count` itself);
+//   - label keys must be constant strings in the label charset, and must
+//     not come from the unbounded-cardinality denylist (per-entity
+//     identifiers like neuron or vertex ids, timestamps, seeds), which
+//     would explode series counts and blow up every scrape.
+//
+// Static enforcement means a bad name fails `spaavet` in CI instead of
+// panicking at registration time in a running daemon.
+var MetricName = &analysis.Analyzer{
+	Name: "metricname",
+	Doc:  "vets metrics registrations: Prometheus name charset, _total suffix discipline, constant names, and bounded label cardinality",
+	Run:  runMetricName,
+}
+
+var (
+	metricNameRE = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+	labelKeyRE   = regexp.MustCompile(`^[a-zA-Z_][a-zA-Z0-9_]*$`)
+)
+
+// metricLabelDenylist names label keys whose value sets grow with the
+// workload — per-entity identifiers and per-run quantities. Each such
+// key multiplies the series count without bound; aggregate instead, or
+// put the identity in a manifest, not a label.
+var metricLabelDenylist = map[string]string{
+	"neuron":  "per-neuron series grow with the network",
+	"vertex":  "per-vertex series grow with the graph",
+	"node":    "per-node series grow with the graph",
+	"edge":    "per-edge series grow with the graph",
+	"chip":    "per-chip series grow with the fleet",
+	"id":      "opaque ids are unbounded",
+	"t":       "per-timestep series grow with the horizon",
+	"time":    "timestamps are unbounded",
+	"step":    "per-timestep series grow with the horizon",
+	"seed":    "seeds are unbounded",
+	"trial":   "per-trial series grow with the campaign",
+	"run":     "per-run series grow with the campaign",
+	"session": "session ids are unbounded",
+}
+
+// registryMethods maps the collector accessors to whether their metric
+// names must carry the `_total` suffix.
+var registryMethods = map[string]bool{
+	"Counter":   true,
+	"Gauge":     false,
+	"Histogram": false,
+}
+
+func runMetricName(pass *analysis.Pass) error {
+	pass.Inspect(func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		wantTotal, ok := registryMethods[sel.Sel.Name]
+		if !ok || !isMetricsRegistry(pass, sel.X) || len(call.Args) < 1 {
+			return true
+		}
+		checkMetricName(pass, call.Args[0], sel.Sel.Name, wantTotal)
+		// Trailing arguments beyond (name, help) are Label composite
+		// literals; vet each key.
+		for _, arg := range call.Args[2:] {
+			checkLabelArg(pass, arg)
+		}
+		return true
+	})
+	return nil
+}
+
+// isMetricsRegistry reports whether expr's type is (a pointer to) a
+// named type called Registry. Matching by type name rather than import
+// path keeps the analyzer testable from stdlib-only fixtures while
+// still never firing on unrelated method sets (nothing else in the
+// repository names a type Registry).
+func isMetricsRegistry(pass *analysis.Pass, expr ast.Expr) bool {
+	t := pass.TypeOf(expr)
+	if t == nil {
+		return false
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Name() == "Registry"
+}
+
+// constString resolves expr to its compile-time string value (literal or
+// constant), reporting ok=false for anything computed at run time.
+func constString(pass *analysis.Pass, expr ast.Expr) (string, bool) {
+	tv, ok := pass.TypesInfo.Types[expr]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return "", false
+	}
+	return constant.StringVal(tv.Value), true
+}
+
+func checkMetricName(pass *analysis.Pass, arg ast.Expr, method string, wantTotal bool) {
+	name, ok := constString(pass, arg)
+	if !ok {
+		pass.Report(arg.Pos(),
+			"metric name passed to %s must be a constant string so the series set is statically known", method)
+		return
+	}
+	if !metricNameRE.MatchString(name) {
+		pass.Report(arg.Pos(), "invalid Prometheus metric name %q", name)
+		return
+	}
+	hasTotal := strings.HasSuffix(name, "_total")
+	if wantTotal && !hasTotal {
+		pass.Report(arg.Pos(), "counter name %q must end in _total", name)
+	}
+	if !wantTotal && hasTotal {
+		pass.Report(arg.Pos(), "%s name %q must not end in _total (reserved for counters)", strings.ToLower(method), name)
+	}
+}
+
+// checkLabelArg vets one Label argument: composite literals have their
+// Key field checked for charset and cardinality; anything else (a
+// variable, a call) hides the key from static checking and is reported.
+func checkLabelArg(pass *analysis.Pass, arg ast.Expr) {
+	lit, ok := arg.(*ast.CompositeLit)
+	if !ok {
+		// Slices passed through variadic expansion etc. — only composite
+		// literals are statically checkable; require them at call sites.
+		pass.Report(arg.Pos(), "label must be a Label{...} literal so its key is statically known")
+		return
+	}
+	var keyExpr ast.Expr
+	for i, elt := range lit.Elts {
+		if kv, ok := elt.(*ast.KeyValueExpr); ok {
+			if ident, ok := kv.Key.(*ast.Ident); ok && ident.Name == "Key" {
+				keyExpr = kv.Value
+			}
+			continue
+		}
+		// Positional form: Label{key, value}.
+		if i == 0 {
+			keyExpr = elt
+		}
+	}
+	if keyExpr == nil {
+		pass.Report(lit.Pos(), "label literal does not set Key")
+		return
+	}
+	key, ok := constString(pass, keyExpr)
+	if !ok {
+		pass.Report(keyExpr.Pos(), "label key must be a constant string so cardinality is statically bounded")
+		return
+	}
+	if !labelKeyRE.MatchString(key) {
+		pass.Report(keyExpr.Pos(), "invalid Prometheus label key %q", key)
+		return
+	}
+	if why, bad := metricLabelDenylist[key]; bad {
+		pass.Report(keyExpr.Pos(), "label key %q has unbounded cardinality (%s)", key, why)
+	}
+}

@@ -1,0 +1,137 @@
+package metrics
+
+import (
+	"repro/internal/distance"
+)
+
+// Canonical metric names of the probe-fabric bridge. The same families
+// are written by Server.Ingest when folding a remote run manifest, so a
+// scrape looks identical whether the workload ran in-process (probes)
+// or pushed manifests over HTTP (soak against serve).
+const (
+	MetricSteps        = "spaa_snn_steps_total"
+	MetricSpikes       = "spaa_snn_spikes_total"
+	MetricDeliveries   = "spaa_snn_deliveries_total"
+	MetricActive       = "spaa_snn_active_neurons_total"
+	MetricQueueDepth   = "spaa_snn_queue_depth"
+	MetricSilentSteps  = "spaa_snn_silent_steps_skipped"
+	MetricStepSpikes   = "spaa_snn_step_spikes"
+	MetricDistanceOps  = "spaa_distance_ops_total"
+	MetricDistanceL1   = "spaa_distance_movement_l1_total"
+	MetricCongestRnds  = "spaa_congest_rounds_total"
+	MetricCongestMsgs  = "spaa_congest_messages_total"
+	MetricCongestBits  = "spaa_congest_bits_total"
+	MetricFleetDeliver = "spaa_fleet_deliveries_total"
+)
+
+// Bridge adapts the engine probe fabric to a Registry: it satisfies
+// snn.StepProbe, distance.Probe, congest.Probe, and fleet.Probe
+// (structurally — no engine package imports metrics) and turns every
+// callback into atomic updates on pre-resolved collectors. The contract
+// matches telemetry.Recorder's: scalar arguments only, zero allocations
+// per event, and a nil *Bridge is a no-op on every method, so the
+// nil-bridge path costs the engine the same as running uninstrumented
+// (guarded by BenchmarkEngineBridgeOverhead / TestBridgeZeroAlloc).
+//
+// Compose a Bridge with a telemetry.Recorder via telemetry.Tee to feed
+// live metrics and the run manifest from one probed run.
+type Bridge struct {
+	steps, spikes, deliveries, active *Counter
+	queueDepth, silentSteps           *Gauge
+	stepSpikes                        *Histogram
+
+	distOps  [3]*Counter // indexed by distance.OpKind
+	distMove *Counter
+
+	congestRounds, congestMessages, congestBits *Counter
+
+	fleetIntra, fleetInter *Counter
+}
+
+// NewBridge resolves every canonical collector in reg and returns the
+// bridge. Resolution happens once, here, so the probe callbacks touch
+// only atomics.
+func NewBridge(reg *Registry) *Bridge {
+	return &Bridge{
+		steps:       reg.Counter(MetricSteps, "non-silent simulated steps processed"),
+		spikes:      reg.Counter(MetricSpikes, "total neuron firings"),
+		deliveries:  reg.Counter(MetricDeliveries, "total synaptic deliveries (energy proxy)"),
+		active:      reg.Counter(MetricActive, "neuron membrane updates"),
+		queueDepth:  reg.Gauge(MetricQueueDepth, "high-water mark of the pending event queue"),
+		silentSteps: reg.Gauge(MetricSilentSteps, "simulated steps skipped by the silence optimization"),
+		stepSpikes:  reg.Histogram(MetricStepSpikes, "distribution of spikes per simulated step"),
+		distOps: [3]*Counter{
+			reg.Counter(MetricDistanceOps, "DISTANCE-machine primitives", Label{Key: "kind", Value: "load"}),
+			reg.Counter(MetricDistanceOps, "DISTANCE-machine primitives", Label{Key: "kind", Value: "store"}),
+			reg.Counter(MetricDistanceOps, "DISTANCE-machine primitives", Label{Key: "kind", Value: "op"}),
+		},
+		distMove:        reg.Counter(MetricDistanceL1, "accumulated l1 data movement"),
+		congestRounds:   reg.Counter(MetricCongestRnds, "CONGEST rounds executed"),
+		congestMessages: reg.Counter(MetricCongestMsgs, "CONGEST messages exchanged"),
+		congestBits:     reg.Counter(MetricCongestBits, "CONGEST bits exchanged"),
+		fleetIntra:      reg.Counter(MetricFleetDeliver, "chip-level spike deliveries", Label{Key: "route", Value: "intra"}),
+		fleetInter:      reg.Counter(MetricFleetDeliver, "chip-level spike deliveries", Label{Key: "route", Value: "inter"}),
+	}
+}
+
+// OnStep implements snn.StepProbe.
+func (b *Bridge) OnStep(t int64, spikes, deliveries, active, queueDepth int) {
+	if b == nil {
+		return
+	}
+	b.steps.Inc()
+	b.spikes.Add(int64(spikes))
+	b.deliveries.Add(int64(deliveries))
+	b.active.Add(int64(active))
+	b.queueDepth.SetMax(int64(queueDepth))
+	b.stepSpikes.Observe(int64(spikes))
+}
+
+// OnDistanceOp implements distance.Probe.
+func (b *Bridge) OnDistanceOp(kind distance.OpKind, cost int64) {
+	if b == nil {
+		return
+	}
+	i := int(kind)
+	if i < 0 || i >= len(b.distOps) {
+		i = len(b.distOps) - 1 // unknown kinds count as generic ops
+	}
+	b.distOps[i].Inc()
+	b.distMove.Add(cost)
+}
+
+// OnCongestRound implements congest.Probe.
+func (b *Bridge) OnCongestRound(round int, messages, bits int64) {
+	if b == nil {
+		return
+	}
+	b.congestRounds.Inc()
+	b.congestMessages.Add(messages)
+	b.congestBits.Add(bits)
+}
+
+// OnFleetDelivery implements fleet.Probe.
+func (b *Bridge) OnFleetDelivery(t int64, fromChip, toChip int) {
+	if b == nil {
+		return
+	}
+	if fromChip == toChip {
+		b.fleetIntra.Inc()
+	} else {
+		b.fleetInter.Inc()
+	}
+}
+
+// ObserveRunStats folds a completed run's aggregate simulator statistics
+// into the registry: the queue-pressure signals (MaxQueueDepth high-water
+// gauge, SilentStepsSkipped accumulation) that snn.Stats has carried
+// since the telemetry PR but the live scrape could not see. Arguments
+// are scalars so callers pass snn.Stats fields without this package
+// importing the engine.
+func (b *Bridge) ObserveRunStats(maxQueueDepth, silentStepsSkipped int64) {
+	if b == nil {
+		return
+	}
+	b.queueDepth.SetMax(maxQueueDepth)
+	b.silentSteps.Add(silentStepsSkipped)
+}

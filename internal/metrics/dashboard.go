@@ -1,0 +1,206 @@
+package metrics
+
+// dashboardHTML is the single-file live dashboard `spaabench serve`
+// returns at "/": stat tiles for the headline cost totals, a
+// single-series throughput line fed by the /events SSE stream, and a
+// table of recent runs (the accessible, color-free view of the same
+// data). No external assets — the daemon works air-gapped.
+//
+// Colors are role-based CSS custom properties with validated light and
+// dark values (the dark steps are selected for the dark surface, not an
+// automatic flip); the single series needs no legend, and all text wears
+// ink tokens rather than series color.
+const dashboardHTML = `<!doctype html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<meta name="viewport" content="width=device-width, initial-scale=1">
+<title>spaabench live metrics</title>
+<style>
+  :root {
+    color-scheme: light;
+    --surface-1: #fcfcfb;
+    --surface-2: #f1f0ee;
+    --border: #d8d7d2;
+    --text-primary: #0b0b0b;
+    --text-secondary: #52514e;
+    --series-1: #2a78d6;
+    --good: #008300;
+  }
+  @media (prefers-color-scheme: dark) {
+    :root {
+      color-scheme: dark;
+      --surface-1: #1a1a19;
+      --surface-2: #242422;
+      --border: #3a3936;
+      --text-primary: #ffffff;
+      --text-secondary: #c3c2b7;
+      --series-1: #3987e5;
+      --good: #1baf7a;
+    }
+  }
+  * { box-sizing: border-box; }
+  body {
+    margin: 0; padding: 24px;
+    background: var(--surface-1); color: var(--text-primary);
+    font: 14px/1.45 system-ui, -apple-system, sans-serif;
+  }
+  header { display: flex; align-items: baseline; gap: 12px; margin-bottom: 20px; }
+  h1 { font-size: 18px; font-weight: 600; margin: 0; }
+  .sub { color: var(--text-secondary); font-size: 13px; }
+  .dot { display: inline-block; width: 8px; height: 8px; border-radius: 50%;
+         background: var(--good); margin-right: 6px; }
+  .tiles { display: grid; grid-template-columns: repeat(auto-fit, minmax(150px, 1fr));
+           gap: 12px; margin-bottom: 20px; }
+  .tile { background: var(--surface-2); border: 1px solid var(--border);
+          border-radius: 8px; padding: 12px 14px; }
+  .tile .label { color: var(--text-secondary); font-size: 12px; margin-bottom: 4px; }
+  .tile .value { font-size: 22px; font-weight: 600; font-variant-numeric: tabular-nums; }
+  .tile .hint { color: var(--text-secondary); font-size: 11px; margin-top: 2px; }
+  .panel { background: var(--surface-2); border: 1px solid var(--border);
+           border-radius: 8px; padding: 14px; margin-bottom: 20px; }
+  .panel h2 { font-size: 13px; font-weight: 600; margin: 0 0 10px;
+              color: var(--text-secondary); }
+  svg text { fill: var(--text-secondary); font-size: 11px; }
+  #tip { position: fixed; pointer-events: none; display: none;
+         background: var(--surface-1); border: 1px solid var(--border);
+         border-radius: 6px; padding: 6px 8px; font-size: 12px; }
+  table { width: 100%; border-collapse: collapse; font-variant-numeric: tabular-nums; }
+  th, td { text-align: right; padding: 5px 10px; border-bottom: 1px solid var(--border);
+           font-size: 13px; }
+  th { color: var(--text-secondary); font-weight: 500; }
+  th:first-child, td:first-child, th:nth-child(2), td:nth-child(2) { text-align: left; }
+</style>
+</head>
+<body>
+<header>
+  <h1><span class="dot"></span>spaabench live metrics</h1>
+  <span class="sub" id="status">connecting…</span>
+</header>
+
+<div class="tiles">
+  <div class="tile"><div class="label">Runs ingested</div><div class="value" id="t-runs">0</div></div>
+  <div class="tile"><div class="label">Spikes</div><div class="value" id="t-spikes">0</div></div>
+  <div class="tile"><div class="label">Deliveries</div><div class="value" id="t-deliv">0</div></div>
+  <div class="tile"><div class="label">Steps</div><div class="value" id="t-steps">0</div></div>
+  <div class="tile"><div class="label">Queue depth (max)</div><div class="value" id="t-queue">0</div>
+    <div class="hint">pending-event high water</div></div>
+  <div class="tile"><div class="label">Silent steps skipped</div><div class="value" id="t-silent">0</div>
+    <div class="hint">event-driven payoff</div></div>
+  <div class="tile"><div class="label">Run wall ms</div><div class="value" id="t-wall">–</div>
+    <div class="hint">p50 · p90 · p99</div></div>
+</div>
+
+<div class="panel">
+  <h2>Spikes per run (last 120 ingested)</h2>
+  <svg id="chart" width="100%" height="140" viewBox="0 0 960 140" preserveAspectRatio="none"></svg>
+</div>
+
+<div class="panel">
+  <h2>Recent runs</h2>
+  <table>
+    <thead><tr><th>#</th><th>workload</th><th>spikes</th><th>deliveries</th>
+      <th>steps</th><th>queue</th><th>wall ms</th></tr></thead>
+    <tbody id="rows"></tbody>
+  </table>
+</div>
+<div id="tip"></div>
+
+<script>
+"use strict";
+const fmt = n => n.toLocaleString("en-US");
+const recent = [];
+const totals = { runs: 0, spikes: 0, deliveries: 0, steps: 0, silent: 0 };
+let maxQueue = 0;
+
+function setTiles() {
+  document.getElementById("t-runs").textContent = fmt(totals.runs);
+  document.getElementById("t-spikes").textContent = fmt(totals.spikes);
+  document.getElementById("t-deliv").textContent = fmt(totals.deliveries);
+  document.getElementById("t-steps").textContent = fmt(totals.steps);
+  document.getElementById("t-queue").textContent = fmt(maxQueue);
+  document.getElementById("t-silent").textContent = fmt(totals.silent);
+}
+
+function drawChart() {
+  const svg = document.getElementById("chart");
+  const pts = recent.slice(-120);
+  svg.innerHTML = "";
+  if (pts.length < 2) return;
+  const w = 960, h = 140, pad = 6;
+  const max = Math.max(1, ...pts.map(p => p.spikes));
+  const x = i => pad + i * (w - 2 * pad) / (pts.length - 1);
+  const y = v => h - pad - v * (h - 2 * pad) / max;
+  const d = pts.map((p, i) => (i ? "L" : "M") + x(i).toFixed(1) + " " + y(p.spikes).toFixed(1)).join(" ");
+  const path = document.createElementNS("http://www.w3.org/2000/svg", "path");
+  path.setAttribute("d", d);
+  path.setAttribute("fill", "none");
+  path.setAttribute("stroke", getComputedStyle(document.body).getPropertyValue("--series-1"));
+  path.setAttribute("stroke-width", "2");
+  svg.appendChild(path);
+  svg.onmousemove = ev => {
+    const r = svg.getBoundingClientRect();
+    const i = Math.max(0, Math.min(pts.length - 1,
+      Math.round((ev.clientX - r.left) / r.width * (pts.length - 1))));
+    const tip = document.getElementById("tip");
+    tip.style.display = "block";
+    tip.style.left = (ev.clientX + 12) + "px";
+    tip.style.top = (ev.clientY + 12) + "px";
+    tip.textContent = "run #" + pts[i].seq + " (" + pts[i].command + "): " +
+      fmt(pts[i].spikes) + " spikes";
+  };
+  svg.onmouseleave = () => { document.getElementById("tip").style.display = "none"; };
+}
+
+function addRow(r) {
+  const tb = document.getElementById("rows");
+  const tr = document.createElement("tr");
+  const cells = [r.seq, r.command, fmt(r.spikes), fmt(r.deliveries),
+    fmt(r.steps), fmt(r.max_queue_depth), r.wall_ms.toFixed(2)];
+  for (const c of cells) {
+    const td = document.createElement("td");
+    td.textContent = c;
+    tr.appendChild(td);
+  }
+  tb.insertBefore(tr, tb.firstChild);
+  while (tb.children.length > 20) tb.removeChild(tb.lastChild);
+}
+
+function onRun(r) {
+  totals.runs++;
+  totals.spikes += r.spikes;
+  totals.deliveries += r.deliveries;
+  totals.steps += r.steps;
+  totals.silent += r.silent_steps_skipped;
+  if (r.max_queue_depth > maxQueue) maxQueue = r.max_queue_depth;
+  document.getElementById("t-wall").textContent =
+    r.wall_p50.toFixed(1) + " · " + r.wall_p90.toFixed(1) + " · " + r.wall_p99.toFixed(1);
+  recent.push(r);
+  if (recent.length > 600) recent.shift();
+  setTiles(); drawChart(); addRow(r);
+}
+
+fetch("/runs").then(r => r.json()).then(idx => {
+  totals.runs = idx.totals.runs;
+  totals.spikes = idx.totals.spikes;
+  totals.deliveries = idx.totals.deliveries;
+  totals.steps = idx.totals.steps;
+  totals.silent = idx.totals.silent_steps_skipped;
+  for (const r of idx.runs.slice(-120)) {
+    if (r.max_queue_depth > maxQueue) maxQueue = r.max_queue_depth;
+    recent.push(r);
+  }
+  setTiles(); drawChart();
+  for (const r of idx.runs.slice(-20)) addRow(r);
+});
+
+const es = new EventSource("/events");
+es.addEventListener("hello", () => {
+  document.getElementById("status").textContent = "live";
+});
+es.addEventListener("run", ev => onRun(JSON.parse(ev.data)));
+es.onerror = () => { document.getElementById("status").textContent = "reconnecting…"; };
+</script>
+</body>
+</html>
+`

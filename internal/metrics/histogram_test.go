@@ -1,0 +1,123 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// TestBucketBoundaries pins the log2 bucketing: each value lands in the
+// bucket whose upper bound is the smallest power of two ≥ the value, and
+// boundary values (exact powers of two) belong to their own bucket, not
+// the next.
+func TestBucketBoundaries(t *testing.T) {
+	cases := []struct {
+		v    int64
+		want int
+	}{
+		{-5, 0}, {0, 0}, {1, 0},
+		{2, 1},
+		{3, 2}, {4, 2},
+		{5, 3}, {8, 3},
+		{9, 4}, {16, 4},
+		{1 << 19, 19},
+		{1<<19 + 1, 20},
+		{1 << 20, 20},
+		{1<<20 + 1, histBuckets}, // overflow
+		{math.MaxInt64, histBuckets},
+	}
+	for _, c := range cases {
+		if got := bucketFor(c.v); got != c.want {
+			t.Errorf("bucketFor(%d) = %d, want %d", c.v, got, c.want)
+		}
+		if c.v >= 1 && c.want < histBuckets {
+			if bound := BucketBound(c.want); float64(c.v) > bound {
+				t.Errorf("value %d exceeds its bucket bound %g", c.v, bound)
+			}
+		}
+	}
+	if !math.IsInf(BucketBound(histBuckets), 1) {
+		t.Error("overflow bucket bound is not +Inf")
+	}
+	if BucketBound(0) != 1 || BucketBound(10) != 1024 {
+		t.Errorf("finite bounds wrong: %g, %g", BucketBound(0), BucketBound(10))
+	}
+}
+
+// TestHistogramExposition checks the rendered cumulative buckets against
+// hand-computed counts, including the mandatory +Inf line and the
+// elision of empty finite buckets.
+func TestHistogramExposition(t *testing.T) {
+	h := newHistogram()
+	for _, v := range []int64{1, 1, 2, 7, 1 << 21} {
+		h.Observe(v)
+	}
+	var b strings.Builder
+	if err := h.write(&b, "spaa_x", `k="v"`); err != nil {
+		t.Fatal(err)
+	}
+	want := `spaa_x_bucket{k="v",le="1"} 2
+spaa_x_bucket{k="v",le="2"} 3
+spaa_x_bucket{k="v",le="8"} 4
+spaa_x_bucket{k="v",le="+Inf"} 5
+spaa_x_sum{k="v"} 2097163
+spaa_x_count{k="v"} 5
+`
+	if got := b.String(); got != want {
+		t.Errorf("histogram exposition:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+	if h.Count() != 5 {
+		t.Errorf("Count = %d, want 5", h.Count())
+	}
+	if h.Sum() != 2097163 {
+		t.Errorf("Sum = %d, want 2097163", h.Sum())
+	}
+}
+
+// TestQuantileKnownDistribution feeds a known distribution (uniform
+// 1..1000, each value once) and checks that the estimated quantiles are
+// within one bucket-growth factor of the exact values — the accuracy
+// bound log-bucketing promises.
+func TestQuantileKnownDistribution(t *testing.T) {
+	h := newHistogram()
+	for v := int64(1); v <= 1000; v++ {
+		h.Observe(v)
+	}
+	for _, c := range []struct {
+		q     float64
+		exact float64
+	}{
+		{0.50, 500}, {0.90, 900}, {0.99, 990},
+	} {
+		got := h.Quantile(c.q)
+		// The true value sits in a bucket (lo, 2*lo]; interpolation keeps
+		// the estimate inside that bucket, so the ratio is at most 2.
+		if ratio := got / c.exact; ratio < 0.5 || ratio > 2.0 {
+			t.Errorf("Quantile(%g) = %g, exact %g (ratio %.2f outside [0.5, 2])",
+				c.q, got, c.exact, ratio)
+		}
+	}
+}
+
+// TestQuantileEdgeCases covers the empty histogram, a single bucket, the
+// overflow bucket, and out-of-range q.
+func TestQuantileEdgeCases(t *testing.T) {
+	h := newHistogram()
+	if got := h.Quantile(0.5); got != 0 {
+		t.Errorf("empty Quantile = %g, want 0", got)
+	}
+	h.Observe(1)
+	if got := h.Quantile(1.0); got > 1 {
+		t.Errorf("single-bucket Quantile(1) = %g, want ≤ 1", got)
+	}
+	if got := h.Quantile(2.0); got > 1 { // clamped to q=1
+		t.Errorf("clamped Quantile(2) = %g, want ≤ 1", got)
+	}
+
+	over := newHistogram()
+	over.Observe(1 << 30) // overflow bucket only
+	want := BucketBound(histBuckets - 1)
+	if got := over.Quantile(0.99); got != want {
+		t.Errorf("overflow Quantile = %g, want lower bound %g", got, want)
+	}
+}

@@ -1,0 +1,174 @@
+package metrics
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestWritePrometheusGolden pins the exposition format: header lines,
+// family and series ordering, label rendering, histogram shape. The
+// output must be byte-stable for a given registry state — scrapes are
+// diffed in CI.
+func TestWritePrometheusGolden(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("spaa_snn_spikes_total", "total neuron firings").Add(42)
+	reg.Counter("spaa_fleet_deliveries_total", "chip-level spike deliveries",
+		Label{Key: "route", Value: "intra"}).Add(7)
+	reg.Counter("spaa_fleet_deliveries_total", "chip-level spike deliveries",
+		Label{Key: "route", Value: "inter"}).Add(3)
+	reg.Gauge("spaa_snn_queue_depth", "high-water mark of the pending event queue").Set(9)
+	h := reg.Histogram("spaa_run_wall_ms", "per-run wall time in milliseconds")
+	h.Observe(1)
+	h.Observe(3)
+	h.Observe(3)
+
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP spaa_fleet_deliveries_total chip-level spike deliveries
+# TYPE spaa_fleet_deliveries_total counter
+spaa_fleet_deliveries_total{route="inter"} 3
+spaa_fleet_deliveries_total{route="intra"} 7
+# HELP spaa_run_wall_ms per-run wall time in milliseconds
+# TYPE spaa_run_wall_ms histogram
+spaa_run_wall_ms_bucket{le="1"} 1
+spaa_run_wall_ms_bucket{le="4"} 3
+spaa_run_wall_ms_bucket{le="+Inf"} 3
+spaa_run_wall_ms_sum 7
+spaa_run_wall_ms_count 3
+# HELP spaa_snn_queue_depth high-water mark of the pending event queue
+# TYPE spaa_snn_queue_depth gauge
+spaa_snn_queue_depth 9
+# HELP spaa_snn_spikes_total total neuron firings
+# TYPE spaa_snn_spikes_total counter
+spaa_snn_spikes_total 42
+`
+	if got := b.String(); got != want {
+		t.Errorf("exposition mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+// TestExpositionDeterministic renders the same registry twice and after
+// re-registration in a different order; the bytes must match.
+func TestExpositionDeterministic(t *testing.T) {
+	build := func(order []string) string {
+		reg := NewRegistry()
+		for _, name := range order {
+			reg.Counter(name, "h").Inc()
+		}
+		reg.Counter("spaa_x_total", "x", Label{Key: "b", Value: "2"}, Label{Key: "a", Value: "1"}).Inc()
+		var b strings.Builder
+		if err := reg.WritePrometheus(&b); err != nil {
+			t.Fatal(err)
+		}
+		return b.String()
+	}
+	a := build([]string{"spaa_a_total", "spaa_b_total", "spaa_c_total"})
+	b := build([]string{"spaa_c_total", "spaa_a_total", "spaa_b_total"})
+	if a != b {
+		t.Errorf("registration order leaked into exposition:\n%s\nvs\n%s", a, b)
+	}
+	if !strings.Contains(a, `spaa_x_total{a="1",b="2"} 1`) {
+		t.Errorf("labels not canonically sorted:\n%s", a)
+	}
+}
+
+// TestRegisterIdentity checks the accessor contract: same (name, labels)
+// returns the same collector; a type clash panics.
+func TestRegisterIdentity(t *testing.T) {
+	reg := NewRegistry()
+	c1 := reg.Counter("spaa_a_total", "h", Label{Key: "k", Value: "v"})
+	c2 := reg.Counter("spaa_a_total", "h", Label{Key: "k", Value: "v"})
+	if c1 != c2 {
+		t.Error("same series resolved to distinct counters")
+	}
+	c1.Add(5)
+	if c2.Value() != 5 {
+		t.Errorf("shared series value = %d, want 5", c2.Value())
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("re-registering a counter name as gauge did not panic")
+		}
+	}()
+	reg.Gauge("spaa_a_total", "h")
+}
+
+func TestInvalidNamePanics(t *testing.T) {
+	reg := NewRegistry()
+	for _, bad := range []string{"1starts_with_digit", "has-dash", "has space", ""} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("name %q did not panic", bad)
+				}
+			}()
+			reg.Counter(bad, "h")
+		}()
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("invalid label key did not panic")
+			}
+		}()
+		reg.Counter("spaa_ok_total", "h", Label{Key: "bad-key", Value: "v"})
+	}()
+}
+
+func TestCounterNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("negative counter delta did not panic")
+		}
+	}()
+	var c Counter
+	c.Add(-1)
+}
+
+func TestGaugeSetMax(t *testing.T) {
+	var g Gauge
+	g.SetMax(5)
+	g.SetMax(3)
+	if g.Value() != 5 {
+		t.Errorf("SetMax regressed: %d, want 5", g.Value())
+	}
+	g.SetMax(9)
+	if g.Value() != 9 {
+		t.Errorf("SetMax did not raise: %d, want 9", g.Value())
+	}
+}
+
+// TestConcurrentWrites hammers one counter, one gauge and one histogram
+// from many goroutines (run under -race in CI) and checks the totals.
+func TestConcurrentWrites(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("spaa_c_total", "h")
+	g := reg.Gauge("spaa_g", "h")
+	h := reg.Histogram("spaa_h", "h")
+	const workers, perWorker = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				c.Inc()
+				g.SetMax(int64(w*perWorker + i))
+				h.Observe(int64(i))
+			}
+		}(w)
+	}
+	wg.Wait()
+	if c.Value() != workers*perWorker {
+		t.Errorf("counter = %d, want %d", c.Value(), workers*perWorker)
+	}
+	if g.Value() != workers*perWorker-1 {
+		t.Errorf("gauge high water = %d, want %d", g.Value(), workers*perWorker-1)
+	}
+	if h.Count() != workers*perWorker {
+		t.Errorf("histogram count = %d, want %d", h.Count(), workers*perWorker)
+	}
+}

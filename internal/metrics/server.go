@@ -1,0 +1,317 @@
+package metrics
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/telemetry"
+)
+
+// maxRunIndex bounds the in-memory run index; older summaries fall off
+// the front while the aggregate totals keep counting, so a long soak
+// cannot grow the daemon without bound.
+const maxRunIndex = 4096
+
+// RunSummary is the per-run record the server keeps (and streams over
+// /events) for every ingested manifest: the headline cost measures, not
+// the full series.
+type RunSummary struct {
+	Seq     int64  `json:"seq"`
+	Tool    string `json:"tool,omitempty"`
+	Command string `json:"command"`
+
+	Spikes             int64 `json:"spikes"`
+	Deliveries         int64 `json:"deliveries"`
+	Steps              int64 `json:"steps"`
+	MaxQueueDepth      int64 `json:"max_queue_depth"`
+	SilentStepsSkipped int64 `json:"silent_steps_skipped"`
+
+	WallMS float64 `json:"wall_ms"`
+
+	// Quantiles are the server's current p50/p90/p99 estimates of per-run
+	// wall time (ms), refreshed on every ingest so the dashboard can show
+	// latency percentiles without parsing histogram buckets.
+	WallP50 float64 `json:"wall_p50"`
+	WallP90 float64 `json:"wall_p90"`
+	WallP99 float64 `json:"wall_p99"`
+}
+
+// Totals aggregates every ingested run (including runs already evicted
+// from the bounded index).
+type Totals struct {
+	Runs               int64 `json:"runs"`
+	Spikes             int64 `json:"spikes"`
+	Deliveries         int64 `json:"deliveries"`
+	Steps              int64 `json:"steps"`
+	SilentStepsSkipped int64 `json:"silent_steps_skipped"`
+}
+
+// Server is the live-metrics daemon behind `spaabench serve`: it owns a
+// Registry, ingests spaa-run-manifest/v1 documents over POST /runs,
+// folds their cost measures into the registry's canonical families (the
+// same ones Bridge writes, so in-process and pushed runs scrape
+// identically), and fans per-run summaries out to SSE subscribers.
+type Server struct {
+	reg *Registry
+
+	runsIngested *Counter
+	badRequests  *Counter
+	wallHist     *Histogram
+	runSpikes    *Histogram
+
+	mu     sync.Mutex
+	seq    int64
+	runs   []RunSummary
+	totals Totals
+	subs   map[chan []byte]struct{}
+
+	started time.Time
+}
+
+// NewServer returns a server folding ingested runs into reg.
+func NewServer(reg *Registry) *Server {
+	return &Server{
+		reg:          reg,
+		runsIngested: reg.Counter("spaa_runs_ingested_total", "run manifests accepted over POST /runs"),
+		badRequests:  reg.Counter("spaa_ingest_errors_total", "rejected ingest requests"),
+		wallHist:     reg.Histogram("spaa_run_wall_ms", "per-run wall time in milliseconds"),
+		runSpikes:    reg.Histogram("spaa_run_spikes", "per-run spike totals"),
+		subs:         make(map[chan []byte]struct{}),
+		started:      time.Now(),
+	}
+}
+
+// Registry returns the server's registry (the /metrics source).
+func (s *Server) Registry() *Registry { return s.reg }
+
+// Ingest folds one run manifest into the registry and run index and
+// returns the summary broadcast to /events subscribers. Safe for
+// concurrent use.
+func (s *Server) Ingest(m *telemetry.Manifest) RunSummary {
+	sum := RunSummary{Tool: m.Tool, Command: m.Command, WallMS: m.WallMS}
+	if m.Stats != nil {
+		sum.Spikes = m.Stats.Spikes
+		sum.Deliveries = m.Stats.Deliveries
+		sum.Steps = m.Stats.Steps
+		sum.MaxQueueDepth = m.Stats.MaxQueueDepth
+		sum.SilentStepsSkipped = m.Stats.SilentStepsSkipped
+	}
+	s.foldRegistry(m, &sum)
+
+	s.mu.Lock()
+	s.seq++
+	sum.Seq = s.seq
+	sum.WallP50 = s.wallHist.Quantile(0.50)
+	sum.WallP90 = s.wallHist.Quantile(0.90)
+	sum.WallP99 = s.wallHist.Quantile(0.99)
+	s.totals.Runs++
+	s.totals.Spikes += sum.Spikes
+	s.totals.Deliveries += sum.Deliveries
+	s.totals.Steps += sum.Steps
+	s.totals.SilentStepsSkipped += sum.SilentStepsSkipped
+	s.runs = append(s.runs, sum)
+	if len(s.runs) > maxRunIndex {
+		s.runs = s.runs[len(s.runs)-maxRunIndex:]
+	}
+	payload, _ := json.Marshal(sum)
+	for ch := range s.subs {
+		// Non-blocking: a stalled subscriber drops events rather than
+		// stalling ingestion.
+		select {
+		case ch <- payload:
+		default:
+		}
+	}
+	s.mu.Unlock()
+	return sum
+}
+
+// foldRegistry maps a manifest's stats and counters onto the canonical
+// metric families Bridge writes, plus the server-side per-run
+// histograms.
+func (s *Server) foldRegistry(m *telemetry.Manifest, sum *RunSummary) {
+	command := m.Command
+	if command == "" {
+		command = "unknown"
+	}
+	s.runsIngested.Inc()
+	s.reg.Counter("spaa_runs_total", "ingested runs by workload", Label{Key: "workload", Value: command}).Inc()
+	s.wallHist.Observe(int64(m.WallMS))
+
+	if m.Stats != nil {
+		s.reg.Counter(MetricSpikes, "total neuron firings").Add(m.Stats.Spikes)
+		s.reg.Counter(MetricDeliveries, "total synaptic deliveries (energy proxy)").Add(m.Stats.Deliveries)
+		s.reg.Counter(MetricSteps, "non-silent simulated steps processed").Add(m.Stats.Steps)
+		s.reg.Gauge(MetricQueueDepth, "high-water mark of the pending event queue").SetMax(m.Stats.MaxQueueDepth)
+		s.reg.Gauge(MetricSilentSteps, "simulated steps skipped by the silence optimization").Add(m.Stats.SilentStepsSkipped)
+		s.runSpikes.Observe(m.Stats.Spikes)
+	}
+	// Manifest counters carry the non-snn cost measures; map the known
+	// families onto their canonical series.
+	for _, kv := range sortedCounters(m.Counters) {
+		switch kv.k {
+		case "congest_messages":
+			s.reg.Counter(MetricCongestMsgs, "CONGEST messages exchanged").Add(kv.v)
+		case "congest_bits":
+			s.reg.Counter(MetricCongestBits, "CONGEST bits exchanged").Add(kv.v)
+		case "distance_movement":
+			s.reg.Counter(MetricDistanceL1, "accumulated l1 data movement").Add(kv.v)
+		case "fleet_intra":
+			s.reg.Counter(MetricFleetDeliver, "chip-level spike deliveries", Label{Key: "route", Value: "intra"}).Add(kv.v)
+		case "fleet_inter":
+			s.reg.Counter(MetricFleetDeliver, "chip-level spike deliveries", Label{Key: "route", Value: "inter"}).Add(kv.v)
+		default:
+			if kind, ok := strings.CutPrefix(kv.k, "distance_"); ok && strings.HasSuffix(kind, "s") {
+				kind = strings.TrimSuffix(kind, "s")
+				if kind == "load" || kind == "store" || kind == "op" {
+					s.reg.Counter(MetricDistanceOps, "DISTANCE-machine primitives", Label{Key: "kind", Value: kind}).Add(kv.v)
+				}
+			}
+		}
+	}
+}
+
+type counterKV struct {
+	k string
+	v int64
+}
+
+// sortedCounters returns the manifest counters in deterministic order
+// (registration order inside foldRegistry must not depend on map
+// iteration).
+func sortedCounters(m map[string]int64) []counterKV {
+	if len(m) == 0 {
+		return nil
+	}
+	out := make([]counterKV, 0, len(m))
+	//lint:deterministic keys are sorted below before use
+	for k, v := range m {
+		out = append(out, counterKV{k, v})
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j].k < out[j-1].k; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+// Handler returns the daemon's full route table:
+//
+//	GET  /         single-file live dashboard
+//	GET  /metrics  Prometheus text exposition of the registry
+//	GET  /healthz  liveness JSON (uptime, run count)
+//	GET  /runs     JSON index of ingested run summaries + totals
+//	POST /runs     ingest one spaa-run-manifest/v1 document
+//	GET  /events   SSE stream of per-run summaries (event: run)
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", s.handleDashboard)
+	mux.Handle("/metrics", s.reg.Handler())
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/runs", s.handleRuns)
+	mux.HandleFunc("/events", s.handleEvents)
+	return mux
+}
+
+func (s *Server) handleDashboard(w http.ResponseWriter, req *http.Request) {
+	if req.URL.Path != "/" {
+		http.NotFound(w, req)
+		return
+	}
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	fmt.Fprint(w, dashboardHTML)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, req *http.Request) {
+	s.mu.Lock()
+	runs := s.totals.Runs
+	s.mu.Unlock()
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(map[string]any{
+		"ok":        true,
+		"uptime_ms": time.Since(s.started).Milliseconds(),
+		"runs":      runs,
+	})
+}
+
+// runsResponse is the GET /runs document.
+type runsResponse struct {
+	Totals Totals       `json:"totals"`
+	Count  int          `json:"count"`
+	Runs   []RunSummary `json:"runs"`
+}
+
+func (s *Server) handleRuns(w http.ResponseWriter, req *http.Request) {
+	switch req.Method {
+	case http.MethodGet:
+		s.mu.Lock()
+		resp := runsResponse{
+			Totals: s.totals,
+			Count:  len(s.runs),
+			Runs:   append([]RunSummary(nil), s.runs...),
+		}
+		s.mu.Unlock()
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(resp)
+	case http.MethodPost:
+		man, err := telemetry.ReadManifest(http.MaxBytesReader(w, req.Body, 32<<20))
+		if err != nil {
+			s.badRequests.Inc()
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		sum := s.Ingest(man)
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusAccepted)
+		json.NewEncoder(w).Encode(sum)
+	default:
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+	}
+}
+
+// handleEvents serves the SSE stream: a `hello` event with current
+// totals, then one `run` event per ingested manifest.
+func (s *Server) handleEvents(w http.ResponseWriter, req *http.Request) {
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		http.Error(w, "streaming unsupported", http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("Connection", "keep-alive")
+
+	ch := make(chan []byte, 64)
+	s.mu.Lock()
+	s.subs[ch] = struct{}{}
+	hello, _ := json.Marshal(s.totals)
+	s.mu.Unlock()
+	defer func() {
+		s.mu.Lock()
+		delete(s.subs, ch)
+		s.mu.Unlock()
+	}()
+
+	fmt.Fprintf(w, "event: hello\ndata: %s\n\n", hello)
+	fl.Flush()
+
+	heartbeat := time.NewTicker(15 * time.Second)
+	defer heartbeat.Stop()
+	for {
+		select {
+		case <-req.Context().Done():
+			return
+		case payload := <-ch:
+			fmt.Fprintf(w, "event: run\ndata: %s\n\n", payload)
+			fl.Flush()
+		case <-heartbeat.C:
+			fmt.Fprint(w, ": keepalive\n\n")
+			fl.Flush()
+		}
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"time"
 
 	"repro/internal/snn"
 )
@@ -65,6 +66,27 @@ type Manifest struct {
 // NewManifest returns a manifest skeleton for the given tool/command.
 func NewManifest(tool, command string) *Manifest {
 	return &Manifest{Schema: ManifestSchema, Tool: tool, Command: command}
+}
+
+// ManifestOptions controls manifest finalization.
+type ManifestOptions struct {
+	// Deterministic zeroes the wall-clock fields (CreatedUnixMS, WallMS)
+	// so two runs of the same seeded workload encode byte-identical
+	// manifests — the same property spaa-faults/v1 files already have,
+	// now opt-in for spaa-run-manifest/v1 via the -deterministic flag.
+	Deterministic bool
+}
+
+// Finalize stamps the wall-clock fields from the run's start time and
+// measured duration, or zeroes them under Deterministic. Cost fields
+// (stats, counters, series) are seed-determined and never touched.
+func (m *Manifest) Finalize(start time.Time, wall time.Duration, opts ManifestOptions) {
+	if opts.Deterministic {
+		m.CreatedUnixMS, m.WallMS = 0, 0
+		return
+	}
+	m.CreatedUnixMS = start.UnixMilli()
+	m.WallMS = float64(wall.Microseconds()) / 1e3
 }
 
 // AddRecorder folds a Recorder's counters and series into the manifest.

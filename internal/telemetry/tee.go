@@ -1,0 +1,68 @@
+package telemetry
+
+import (
+	"repro/internal/congest"
+	"repro/internal/distance"
+	"repro/internal/fleet"
+	"repro/internal/snn"
+)
+
+// ProbeSink bundles the four engine probe interfaces a vertical run
+// emits (simulator steps, DISTANCE primitives, CONGEST rounds, fleet
+// deliveries). Recorder satisfies it, and so does metrics.Bridge; Tee
+// composes several so one probed run can feed a manifest and the live
+// registry at once.
+type ProbeSink interface {
+	snn.StepProbe
+	distance.Probe
+	congest.Probe
+	fleet.Probe
+}
+
+// Tee fans every probe callback out to each non-nil sink, preserving the
+// fabric's contract: scalar arguments pass straight through and the tee
+// itself allocates nothing per event. With zero usable sinks Tee returns
+// nil (attach nothing); with one it returns that sink unwrapped, so the
+// single-observer fast path pays no indirection.
+func Tee(sinks ...ProbeSink) ProbeSink {
+	live := make(multiSink, 0, len(sinks))
+	for _, s := range sinks {
+		if s != nil {
+			live = append(live, s)
+		}
+	}
+	switch len(live) {
+	case 0:
+		return nil
+	case 1:
+		return live[0]
+	}
+	return live
+}
+
+// multiSink is the fan-out implementation behind Tee.
+type multiSink []ProbeSink
+
+func (m multiSink) OnStep(t int64, spikes, deliveries, active, queueDepth int) {
+	for _, s := range m {
+		s.OnStep(t, spikes, deliveries, active, queueDepth)
+	}
+}
+
+func (m multiSink) OnDistanceOp(kind distance.OpKind, cost int64) {
+	for _, s := range m {
+		s.OnDistanceOp(kind, cost)
+	}
+}
+
+func (m multiSink) OnCongestRound(round int, messages, bits int64) {
+	for _, s := range m {
+		s.OnCongestRound(round, messages, bits)
+	}
+}
+
+func (m multiSink) OnFleetDelivery(t int64, fromChip, toChip int) {
+	for _, s := range m {
+		s.OnFleetDelivery(t, fromChip, toChip)
+	}
+}

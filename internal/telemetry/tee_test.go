@@ -1,0 +1,108 @@
+package telemetry
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"repro/internal/distance"
+)
+
+func TestTeeFanOut(t *testing.T) {
+	a, b := NewRecorder(), NewRecorder()
+	sink := Tee(a, nil, b)
+	sink.OnStep(3, 2, 5, 4, 1)
+	sink.OnDistanceOp(distance.KindLoad, 7)
+	sink.OnCongestRound(0, 10, 80)
+	sink.OnFleetDelivery(1, 0, 2)
+	for name, rec := range map[string]*Recorder{"first": a, "second": b} {
+		if got := rec.TotalSpikes(); got != 2 {
+			t.Errorf("%s sink spikes = %d, want 2", name, got)
+		}
+		if got := rec.Counter("distance_loads"); got != 1 {
+			t.Errorf("%s sink loads = %d, want 1", name, got)
+		}
+		if got := rec.Counter("distance_movement"); got != 7 {
+			t.Errorf("%s sink movement = %d, want 7", name, got)
+		}
+		if got := rec.Counter("congest_bits"); got != 80 {
+			t.Errorf("%s sink bits = %d, want 80", name, got)
+		}
+		if got := rec.Counter("fleet_inter"); got != 1 {
+			t.Errorf("%s sink inter = %d, want 1", name, got)
+		}
+	}
+}
+
+func TestTeeDegenerateCases(t *testing.T) {
+	if Tee() != nil {
+		t.Error("empty tee is not nil")
+	}
+	if Tee(nil, nil) != nil {
+		t.Error("all-nil tee is not nil")
+	}
+	r := NewRecorder()
+	if got := Tee(nil, r); got != ProbeSink(r) {
+		t.Error("single-sink tee did not unwrap")
+	}
+}
+
+// nopSink absorbs events without any state growth, isolating the tee's
+// own allocation behavior from its sinks'.
+type nopSink struct{ events int64 }
+
+func (s *nopSink) OnStep(t int64, spikes, deliveries, active, queueDepth int) { s.events++ }
+func (s *nopSink) OnDistanceOp(kind distance.OpKind, cost int64)              { s.events++ }
+func (s *nopSink) OnCongestRound(round int, messages, bits int64)             { s.events++ }
+func (s *nopSink) OnFleetDelivery(t int64, fromChip, toChip int)              { s.events++ }
+
+// TestTeeZeroAlloc pins the fan-out contract: forwarding events through
+// a multi-sink tee allocates nothing per event (the sinks here are
+// allocation-free, so any count is the tee's own).
+func TestTeeZeroAlloc(t *testing.T) {
+	sink := Tee(&nopSink{}, &nopSink{})
+	if n := testing.AllocsPerRun(100, func() {
+		sink.OnStep(1, 1, 1, 1, 1)
+		sink.OnDistanceOp(distance.KindLoad, 1)
+		sink.OnCongestRound(1, 1, 8)
+		sink.OnFleetDelivery(1, 0, 1)
+	}); n != 0 {
+		t.Errorf("teed events allocate %.1f/op, want 0", n)
+	}
+}
+
+// TestManifestFinalizeDeterministic checks the -deterministic property:
+// two identically-built manifests finalized at different wall times
+// encode byte-identically, while the default mode stamps real clocks.
+func TestManifestFinalizeDeterministic(t *testing.T) {
+	build := func(start time.Time, wall time.Duration, det bool) []byte {
+		m := NewManifest("spaabench", "sssp")
+		m.SetConfig("seed", 7)
+		m.Stats = &RunStats{Spikes: 10, Deliveries: 20, Steps: 5}
+		m.Finalize(start, wall, ManifestOptions{Deterministic: det})
+		var b bytes.Buffer
+		if err := m.Encode(&b); err != nil {
+			t.Fatal(err)
+		}
+		return b.Bytes()
+	}
+	t0 := time.Unix(1700000000, 0)
+	t1 := t0.Add(8 * time.Hour)
+
+	da := build(t0, 12*time.Millisecond, true)
+	db := build(t1, 90*time.Millisecond, true)
+	if !bytes.Equal(da, db) {
+		t.Errorf("deterministic manifests differ:\n%s\nvs\n%s", da, db)
+	}
+	if bytes.Contains(da, []byte("created_unix_ms")) || bytes.Contains(da, []byte("wall_ms")) {
+		t.Errorf("deterministic manifest still carries wall-clock fields:\n%s", da)
+	}
+
+	wa := build(t0, 1500*time.Microsecond, false)
+	if !bytes.Contains(wa, []byte(`"created_unix_ms": 1700000000000`)) {
+		t.Errorf("default mode lost the creation stamp:\n%s", wa)
+	}
+	if !bytes.Contains(wa, []byte(`"wall_ms": 1.5`)) {
+		t.Errorf("default mode lost the wall duration:\n%s", wa)
+	}
+}
