@@ -117,6 +117,7 @@ func (o *obs) on() bool { return o.force || o.metricsPath != "" || o.tracePath !
 // before the measured work.
 func (o *obs) begin(command string) error {
 	o.command = command
+	//lint:wallclock the manifest's wall_ms field measures real elapsed time by design
 	o.start = time.Now()
 	o.Rec = telemetry.NewRecorder()
 	o.Man = telemetry.NewManifest("spaabench", command)
@@ -193,6 +194,7 @@ func (o *obs) finish() error {
 	}
 	if o.metricsPath != "" {
 		man := o.manifest()
+		//lint:wallclock manifest finalization stamps real elapsed time; -deterministic zeroes it downstream
 		man.Finalize(o.start, time.Since(o.start), telemetry.ManifestOptions{Deterministic: o.deterministic})
 		if err := man.WriteFile(o.metricsPath); err != nil {
 			return err

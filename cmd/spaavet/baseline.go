@@ -1,0 +1,110 @@
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+)
+
+// The baseline is the accepted-findings ledger: one entry per line in the
+// position-independent `file: message (analyzer)` form (no line/column, so
+// unrelated edits above a finding do not invalidate it). A finding that
+// matches an unconsumed baseline entry is reported but does not fail the
+// build; a finding with no matching entry is new and fails; a baseline
+// entry matching no finding is stale and is reported on stderr so the
+// ledger gets pruned. Matching is multiset-style: two identical findings
+// need two identical entries, so fixing one of a pair and regressing it
+// later still trips the gate.
+
+// baselineFile resolves the -baseline flag: an explicit path must load,
+// the default path is optional, and "none" disables the baseline.
+func baselineFile(flagValue string) (path string, required bool) {
+	switch flagValue {
+	case "":
+		return defaultBaseline, false
+	case "none":
+		return "", false
+	default:
+		return flagValue, true
+	}
+}
+
+// baseline is a multiset of accepted finding keys.
+type baseline map[string]int
+
+// loadBaseline reads the entry-per-line baseline file. Blank lines and
+// #-comments are ignored.
+func loadBaseline(path string, required bool) (baseline, error) {
+	if path == "" {
+		return baseline{}, nil
+	}
+	f, err := os.Open(path)
+	if os.IsNotExist(err) && !required {
+		return baseline{}, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("baseline: %w", err)
+	}
+	defer f.Close()
+	b := baseline{}
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		b[line]++
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("baseline %s: %w", path, err)
+	}
+	return b, nil
+}
+
+// applyBaseline marks findings covered by the baseline, returning how many
+// findings are new and which baseline entries went unmatched (stale).
+func applyBaseline(b baseline, findings []Finding) (newCount int, stale []string) {
+	remaining := make(baseline, len(b))
+	for k, n := range b {
+		remaining[k] = n
+	}
+	for i := range findings {
+		k := findings[i].key()
+		if remaining[k] > 0 {
+			remaining[k]--
+			findings[i].Baselined = true
+		} else {
+			newCount++
+		}
+	}
+	for k, n := range remaining {
+		for i := 0; i < n; i++ {
+			stale = append(stale, k)
+		}
+	}
+	sort.Strings(stale)
+	return newCount, stale
+}
+
+// writeBaselineFile accepts the current findings as the new ledger.
+func writeBaselineFile(path string, findings []Finding) error {
+	if path == "" {
+		return fmt.Errorf("baseline: -write-baseline with -baseline=none makes no sense")
+	}
+	var sb strings.Builder
+	sb.WriteString("# spaavet baseline: accepted findings, one `file: message (analyzer)` per line.\n")
+	sb.WriteString("# Regenerate with `go run ./cmd/spaavet -write-baseline ./...` after deliberate\n")
+	sb.WriteString("# changes; new findings not listed here fail the build. See docs/STATIC-ANALYSIS.md.\n")
+	keys := make([]string, 0, len(findings))
+	for _, f := range findings {
+		keys = append(keys, f.key())
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		sb.WriteString(k)
+		sb.WriteByte('\n')
+	}
+	return os.WriteFile(path, []byte(sb.String()), 0o644)
+}

@@ -1,20 +1,28 @@
 // Command spaavet is the repository's static-analysis multichecker: it
-// runs the internal/lint analyzers (mapiter, delaybound, floateq,
-// errflush) over Go packages and exits nonzero on any finding. It is the
-// compile-time half of the verification story — the runtime half is
-// snn.Validate / `spaabench validate`, which checks constructed networks
-// against the paper's Definition 1-2 invariants.
+// runs the ten internal/lint analyzers over Go packages and exits nonzero
+// on any new finding. It is the compile-time half of the verification
+// story — the runtime half is snn.Validate / `spaabench validate`, which
+// checks constructed networks against the paper's Definition 1-2
+// invariants. See docs/STATIC-ANALYSIS.md for the full suite, the
+// annotation syntax, and the baseline workflow.
 //
 // Usage:
 //
-//	go run ./cmd/spaavet ./...          # analyze the whole module
-//	go run ./cmd/spaavet -tests ./...   # include _test.go files
-//	go run ./cmd/spaavet help           # describe the analyzers
+//	go run ./cmd/spaavet ./...                  # analyze the whole module
+//	go run ./cmd/spaavet -tests ./...           # include _test.go files
+//	go run ./cmd/spaavet -json ./...            # machine-readable output
+//	go run ./cmd/spaavet -write-baseline ./...  # accept current findings
+//	go run ./cmd/spaavet -facts facts.json ./...# export the fact store
+//	go run ./cmd/spaavet help                   # describe the analyzers
 //
 // spaavet must run from inside the module (the stdlib source importer
 // resolves module-local imports through the go command). Findings can be
-// waived line-by-line with //lint:<analyzer> directives; see docs/MODEL.md
-// for the //lint:deterministic convention.
+// waived line-by-line with //lint:<analyzer> directives, or accepted
+// wholesale into the committed spaavet.baseline: baselined findings are
+// reported but do not fail the build, while any finding not in the
+// baseline does. Parse or type-check failures are fatal (exit 2) — an
+// analyzer verdict over a package that did not type-check is not a
+// verdict.
 package main
 
 import (
@@ -22,22 +30,30 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
-	"go/token"
 	"io"
 	"os"
 	"os/exec"
 	"path/filepath"
 	"sort"
+	"strings"
 
 	"repro/internal/lint"
 	"repro/internal/lint/analysis"
 	"repro/internal/lint/load"
 )
 
+// defaultBaseline is the committed baseline consulted when -baseline is
+// not given; absence of the file means an empty baseline.
+const defaultBaseline = "spaavet.baseline"
+
 func main() {
 	tests := flag.Bool("tests", false, "also analyze _test.go files of each package")
+	jsonOut := flag.Bool("json", false, "emit findings as JSON (spaavet-findings/v1)")
+	baselinePath := flag.String("baseline", "", "baseline file of accepted findings (default: "+defaultBaseline+" if present; 'none' disables)")
+	writeBaseline := flag.Bool("write-baseline", false, "write current findings to the baseline file and exit 0")
+	factsOut := flag.String("facts", "", "write the serialized cross-package fact store to this file")
 	flag.Usage = func() {
-		fmt.Fprintln(os.Stderr, "usage: spaavet [-tests] [package patterns]")
+		fmt.Fprintln(os.Stderr, "usage: spaavet [-tests] [-json] [-baseline file] [-write-baseline] [-facts file] [package patterns]")
 		fmt.Fprintln(os.Stderr, "       spaavet help")
 	}
 	flag.Parse()
@@ -49,18 +65,67 @@ func main() {
 	if len(args) == 0 {
 		args = []string{"./..."}
 	}
-	findings, err := run(args, *tests)
+
+	pkgs, err := goList(args)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "spaavet:", err)
-		os.Exit(2)
+		fatal(err)
 	}
-	for _, f := range findings {
-		fmt.Println(f)
+	findings, facts, err := analyzeAll(pkgs, *tests)
+	if err != nil {
+		fatal(err)
 	}
-	if len(findings) > 0 {
-		fmt.Fprintf(os.Stderr, "spaavet: %d finding(s)\n", len(findings))
+	if *factsOut != "" {
+		data, err := facts.Export()
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(*factsOut, data, 0o644); err != nil {
+			fatal(err)
+		}
+	}
+
+	path, required := baselineFile(*baselinePath)
+	if *writeBaseline {
+		if err := writeBaselineFile(path, findings); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "spaavet: wrote %d finding(s) to %s\n", len(findings), path)
+		return
+	}
+	base, err := loadBaseline(path, required)
+	if err != nil {
+		fatal(err)
+	}
+	newCount, stale := applyBaseline(base, findings)
+
+	if *jsonOut {
+		if err := writeJSON(os.Stdout, findings, newCount, stale); err != nil {
+			fatal(err)
+		}
+	} else {
+		for _, f := range findings {
+			suffix := ""
+			if f.Baselined {
+				suffix = " [baselined]"
+			}
+			fmt.Printf("%s%s\n", f, suffix)
+		}
+	}
+	for _, s := range stale {
+		fmt.Fprintf(os.Stderr, "spaavet: stale baseline entry (no longer found): %s\n", s)
+	}
+	if newCount > 0 {
+		fmt.Fprintf(os.Stderr, "spaavet: %d new finding(s) (%d baselined)\n", newCount, len(findings)-newCount)
 		os.Exit(1)
 	}
+	if n := len(findings); n > 0 {
+		fmt.Fprintf(os.Stderr, "spaavet: ok (%d baselined finding(s))\n", n)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "spaavet:", err)
+	os.Exit(2)
 }
 
 func printHelp() {
@@ -69,10 +134,34 @@ func printHelp() {
 		fmt.Printf("\n%s: %s\n", a.Name, a.Doc)
 		if scope, ok := lint.Scopes[a.Name]; ok {
 			fmt.Printf("  scope: %v\n", scope)
+		} else if excl, ok := lint.Excluded[a.Name]; ok {
+			fmt.Printf("  scope: all packages except %v\n", excl)
 		} else {
 			fmt.Printf("  scope: all packages\n")
 		}
 	}
+}
+
+// Finding is one diagnostic with a cwd-relative position, ordered and
+// serialized deterministically.
+type Finding struct {
+	File      string `json:"file"`
+	Line      int    `json:"line"`
+	Col       int    `json:"col"`
+	Analyzer  string `json:"analyzer"`
+	Message   string `json:"message"`
+	Baselined bool   `json:"baselined"`
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s (%s)", f.File, f.Line, f.Col, f.Message, f.Analyzer)
+}
+
+// key is the position-independent identity used for baseline matching:
+// line and column drift with unrelated edits, so the baseline pins
+// (file, analyzer, message) instead.
+func (f Finding) key() string {
+	return fmt.Sprintf("%s: %s (%s)", f.File, f.Message, f.Analyzer)
 }
 
 // listedPackage is the subset of `go list -json` output spaavet needs.
@@ -83,13 +172,20 @@ type listedPackage struct {
 	TestGoFiles []string
 }
 
-func run(patterns []string, tests bool) ([]string, error) {
-	pkgs, err := goList(patterns)
-	if err != nil {
-		return nil, err
-	}
+// analyzeAll loads every listed package, runs the cross-package facts
+// pass over all of them, then applies every in-scope analyzer. Findings
+// come back globally sorted (file, then numeric line/column, then
+// analyzer) so output order never depends on package list order or string
+// collation of line numbers. A package that fails to parse or type-check
+// aborts the run: analyzers over broken syntax trees produce unreliable
+// verdicts in both directions.
+func analyzeAll(pkgs []listedPackage, tests bool) ([]Finding, *analysis.FactStore, error) {
 	loader := load.New()
-	var findings []string
+	type loaded struct {
+		meta listedPackage
+		pkg  *load.Package
+	}
+	var all []loaded
 	for _, p := range pkgs {
 		files := append([]string{}, p.GoFiles...)
 		if tests {
@@ -103,35 +199,108 @@ func run(patterns []string, tests bool) ([]string, error) {
 		}
 		pkg, err := loader.Files(p.ImportPath, files)
 		if err != nil {
-			return nil, err
+			return nil, nil, fmt.Errorf("parse failure in %s: %w", p.ImportPath, err)
 		}
-		for _, terr := range pkg.TypeErrors {
-			findings = append(findings, fmt.Sprintf("%v (typecheck)", terr))
+		if len(pkg.TypeErrors) > 0 {
+			msgs := make([]string, 0, len(pkg.TypeErrors))
+			for _, terr := range pkg.TypeErrors {
+				msgs = append(msgs, terr.Error())
+			}
+			const maxShown = 5
+			if len(msgs) > maxShown {
+				msgs = append(msgs[:maxShown], fmt.Sprintf("... and %d more", len(msgs)-maxShown))
+			}
+			return nil, nil, fmt.Errorf("type-check failure in %s (fix before linting):\n\t%s",
+				p.ImportPath, strings.Join(msgs, "\n\t"))
 		}
+		all = append(all, loaded{meta: p, pkg: pkg})
+	}
+
+	// Facts pass: every package first, so analyzers see a complete store
+	// regardless of analysis order.
+	facts := analysis.NewFactStore()
+	for _, l := range all {
+		facts.Add(analysis.ComputeFacts(l.pkg.Path, l.pkg.Fset, l.pkg.Files, l.pkg.Pkg, l.pkg.Info))
+	}
+
+	var findings []Finding
+	for _, l := range all {
 		for _, a := range lint.All() {
-			if !lint.InScope(a.Name, p.ImportPath) {
+			if !lint.InScope(a.Name, l.meta.ImportPath) {
 				continue
 			}
-			pass := analysis.NewPass(a, pkg.Fset, pkg.Files, pkg.Pkg, pkg.Info)
+			pass := analysis.NewPass(a, l.pkg.Fset, l.pkg.Files, l.pkg.Pkg, l.pkg.Info)
+			pass.SetFacts(facts)
 			if err := a.Run(pass); err != nil {
-				return nil, fmt.Errorf("%s on %s: %w", a.Name, p.ImportPath, err)
+				return nil, nil, fmt.Errorf("%s on %s: %w", a.Name, l.meta.ImportPath, err)
 			}
 			for _, d := range pass.Diagnostics() {
-				findings = append(findings, formatDiagnostic(loader.Fset, d))
+				pos := loader.Fset.Position(d.Pos)
+				name := pos.Filename
+				if rel, err := filepath.Rel(mustGetwd(), name); err == nil && !filepath.IsAbs(rel) {
+					name = filepath.ToSlash(rel)
+				}
+				findings = append(findings, Finding{
+					File:     name,
+					Line:     pos.Line,
+					Col:      pos.Column,
+					Analyzer: d.Analyzer,
+					Message:  d.Message,
+				})
 			}
 		}
 	}
-	sort.Strings(findings)
-	return findings, nil
+	sortFindings(findings)
+	return findings, facts, nil
 }
 
-func formatDiagnostic(fset *token.FileSet, d analysis.Diagnostic) string {
-	pos := fset.Position(d.Pos)
-	name := pos.Filename
-	if rel, err := filepath.Rel(mustGetwd(), name); err == nil && !filepath.IsAbs(rel) {
-		name = rel
+// sortFindings orders findings globally and deterministically: by file,
+// then numeric line and column (not string collation, where line 10 sorts
+// before line 2), then analyzer and message.
+func sortFindings(findings []Finding) {
+	sort.SliceStable(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
+	})
+}
+
+// jsonDocument is the -json envelope.
+type jsonDocument struct {
+	Schema        string    `json:"schema"`
+	Total         int       `json:"total"`
+	New           int       `json:"new"`
+	Baselined     int       `json:"baselined"`
+	StaleBaseline []string  `json:"stale_baseline,omitempty"`
+	Findings      []Finding `json:"findings"`
+}
+
+func writeJSON(w io.Writer, findings []Finding, newCount int, stale []string) error {
+	doc := jsonDocument{
+		Schema:        "spaavet-findings/v1",
+		Total:         len(findings),
+		New:           newCount,
+		Baselined:     len(findings) - newCount,
+		StaleBaseline: stale,
+		Findings:      findings,
 	}
-	return fmt.Sprintf("%s:%d:%d: %s (%s)", name, pos.Line, pos.Column, d.Message, d.Analyzer)
+	if doc.Findings == nil {
+		doc.Findings = []Finding{}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
 }
 
 func mustGetwd() string {

@@ -1,0 +1,130 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// TestAnalyzeAllTypeCheckFailure is the regression test for the
+// fail-loudly contract: a package that does not type-check must abort the
+// run with a clear error, not degrade into per-finding noise or silently
+// analyze a partial AST.
+func TestAnalyzeAllTypeCheckFailure(t *testing.T) {
+	pkgs := []listedPackage{{
+		Dir:        filepath.Join("testdata", "broken"),
+		ImportPath: "spaavet/testdata/broken",
+		GoFiles:    []string{"broken.go"},
+	}}
+	_, _, err := analyzeAll(pkgs, false)
+	if err == nil {
+		t.Fatal("analyzeAll accepted a package that does not type-check")
+	}
+	if !strings.Contains(err.Error(), "type-check failure") {
+		t.Errorf("error %q does not name the type-check failure", err)
+	}
+	if !strings.Contains(err.Error(), "spaavet/testdata/broken") {
+		t.Errorf("error %q does not name the failing package", err)
+	}
+}
+
+// TestSortFindingsGlobalDeterminism is the regression test for global,
+// numeric ordering: findings from different packages interleave by file,
+// and line 2 sorts before line 10 (string collation would reverse them).
+func TestSortFindingsGlobalDeterminism(t *testing.T) {
+	in := []Finding{
+		{File: "b/zz.go", Line: 3, Col: 1, Analyzer: "mapiter", Message: "m2"},
+		{File: "a/file.go", Line: 10, Col: 1, Analyzer: "wallclock", Message: "m1"},
+		{File: "a/file.go", Line: 2, Col: 5, Analyzer: "wallclock", Message: "m1"},
+		{File: "a/file.go", Line: 2, Col: 5, Analyzer: "atomicmix", Message: "m0"},
+		{File: "b/zz.go", Line: 3, Col: 1, Analyzer: "mapiter", Message: "m1"},
+	}
+	want := []Finding{
+		{File: "a/file.go", Line: 2, Col: 5, Analyzer: "atomicmix", Message: "m0"},
+		{File: "a/file.go", Line: 2, Col: 5, Analyzer: "wallclock", Message: "m1"},
+		{File: "a/file.go", Line: 10, Col: 1, Analyzer: "wallclock", Message: "m1"},
+		{File: "b/zz.go", Line: 3, Col: 1, Analyzer: "mapiter", Message: "m1"},
+		{File: "b/zz.go", Line: 3, Col: 1, Analyzer: "mapiter", Message: "m2"},
+	}
+	for trial := 0; trial < 3; trial++ {
+		got := append([]Finding(nil), in...)
+		// Rotate the input each trial so the result cannot depend on
+		// arrival order.
+		got = append(got[trial:], got[:trial]...)
+		sortFindings(got)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("trial %d: sorted order = %v, want %v", trial, got, want)
+		}
+	}
+}
+
+func TestBaselineMultisetMatching(t *testing.T) {
+	findings := []Finding{
+		{File: "a.go", Line: 1, Analyzer: "probealloc", Message: "boom"},
+		{File: "a.go", Line: 9, Analyzer: "probealloc", Message: "boom"}, // same key, different line
+		{File: "b.go", Line: 2, Analyzer: "wallclock", Message: "tick"},
+	}
+	b := baseline{
+		"a.go: boom (probealloc)": 1, // covers only ONE of the two identical findings
+		"c.go: gone (atomicmix)":  1, // stale
+		"b.go: tick (wallclock)":  1,
+	}
+	newCount, stale := applyBaseline(b, findings)
+	if newCount != 1 {
+		t.Errorf("newCount = %d, want 1 (multiset: one of two duplicate findings is uncovered)", newCount)
+	}
+	if !findings[0].Baselined || findings[1].Baselined || !findings[2].Baselined {
+		t.Errorf("baselined flags = %v,%v,%v; want true,false,true",
+			findings[0].Baselined, findings[1].Baselined, findings[2].Baselined)
+	}
+	if want := []string{"c.go: gone (atomicmix)"}; !reflect.DeepEqual(stale, want) {
+		t.Errorf("stale = %v, want %v", stale, want)
+	}
+}
+
+func TestBaselineFileResolution(t *testing.T) {
+	if p, req := baselineFile(""); p != defaultBaseline || req {
+		t.Errorf("baselineFile(\"\") = %q,%v; want default optional", p, req)
+	}
+	if p, _ := baselineFile("none"); p != "" {
+		t.Errorf("baselineFile(none) = %q; want disabled", p)
+	}
+	if p, req := baselineFile("x.txt"); p != "x.txt" || !req {
+		t.Errorf("baselineFile(x.txt) = %q,%v; want explicit required", p, req)
+	}
+	if _, err := loadBaseline("does-not-exist.baseline", true); err == nil {
+		t.Error("explicit missing baseline must be an error")
+	}
+	if b, err := loadBaseline("does-not-exist.baseline", false); err != nil || len(b) != 0 {
+		t.Errorf("optional missing baseline: got %v, %v; want empty, nil", b, err)
+	}
+}
+
+func TestWriteJSONSchema(t *testing.T) {
+	var buf bytes.Buffer
+	findings := []Finding{{File: "a.go", Line: 3, Col: 7, Analyzer: "wallclock", Message: "tick", Baselined: true}}
+	if err := writeJSON(&buf, findings, 0, []string{"b.go: old (mapiter)"}); err != nil {
+		t.Fatal(err)
+	}
+	var doc jsonDocument
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("output is not valid JSON: %v", err)
+	}
+	if doc.Schema != "spaavet-findings/v1" || doc.Total != 1 || doc.New != 0 || doc.Baselined != 1 {
+		t.Errorf("document header = %+v, want schema spaavet-findings/v1, total 1, new 0, baselined 1", doc)
+	}
+	if len(doc.Findings) != 1 || doc.Findings[0] != findings[0] {
+		t.Errorf("findings round-trip = %+v", doc.Findings)
+	}
+	// Empty runs must still produce a findings array, not null.
+	buf.Reset()
+	if err := writeJSON(&buf, nil, 0, nil); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"findings": []`) {
+		t.Errorf("empty findings serialized as %s; want an empty array", buf.String())
+	}
+}

@@ -1,0 +1,10 @@
+// A deliberately type-broken package: spaavet must refuse to lint it
+// (exit 2 with a clear message) rather than emit analyzer verdicts over a
+// package that never type-checked. Go tooling ignores testdata
+// directories, so this file is reachable only through the driver tests.
+package broken
+
+func mistyped() int {
+	var x int = "not an int"
+	return x
+}

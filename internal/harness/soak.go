@@ -108,6 +108,7 @@ func Soak(cfg SoakConfig) (*SoakReport, error) {
 
 	rep := &SoakReport{PerWorkload: make(map[string]int64)}
 	var mu sync.Mutex
+	//lint:wallclock soak throughput is measured in real time by definition
 	start := time.Now()
 	var wg sync.WaitGroup
 	for w := 0; w < cfg.Workers; w++ {
@@ -143,6 +144,7 @@ func Soak(cfg SoakConfig) (*SoakReport, error) {
 		}(w)
 	}
 	wg.Wait()
+	//lint:wallclock soak throughput is measured in real time by definition
 	rep.Wall = time.Since(start)
 	return rep, rep.FirstError
 }
@@ -165,6 +167,7 @@ func soakRun(workload string, runSeed int64, cfg SoakConfig) (*telemetry.Manifes
 	sink := telemetry.Tee(rec, cfg.Probes)
 	man := telemetry.NewManifest("spaabench", workload)
 	man.SetConfig("soak_seed", runSeed)
+	//lint:wallclock per-run wall time feeds the manifest's wall_ms field by design
 	start := time.Now()
 
 	var stats *snn.Stats
@@ -211,6 +214,7 @@ func soakRun(workload string, runSeed int64, cfg SoakConfig) (*telemetry.Manifes
 		}
 	}
 	man.AddRecorder(rec)
+	//lint:wallclock manifest finalization stamps real elapsed time; Deterministic zeroes it downstream
 	man.Finalize(start, time.Since(start), telemetry.ManifestOptions{Deterministic: cfg.Deterministic})
 	if cfg.Submit != nil {
 		if err := cfg.Submit(man); err != nil {

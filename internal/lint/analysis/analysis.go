@@ -40,6 +40,20 @@ type Pass struct {
 
 	diagnostics []Diagnostic
 	waivers     map[string]map[int][]string // filename -> line -> directives
+	facts       *FactStore
+}
+
+// SetFacts attaches a cross-package fact store (see facts.go). Drivers
+// call it after NewPass; analyzers that never query facts are unaffected.
+func (p *Pass) SetFacts(s *FactStore) { p.facts = s }
+
+// Facts returns the attached fact store, never nil: a pass without one
+// gets an empty store, so fact queries degrade to "no information".
+func (p *Pass) Facts() *FactStore {
+	if p.facts == nil {
+		p.facts = NewFactStore()
+	}
+	return p.facts
 }
 
 // Diagnostic is one finding at a source position.

@@ -1,0 +1,373 @@
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// This file implements cross-package facts: per-package summaries that a
+// driver computes for every analyzed package before any analyzer runs, so
+// an analyzer looking at package P can reason about types and functions
+// defined in P's dependencies. The shape mirrors go/analysis facts in
+// spirit, but keeps the representation explicit and serializable (JSON, one
+// document per package) instead of gob-encoded side channels: the committed
+// artifact doubles as a machine-readable inventory of probe implementations
+// and hot paths, and the round-trip is testable.
+
+// Probe interface method signatures, matched structurally by name and
+// arity. The repository's four probe interfaces (snn.StepProbe,
+// distance.Probe, congest.Probe, fleet.Probe) are single-method, so a type
+// carrying one of these methods with the right parameter count is a probe
+// implementation. Structural matching keeps the facts pass testable from
+// stdlib-only fixture packages while never misfiring in the module: nothing
+// else names methods On{Step,DistanceOp,CongestRound,FleetDelivery}.
+var probeMethods = map[string]struct {
+	params int
+	iface  string
+}{
+	"OnStep":          {params: 5, iface: "snn.StepProbe"},
+	"OnDistanceOp":    {params: 2, iface: "distance.Probe"},
+	"OnCongestRound":  {params: 3, iface: "congest.Probe"},
+	"OnFleetDelivery": {params: 3, iface: "fleet.Probe"},
+}
+
+// ProbeInterfaceFor returns the probe interface a method name belongs to,
+// or "" if the name is not a probe callback.
+func ProbeInterfaceFor(method string) string {
+	return probeMethods[method].iface
+}
+
+// PackageFacts is the exported fact set of one package: which of its named
+// types implement engine probe interfaces, which of its functions are
+// annotated hot paths, and which of its functions contain allocation sites
+// (so a hot-path analyzer in a *dependent* package can flag a call into
+// this package that would allocate).
+type PackageFacts struct {
+	Path string `json:"path"`
+	// ProbeTypes maps a named type to the sorted probe callback methods in
+	// its method set (value or pointer receiver).
+	ProbeTypes map[string][]string `json:"probe_types,omitempty"`
+	// HotPaths lists functions annotated //lint:hotpath, as "Func" or
+	// "Type.Method" (receiver base type, no pointer), sorted.
+	HotPaths []string `json:"hot_paths,omitempty"`
+	// AllocFuncs maps functions whose bodies contain at least one
+	// allocation site to a short description of the first such site.
+	AllocFuncs map[string]string `json:"alloc_funcs,omitempty"`
+}
+
+// IsHotPath reports whether fn ("Func" or "Type.Method") is annotated as a
+// hot path in this package.
+func (f *PackageFacts) IsHotPath(fn string) bool {
+	if f == nil {
+		return false
+	}
+	for _, h := range f.HotPaths {
+		if h == fn {
+			return true
+		}
+	}
+	return false
+}
+
+// ProbeMethodsOf returns the probe callback methods implemented by the
+// named type, or nil.
+func (f *PackageFacts) ProbeMethodsOf(typeName string) []string {
+	if f == nil {
+		return nil
+	}
+	return f.ProbeTypes[typeName]
+}
+
+// AllocIn returns the recorded allocation description for fn, if any.
+func (f *PackageFacts) AllocIn(fn string) (string, bool) {
+	if f == nil {
+		return "", false
+	}
+	what, ok := f.AllocFuncs[fn]
+	return what, ok
+}
+
+// FactStore holds the facts of every package the driver has processed,
+// keyed by import path. The zero value is not usable; call NewFactStore.
+type FactStore struct {
+	pkgs map[string]*PackageFacts
+}
+
+// NewFactStore returns an empty store.
+func NewFactStore() *FactStore {
+	return &FactStore{pkgs: make(map[string]*PackageFacts)}
+}
+
+// Add records (or replaces) one package's facts.
+func (s *FactStore) Add(f *PackageFacts) {
+	if f != nil {
+		s.pkgs[f.Path] = f
+	}
+}
+
+// Package returns the facts for an import path, or nil when the driver
+// never analyzed it (stdlib packages, packages outside the pattern set).
+// Analyzers must treat nil as "no information", not "no findings".
+func (s *FactStore) Package(path string) *PackageFacts {
+	if s == nil {
+		return nil
+	}
+	return s.pkgs[path]
+}
+
+// Paths returns every stored import path, sorted.
+func (s *FactStore) Paths() []string {
+	paths := make([]string, 0, len(s.pkgs))
+	//lint:deterministic keys are collected here and sorted below
+	for p := range s.pkgs {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	return paths
+}
+
+// factsDocument is the serialized form: a versioned envelope with packages
+// in sorted order, so the export is byte-deterministic.
+type factsDocument struct {
+	Schema   string          `json:"schema"`
+	Packages []*PackageFacts `json:"packages"`
+}
+
+// FactsSchema versions the serialized fact format.
+const FactsSchema = "spaavet-facts/v1"
+
+// Export serializes the whole store as deterministic, indented JSON.
+func (s *FactStore) Export() ([]byte, error) {
+	doc := factsDocument{Schema: FactsSchema}
+	for _, p := range s.Paths() {
+		doc.Packages = append(doc.Packages, s.pkgs[p])
+	}
+	return json.MarshalIndent(doc, "", "  ")
+}
+
+// ImportFacts rebuilds a store from Export output.
+func ImportFacts(data []byte) (*FactStore, error) {
+	var doc factsDocument
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return nil, fmt.Errorf("facts: %w", err)
+	}
+	if doc.Schema != FactsSchema {
+		return nil, fmt.Errorf("facts: schema %q, want %q", doc.Schema, FactsSchema)
+	}
+	s := NewFactStore()
+	for _, f := range doc.Packages {
+		s.Add(f)
+	}
+	return s, nil
+}
+
+// ComputeFacts builds the fact set for one parsed, type-checked package.
+// Drivers call it for every package before running analyzers, so facts are
+// available regardless of analysis order.
+func ComputeFacts(path string, fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info) *PackageFacts {
+	f := &PackageFacts{Path: path}
+
+	if pkg != nil {
+		for _, name := range pkg.Scope().Names() {
+			tn, ok := pkg.Scope().Lookup(name).(*types.TypeName)
+			if !ok || tn.IsAlias() {
+				continue
+			}
+			named, ok := tn.Type().(*types.Named)
+			if !ok || types.IsInterface(named) {
+				continue
+			}
+			methods := probeMethodsImplemented(named)
+			if len(methods) > 0 {
+				if f.ProbeTypes == nil {
+					f.ProbeTypes = make(map[string][]string)
+				}
+				f.ProbeTypes[name] = methods
+			}
+		}
+	}
+
+	for _, file := range files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			name := funcKey(fn)
+			if hasHotPathDirective(fn) {
+				f.HotPaths = append(f.HotPaths, name)
+			}
+			if sites := AllocSites(fn.Body, info); len(sites) > 0 {
+				if f.AllocFuncs == nil {
+					f.AllocFuncs = make(map[string]string)
+				}
+				f.AllocFuncs[name] = sites[0].What
+			}
+		}
+	}
+	sort.Strings(f.HotPaths)
+	return f
+}
+
+// probeMethodsImplemented returns the sorted probe callback methods in the
+// pointer method set of named (the pointer set is a superset of the value
+// set, so it covers both receiver kinds).
+func probeMethodsImplemented(named *types.Named) []string {
+	var out []string
+	mset := types.NewMethodSet(types.NewPointer(named))
+	for i := 0; i < mset.Len(); i++ {
+		m := mset.At(i).Obj()
+		want, ok := probeMethods[m.Name()]
+		if !ok {
+			continue
+		}
+		sig, ok := m.Type().(*types.Signature)
+		if ok && sig.Params().Len() == want.params {
+			out = append(out, m.Name())
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// funcKey renders a FuncDecl as its fact key: "Func" for package
+// functions, "Type.Method" for methods (receiver base type, no pointer).
+func funcKey(fn *ast.FuncDecl) string {
+	if fn.Recv == nil || len(fn.Recv.List) == 0 {
+		return fn.Name.Name
+	}
+	t := fn.Recv.List[0].Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	// Strip generic receiver type parameters, e.g. Box[T].
+	if idx, ok := t.(*ast.IndexExpr); ok {
+		t = idx.X
+	}
+	if ident, ok := t.(*ast.Ident); ok {
+		return ident.Name + "." + fn.Name.Name
+	}
+	return fn.Name.Name
+}
+
+// hasHotPathDirective reports whether the function's doc comment carries a
+// //lint:hotpath directive, marking it as an engine hot path whose body the
+// probealloc analyzer holds to the zero-allocation contract.
+func hasHotPathDirective(fn *ast.FuncDecl) bool {
+	if fn.Doc == nil {
+		return false
+	}
+	for _, c := range fn.Doc.List {
+		text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+		if text == "lint:hotpath" || strings.HasPrefix(text, "lint:hotpath ") {
+			return true
+		}
+	}
+	return false
+}
+
+// AllocSite is one statically detectable allocation inside a function body.
+type AllocSite struct {
+	Pos  token.Pos
+	What string
+}
+
+// AllocSites walks a function body and returns every syntactic allocation
+// site: heap-escaping composite literals, map/slice literals, make/new,
+// append (which may grow and escape), fmt calls, string concatenation, and
+// function literals (whose captures escape). Nested function literals are
+// reported once and not descended into — the closure itself is the
+// allocation; what it does when invoked is its own function's business.
+func AllocSites(body ast.Node, info *types.Info) []AllocSite {
+	var sites []AllocSite
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			sites = append(sites, AllocSite{n.Pos(), "function literal (closure captures escape)"})
+			return false
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				if _, ok := n.X.(*ast.CompositeLit); ok {
+					sites = append(sites, AllocSite{n.Pos(), "heap-allocated composite literal"})
+				}
+			}
+		case *ast.CompositeLit:
+			if t := typeOf(info, n); t != nil {
+				switch t.Underlying().(type) {
+				case *types.Map:
+					sites = append(sites, AllocSite{n.Pos(), "map literal"})
+				case *types.Slice:
+					sites = append(sites, AllocSite{n.Pos(), "slice literal"})
+				}
+			}
+		case *ast.CallExpr:
+			if what := allocCall(info, n); what != "" {
+				sites = append(sites, AllocSite{n.Pos(), what})
+			}
+		case *ast.BinaryExpr:
+			if n.Op == token.ADD && isString(info, n.X) {
+				sites = append(sites, AllocSite{n.Pos(), "string concatenation"})
+				return false // one report per concat chain
+			}
+		}
+		return true
+	})
+	return sites
+}
+
+// allocCall classifies a call expression as an allocation: the make, new,
+// and append builtins, and any function from package fmt (all of which
+// format through interfaces and allocate).
+func allocCall(info *types.Info, call *ast.CallExpr) string {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		if obj, ok := objectOf(info, fun).(*types.Builtin); ok {
+			switch obj.Name() {
+			case "make":
+				return "make"
+			case "new":
+				return "new"
+			case "append":
+				return "append (may grow and escape)"
+			}
+		}
+	case *ast.SelectorExpr:
+		if ident, ok := fun.X.(*ast.Ident); ok {
+			if pkg, ok := objectOf(info, ident).(*types.PkgName); ok && pkg.Imported().Path() == "fmt" {
+				return "fmt." + fun.Sel.Name + " call (formats through interfaces and allocates)"
+			}
+		}
+	}
+	return ""
+}
+
+func typeOf(info *types.Info, e ast.Expr) types.Type {
+	if info == nil {
+		return nil
+	}
+	return info.TypeOf(e)
+}
+
+func objectOf(info *types.Info, id *ast.Ident) types.Object {
+	if info == nil {
+		return nil
+	}
+	if obj := info.Uses[id]; obj != nil {
+		return obj
+	}
+	return info.Defs[id]
+}
+
+func isString(info *types.Info, e ast.Expr) bool {
+	t := typeOf(info, e)
+	if t == nil {
+		return false
+	}
+	basic, ok := t.Underlying().(*types.Basic)
+	return ok && basic.Info()&types.IsString != 0
+}

@@ -1,0 +1,88 @@
+package analysis_test
+
+import (
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"repro/internal/lint/analysis"
+	"repro/internal/lint/load"
+)
+
+func computeFixtureFacts(t *testing.T) *analysis.PackageFacts {
+	t.Helper()
+	pkg, err := load.New().Dir(filepath.Join("testdata", "facts"))
+	if err != nil {
+		t.Fatalf("loading facts fixture: %v", err)
+	}
+	for _, terr := range pkg.TypeErrors {
+		t.Fatalf("facts fixture does not type-check: %v", terr)
+	}
+	return analysis.ComputeFacts(pkg.Path, pkg.Fset, pkg.Files, pkg.Pkg, pkg.Info)
+}
+
+func TestComputeFacts(t *testing.T) {
+	f := computeFixtureFacts(t)
+
+	wantProbes := map[string][]string{"stepSink": {"OnCongestRound", "OnStep"}}
+	if !reflect.DeepEqual(f.ProbeTypes, wantProbes) {
+		t.Errorf("ProbeTypes = %v, want %v (wrong-arity and interface decoys must be absent)", f.ProbeTypes, wantProbes)
+	}
+	wantHot := []string{"hotInner", "stepSink.Drain"}
+	if !reflect.DeepEqual(f.HotPaths, wantHot) {
+		t.Errorf("HotPaths = %v, want %v", f.HotPaths, wantHot)
+	}
+	if what, ok := f.AllocIn("allocates"); !ok || what == "" {
+		t.Errorf("AllocIn(allocates) = %q, %v; want a fmt allocation fact", what, ok)
+	}
+	if _, ok := f.AllocIn("scalarOnly"); ok {
+		t.Error("scalarOnly recorded as allocating; it only adds scalars")
+	}
+	if !f.IsHotPath("hotInner") || f.IsHotPath("scalarOnly") {
+		t.Error("IsHotPath misclassifies hotInner or scalarOnly")
+	}
+}
+
+func TestFactsRoundTrip(t *testing.T) {
+	f := computeFixtureFacts(t)
+	store := analysis.NewFactStore()
+	store.Add(f)
+	store.Add(&analysis.PackageFacts{
+		Path:       "example/other",
+		HotPaths:   []string{"Step"},
+		AllocFuncs: map[string]string{"Boom": "make"},
+	})
+
+	data, err := store.Export()
+	if err != nil {
+		t.Fatalf("Export: %v", err)
+	}
+	again, err := store.Export()
+	if err != nil {
+		t.Fatalf("second Export: %v", err)
+	}
+	if string(data) != string(again) {
+		t.Error("Export is not byte-deterministic")
+	}
+
+	back, err := analysis.ImportFacts(data)
+	if err != nil {
+		t.Fatalf("ImportFacts: %v", err)
+	}
+	if got := back.Paths(); !reflect.DeepEqual(got, store.Paths()) {
+		t.Errorf("round-tripped paths = %v, want %v", got, store.Paths())
+	}
+	for _, path := range store.Paths() {
+		if !reflect.DeepEqual(back.Package(path), store.Package(path)) {
+			t.Errorf("facts for %s did not survive the round trip:\n got %+v\nwant %+v",
+				path, back.Package(path), store.Package(path))
+		}
+	}
+
+	if _, err := analysis.ImportFacts([]byte(`{"schema":"bogus/v9"}`)); err == nil {
+		t.Error("ImportFacts accepted a wrong schema")
+	}
+	if back.Package("no/such/package") != nil {
+		t.Error("unknown package must yield nil facts (no information, not no findings)")
+	}
+}

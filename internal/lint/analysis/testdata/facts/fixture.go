@@ -1,0 +1,47 @@
+// Fixture for the facts pass: one probe-implementing type, one hot-path
+// function, one allocating function, and decoys that must produce no
+// facts.
+package fixture
+
+import "fmt"
+
+type stepSink struct {
+	steps int64
+}
+
+func (s *stepSink) OnStep(t int64, spikes, deliveries, active, queueDepth int) {
+	s.steps++
+}
+
+func (s *stepSink) OnCongestRound(round int, messages, bits int64) {
+	s.steps += bits
+}
+
+// wrongArity has a probe method name with the wrong parameter count: not
+// a probe implementation.
+type wrongArity struct{}
+
+func (wrongArity) OnStep(t int64) {}
+
+// probeIface is an interface and must not be recorded as a probe type.
+type probeIface interface {
+	OnStep(t int64, spikes, deliveries, active, queueDepth int)
+}
+
+// lint:hotpath
+func hotInner(xs []int64) int64 {
+	var total int64
+	for _, x := range xs {
+		total += x
+	}
+	return total
+}
+
+func allocates(n int) string {
+	return fmt.Sprintf("n=%d", n)
+}
+
+// lint:hotpath the directive may carry a justification
+func (s *stepSink) Drain() int64 { return s.steps }
+
+func scalarOnly(a, b int64) int64 { return a + b }

@@ -33,6 +33,11 @@ func Run(t *testing.T, a *analysis.Analyzer, dir string) {
 	}
 
 	pass := analysis.NewPass(a, pkg.Fset, pkg.Files, pkg.Pkg, pkg.Info)
+	// Mirror the driver: compute the fixture package's facts first, so
+	// fact-consuming analyzers (probealloc) see the same world as in CI.
+	store := analysis.NewFactStore()
+	store.Add(analysis.ComputeFacts(pkg.Path, pkg.Fset, pkg.Files, pkg.Pkg, pkg.Info))
+	pass.SetFacts(store)
 	if err := a.Run(pass); err != nil {
 		t.Fatalf("analyzer %s: %v", a.Name, err)
 	}

@@ -1,0 +1,142 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"repro/internal/lint/analysis"
+)
+
+// AtomicMix flags mixed atomic and plain access to the same variable or
+// struct field: once any code touches a word through sync/atomic
+// (atomic.AddInt64(&x.n, 1), atomic.LoadUint32(&flag), ...), every other
+// read and write of that word must also be atomic, or the program has a
+// data race the race detector only catches when the interleaving happens
+// to occur under test. The metrics registry's lock-free write path and the
+// coming sharded engine stepper are exactly the places where a stray plain
+// read looks fine for months.
+//
+// Fields of the method-based types (atomic.Int64 and friends) are safe by
+// construction — their only access path is atomic — so this analyzer
+// concerns the function-based style on plain integer words. Intentional
+// non-atomic access (e.g. a read in a constructor before the value is
+// shared) is waived in place with //lint:atomicmix and a justification.
+var AtomicMix = &analysis.Analyzer{
+	Name: "atomicmix",
+	Doc: "flags plain reads/writes of a variable or field that is accessed " +
+		"via sync/atomic elsewhere in the package",
+	Run: runAtomicMix,
+}
+
+func runAtomicMix(pass *analysis.Pass) error {
+	// Pass 1: find every word accessed through sync/atomic, and remember
+	// the address-argument subtrees so pass 2 does not flag the atomic
+	// call sites themselves.
+	atomicUse := map[types.Object]token.Pos{}
+	skip := map[ast.Node]bool{}
+	pass.Inspect(func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || !isAtomicCall(pass, call) || len(call.Args) == 0 {
+			return true
+		}
+		addr := call.Args[0]
+		skip[addr] = true
+		if obj := addressedObject(pass, addr); obj != nil {
+			if _, seen := atomicUse[obj]; !seen {
+				atomicUse[obj] = call.Pos()
+			}
+		}
+		return true
+	})
+	if len(atomicUse) == 0 {
+		return nil
+	}
+
+	// Pass 2: every other use of those objects is a plain access.
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			if skip[n] {
+				return false
+			}
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			obj := pass.TypesInfo.Uses[id]
+			if obj == nil {
+				return true
+			}
+			first, ok := atomicUse[obj]
+			if !ok {
+				return true
+			}
+			pos := pass.Fset.Position(first)
+			pass.Report(id.Pos(),
+				"%s is accessed atomically (e.g. %s:%d) but read/written plainly here; use sync/atomic for every access",
+				obj.Name(), shortPath(pos.Filename), pos.Line)
+			return true
+		})
+	}
+	return nil
+}
+
+// isAtomicCall reports whether call invokes a sync/atomic package function
+// that takes an address as its first argument (Add*, Load*, Store*,
+// Swap*, CompareAndSwap*).
+func isAtomicCall(pass *analysis.Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	ident, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	pkg, ok := pass.TypesInfo.Uses[ident].(*types.PkgName)
+	if !ok || pkg.Imported().Path() != "sync/atomic" {
+		return false
+	}
+	for _, prefix := range []string{"Add", "Load", "Store", "Swap", "CompareAndSwap"} {
+		if strings.HasPrefix(sel.Sel.Name, prefix) {
+			return true
+		}
+	}
+	return false
+}
+
+// addressedObject resolves the &x or &x.f argument of an atomic call to
+// the variable or field object it addresses.
+func addressedObject(pass *analysis.Pass, arg ast.Expr) types.Object {
+	unary, ok := arg.(*ast.UnaryExpr)
+	if !ok || unary.Op != token.AND {
+		return nil
+	}
+	switch x := unary.X.(type) {
+	case *ast.Ident:
+		return pass.TypesInfo.Uses[x]
+	case *ast.SelectorExpr:
+		return pass.TypesInfo.Uses[x.Sel]
+	case *ast.IndexExpr:
+		// &arr[i]: per-element atomics; key on the backing array/slice
+		// identifier so plain indexing elsewhere is still caught.
+		if id, ok := x.X.(*ast.Ident); ok {
+			return pass.TypesInfo.Uses[id]
+		}
+		if sel, ok := x.X.(*ast.SelectorExpr); ok {
+			return pass.TypesInfo.Uses[sel.Sel]
+		}
+	}
+	return nil
+}
+
+// shortPath trims a filename to its final two path elements for compact
+// diagnostics.
+func shortPath(name string) string {
+	parts := strings.Split(name, "/")
+	if len(parts) <= 2 {
+		return name
+	}
+	return strings.Join(parts[len(parts)-2:], "/")
+}

@@ -1,0 +1,336 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"strings"
+
+	"repro/internal/lint/analysis"
+)
+
+// GuardedBy enforces the repository's lock-discipline annotation: a struct
+// field whose declaration carries a `// guarded by <mu>` comment may only
+// be read or written while that mutex is held. The analyzer tracks
+// Lock/RLock and Unlock/RUnlock calls statement-by-statement through each
+// function body (defer Unlock holds the lock to function exit; a lock
+// taken inside a branch does not leak past it), and flags any guarded
+// access outside a held region.
+//
+// Two escape hatches keep the check usable:
+//
+//   - functions whose name ends in "Locked" are assumed to be called with
+//     every mutex of their receiver already held (the stepSeriesLocked
+//     convention) and are not checked;
+//   - a finding that is safe for a reason the tracker cannot see (e.g.
+//     single-goroutine setup before the value is shared) is waived in
+//     place with //lint:guardedby and a justification.
+//
+// Function literals are analyzed with an empty lock set: a closure may run
+// on another goroutine (go, defer, stored callback), so it must take the
+// lock itself — which the tracker then sees.
+var GuardedBy = &analysis.Analyzer{
+	Name: "guardedby",
+	Doc: "enforces `// guarded by <mu>` field annotations: annotated fields may " +
+		"only be accessed under their mutex's Lock/RLock scope",
+	Run: runGuardedBy,
+}
+
+var guardedByRE = regexp.MustCompile(`guarded by ([A-Za-z_][A-Za-z0-9_]*)`)
+
+// guardSpec records one annotated struct: field name -> guarding mutex
+// field name.
+type guardSpec map[string]string
+
+func runGuardedBy(pass *analysis.Pass) error {
+	specs := collectGuardSpecs(pass)
+	if len(specs) == 0 {
+		return nil
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			if strings.HasSuffix(fn.Name.Name, "Locked") {
+				continue // caller-holds-lock convention
+			}
+			w := &guardWalker{pass: pass, specs: specs}
+			w.stmts(fn.Body.List, lockSet{})
+		}
+	}
+	return nil
+}
+
+// collectGuardSpecs scans struct type declarations for annotated fields
+// and validates that each named mutex actually exists in the same struct.
+func collectGuardSpecs(pass *analysis.Pass) map[*types.TypeName]guardSpec {
+	specs := make(map[*types.TypeName]guardSpec)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			ts, ok := n.(*ast.TypeSpec)
+			if !ok {
+				return true
+			}
+			st, ok := ts.Type.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			tn, ok := pass.TypesInfo.Defs[ts.Name].(*types.TypeName)
+			if !ok {
+				return true
+			}
+			fieldNames := make(map[string]bool)
+			for _, field := range st.Fields.List {
+				for _, name := range field.Names {
+					fieldNames[name.Name] = true
+				}
+			}
+			for _, field := range st.Fields.List {
+				mu, pos, ok := guardAnnotation(field)
+				if !ok {
+					continue
+				}
+				if !fieldNames[mu] {
+					pass.Report(pos, "guarded-by annotation names %q, which is not a field of %s", mu, ts.Name.Name)
+					continue
+				}
+				for _, name := range field.Names {
+					spec := specs[tn]
+					if spec == nil {
+						spec = guardSpec{}
+						specs[tn] = spec
+					}
+					spec[name.Name] = mu
+				}
+			}
+			return true
+		})
+	}
+	return specs
+}
+
+// guardAnnotation extracts the mutex name from a field's doc or trailing
+// comment.
+func guardAnnotation(field *ast.Field) (mu string, pos token.Pos, ok bool) {
+	for _, cg := range []*ast.CommentGroup{field.Doc, field.Comment} {
+		if cg == nil {
+			continue
+		}
+		for _, c := range cg.List {
+			if m := guardedByRE.FindStringSubmatch(c.Text); m != nil {
+				return m[1], c.Pos(), true
+			}
+		}
+	}
+	return "", token.NoPos, false
+}
+
+// lockSet is the set of held mutexes, keyed by the rendered receiver
+// expression of the Lock call (e.g. "r.mu").
+type lockSet map[string]bool
+
+func (s lockSet) clone() lockSet {
+	c := make(lockSet, len(s))
+	for k, v := range s {
+		c[k] = v
+	}
+	return c
+}
+
+// guardWalker walks statements in source order, maintaining the lock set
+// and checking guarded-field accesses against it.
+type guardWalker struct {
+	pass  *analysis.Pass
+	specs map[*types.TypeName]guardSpec
+}
+
+func (w *guardWalker) stmts(list []ast.Stmt, held lockSet) {
+	for _, s := range list {
+		w.stmt(s, held)
+	}
+}
+
+func (w *guardWalker) stmt(s ast.Stmt, held lockSet) {
+	switch s := s.(type) {
+	case nil:
+	case *ast.ExprStmt:
+		if mu, op, ok := mutexCall(w.pass, s.X); ok {
+			switch op {
+			case "Lock", "RLock":
+				held[mu] = true
+			case "Unlock", "RUnlock":
+				delete(held, mu)
+			}
+			return
+		}
+		w.expr(s.X, held)
+	case *ast.DeferStmt:
+		if _, op, ok := mutexCall(w.pass, s.Call); ok && (op == "Unlock" || op == "RUnlock") {
+			// defer mu.Unlock(): the lock stays held to function exit.
+			return
+		}
+		w.expr(s.Call, held)
+	case *ast.GoStmt:
+		w.expr(s.Call, held)
+	case *ast.BlockStmt:
+		w.stmts(s.List, held.clone())
+	case *ast.IfStmt:
+		w.stmt(s.Init, held)
+		w.expr(s.Cond, held)
+		w.stmts(s.Body.List, held.clone())
+		w.stmt(s.Else, held)
+	case *ast.ForStmt:
+		w.stmt(s.Init, held)
+		w.expr(s.Cond, held)
+		w.stmt(s.Post, held)
+		w.stmts(s.Body.List, held.clone())
+	case *ast.RangeStmt:
+		w.expr(s.X, held)
+		w.expr(s.Key, held)
+		w.expr(s.Value, held)
+		w.stmts(s.Body.List, held.clone())
+	case *ast.SwitchStmt:
+		w.stmt(s.Init, held)
+		w.expr(s.Tag, held)
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				for _, e := range cc.List {
+					w.expr(e, held)
+				}
+				w.stmts(cc.Body, held.clone())
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		w.stmt(s.Init, held)
+		w.stmt(s.Assign, held)
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				w.stmts(cc.Body, held.clone())
+			}
+		}
+	case *ast.SelectStmt:
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok {
+				w.stmt(cc.Comm, held)
+				w.stmts(cc.Body, held.clone())
+			}
+		}
+	case *ast.LabeledStmt:
+		w.stmt(s.Stmt, held)
+	case *ast.AssignStmt:
+		for _, e := range s.Rhs {
+			w.expr(e, held)
+		}
+		for _, e := range s.Lhs {
+			w.expr(e, held)
+		}
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, v := range vs.Values {
+						w.expr(v, held)
+					}
+				}
+			}
+		}
+	case *ast.ReturnStmt:
+		for _, e := range s.Results {
+			w.expr(e, held)
+		}
+	case *ast.SendStmt:
+		w.expr(s.Chan, held)
+		w.expr(s.Value, held)
+	case *ast.IncDecStmt:
+		w.expr(s.X, held)
+	}
+}
+
+// expr scans an expression for guarded-field accesses under the current
+// lock set. Function literals restart with an empty set: they may execute
+// on another goroutine, so they must lock for themselves.
+func (w *guardWalker) expr(e ast.Expr, held lockSet) {
+	if e == nil {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			w.stmts(n.Body.List, lockSet{})
+			return false
+		case *ast.SelectorExpr:
+			w.checkAccess(n, held)
+		}
+		return true
+	})
+}
+
+// checkAccess reports a guarded-field selector whose mutex is not held.
+func (w *guardWalker) checkAccess(sel *ast.SelectorExpr, held lockSet) {
+	base := w.pass.TypeOf(sel.X)
+	if base == nil {
+		return
+	}
+	if ptr, ok := base.(*types.Pointer); ok {
+		base = ptr.Elem()
+	}
+	named, ok := base.(*types.Named)
+	if !ok {
+		return
+	}
+	spec := w.specs[named.Obj()]
+	if spec == nil {
+		return
+	}
+	mu, guarded := spec[sel.Sel.Name]
+	if !guarded {
+		return
+	}
+	required := types.ExprString(sel.X) + "." + mu
+	if held[required] {
+		return
+	}
+	w.pass.Report(sel.Pos(),
+		"%s.%s is guarded by %s, which is not held here; lock %s first (or waive with //lint:guardedby and a justification)",
+		types.ExprString(sel.X), sel.Sel.Name, mu, required)
+}
+
+// mutexCall recognises <expr>.Lock / RLock / Unlock / RUnlock where expr
+// is a sync.Mutex or sync.RWMutex, returning the rendered receiver.
+func mutexCall(pass *analysis.Pass, e ast.Expr) (mu, op string, ok bool) {
+	call, isCall := e.(*ast.CallExpr)
+	if !isCall {
+		return "", "", false
+	}
+	sel, isSel := call.Fun.(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false
+	}
+	switch sel.Sel.Name {
+	case "Lock", "RLock", "Unlock", "RUnlock":
+	default:
+		return "", "", false
+	}
+	t := pass.TypeOf(sel.X)
+	if t == nil {
+		return "", "", false
+	}
+	if ptr, isPtr := t.(*types.Pointer); isPtr {
+		t = ptr.Elem()
+	}
+	named, isNamed := t.(*types.Named)
+	if !isNamed {
+		return "", "", false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return "", "", false
+	}
+	if obj.Name() != "Mutex" && obj.Name() != "RWMutex" {
+		return "", "", false
+	}
+	return types.ExprString(sel.X), sel.Sel.Name, true
+}

@@ -7,9 +7,14 @@ package lint
 
 import "repro/internal/lint/analysis"
 
-// All returns every registered analyzer in a stable order.
+// All returns every registered analyzer in a stable order: the six
+// syntactic model-invariant checks of PR 1, then the concurrency and
+// hot-path discipline suite (guardedby, atomicmix, probealloc, wallclock).
 func All() []*analysis.Analyzer {
-	return []*analysis.Analyzer{MapIter, DelayBound, FloatEq, ErrFlush, RandSrc, MetricName}
+	return []*analysis.Analyzer{
+		MapIter, DelayBound, FloatEq, ErrFlush, RandSrc, MetricName,
+		GuardedBy, AtomicMix, ProbeAlloc, WallClock,
+	}
 }
 
 // Scopes restricts analyzers to the packages where their property matters.
@@ -27,6 +32,10 @@ var Scopes = map[string][]string{
 		// Serializes manifests, provenance logs, and regression diffs —
 		// map-order nondeterminism there breaks replay and the regress gate.
 		"repro/internal/telemetry",
+		// Prometheus text exposition is order-sensitive: families and
+		// series must render in sorted order for scrapes to be diffable
+		// and golden-testable.
+		"repro/internal/metrics",
 	},
 	// Simulation packages where exact float equality is a latent bug
 	// (voltages decay through math.Pow and accumulate through sums).

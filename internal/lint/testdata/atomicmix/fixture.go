@@ -1,0 +1,52 @@
+// Fixture for the atomicmix analyzer: a word accessed through sync/atomic
+// anywhere in the package must be accessed atomically everywhere. Positive
+// cases read or write such a word plainly; negative cases are consistently
+// atomic, consistently plain, or waived.
+package fixture
+
+import "sync/atomic"
+
+type stats struct {
+	hits   int64
+	misses int64
+	plain  int64 // never touched atomically: plain access is fine
+}
+
+var requests int64
+
+func (s *stats) recordAtomic() {
+	atomic.AddInt64(&s.hits, 1)
+	atomic.StoreInt64(&s.misses, 0)
+	atomic.AddInt64(&requests, 1)
+}
+
+func (s *stats) readAtomic() int64 {
+	return atomic.LoadInt64(&s.hits) + atomic.LoadInt64(&requests)
+}
+
+func (s *stats) badPlainRead() int64 {
+	return s.hits // want "hits is accessed atomically .* but read/written plainly here"
+}
+
+func (s *stats) badPlainWrite() {
+	s.misses++ // want "misses is accessed atomically .* but read/written plainly here"
+}
+
+func badPlainVar() int64 {
+	return requests // want "requests is accessed atomically .* but read/written plainly here"
+}
+
+func (s *stats) badMixedArg() {
+	// The second argument is a plain read even though the first is atomic.
+	atomic.StoreInt64(&s.hits, s.hits+1) // want "hits is accessed atomically .* but read/written plainly here"
+}
+
+func (s *stats) goodPlainOnly() int64 {
+	s.plain++
+	return s.plain
+}
+
+func (s *stats) goodWaived() int64 {
+	//lint:atomicmix constructor runs before the stats value is shared
+	return s.hits
+}

@@ -1,0 +1,98 @@
+// Fixture for the guardedby analyzer: fields annotated `// guarded by mu`
+// must only be accessed under that mutex. Positive cases access guarded
+// fields with no lock held, after an unlock, inside a closure, or inside a
+// branch whose lock was taken in a sibling branch; negative cases hold the
+// lock (directly, via defer, via RLock), follow the *Locked naming
+// convention, touch unguarded fields, or carry a waiver directive.
+package fixture
+
+import "sync"
+
+type counterBox struct {
+	mu sync.Mutex
+	// guarded by mu
+	n     int
+	total int // guarded by mu
+	free  int // unguarded: no annotation
+}
+
+type rwBox struct {
+	mu   sync.RWMutex
+	vals []int // guarded by mu
+}
+
+type badAnnotation struct {
+	x int // guarded by missing // want "guarded-by annotation names \"missing\", which is not a field of badAnnotation"
+}
+
+func (b *counterBox) goodLockUnlock() {
+	b.mu.Lock()
+	b.n++
+	b.total += b.n
+	b.mu.Unlock()
+}
+
+func (b *counterBox) goodDefer() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.n + b.total
+}
+
+func (b *counterBox) badNoLock() int {
+	return b.n // want "b.n is guarded by mu, which is not held here"
+}
+
+func (b *counterBox) badAfterUnlock() {
+	b.mu.Lock()
+	b.n++
+	b.mu.Unlock()
+	b.total++ // want "b.total is guarded by mu, which is not held here"
+}
+
+func (b *counterBox) badClosure() func() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return func() {
+		b.n++ // want "b.n is guarded by mu, which is not held here"
+	}
+}
+
+func (b *counterBox) goodClosureLocksItself() func() {
+	return func() {
+		b.mu.Lock()
+		defer b.mu.Unlock()
+		b.n++
+	}
+}
+
+func (b *counterBox) badBranchLock(take bool) {
+	if take {
+		b.mu.Lock()
+		b.n++
+		b.mu.Unlock()
+	}
+	b.n++ // want "b.n is guarded by mu, which is not held here"
+}
+
+func (b *counterBox) goodUnguarded() int {
+	return b.free // no annotation: fine
+}
+
+func (b *counterBox) sumLocked() int {
+	return b.n + b.total // *Locked convention: caller holds mu
+}
+
+func (b *counterBox) goodWaived() int {
+	//lint:guardedby single-goroutine setup before the box is shared
+	return b.n
+}
+
+func (r *rwBox) goodRLock() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.vals)
+}
+
+func (r *rwBox) badPlainRead() int {
+	return len(r.vals) // want "r.vals is guarded by mu, which is not held here"
+}

@@ -1,0 +1,63 @@
+// Fixture for the probealloc analyzer: probe callback methods (OnStep and
+// friends, detected structurally by the facts pass) and //lint:hotpath
+// functions must not allocate. Positive cases allocate through each
+// detected mechanism; negative cases are scalar-only probe methods,
+// allocating functions that are neither probes nor hot paths, or waived
+// lines.
+package fixture
+
+import "fmt"
+
+type ringProbe struct {
+	steps   int64
+	samples []int64
+	last    string
+	sink    func()
+}
+
+// OnStep is a probe callback (snn.StepProbe shape): checked.
+func (p *ringProbe) OnStep(t int64, spikes, deliveries, active, queueDepth int) {
+	p.steps++
+	p.samples = append(p.samples, t) // want "probe method ringProbe.OnStep .* must not allocate: append"
+	p.last = p.last + "."            // want "must not allocate: string concatenation"
+	_ = fmt.Sprint(t)                // want "must not allocate: fmt.Sprint call"
+	p.sink = func() { p.steps++ }    // want "must not allocate: function literal"
+	m := map[int64]int{t: spikes}    // want "must not allocate: map literal"
+	s := []int{deliveries}           // want "must not allocate: slice literal"
+	b := &ringProbe{}                // want "must not allocate: heap-allocated composite literal"
+	q := make([]int, queueDepth)     // want "must not allocate: make"
+	_, _, _, _ = m, s, b, q
+}
+
+// OnCongestRound is scalar-only: clean.
+func (p *ringProbe) OnCongestRound(round int, messages, bits int64) {
+	p.steps += bits + messages + int64(round)
+}
+
+// OnFleetDelivery carries a deliberate, waived allocation.
+func (p *ringProbe) OnFleetDelivery(t int64, fromChip, toChip int) {
+	//lint:probealloc amortized ring growth, measured at 0 allocs/op steady-state
+	p.samples = append(p.samples, t)
+}
+
+// lint:hotpath
+func hotLoop(xs []int64) int64 {
+	var total int64
+	for _, x := range xs {
+		total += x
+	}
+	out := new(int64) // want "hot path hotLoop must not allocate: new"
+	*out = total
+	return *out
+}
+
+// notAProbe allocates freely: it is neither a probe method nor a hot path.
+func notAProbe(n int) []int {
+	return make([]int, n)
+}
+
+// OnStep2 has a probe-like name prefix but is not a probe callback name,
+// so allocations are fine.
+func (p *ringProbe) OnStep2(t int64) []int64 {
+	return append(p.samples, t)
+}

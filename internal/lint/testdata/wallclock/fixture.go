@@ -1,0 +1,36 @@
+// Fixture for the wallclock analyzer: time.Now and time.Since break
+// deterministic replay and are flagged everywhere; the whitelisted
+// telemetry wall-clock sites carry //lint:wallclock waivers. Other time
+// package functions (durations, tickers) are not wall-clock reads.
+package fixture
+
+import "time"
+
+type report struct {
+	wall time.Duration
+}
+
+func badNow() time.Time {
+	return time.Now() // want "time.Now reads the wall clock"
+}
+
+func badSince(start time.Time) time.Duration {
+	return time.Since(start) // want "time.Since reads the wall clock"
+}
+
+func goodWaived(r *report) {
+	//lint:wallclock feeds report.wall, the designated wall-clock field
+	start := time.Now()
+	work()
+	//lint:wallclock feeds report.wall, the designated wall-clock field
+	r.wall = time.Since(start)
+}
+
+func goodOtherTimeAPI() time.Duration {
+	d := 3 * time.Second
+	t := time.Unix(0, 0) // fixed instant: deterministic
+	_ = t
+	return d
+}
+
+func work() {}

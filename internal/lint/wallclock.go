@@ -1,0 +1,56 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/lint/analysis"
+)
+
+// WallClock flags calls to time.Now and time.Since. The repository's
+// byte-reproducibility guarantee (`-deterministic` manifests, the regress
+// gate, provenance replay) depends on wall-clock readings never leaking
+// into serialized output; before this analyzer the guarantee was enforced
+// by a zeroing pass at manifest-finalize time, which silently misses any
+// new timestamp a future change introduces. Statically there are exactly
+// two legitimate uses: feeding the telemetry layer's designated wall-clock
+// fields (Manifest.Finalize's start/elapsed arguments, SoakReport.Wall)
+// and operational uptime in the metrics daemon. Each such site carries a
+// //lint:wallclock waiver naming the field it feeds, so `grep
+// lint:wallclock` enumerates the complete whitelist.
+var WallClock = &analysis.Analyzer{
+	Name: "wallclock",
+	Doc: "flags time.Now/time.Since outside the whitelisted telemetry " +
+		"wall-clock fields (waive with //lint:wallclock naming the field)",
+	Run: runWallClock,
+}
+
+func runWallClock(pass *analysis.Pass) error {
+	pass.Inspect(func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		if sel.Sel.Name != "Now" && sel.Sel.Name != "Since" {
+			return true
+		}
+		ident, ok := sel.X.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		pkg, ok := pass.TypesInfo.Uses[ident].(*types.PkgName)
+		if !ok || pkg.Imported().Path() != "time" {
+			return true
+		}
+		pass.Report(call.Pos(),
+			"time.%s reads the wall clock, which breaks deterministic replay; "+
+				"route timing through the telemetry wall-clock fields and waive with //lint:wallclock",
+			sel.Sel.Name)
+		return true
+	})
+	return nil
+}

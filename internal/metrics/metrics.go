@@ -113,7 +113,7 @@ type family struct {
 // lock-free.
 type Registry struct {
 	mu       sync.RWMutex
-	families map[string]*family
+	families map[string]*family // guarded by mu
 }
 
 // NewRegistry returns an empty registry.
@@ -211,6 +211,7 @@ func (r *Registry) Histogram(name, help string, labels ...Label) *Histogram {
 func (r *Registry) WritePrometheus(w io.Writer) error {
 	r.mu.RLock()
 	names := make([]string, 0, len(r.families))
+	//lint:deterministic family names are sorted below before rendering
 	for name := range r.families {
 		names = append(names, name)
 	}
@@ -231,6 +232,7 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 			return err
 		}
 		sigs := make([]string, 0, len(f.series))
+		//lint:deterministic label signatures are sorted below before rendering
 		for sig := range f.series {
 			sigs = append(sigs, sig)
 		}

@@ -64,12 +64,12 @@ type Server struct {
 	runSpikes    *Histogram
 
 	mu     sync.Mutex
-	seq    int64
-	runs   []RunSummary
-	totals Totals
-	subs   map[chan []byte]struct{}
+	seq    int64                    // guarded by mu
+	runs   []RunSummary             // guarded by mu
+	totals Totals                   // guarded by mu
+	subs   map[chan []byte]struct{} // guarded by mu
 
-	started time.Time
+	started time.Time // set once in NewServer, read-only afterwards
 }
 
 // NewServer returns a server folding ingested runs into reg.
@@ -81,7 +81,8 @@ func NewServer(reg *Registry) *Server {
 		wallHist:     reg.Histogram("spaa_run_wall_ms", "per-run wall time in milliseconds"),
 		runSpikes:    reg.Histogram("spaa_run_spikes", "per-run spike totals"),
 		subs:         make(map[chan []byte]struct{}),
-		started:      time.Now(),
+		//lint:wallclock daemon start time is operational uptime, not simulated time
+		started: time.Now(),
 	}
 }
 
@@ -118,6 +119,7 @@ func (s *Server) Ingest(m *telemetry.Manifest) RunSummary {
 		s.runs = s.runs[len(s.runs)-maxRunIndex:]
 	}
 	payload, _ := json.Marshal(sum)
+	//lint:deterministic broadcast order across subscribers is immaterial
 	for ch := range s.subs {
 		// Non-blocking: a stalled subscriber drops events rather than
 		// stalling ingestion.
@@ -233,7 +235,8 @@ func (s *Server) handleHealthz(w http.ResponseWriter, req *http.Request) {
 	s.mu.Unlock()
 	w.Header().Set("Content-Type", "application/json")
 	json.NewEncoder(w).Encode(map[string]any{
-		"ok":        true,
+		"ok": true,
+		//lint:wallclock uptime reporting is operational telemetry, not simulated time
 		"uptime_ms": time.Since(s.started).Milliseconds(),
 		"runs":      runs,
 	})

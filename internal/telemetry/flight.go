@@ -48,10 +48,10 @@ const DefaultFlightCapacity = 1 << 20
 // recorded run its own.
 type FlightRecorder struct {
 	mu      sync.Mutex
-	ring    []SpikeEvent
-	start   int // index of the oldest event
-	count   int
-	dropped int64
+	ring    []SpikeEvent // guarded by mu
+	start   int          // index of the oldest event; guarded by mu
+	count   int          // guarded by mu
+	dropped int64        // guarded by mu
 }
 
 // NewFlightRecorder returns a recorder holding at most capacity events

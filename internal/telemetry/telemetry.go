@@ -65,14 +65,14 @@ type fleetEvent struct {
 type Recorder struct {
 	mu sync.Mutex
 
-	stepT, stepSpikes, stepDeliveries, stepActive, stepQueue []int64
+	stepT, stepSpikes, stepDeliveries, stepActive, stepQueue []int64 // guarded by mu
 
-	roundT, roundMessages, roundBits []int64
+	roundT, roundMessages, roundBits []int64 // guarded by mu
 
-	fleetEvents []fleetEvent
-	chipCount   int
+	fleetEvents []fleetEvent // guarded by mu
+	chipCount   int          // guarded by mu
 
-	counters map[string]int64
+	counters map[string]int64 // guarded by mu
 }
 
 // NewRecorder returns an empty Recorder.
@@ -230,13 +230,13 @@ func (r *Recorder) Series() []Series {
 			Series{Name: "bits_per_round", Times: roundT, Values: append([]int64(nil), r.roundBits...)},
 		)
 	}
-	out = append(out, r.chipSeries()...)
+	out = append(out, r.chipSeriesLocked()...)
 	return out
 }
 
-// chipSeries aggregates fleet events into one sends-per-time series per
-// source chip; r.mu must be held.
-func (r *Recorder) chipSeries() []Series {
+// chipSeriesLocked aggregates fleet events into one sends-per-time series
+// per source chip; r.mu must be held.
+func (r *Recorder) chipSeriesLocked() []Series {
 	if len(r.fleetEvents) == 0 {
 		return nil
 	}
