@@ -1,0 +1,65 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestPerfDeterministicByteIdentical: two `spaabench perf -deterministic`
+// invocations of the same case must write byte-identical manifests —
+// the property that lets BENCH_perf_*.json baselines be committed and
+// regenerated on any machine.
+func TestPerfDeterministicByteIdentical(t *testing.T) {
+	var outs [2][]byte
+	for i := range outs {
+		dir := t.TempDir()
+		code := realMain([]string{"perf", "-tier", "smoke", "-deterministic", "-write-baseline", dir})
+		if code != 0 {
+			t.Fatalf("exit code %d, want 0", code)
+		}
+		raw, err := os.ReadFile(filepath.Join(dir, perfBaselineFile("sssp_random_2k")))
+		if err != nil {
+			t.Fatal(err)
+		}
+		outs[i] = raw
+	}
+	if !bytes.Equal(outs[0], outs[1]) {
+		t.Error("deterministic perf manifests differ between invocations")
+	}
+}
+
+// TestPerfGateEndToEnd: the smoke case gates clean against a baseline it
+// just wrote, and a seeded slowdown past the wall band exits nonzero.
+func TestPerfGateEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	if code := realMain([]string{"perf", "-tier", "smoke", "-write-baseline", dir}); code != 0 {
+		t.Fatalf("write-baseline exit %d", code)
+	}
+	if code := realMain([]string{"perf", "-tier", "smoke", "-baseline-dir", dir,
+		"-gate", "-wall-tol", "10"}); code != 0 {
+		t.Fatalf("clean gate exit %d, want 0", code)
+	}
+	if code := realMain([]string{"perf", "-tier", "smoke", "-baseline-dir", dir,
+		"-gate", "-wall-tol", "0.25", "-slowdown-ms", "500"}); code != 1 {
+		t.Fatalf("slowdown gate exit %d, want 1", code)
+	}
+	// Without -gate the violation is reported but the exit stays zero.
+	if code := realMain([]string{"perf", "-tier", "smoke", "-baseline-dir", dir,
+		"-wall-tol", "0.25", "-slowdown-ms", "500"}); code != 0 {
+		t.Fatalf("non-gated run exit %d, want 0", code)
+	}
+}
+
+// TestPerfGateMissingBaseline: -gate against an empty baseline dir
+// fails; without -gate it only reports.
+func TestPerfGateMissingBaseline(t *testing.T) {
+	dir := t.TempDir()
+	if code := realMain([]string{"perf", "-tier", "smoke", "-baseline-dir", dir, "-gate"}); code != 1 {
+		t.Fatalf("missing-baseline gate exit %d, want 1", code)
+	}
+	if code := realMain([]string{"perf", "-tier", "smoke", "-baseline-dir", dir}); code != 0 {
+		t.Fatalf("missing-baseline report exit %d, want 0", code)
+	}
+}

@@ -96,6 +96,51 @@ func SSSP(g *graph.Graph, src, dst int, probe ...snn.StepProbe) (*SSSPResult, er
 // else matches SSSP, and SSSPInjected(g, src, dst, nil, 0) is exactly the
 // fault-free run.
 func SSSPInjected(g *graph.Graph, src, dst int, inj snn.Injector, horizonSlack int64, probe ...snn.StepProbe) (*SSSPResult, error) {
+	return BuildSSSP(g).run(src, dst, inj, horizonSlack, probe...)
+}
+
+// SSSPNetwork is a compiled Section 3 netlist: the relay network built
+// from a graph, ready to simulate. Splitting construction (BuildSSSP)
+// from simulation (Run) exposes the two phases the perf harness times
+// separately — netlist build is the O(n+m) load charge of the paper,
+// the run is the spiking computation itself. The network is single-shot:
+// relays latch their first spike, so each BuildSSSP result supports
+// exactly one Run.
+type SSSPNetwork struct {
+	g    *graph.Graph
+	rn   *relayNetwork
+	used bool
+}
+
+// BuildSSSP compiles a graph into the Section 3 relay network: one
+// fire-once relay neuron per vertex, one delay-coded synapse per edge.
+// All edge lengths must be >= 1 (the minimum programmable delay δ;
+// rescale zero-length edges first).
+func BuildSSSP(g *graph.Graph) *SSSPNetwork {
+	if g.M() > 0 && g.MinLen() < 1 {
+		panic("core: SSSP requires edge lengths >= 1 (the minimum synaptic delay)")
+	}
+	return &SSSPNetwork{g: g, rn: newRelayNetwork(g)}
+}
+
+// Neurons reports the size of the compiled network.
+func (sn *SSSPNetwork) Neurons() int { return sn.rn.net.N() }
+
+// Synapses reports the synapse count of the compiled network.
+func (sn *SSSPNetwork) Synapses() int { return sn.rn.net.Synapses() }
+
+// Run simulates the compiled network from src, halting when dst first
+// spikes (dst = -1 computes all distances). Semantics, probe handling,
+// and the returned error match SSSP exactly. Run panics if called twice:
+// the latched relays make a second run meaningless.
+func (sn *SSSPNetwork) Run(src, dst int, probe ...snn.StepProbe) (*SSSPResult, error) {
+	return sn.run(src, dst, nil, 0, probe...)
+}
+
+// run is the single simulation path shared by SSSP, SSSPInjected, and
+// SSSPNetwork.Run.
+func (sn *SSSPNetwork) run(src, dst int, inj snn.Injector, horizonSlack int64, probe ...snn.StepProbe) (*SSSPResult, error) {
+	g := sn.g
 	n := g.N()
 	if src < 0 || src >= n {
 		panic(fmt.Sprintf("core: source %d out of range [0,%d)", src, n))
@@ -106,12 +151,12 @@ func SSSPInjected(g *graph.Graph, src, dst int, inj snn.Injector, horizonSlack i
 	if horizonSlack < 0 {
 		panic(fmt.Sprintf("core: negative horizon slack %d", horizonSlack))
 	}
-	if g.M() > 0 && g.MinLen() < 1 {
-		panic("core: SSSP requires edge lengths >= 1 (the minimum synaptic delay)")
+	if sn.used {
+		panic("core: SSSPNetwork is single-shot (relays latch their first spike); rebuild with BuildSSSP")
 	}
+	sn.used = true
 
-	rn := newRelayNetwork(g)
-	net, relays := rn.net, rn.relays
+	net, relays := sn.rn.net, sn.rn.relays
 	attachProbes(net, probe)
 	if dst >= 0 {
 		net.SetTerminal(relays[dst])

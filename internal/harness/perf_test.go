@@ -1,0 +1,183 @@
+package harness
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/telemetry"
+)
+
+func smokeCase(t *testing.T) PerfCase {
+	t.Helper()
+	cases := PerfCasesForTier("smoke")
+	if len(cases) != 1 {
+		t.Fatalf("smoke tier has %d cases, want 1", len(cases))
+	}
+	return cases[0]
+}
+
+// TestRunPerfCaseDeterministicByteStable: two deterministic executions
+// of the same case must encode byte-identical manifests — the property
+// the committed BENCH_perf_*.json baselines rely on.
+func TestRunPerfCaseDeterministicByteStable(t *testing.T) {
+	c := smokeCase(t)
+	var bufs [2]bytes.Buffer
+	for i := range bufs {
+		man, err := RunPerfCase(c, PerfOptions{Deterministic: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := man.Encode(&bufs[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !bytes.Equal(bufs[0].Bytes(), bufs[1].Bytes()) {
+		t.Error("deterministic perf manifests differ between runs")
+	}
+}
+
+// TestRunPerfCaseShape: the manifest carries the perf section with the
+// expected phases, the result-integrity counters, and totals matching
+// the simulator stats.
+func TestRunPerfCaseShape(t *testing.T) {
+	c := smokeCase(t)
+	man, err := RunPerfCase(c, PerfOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if man.Perf == nil {
+		t.Fatal("manifest has no perf section")
+	}
+	p := man.Perf
+	if p.Steps != man.Stats.Steps || p.Deliveries != man.Stats.Deliveries {
+		t.Errorf("perf totals %d/%d diverge from stats %d/%d",
+			p.Steps, p.Deliveries, man.Stats.Steps, man.Stats.Deliveries)
+	}
+	if len(p.Phases) != 3 || p.Phases[0].Name != "build" || p.Phases[1].Name != "run" || p.Phases[2].Name != "report" {
+		t.Errorf("phases = %+v, want build/run/report", p.Phases)
+	}
+	if p.WallMS <= 0 || p.StepsPerSec <= 0 {
+		t.Errorf("non-deterministic run has empty wall data: wall=%v rate=%v", p.WallMS, p.StepsPerSec)
+	}
+	// The smoke graph is generated connected: every vertex is reached.
+	if got := man.Counters["reached"]; got != int64(c.N) {
+		t.Errorf("reached %d of %d vertices", got, c.N)
+	}
+	if man.Counters["dist_checksum"] <= 0 {
+		t.Error("distance checksum empty")
+	}
+}
+
+// TestComparePerfGate: identical manifests pass; a counter drift or a
+// seeded slowdown past the wall band fails; a missing baseline fails.
+func TestComparePerfGate(t *testing.T) {
+	c := smokeCase(t)
+	base, err := RunPerfCase(c, PerfOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh, err := RunPerfCase(c, PerfOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Generous wall band: two back-to-back runs of the same workload
+	// must gate clean.
+	if d := ComparePerf(c.Name, base, fresh, PerfTolerance{Wall: 10}); !d.OK() {
+		t.Errorf("identical-workload gate failed: drifts=%v wall=%v", d.Drifts, d.WallViolation)
+	}
+
+	// Counter drift: corrupt a seed-determined total.
+	bad, err := RunPerfCase(c, PerfOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad.Perf.Deliveries += 999
+	bad.Stats.Deliveries += 999
+	if d := ComparePerf(c.Name, base, bad, PerfTolerance{Wall: 10}); d.OK() {
+		t.Error("gate accepted corrupted delivery totals")
+	}
+
+	// Seeded slowdown: the wall band must trip even though every
+	// counter still matches.
+	slow, err := RunPerfCase(c, PerfOptions{SlowdownMS: 300})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := ComparePerf(c.Name, base, slow, PerfTolerance{Wall: 0.5})
+	if !d.WallViolation {
+		t.Errorf("300ms seeded slowdown passed the 1.5x wall band (base %.1fms, slow %.1fms)",
+			base.Perf.WallMS, slow.Perf.WallMS)
+	}
+	if len(d.Drifts) != 0 {
+		t.Errorf("slowdown changed counter-derived fields: %v", d.Drifts)
+	}
+
+	if d := ComparePerf(c.Name, nil, fresh, PerfTolerance{}); d.OK() || !d.MissingBaseline {
+		t.Error("missing baseline not reported")
+	}
+
+	// Deterministic baselines carry no wall data: the band is vacuous,
+	// counters still gate.
+	detBase, err := RunPerfCase(c, PerfOptions{Deterministic: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := ComparePerf(c.Name, detBase, slow, PerfTolerance{Wall: 0.1}); d.WallViolation {
+		t.Error("wall band applied against a deterministic (wall-less) baseline")
+	}
+}
+
+// TestRenderPerfTrend: the table renders one row per delta and flags
+// failures.
+func TestRenderPerfTrend(t *testing.T) {
+	c := smokeCase(t)
+	man, err := RunPerfCase(c, PerfOptions{Deterministic: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok := ComparePerf(c.Name, man, man, PerfTolerance{})
+	missing := ComparePerf("ghost_case", nil, man, PerfTolerance{})
+	out := RenderPerfTrend([]*PerfDelta{ok, missing})
+	if !strings.Contains(out, c.Name) || !strings.Contains(out, "ok") {
+		t.Errorf("trend table missing passing row:\n%s", out)
+	}
+	if !strings.Contains(out, "NO BASELINE") {
+		t.Errorf("trend table missing baseline flag:\n%s", out)
+	}
+}
+
+// TestSoakManifestsCarryPerf: every soak manifest now has a perf
+// section whose totals match its stats section.
+func TestSoakManifestsCarryPerf(t *testing.T) {
+	var mu sync.Mutex
+	var manifests []*telemetry.Manifest
+	_, err := Soak(SoakConfig{
+		Workers: 2, Iters: 2, Seed: 42,
+		Submit: func(m *telemetry.Manifest) error {
+			mu.Lock()
+			manifests = append(manifests, m)
+			mu.Unlock()
+			return nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(manifests) == 0 {
+		t.Fatal("no manifests submitted")
+	}
+	for _, m := range manifests {
+		if m.Perf == nil {
+			t.Fatalf("%s manifest missing perf section", m.Command)
+		}
+		if m.Stats != nil && m.Perf.Steps != m.Stats.Steps {
+			t.Errorf("%s: perf steps %d != stats steps %d", m.Command, m.Perf.Steps, m.Stats.Steps)
+		}
+		if len(m.Perf.Phases) == 0 {
+			t.Errorf("%s: perf section has no phases", m.Command)
+		}
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/fleet"
 	"repro/internal/graph"
+	"repro/internal/perf"
 	"repro/internal/snn"
 	"repro/internal/telemetry"
 )
@@ -69,6 +70,24 @@ func (r *SoakReport) RatePerSecond() float64 {
 		return 0
 	}
 	return float64(r.Runs) / r.Wall.Seconds()
+}
+
+// StepsPerSecond returns aggregate simulated steps per wall-clock
+// second across the campaign (all workers combined).
+func (r *SoakReport) StepsPerSecond() float64 {
+	if r.Wall <= 0 {
+		return 0
+	}
+	return float64(r.Steps) / r.Wall.Seconds()
+}
+
+// DeliveriesPerSecond returns aggregate synaptic deliveries per
+// wall-clock second across the campaign.
+func (r *SoakReport) DeliveriesPerSecond() float64 {
+	if r.Wall <= 0 {
+		return 0
+	}
+	return float64(r.Deliveries) / r.Wall.Seconds()
 }
 
 // splitmix64 is the per-run seed derivation (the same construction
@@ -161,20 +180,26 @@ func soakRunnable(name string) bool {
 // soakRun executes one seeded workload instance: private recorder teed
 // with the shared sink, manifest built the way the corresponding
 // spaabench subcommand builds it, queue-pressure stats reported to the
-// sink, manifest submitted.
+// sink, manifest submitted. A perf.Tracker brackets the run, so every
+// soak manifest carries a spaa-perf/v1 section (build / run / report
+// phases, throughput rates, alloc deltas — all zeroed under
+// Deterministic).
 func soakRun(workload string, runSeed int64, cfg SoakConfig) (*telemetry.Manifest, *snn.Stats, error) {
 	rec := telemetry.NewRecorder()
 	sink := telemetry.Tee(rec, cfg.Probes)
 	man := telemetry.NewManifest("spaabench", workload)
 	man.SetConfig("soak_seed", runSeed)
+	tracker := perf.NewTracker()
 	//lint:wallclock per-run wall time feeds the manifest's wall_ms field by design
 	start := time.Now()
 
+	tracker.Phase("build")
 	var stats *snn.Stats
 	switch workload {
 	case "sssp":
 		g := graph.RandomGnm(96, 384, graph.Uniform(8), runSeed, true)
 		man.Graph = &telemetry.GraphParams{N: g.N(), M: g.M(), MaxLen: g.MaxLen(), Seed: runSeed, Kind: "random"}
+		tracker.Phase("run")
 		r, err := core.SSSP(g, 0, -1, sink)
 		if err != nil {
 			return nil, nil, err
@@ -184,11 +209,13 @@ func soakRun(workload string, runSeed int64, cfg SoakConfig) (*telemetry.Manifes
 	case "congest":
 		g := graph.RandomGnm(40, 160, graph.Uniform(8), runSeed, true)
 		man.Graph = &telemetry.GraphParams{N: g.N(), M: g.M(), MaxLen: g.MaxLen(), Seed: runSeed, Kind: "random"}
+		tracker.Phase("run")
 		_, res := congest.SSSP(g, 0, g.N(), sink)
 		rec.Add("sssp_rounds", int64(res.Rounds))
 	case "fleet":
 		g := graph.Grid(8, 8, graph.Unit, runSeed)
 		man.Graph = &telemetry.GraphParams{N: g.N(), M: g.M(), MaxLen: g.MaxLen(), Seed: runSeed, Kind: "grid"}
+		tracker.Phase("run")
 		r, err := core.SSSP(g, 0, -1, sink)
 		if err != nil {
 			return nil, nil, err
@@ -198,6 +225,7 @@ func soakRun(workload string, runSeed int64, cfg SoakConfig) (*telemetry.Manifes
 		fleet.AnalyzeSSSP(g, asn, r.Dist, sink)
 		rec.Add("chips", int64(asn.Chips))
 	case "table1":
+		tracker.Phase("run")
 		RunTable1(Table1Config{
 			Sizes: []int{32}, Density: 4, U: 8, K: 8, C: 4, Seed: runSeed,
 			DistanceProbe: sink,
@@ -207,13 +235,19 @@ func soakRun(workload string, runSeed int64, cfg SoakConfig) (*telemetry.Manifes
 		return nil, nil, fmt.Errorf("harness: unknown soak workload %q", workload)
 	}
 
+	tracker.Phase("report")
 	if stats != nil {
 		man.Stats = telemetry.StatsFrom(*stats)
+		tracker.SetTotals(stats.Steps, stats.Spikes, stats.Deliveries, stats.MaxQueueDepth)
 		if o, ok := cfg.Probes.(interface{ ObserveRunStats(int64, int64) }); ok {
 			o.ObserveRunStats(stats.MaxQueueDepth, stats.SilentStepsSkipped)
 		}
 	}
 	man.AddRecorder(rec)
+	man.Perf = tracker.Report(cfg.Deterministic)
+	if o, ok := cfg.Probes.(interface{ ObservePerf(*perf.Report) }); ok {
+		o.ObservePerf(man.Perf)
+	}
 	//lint:wallclock manifest finalization stamps real elapsed time; Deterministic zeroes it downstream
 	man.Finalize(start, time.Since(start), telemetry.ManifestOptions{Deterministic: cfg.Deterministic})
 	if cfg.Submit != nil {

@@ -2,6 +2,7 @@ package metrics
 
 import (
 	"repro/internal/distance"
+	"repro/internal/perf"
 )
 
 // Canonical metric names of the probe-fabric bridge. The same families
@@ -22,7 +23,33 @@ const (
 	MetricCongestMsgs  = "spaa_congest_messages_total"
 	MetricCongestBits  = "spaa_congest_bits_total"
 	MetricFleetDeliver = "spaa_fleet_deliveries_total"
+
+	// Throughput families fed by spaa-perf/v1 reports (ObservePerf).
+	// The rate gauges are campaign high-water marks (SetMax), so a
+	// scrape mid-soak answers "how fast has a run gone", independent of
+	// which workload finished last.
+	MetricPerfStepsPerSec  = "spaa_perf_steps_per_sec"
+	MetricPerfDelivPerSec  = "spaa_perf_deliveries_per_sec"
+	MetricPerfPhaseWall    = "spaa_perf_phase_wall_ms"
+	MetricPerfAllocBytes   = "spaa_perf_alloc_bytes_total"
+	MetricPerfAllocObjects = "spaa_perf_alloc_objects_total"
+	MetricPerfGCCycles     = "spaa_perf_gc_cycles_total"
 )
+
+// perfPhaseNames is the bounded phase-label vocabulary; reports with
+// other phase names fold into "other" so remote manifests cannot grow
+// series cardinality.
+var perfPhaseNames = [4]string{"build", "run", "report", "other"}
+
+// perfPhaseIndex clamps a phase name onto perfPhaseNames.
+func perfPhaseIndex(name string) int {
+	for i, n := range perfPhaseNames[:3] {
+		if n == name {
+			return i
+		}
+	}
+	return 3
+}
 
 // Bridge adapts the engine probe fabric to a Registry: it satisfies
 // snn.StepProbe, distance.Probe, congest.Probe, and fleet.Probe
@@ -46,6 +73,11 @@ type Bridge struct {
 	congestRounds, congestMessages, congestBits *Counter
 
 	fleetIntra, fleetInter *Counter
+
+	perfStepsPerSec, perfDelivPerSec *Gauge
+	perfPhaseWall                    [4]*Histogram // indexed by perfPhaseIndex
+	perfAllocBytes, perfAllocObjects *Counter
+	perfGCCycles                     *Counter
 }
 
 // NewBridge resolves every canonical collector in reg and returns the
@@ -71,6 +103,17 @@ func NewBridge(reg *Registry) *Bridge {
 		congestBits:     reg.Counter(MetricCongestBits, "CONGEST bits exchanged"),
 		fleetIntra:      reg.Counter(MetricFleetDeliver, "chip-level spike deliveries", Label{Key: "route", Value: "intra"}),
 		fleetInter:      reg.Counter(MetricFleetDeliver, "chip-level spike deliveries", Label{Key: "route", Value: "inter"}),
+		perfStepsPerSec: reg.Gauge(MetricPerfStepsPerSec, "per-run engine throughput high-water (steps/sec)"),
+		perfDelivPerSec: reg.Gauge(MetricPerfDelivPerSec, "per-run delivery throughput high-water (deliveries/sec)"),
+		perfPhaseWall: [4]*Histogram{
+			reg.Histogram(MetricPerfPhaseWall, "per-run phase wall time in milliseconds", Label{Key: "phase", Value: "build"}),
+			reg.Histogram(MetricPerfPhaseWall, "per-run phase wall time in milliseconds", Label{Key: "phase", Value: "run"}),
+			reg.Histogram(MetricPerfPhaseWall, "per-run phase wall time in milliseconds", Label{Key: "phase", Value: "report"}),
+			reg.Histogram(MetricPerfPhaseWall, "per-run phase wall time in milliseconds", Label{Key: "phase", Value: "other"}),
+		},
+		perfAllocBytes:   reg.Counter(MetricPerfAllocBytes, "heap bytes allocated across tracked runs"),
+		perfAllocObjects: reg.Counter(MetricPerfAllocObjects, "heap objects allocated across tracked runs"),
+		perfGCCycles:     reg.Counter(MetricPerfGCCycles, "GC cycles completed during tracked runs"),
 	}
 }
 
@@ -134,4 +177,34 @@ func (b *Bridge) ObserveRunStats(maxQueueDepth, silentStepsSkipped int64) {
 	}
 	b.queueDepth.SetMax(maxQueueDepth)
 	b.silentSteps.Add(silentStepsSkipped)
+}
+
+// ObservePerf folds one spaa-perf/v1 report into the throughput
+// families. Wall-derived quantities are recorded only when the report
+// carries real wall data (deterministic reports have it zeroed — there
+// is nothing meaningful to observe); queue occupancy always folds into
+// the canonical queue-depth high-water gauge. Called once per run, off
+// the hot path.
+func (b *Bridge) ObservePerf(r *perf.Report) {
+	if b == nil || r == nil {
+		return
+	}
+	b.queueDepth.SetMax(r.MaxQueueDepth)
+	if r.WallMS <= 0 {
+		return
+	}
+	b.perfStepsPerSec.SetMax(int64(r.StepsPerSec))
+	b.perfDelivPerSec.SetMax(int64(r.DeliveriesPerSec))
+	for _, ph := range r.Phases {
+		b.perfPhaseWall[perfPhaseIndex(ph.Name)].Observe(int64(ph.WallMS))
+	}
+	if r.AllocBytes > 0 {
+		b.perfAllocBytes.Add(r.AllocBytes)
+	}
+	if r.AllocObjects > 0 {
+		b.perfAllocObjects.Add(r.AllocObjects)
+	}
+	if r.GCCycles > 0 {
+		b.perfGCCycles.Add(r.GCCycles)
+	}
 }

@@ -1,10 +1,11 @@
 package metrics
 
 // dashboardHTML is the single-file live dashboard `spaabench serve`
-// returns at "/": stat tiles for the headline cost totals, a
-// single-series throughput line fed by the /events SSE stream, and a
-// table of recent runs (the accessible, color-free view of the same
-// data). No external assets — the daemon works air-gapped.
+// returns at "/": stat tiles for the headline cost totals and the
+// throughput high-water marks, per-run line panels (spikes and engine
+// steps/sec) fed by the /events SSE stream, and a table of recent runs
+// (the accessible, color-free view of the same data). No external
+// assets — the daemon works air-gapped.
 //
 // Colors are role-based CSS custom properties with validated light and
 // dark values (the dark steps are selected for the dark surface, not an
@@ -89,11 +90,20 @@ const dashboardHTML = `<!doctype html>
     <div class="hint">event-driven payoff</div></div>
   <div class="tile"><div class="label">Run wall ms</div><div class="value" id="t-wall">–</div>
     <div class="hint">p50 · p90 · p99</div></div>
+  <div class="tile"><div class="label">Steps/sec (best)</div><div class="value" id="t-sps">–</div>
+    <div class="hint">engine throughput high water</div></div>
+  <div class="tile"><div class="label">Deliveries/sec (best)</div><div class="value" id="t-dps">–</div>
+    <div class="hint">synaptic throughput high water</div></div>
 </div>
 
 <div class="panel">
   <h2>Spikes per run (last 120 ingested)</h2>
   <svg id="chart" width="100%" height="140" viewBox="0 0 960 140" preserveAspectRatio="none"></svg>
+</div>
+
+<div class="panel">
+  <h2>Engine throughput per run (steps/sec, last 120 with perf data)</h2>
+  <svg id="chart-perf" width="100%" height="140" viewBox="0 0 960 140" preserveAspectRatio="none"></svg>
 </div>
 
 <div class="panel">
@@ -112,6 +122,7 @@ const fmt = n => n.toLocaleString("en-US");
 const recent = [];
 const totals = { runs: 0, spikes: 0, deliveries: 0, steps: 0, silent: 0 };
 let maxQueue = 0;
+let maxSps = 0, maxDps = 0;
 
 function setTiles() {
   document.getElementById("t-runs").textContent = fmt(totals.runs);
@@ -120,18 +131,19 @@ function setTiles() {
   document.getElementById("t-steps").textContent = fmt(totals.steps);
   document.getElementById("t-queue").textContent = fmt(maxQueue);
   document.getElementById("t-silent").textContent = fmt(totals.silent);
+  document.getElementById("t-sps").textContent = maxSps > 0 ? fmt(Math.round(maxSps)) : "–";
+  document.getElementById("t-dps").textContent = maxDps > 0 ? fmt(Math.round(maxDps)) : "–";
 }
 
-function drawChart() {
-  const svg = document.getElementById("chart");
-  const pts = recent.slice(-120);
+function drawSeries(svgId, pts, value, describe) {
+  const svg = document.getElementById(svgId);
   svg.innerHTML = "";
   if (pts.length < 2) return;
   const w = 960, h = 140, pad = 6;
-  const max = Math.max(1, ...pts.map(p => p.spikes));
+  const max = Math.max(1, ...pts.map(value));
   const x = i => pad + i * (w - 2 * pad) / (pts.length - 1);
   const y = v => h - pad - v * (h - 2 * pad) / max;
-  const d = pts.map((p, i) => (i ? "L" : "M") + x(i).toFixed(1) + " " + y(p.spikes).toFixed(1)).join(" ");
+  const d = pts.map((p, i) => (i ? "L" : "M") + x(i).toFixed(1) + " " + y(value(p)).toFixed(1)).join(" ");
   const path = document.createElementNS("http://www.w3.org/2000/svg", "path");
   path.setAttribute("d", d);
   path.setAttribute("fill", "none");
@@ -146,10 +158,18 @@ function drawChart() {
     tip.style.display = "block";
     tip.style.left = (ev.clientX + 12) + "px";
     tip.style.top = (ev.clientY + 12) + "px";
-    tip.textContent = "run #" + pts[i].seq + " (" + pts[i].command + "): " +
-      fmt(pts[i].spikes) + " spikes";
+    tip.textContent = describe(pts[i]);
   };
   svg.onmouseleave = () => { document.getElementById("tip").style.display = "none"; };
+}
+
+function drawChart() {
+  drawSeries("chart", recent.slice(-120), p => p.spikes,
+    p => "run #" + p.seq + " (" + p.command + "): " + fmt(p.spikes) + " spikes");
+  drawSeries("chart-perf", recent.filter(p => p.steps_per_sec > 0).slice(-120),
+    p => p.steps_per_sec,
+    p => "run #" + p.seq + " (" + p.command + "): " +
+      fmt(Math.round(p.steps_per_sec)) + " steps/sec");
 }
 
 function addRow(r) {
@@ -173,6 +193,8 @@ function onRun(r) {
   totals.steps += r.steps;
   totals.silent += r.silent_steps_skipped;
   if (r.max_queue_depth > maxQueue) maxQueue = r.max_queue_depth;
+  if (r.steps_per_sec > maxSps) maxSps = r.steps_per_sec;
+  if (r.deliveries_per_sec > maxDps) maxDps = r.deliveries_per_sec;
   document.getElementById("t-wall").textContent =
     r.wall_p50.toFixed(1) + " · " + r.wall_p90.toFixed(1) + " · " + r.wall_p99.toFixed(1);
   recent.push(r);
@@ -188,6 +210,8 @@ fetch("/runs").then(r => r.json()).then(idx => {
   totals.silent = idx.totals.silent_steps_skipped;
   for (const r of idx.runs.slice(-120)) {
     if (r.max_queue_depth > maxQueue) maxQueue = r.max_queue_depth;
+    if (r.steps_per_sec > maxSps) maxSps = r.steps_per_sec;
+    if (r.deliveries_per_sec > maxDps) maxDps = r.deliveries_per_sec;
     recent.push(r);
   }
   setTiles(); drawChart();

@@ -1,0 +1,83 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// TestQuantileEmptyHistogram pins the empty-histogram contract: every
+// quantile of zero observations is 0, not NaN or a bucket bound.
+func TestQuantileEmptyHistogram(t *testing.T) {
+	h := newHistogram()
+	for _, q := range []float64{0, 0.5, 0.99, 1} {
+		if got := h.Quantile(q); got != 0 {
+			t.Errorf("empty histogram Quantile(%v) = %v, want 0", q, got)
+		}
+	}
+	if h.Count() != 0 || h.Sum() != 0 {
+		t.Errorf("empty histogram count/sum = %d/%d", h.Count(), h.Sum())
+	}
+}
+
+// TestQuantileSingleObservation: with one sample every quantile must
+// land inside that sample's bucket (and never exceed its upper bound).
+func TestQuantileSingleObservation(t *testing.T) {
+	for _, v := range []int64{0, 1, 2, 3, 1000} {
+		h := newHistogram()
+		h.Observe(v)
+		upper := BucketBound(bucketFor(v))
+		lower := 0.0
+		if b := bucketFor(v); b > 0 {
+			lower = BucketBound(b - 1)
+		}
+		for _, q := range []float64{0.01, 0.5, 0.99, 1} {
+			got := h.Quantile(q)
+			if got < lower || got > upper {
+				t.Errorf("Observe(%d): Quantile(%v) = %v outside bucket (%v, %v]", v, q, got, lower, upper)
+			}
+		}
+	}
+}
+
+// TestQuantileAllInOverflow: observations past the last finite bound
+// land in the +Inf bucket; the quantile reports the largest finite
+// bound (a documented underestimate) rather than +Inf or garbage.
+func TestQuantileAllInOverflow(t *testing.T) {
+	h := newHistogram()
+	huge := int64(1) << 40 // far beyond 2^20
+	for i := 0; i < 10; i++ {
+		h.Observe(huge)
+	}
+	want := BucketBound(histBuckets - 1)
+	if math.IsInf(want, 1) {
+		t.Fatal("largest finite bound is infinite; histBuckets misconfigured")
+	}
+	for _, q := range []float64{0.01, 0.5, 1} {
+		if got := h.Quantile(q); got != want {
+			t.Errorf("overflow-only Quantile(%v) = %v, want largest finite bound %v", q, got, want)
+		}
+	}
+	if h.Count() != 10 {
+		t.Errorf("count = %d, want 10", h.Count())
+	}
+	// The exposition still renders a finite cumulative count on +Inf.
+	var b strings.Builder
+	if err := h.write(&b, "x_overflow", ""); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), `x_overflow_bucket{le="+Inf"} 10`) {
+		t.Errorf("overflow bucket not rendered cumulatively:\n%s", b.String())
+	}
+}
+
+// TestQuantileClampsRange: out-of-range q values clamp instead of
+// extrapolating.
+func TestQuantileClampsRange(t *testing.T) {
+	h := newHistogram()
+	h.Observe(4)
+	lo, hi := h.Quantile(-1), h.Quantile(2)
+	if lo < 0 || hi > BucketBound(bucketFor(4)) {
+		t.Errorf("clamped quantiles out of range: q<0 -> %v, q>1 -> %v", lo, hi)
+	}
+}

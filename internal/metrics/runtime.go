@@ -1,0 +1,89 @@
+package metrics
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Go runtime process-health families. They live next to the workload
+// families so a soak dashboard shows goroutine count, heap pressure,
+// and GC pauses beside throughput — but they describe the *process*,
+// not the model, so none of them appear in manifests or baselines.
+const (
+	MetricGoGoroutines  = "go_goroutines"
+	MetricGoHeapBytes   = "go_memstats_heap_alloc_bytes"
+	MetricGoHeapObjects = "go_memstats_heap_objects"
+	MetricGoGCCycles    = "go_gc_cycles_total"
+	MetricGoGCPauseUS   = "go_gc_pause_us"
+)
+
+// RuntimeCollector samples Go runtime health into a registry:
+// go_goroutines, heap gauges, a GC-cycle counter, and a log2 histogram
+// of individual GC pause times in microseconds (µs keeps typical pauses
+// — tens of µs to a few ms — inside the histogram's finite 2^0..2^20
+// bucket range; nanoseconds would push everything into overflow).
+//
+// Update is pull-driven: the Server calls it at the top of every
+// /metrics scrape, so the exposition reflects scrape-time state without
+// any background goroutine, preserving the registry's deterministic
+// exposition discipline (sampling happens at a well-defined point, and
+// an idle daemon stays byte-stable between scrapes).
+type RuntimeCollector struct {
+	goroutines  *Gauge
+	heapBytes   *Gauge
+	heapObjects *Gauge
+	gcCycles    *Counter
+	gcPause     *Histogram
+
+	mu        sync.Mutex
+	lastNumGC uint32 // guarded by mu
+}
+
+// NewRuntimeCollector registers the runtime families in reg and returns
+// the collector. The GC baseline starts at the current cycle count so
+// pauses from before the collector existed are not attributed to it.
+func NewRuntimeCollector(reg *Registry) *RuntimeCollector {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return &RuntimeCollector{
+		goroutines:  reg.Gauge(MetricGoGoroutines, "currently live goroutines"),
+		heapBytes:   reg.Gauge(MetricGoHeapBytes, "bytes of allocated heap objects"),
+		heapObjects: reg.Gauge(MetricGoHeapObjects, "number of allocated heap objects"),
+		gcCycles:    reg.Counter(MetricGoGCCycles, "completed GC cycles"),
+		gcPause:     reg.Histogram(MetricGoGCPauseUS, "stop-the-world GC pause durations in microseconds"),
+		lastNumGC:   ms.NumGC,
+	}
+}
+
+// Update refreshes every runtime family from the current process state.
+// Safe for concurrent use (scrapes may overlap); each completed GC
+// cycle's pause is observed exactly once via the MemStats pause ring.
+func (c *RuntimeCollector) Update() {
+	if c == nil {
+		return
+	}
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	c.goroutines.Set(int64(runtime.NumGoroutine()))
+	c.heapBytes.Set(int64(ms.HeapAlloc))
+	c.heapObjects.Set(int64(ms.HeapObjects))
+
+	c.mu.Lock()
+	last := c.lastNumGC
+	if ms.NumGC > last {
+		fresh := ms.NumGC - last
+		c.gcCycles.Add(int64(fresh))
+		// PauseNs is a ring of the last 256 pause times; cycles beyond
+		// the ring's reach (a scrape gap spanning >256 GCs) are counted
+		// above but their individual pauses are unrecoverable.
+		if fresh > uint32(len(ms.PauseNs)) {
+			fresh = uint32(len(ms.PauseNs))
+		}
+		for i := ms.NumGC - fresh; i < ms.NumGC; i++ {
+			pauseUS := int64(ms.PauseNs[(i+uint32(len(ms.PauseNs))-1)%uint32(len(ms.PauseNs))] / 1000)
+			c.gcPause.Observe(pauseUS)
+		}
+		c.lastNumGC = ms.NumGC
+	}
+	c.mu.Unlock()
+}

@@ -1,0 +1,63 @@
+package metrics
+
+import (
+	"runtime"
+	"strings"
+	"testing"
+)
+
+func TestRuntimeCollectorUpdate(t *testing.T) {
+	reg := NewRegistry()
+	rc := NewRuntimeCollector(reg)
+
+	// Force at least one fresh GC cycle after the collector's baseline.
+	runtime.GC()
+	rc.Update()
+
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	body := b.String()
+
+	if got := scrapeValue(t, body, MetricGoGoroutines); got < 1 {
+		t.Errorf("go_goroutines = %d, want >= 1", got)
+	}
+	if got := scrapeValue(t, body, MetricGoHeapBytes); got <= 0 {
+		t.Errorf("heap bytes = %d, want > 0", got)
+	}
+	if got := scrapeValue(t, body, MetricGoHeapObjects); got <= 0 {
+		t.Errorf("heap objects = %d, want > 0", got)
+	}
+	if got := scrapeValue(t, body, MetricGoGCCycles); got < 1 {
+		t.Errorf("gc cycles = %d, want >= 1 after runtime.GC()", got)
+	}
+	// The pause histogram saw the forced cycle.
+	if got := scrapeValue(t, body, MetricGoGCPauseUS+`_count`); got < 1 {
+		t.Errorf("gc pause observations = %d, want >= 1", got)
+	}
+	if !strings.Contains(body, "# TYPE "+MetricGoGCPauseUS+" histogram") {
+		t.Error("gc pause family not rendered as histogram")
+	}
+}
+
+// TestRuntimeCollectorIdempotentBetweenGCs: repeated updates with no
+// intervening GC must not re-observe old pauses (the counter is a
+// cycle count, not an update count).
+func TestRuntimeCollectorIdempotentBetweenGCs(t *testing.T) {
+	reg := NewRegistry()
+	rc := NewRuntimeCollector(reg)
+	runtime.GC()
+	rc.Update()
+	before := rc.gcPause.Count()
+	rc.Update()
+	rc.Update()
+	if after := rc.gcPause.Count(); after != before {
+		t.Errorf("pause observations grew from %d to %d without a GC", before, after)
+	}
+}
+
+func TestRuntimeCollectorNil(t *testing.T) {
+	var rc *RuntimeCollector
+	rc.Update() // must not panic
+}

@@ -32,6 +32,12 @@ type RunSummary struct {
 
 	WallMS float64 `json:"wall_ms"`
 
+	// StepsPerSec and DeliveriesPerSec come from the manifest's
+	// spaa-perf/v1 section when present (zero otherwise, including for
+	// deterministic runs, whose perf wall data is zeroed by design).
+	StepsPerSec      float64 `json:"steps_per_sec"`
+	DeliveriesPerSec float64 `json:"deliveries_per_sec"`
+
 	// Quantiles are the server's current p50/p90/p99 estimates of per-run
 	// wall time (ms), refreshed on every ingest so the dashboard can show
 	// latency percentiles without parsing histogram buckets.
@@ -58,6 +64,14 @@ type Totals struct {
 type Server struct {
 	reg *Registry
 
+	// bridge carries the pre-resolved canonical collectors; ingest
+	// reuses its ObservePerf fold so pushed spaa-perf/v1 sections land
+	// in the same throughput families an in-process Bridge writes.
+	bridge *Bridge
+	// runtime samples Go process health (goroutines, heap, GC pauses)
+	// at the top of every /metrics scrape.
+	runtime *RuntimeCollector
+
 	runsIngested *Counter
 	badRequests  *Counter
 	wallHist     *Histogram
@@ -76,6 +90,8 @@ type Server struct {
 func NewServer(reg *Registry) *Server {
 	return &Server{
 		reg:          reg,
+		bridge:       NewBridge(reg),
+		runtime:      NewRuntimeCollector(reg),
 		runsIngested: reg.Counter("spaa_runs_ingested_total", "run manifests accepted over POST /runs"),
 		badRequests:  reg.Counter("spaa_ingest_errors_total", "rejected ingest requests"),
 		wallHist:     reg.Histogram("spaa_run_wall_ms", "per-run wall time in milliseconds"),
@@ -94,6 +110,10 @@ func (s *Server) Registry() *Registry { return s.reg }
 // concurrent use.
 func (s *Server) Ingest(m *telemetry.Manifest) RunSummary {
 	sum := RunSummary{Tool: m.Tool, Command: m.Command, WallMS: m.WallMS}
+	if m.Perf != nil {
+		sum.StepsPerSec = m.Perf.StepsPerSec
+		sum.DeliveriesPerSec = m.Perf.DeliveriesPerSec
+	}
 	if m.Stats != nil {
 		sum.Spikes = m.Stats.Spikes
 		sum.Deliveries = m.Stats.Deliveries
@@ -152,6 +172,9 @@ func (s *Server) foldRegistry(m *telemetry.Manifest, sum *RunSummary) {
 		s.reg.Gauge(MetricSilentSteps, "simulated steps skipped by the silence optimization").Add(m.Stats.SilentStepsSkipped)
 		s.runSpikes.Observe(m.Stats.Spikes)
 	}
+	// The perf section folds through the same path an in-process Bridge
+	// uses, so pushed and probed runs populate identical families.
+	s.bridge.ObservePerf(m.Perf)
 	// Manifest counters carry the non-snn cost measures; map the known
 	// families onto their canonical series.
 	for _, kv := range sortedCounters(m.Counters) {
@@ -213,7 +236,11 @@ func sortedCounters(m map[string]int64) []counterKV {
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/", s.handleDashboard)
-	mux.Handle("/metrics", s.reg.Handler())
+	scrape := s.reg.Handler()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, req *http.Request) {
+		s.runtime.Update() // sample process health at scrape time
+		scrape.ServeHTTP(w, req)
+	})
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/runs", s.handleRuns)
 	mux.HandleFunc("/events", s.handleEvents)

@@ -1,0 +1,41 @@
+package perf
+
+import "runtime"
+
+// MemSnapshot captures the runtime.MemStats fields the tracker brackets
+// a run with. All captured fields are monotone over the process
+// lifetime (Mallocs, TotalAlloc, NumGC, PauseTotalNs) or point-in-time
+// (HeapAlloc, HeapObjects), so end-minus-start deltas are non-negative
+// and attributable to the bracketed work plus whatever the runtime did
+// concurrently.
+type MemSnapshot struct {
+	Mallocs, TotalAlloc    uint64
+	HeapAlloc, HeapObjects uint64
+	NumGC                  uint32
+	PauseTotalNs           uint64
+}
+
+// ReadMem takes a snapshot. runtime.ReadMemStats stops the world
+// briefly; call it around runs, never per step.
+func ReadMem() MemSnapshot {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return MemSnapshot{
+		Mallocs:      ms.Mallocs,
+		TotalAlloc:   ms.TotalAlloc,
+		HeapAlloc:    ms.HeapAlloc,
+		HeapObjects:  ms.HeapObjects,
+		NumGC:        ms.NumGC,
+		PauseTotalNs: ms.PauseTotalNs,
+	}
+}
+
+// monoDelta returns end-start clamped at zero (the fields are monotone,
+// but clamping keeps a report well-formed even if a caller swaps the
+// snapshots).
+func monoDelta(start, end uint64) int64 {
+	if end < start {
+		return 0
+	}
+	return int64(end - start)
+}

@@ -59,7 +59,13 @@ func (d Drift) String() string {
 //   - stats: all snn.Stats fields,
 //   - counters: the union of names (a counter present on one side only
 //     is drift),
-//   - series: matched by name; lengths and value sums.
+//   - series: matched by name; lengths and value sums,
+//   - perf (when both sides carry the section): the counter-derived
+//     fields only — steps, spikes, deliveries, queue high-water under
+//     the tolerance, deliveries/step exactly. Wall-derived perf fields
+//     (rates, phase times, alloc/GC deltas) are machine noise and are
+//     never compared here; harness.ComparePerf applies its separate
+//     wall band to them.
 func DiffManifests(base, fresh *Manifest, tol Tolerance) []Drift {
 	var out []Drift
 	check := func(field string, b, f int64, exact bool) {
@@ -96,6 +102,18 @@ func DiffManifests(base, fresh *Manifest, tol Tolerance) []Drift {
 		check("stats.steps", base.Stats.Steps, fresh.Stats.Steps, false)
 		check("stats.max_queue_depth", base.Stats.MaxQueueDepth, fresh.Stats.MaxQueueDepth, false)
 		check("stats.silent_steps_skipped", base.Stats.SilentStepsSkipped, fresh.Stats.SilentStepsSkipped, false)
+	}
+
+	switch {
+	case base.Perf == nil && fresh.Perf == nil:
+	case base.Perf == nil || fresh.Perf == nil:
+		out = append(out, Drift{Field: "perf", Msg: "present on one side only"})
+	default:
+		check("perf.steps", base.Perf.Steps, fresh.Perf.Steps, false)
+		check("perf.spikes", base.Perf.Spikes, fresh.Perf.Spikes, false)
+		check("perf.deliveries", base.Perf.Deliveries, fresh.Perf.Deliveries, false)
+		check("perf.max_queue_depth", base.Perf.MaxQueueDepth, fresh.Perf.MaxQueueDepth, false)
+		check("perf.deliveries_per_step_milli", base.Perf.DeliveriesPerStepMilli, fresh.Perf.DeliveriesPerStepMilli, true)
 	}
 
 	for _, name := range counterNames(base.Counters, fresh.Counters) {

@@ -7,6 +7,7 @@ import (
 	"os"
 	"time"
 
+	"repro/internal/perf"
 	"repro/internal/snn"
 )
 
@@ -61,6 +62,11 @@ type Manifest struct {
 	Stats    *RunStats        `json:"stats,omitempty"`
 	Counters map[string]int64 `json:"counters,omitempty"`
 	Series   []Series         `json:"series,omitempty"`
+
+	// Perf is the spaa-perf/v1 throughput section: counter-derived
+	// totals plus wall-derived rates, phase times, and alloc/GC deltas.
+	// Deterministic finalization zeroes its wall-derived half too.
+	Perf *perf.Report `json:"perf,omitempty"`
 }
 
 // NewManifest returns a manifest skeleton for the given tool/command.
@@ -79,10 +85,14 @@ type ManifestOptions struct {
 
 // Finalize stamps the wall-clock fields from the run's start time and
 // measured duration, or zeroes them under Deterministic. Cost fields
-// (stats, counters, series) are seed-determined and never touched.
+// (stats, counters, series, and the perf section's counter-derived
+// half) are seed-determined and never touched; the perf section's
+// wall-derived half is wall-clock data and is zeroed alongside
+// CreatedUnixMS/WallMS.
 func (m *Manifest) Finalize(start time.Time, wall time.Duration, opts ManifestOptions) {
 	if opts.Deterministic {
 		m.CreatedUnixMS, m.WallMS = 0, 0
+		m.Perf.ZeroWallClock()
 		return
 	}
 	m.CreatedUnixMS = start.UnixMilli()

@@ -1,0 +1,125 @@
+package telemetry
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/perf"
+)
+
+func perfManifest() *Manifest {
+	m := NewManifest("spaabench", "perf:test")
+	m.Perf = &perf.Report{
+		Schema: perf.Schema,
+		Steps:  100, Spikes: 40, Deliveries: 2500, MaxQueueDepth: 17,
+		DeliveriesPerStepMilli: 25000,
+		WallMS:                 12.5, StepsPerSec: 8000, DeliveriesPerSec: 200000,
+		Phases:       []perf.PhaseReport{{Name: "build", WallMS: 3.5}, {Name: "run", WallMS: 9}},
+		AllocObjects: 10, AllocBytes: 4096, HeapBytes: 1 << 20, GCCycles: 1, GCPauseNS: 500,
+	}
+	return m
+}
+
+// TestFinalizeDeterministicZeroesPerf pins the satellite contract:
+// -deterministic zeroes every wall-clock field in the perf section too,
+// not just created_unix_ms / wall_ms.
+func TestFinalizeDeterministicZeroesPerf(t *testing.T) {
+	m := perfManifest()
+	m.Finalize(time.Now(), 42*time.Millisecond, ManifestOptions{Deterministic: true})
+	if m.CreatedUnixMS != 0 || m.WallMS != 0 {
+		t.Errorf("manifest wall fields survive deterministic finalize: created=%d wall=%v", m.CreatedUnixMS, m.WallMS)
+	}
+	p := m.Perf
+	if p.WallMS != 0 || p.StepsPerSec != 0 || p.DeliveriesPerSec != 0 ||
+		p.AllocObjects != 0 || p.AllocBytes != 0 || p.HeapBytes != 0 ||
+		p.GCCycles != 0 || p.GCPauseNS != 0 {
+		t.Errorf("perf wall-derived fields survive deterministic finalize: %+v", p)
+	}
+	for _, ph := range p.Phases {
+		if ph.WallMS != 0 {
+			t.Errorf("phase %q wall survives deterministic finalize: %v", ph.Name, ph.WallMS)
+		}
+	}
+	if p.Steps != 100 || p.Deliveries != 2500 || p.DeliveriesPerStepMilli != 25000 {
+		t.Errorf("counter-derived perf fields were clobbered: %+v", p)
+	}
+	if len(p.Phases) != 2 || p.Phases[0].Name != "build" {
+		t.Errorf("phase names were dropped: %+v", p.Phases)
+	}
+}
+
+func TestFinalizeDeterministicNilPerf(t *testing.T) {
+	m := NewManifest("spaabench", "sssp")
+	m.Finalize(time.Now(), time.Millisecond, ManifestOptions{Deterministic: true}) // must not panic
+}
+
+// TestManifestPerfRoundTrip encodes and re-reads a manifest carrying a
+// perf section, byte-compares two deterministic encodings, and checks
+// the section survives the parse.
+func TestManifestPerfRoundTrip(t *testing.T) {
+	encode := func() []byte {
+		m := perfManifest()
+		m.Finalize(time.Now(), 42*time.Millisecond, ManifestOptions{Deterministic: true})
+		var buf bytes.Buffer
+		if err := m.Encode(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	a, b := encode(), encode()
+	if !bytes.Equal(a, b) {
+		t.Fatalf("deterministic perf manifests differ:\n%s\n%s", a, b)
+	}
+	got, err := ReadManifest(bytes.NewReader(a))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Perf == nil || got.Perf.Schema != perf.Schema || got.Perf.Deliveries != 2500 {
+		t.Errorf("perf section lost in round trip: %+v", got.Perf)
+	}
+}
+
+func TestDiffManifestsPerf(t *testing.T) {
+	base, fresh := perfManifest(), perfManifest()
+	if drifts := DiffManifests(base, fresh, Tolerance{}); len(drifts) != 0 {
+		t.Fatalf("identical perf sections drift: %v", drifts)
+	}
+
+	// Wall-derived fields must never be compared.
+	fresh.Perf.WallMS *= 100
+	fresh.Perf.StepsPerSec = 1
+	fresh.Perf.AllocBytes = 1 << 30
+	fresh.Perf.Phases[1].WallMS = 9999
+	if drifts := DiffManifests(base, fresh, Tolerance{}); len(drifts) != 0 {
+		t.Fatalf("wall-derived perf fields are compared: %v", drifts)
+	}
+
+	// Counter-derived drift is flagged, ratio exactly.
+	fresh.Perf.Deliveries++
+	fresh.Perf.DeliveriesPerStepMilli++
+	drifts := DiffManifests(base, fresh, Tolerance{})
+	var fields []string
+	for _, d := range drifts {
+		fields = append(fields, d.Field)
+	}
+	joined := strings.Join(fields, " ")
+	if !strings.Contains(joined, "perf.deliveries") || !strings.Contains(joined, "perf.deliveries_per_step_milli") {
+		t.Errorf("perf counter drift not flagged: %v", drifts)
+	}
+
+	// Ratio stays exact even under a generous relative tolerance.
+	fresh = perfManifest()
+	fresh.Perf.DeliveriesPerStepMilli++
+	if drifts := DiffManifests(base, fresh, Tolerance{Rel: 0.5}); len(drifts) != 1 {
+		t.Errorf("deliveries_per_step_milli not compared exactly under tolerance: %v", drifts)
+	}
+
+	// Section present on one side only is structural drift.
+	fresh = perfManifest()
+	fresh.Perf = nil
+	if drifts := DiffManifests(base, fresh, Tolerance{}); len(drifts) != 1 || drifts[0].Field != "perf" {
+		t.Errorf("one-sided perf section not flagged: %v", drifts)
+	}
+}
