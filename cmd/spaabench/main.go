@@ -24,6 +24,7 @@
 //	spaabench serve [-addr 127.0.0.1:9090]        # live metrics daemon: /metrics, dashboard, SSE
 //	spaabench soak [-workers 8] [-iters 16] [-addr URL]  # concurrent load driver
 //	spaabench perf [-tier small] [-gate]          # benchmark tier vs BENCH_perf_*.json baselines
+//	spaabench energy [-gate]                      # metered energy sweep vs BENCH_energy_*.json baselines
 //
 // The sssp, table1, flow, congest, fleet, and timeline subcommands also
 // accept observability flags: -metrics out.json writes a JSON run
@@ -37,7 +38,10 @@
 // concurrent load through the instrumented stack and can stream its run
 // manifests to a serve daemon; `perf` runs the named benchmark tier and
 // gates counter-derived throughput metrics (exactly) and wall time
-// (within a band) against the committed BENCH_perf_*.json baselines.
+// (within a band) against the committed BENCH_perf_*.json baselines;
+// `energy` meters per-spike/per-delivery/per-idle-step energy across
+// every Table 3 platform alongside a classic comparator on the same
+// run, gated against the committed BENCH_energy_*.json baselines.
 // See docs/OBSERVABILITY.md.
 package main
 
@@ -125,6 +129,8 @@ func realMain(argv []string) int {
 		err = cmdSoak(args)
 	case "perf":
 		err = cmdPerf(args)
+	case "energy":
+		err = cmdEnergy(args)
 	default:
 		usage()
 		return 2
@@ -138,12 +144,13 @@ func realMain(argv []string) int {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: spaabench {table1|table2|table3|figures|experiments|sssp|gen|raster|timeline|flow|congest|dot|crossover|fleet|faults|why|replay|regress|verify|validate|serve|soak|perf} [flags]")
+	fmt.Fprintln(os.Stderr, "usage: spaabench {table1|table2|table3|figures|experiments|sssp|gen|raster|timeline|flow|congest|dot|crossover|fleet|faults|why|replay|regress|verify|validate|serve|soak|perf|energy} [flags]")
 	fmt.Fprintln(os.Stderr, "robustness: faults [-rates 0,0.01,...] [-trials 20] [-k 3] [-retries 3] [-strict] [-metrics out.json]")
 	fmt.Fprintln(os.Stderr, "observability (sssp, table1, flow, congest, fleet, timeline): -metrics out.json [-deterministic] -trace out.json -cpuprofile out.pprof -memprofile out.pprof")
 	fmt.Fprintln(os.Stderr, "forensics: why -dst N [-save log.jsonl] | replay log.jsonl | regress [-tol 0.02] BENCH_*.json")
 	fmt.Fprintln(os.Stderr, "live: serve [-addr 127.0.0.1:9090] [-preload 'BENCH_*.json'] | soak [-workers 8] [-iters 16] [-mix sssp,congest,fleet,table1] [-addr http://127.0.0.1:9090]")
 	fmt.Fprintln(os.Stderr, "perf: perf [-tier smoke|small|large|all] [-cases a,b] [-baseline-dir .] [-gate] [-tol 0] [-wall-tol 0.5] [-deterministic] [-write-baseline DIR] [-out DIR] [-slowdown-ms 0]")
+	fmt.Fprintln(os.Stderr, "energy: energy [-cases a,b] [-baseline-dir .] [-gate] [-tol 0] [-deterministic] [-write-baseline DIR] [-out DIR] [-tariff-scale 1000]")
 }
 
 func parseInts(s string) ([]int, error) {

@@ -1,0 +1,64 @@
+package cost
+
+import (
+	"testing"
+
+	"repro/internal/platform"
+)
+
+func platformByName(t *testing.T, name string) platform.Platform {
+	t.Helper()
+	for _, p := range platform.Table3() {
+		if p.Name == name {
+			return p
+		}
+	}
+	t.Fatalf("platform %q missing from Table 3", name)
+	return platform.Platform{}
+}
+
+func TestKHopEnergyAdvantageIsTariffOnly(t *testing.T) {
+	// km ops against km events: the workload cancels, leaving the pure
+	// tariff ratio — which must be orders of magnitude for every
+	// platform with a published figure.
+	loihi := platformByName(t, "Loihi")
+	small := Params{N: 64, M: 256, K: 4, U: 8, C: 1}
+	big := Params{N: 1 << 16, M: 1 << 18, K: 64, U: 8, C: 1}
+	a, b := KHopEnergyAdvantage(loihi, small), KHopEnergyAdvantage(loihi, big)
+	if a != b {
+		t.Fatalf("k-hop advantage depends on workload: %v vs %v", a, b)
+	}
+	want := platform.CPUEnergyPerOpJoules() / (loihi.PicoJoulePerSpike * 1e-12)
+	if a != want {
+		t.Fatalf("k-hop advantage %v, want tariff ratio %v", a, want)
+	}
+	if a < 100 {
+		t.Fatalf("advantage %v, want orders of magnitude", a)
+	}
+}
+
+func TestSSSPEnergyAdvantageGrowsWithN(t *testing.T) {
+	// Dijkstra pays n·log n on top of m while the circuit's events stay
+	// O(m), so the predicted advantage grows with n at fixed density.
+	loihi := platformByName(t, "Loihi")
+	prev := 0.0
+	for _, n := range []int64{1 << 8, 1 << 12, 1 << 16} {
+		p := Params{N: n, M: 4 * n, U: 8, C: 1}
+		adv := SSSPEnergyAdvantage(loihi, p)
+		if adv <= prev {
+			t.Fatalf("advantage not growing with n: %v after %v", adv, prev)
+		}
+		prev = adv
+	}
+}
+
+func TestPredictedEnergyAdvantageUnpublished(t *testing.T) {
+	sp2 := platformByName(t, "SpiNNaker 2")
+	if got := PredictedEnergyAdvantage(sp2, 1e6, 1e6); got != 0 {
+		t.Fatalf("unpublished-tariff platform predicts %v, want 0", got)
+	}
+	loihi := platformByName(t, "Loihi")
+	if got := PredictedEnergyAdvantage(loihi, 1e6, 0); got != 0 {
+		t.Fatalf("zero spike events predicts %v, want 0", got)
+	}
+}

@@ -1,0 +1,205 @@
+package energy
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"testing"
+
+	"repro/internal/platform"
+)
+
+func TestTariffForTable3(t *testing.T) {
+	want := map[string]int64{
+		"TrueNorth":   26_000,
+		"Loihi":       23_600,
+		"SpiNNaker 1": 7_000_000,
+		"SpiNNaker 2": 0,
+	}
+	ts := Tariffs()
+	if len(ts) != len(want) {
+		t.Fatalf("Tariffs() returned %d rows, want %d", len(ts), len(want))
+	}
+	for _, tr := range ts {
+		w, ok := want[tr.Platform]
+		if !ok {
+			t.Errorf("unexpected tariff platform %q", tr.Platform)
+			continue
+		}
+		if tr.DeliveryMilliPJ != w {
+			t.Errorf("%s: DeliveryMilliPJ = %d, want %d", tr.Platform, tr.DeliveryMilliPJ, w)
+		}
+		if tr.Unpublished() != (w == 0) {
+			t.Errorf("%s: Unpublished() = %v with tariff %d", tr.Platform, tr.Unpublished(), w)
+		}
+	}
+	if ReferenceTariff().Platform != ReferencePlatform {
+		t.Errorf("ReferenceTariff() = %q, want %q", ReferenceTariff().Platform, ReferencePlatform)
+	}
+}
+
+// TestCPUOpMilliPJAgreesWithEstimator pins the integral CPU op tariff to
+// the float estimator it replaces data-wise: both must derive from the
+// same Table 3 CPU row.
+func TestCPUOpMilliPJAgreesWithEstimator(t *testing.T) {
+	got := CPUOpMilliPJ()
+	want := int64(math.Round(platform.CPUEnergyPerOpJoules() * 1e15))
+	if got != want {
+		t.Fatalf("CPUOpMilliPJ() = %d, want %d", got, want)
+	}
+	// 35 W / 4.3 GHz = 8.1395... nJ = 8_139_535 mpJ after rounding.
+	if got != 8_139_535 {
+		t.Fatalf("CPUOpMilliPJ() = %d, want 8139535 (35 W / 4.3 GHz)", got)
+	}
+}
+
+func TestMeterCharges(t *testing.T) {
+	m := NewMeter(Tariff{Platform: "x", SpikeMilliPJ: 5, DeliveryMilliPJ: 7, IdleStepMilliPJ: 2})
+	m.OnStep(0, 3, 10, 4, 9)
+	m.OnStep(1, 1, 2, 1, 3)
+	m.AddIdleSteps(11)
+	if got, want := m.Spikes(), int64(4); got != want {
+		t.Errorf("Spikes = %d, want %d", got, want)
+	}
+	if got, want := m.Deliveries(), int64(12); got != want {
+		t.Errorf("Deliveries = %d, want %d", got, want)
+	}
+	if got, want := m.Steps(), int64(2); got != want {
+		t.Errorf("Steps = %d, want %d", got, want)
+	}
+	if got, want := m.IdleSteps(), int64(11); got != want {
+		t.Errorf("IdleSteps = %d, want %d", got, want)
+	}
+	wantPJ := int64(4*5 + 12*7 + 11*2)
+	if got := m.MilliPJ(); got != wantPJ {
+		t.Errorf("MilliPJ = %d, want %d", got, wantPJ)
+	}
+	if got := m.Tariff().Charge(m.Spikes(), m.Deliveries(), m.IdleSteps()); got != wantPJ {
+		t.Errorf("Charge = %d, want %d (must agree with the live total)", got, wantPJ)
+	}
+	m.Reset()
+	if m.MilliPJ() != 0 || m.Spikes() != 0 || m.IdleSteps() != 0 {
+		t.Errorf("Reset left residue: %+v", m)
+	}
+}
+
+func TestNilReceiversNoOp(t *testing.T) {
+	var m *Meter
+	m.OnStep(0, 1, 1, 1, 1) // must not panic
+	m.AddIdleSteps(5)
+	var o *OpMeter
+	o.AddOps(3)
+}
+
+// TestMeterZeroAlloc pins the hot-path contract directly: OnStep and
+// AddIdleSteps allocate nothing. The engine-level proof lives in snn's
+// BenchmarkEngineEnergyMeterOverhead / TestEngineEnergyMeterZeroAlloc.
+func TestMeterZeroAlloc(t *testing.T) {
+	m := NewMeter(ReferenceTariff())
+	allocs := testing.AllocsPerRun(100, func() {
+		m.OnStep(7, 3, 12, 5, 9)
+		m.AddIdleSteps(2)
+	})
+	if allocs != 0 {
+		t.Fatalf("Meter hot path allocates %.1f objects/op, want 0", allocs)
+	}
+}
+
+func TestOpMeter(t *testing.T) {
+	o := NewOpMeter()
+	o.AddOps(10)
+	o.AddOps(-3) // ignored
+	if got, want := o.Ops(), int64(10); got != want {
+		t.Errorf("Ops = %d, want %d", got, want)
+	}
+	if got, want := o.MilliPJ(), 10*CPUOpMilliPJ(); got != want {
+		t.Errorf("MilliPJ = %d, want %d", got, want)
+	}
+}
+
+func TestReportPlatformsAndAdvantage(t *testing.T) {
+	// 1000 deliveries, 2000 classic ops.
+	r := NewReport(40, 1000, 5, 60, 2000, Tariffs())
+	if r.Schema != Schema {
+		t.Fatalf("schema %q", r.Schema)
+	}
+	if got, want := r.ClassicMilliPJ, 2000*CPUOpMilliPJ(); got != want {
+		t.Errorf("ClassicMilliPJ = %d, want %d", got, want)
+	}
+	loihi := r.PlatformRow("Loihi")
+	if loihi == nil {
+		t.Fatal("no Loihi row")
+	}
+	if got, want := loihi.SpikingMilliPJ, int64(1000*23_600); got != want {
+		t.Errorf("Loihi SpikingMilliPJ = %d, want %d", got, want)
+	}
+	if got, want := loihi.AdvantageMilli, r.ClassicMilliPJ*1000/loihi.SpikingMilliPJ; got != want {
+		t.Errorf("Loihi AdvantageMilli = %d, want %d", got, want)
+	}
+	if got := r.ReferenceMilliPJ(); got != loihi.SpikingMilliPJ {
+		t.Errorf("ReferenceMilliPJ = %d, want %d", got, loihi.SpikingMilliPJ)
+	}
+	// SpiNNaker 2 publishes no figure: zeros, never a 0x advantage row.
+	sp2 := r.PlatformRow("SpiNNaker 2")
+	if sp2 == nil {
+		t.Fatal("no SpiNNaker 2 row")
+	}
+	if sp2.SpikingMilliPJ != 0 || sp2.AdvantageMilli != 0 {
+		t.Errorf("SpiNNaker 2 must carry zeros, got %+v", sp2)
+	}
+	if FormatAdvantage(sp2.AdvantageMilli) != "-" {
+		t.Errorf("unpublished advantage renders %q, want -", FormatAdvantage(sp2.AdvantageMilli))
+	}
+	// TrueNorth (26 pJ) must beat Loihi's row in the best-advantage scan:
+	// lower tariff wins; the scan must skip the unpublished row.
+	if best := r.BestAdvantageMilli(); best != loihi.AdvantageMilli {
+		tn := r.PlatformRow("TrueNorth")
+		if best != tn.AdvantageMilli {
+			t.Errorf("BestAdvantageMilli = %d, not a platform row value", best)
+		}
+	}
+}
+
+func TestReportFromMeters(t *testing.T) {
+	m := NewMeter(ReferenceTariff())
+	m.OnStep(0, 2, 30, 3, 4)
+	m.AddIdleSteps(7)
+	o := NewOpMeter()
+	o.AddOps(100)
+	r := ReportFromMeters(m, o, Tariffs())
+	if r.Spikes != 2 || r.Deliveries != 30 || r.IdleSteps != 7 || r.Steps != 1 || r.ClassicOps != 100 {
+		t.Fatalf("totals not carried over: %+v", r)
+	}
+}
+
+// TestReportByteDeterminism: the section contains no wall-clock data,
+// so two identical runs must encode byte-identically with no zeroing
+// step at all.
+func TestReportByteDeterminism(t *testing.T) {
+	enc := func() []byte {
+		r := NewReport(123, 4567, 89, 250, 9999, Tariffs())
+		var buf bytes.Buffer
+		if err := json.NewEncoder(&buf).Encode(r); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	a, b := enc(), enc()
+	if !bytes.Equal(a, b) {
+		t.Fatalf("energy reports differ across identical runs:\n%s\n%s", a, b)
+	}
+}
+
+func TestFormatAdvantage(t *testing.T) {
+	cases := []struct {
+		in   int64
+		want string
+	}{
+		{0, "-"}, {-5, "-"}, {1000, "1.0x"}, {8139, "8.1x"}, {1234567, "1234.5x"},
+	}
+	for _, c := range cases {
+		if got := FormatAdvantage(c.in); got != c.want {
+			t.Errorf("FormatAdvantage(%d) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,129 @@
+package energy
+
+import "fmt"
+
+// Schema identifies the energy-report JSON format embedded in run
+// manifests (the `energy` key of spaa-run-manifest/v1 documents); bump
+// the suffix on breaking changes.
+const Schema = "spaa-energy/v1"
+
+// PlatformEnergy is one platform row of a report: the run priced at
+// that platform's tariff, against the classic comparator. Platforms
+// that publish no energy figure carry zeros and render as "-" — an
+// AdvantageMilli of 0 always means "unpublished", never "measured 0x".
+type PlatformEnergy struct {
+	Platform string `json:"platform"`
+	// DeliveryMilliPJ echoes the tariff the row was priced at, so a
+	// baseline diff distinguishes "the workload changed" from "the
+	// tariff changed".
+	DeliveryMilliPJ int64 `json:"delivery_millipj"`
+	// SpikingMilliPJ is the metered run priced at this platform's
+	// tariff.
+	SpikingMilliPJ int64 `json:"spiking_millipj"`
+	// AdvantageMilli is classic/spiking × 1000, integral (8_139 means
+	// 8.139x). Zero when the platform publishes no tariff.
+	AdvantageMilli int64 `json:"advantage_milli"`
+}
+
+// Report is the spaa-energy/v1 manifest section. Every field is an
+// integral function of the seeded workload and the Table 3 tariffs —
+// no wall-clock data exists anywhere in it, so it is byte-reproducible
+// by construction and compared exactly by the energy gate (unlike
+// spaa-perf/v1, which needs its wall half zeroed).
+type Report struct {
+	Schema string `json:"schema"`
+
+	// Metered event totals (from a Meter / snn.Stats).
+	Spikes     int64 `json:"spikes"`
+	Deliveries int64 `json:"deliveries"`
+	Steps      int64 `json:"steps"`
+	IdleSteps  int64 `json:"idle_steps"`
+
+	// Classic comparator: operation count (from an OpMeter), the CPU
+	// per-op tariff it was priced at, and the resulting total.
+	ClassicOps       int64 `json:"classic_ops"`
+	ClassicOpMilliPJ int64 `json:"classic_op_millipj"`
+	ClassicMilliPJ   int64 `json:"classic_millipj"`
+
+	// Platforms prices the same run under every non-CPU Table 3 tariff.
+	Platforms []PlatformEnergy `json:"platforms"`
+}
+
+// NewReport prices a metered run under the given tariffs: the spiking
+// side at every tariff in ts, the classic side at the CPU op tariff.
+// Pass Tariffs() for the Table 3 platform set.
+func NewReport(spikes, deliveries, idleSteps, steps, classicOps int64, ts []Tariff) *Report {
+	r := &Report{
+		Schema:           Schema,
+		Spikes:           spikes,
+		Deliveries:       deliveries,
+		Steps:            steps,
+		IdleSteps:        idleSteps,
+		ClassicOps:       classicOps,
+		ClassicOpMilliPJ: CPUOpMilliPJ(),
+	}
+	r.ClassicMilliPJ = classicOps * r.ClassicOpMilliPJ
+	for _, t := range ts {
+		row := PlatformEnergy{Platform: t.Platform, DeliveryMilliPJ: t.DeliveryMilliPJ}
+		if !t.Unpublished() {
+			row.SpikingMilliPJ = t.Charge(spikes, deliveries, idleSteps)
+			if row.SpikingMilliPJ > 0 {
+				row.AdvantageMilli = r.ClassicMilliPJ * 1000 / row.SpikingMilliPJ
+			}
+		}
+		r.Platforms = append(r.Platforms, row)
+	}
+	return r
+}
+
+// ReportFromMeters builds the report from live instruments (the usual
+// call site after a metered run).
+func ReportFromMeters(m *Meter, ops *OpMeter, ts []Tariff) *Report {
+	return NewReport(m.Spikes(), m.Deliveries(), m.IdleSteps(), m.Steps(), ops.Ops(), ts)
+}
+
+// PlatformRow finds a platform's row (nil when absent).
+func (r *Report) PlatformRow(name string) *PlatformEnergy {
+	if r == nil {
+		return nil
+	}
+	for i := range r.Platforms {
+		if r.Platforms[i].Platform == name {
+			return &r.Platforms[i]
+		}
+	}
+	return nil
+}
+
+// ReferenceMilliPJ returns the spiking energy on the reference platform
+// (0 when the report carries no such row).
+func (r *Report) ReferenceMilliPJ() int64 {
+	if row := r.PlatformRow(ReferencePlatform); row != nil {
+		return row.SpikingMilliPJ
+	}
+	return 0
+}
+
+// BestAdvantageMilli returns the largest advantage across platform rows
+// (0 when no platform publishes a tariff).
+func (r *Report) BestAdvantageMilli() int64 {
+	if r == nil {
+		return 0
+	}
+	var best int64
+	for _, row := range r.Platforms {
+		if row.AdvantageMilli > best {
+			best = row.AdvantageMilli
+		}
+	}
+	return best
+}
+
+// FormatAdvantage renders an integral milli-advantage for tables:
+// "8139.5x", or "-" for the unpublished-tariff case.
+func FormatAdvantage(advMilli int64) string {
+	if advMilli <= 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%d.%01dx", advMilli/1000, (advMilli%1000)/100)
+}

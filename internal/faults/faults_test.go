@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"repro/internal/classic"
+	"repro/internal/energy"
 	"repro/internal/graph"
 )
 
@@ -227,6 +228,9 @@ func TestSweepRateZeroRowMatchesBaseline(t *testing.T) {
 	if man.Baseline.Spikes != 256 || man.Baseline.Deliveries != 1280 {
 		t.Fatalf("baseline drifted from BENCH_snn_sssp.json: %+v", man.Baseline)
 	}
+	if want := p.Deliveries * energy.ReferenceTariff().DeliveryMilliPJ; p.EnergyMilliPJ != want {
+		t.Fatalf("rate-0 energy %d mpJ, want deliveries priced on the reference tariff (%d)", p.EnergyMilliPJ, want)
+	}
 }
 
 func TestSweepCountsEveryWrongAnswer(t *testing.T) {
@@ -259,6 +263,14 @@ func TestRenderCurveShape(t *testing.T) {
 	}
 	if !strings.Contains(lines[1], "#") {
 		t.Fatalf("rate-0 row has no success bar: %q", lines[1])
+	}
+	if !strings.Contains(lines[0], "µJ") {
+		t.Fatalf("curve header missing the energy column: %q", lines[0])
+	}
+	for _, p := range man.Points {
+		if p.EnergyMilliPJ <= 0 {
+			t.Fatalf("sweep point carries no metered energy: %+v", p)
+		}
 	}
 }
 

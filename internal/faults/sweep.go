@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/classic"
 	"repro/internal/core"
+	"repro/internal/energy"
 	"repro/internal/graph"
 	"repro/internal/telemetry"
 )
@@ -122,6 +123,10 @@ func MeasurePoint(cfg SweepConfig, refDist []int64, rateIndex int, rate float64)
 			p.SelfCheckRecovered++
 		}
 	}
+	// Price the accumulated single-run deliveries on the reference
+	// platform: faults that burn retries or spurious traffic show up as
+	// extra joules in the curve, at zero cost to byte-determinism.
+	p.EnergyMilliPJ = p.Deliveries * energy.ReferenceTariff().DeliveryMilliPJ
 	p.Faults = telemetry.FaultTally{
 		Dropped:         tally.Dropped,
 		Jittered:        tally.Jittered,
@@ -153,17 +158,18 @@ func (m Model) manifest() *telemetry.FaultModel {
 }
 
 // RenderCurve writes the ASCII degradation curve: one row per sweep
-// point with the single-run, NMR, and self-check success fractions and
-// a bar proportional to single-run success.
+// point with the single-run, NMR, and self-check success fractions, the
+// point's metered single-run energy on the reference platform, and a
+// bar proportional to single-run success.
 func RenderCurve(w io.Writer, man *telemetry.FaultsManifest) {
 	const width = 40
-	fmt.Fprintf(w, "%-10s %7s %9s %10s %8s  %s\n",
-		"rate", "single", "nmr", "selfcheck", "degraded", "single-run success")
+	fmt.Fprintf(w, "%-10s %7s %9s %10s %8s %10s  %s\n",
+		"rate", "single", "nmr", "selfcheck", "degraded", "µJ", "single-run success")
 	for _, p := range man.Points {
 		pct := func(n int) float64 { return 100 * float64(n) / float64(p.Trials) }
 		bar := strings.Repeat("#", int(float64(width)*float64(p.Success)/float64(p.Trials)+0.5))
-		fmt.Fprintf(w, "%-10.4g %6.1f%% %8.1f%% %9.1f%% %8d  |%-*s|\n",
+		fmt.Fprintf(w, "%-10.4g %6.1f%% %8.1f%% %9.1f%% %8d %10.4f  |%-*s|\n",
 			p.Rate, pct(p.Success), pct(p.NMRSuccess), pct(p.SelfCheckRecovered),
-			p.Degraded, width, bar)
+			p.Degraded, energy.JoulesFromMilliPJ(p.EnergyMilliPJ)*1e6, width, bar)
 	}
 }

@@ -175,6 +175,7 @@ func TestExperimentsMarkdownStructure(t *testing.T) {
 		"## §2.2 NGA example",
 		"## §4.4 — embed/unembed",
 		"## Abstract's energy claim",
+		"## Metered energy sweep",
 		"## §2.2 — the CONGEST bridge",
 		"## §8 — tidal flow outlook",
 		"## Theorem 6.1's 3D remark",

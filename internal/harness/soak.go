@@ -5,8 +5,10 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/classic"
 	"repro/internal/congest"
 	"repro/internal/core"
+	"repro/internal/energy"
 	"repro/internal/fleet"
 	"repro/internal/graph"
 	"repro/internal/perf"
@@ -56,6 +58,11 @@ type SoakReport struct {
 	// the emitted manifests' stats.
 	Spikes, Deliveries, Steps         int64
 	MaxQueueDepth, SilentStepsSkipped int64
+	// SpikingMilliPJ and ClassicMilliPJ total the spaa-energy/v1
+	// sections of every metered run (spiking side priced on the
+	// reference platform); EnergyRuns counts the runs that carried one.
+	SpikingMilliPJ, ClassicMilliPJ int64
+	EnergyRuns                     int64
 	// PerWorkload counts completed runs by workload name.
 	PerWorkload map[string]int64
 	// Wall is the campaign's measured duration.
@@ -88,6 +95,24 @@ func (r *SoakReport) DeliveriesPerSecond() float64 {
 		return 0
 	}
 	return float64(r.Deliveries) / r.Wall.Seconds()
+}
+
+// SpikingJoulesPerQuery returns the average metered spiking energy per
+// energy-carrying run (reference platform), in joules.
+func (r *SoakReport) SpikingJoulesPerQuery() float64 {
+	if r.EnergyRuns == 0 {
+		return 0
+	}
+	return energy.JoulesFromMilliPJ(r.SpikingMilliPJ) / float64(r.EnergyRuns)
+}
+
+// ClassicJoulesPerQuery returns the average classic-comparator energy
+// per energy-carrying run, in joules.
+func (r *SoakReport) ClassicJoulesPerQuery() float64 {
+	if r.EnergyRuns == 0 {
+		return 0
+	}
+	return energy.JoulesFromMilliPJ(r.ClassicMilliPJ) / float64(r.EnergyRuns)
 }
 
 // splitmix64 is the per-run seed derivation (the same construction
@@ -137,7 +162,7 @@ func Soak(cfg SoakConfig) (*SoakReport, error) {
 			for i := 0; i < cfg.Iters; i++ {
 				workload := mix[(worker+i)%len(mix)]
 				runSeed := int64(splitmix64(uint64(cfg.Seed)^uint64(worker)<<32^uint64(i)) >> 1)
-				_, stats, err := soakRun(workload, runSeed, cfg)
+				man, stats, err := soakRun(workload, runSeed, cfg)
 				mu.Lock()
 				if err != nil {
 					rep.Errors++
@@ -157,6 +182,11 @@ func Soak(cfg SoakConfig) (*SoakReport, error) {
 					if stats.MaxQueueDepth > rep.MaxQueueDepth {
 						rep.MaxQueueDepth = stats.MaxQueueDepth
 					}
+				}
+				if man.Energy != nil {
+					rep.EnergyRuns++
+					rep.SpikingMilliPJ += man.Energy.ReferenceMilliPJ()
+					rep.ClassicMilliPJ += man.Energy.ClassicMilliPJ
 				}
 				mu.Unlock()
 			}
@@ -183,13 +213,18 @@ func soakRunnable(name string) bool {
 // sink, manifest submitted. A perf.Tracker brackets the run, so every
 // soak manifest carries a spaa-perf/v1 section (build / run / report
 // phases, throughput rates, alloc deltas — all zeroed under
-// Deterministic).
+// Deterministic); the engine workloads (sssp, fleet) additionally meter
+// energy on the same run, so their manifests carry a spaa-energy/v1
+// section with a Dijkstra comparator priced on the same instance.
 func soakRun(workload string, runSeed int64, cfg SoakConfig) (*telemetry.Manifest, *snn.Stats, error) {
 	rec := telemetry.NewRecorder()
 	sink := telemetry.Tee(rec, cfg.Probes)
 	man := telemetry.NewManifest("spaabench", workload)
 	man.SetConfig("soak_seed", runSeed)
 	tracker := perf.NewTracker()
+	meter := energy.NewMeter(energy.ReferenceTariff())
+	engineProbe := &energyStepSink{m: meter, sink: sink}
+	ops := energy.NewOpMeter()
 	//lint:wallclock per-run wall time feeds the manifest's wall_ms field by design
 	start := time.Now()
 
@@ -200,11 +235,12 @@ func soakRun(workload string, runSeed int64, cfg SoakConfig) (*telemetry.Manifes
 		g := graph.RandomGnm(96, 384, graph.Uniform(8), runSeed, true)
 		man.Graph = &telemetry.GraphParams{N: g.N(), M: g.M(), MaxLen: g.MaxLen(), Seed: runSeed, Kind: "random"}
 		tracker.Phase("run")
-		r, err := core.SSSP(g, 0, -1, sink)
+		r, err := core.SSSP(g, 0, -1, engineProbe)
 		if err != nil {
 			return nil, nil, err
 		}
 		stats = &r.Stats
+		ops.AddOps(classic.Dijkstra(g, 0).Ops)
 		rec.Add("neurons", int64(r.Neurons))
 	case "congest":
 		g := graph.RandomGnm(40, 160, graph.Uniform(8), runSeed, true)
@@ -216,11 +252,12 @@ func soakRun(workload string, runSeed int64, cfg SoakConfig) (*telemetry.Manifes
 		g := graph.Grid(8, 8, graph.Unit, runSeed)
 		man.Graph = &telemetry.GraphParams{N: g.N(), M: g.M(), MaxLen: g.MaxLen(), Seed: runSeed, Kind: "grid"}
 		tracker.Phase("run")
-		r, err := core.SSSP(g, 0, -1, sink)
+		r, err := core.SSSP(g, 0, -1, engineProbe)
 		if err != nil {
 			return nil, nil, err
 		}
 		stats = &r.Stats
+		ops.AddOps(classic.Dijkstra(g, 0).Ops)
 		asn := fleet.PartitionBFS(g, 16)
 		fleet.AnalyzeSSSP(g, asn, r.Dist, sink)
 		rec.Add("chips", int64(asn.Chips))
@@ -241,6 +278,13 @@ func soakRun(workload string, runSeed int64, cfg SoakConfig) (*telemetry.Manifes
 		tracker.SetTotals(stats.Steps, stats.Spikes, stats.Deliveries, stats.MaxQueueDepth)
 		if o, ok := cfg.Probes.(interface{ ObserveRunStats(int64, int64) }); ok {
 			o.ObserveRunStats(stats.MaxQueueDepth, stats.SilentStepsSkipped)
+		}
+		// Energy is metered only on the engine workloads (the meter saw
+		// their steps); fold the silence-skipped steps and price the run.
+		meter.AddIdleSteps(stats.SilentStepsSkipped)
+		man.Energy = energy.ReportFromMeters(meter, ops, energy.Tariffs())
+		if o, ok := cfg.Probes.(interface{ ObserveEnergy(*energy.Report) }); ok {
+			o.ObserveEnergy(man.Energy)
 		}
 	}
 	man.AddRecorder(rec)

@@ -10,6 +10,7 @@ import (
 	"repro/internal/crossbar"
 	"repro/internal/distance"
 	"repro/internal/graph"
+	"repro/internal/snn"
 )
 
 // Table1Config parameterizes the Table 1 reproduction sweep.
@@ -32,6 +33,9 @@ type Table1Config struct {
 	// DistanceProbe, when non-nil, observes every DISTANCE-machine
 	// primitive of the movement half (spaabench table1 -metrics).
 	DistanceProbe distance.Probe
+	// StepProbe, when non-nil, observes every simulated step of the
+	// sweep's engine-level SSSP runs (the energy sweep's metering hook).
+	StepProbe snn.StepProbe
 }
 
 // DefaultTable1Config returns the sweep used by the checked-in
@@ -98,7 +102,11 @@ func RunTable1(cfg Table1Config) *Table1Report {
 		}
 		bf := classic.BellmanFordKHop(g, 0, cfg.K, false)
 
-		ssspN := mustSSSP(g, 0, -1)
+		var sprobes []snn.StepProbe
+		if cfg.StepProbe != nil {
+			sprobes = append(sprobes, cfg.StepProbe)
+		}
+		ssspN := mustSSSP(g, 0, -1, sprobes...)
 		ttl := core.KHopTTL(g, 0, -1, cfg.K)
 		poly := core.KHopPoly(g, 0, cfg.K)
 		polySSSP := core.SSSPPoly(g, 0)

@@ -2,6 +2,7 @@ package metrics
 
 import (
 	"repro/internal/distance"
+	"repro/internal/energy"
 	"repro/internal/perf"
 )
 
@@ -34,6 +35,14 @@ const (
 	MetricPerfAllocBytes   = "spaa_perf_alloc_bytes_total"
 	MetricPerfAllocObjects = "spaa_perf_alloc_objects_total"
 	MetricPerfGCCycles     = "spaa_perf_gc_cycles_total"
+
+	// Energy families fed by spaa-energy/v1 reports (ObserveEnergy).
+	// Spiking totals carry a platform label (the bounded Table 3 set);
+	// the advantage gauge is a campaign high-water mark in milli-x,
+	// matching the report's integral AdvantageMilli.
+	MetricEnergySpiking   = "spaa_energy_spiking_millipicojoules_total"
+	MetricEnergyClassic   = "spaa_energy_classic_millipicojoules_total"
+	MetricEnergyAdvantage = "spaa_energy_advantage_ratio_milli"
 )
 
 // perfPhaseNames is the bounded phase-label vocabulary; reports with
@@ -78,20 +87,39 @@ type Bridge struct {
 	perfPhaseWall                    [4]*Histogram // indexed by perfPhaseIndex
 	perfAllocBytes, perfAllocObjects *Counter
 	perfGCCycles                     *Counter
+
+	// Energy collectors, one spiking/advantage pair per Table 3 platform
+	// (the label vocabulary is the fixed platform list, so remote
+	// manifests cannot grow series cardinality).
+	energyClassic       *Counter
+	energyPlatformNames []string
+	energySpiking       []*Counter
+	energyAdvantage     []*Gauge
 }
 
 // NewBridge resolves every canonical collector in reg and returns the
 // bridge. Resolution happens once, here, so the probe callbacks touch
 // only atomics.
 func NewBridge(reg *Registry) *Bridge {
+	names := energy.PlatformNames()
+	spiking := make([]*Counter, len(names))
+	advantage := make([]*Gauge, len(names))
+	for i, name := range names {
+		spiking[i] = reg.Counter(MetricEnergySpiking, "metered spiking energy priced at the platform tariff (mpJ)", Label{Key: "platform", Value: name})
+		advantage[i] = reg.Gauge(MetricEnergyAdvantage, "classic/spiking energy advantage high-water (milli-x)", Label{Key: "platform", Value: name})
+	}
 	return &Bridge{
-		steps:       reg.Counter(MetricSteps, "non-silent simulated steps processed"),
-		spikes:      reg.Counter(MetricSpikes, "total neuron firings"),
-		deliveries:  reg.Counter(MetricDeliveries, "total synaptic deliveries (energy proxy)"),
-		active:      reg.Counter(MetricActive, "neuron membrane updates"),
-		queueDepth:  reg.Gauge(MetricQueueDepth, "high-water mark of the pending event queue"),
-		silentSteps: reg.Gauge(MetricSilentSteps, "simulated steps skipped by the silence optimization"),
-		stepSpikes:  reg.Histogram(MetricStepSpikes, "distribution of spikes per simulated step"),
+		energyClassic:       reg.Counter(MetricEnergyClassic, "classic comparator energy at the CPU op tariff (mpJ)"),
+		energyPlatformNames: names,
+		energySpiking:       spiking,
+		energyAdvantage:     advantage,
+		steps:               reg.Counter(MetricSteps, "non-silent simulated steps processed"),
+		spikes:              reg.Counter(MetricSpikes, "total neuron firings"),
+		deliveries:          reg.Counter(MetricDeliveries, "total synaptic deliveries (energy proxy)"),
+		active:              reg.Counter(MetricActive, "neuron membrane updates"),
+		queueDepth:          reg.Gauge(MetricQueueDepth, "high-water mark of the pending event queue"),
+		silentSteps:         reg.Gauge(MetricSilentSteps, "simulated steps skipped by the silence optimization"),
+		stepSpikes:          reg.Histogram(MetricStepSpikes, "distribution of spikes per simulated step"),
 		distOps: [3]*Counter{
 			reg.Counter(MetricDistanceOps, "DISTANCE-machine primitives", Label{Key: "kind", Value: "load"}),
 			reg.Counter(MetricDistanceOps, "DISTANCE-machine primitives", Label{Key: "kind", Value: "store"}),
@@ -206,5 +234,34 @@ func (b *Bridge) ObservePerf(r *perf.Report) {
 	}
 	if r.GCCycles > 0 {
 		b.perfGCCycles.Add(r.GCCycles)
+	}
+}
+
+// ObserveEnergy folds one spaa-energy/v1 report into the energy
+// families: the classic comparator total, and per-platform spiking
+// totals plus advantage high-water marks. Rows are matched onto the
+// bridge's fixed platform vocabulary; unknown platform names in remote
+// manifests are dropped rather than growing series cardinality.
+// Unpublished-tariff rows (SpikingMilliPJ 0) contribute nothing —
+// their scrape lines stay at zero, the wire spelling of "-". Called
+// once per run, off the hot path.
+func (b *Bridge) ObserveEnergy(r *energy.Report) {
+	if b == nil || r == nil {
+		return
+	}
+	if r.ClassicMilliPJ > 0 {
+		b.energyClassic.Add(r.ClassicMilliPJ)
+	}
+	for _, row := range r.Platforms {
+		for i, name := range b.energyPlatformNames {
+			if name != row.Platform {
+				continue
+			}
+			if row.SpikingMilliPJ > 0 {
+				b.energySpiking[i].Add(row.SpikingMilliPJ)
+			}
+			b.energyAdvantage[i].SetMax(row.AdvantageMilli)
+			break
+		}
 	}
 }

@@ -2,8 +2,9 @@ package metrics
 
 // dashboardHTML is the single-file live dashboard `spaabench serve`
 // returns at "/": stat tiles for the headline cost totals and the
-// throughput high-water marks, per-run line panels (spikes and engine
-// steps/sec) fed by the /events SSE stream, and a table of recent runs
+// throughput and energy-advantage high-water marks, per-run line panels
+// (spikes, engine steps/sec, reference-platform spiking energy) fed by
+// the /events SSE stream, and a table of recent runs
 // (the accessible, color-free view of the same data). No external
 // assets — the daemon works air-gapped.
 //
@@ -94,6 +95,8 @@ const dashboardHTML = `<!doctype html>
     <div class="hint">engine throughput high water</div></div>
   <div class="tile"><div class="label">Deliveries/sec (best)</div><div class="value" id="t-dps">–</div>
     <div class="hint">synaptic throughput high water</div></div>
+  <div class="tile"><div class="label">Energy advantage (best)</div><div class="value" id="t-energy">–</div>
+    <div class="hint">classic/spiking joules high water</div></div>
 </div>
 
 <div class="panel">
@@ -104,6 +107,11 @@ const dashboardHTML = `<!doctype html>
 <div class="panel">
   <h2>Engine throughput per run (steps/sec, last 120 with perf data)</h2>
   <svg id="chart-perf" width="100%" height="140" viewBox="0 0 960 140" preserveAspectRatio="none"></svg>
+</div>
+
+<div class="panel">
+  <h2>Spiking energy per run (reference-platform mpJ, last 120 with energy data)</h2>
+  <svg id="chart-energy" width="100%" height="140" viewBox="0 0 960 140" preserveAspectRatio="none"></svg>
 </div>
 
 <div class="panel">
@@ -123,6 +131,7 @@ const recent = [];
 const totals = { runs: 0, spikes: 0, deliveries: 0, steps: 0, silent: 0 };
 let maxQueue = 0;
 let maxSps = 0, maxDps = 0;
+let maxAdv = 0;
 
 function setTiles() {
   document.getElementById("t-runs").textContent = fmt(totals.runs);
@@ -133,6 +142,7 @@ function setTiles() {
   document.getElementById("t-silent").textContent = fmt(totals.silent);
   document.getElementById("t-sps").textContent = maxSps > 0 ? fmt(Math.round(maxSps)) : "–";
   document.getElementById("t-dps").textContent = maxDps > 0 ? fmt(Math.round(maxDps)) : "–";
+  document.getElementById("t-energy").textContent = maxAdv > 0 ? fmt(Math.round(maxAdv / 1000)) + "x" : "–";
 }
 
 function drawSeries(svgId, pts, value, describe) {
@@ -170,6 +180,10 @@ function drawChart() {
     p => p.steps_per_sec,
     p => "run #" + p.seq + " (" + p.command + "): " +
       fmt(Math.round(p.steps_per_sec)) + " steps/sec");
+  drawSeries("chart-energy", recent.filter(p => p.spiking_millipj > 0).slice(-120),
+    p => p.spiking_millipj,
+    p => "run #" + p.seq + " (" + p.command + "): " +
+      fmt(p.spiking_millipj) + " mpJ spiking");
 }
 
 function addRow(r) {
@@ -195,6 +209,7 @@ function onRun(r) {
   if (r.max_queue_depth > maxQueue) maxQueue = r.max_queue_depth;
   if (r.steps_per_sec > maxSps) maxSps = r.steps_per_sec;
   if (r.deliveries_per_sec > maxDps) maxDps = r.deliveries_per_sec;
+  if (r.energy_advantage_milli > maxAdv) maxAdv = r.energy_advantage_milli;
   document.getElementById("t-wall").textContent =
     r.wall_p50.toFixed(1) + " · " + r.wall_p90.toFixed(1) + " · " + r.wall_p99.toFixed(1);
   recent.push(r);
@@ -212,6 +227,7 @@ fetch("/runs").then(r => r.json()).then(idx => {
     if (r.max_queue_depth > maxQueue) maxQueue = r.max_queue_depth;
     if (r.steps_per_sec > maxSps) maxSps = r.steps_per_sec;
     if (r.deliveries_per_sec > maxDps) maxDps = r.deliveries_per_sec;
+    if (r.energy_advantage_milli > maxAdv) maxAdv = r.energy_advantage_milli;
     recent.push(r);
   }
   setTiles(); drawChart();

@@ -44,6 +44,15 @@ type RunSummary struct {
 	WallP50 float64 `json:"wall_p50"`
 	WallP90 float64 `json:"wall_p90"`
 	WallP99 float64 `json:"wall_p99"`
+
+	// Energy headline figures from the manifest's spaa-energy/v1 section
+	// when present: the classic comparator total, the spiking total on
+	// the reference platform, and the best advantage across platforms
+	// (milli-x; 0 means the run carried no energy section or no
+	// published tariff).
+	ClassicMilliPJ       int64 `json:"classic_millipj,omitempty"`
+	SpikingMilliPJ       int64 `json:"spiking_millipj,omitempty"`
+	EnergyAdvantageMilli int64 `json:"energy_advantage_milli,omitempty"`
 }
 
 // Totals aggregates every ingested run (including runs already evicted
@@ -114,6 +123,11 @@ func (s *Server) Ingest(m *telemetry.Manifest) RunSummary {
 		sum.StepsPerSec = m.Perf.StepsPerSec
 		sum.DeliveriesPerSec = m.Perf.DeliveriesPerSec
 	}
+	if m.Energy != nil {
+		sum.ClassicMilliPJ = m.Energy.ClassicMilliPJ
+		sum.SpikingMilliPJ = m.Energy.ReferenceMilliPJ()
+		sum.EnergyAdvantageMilli = m.Energy.BestAdvantageMilli()
+	}
 	if m.Stats != nil {
 		sum.Spikes = m.Stats.Spikes
 		sum.Deliveries = m.Stats.Deliveries
@@ -172,9 +186,11 @@ func (s *Server) foldRegistry(m *telemetry.Manifest, sum *RunSummary) {
 		s.reg.Gauge(MetricSilentSteps, "simulated steps skipped by the silence optimization").Add(m.Stats.SilentStepsSkipped)
 		s.runSpikes.Observe(m.Stats.Spikes)
 	}
-	// The perf section folds through the same path an in-process Bridge
-	// uses, so pushed and probed runs populate identical families.
+	// The perf and energy sections fold through the same paths an
+	// in-process Bridge uses, so pushed and probed runs populate
+	// identical families.
 	s.bridge.ObservePerf(m.Perf)
+	s.bridge.ObserveEnergy(m.Energy)
 	// Manifest counters carry the non-snn cost measures; map the known
 	// families onto their canonical series.
 	for _, kv := range sortedCounters(m.Counters) {

@@ -19,11 +19,15 @@ func SpikeEnergyJoules(p Platform, spikeEvents int64) float64 {
 // reference CPU: running power divided by clock rate (35 W at 4.3 GHz
 // ≈ 8.1 nJ per cycle), charging one cycle per primitive operation. It is
 // deliberately generous to the CPU (real instructions often take more
-// than one cycle end-to-end once the memory system is involved).
+// than one cycle end-to-end once the memory system is involved). Both
+// figures come from the Table 3 CPU row, so the tariff data lives in
+// one place.
 func CPUEnergyPerOpJoules() float64 {
-	const watts = 35.0
-	const hertz = 4.3e9
-	return watts / hertz
+	cpu := CPU()
+	if cpu.ClockHz <= 0 {
+		panic("platform: Table 3 CPU row carries no clock rate")
+	}
+	return cpu.RunningPowerWatts / cpu.ClockHz
 }
 
 // CPUEnergyJoules estimates the energy for ops primitive operations on

@@ -35,6 +35,15 @@ func TestCPUEnergyPerOp(t *testing.T) {
 	if e < 7e-9 || e > 9e-9 {
 		t.Fatalf("per-op energy %v", e)
 	}
+	// The estimate must be data-driven: exactly the Table 3 CPU row's
+	// power over its clock rate, not a second copy of the constants.
+	cpu := CPU()
+	if want := cpu.RunningPowerWatts / cpu.ClockHz; e != want {
+		t.Fatalf("per-op energy %v, want %v (CPU row %g W / %g Hz)", e, want, cpu.RunningPowerWatts, cpu.ClockHz)
+	}
+	if cpu.ClockHz != 4.3e9 || cpu.RunningPowerWatts != 35 {
+		t.Fatalf("Table 3 CPU row changed: %g W, %g Hz (the historical 35 W / 4.3 GHz figures must hold)", cpu.RunningPowerWatts, cpu.ClockHz)
+	}
 }
 
 func TestEnergyAdvantageOrdersOfMagnitude(t *testing.T) {

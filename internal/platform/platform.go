@@ -14,11 +14,16 @@ import (
 // Platform is one column of Table 3. Zero-valued fields render as "-"
 // (unspecified in the paper's table).
 type Platform struct {
-	Name           string
-	Organization   string
-	Design         string
-	ProcessNm      int
-	Clock          string
+	Name         string
+	Organization string
+	Design       string
+	ProcessNm    int
+	Clock        string
+	// ClockHz is the numeric clock rate when the table gives a single
+	// well-defined figure (0 otherwise — asynchronous designs and
+	// ranges). The CPU row's value feeds the per-operation energy
+	// estimate in energy.go.
+	ClockHz        float64
 	NeuronsPerCore int
 	CoresPerChip   int
 	// NeuronsPerChip is listed directly when the paper gives a per-chip
@@ -38,7 +43,7 @@ func Table3() []Platform {
 	return []Platform{
 		{
 			Name: "TrueNorth", Organization: "IBM", Design: "ASIC",
-			ProcessNm: 28, Clock: "1KHz",
+			ProcessNm: 28, Clock: "1KHz", ClockHz: 1e3,
 			NeuronsPerCore: 256, CoresPerChip: 4096, NeuronsPerChip: 256 * 4096,
 			PicoJoulePerSpike: 26, RunningPowerWatts: 0.11, // 70-150 mW per chip
 		},
@@ -62,7 +67,7 @@ func Table3() []Platform {
 		},
 		{
 			Name: "Core i7-9700T", Organization: "Intel", Design: "CPU",
-			ProcessNm: 14, Clock: "4.30GHz (Max Turbo)",
+			ProcessNm: 14, Clock: "4.30GHz (Max Turbo)", ClockHz: 4.3e9,
 			CoresPerChip: 8, RunningPowerWatts: 35, IsCPU: true,
 		},
 	}

@@ -1,0 +1,55 @@
+package snn
+
+import (
+	"testing"
+
+	"repro/internal/energy"
+)
+
+// BenchmarkEngineEnergyMeterOverhead guards the metering probe's
+// acceptance criterion: attaching an energy.Meter as the step probe
+// must add zero allocations to the engine step path (the "on" case
+// reports allocs/op; TestEngineEnergyMeterZeroAlloc pins it), and the
+// "off" case is the baseline nil-probe run for wall-time comparison.
+func BenchmarkEngineEnergyMeterOverhead(b *testing.B) {
+	run := func(b *testing.B, probe StepProbe) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			net := buildWavefront(1024, 4096, 42)
+			net.SetProbe(probe)
+			b.StartTimer()
+			net.Run(1 << 30)
+		}
+	}
+	b.Run("off", func(b *testing.B) { run(b, nil) })
+	b.Run("on", func(b *testing.B) { run(b, energy.NewMeter(energy.ReferenceTariff())) })
+}
+
+// TestEngineEnergyMeterZeroAlloc pins the zero-allocation contract in
+// the regular test suite (benchmarks don't run on every push): a full
+// wavefront simulation with an energy.Meter attached allocates exactly
+// as much as the same simulation with no probe — charging tariffs on
+// the hot path costs integer arithmetic, never an allocation.
+func TestEngineEnergyMeterZeroAlloc(t *testing.T) {
+	measure := func(probe StepProbe) float64 {
+		return testing.AllocsPerRun(5, func() {
+			net := buildWavefront(512, 2048, 9)
+			net.SetProbe(probe)
+			net.Run(1 << 30)
+		})
+	}
+	base := measure(nil)
+	m := energy.NewMeter(energy.ReferenceTariff())
+	with := measure(m)
+	// The contract is per-step: hundreds of steps and thousands of
+	// deliveries must add zero allocations. Allow a few whole-run objects
+	// of runtime noise (lazy init, GC bookkeeping) — anything per-step
+	// would show up as hundreds.
+	if with > base+4 {
+		t.Errorf("energy.Meter added allocations: %.0f objects/run with meter, %.0f without", with, base)
+	}
+	if m.Steps() == 0 || m.Deliveries() == 0 || m.MilliPJ() == 0 {
+		t.Errorf("meter saw no traffic: steps=%d deliveries=%d mpJ=%d", m.Steps(), m.Deliveries(), m.MilliPJ())
+	}
+}

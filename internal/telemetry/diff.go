@@ -65,7 +65,11 @@ func (d Drift) String() string {
 //     the tolerance, deliveries/step exactly. Wall-derived perf fields
 //     (rates, phase times, alloc/GC deltas) are machine noise and are
 //     never compared here; harness.ComparePerf applies its separate
-//     wall band to them.
+//     wall band to them,
+//   - energy (when both sides carry the section): event totals, classic
+//     op count and totals under the tolerance; tariff figures
+//     (classic_op_millipj, per-platform delivery_millipj) exactly —
+//     the whole section is wall-free, so everything is comparable.
 func DiffManifests(base, fresh *Manifest, tol Tolerance) []Drift {
 	var out []Drift
 	check := func(field string, b, f int64, exact bool) {
@@ -114,6 +118,37 @@ func DiffManifests(base, fresh *Manifest, tol Tolerance) []Drift {
 		check("perf.deliveries", base.Perf.Deliveries, fresh.Perf.Deliveries, false)
 		check("perf.max_queue_depth", base.Perf.MaxQueueDepth, fresh.Perf.MaxQueueDepth, false)
 		check("perf.deliveries_per_step_milli", base.Perf.DeliveriesPerStepMilli, fresh.Perf.DeliveriesPerStepMilli, true)
+	}
+
+	switch {
+	case base.Energy == nil && fresh.Energy == nil:
+	case base.Energy == nil || fresh.Energy == nil:
+		out = append(out, Drift{Field: "energy", Msg: "present on one side only"})
+	default:
+		check("energy.spikes", base.Energy.Spikes, fresh.Energy.Spikes, false)
+		check("energy.deliveries", base.Energy.Deliveries, fresh.Energy.Deliveries, false)
+		check("energy.steps", base.Energy.Steps, fresh.Energy.Steps, false)
+		check("energy.idle_steps", base.Energy.IdleSteps, fresh.Energy.IdleSteps, false)
+		check("energy.classic_ops", base.Energy.ClassicOps, fresh.Energy.ClassicOps, false)
+		// Tariff figures are Table 3 data, not workload cost: any change
+		// means the pricing model moved, which must always surface.
+		check("energy.classic_op_millipj", base.Energy.ClassicOpMilliPJ, fresh.Energy.ClassicOpMilliPJ, true)
+		check("energy.classic_millipj", base.Energy.ClassicMilliPJ, fresh.Energy.ClassicMilliPJ, false)
+		for _, bRow := range base.Energy.Platforms {
+			fRow := fresh.Energy.PlatformRow(bRow.Platform)
+			if fRow == nil {
+				out = append(out, Drift{Field: "energy.platforms." + bRow.Platform + " (gone)", Base: bRow.SpikingMilliPJ, Fresh: 0})
+				continue
+			}
+			check("energy.platforms."+bRow.Platform+".delivery_millipj", bRow.DeliveryMilliPJ, fRow.DeliveryMilliPJ, true)
+			check("energy.platforms."+bRow.Platform+".spiking_millipj", bRow.SpikingMilliPJ, fRow.SpikingMilliPJ, false)
+			check("energy.platforms."+bRow.Platform+".advantage_milli", bRow.AdvantageMilli, fRow.AdvantageMilli, false)
+		}
+		for _, fRow := range fresh.Energy.Platforms {
+			if base.Energy.PlatformRow(fRow.Platform) == nil {
+				out = append(out, Drift{Field: "energy.platforms." + fRow.Platform + " (new)", Base: 0, Fresh: fRow.SpikingMilliPJ})
+			}
+		}
 	}
 
 	for _, name := range counterNames(base.Counters, fresh.Counters) {

@@ -1,0 +1,106 @@
+package telemetry
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/energy"
+)
+
+func energyManifest() *Manifest {
+	m := NewManifest("spaabench", "energy:test")
+	m.Energy = energy.NewReport(40, 2500, 12, 100, 5000, energy.Tariffs())
+	return m
+}
+
+// TestFinalizeLeavesEnergyUntouched pins the schema contract: the energy
+// section carries no wall-clock data, so deterministic finalization must
+// embed it verbatim.
+func TestFinalizeLeavesEnergyUntouched(t *testing.T) {
+	m := energyManifest()
+	want := *m.Energy
+	m.Finalize(time.Now(), 42*time.Millisecond, ManifestOptions{Deterministic: true})
+	if m.Energy.Spikes != want.Spikes || m.Energy.ClassicMilliPJ != want.ClassicMilliPJ ||
+		len(m.Energy.Platforms) != len(want.Platforms) {
+		t.Errorf("energy section changed by finalize: %+v, want %+v", m.Energy, want)
+	}
+}
+
+// TestManifestEnergyRoundTrip byte-compares two deterministic encodings
+// of a manifest carrying an energy section and checks the section
+// survives a parse.
+func TestManifestEnergyRoundTrip(t *testing.T) {
+	encode := func() []byte {
+		m := energyManifest()
+		m.Finalize(time.Now(), 42*time.Millisecond, ManifestOptions{Deterministic: true})
+		var buf bytes.Buffer
+		if err := m.Encode(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	a, b := encode(), encode()
+	if !bytes.Equal(a, b) {
+		t.Fatalf("deterministic energy manifests differ:\n%s\n%s", a, b)
+	}
+	got, err := ReadManifest(bytes.NewReader(a))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Energy == nil || got.Energy.Schema != energy.Schema || got.Energy.Deliveries != 2500 {
+		t.Errorf("energy section lost in round trip: %+v", got.Energy)
+	}
+	if row := got.Energy.PlatformRow(energy.ReferencePlatform); row == nil || row.SpikingMilliPJ == 0 {
+		t.Errorf("reference platform row lost in round trip: %+v", got.Energy)
+	}
+}
+
+func TestDiffManifestsEnergy(t *testing.T) {
+	base, fresh := energyManifest(), energyManifest()
+	if drifts := DiffManifests(base, fresh, Tolerance{}); len(drifts) != 0 {
+		t.Fatalf("identical energy sections drift: %v", drifts)
+	}
+
+	// Event-total drift is flagged under zero tolerance...
+	fresh.Energy.Deliveries++
+	fresh.Energy.Platforms[0].SpikingMilliPJ++
+	drifts := DiffManifests(base, fresh, Tolerance{})
+	var fields []string
+	for _, d := range drifts {
+		fields = append(fields, d.Field)
+	}
+	joined := strings.Join(fields, " ")
+	if !strings.Contains(joined, "energy.deliveries") || !strings.Contains(joined, "spiking_millipj") {
+		t.Errorf("energy drift not flagged: %v", drifts)
+	}
+
+	// ...and absorbed by a relative tolerance.
+	if drifts := DiffManifests(base, fresh, Tolerance{Rel: 0.5}); len(drifts) != 0 {
+		t.Errorf("tolerance not applied to energy totals: %v", drifts)
+	}
+
+	// Tariff figures are compared exactly even under tolerance.
+	fresh = energyManifest()
+	fresh.Energy.ClassicOpMilliPJ++
+	fresh.Energy.Platforms[0].DeliveryMilliPJ++
+	if drifts := DiffManifests(base, fresh, Tolerance{Rel: 0.5}); len(drifts) != 2 {
+		t.Errorf("tariff figures not compared exactly: %v", drifts)
+	}
+
+	// A platform row on one side only is structural drift.
+	fresh = energyManifest()
+	fresh.Energy.Platforms = fresh.Energy.Platforms[:len(fresh.Energy.Platforms)-1]
+	drifts = DiffManifests(base, fresh, Tolerance{})
+	if len(drifts) != 1 || !strings.Contains(drifts[0].Field, "(gone)") {
+		t.Errorf("vanished platform row not flagged: %v", drifts)
+	}
+
+	// Section present on one side only is structural drift.
+	fresh = energyManifest()
+	fresh.Energy = nil
+	if drifts := DiffManifests(base, fresh, Tolerance{}); len(drifts) != 1 || drifts[0].Field != "energy" {
+		t.Errorf("one-sided energy section not flagged: %v", drifts)
+	}
+}

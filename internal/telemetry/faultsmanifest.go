@@ -83,6 +83,11 @@ type FaultsPoint struct {
 	Steps      int64 `json:"steps"`
 	SpikeTime  int64 `json:"spike_time"`
 
+	// EnergyMilliPJ prices the point's single-run deliveries on the
+	// reference platform's Table 3 delivery tariff, in millipicojoules —
+	// an integral function of Deliveries, so byte-determinism holds.
+	EnergyMilliPJ int64 `json:"energy_millipj"`
+
 	Faults FaultTally `json:"faults"`
 }
 

@@ -7,6 +7,7 @@ import (
 	"os"
 	"time"
 
+	"repro/internal/energy"
 	"repro/internal/perf"
 	"repro/internal/snn"
 )
@@ -67,6 +68,12 @@ type Manifest struct {
 	// totals plus wall-derived rates, phase times, and alloc/GC deltas.
 	// Deterministic finalization zeroes its wall-derived half too.
 	Perf *perf.Report `json:"perf,omitempty"`
+
+	// Energy is the spaa-energy/v1 metered-energy section. It carries no
+	// wall-clock data at all — every field is an integral function of
+	// the seeded workload and the Table 3 tariffs — so finalization
+	// never touches it and deterministic manifests embed it verbatim.
+	Energy *energy.Report `json:"energy,omitempty"`
 }
 
 // NewManifest returns a manifest skeleton for the given tool/command.
