@@ -10,7 +10,9 @@ import (
 	"path/filepath"
 	"time"
 
+	"repro/internal/faults"
 	"repro/internal/metrics"
+	"repro/internal/service"
 	"repro/internal/telemetry"
 )
 
@@ -26,14 +28,34 @@ import (
 //	GET  /runs     JSON run index + totals
 //	POST /runs     ingest one run manifest
 //	GET  /events   SSE stream of per-run summaries
+//	GET  /query/sssp, /query/khop   resilience-layer query endpoints
+//	                (admission control, deadlines, degradation ladder)
 func cmdServe(args []string) error {
 	fs := flag.NewFlagSet("serve", flag.ExitOnError)
 	addr := fs.String("addr", "127.0.0.1:9090", "listen address")
 	preload := fs.String("preload", "", "glob of run-manifest JSON files to ingest at startup (e.g. 'BENCH_*.json')")
+	workers := fs.Int("service-workers", 4, "query worker slots (admission control)")
+	queueCap := fs.Int("service-queue", 16, "bounded query queue depth; beyond it queries are shed with 429")
+	quota := fs.Int64("quota-tokens", 0, "per-tenant token-bucket capacity (0 disables quotas)")
+	quotaRefill := fs.Int64("quota-refill-milli", 1000, "quota refill rate in milli-tokens per ms (1000 = one query/ms)")
+	budget := fs.Int64("budget", 0, "default per-query deadline in simulated steps (0 = unlimited)")
+	drop := fs.Float64("service-drop", 0, "fault-model delivery drop probability for served queries (chaos-in-prod)")
+	seed := fs.Int64("service-seed", 1, "seed anchoring the service's fault and retry streams")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	srv := metrics.NewServer(metrics.NewRegistry())
+	svc := service.New(srv.Registry(), service.Config{
+		Workers:          *workers,
+		QueueCap:         *queueCap,
+		MaxRetries:       2,
+		QuotaTokens:      *quota,
+		QuotaRefillMilli: *quotaRefill,
+		Budget:           *budget,
+		Model:            faults.Model{DropProb: *drop, Seed: *seed},
+		Seed:             *seed,
+	})
+	srv.AttachQueries(svc.Handler())
 	if *preload != "" {
 		names, err := filepath.Glob(*preload)
 		if err != nil {

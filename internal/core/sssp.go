@@ -96,7 +96,20 @@ func SSSP(g *graph.Graph, src, dst int, probe ...snn.StepProbe) (*SSSPResult, er
 // else matches SSSP, and SSSPInjected(g, src, dst, nil, 0) is exactly the
 // fault-free run.
 func SSSPInjected(g *graph.Graph, src, dst int, inj snn.Injector, horizonSlack int64, probe ...snn.StepProbe) (*SSSPResult, error) {
-	return BuildSSSP(g).run(src, dst, inj, horizonSlack, probe...)
+	return BuildSSSP(g).run(src, dst, inj, horizonSlack, 0, probe...)
+}
+
+// SSSPBudgeted runs the Section 3 spiking SSSP under a per-query deadline:
+// the simulation halts after budget simulated steps even if the wavefront
+// has not finished, so a slow query is cancelled rather than abandoned.
+// A run cut short by the budget reports TimedOut (and ErrTimedOut when a
+// destination was requested but never fired); distances latched before the
+// deadline are exact, later vertices read graph.Inf and are unreliable —
+// the partial answer a deadline-propagating service must label degraded.
+// budget <= 0 means no cap, reproducing SSSPInjected exactly; the slack
+// and injector arguments match SSSPInjected.
+func SSSPBudgeted(g *graph.Graph, src, dst int, inj snn.Injector, horizonSlack, budget int64, probe ...snn.StepProbe) (*SSSPResult, error) {
+	return BuildSSSP(g).run(src, dst, inj, horizonSlack, budget, probe...)
 }
 
 // SSSPNetwork is a compiled Section 3 netlist: the relay network built
@@ -134,12 +147,12 @@ func (sn *SSSPNetwork) Synapses() int { return sn.rn.net.Synapses() }
 // and the returned error match SSSP exactly. Run panics if called twice:
 // the latched relays make a second run meaningless.
 func (sn *SSSPNetwork) Run(src, dst int, probe ...snn.StepProbe) (*SSSPResult, error) {
-	return sn.run(src, dst, nil, 0, probe...)
+	return sn.run(src, dst, nil, 0, 0, probe...)
 }
 
-// run is the single simulation path shared by SSSP, SSSPInjected, and
-// SSSPNetwork.Run.
-func (sn *SSSPNetwork) run(src, dst int, inj snn.Injector, horizonSlack int64, probe ...snn.StepProbe) (*SSSPResult, error) {
+// run is the single simulation path shared by SSSP, SSSPInjected,
+// SSSPBudgeted, and SSSPNetwork.Run.
+func (sn *SSSPNetwork) run(src, dst int, inj snn.Injector, horizonSlack, budget int64, probe ...snn.StepProbe) (*SSSPResult, error) {
 	g := sn.g
 	n := g.N()
 	if src < 0 || src >= n {
@@ -174,6 +187,14 @@ func (sn *SSSPNetwork) run(src, dst int, inj snn.Injector, horizonSlack int64, p
 		} else {
 			horizon += horizonSlack
 		}
+	}
+	// A per-query budget caps the horizon below the analytic bound: the
+	// deadline-propagation seam. A budget-cut run is never "saturated" —
+	// events pending past it are slow, not unreachable — so it reports
+	// TimedOut honestly.
+	capped := budget > 0 && budget < horizon
+	if capped {
+		horizon, saturated = budget, false
 	}
 	r := net.Run(horizon)
 

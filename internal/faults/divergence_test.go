@@ -1,8 +1,9 @@
-package faults
+package faults_test
 
 import (
 	"testing"
 
+	"repro/internal/faults"
 	"repro/internal/graph"
 	"repro/internal/harness"
 	"repro/internal/telemetry"
@@ -14,8 +15,8 @@ import (
 // forensic closure of the fault layer — a faulted run cannot masquerade
 // as a clean one.
 func TestFaultedRunDivergesUnderReplay(t *testing.T) {
-	g := smallGraph()
-	inj := New(Model{DropProb: 0.2, Seed: 6})
+	g := divergenceGraph()
+	inj := faults.New(faults.Model{DropProb: 0.2, Seed: 6})
 	rec, err := harness.RecordSSSPInjected(g, 0, -1, "test", "faults", inj)
 	if err != nil {
 		t.Fatal(err)
@@ -35,7 +36,7 @@ func TestFaultedRunDivergesUnderReplay(t *testing.T) {
 func TestCleanRecordingStillReplaysBitIdentical(t *testing.T) {
 	// RecordSSSPInjected with a nil injector is exactly RecordSSSP: the
 	// refactor must not disturb the PR 3 guarantee.
-	g := smallGraph()
+	g := divergenceGraph()
 	rec, err := harness.RecordSSSPInjected(g, 0, -1, "test", "faults", nil)
 	if err != nil {
 		t.Fatal(err)
@@ -50,10 +51,10 @@ func TestCleanRecordingStillReplaysBitIdentical(t *testing.T) {
 }
 
 func TestDifferentSeedsProduceDifferentEventStreams(t *testing.T) {
-	g := smallGraph()
+	g := divergenceGraph()
 	record := func(seed int64) *harness.RecordedSSSP {
 		rec, err := harness.RecordSSSPInjected(g, 0, -1, "test", "faults",
-			New(Model{DropProb: 0.1, JitterProb: 0.2, JitterMax: 2, Seed: seed}))
+			faults.New(faults.Model{DropProb: 0.1, JitterProb: 0.2, JitterMax: 2, Seed: seed}))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -104,7 +105,7 @@ func FuzzInjectorDeterminism(f *testing.F) {
 			}
 			return p
 		}
-		model := Model{
+		model := faults.Model{
 			DropProb:   clamp(drop),
 			JitterProb: clamp(jitter),
 			JitterMax:  2,
@@ -112,9 +113,9 @@ func FuzzInjectorDeterminism(f *testing.F) {
 			UpsetMag:   0.5,
 			Seed:       seed,
 		}
-		a := RunSSSP(g, 0, -1, model)
-		b := RunSSSP(g, 0, -1, model)
-		if !distEqual(a.Res.Dist, b.Res.Dist) {
+		a := faults.RunSSSP(g, 0, -1, model)
+		b := faults.RunSSSP(g, 0, -1, model)
+		if !int64SlicesEqual(a.Res.Dist, b.Res.Dist) {
 			t.Fatalf("distances diverged for model %s", model)
 		}
 		if a.Counters != b.Counters {
@@ -127,4 +128,23 @@ func FuzzInjectorDeterminism(f *testing.F) {
 			t.Fatalf("timeout flag diverged for model %s", model)
 		}
 	})
+}
+
+// divergenceGraph mirrors the in-package smallGraph helper; this file
+// lives in faults_test so it can import harness (which now imports
+// faults) without an in-package test cycle.
+func divergenceGraph() *graph.Graph {
+	return graph.RandomGnm(64, 256, graph.Uniform(8), 3, true)
+}
+
+func int64SlicesEqual(a, b []int64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }

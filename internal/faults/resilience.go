@@ -21,12 +21,21 @@ type RunResult struct {
 // the horizon extended by Model.HorizonSlack so delay jitter cannot
 // masquerade as unreachability.
 func RunSSSP(g *graph.Graph, src, dst int, model Model) RunResult {
+	return RunSSSPBudget(g, src, dst, model, 0)
+}
+
+// RunSSSPBudget is RunSSSP under a per-query deadline: the simulation is
+// cut off after budget steps (core.SSSPBudgeted), so a query slowed past
+// its budget — by faults or by the workload itself — comes back with
+// Res.TimedOut set instead of running to the analytic horizon. budget <= 0
+// reproduces RunSSSP exactly.
+func RunSSSPBudget(g *graph.Graph, src, dst int, model Model, budget int64) RunResult {
 	if model.Zero() {
-		res, err := core.SSSP(g, src, dst)
+		res, err := core.SSSPBudgeted(g, src, dst, nil, 0, budget)
 		return RunResult{Res: res, Err: err}
 	}
 	inj := New(model)
-	res, err := core.SSSPInjected(g, src, dst, inj, model.HorizonSlack(g.N()))
+	res, err := core.SSSPBudgeted(g, src, dst, inj, model.HorizonSlack(g.N()), budget)
 	return RunResult{Res: res, Counters: inj.Counters, Err: err}
 }
 

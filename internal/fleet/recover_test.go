@@ -186,3 +186,48 @@ func TestRecoverErrors(t *testing.T) {
 		}
 	})
 }
+
+// TestRecoverSurvivesSuccessiveFailures drives recovery through two
+// chip failures in sequence — the partial-hardware-operation regime
+// where failures arrive while the fleet is already running degraded. The
+// second re-placement must still validate and charge migration traffic,
+// and no vertex may land on any chip that has ever died.
+func TestRecoverSurvivesSuccessiveFailures(t *testing.T) {
+	g := graph.RandomGnm(48, 144, graph.Uniform(4), 11, true)
+	a := looseAssignment(48, 6, 16) // 8 residents/chip, lots of headroom
+
+	first, err := Recover(g, a, []int{2})
+	if err != nil {
+		t.Fatalf("first recovery failed: %v", err)
+	}
+	if first.Migrated == 0 || first.MigrationTraffic == 0 {
+		t.Fatalf("first recovery charged no migration: %+v", first)
+	}
+	if err := first.Survivor.Validate(); err != nil {
+		t.Fatalf("first survivor invalid: %v", err)
+	}
+
+	// Chip 4 dies next. Chip 2 stays dead: recovery is cumulative.
+	second, err := Recover(g, first.Survivor, []int{2, 4})
+	if err != nil {
+		t.Fatalf("second recovery failed: %v", err)
+	}
+	if second.Migrated == 0 || second.MigrationTraffic == 0 {
+		t.Fatalf("second recovery charged no migration: %+v", second)
+	}
+	if err := second.Survivor.Validate(); err != nil {
+		t.Fatalf("second survivor invalid: %v", err)
+	}
+	for v, c := range second.Survivor.Chip {
+		if c == 2 || c == 4 {
+			t.Fatalf("vertex %d placed on dead chip %d after second recovery", v, c)
+		}
+	}
+	// The first recovery's placements off chip 2 must not have been
+	// undone: only chip-4 residents move in round two.
+	for v, c := range first.Survivor.Chip {
+		if c != 4 && second.Survivor.Chip[v] != c {
+			t.Fatalf("vertex %d moved from surviving chip %d during second recovery", v, c)
+		}
+	}
+}

@@ -2,7 +2,9 @@ package metrics
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
+	"mime"
 	"net/http"
 	"strings"
 	"sync"
@@ -15,6 +17,11 @@ import (
 // the front while the aggregate totals keep counting, so a long soak
 // cannot grow the daemon without bound.
 const maxRunIndex = 4096
+
+// maxManifestBytes caps a POST /runs body: a manifest is a bounded
+// summary document, never tens of megabytes, so anything larger is a
+// client bug or abuse and is answered 413 before it is read.
+const maxManifestBytes = 32 << 20
 
 // RunSummary is the per-run record the server keeps (and streams over
 // /events) for every ingested manifest: the headline cost measures, not
@@ -92,8 +99,18 @@ type Server struct {
 	totals Totals                   // guarded by mu
 	subs   map[chan []byte]struct{} // guarded by mu
 
+	// queries, when set via AttachQueries before Handler, serves the
+	// /query/ subtree (the resilience layer's endpoints).
+	queries http.Handler
+
 	started time.Time // set once in NewServer, read-only afterwards
 }
+
+// AttachQueries mounts h on the /query/ subtree of Handler. The service
+// layer lives in a package that imports metrics (for its spaa_service_*
+// families), so the server takes it as an opaque handler rather than
+// depending on it. Call before Handler.
+func (s *Server) AttachQueries(h http.Handler) { s.queries = h }
 
 // NewServer returns a server folding ingested runs into reg.
 func NewServer(reg *Registry) *Server {
@@ -260,7 +277,28 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/runs", s.handleRuns)
 	mux.HandleFunc("/events", s.handleEvents)
+	if s.queries != nil {
+		mux.Handle("/query/", s.queries)
+	}
 	return mux
+}
+
+// subscriberCount reports the live /events subscriber count (test hook
+// for the disconnect-teardown leak test).
+func (s *Server) subscriberCount() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.subs)
+}
+
+// ingestContentTypeOK accepts application/json (with optional
+// parameters) on POST /runs.
+func ingestContentTypeOK(ct string) bool {
+	mt, _, err := mime.ParseMediaType(ct)
+	if err != nil {
+		return false
+	}
+	return mt == "application/json"
 }
 
 func (s *Server) handleDashboard(w http.ResponseWriter, req *http.Request) {
@@ -305,9 +343,21 @@ func (s *Server) handleRuns(w http.ResponseWriter, req *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
 		json.NewEncoder(w).Encode(resp)
 	case http.MethodPost:
-		man, err := telemetry.ReadManifest(http.MaxBytesReader(w, req.Body, 32<<20))
+		if !ingestContentTypeOK(req.Header.Get("Content-Type")) {
+			s.badRequests.Inc()
+			http.Error(w, fmt.Sprintf("unsupported Content-Type %q (want application/json)",
+				req.Header.Get("Content-Type")), http.StatusUnsupportedMediaType)
+			return
+		}
+		man, err := telemetry.ReadManifest(http.MaxBytesReader(w, req.Body, maxManifestBytes))
 		if err != nil {
 			s.badRequests.Inc()
+			var tooLarge *http.MaxBytesError
+			if errors.As(err, &tooLarge) {
+				http.Error(w, fmt.Sprintf("manifest exceeds the %d-byte ingest cap", tooLarge.Limit),
+					http.StatusRequestEntityTooLarge)
+				return
+			}
 			http.Error(w, err.Error(), http.StatusBadRequest)
 			return
 		}

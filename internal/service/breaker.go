@@ -1,0 +1,137 @@
+package service
+
+import "sync"
+
+// BreakerState is the circuit breaker's position.
+type BreakerState int32
+
+const (
+	// BreakerClosed: traffic flows; consecutive failures are counted.
+	BreakerClosed BreakerState = iota
+	// BreakerOpen: the engine path is bypassed (queries get the safe
+	// fallback rung directly) until the cooldown elapses.
+	BreakerOpen
+	// BreakerHalfOpen: one probe query is allowed through; its outcome
+	// decides between re-closing and re-opening.
+	BreakerHalfOpen
+)
+
+// String returns the conventional lower-case state name (also used as the
+// `state` label of spaa_service_breaker_transitions_total).
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerClosed:
+		return "closed"
+	case BreakerOpen:
+		return "open"
+	case BreakerHalfOpen:
+		return "half_open"
+	}
+	return "unknown"
+}
+
+// Breaker is a per-workload circuit breaker: closed → open after
+// `threshold` consecutive failures, open → half-open after `cooldown`
+// clock units, half-open → closed on a successful probe (back to open on
+// a failed one). All timing flows through the service Clock, so under a
+// LogicalClock every transition is byte-reproducible.
+type Breaker struct {
+	threshold int
+	cooldown  int64
+	// onTransition, when non-nil, observes every state change (the
+	// service wires it to spaa_service_breaker_transitions_total). It is
+	// called with the breaker lock held; keep it non-blocking.
+	onTransition func(from, to BreakerState)
+
+	mu       sync.Mutex
+	state    BreakerState // guarded by mu
+	fails    int          // guarded by mu
+	openedAt int64        // guarded by mu
+	probing  bool         // guarded by mu
+}
+
+// NewBreaker builds a closed breaker. threshold < 1 is clamped to 1;
+// cooldown < 1 is clamped to 1 unit.
+func NewBreaker(threshold int, cooldown int64, onTransition func(from, to BreakerState)) *Breaker {
+	if threshold < 1 {
+		threshold = 1
+	}
+	if cooldown < 1 {
+		cooldown = 1
+	}
+	return &Breaker{threshold: threshold, cooldown: cooldown, onTransition: onTransition}
+}
+
+// State reports the current position.
+func (b *Breaker) State() BreakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}
+
+func (b *Breaker) transitionLocked(to BreakerState) {
+	from := b.state
+	b.state = to
+	if b.onTransition != nil && from != to {
+		b.onTransition(from, to)
+	}
+}
+
+// Allow reports whether a query may take the engine path now. In the
+// open state it flips to half-open once the cooldown has elapsed and
+// admits exactly one probe; concurrent queries during a probe are told to
+// take the fallback.
+func (b *Breaker) Allow(now int64) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerClosed:
+		return true
+	case BreakerOpen:
+		if now-b.openedAt < b.cooldown {
+			return false
+		}
+		b.transitionLocked(BreakerHalfOpen)
+		b.probing = true
+		return true
+	case BreakerHalfOpen:
+		if b.probing {
+			return false
+		}
+		b.probing = true
+		return true
+	}
+	return false
+}
+
+// Record reports the outcome of a query previously admitted by Allow.
+// success means the engine path served the answer (any spiking rung);
+// failure means the ladder fell through to a non-engine fallback.
+func (b *Breaker) Record(now int64, success bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerClosed:
+		if success {
+			b.fails = 0
+			return
+		}
+		b.fails++
+		if b.fails >= b.threshold {
+			b.transitionLocked(BreakerOpen)
+			b.openedAt = now
+		}
+	case BreakerHalfOpen:
+		b.probing = false
+		if success {
+			b.transitionLocked(BreakerClosed)
+			b.fails = 0
+		} else {
+			b.transitionLocked(BreakerOpen)
+			b.openedAt = now
+		}
+	case BreakerOpen:
+		// A straggler admitted before the trip finished late; its
+		// outcome no longer changes the decision.
+	}
+}

@@ -1,0 +1,98 @@
+package service
+
+import "testing"
+
+func TestBreakerLifecycle(t *testing.T) {
+	var transitions []string
+	b := NewBreaker(3, 10, func(from, to BreakerState) {
+		transitions = append(transitions, from.String()+">"+to.String())
+	})
+	if got := b.State(); got != BreakerClosed {
+		t.Fatalf("new breaker state = %v, want closed", got)
+	}
+
+	// Two failures stay under threshold; a success resets the count.
+	for _, ok := range []bool{false, false, true, false, false} {
+		if !b.Allow(0) {
+			t.Fatalf("closed breaker refused traffic")
+		}
+		b.Record(0, ok)
+	}
+	if got := b.State(); got != BreakerClosed {
+		t.Fatalf("state after sub-threshold failures = %v, want closed", got)
+	}
+
+	// Third consecutive failure trips it.
+	b.Allow(5)
+	b.Record(5, false)
+	if got := b.State(); got != BreakerOpen {
+		t.Fatalf("state after threshold failures = %v, want open", got)
+	}
+	if b.Allow(6) {
+		t.Fatalf("open breaker admitted traffic before cooldown")
+	}
+
+	// Cooldown elapses: exactly one probe is admitted.
+	if !b.Allow(15) {
+		t.Fatalf("breaker did not half-open after cooldown")
+	}
+	if got := b.State(); got != BreakerHalfOpen {
+		t.Fatalf("state during probe = %v, want half-open", got)
+	}
+	if b.Allow(15) {
+		t.Fatalf("half-open breaker admitted a second concurrent probe")
+	}
+
+	// Failed probe re-opens; the next cooldown's probe succeeds and closes.
+	b.Record(15, false)
+	if got := b.State(); got != BreakerOpen {
+		t.Fatalf("state after failed probe = %v, want open", got)
+	}
+	if !b.Allow(25) {
+		t.Fatalf("breaker did not half-open after second cooldown")
+	}
+	b.Record(25, true)
+	if got := b.State(); got != BreakerClosed {
+		t.Fatalf("state after successful probe = %v, want closed", got)
+	}
+
+	want := []string{
+		"closed>open",
+		"open>half_open",
+		"half_open>open",
+		"open>half_open",
+		"half_open>closed",
+	}
+	if len(transitions) != len(want) {
+		t.Fatalf("transitions = %v, want %v", transitions, want)
+	}
+	for i := range want {
+		if transitions[i] != want[i] {
+			t.Fatalf("transition %d = %q, want %q (all: %v)", i, transitions[i], want[i], transitions)
+		}
+	}
+}
+
+func TestBreakerSuccessKeepsClosed(t *testing.T) {
+	b := NewBreaker(1, 5, nil)
+	for i := 0; i < 10; i++ {
+		if !b.Allow(int64(i)) {
+			t.Fatalf("breaker refused healthy traffic at %d", i)
+		}
+		b.Record(int64(i), true)
+	}
+	if got := b.State(); got != BreakerClosed {
+		t.Fatalf("state after healthy run = %v, want closed", got)
+	}
+}
+
+func TestBreakerLateRecordAfterTripIsInert(t *testing.T) {
+	b := NewBreaker(1, 100, nil)
+	b.Allow(0)
+	b.Allow(0)
+	b.Record(0, false) // trips
+	b.Record(1, true)  // straggler from before the trip
+	if got := b.State(); got != BreakerOpen {
+		t.Fatalf("straggler record changed state to %v, want open", got)
+	}
+}

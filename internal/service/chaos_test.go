@@ -1,0 +1,131 @@
+package service
+
+import (
+	"testing"
+
+	"repro/internal/faults"
+	"repro/internal/metrics"
+)
+
+func chaosService() *Service {
+	return New(metrics.NewRegistry(), Config{
+		Workers:          2,
+		QueueCap:         4,
+		MaxRetries:       1,
+		BreakerThreshold: 4,
+		BreakerCooldown:  64,
+		QuotaTokens:      16,
+		QuotaRefillMilli: 100,
+		Model:            faults.Model{DropProb: 0.02, Seed: 5},
+		Seed:             5,
+		Clock:            &LogicalClock{},
+	})
+}
+
+func chaosConfig() ChaosConfig {
+	return ChaosConfig{
+		Queries:       48,
+		Seed:          11,
+		Tenants:       3,
+		N:             24,
+		M:             96,
+		MeanGap:       3,
+		Deterministic: true,
+	}
+}
+
+func TestChaosDeterministicByteReproducible(t *testing.T) {
+	a := RunChaos(chaosService(), chaosConfig()).Render()
+	b := RunChaos(chaosService(), chaosConfig()).Render()
+	if a != b {
+		t.Fatalf("deterministic chaos reports differ:\n--- run 1\n%s--- run 2\n%s", a, b)
+	}
+}
+
+func TestChaosGatePassesAtOverload(t *testing.T) {
+	svc := chaosService()
+	cfg := chaosConfig()
+	rep := RunChaos(svc, cfg)
+	if rep.Crashes > 0 {
+		t.Fatalf("chaos campaign crashed %d queries:\n%s", rep.Crashes, rep.Render())
+	}
+	if rep.WrongAnswers > 0 {
+		t.Fatalf("chaos campaign produced silent wrong answers:\n%s", rep.Render())
+	}
+	if rep.Shed == 0 {
+		t.Fatalf("overload campaign shed nothing — arrival rate no longer exceeds capacity:\n%s", rep.Render())
+	}
+	if rep.Admitted+rep.Shed != rep.Queries {
+		t.Fatalf("accounting leak: admitted %d + shed %d != %d queries", rep.Admitted, rep.Shed, rep.Queries)
+	}
+	if err := rep.Check(cfg); err != nil {
+		t.Fatalf("strict gate rejected a healthy campaign: %v\n%s", err, rep.Render())
+	}
+	// The campaign's sheds and degradations must be visible in a scrape.
+	var admitted int64
+	for _, w := range []string{"sssp", "khop"} {
+		admitted += svc.Registry().Counter(MetricAdmitted, "", metrics.Label{Key: "workload", Value: w}).Value()
+	}
+	if admitted != int64(rep.Admitted) {
+		t.Fatalf("spaa_service_admitted_total %d != report admitted %d", admitted, rep.Admitted)
+	}
+}
+
+func TestChaosGateTripsOnExceededShedBudget(t *testing.T) {
+	cfg := chaosConfig()
+	rep := RunChaos(chaosService(), cfg)
+	if rep.Shed == 0 {
+		t.Skip("campaign shed nothing; shed-budget negative test needs overload")
+	}
+	tight := cfg
+	tight.MaxShedFrac = float64(rep.Shed)/float64(rep.Queries) - 0.01
+	if tight.MaxShedFrac <= 0 {
+		tight.MaxShedFrac = 1e-9
+	}
+	if err := rep.Check(tight); err == nil {
+		t.Fatalf("gate accepted a shed fraction above its budget:\n%s", rep.Render())
+	}
+	trip := cfg
+	trip.MinShed = rep.Shed + 1
+	if err := rep.Check(trip); err == nil {
+		t.Fatalf("gate accepted a campaign that shed less than MinShed")
+	}
+}
+
+func TestChaosGateTripsOnWrongAnswer(t *testing.T) {
+	rep := RunChaos(chaosService(), chaosConfig())
+	rep.WrongAnswers++
+	if err := rep.Check(chaosConfig()); err == nil {
+		t.Fatalf("gate accepted a silent wrong answer")
+	}
+	rep.WrongAnswers--
+	rep.Crashes++
+	if err := rep.Check(chaosConfig()); err == nil {
+		t.Fatalf("gate accepted a crash")
+	}
+}
+
+func TestChaosLiveModeSurvives(t *testing.T) {
+	// Live mode: real goroutines through the full Do pipeline. Outcomes
+	// are nondeterministic; the invariants are not.
+	svc := New(metrics.NewRegistry(), Config{
+		Workers:  2,
+		QueueCap: 2,
+		Model:    faults.Model{DropProb: 0.02, Seed: 7},
+		Seed:     7,
+	})
+	cfg := ChaosConfig{Queries: 24, Seed: 13, N: 16, M: 64, Deterministic: false}
+	rep := RunChaos(svc, cfg)
+	if rep.Crashes > 0 {
+		t.Fatalf("live chaos crashed %d queries:\n%s", rep.Crashes, rep.Render())
+	}
+	if rep.WrongAnswers > 0 {
+		t.Fatalf("live chaos produced silent wrong answers:\n%s", rep.Render())
+	}
+	if rep.Admitted+rep.Shed != rep.Queries {
+		t.Fatalf("accounting leak: admitted %d + shed %d != %d", rep.Admitted, rep.Shed, rep.Queries)
+	}
+	if rep.Wall <= 0 {
+		t.Fatalf("live chaos did not record wall time")
+	}
+}

@@ -1,0 +1,53 @@
+package service
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// Clock supplies the service's notion of time in abstract units. The
+// admission layer (token buckets, Retry-After estimates), the circuit
+// breaker (cooldown windows) and the latency histograms all read time
+// exclusively through this interface, so swapping in a LogicalClock makes
+// every timing decision — and therefore every shed, trip, and degradation
+// — byte-reproducible. The live server uses WallClock (milliseconds);
+// deterministic chaos campaigns use LogicalClock (virtual units driven by
+// the arrival process).
+type Clock interface {
+	Now() int64
+}
+
+// LogicalClock is a manually advanced virtual clock. The chaos driver
+// sets it to each query's admission time before executing, so quota
+// refills and breaker cooldowns see the simulated timeline.
+type LogicalClock struct {
+	t atomic.Int64
+}
+
+// Now returns the current virtual time.
+func (c *LogicalClock) Now() int64 { return c.t.Load() }
+
+// Set jumps the clock to t (monotonically, in the driver's usage).
+func (c *LogicalClock) Set(t int64) { c.t.Store(t) }
+
+// Advance moves the clock forward by d units and returns the new time.
+func (c *LogicalClock) Advance(d int64) int64 { return c.t.Add(d) }
+
+// WallClock reads real time in milliseconds since an epoch fixed at
+// construction. Only the live `spaabench serve` path uses it; nothing a
+// WallClock feeds is serialized into deterministic artifacts.
+type WallClock struct {
+	epoch time.Time
+}
+
+// NewWallClock fixes the epoch at the current instant.
+func NewWallClock() *WallClock {
+	//lint:wallclock service wall clock epoch; feeds only live latency metrics, never serialized artifacts
+	return &WallClock{epoch: time.Now()}
+}
+
+// Now returns milliseconds elapsed since the epoch.
+func (w *WallClock) Now() int64 {
+	//lint:wallclock live-mode service latency in ms; deterministic mode uses LogicalClock instead
+	return time.Since(w.epoch).Milliseconds()
+}

@@ -1,0 +1,92 @@
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+)
+
+// Handler serves the query endpoints:
+//
+//	GET/POST /query/sssp
+//	GET/POST /query/khop
+//
+// Parameters (query string): n, m, u, seed (graph seed), src, k, budget,
+// tenant (also accepted as the X-Tenant header). Responses are JSON
+// Response objects; sheds answer 429 with a Retry-After header, malformed
+// queries 400. Mount it on the metrics server with
+// metrics.Server.AttachQueries.
+func (s *Service) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/query/sssp", s.handleQuery("sssp"))
+	mux.HandleFunc("/query/khop", s.handleQuery("khop"))
+	return mux
+}
+
+func (s *Service) handleQuery(workload string) http.HandlerFunc {
+	return func(w http.ResponseWriter, req *http.Request) {
+		if req.Method != http.MethodGet && req.Method != http.MethodPost {
+			w.Header().Set("Allow", "GET, POST")
+			http.Error(w, "use GET or POST", http.StatusMethodNotAllowed)
+			return
+		}
+		q := Query{Workload: workload, Tenant: req.Header.Get("X-Tenant")}
+		var parseErr error
+		intField := func(name string, dst *int) {
+			if v := req.FormValue(name); v != "" && parseErr == nil {
+				n, err := strconv.Atoi(v)
+				if err != nil {
+					parseErr = fmt.Errorf("bad %s=%q", name, v)
+					return
+				}
+				*dst = n
+			}
+		}
+		int64Field := func(name string, dst *int64) {
+			if v := req.FormValue(name); v != "" && parseErr == nil {
+				n, err := strconv.ParseInt(v, 10, 64)
+				if err != nil {
+					parseErr = fmt.Errorf("bad %s=%q", name, v)
+					return
+				}
+				*dst = n
+			}
+		}
+		intField("n", &q.N)
+		intField("m", &q.M)
+		int64Field("u", &q.U)
+		int64Field("seed", &q.GraphSeed)
+		intField("src", &q.Src)
+		intField("k", &q.K)
+		int64Field("budget", &q.Budget)
+		if t := req.FormValue("tenant"); t != "" {
+			q.Tenant = t
+		}
+		if parseErr != nil {
+			writeJSON(w, http.StatusBadRequest, &Response{
+				Status: 400, Workload: workload, Mode: ModeError, Err: parseErr.Error(),
+			})
+			return
+		}
+		resp := s.Do(q)
+		if resp.Status == http.StatusTooManyRequests {
+			// Retry-After is in seconds; the service clock runs in
+			// milliseconds under the live WallClock.
+			secs := (resp.RetryAfter + 999) / 1000
+			if secs < 1 {
+				secs = 1
+			}
+			w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
+		}
+		writeJSON(w, resp.Status, resp)
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(v)
+}

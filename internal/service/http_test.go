@@ -1,0 +1,88 @@
+package service
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+func TestHTTPQueryEndpoints(t *testing.T) {
+	s := newTestService(Config{})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	res, err := http.Get(ts.URL + "/query/sssp?n=32&m=128&u=8&seed=7&src=0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res.Body.Close()
+	if res.StatusCode != http.StatusOK {
+		t.Fatalf("GET /query/sssp = %d, want 200", res.StatusCode)
+	}
+	if ct := res.Header.Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("Content-Type = %q, want application/json", ct)
+	}
+	var resp Response
+	if err := json.NewDecoder(res.Body).Decode(&resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Mode != ModeExact || resp.Degraded {
+		t.Fatalf("fault-free query answered mode=%s degraded=%v", resp.Mode, resp.Degraded)
+	}
+	if resp.Reached == 0 || len(resp.Dist) != 32 {
+		t.Fatalf("response missing distances: reached=%d len=%d", resp.Reached, len(resp.Dist))
+	}
+
+	res2, err := http.Get(ts.URL + "/query/khop?n=16&m=64&k=3&seed=2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res2.Body.Close()
+	if res2.StatusCode != http.StatusOK {
+		t.Fatalf("GET /query/khop = %d, want 200", res2.StatusCode)
+	}
+
+	bad, err := http.Get(ts.URL + "/query/sssp?n=banana")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer bad.Body.Close()
+	if bad.StatusCode != http.StatusBadRequest {
+		t.Fatalf("malformed query = %d, want 400", bad.StatusCode)
+	}
+}
+
+func TestHTTPQuotaShedsWith429RetryAfter(t *testing.T) {
+	s := newTestService(Config{QuotaTokens: 1, QuotaRefillMilli: 1})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	get := func() *http.Response {
+		res, err := http.Get(ts.URL + "/query/sssp?n=16&m=64&tenant=acme")
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	first := get()
+	first.Body.Close()
+	if first.StatusCode != http.StatusOK {
+		t.Fatalf("first query = %d, want 200", first.StatusCode)
+	}
+	second := get()
+	defer second.Body.Close()
+	if second.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("over-quota query = %d, want 429", second.StatusCode)
+	}
+	if second.Header.Get("Retry-After") == "" {
+		t.Fatalf("429 missing Retry-After header")
+	}
+	var resp Response
+	if err := json.NewDecoder(second.Body).Decode(&resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Mode != ModeShed || resp.ShedReason != "quota" {
+		t.Fatalf("shed response = mode=%s reason=%s, want shed/quota", resp.Mode, resp.ShedReason)
+	}
+}

@@ -1,0 +1,71 @@
+package service
+
+import "sync"
+
+// tokenBucket is one tenant's quota state. Token amounts are tracked in
+// milli-tokens so sub-unit refill rates stay integral (and therefore
+// deterministic under a LogicalClock).
+type tokenBucket struct {
+	milli int64 // current fill in milli-tokens; held under the owning quotas' mu
+	last  int64 // clock reading of the last refill; held under the owning quotas' mu
+}
+
+// quotas is the per-tenant token-bucket table. capMilli is the bucket
+// capacity and refillMilli the refill rate per clock unit, both in
+// milli-tokens; one admitted query costs 1000 milli-tokens.
+type quotas struct {
+	capMilli    int64
+	refillMilli int64
+
+	mu      sync.Mutex
+	buckets map[string]*tokenBucket // guarded by mu
+}
+
+const queryCostMilli = 1000
+
+func newQuotas(capTokens, refillMilli int64) *quotas {
+	if capTokens <= 0 {
+		return nil // quotas disabled
+	}
+	if refillMilli <= 0 {
+		refillMilli = queryCostMilli
+	}
+	return &quotas{
+		capMilli:    capTokens * 1000,
+		refillMilli: refillMilli,
+		buckets:     make(map[string]*tokenBucket),
+	}
+}
+
+// take withdraws one query's worth of tokens for tenant at clock time
+// now. On refusal it returns the number of clock units until the bucket
+// will hold a full token again (the Retry-After hint), rounded up.
+func (q *quotas) take(tenant string, now int64) (retryAfter int64, ok bool) {
+	if q == nil {
+		return 0, true
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	b := q.buckets[tenant]
+	if b == nil {
+		b = &tokenBucket{milli: q.capMilli, last: now}
+		q.buckets[tenant] = b
+	}
+	if now > b.last {
+		b.milli += (now - b.last) * q.refillMilli
+		if b.milli > q.capMilli {
+			b.milli = q.capMilli
+		}
+		b.last = now
+	}
+	if b.milli >= queryCostMilli {
+		b.milli -= queryCostMilli
+		return 0, true
+	}
+	deficit := queryCostMilli - b.milli
+	retryAfter = (deficit + q.refillMilli - 1) / q.refillMilli
+	if retryAfter < 1 {
+		retryAfter = 1
+	}
+	return retryAfter, false
+}
