@@ -9,6 +9,7 @@ import (
 	"repro/internal/faults"
 	"repro/internal/metrics"
 	"repro/internal/service"
+	"repro/internal/trace"
 )
 
 // cmdChaos runs a chaos-soak campaign against an in-process resilience
@@ -46,6 +47,7 @@ func cmdChaos(args []string) error {
 	maxDegradedFrac := fs.Float64("max-degraded-frac", 1.0, "strict: maximum degraded fraction of admitted queries")
 	p99Budget := fs.Int64("p99-budget", 0, "strict: p99 latency bound in clock units (0 = unchecked)")
 	out := fs.String("out", "", "write the report as JSON to this file")
+	traceOut := fs.String("trace-out", "", "trace every query and write the spaa-trace/v1 report as JSON to this file")
 	scrape := fs.Bool("scrape", false, "print the campaign's spaa_service_* scrape after the report")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -65,6 +67,13 @@ func cmdChaos(args []string) error {
 	}
 	if *deterministic {
 		cfg.Clock = &service.LogicalClock{}
+	}
+	var col *trace.Collector
+	if *traceOut != "" {
+		// Logical units under -deterministic (byte-reproducible output),
+		// wall refinements otherwise.
+		col = trace.NewCollector(trace.Config{Seed: *seed, Wall: !*deterministic})
+		cfg.Trace = col
 	}
 	svc := service.New(metrics.NewRegistry(), cfg)
 
@@ -94,6 +103,15 @@ func cmdChaos(args []string) error {
 			return err
 		}
 		if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+	}
+	if *traceOut != "" {
+		data, err := json.MarshalIndent(col.Report(), "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*traceOut, append(data, '\n'), 0o644); err != nil {
 			return err
 		}
 	}

@@ -25,6 +25,7 @@
 //	spaabench soak [-workers 8] [-iters 16] [-addr URL]  # concurrent load driver
 //	spaabench perf [-tier small] [-gate]          # benchmark tier vs BENCH_perf_*.json baselines
 //	spaabench energy [-gate]                      # metered energy sweep vs BENCH_energy_*.json baselines
+//	spaabench trace [-gate]                       # traced chaos replay: ASCII waterfalls + determinism/coverage gate
 //
 // The sssp, table1, flow, congest, fleet, and timeline subcommands also
 // accept observability flags: -metrics out.json writes a JSON run
@@ -133,6 +134,8 @@ func realMain(argv []string) int {
 		err = cmdEnergy(args)
 	case "chaos":
 		err = cmdChaos(args)
+	case "trace":
+		err = cmdTrace(args)
 	default:
 		usage()
 		return 2
@@ -146,9 +149,10 @@ func realMain(argv []string) int {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: spaabench {table1|table2|table3|figures|experiments|sssp|gen|raster|timeline|flow|congest|dot|crossover|fleet|faults|why|replay|regress|verify|validate|serve|soak|perf|energy|chaos} [flags]")
+	fmt.Fprintln(os.Stderr, "usage: spaabench {table1|table2|table3|figures|experiments|sssp|gen|raster|timeline|flow|congest|dot|crossover|fleet|faults|why|replay|regress|verify|validate|serve|soak|perf|energy|chaos|trace} [flags]")
 	fmt.Fprintln(os.Stderr, "robustness: faults [-rates 0,0.01,...] [-trials 20] [-k 3] [-retries 3] [-strict] [-metrics out.json]")
-	fmt.Fprintln(os.Stderr, "chaos: chaos [-queries 160] [-seed 1] [-deterministic] [-strict] [-drop 0.02] [-budget 0] [-workers 2] [-queue 4] [-quota-tokens 16] [-out report.json]")
+	fmt.Fprintln(os.Stderr, "chaos: chaos [-queries 160] [-seed 1] [-deterministic] [-strict] [-drop 0.02] [-budget 0] [-workers 2] [-queue 4] [-quota-tokens 16] [-out report.json] [-trace-out trace.json]")
+	fmt.Fprintln(os.Stderr, "tracing: trace [-queries 160] [-seed 1] [-budget 256] [-gate] [-max-traces 4] [-out manifest.json] [-chrome trace.json] [-drop-degraded]")
 	fmt.Fprintln(os.Stderr, "observability (sssp, table1, flow, congest, fleet, timeline): -metrics out.json [-deterministic] -trace out.json -cpuprofile out.pprof -memprofile out.pprof")
 	fmt.Fprintln(os.Stderr, "forensics: why -dst N [-save log.jsonl] | replay log.jsonl | regress [-tol 0.02] BENCH_*.json")
 	fmt.Fprintln(os.Stderr, "live: serve [-addr 127.0.0.1:9090] [-preload 'BENCH_*.json'] | soak [-workers 8] [-iters 16] [-mix sssp,congest,fleet,table1] [-addr http://127.0.0.1:9090]")

@@ -14,6 +14,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/service"
 	"repro/internal/telemetry"
+	"repro/internal/trace"
 )
 
 // cmdServe runs the live-metrics daemon: a Prometheus-style scrape
@@ -27,9 +28,11 @@ import (
 //	GET  /healthz  liveness JSON
 //	GET  /runs     JSON run index + totals
 //	POST /runs     ingest one run manifest
+//	GET  /traces   tail-sampled query traces (spans inline)
 //	GET  /events   SSE stream of per-run summaries
 //	GET  /query/sssp, /query/khop   resilience-layer query endpoints
-//	                (admission control, deadlines, degradation ladder)
+//	                (admission control, deadlines, degradation ladder;
+//	                traced end to end — responses carry X-Spaa-Trace-Id)
 func cmdServe(args []string) error {
 	fs := flag.NewFlagSet("serve", flag.ExitOnError)
 	addr := fs.String("addr", "127.0.0.1:9090", "listen address")
@@ -41,11 +44,13 @@ func cmdServe(args []string) error {
 	budget := fs.Int64("budget", 0, "default per-query deadline in simulated steps (0 = unlimited)")
 	drop := fs.Float64("service-drop", 0, "fault-model delivery drop probability for served queries (chaos-in-prod)")
 	seed := fs.Int64("service-seed", 1, "seed anchoring the service's fault and retry streams")
+	traceCap := fs.Int("trace-capacity", 256, "sampled query-trace ring capacity (0 disables tracing)")
+	traceKeep := fs.Int64("trace-keep-every", 8, "keep 1 in N healthy query traces (tail-flagged ones always kept)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	srv := metrics.NewServer(metrics.NewRegistry())
-	svc := service.New(srv.Registry(), service.Config{
+	svcCfg := service.Config{
 		Workers:          *workers,
 		QueueCap:         *queueCap,
 		MaxRetries:       2,
@@ -54,8 +59,20 @@ func cmdServe(args []string) error {
 		Budget:           *budget,
 		Model:            faults.Model{DropProb: *drop, Seed: *seed},
 		Seed:             *seed,
-	})
+	}
+	if *traceCap > 0 {
+		// Wall mode: the live service clock is wall milliseconds, and the
+		// trace spans carry wall-µs refinements from the perf tracker.
+		svcCfg.Trace = trace.NewCollector(trace.Config{
+			Seed: *seed, Capacity: *traceCap, KeepEvery: *traceKeep, Wall: true,
+		})
+	}
+	svc := service.New(srv.Registry(), svcCfg)
 	srv.AttachQueries(svc.Handler())
+	if svcCfg.Trace != nil {
+		stop := srv.AttachTraces(svcCfg.Trace, time.Second)
+		defer stop()
+	}
 	if *preload != "" {
 		names, err := filepath.Glob(*preload)
 		if err != nil {

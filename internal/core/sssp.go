@@ -150,6 +150,17 @@ func (sn *SSSPNetwork) Run(src, dst int, probe ...snn.StepProbe) (*SSSPResult, e
 	return sn.run(src, dst, nil, 0, 0, probe...)
 }
 
+// RunBudgeted is Run under a per-query deadline: the simulation halts
+// after budget simulated steps (budget <= 0 means no cap), matching
+// SSSPBudgeted's semantics on an explicitly built network. Exposing the
+// budgeted run on SSSPNetwork lets callers that need the build/run
+// phase boundary — the service's per-query trace spans, the perf
+// harness — time netlist construction and simulation separately while
+// keeping deadline propagation.
+func (sn *SSSPNetwork) RunBudgeted(src, dst int, inj snn.Injector, horizonSlack, budget int64, probe ...snn.StepProbe) (*SSSPResult, error) {
+	return sn.run(src, dst, inj, horizonSlack, budget, probe...)
+}
+
 // run is the single simulation path shared by SSSP, SSSPInjected,
 // SSSPBudgeted, and SSSPNetwork.Run.
 func (sn *SSSPNetwork) run(src, dst int, inj snn.Injector, horizonSlack, budget int64, probe ...snn.StepProbe) (*SSSPResult, error) {

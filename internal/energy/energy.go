@@ -133,6 +133,7 @@ type Meter struct {
 
 	spikes, deliveries, steps atomic.Int64
 	idleSteps                 atomic.Int64
+	loadEvents                atomic.Int64
 	milliPJ                   atomic.Int64
 }
 
@@ -167,6 +168,18 @@ func (m *Meter) AddIdleSteps(n int64) {
 	m.milliPJ.Add(n * m.tariff.IdleStepMilliPJ)
 }
 
+// AddLoadEvents charges n build-phase synaptic-programming events at the
+// delivery tariff: the O(m) (SSSP) or O(m log k) (compiled TTL) circuit
+// loads the engine performs before the wavefront starts. They are a
+// distinct phase of the per-phase attribution, not wavefront deliveries.
+func (m *Meter) AddLoadEvents(n int64) {
+	if m == nil || n <= 0 {
+		return
+	}
+	m.loadEvents.Add(n)
+	m.milliPJ.Add(n * m.tariff.DeliveryMilliPJ)
+}
+
 // Tariff returns the meter's tariff.
 func (m *Meter) Tariff() Tariff { return m.tariff }
 
@@ -182,6 +195,9 @@ func (m *Meter) Steps() int64 { return m.steps.Load() }
 // IdleSteps returns the idle steps folded in via AddIdleSteps.
 func (m *Meter) IdleSteps() int64 { return m.idleSteps.Load() }
 
+// LoadEvents returns the build-phase events folded in via AddLoadEvents.
+func (m *Meter) LoadEvents() int64 { return m.loadEvents.Load() }
+
 // MilliPJ returns the accumulated energy in millipicojoules.
 func (m *Meter) MilliPJ() int64 { return m.milliPJ.Load() }
 
@@ -191,6 +207,7 @@ func (m *Meter) Reset() {
 	m.deliveries.Store(0)
 	m.steps.Store(0)
 	m.idleSteps.Store(0)
+	m.loadEvents.Store(0)
 	m.milliPJ.Store(0)
 }
 

@@ -58,6 +58,7 @@ func TestMeterCharges(t *testing.T) {
 	m.OnStep(0, 3, 10, 4, 9)
 	m.OnStep(1, 1, 2, 1, 3)
 	m.AddIdleSteps(11)
+	m.AddLoadEvents(6)
 	if got, want := m.Spikes(), int64(4); got != want {
 		t.Errorf("Spikes = %d, want %d", got, want)
 	}
@@ -70,15 +71,20 @@ func TestMeterCharges(t *testing.T) {
 	if got, want := m.IdleSteps(), int64(11); got != want {
 		t.Errorf("IdleSteps = %d, want %d", got, want)
 	}
-	wantPJ := int64(4*5 + 12*7 + 11*2)
+	if got, want := m.LoadEvents(), int64(6); got != want {
+		t.Errorf("LoadEvents = %d, want %d", got, want)
+	}
+	wantPJ := int64(4*5 + 12*7 + 11*2 + 6*7)
 	if got := m.MilliPJ(); got != wantPJ {
 		t.Errorf("MilliPJ = %d, want %d", got, wantPJ)
 	}
-	if got := m.Tariff().Charge(m.Spikes(), m.Deliveries(), m.IdleSteps()); got != wantPJ {
-		t.Errorf("Charge = %d, want %d (must agree with the live total)", got, wantPJ)
+	charge := m.Tariff().Charge(m.Spikes(), m.Deliveries(), m.IdleSteps()) +
+		m.LoadEvents()*m.Tariff().DeliveryMilliPJ
+	if charge != wantPJ {
+		t.Errorf("Charge+load = %d, want %d (must agree with the live total)", charge, wantPJ)
 	}
 	m.Reset()
-	if m.MilliPJ() != 0 || m.Spikes() != 0 || m.IdleSteps() != 0 {
+	if m.MilliPJ() != 0 || m.Spikes() != 0 || m.IdleSteps() != 0 || m.LoadEvents() != 0 {
 		t.Errorf("Reset left residue: %+v", m)
 	}
 }
@@ -87,6 +93,7 @@ func TestNilReceiversNoOp(t *testing.T) {
 	var m *Meter
 	m.OnStep(0, 1, 1, 1, 1) // must not panic
 	m.AddIdleSteps(5)
+	m.AddLoadEvents(5)
 	var o *OpMeter
 	o.AddOps(3)
 }
@@ -118,8 +125,8 @@ func TestOpMeter(t *testing.T) {
 }
 
 func TestReportPlatformsAndAdvantage(t *testing.T) {
-	// 1000 deliveries, 2000 classic ops.
-	r := NewReport(40, 1000, 5, 60, 2000, Tariffs())
+	// 1000 deliveries, no load events, 2000 classic ops.
+	r := NewReport(40, 1000, 0, 5, 60, 2000, Tariffs())
 	if r.Schema != Schema {
 		t.Fatalf("schema %q", r.Schema)
 	}
@@ -164,11 +171,45 @@ func TestReportFromMeters(t *testing.T) {
 	m := NewMeter(ReferenceTariff())
 	m.OnStep(0, 2, 30, 3, 4)
 	m.AddIdleSteps(7)
+	m.AddLoadEvents(40)
 	o := NewOpMeter()
 	o.AddOps(100)
 	r := ReportFromMeters(m, o, Tariffs())
-	if r.Spikes != 2 || r.Deliveries != 30 || r.IdleSteps != 7 || r.Steps != 1 || r.ClassicOps != 100 {
+	if r.Spikes != 2 || r.Deliveries != 30 || r.IdleSteps != 7 || r.Steps != 1 ||
+		r.LoadEvents != 40 || r.ClassicOps != 100 {
 		t.Fatalf("totals not carried over: %+v", r)
+	}
+}
+
+// TestReportPhases pins the per-phase attribution: build (load events),
+// wavefront (spikes+deliveries), idle — priced at the reference tariff,
+// summing exactly to the reference platform's spiking total.
+func TestReportPhases(t *testing.T) {
+	r := NewReport(40, 1000, 300, 5, 60, 2000, Tariffs())
+	ref := ReferenceTariff()
+	build := r.PhaseRow(PhaseBuild)
+	wave := r.PhaseRow(PhaseWavefront)
+	idle := r.PhaseRow(PhaseIdle)
+	if build == nil || wave == nil || idle == nil {
+		t.Fatalf("missing phase rows: %+v", r.Phases)
+	}
+	if build.Events != 300 || build.MilliPJ != 300*ref.DeliveryMilliPJ {
+		t.Errorf("build phase = %+v, want 300 events at %d mpJ each", build, ref.DeliveryMilliPJ)
+	}
+	if wave.Events != 1040 || wave.MilliPJ != 40*ref.SpikeMilliPJ+1000*ref.DeliveryMilliPJ {
+		t.Errorf("wavefront phase = %+v", wave)
+	}
+	if idle.Events != 5 || idle.MilliPJ != 5*ref.IdleStepMilliPJ {
+		t.Errorf("idle phase = %+v", idle)
+	}
+	sum := build.MilliPJ + wave.MilliPJ + idle.MilliPJ
+	if got := r.ReferenceMilliPJ(); got != sum {
+		t.Errorf("phases sum to %d, reference spiking total is %d", sum, got)
+	}
+	// The load charge prices into every published platform row.
+	loihi := r.PlatformRow("Loihi")
+	if got, want := loihi.SpikingMilliPJ, int64((1000+300)*23_600); got != want {
+		t.Errorf("Loihi SpikingMilliPJ = %d, want %d (load events charged)", got, want)
 	}
 }
 
@@ -177,7 +218,7 @@ func TestReportFromMeters(t *testing.T) {
 // step at all.
 func TestReportByteDeterminism(t *testing.T) {
 	enc := func() []byte {
-		r := NewReport(123, 4567, 89, 250, 9999, Tariffs())
+		r := NewReport(123, 4567, 11, 89, 250, 9999, Tariffs())
 		var buf bytes.Buffer
 		if err := json.NewEncoder(&buf).Encode(r); err != nil {
 			t.Fatal(err)

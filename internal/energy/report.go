@@ -25,6 +25,25 @@ type PlatformEnergy struct {
 	AdvantageMilli int64 `json:"advantage_milli"`
 }
 
+// PhaseEnergy attributes one phase of a metered run — "build" (circuit
+// loading / synapse programming), "wavefront" (spikes and deliveries of
+// the event-driven sweep), "idle" (silence-skipped steps) — priced at
+// the reference platform's tariff. The three MilliPJ values sum to the
+// reference platform's SpikingMilliPJ row, so the split answers "where
+// do the joules go" without changing the totals the gate compares.
+type PhaseEnergy struct {
+	Phase   string `json:"phase"`
+	Events  int64  `json:"events"`
+	MilliPJ int64  `json:"millipj"`
+}
+
+// Phase names of the per-phase attribution, in report order.
+const (
+	PhaseBuild     = "build"
+	PhaseWavefront = "wavefront"
+	PhaseIdle      = "idle"
+)
+
 // Report is the spaa-energy/v1 manifest section. Every field is an
 // integral function of the seeded workload and the Table 3 tariffs —
 // no wall-clock data exists anywhere in it, so it is byte-reproducible
@@ -33,11 +52,18 @@ type PlatformEnergy struct {
 type Report struct {
 	Schema string `json:"schema"`
 
-	// Metered event totals (from a Meter / snn.Stats).
+	// Metered event totals (from a Meter / snn.Stats). LoadEvents are
+	// the build-phase synapse-programming charges (AddLoadEvents), kept
+	// apart from wavefront Deliveries.
 	Spikes     int64 `json:"spikes"`
 	Deliveries int64 `json:"deliveries"`
 	Steps      int64 `json:"steps"`
 	IdleSteps  int64 `json:"idle_steps"`
+	LoadEvents int64 `json:"load_events"`
+
+	// Phases splits the reference platform's spiking total into
+	// build/wavefront/idle attributions (see PhaseEnergy).
+	Phases []PhaseEnergy `json:"phases"`
 
 	// Classic comparator: operation count (from an OpMeter), the CPU
 	// per-op tariff it was priced at, and the resulting total.
@@ -50,23 +76,32 @@ type Report struct {
 }
 
 // NewReport prices a metered run under the given tariffs: the spiking
-// side at every tariff in ts, the classic side at the CPU op tariff.
-// Pass Tariffs() for the Table 3 platform set.
-func NewReport(spikes, deliveries, idleSteps, steps, classicOps int64, ts []Tariff) *Report {
+// side at every tariff in ts (build-phase load events charged at each
+// platform's delivery tariff alongside the wavefront), the classic side
+// at the CPU op tariff. Pass Tariffs() for the Table 3 platform set.
+func NewReport(spikes, deliveries, loadEvents, idleSteps, steps, classicOps int64, ts []Tariff) *Report {
 	r := &Report{
 		Schema:           Schema,
 		Spikes:           spikes,
 		Deliveries:       deliveries,
 		Steps:            steps,
 		IdleSteps:        idleSteps,
+		LoadEvents:       loadEvents,
 		ClassicOps:       classicOps,
 		ClassicOpMilliPJ: CPUOpMilliPJ(),
 	}
 	r.ClassicMilliPJ = classicOps * r.ClassicOpMilliPJ
+	ref := referenceIn(ts)
+	r.Phases = []PhaseEnergy{
+		{Phase: PhaseBuild, Events: loadEvents, MilliPJ: loadEvents * ref.DeliveryMilliPJ},
+		{Phase: PhaseWavefront, Events: spikes + deliveries,
+			MilliPJ: spikes*ref.SpikeMilliPJ + deliveries*ref.DeliveryMilliPJ},
+		{Phase: PhaseIdle, Events: idleSteps, MilliPJ: idleSteps * ref.IdleStepMilliPJ},
+	}
 	for _, t := range ts {
 		row := PlatformEnergy{Platform: t.Platform, DeliveryMilliPJ: t.DeliveryMilliPJ}
 		if !t.Unpublished() {
-			row.SpikingMilliPJ = t.Charge(spikes, deliveries, idleSteps)
+			row.SpikingMilliPJ = t.Charge(spikes, deliveries, idleSteps) + loadEvents*t.DeliveryMilliPJ
 			if row.SpikingMilliPJ > 0 {
 				row.AdvantageMilli = r.ClassicMilliPJ * 1000 / row.SpikingMilliPJ
 			}
@@ -76,10 +111,22 @@ func NewReport(spikes, deliveries, idleSteps, steps, classicOps int64, ts []Tari
 	return r
 }
 
+// referenceIn picks the ReferencePlatform tariff out of ts (so scaled
+// tariff sets keep the phase attribution consistent with their platform
+// rows), falling back to the Table 3 reference tariff.
+func referenceIn(ts []Tariff) Tariff {
+	for _, t := range ts {
+		if t.Platform == ReferencePlatform {
+			return t
+		}
+	}
+	return ReferenceTariff()
+}
+
 // ReportFromMeters builds the report from live instruments (the usual
 // call site after a metered run).
 func ReportFromMeters(m *Meter, ops *OpMeter, ts []Tariff) *Report {
-	return NewReport(m.Spikes(), m.Deliveries(), m.IdleSteps(), m.Steps(), ops.Ops(), ts)
+	return NewReport(m.Spikes(), m.Deliveries(), m.LoadEvents(), m.IdleSteps(), m.Steps(), ops.Ops(), ts)
 }
 
 // PlatformRow finds a platform's row (nil when absent).
@@ -90,6 +137,19 @@ func (r *Report) PlatformRow(name string) *PlatformEnergy {
 	for i := range r.Platforms {
 		if r.Platforms[i].Platform == name {
 			return &r.Platforms[i]
+		}
+	}
+	return nil
+}
+
+// PhaseRow finds a phase attribution row by name (nil when absent).
+func (r *Report) PhaseRow(phase string) *PhaseEnergy {
+	if r == nil {
+		return nil
+	}
+	for i := range r.Phases {
+		if r.Phases[i].Phase == phase {
+			return &r.Phases[i]
 		}
 	}
 	return nil

@@ -4,6 +4,7 @@ import (
 	"repro/internal/classic"
 	"repro/internal/core"
 	"repro/internal/graph"
+	"repro/internal/snn"
 )
 
 // RunResult couples one faulted SSSP run with its fault tally.
@@ -19,9 +20,11 @@ type RunResult struct {
 // model skips injector attachment entirely, reproducing the pristine
 // engine path (and its stats) byte-for-byte; a faulted model runs with
 // the horizon extended by Model.HorizonSlack so delay jitter cannot
-// masquerade as unreachability.
-func RunSSSP(g *graph.Graph, src, dst int, model Model) RunResult {
-	return RunSSSPBudget(g, src, dst, model, 0)
+// masquerade as unreachability. Optional probes are passed through to
+// the engine (snn.StepProbe per-step telemetry — the per-query trace
+// layer's engine sub-event hook).
+func RunSSSP(g *graph.Graph, src, dst int, model Model, probe ...snn.StepProbe) RunResult {
+	return RunSSSPBudget(g, src, dst, model, 0, probe...)
 }
 
 // RunSSSPBudget is RunSSSP under a per-query deadline: the simulation is
@@ -29,13 +32,13 @@ func RunSSSP(g *graph.Graph, src, dst int, model Model) RunResult {
 // its budget — by faults or by the workload itself — comes back with
 // Res.TimedOut set instead of running to the analytic horizon. budget <= 0
 // reproduces RunSSSP exactly.
-func RunSSSPBudget(g *graph.Graph, src, dst int, model Model, budget int64) RunResult {
+func RunSSSPBudget(g *graph.Graph, src, dst int, model Model, budget int64, probe ...snn.StepProbe) RunResult {
 	if model.Zero() {
-		res, err := core.SSSPBudgeted(g, src, dst, nil, 0, budget)
+		res, err := core.SSSPBudgeted(g, src, dst, nil, 0, budget, probe...)
 		return RunResult{Res: res, Err: err}
 	}
 	inj := New(model)
-	res, err := core.SSSPBudgeted(g, src, dst, inj, model.HorizonSlack(g.N()), budget)
+	res, err := core.SSSPBudgeted(g, src, dst, inj, model.HorizonSlack(g.N()), budget, probe...)
 	return RunResult{Res: res, Counters: inj.Counters, Err: err}
 }
 
@@ -69,8 +72,10 @@ type NMRResult struct {
 // NMRSSSP runs K replicas of the spiking SSSP under model, each with an
 // independently derived seed (stream "nmr-replica"), and majority-votes
 // the per-vertex distances. Replica 0 uses the model's own seed, so
-// NMRSSSP(K=1) reproduces RunSSSP exactly.
-func NMRSSSP(g *graph.Graph, src int, model Model, k int) *NMRResult {
+// NMRSSSP(K=1) reproduces RunSSSP exactly. Optional probes observe
+// every replica's steps (totals accumulate across replicas, matching
+// the additive energy accounting).
+func NMRSSSP(g *graph.Graph, src int, model Model, k int, probe ...snn.StepProbe) *NMRResult {
 	if k < 1 {
 		panic("faults: NMR with k < 1 replicas")
 	}
@@ -82,7 +87,7 @@ func NMRSSSP(g *graph.Graph, src int, model Model, k int) *NMRResult {
 		if r > 0 {
 			seed = DeriveSeed(model.Seed, "nmr-replica", r)
 		}
-		run := RunSSSP(g, src, -1, model.WithSeed(seed))
+		run := RunSSSP(g, src, -1, model.WithSeed(seed), probe...)
 		dists[r] = run.Res.Dist
 		if run.Res.TimedOut {
 			res.TimedOut++
@@ -165,7 +170,8 @@ type SelfCheckResult struct {
 // exponential backoff, up to maxRetries; if no attempt verifies, it
 // returns the reference distances with Degraded set — the caller gets a
 // correct answer or an explicit degraded flag, never a silent wrong one.
-func SSSPWithSelfCheck(g *graph.Graph, src int, model Model, maxRetries int) *SelfCheckResult {
+// Optional probes observe every attempt's engine steps.
+func SSSPWithSelfCheck(g *graph.Graph, src int, model Model, maxRetries int, probe ...snn.StepProbe) *SelfCheckResult {
 	if maxRetries < 0 {
 		panic("faults: negative retry budget")
 	}
@@ -177,7 +183,7 @@ func SSSPWithSelfCheck(g *graph.Graph, src int, model Model, maxRetries int) *Se
 			m = model.WithSeed(DeriveSeed(model.Seed, "selfcheck-retry", attempt))
 			out.BackoffUnits += int64(1) << (attempt - 1)
 		}
-		run := RunSSSP(g, src, -1, m)
+		run := RunSSSP(g, src, -1, m, probe...)
 		out.Attempts++
 		out.Counters.Add(run.Counters)
 		out.Spikes += run.Res.Stats.Spikes

@@ -143,6 +143,9 @@ func RunEnergyCase(c EnergyCase, opts EnergyOptions) (*telemetry.Manifest, error
 			return nil, fmt.Errorf("harness: energy case %s: %w", c.Name, err)
 		}
 		stats = res.Stats
+		// Build phase: the O(m+n) graph-load charge, attributed apart
+		// from the wavefront deliveries the probe metered live.
+		meter.AddLoadEvents(res.LoadTime)
 		ops.AddOps(classic.Dijkstra(g, 0).Ops)
 		man.Counters = map[string]int64{"dist_checksum": distChecksum(res.Dist)}
 	case "khop":
@@ -152,6 +155,9 @@ func RunEnergyCase(c EnergyCase, opts EnergyOptions) (*telemetry.Manifest, error
 		ct.Net.SetProbe(probe)
 		dist, st := ct.Run()
 		stats = st
+		// Build phase: Theorem 4.2's O(m log k) circuit-loading charge
+		// (m·λ synapse programs) for the compiled TTL machine.
+		meter.AddLoadEvents(int64(g.M()) * int64(ct.Lambda))
 		ops.AddOps(classic.BellmanFordKHop(g, 0, c.K, false).Relaxations)
 		man.Counters = map[string]int64{"dist_checksum": distChecksum(dist)}
 	case "table1":
@@ -205,6 +211,7 @@ func EnergySection(seed int64) string {
 	meter := energy.NewMeter(energy.ReferenceTariff())
 	spk := mustSSSP(g, 0, -1, meter)
 	meter.AddIdleSteps(spk.Stats.SilentStepsSkipped)
+	meter.AddLoadEvents(spk.LoadTime)
 	ops := energy.NewOpMeter()
 	ops.AddOps(classic.Dijkstra(g, 0).Ops)
 	r := energy.ReportFromMeters(meter, ops, energy.Tariffs())
@@ -212,9 +219,9 @@ func EnergySection(seed int64) string {
 	var b strings.Builder
 	w := func(format string, args ...any) { fmt.Fprintf(&b, format, args...) }
 	w("Workload: spiking SSSP on n=%d, m=%d, metered live on the step-probe\n", g.N(), g.M())
-	w("fabric (%d spikes, %d deliveries, %d idle steps); each synaptic event\n",
-		r.Spikes, r.Deliveries, r.IdleSteps)
-	w("charged at the platform's Table 3 pJ/spike, each of Dijkstra's %d\n", r.ClassicOps)
+	w("fabric (%d spikes, %d deliveries, %d load events, %d idle steps); each\n",
+		r.Spikes, r.Deliveries, r.LoadEvents, r.IdleSteps)
+	w("synaptic event charged at the platform's Table 3 pJ/spike, each of Dijkstra's %d\n", r.ClassicOps)
 	w("heap/relax operations charged one CPU cycle at the Table 3 CPU row's\n")
 	w("power over clock (≈ 8.1 nJ — generous to the CPU), for a classic total\n")
 	w("of %.3f µJ.\n\n", energy.JoulesFromMilliPJ(r.ClassicMilliPJ)*1e6)
@@ -226,6 +233,12 @@ func EnergySection(seed int64) string {
 		}
 		w("| %s | %s | %s |\n", row.Platform, spikingUJ, energy.FormatAdvantage(row.AdvantageMilli))
 	}
+	var phases []string
+	for _, p := range r.Phases {
+		phases = append(phases, fmt.Sprintf("%s %.3f µJ (%d events)",
+			p.Phase, energy.JoulesFromMilliPJ(p.MilliPJ)*1e6, p.Events))
+	}
+	w("\nPhase attribution at the %s tariff: %s.\n", energy.ReferencePlatform, strings.Join(phases, ", "))
 	w("\nOrders-of-magnitude gaps for the ASIC platforms, as the abstract claims\n")
 	w("(SpiNNaker 1's ARM-based design is the documented exception; SpiNNaker 2\n")
 	w("publishes no figure and renders as \"-\").\n\n")
@@ -280,18 +293,19 @@ func CompareEnergy(name string, base, fresh *telemetry.Manifest, tol float64) *E
 
 // RenderEnergyTable formats deltas as the `spaabench energy` advantage
 // table: one row per case with both sides' energy in microjoules, the
-// per-platform advantage columns (— for platforms without a published
-// tariff), and the verdict.
+// build/wavefront phase split of the spiking total (reference tariff),
+// the per-platform advantage columns (— for platforms without a
+// published tariff), and the verdict.
 func RenderEnergyTable(deltas []*EnergyDelta) string {
 	names := energy.PlatformNames()
 	var b strings.Builder
-	fmt.Fprintf(&b, "%-18s %14s %14s", "case", "classic µJ", "spiking µJ")
+	fmt.Fprintf(&b, "%-18s %14s %14s %17s", "case", "classic µJ", "spiking µJ", "build/wave µJ")
 	for _, n := range names {
 		fmt.Fprintf(&b, " %12s", n)
 	}
 	fmt.Fprintf(&b, "  %s\n", "status")
 	for _, d := range deltas {
-		classicUJ, spikingUJ := "-", "-"
+		classicUJ, spikingUJ, phaseUJ := "-", "-", "-"
 		adv := make([]string, len(names))
 		for i := range adv {
 			adv[i] = "-"
@@ -301,6 +315,11 @@ func RenderEnergyTable(deltas []*EnergyDelta) string {
 			classicUJ = fmt.Sprintf("%.3f", energy.JoulesFromMilliPJ(r.ClassicMilliPJ)*1e6)
 			if ref := r.ReferenceMilliPJ(); ref > 0 {
 				spikingUJ = fmt.Sprintf("%.3f", energy.JoulesFromMilliPJ(ref)*1e6)
+			}
+			if bp, wp := r.PhaseRow(energy.PhaseBuild), r.PhaseRow(energy.PhaseWavefront); bp != nil && wp != nil {
+				phaseUJ = fmt.Sprintf("%.3f/%.3f",
+					energy.JoulesFromMilliPJ(bp.MilliPJ)*1e6,
+					energy.JoulesFromMilliPJ(wp.MilliPJ)*1e6)
 			}
 			for i, n := range names {
 				if row := r.PlatformRow(n); row != nil {
@@ -315,7 +334,7 @@ func RenderEnergyTable(deltas []*EnergyDelta) string {
 		case len(d.Drifts) > 0:
 			status = fmt.Sprintf("DRIFT (%d)", len(d.Drifts))
 		}
-		fmt.Fprintf(&b, "%-18s %14s %14s", d.Name, classicUJ, spikingUJ)
+		fmt.Fprintf(&b, "%-18s %14s %14s %17s", d.Name, classicUJ, spikingUJ, phaseUJ)
 		for _, a := range adv {
 			fmt.Fprintf(&b, " %12s", a)
 		}

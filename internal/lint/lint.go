@@ -36,6 +36,10 @@ var Scopes = map[string][]string{
 		// series must render in sorted order for scrapes to be diffable
 		// and golden-testable.
 		"repro/internal/metrics",
+		// Serializes spaa-trace/v1 byte-identically under the trace gate —
+		// map-order nondeterminism in span assembly or report rendering
+		// breaks the double-run cmp.
+		"repro/internal/trace",
 	},
 	// Simulation packages where exact float equality is a latent bug
 	// (voltages decay through math.Pow and accumulate through sums).

@@ -60,6 +60,7 @@ func TestScopes(t *testing.T) {
 		{"mapiter", "repro/internal/harness", true},
 		{"mapiter", "repro/internal/telemetry", true},
 		{"mapiter", "repro/internal/metrics", true},   // exposition order is golden-tested
+		{"mapiter", "repro/internal/trace", true},     // spaa-trace/v1 is byte-gated
 		{"guardedby", "repro/internal/metrics", true}, // unscoped: runs everywhere
 		{"wallclock", "repro/internal/graph", true},   // unscoped: the determinism guarantee is global
 		{"probealloc", "repro/internal/telemetry", true},

@@ -4,9 +4,11 @@ package metrics
 // returns at "/": stat tiles for the headline cost totals and the
 // throughput and energy-advantage high-water marks, per-run line panels
 // (spikes, engine steps/sec, reference-platform spiking energy) fed by
-// the /events SSE stream, and a table of recent runs
-// (the accessible, color-free view of the same data). No external
-// assets — the daemon works air-gapped.
+// the /events SSE stream, a table of recent runs
+// (the accessible, color-free view of the same data), and a query-trace
+// waterfall fed by polling /traces (the tail-sampled slow/degraded
+// queries, one lane per span). No external assets — the daemon works
+// air-gapped.
 //
 // Colors are role-based CSS custom properties with validated light and
 // dark values (the dark steps are selected for the dark surface, not an
@@ -67,6 +69,15 @@ const dashboardHTML = `<!doctype html>
   #tip { position: fixed; pointer-events: none; display: none;
          background: var(--surface-1); border: 1px solid var(--border);
          border-radius: 6px; padding: 6px 8px; font-size: 12px; }
+  .wf { margin-bottom: 14px; }
+  .wf .head { font-size: 12px; margin-bottom: 2px; font-variant-numeric: tabular-nums; }
+  .wf .lane { display: flex; align-items: center; gap: 8px; margin: 1px 0; }
+  .wf .name { width: 190px; flex: none; font-size: 11px; color: var(--text-secondary);
+              overflow: hidden; text-overflow: ellipsis; white-space: nowrap; }
+  .wf .rail { position: relative; flex: 1; height: 10px; background: var(--surface-1);
+              border: 1px solid var(--border); border-radius: 3px; }
+  .wf .bar { position: absolute; top: 1px; bottom: 1px; background: var(--series-1);
+             border-radius: 2px; min-width: 2px; }
   table { width: 100%; border-collapse: collapse; font-variant-numeric: tabular-nums; }
   th, td { text-align: right; padding: 5px 10px; border-bottom: 1px solid var(--border);
            font-size: 13px; }
@@ -121,6 +132,10 @@ const dashboardHTML = `<!doctype html>
       <th>steps</th><th>queue</th><th>wall ms</th></tr></thead>
     <tbody id="rows"></tbody>
   </table>
+</div>
+<div class="panel">
+  <h2>Query traces (tail-sampled: shed, degraded, timed out, p99-slow)</h2>
+  <div id="traces" class="sub">no traces yet</div>
 </div>
 <div id="tip"></div>
 
@@ -233,6 +248,58 @@ fetch("/runs").then(r => r.json()).then(idx => {
   setTiles(); drawChart();
   for (const r of idx.runs.slice(-20)) addRow(r);
 });
+
+const FLAG_NAMES = ["shed", "degraded", "timed_out", "error", "slow"];
+function flagText(bits) {
+  const out = [];
+  FLAG_NAMES.forEach((n, i) => { if (bits & (1 << i)) out.push(n); });
+  return out.length ? " [" + out.join(",") + "]" : "";
+}
+
+function renderTraces(doc) {
+  const box = document.getElementById("traces");
+  if (!doc.traces || doc.traces.length === 0) return;
+  box.classList.remove("sub");
+  box.innerHTML = "";
+  for (const t of doc.traces.slice(-8).reverse()) {
+    const wf = document.createElement("div");
+    wf.className = "wf";
+    const head = document.createElement("div");
+    head.className = "head";
+    head.textContent = t.id + "  " + t.workload + "/" + (t.tenant || "-") +
+      "  dur=" + fmt(t.dur) + flagText(t.flags || 0);
+    wf.appendChild(head);
+    const scale = Math.max(1, t.dur);
+    for (const s of t.spans) {
+      const lane = document.createElement("div");
+      lane.className = "lane";
+      const name = document.createElement("div");
+      name.className = "name";
+      name.textContent = s.stage + (s.detail ? ":" + s.detail : "");
+      const rail = document.createElement("div");
+      rail.className = "rail";
+      const bar = document.createElement("div");
+      bar.className = "bar";
+      bar.style.left = (100 * s.start / scale) + "%";
+      bar.style.width = Math.max(0.5, 100 * s.dur / scale) + "%";
+      bar.title = s.start + "+" + s.dur +
+        (s.steps ? " steps=" + s.steps + " deliveries=" + (s.deliveries || 0) : "");
+      rail.appendChild(bar);
+      lane.appendChild(name);
+      lane.appendChild(rail);
+      wf.appendChild(lane);
+    }
+    box.appendChild(wf);
+  }
+}
+
+function pollTraces() {
+  fetch("/traces").then(r => r.ok ? r.json() : null)
+    .then(doc => { if (doc) renderTraces(doc); })
+    .catch(() => {});
+}
+pollTraces();
+setInterval(pollTraces, 5000);
 
 const es = new EventSource("/events");
 es.addEventListener("hello", () => {

@@ -8,7 +8,7 @@ import (
 )
 
 func energyReport() *energy.Report {
-	return energy.NewReport(40, 2500, 12, 100, 5000, energy.Tariffs())
+	return energy.NewReport(40, 2500, 320, 12, 100, 5000, energy.Tariffs())
 }
 
 func TestBridgeObserveEnergy(t *testing.T) {
@@ -39,7 +39,7 @@ func TestBridgeObserveEnergy(t *testing.T) {
 
 	// The advantage gauge is a high-water mark: a later low-advantage run
 	// must not lower it.
-	low := energy.NewReport(1, 1, 0, 1, 1, energy.Tariffs())
+	low := energy.NewReport(1, 1, 0, 0, 1, 1, energy.Tariffs())
 	b.ObserveEnergy(low)
 	w.Reset()
 	if err := reg.WritePrometheus(&w); err != nil {

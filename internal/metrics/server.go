@@ -11,7 +11,13 @@ import (
 	"time"
 
 	"repro/internal/telemetry"
+	"repro/internal/trace"
 )
+
+// maxTraceLog bounds the server's retained trace log: the collector's
+// ring overwrites oldest-first, so the server keeps its own bounded copy
+// of flushed traces for /traces and the dashboard waterfall.
+const maxTraceLog = 512
 
 // maxRunIndex bounds the in-memory run index; older summaries fall off
 // the front while the aggregate totals keep counting, so a long soak
@@ -93,15 +99,19 @@ type Server struct {
 	wallHist     *Histogram
 	runSpikes    *Histogram
 
-	mu     sync.Mutex
-	seq    int64                    // guarded by mu
-	runs   []RunSummary             // guarded by mu
-	totals Totals                   // guarded by mu
-	subs   map[chan []byte]struct{} // guarded by mu
+	mu       sync.Mutex
+	seq      int64                    // guarded by mu
+	runs     []RunSummary             // guarded by mu
+	totals   Totals                   // guarded by mu
+	subs     map[chan []byte]struct{} // guarded by mu
+	traceLog []*trace.Trace           // guarded by mu
 
 	// queries, when set via AttachQueries before Handler, serves the
 	// /query/ subtree (the resilience layer's endpoints).
 	queries http.Handler
+	// traceSrc, when set via AttachTraces, supplies live sampler counters
+	// to GET /traces alongside the retained log.
+	traceSrc *trace.Collector
 
 	started time.Time // set once in NewServer, read-only afterwards
 }
@@ -111,6 +121,27 @@ type Server struct {
 // families), so the server takes it as an opaque handler rather than
 // depending on it. Call before Handler.
 func (s *Server) AttachQueries(h http.Handler) { s.queries = h }
+
+// AttachTraces wires a live span collector into the server: a background
+// flusher drains newly sampled traces into the bounded retained log
+// every interval, and GET /traces serves the log plus the collector's
+// sampler counters. The returned stop function performs a final drain
+// and joins the flusher goroutine — call it on shutdown (the
+// goroutine-leak test's contract). Call before Handler.
+func (s *Server) AttachTraces(c *trace.Collector, interval time.Duration) (stop func()) {
+	s.traceSrc = c
+	return c.StartFlusher(interval, s.addTraces)
+}
+
+// addTraces appends a flushed batch to the bounded retained log.
+func (s *Server) addTraces(batch []*trace.Trace) {
+	s.mu.Lock()
+	s.traceLog = append(s.traceLog, batch...)
+	if len(s.traceLog) > maxTraceLog {
+		s.traceLog = s.traceLog[len(s.traceLog)-maxTraceLog:]
+	}
+	s.mu.Unlock()
+}
 
 // NewServer returns a server folding ingested runs into reg.
 func NewServer(reg *Registry) *Server {
@@ -153,6 +184,13 @@ func (s *Server) Ingest(m *telemetry.Manifest) RunSummary {
 		sum.SilentStepsSkipped = m.Stats.SilentStepsSkipped
 	}
 	s.foldRegistry(m, &sum)
+	if m.Trace != nil {
+		// Pushed spaa-trace/v1 sections land in the same spaa_trace_*
+		// families the live service writes, and their sampled traces join
+		// the retained log behind /traces.
+		FoldTrace(s.reg, m.Trace)
+		s.addTraces(m.Trace.Traces)
+	}
 
 	s.mu.Lock()
 	s.seq++
@@ -265,6 +303,7 @@ func sortedCounters(m map[string]int64) []counterKV {
 //	GET  /healthz  liveness JSON (uptime, run count)
 //	GET  /runs     JSON index of ingested run summaries + totals
 //	POST /runs     ingest one spaa-run-manifest/v1 document
+//	GET  /traces   JSON log of tail-sampled query traces (spans inline)
 //	GET  /events   SSE stream of per-run summaries (event: run)
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
@@ -276,6 +315,7 @@ func (s *Server) Handler() http.Handler {
 	})
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/runs", s.handleRuns)
+	mux.HandleFunc("/traces", s.handleTraces)
 	mux.HandleFunc("/events", s.handleEvents)
 	if s.queries != nil {
 		mux.Handle("/query/", s.queries)
@@ -368,6 +408,38 @@ func (s *Server) handleRuns(w http.ResponseWriter, req *http.Request) {
 	default:
 		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
 	}
+}
+
+// tracesResponse is the GET /traces document: the collector's live
+// sampler counters (zero when no collector is attached) plus the
+// retained tail-sampled traces, oldest first.
+type tracesResponse struct {
+	Started int64          `json:"started"`
+	Sampled int64          `json:"sampled"`
+	Dropped int64          `json:"dropped"`
+	Evicted int64          `json:"evicted"`
+	Count   int            `json:"count"`
+	Traces  []*trace.Trace `json:"traces"`
+}
+
+func (s *Server) handleTraces(w http.ResponseWriter, req *http.Request) {
+	if req.Method != http.MethodGet {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	var resp tracesResponse
+	if s.traceSrc != nil {
+		// Drain anything sampled since the last flusher tick so /traces
+		// is read-your-writes for sequential clients.
+		s.traceSrc.FlushNew(s.addTraces)
+		resp.Started, resp.Sampled, resp.Dropped, resp.Evicted, _ = s.traceSrc.Counters()
+	}
+	s.mu.Lock()
+	resp.Traces = append([]*trace.Trace(nil), s.traceLog...)
+	s.mu.Unlock()
+	resp.Count = len(resp.Traces)
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(resp)
 }
 
 // handleEvents serves the SSE stream: a `hello` event with current

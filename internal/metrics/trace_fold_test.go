@@ -1,0 +1,123 @@
+package metrics
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/trace"
+)
+
+func traceReport() *trace.Report {
+	col := trace.NewCollector(trace.Config{Seed: 9, KeepEvery: 2})
+	for i := 0; i < 10; i++ {
+		a := col.StartTrace(int64(i), "sssp", "t0", "")
+		r := a.Begin(trace.StageRung, "exact")
+		e := a.BeginUnder(r, trace.StageRun, "wavefront")
+		a.End(e, int64(5+i))
+		a.EndAt(r)
+		var f trace.Flags
+		if i%3 == 0 {
+			f = trace.FlagDegraded
+		}
+		a.Finish(int64(i)+5, f)
+	}
+	return col.Report()
+}
+
+func TestFoldTrace(t *testing.T) {
+	reg := NewRegistry()
+	r := traceReport()
+	FoldTrace(reg, r)
+	var w strings.Builder
+	if err := reg.WritePrometheus(&w); err != nil {
+		t.Fatal(err)
+	}
+	body := w.String()
+	if got := scrapeValue(t, body, MetricTraceStarted); got != r.Started {
+		t.Errorf("started = %d, want %d", got, r.Started)
+	}
+	if got := scrapeValue(t, body, MetricTraceSampled); got != r.Sampled {
+		t.Errorf("sampled = %d, want %d", got, r.Sampled)
+	}
+	if got := scrapeValue(t, body, MetricTraceDropped); got != r.Dropped {
+		t.Errorf("dropped = %d, want %d", got, r.Dropped)
+	}
+	if !strings.Contains(body, MetricTraceStageUnits+`_count{stage="run"}`) {
+		t.Errorf("per-stage histogram missing from exposition:\n%s", body)
+	}
+	// Unknown stages clamp onto "other" instead of minting new series.
+	rogue := traceReport()
+	rogue.Traces[0].Spans[0].Stage = "totally-unbounded-stage"
+	FoldTrace(reg, rogue)
+	w.Reset()
+	if err := reg.WritePrometheus(&w); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(w.String(), "totally-unbounded-stage") {
+		t.Error("unbounded stage name leaked into the exposition")
+	}
+	FoldTrace(nil, r)   // must not panic
+	FoldTrace(reg, nil) // must not panic
+}
+
+// TestServerTracesEndpoint: AttachTraces wires a collector's flusher to
+// the server, and GET /traces serves counters plus the sampled traces
+// (flushing on demand, so a client sees its own just-finished query).
+func TestServerTracesEndpoint(t *testing.T) {
+	srv := NewServer(NewRegistry())
+	col := trace.NewCollector(trace.Config{Seed: 4})
+	stop := srv.AttachTraces(col, time.Hour) // only on-demand flushes deliver
+	defer stop()
+
+	a := col.StartTrace(0, "sssp", "acme", "")
+	a.Begin(trace.StageRung, "exact")
+	a.Finish(7, trace.FlagDegraded)
+
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	res, err := ts.Client().Get(ts.URL + "/traces")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res.Body.Close()
+	if res.StatusCode != 200 {
+		t.Fatalf("GET /traces = %d, want 200", res.StatusCode)
+	}
+	var got struct {
+		Started int64          `json:"started"`
+		Sampled int64          `json:"sampled"`
+		Count   int            `json:"count"`
+		Traces  []*trace.Trace `json:"traces"`
+	}
+	if err := json.NewDecoder(res.Body).Decode(&got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Started != 1 || got.Sampled != 1 || got.Count != 1 || len(got.Traces) != 1 {
+		t.Fatalf("traces response = %+v, want the one sampled trace", got)
+	}
+	if got.Traces[0].Tenant != "acme" || got.Traces[0].Flags&trace.FlagDegraded == 0 {
+		t.Errorf("trace content lost over the wire: %+v", got.Traces[0])
+	}
+
+	// Ingesting a manifest with a trace section also lands in /traces.
+	m := testManifest(10, 30, 4)
+	m.Trace = traceReport()
+	srv.Ingest(m)
+	res2, err := ts.Client().Get(ts.URL + "/traces")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res2.Body.Close()
+	var got2 struct {
+		Count int `json:"count"`
+	}
+	if err := json.NewDecoder(res2.Body).Decode(&got2); err != nil {
+		t.Fatal(err)
+	}
+	if got2.Count != 1+len(m.Trace.Traces) {
+		t.Errorf("ingested traces not served: count=%d, want %d", got2.Count, 1+len(m.Trace.Traces))
+	}
+}

@@ -2,6 +2,16 @@ package perf
 
 import "time"
 
+// SpanSink observes closed tracker phases as they complete: name plus
+// wall-clock start offset and duration in microseconds. The per-query
+// trace layer implements it (trace.Active.PhaseSpan) so build/run
+// phases measured here land as wall refinements on the query's trace
+// spans; implementations must tolerate being called from the tracker's
+// single goroutine only.
+type SpanSink interface {
+	PhaseSpan(name string, startMicros, durMicros int64)
+}
+
 // Tracker brackets one run: it snapshots the heap at construction,
 // accumulates named phase spans (build / run / report), and renders a
 // Report when stopped. A Tracker is single-goroutine (one per run, the
@@ -13,6 +23,7 @@ type Tracker struct {
 
 	phases     []PhaseReport
 	phaseStart time.Time
+	sink       SpanSink
 
 	stopped bool
 	wall    time.Duration
@@ -42,10 +53,25 @@ func (t *Tracker) Phase(name string) {
 	t.phaseStart = now
 }
 
-// closePhase stamps the open phase's duration as of now.
+// SetSpanSink attaches a phase observer; nil detaches. Call before the
+// first Phase so every span is seen.
+func (t *Tracker) SetSpanSink(s SpanSink) {
+	if t == nil {
+		return
+	}
+	t.sink = s
+}
+
+// closePhase stamps the open phase's duration as of now and forwards
+// the span to the sink, if any.
 func (t *Tracker) closePhase(now time.Time) {
 	if n := len(t.phases); n > 0 {
 		t.phases[n-1].WallMS = float64(now.Sub(t.phaseStart).Microseconds()) / 1e3
+		if t.sink != nil {
+			t.sink.PhaseSpan(t.phases[n-1].Name,
+				t.phaseStart.Sub(t.start).Microseconds(),
+				now.Sub(t.phaseStart).Microseconds())
+		}
 	}
 }
 

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"repro/internal/faults"
+	"repro/internal/trace"
 )
 
 // ChaosConfig parameterizes a chaos campaign: a seeded arrival process of
@@ -120,6 +121,11 @@ type ChaosReport struct {
 	Horizon int64 `json:"horizon"`
 	// Wall is real elapsed time; zero under Deterministic.
 	Wall time.Duration `json:"-"`
+	// TraceTailIDs lists the trace IDs of executed queries that came back
+	// degraded or timed out — exactly the traces the tail sampler promises
+	// to keep. VerifyTraceCoverage checks each against the collector's
+	// report. Campaign-internal bookkeeping, not part of the JSON report.
+	TraceTailIDs []string `json:"-"`
 }
 
 // RunChaos fires a chaos campaign at svc. The service's fault model,
@@ -199,7 +205,15 @@ func runChaosVirtual(svc *Service, cfg ChaosConfig, queries []Query, arrivals []
 		if lc, ok := svc.clock.(*LogicalClock); ok {
 			lc.Set(start)
 		}
-		resp := safeExecute(svc, queries[idx], start)
+		// The trace opens at arrival so queue wait is causally inside it,
+		// exactly as on the live Do path.
+		qt := svc.startTrace(&queries[idx], arrived)
+		qt.Event(trace.StageAdmission, "ok")
+		if start > arrived {
+			wref := qt.Begin(trace.StageQueueWait, "virtual queue")
+			qt.End(wref, start-arrived)
+		}
+		resp := safeExecute(svc, queries[idx], start, qt)
 		dur := resp.CostUnits
 		if dur < 1 {
 			dur = 1
@@ -207,6 +221,7 @@ func runChaosVirtual(svc *Service, cfg ChaosConfig, queries []Query, arrivals []
 		workers[w] = start + dur
 		latency := start + dur - arrived
 		svc.observe(resp, latency)
+		svc.finishTrace(qt, resp, start+dur)
 		lats = append(lats, latency)
 		recordChaos(rep, queries[idx], resp)
 		if workers[w] > rep.Horizon {
@@ -232,7 +247,8 @@ func runChaosVirtual(svc *Service, cfg ChaosConfig, queries []Query, arrivals []
 	for i, at := range arrivals {
 		drainUntil(at)
 		if ra, ok := svc.TakeQuota(queries[i].Tenant, at); !ok {
-			resp := svc.Shed(queries[i], "quota", ra, at)
+			qt := svc.startTrace(&queries[i], at)
+			resp := svc.shedTraced(qt, queries[i], "quota", ra, at)
 			recordChaos(rep, queries[i], resp)
 			continue
 		}
@@ -246,7 +262,8 @@ func runChaosVirtual(svc *Service, cfg ChaosConfig, queries []Query, arrivals []
 				rep.MaxQueueDepth = len(queue)
 			}
 		default:
-			resp := svc.Shed(queries[i], "queue_full", workers[w]-at, at)
+			qt := svc.startTrace(&queries[i], at)
+			resp := svc.shedTraced(qt, queries[i], "queue_full", workers[w]-at, at)
 			recordChaos(rep, queries[i], resp)
 		}
 	}
@@ -295,14 +312,17 @@ func runChaosLive(svc *Service, cfg ChaosConfig, queries []Query, rep *ChaosRepo
 	rep.Wall = time.Since(start)
 }
 
-func safeExecute(svc *Service, q Query, now int64) (resp *Response) {
+func safeExecute(svc *Service, q Query, now int64, qt *trace.Active) (resp *Response) {
 	defer func() {
 		if r := recover(); r != nil {
 			resp = &Response{Status: 500, Workload: q.Workload, Tenant: q.Tenant,
 				Mode: ModeError, Err: fmt.Sprint(r)}
 		}
 	}()
-	return svc.Execute(q, now)
+	if err := svc.normalize(&q); err != nil {
+		return &Response{Status: 400, Workload: q.Workload, Tenant: q.Tenant, Mode: ModeError, Err: err.Error()}
+	}
+	return svc.execute(q, now, qt)
 }
 
 func safeDo(svc *Service, q Query) (resp *Response) {
@@ -335,6 +355,9 @@ func recordChaos(rep *ChaosReport, q Query, resp *Response) {
 	}
 	if resp.Degraded {
 		rep.Degraded++
+	}
+	if (resp.Degraded || resp.TimedOut) && resp.TraceID != "" {
+		rep.TraceTailIDs = append(rep.TraceTailIDs, resp.TraceID)
 	}
 	ref := Reference(q)
 	if !distEqual(resp.Dist, ref) {

@@ -15,8 +15,11 @@ import (
 // Parameters (query string): n, m, u, seed (graph seed), src, k, budget,
 // tenant (also accepted as the X-Tenant header). Responses are JSON
 // Response objects; sheds answer 429 with a Retry-After header, malformed
-// queries 400. Mount it on the metrics server with
-// metrics.Server.AttachQueries.
+// queries 400, timed-out non-guaranteed answers 504. When tracing is
+// enabled every response — shed and degraded included — carries the
+// query's trace ID in X-Spaa-Trace-Id, and an incoming W3C traceparent
+// header joins the caller's distributed trace. Mount it on the metrics
+// server with metrics.Server.AttachQueries.
 func (s *Service) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/query/sssp", s.handleQuery("sssp"))
@@ -31,7 +34,11 @@ func (s *Service) handleQuery(workload string) http.HandlerFunc {
 			http.Error(w, "use GET or POST", http.StatusMethodNotAllowed)
 			return
 		}
-		q := Query{Workload: workload, Tenant: req.Header.Get("X-Tenant")}
+		q := Query{
+			Workload:    workload,
+			Tenant:      req.Header.Get("X-Tenant"),
+			TraceParent: req.Header.Get("traceparent"),
+		}
 		var parseErr error
 		intField := func(name string, dst *int) {
 			if v := req.FormValue(name); v != "" && parseErr == nil {
@@ -70,6 +77,9 @@ func (s *Service) handleQuery(workload string) http.HandlerFunc {
 			return
 		}
 		resp := s.Do(q)
+		if resp.TraceID != "" {
+			w.Header().Set("X-Spaa-Trace-Id", resp.TraceID)
+		}
 		if resp.Status == http.StatusTooManyRequests {
 			// Retry-After is in seconds; the service clock runs in
 			// milliseconds under the live WallClock.

@@ -1,9 +1,13 @@
 package service
 
 import (
+	"strconv"
+
 	"repro/internal/core"
 	"repro/internal/faults"
 	"repro/internal/graph"
+	"repro/internal/perf"
+	"repro/internal/trace"
 )
 
 // ladder runs the degradation ladder for an admitted query whose breaker
@@ -22,13 +26,15 @@ import (
 //
 // khop: exact core.KHopTTL within budget, else the approx rung.
 // Every rung charges its simulated cost (spike time + backoff units) to
-// resp.CostUnits; a budget of 0 is unlimited.
-func (s *Service) ladder(q Query, g *graph.Graph, resp *Response) {
+// resp.CostUnits; a budget of 0 is unlimited. Each rung attempted opens
+// a StageRung span on qt (nil = untraced), with build/run/retry
+// sub-spans and engine step totals from qt.Probe().
+func (s *Service) ladder(q Query, g *graph.Graph, resp *Response, qt *trace.Active) {
 	if q.Workload == "khop" {
-		s.ladderKHop(q, g, resp)
+		s.ladderKHop(q, g, resp, qt)
 		return
 	}
-	s.ladderSSSP(q, g, resp)
+	s.ladderSSSP(q, g, resp, qt)
 }
 
 // remainingBudget tracks the query's deadline. budget 0 means unlimited.
@@ -66,23 +72,42 @@ func (r *remainingBudget) cap() int64 {
 	return r.left
 }
 
-func (s *Service) ladderSSSP(q Query, g *graph.Graph, resp *Response) {
+func (s *Service) ladderSSSP(q Query, g *graph.Graph, resp *Response, qt *trace.Active) {
 	rem := newRemaining(q.Budget)
 	if s.cfg.Model.Zero() {
 		// Rung 1: exact. The budget caps the simulation horizon, so a
-		// too-slow query comes back TimedOut instead of running on.
-		run := faults.RunSSSPBudget(g, q.Src, -1, faults.Model{}, rem.cap())
-		if !run.Res.TimedOut {
+		// too-slow query comes back TimedOut instead of running on. The
+		// build/run phase boundary is explicit here so the trace can
+		// bracket each (and, in wall mode, refine the spans with real
+		// microseconds via a perf.Tracker sink).
+		rref := qt.Begin(trace.StageRung, ModeExact)
+		var tk *perf.Tracker
+		if s.traceWall(qt) {
+			tk = perf.NewTracker()
+			tk.SetSpanSink(qt)
+		}
+		bref := qt.BeginUnder(rref, trace.StageBuild, "sssp compile")
+		tk.Phase(trace.StageBuild)
+		sn := core.BuildSSSP(g)
+		qt.End(bref, int64(g.M()+g.N())) // synapse-programming events: the O(m+n) load model
+		eref := qt.BeginUnder(rref, trace.StageRun, "wavefront")
+		tk.Phase(trace.StageRun)
+		res, _ := sn.RunBudgeted(q.Src, -1, nil, 0, rem.cap(), qt.Probe())
+		tk.Stop()
+		qt.EndEngine(eref, res.SpikeTime)
+		if !res.TimedOut {
 			resp.Mode = ModeExact
-			resp.Dist = run.Res.Dist
-			resp.SpikeTime = run.Res.SpikeTime
-			resp.CostUnits += rem.charge(run.Res.SpikeTime)
+			resp.Dist = res.Dist
+			resp.SpikeTime = res.SpikeTime
+			resp.CostUnits += rem.charge(res.SpikeTime)
+			qt.EndAt(rref)
 			return
 		}
 		// The deadline fired mid-wavefront: the whole budget is spent.
 		resp.TimedOut = true
 		resp.CostUnits += rem.charge(rem.cap())
-		s.approxRung(q, g, resp)
+		qt.EndAt(rref)
+		s.approxRung(q, g, resp, qt)
 		return
 	}
 
@@ -91,18 +116,29 @@ func (s *Service) ladderSSSP(q Query, g *graph.Graph, resp *Response) {
 	// full-horizon voting round costs at least one pristine wavefront, so
 	// skip the rung when the remaining budget cannot cover even that.
 	minRound := minEngineCost(g)
+	begun := false
+	var rref trace.SpanRef
 	for attempt := 0; attempt <= s.cfg.MaxRetries; attempt++ {
 		if rem.limited && rem.left < minRound {
 			break
+		}
+		if !begun {
+			rref = qt.Begin(trace.StageRung, ModeNMR)
+			begun = true
 		}
 		m := model
 		if attempt > 0 {
 			m = model.WithSeed(faults.DeriveSeed(model.Seed, "service-nmr-retry", attempt))
 			resp.Retries++
-			resp.Backoff += int64(1) << (attempt - 1)
-			resp.CostUnits += rem.charge(int64(1) << (attempt - 1))
+			backoff := int64(1) << (attempt - 1)
+			resp.Backoff += backoff
+			resp.CostUnits += rem.charge(backoff)
+			aref := qt.BeginUnder(rref, trace.StageRetry, "attempt "+strconv.Itoa(attempt))
+			qt.End(aref, backoff)
 		}
-		vote := faults.NMRSSSP(g, q.Src, m, s.cfg.NMRReplicas)
+		eref := qt.BeginUnder(rref, trace.StageRun, "nmr vote")
+		vote := faults.NMRSSSP(g, q.Src, m, s.cfg.NMRReplicas, qt.Probe())
+		qt.EndEngine(eref, vote.SpikeTime)
 		resp.CostUnits += rem.charge(vote.SpikeTime)
 		if vote.TimedOut > 0 {
 			resp.TimedOut = true
@@ -111,16 +147,28 @@ func (s *Service) ladderSSSP(q Query, g *graph.Graph, resp *Response) {
 			resp.Mode = ModeNMR
 			resp.Dist = vote.Dist
 			resp.SpikeTime = vote.SpikeTime
+			qt.EndAt(rref)
 			return
 		}
+	}
+	if begun {
+		qt.EndAt(rref)
 	}
 
 	// Rung 3: self-check. Verification needs the classic reference
 	// anyway, so its fallback is free — but its engine attempts are
 	// full-horizon runs, so the rung is gated on remaining budget.
 	if !rem.limited || rem.left >= minRound {
+		cref := qt.Begin(trace.StageRung, ModeSelfCheck)
+		eref := qt.BeginUnder(cref, trace.StageRun, "selfcheck")
 		check := faults.SSSPWithSelfCheck(g, q.Src, model.WithSeed(
-			faults.DeriveSeed(model.Seed, "service-selfcheck", 0)), s.cfg.MaxRetries)
+			faults.DeriveSeed(model.Seed, "service-selfcheck", 0)), s.cfg.MaxRetries, qt.Probe())
+		qt.EndEngine(eref, check.SpikeTime)
+		if check.Attempts > 1 {
+			aref := qt.BeginUnder(cref, trace.StageRetry,
+				strconv.Itoa(check.Attempts-1)+" selfcheck retries")
+			qt.End(aref, check.BackoffUnits)
+		}
 		resp.Retries += check.Attempts - 1
 		resp.Backoff += check.BackoffUnits
 		resp.CostUnits += rem.charge(check.SpikeTime + check.BackoffUnits)
@@ -134,11 +182,12 @@ func (s *Service) ladderSSSP(q Query, g *graph.Graph, resp *Response) {
 			resp.SpikeTime = check.SpikeTime
 		}
 		resp.Dist = check.Dist
+		qt.EndAt(cref)
 		return
 	}
 
 	// Rung 4: out of budget — truncated approximation.
-	s.approxRung(q, g, resp)
+	s.approxRung(q, g, resp, qt)
 }
 
 // minEngineCost is the cheapest conceivable full-horizon engine round: a
@@ -155,7 +204,7 @@ func minEngineCost(g *graph.Graph) int64 {
 // approxRung serves the final ladder step: a truncated
 // (1+o(1))-approximate answer over at most q.K hops. Its cost is charged
 // but not gated — it is the floor of the ladder.
-func (s *Service) approxRung(q Query, g *graph.Graph, resp *Response) {
+func (s *Service) approxRung(q Query, g *graph.Graph, resp *Response, qt *trace.Active) {
 	k := q.K
 	if k < 1 {
 		k = 1
@@ -163,6 +212,7 @@ func (s *Service) approxRung(q Query, g *graph.Graph, resp *Response) {
 	if k > g.N()-1 {
 		k = g.N() - 1
 	}
+	rref := qt.Begin(trace.StageRung, ModeApprox)
 	ap := core.ApproxKHop(g, q.Src, k, 0)
 	resp.Mode = ModeApprox
 	resp.SpikeTime = ap.SpikeTime
@@ -175,17 +225,26 @@ func (s *Service) approxRung(q Query, g *graph.Graph, resp *Response) {
 			resp.Dist[i] = int64(d + 0.5)
 		}
 	}
+	qt.End(rref, ap.SpikeTime)
 }
 
-func (s *Service) ladderKHop(q Query, g *graph.Graph, resp *Response) {
+func (s *Service) ladderKHop(q Query, g *graph.Graph, resp *Response, qt *trace.Active) {
 	rem := newRemaining(q.Budget)
 	r := core.KHopTTL(g, q.Src, -1, q.K)
+	// KHopTTL compiles and runs in one call; its result carries the model
+	// load/run split, so the trace spans are reconstructed after the fact.
+	rref := qt.Begin(trace.StageRung, ModeExact)
+	bref := qt.BeginUnder(rref, trace.StageBuild, "ttl compile")
+	qt.End(bref, r.LoadTime)
+	eref := qt.BeginUnder(rref, trace.StageRun, "ttl wavefront")
+	qt.End(eref, r.SpikeTime)
+	qt.EndAt(rref)
 	if rem.limited && r.SpikeTime > rem.left {
 		// The exact k-hop run blows the deadline: charge what was left
 		// and fall to the truncated approximation.
 		resp.TimedOut = true
 		resp.CostUnits += rem.charge(rem.cap())
-		s.approxRung(q, g, resp)
+		s.approxRung(q, g, resp, qt)
 		return
 	}
 	resp.Mode = ModeExact

@@ -22,6 +22,7 @@ import (
 	"repro/internal/faults"
 	"repro/internal/graph"
 	"repro/internal/metrics"
+	"repro/internal/trace"
 )
 
 // Metric family names (see docs/OBSERVABILITY.md).
@@ -98,6 +99,12 @@ type Config struct {
 	Seed  int64
 	// Clock supplies time; nil defaults to a WallClock.
 	Clock Clock
+	// Trace is the per-query span collector (nil disables tracing — the
+	// hot path then pays one nil check per instrumentation site). Wire a
+	// trace.NewCollector with Wall=false under a LogicalClock for
+	// byte-reproducible campaigns, Wall=true under a WallClock for
+	// waterfall timings.
+	Trace *trace.Collector
 }
 
 func (c Config) withDefaults() Config {
@@ -136,6 +143,10 @@ type Query struct {
 	Src       int    `json:"src"`
 	K         int    `json:"k"`      // hop bound (khop and the approx rung)
 	Budget    int64  `json:"budget"` // per-query deadline override in simulated steps
+	// TraceParent is the caller's W3C traceparent header, if any; when
+	// valid the query's trace continues the caller's trace instead of
+	// minting a fresh ID. Transport metadata, not part of the query body.
+	TraceParent string `json:"-"`
 }
 
 // Response is the service's answer, tagged with the ladder rung that
@@ -159,6 +170,9 @@ type Response struct {
 	// duration the deterministic chaos queueing model uses.
 	CostUnits int64  `json:"cost_units"`
 	Err       string `json:"error,omitempty"`
+	// TraceID is the query's 16-hex trace identifier when tracing is
+	// enabled; the HTTP layer surfaces it as X-Spaa-Trace-Id.
+	TraceID string `json:"trace_id,omitempty"`
 }
 
 // Service is the resilience layer. Construct with New; one Service fronts
@@ -200,6 +214,9 @@ func New(reg *metrics.Registry, cfg Config) *Service {
 	}
 	reg.Gauge(MetricQueueDepth, "queries waiting for a worker slot")
 	reg.Counter(MetricWrongAnswer, "chaos-verified guarantee violations (gate requires zero)")
+	if cfg.Trace != nil {
+		metrics.MaterializeTraceFamilies(reg)
+	}
 	return s
 }
 
@@ -288,21 +305,32 @@ func (s *Service) Do(q Query) *Response {
 		return &Response{Status: 400, Workload: q.Workload, Tenant: q.Tenant, Mode: ModeError, Err: err.Error()}
 	}
 	start := s.clock.Now()
+	qt := s.startTrace(&q, start)
 	if retryAfter, ok := s.TakeQuota(q.Tenant, start); !ok {
-		return s.Shed(q, "quota", retryAfter, start)
+		return s.shedTraced(qt, q, "quota", retryAfter, start)
 	}
 	depth := s.waiting.Add(1)
 	s.reg.Gauge(MetricQueueDepth, "queries waiting for a worker slot").Set(depth)
 	if depth > int64(s.cfg.QueueCap) {
 		s.reg.Gauge(MetricQueueDepth, "queries waiting for a worker slot").Set(s.waiting.Add(-1))
 		// Retry once the backlog has likely drained a slot's worth.
-		return s.Shed(q, "queue_full", s.cfg.BreakerCooldown, start)
+		return s.shedTraced(qt, q, "queue_full", s.cfg.BreakerCooldown, start)
 	}
+	qt.Event(trace.StageAdmission, "ok")
+	wref := qt.Begin(trace.StageQueueWait, "slot")
 	s.slots <- struct{}{}
 	s.reg.Gauge(MetricQueueDepth, "queries waiting for a worker slot").Set(s.waiting.Add(-1))
 	defer func() { <-s.slots }()
-	resp := s.Execute(q, s.clock.Now())
-	s.observe(resp, s.clock.Now()-start)
+	now := s.clock.Now()
+	waited := now - start
+	if waited < 0 {
+		waited = 0
+	}
+	qt.End(wref, waited)
+	resp := s.execute(q, now, qt)
+	end := s.clock.Now()
+	s.observe(resp, end-start)
+	s.finishTrace(qt, resp, end)
 	return resp
 }
 
@@ -345,25 +373,53 @@ func (s *Service) observe(resp *Response, latency int64) {
 // Execute runs an admitted query through the breaker-guarded degradation
 // ladder at clock time now, recording the engine outcome on the breaker
 // and the admitted/retried/degraded counters. Callers are responsible for
-// admission (Do, or the chaos driver).
+// admission (Do, or the chaos driver). Execute mints its own trace; Do
+// and the chaos driver instead thread a trace that already covers
+// admission and queue wait through the unexported execute.
 func (s *Service) Execute(q Query, now int64) *Response {
 	if err := s.normalize(&q); err != nil {
 		return &Response{Status: 400, Workload: q.Workload, Tenant: q.Tenant, Mode: ModeError, Err: err.Error()}
 	}
+	qt := s.startTrace(&q, now)
+	qt.Event(trace.StageAdmission, "direct")
+	resp := s.execute(q, now, qt)
+	s.finishTrace(qt, resp, s.clock.Now())
+	return resp
+}
+
+// execute is the post-admission pipeline for an already-normalized
+// query: breaker gate, degradation ladder, outcome counters. qt may be
+// nil (tracing disabled).
+func (s *Service) execute(q Query, now int64, qt *trace.Active) *Response {
 	s.reg.Counter(MetricAdmitted, "queries admitted past the service's admission control",
 		metrics.Label{Key: "workload", Value: q.Workload}).Inc()
 	resp := &Response{Status: 200, Workload: q.Workload, Tenant: q.Tenant}
 	br := s.breaker(q.Workload)
 	g := buildGraph(q)
+	before := br.State()
 	if br.Allow(now) {
-		s.ladder(q, g, resp)
+		s.ladder(q, g, resp, qt)
 		br.Record(now, engineServed(resp.Mode))
 	} else {
 		// Breaker open: bypass the engine entirely and serve the classic
 		// host-side reference — correct, just not neuromorphic.
+		qt.Event(trace.StageBreaker, "open_bypass")
+		rref := qt.Begin(trace.StageRung, ModeClassic)
 		s.classicRung(q, g, resp)
+		qt.End(rref, resp.CostUnits)
+	}
+	if after := br.State(); after != before {
+		// The query that trips (or heals) the breaker carries the
+		// transition on its own trace — the causal chain the incident
+		// timeline needs.
+		qt.Event(trace.StageBreaker, before.String()+"->"+after.String())
 	}
 	resp.Degraded = resp.Mode != ModeExact
+	if resp.TimedOut && !Guaranteed(resp.Mode) {
+		// Deadline fired and the answer is not reference-equal: surface
+		// the timeout to HTTP clients as 504 rather than a clean 200.
+		resp.Status = 504
+	}
 	if resp.Retries > 0 {
 		s.reg.Counter(MetricRetried, "engine-rung retries spent by the degradation ladder",
 			metrics.Label{Key: "workload", Value: q.Workload}).Add(int64(resp.Retries))

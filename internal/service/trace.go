@@ -1,0 +1,124 @@
+package service
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/metrics"
+	"repro/internal/trace"
+)
+
+var errMissingTraceReport = errors.New("service: trace coverage check needs a spaa-trace/v1 report")
+
+func coverageErr(format string, args ...any) error {
+	return fmt.Errorf("trace coverage: "+format, args...)
+}
+
+// startTrace mints a per-query trace when tracing is configured (a nil
+// collector yields a nil *Active, on which every span call is a no-op —
+// the untraced fast path costs one nil check per call site).
+func (s *Service) startTrace(q *Query, now int64) *trace.Active {
+	return s.cfg.Trace.StartTrace(now, q.Workload, q.Tenant, q.TraceParent)
+}
+
+// finishTrace completes a query's trace: stamps resp.TraceID so the
+// HTTP layer can emit X-Spaa-Trace-Id, maps the response outcome onto
+// the tail sampler's flags, runs the sampling decision, and folds the
+// span stats into the spaa_trace_* families.
+func (s *Service) finishTrace(qt *trace.Active, resp *Response, now int64) {
+	if qt == nil {
+		return
+	}
+	resp.TraceID = qt.TraceID()
+	var f trace.Flags
+	switch resp.Mode {
+	case ModeShed:
+		f |= trace.FlagShed
+	case ModeError:
+		f |= trace.FlagError
+	}
+	if resp.Degraded {
+		f |= trace.FlagDegraded
+	}
+	if resp.TimedOut {
+		f |= trace.FlagTimedOut
+	}
+	kept := qt.Finish(now, f)
+	started, sampled, dropped, spans := metrics.TraceCounters(s.reg)
+	started.Inc()
+	if kept {
+		sampled.Inc()
+	} else {
+		dropped.Inc()
+	}
+	spanList := qt.Spans()
+	spans.Add(int64(len(spanList)))
+	for i := range spanList {
+		metrics.TraceStageHist(s.reg, spanList[i].Stage).Observe(spanList[i].Dur)
+	}
+}
+
+// shedTraced records a load-shedding decision on the query's trace
+// (admission refusal event plus the shed span the satellite contract
+// requires), finishes the trace, and returns the 429 response.
+func (s *Service) shedTraced(qt *trace.Active, q Query, reason string, retryAfter, now int64) *Response {
+	qt.Event(trace.StageAdmission, reason)
+	resp := s.Shed(q, reason, retryAfter, now)
+	qt.Event(trace.StageShed, reason)
+	s.finishTrace(qt, resp, now)
+	return resp
+}
+
+// traceWall reports whether qt belongs to a wall-clock collector — the
+// gate for per-query perf.Tracker bracketing (real wall measurements
+// would be wasted, and nondeterministic, under a LogicalClock).
+func (s *Service) traceWall(qt *trace.Active) bool {
+	return qt != nil && s.cfg.Trace.Wall()
+}
+
+// VerifyTraceCoverage checks the tail-sampling contract against a chaos
+// campaign: the sampler counters must balance (started = sampled +
+// dropped), and every degraded or timed-out executed query must be
+// present as a sampled trace whose spans cover admission → ladder rung
+// → engine run (the run span is required exactly when an engine rung
+// was attempted; a breaker-open classic bypass has no engine phase).
+func VerifyTraceCoverage(rep *ChaosReport, tr *trace.Report) error {
+	if tr == nil {
+		return errMissingTraceReport
+	}
+	if tr.Started != tr.Sampled+tr.Dropped {
+		return coverageErr("sampler counters do not balance: started %d != sampled %d + dropped %d",
+			tr.Started, tr.Sampled, tr.Dropped)
+	}
+	for _, id := range rep.TraceTailIDs {
+		t := tr.FindTrace(id)
+		if t == nil {
+			return coverageErr("degraded/timed-out query trace %s was not sampled (tail sampler dropped it)", id)
+		}
+		if t.SpanByStage(trace.StageAdmission) == nil {
+			return coverageErr("trace %s has no admission span", id)
+		}
+		if t.SpanByStage(trace.StageRung) == nil {
+			return coverageErr("trace %s has no ladder rung span", id)
+		}
+		if engineRungAttempted(t) && t.SpanByStage(trace.StageRun) == nil {
+			return coverageErr("trace %s attempted an engine rung but has no run span", id)
+		}
+	}
+	return nil
+}
+
+// engineRungAttempted reports whether any of the trace's rung spans is
+// an engine rung (exact/nmr/selfcheck) — the cases where a run span
+// must exist.
+func engineRungAttempted(t *trace.Trace) bool {
+	for _, s := range t.Spans {
+		if s.Stage != trace.StageRung {
+			continue
+		}
+		if engineServed(s.Detail) {
+			return true
+		}
+	}
+	return false
+}

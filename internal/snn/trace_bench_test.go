@@ -1,0 +1,57 @@
+package snn
+
+import (
+	"testing"
+
+	"repro/internal/trace"
+)
+
+// BenchmarkEngineTraceOverhead is the tracing acceptance criterion:
+// "off" is the untraced nil-probe baseline, "nil-active" is the
+// nil-sampler path every untraced service query takes (a nil
+// *trace.Active hands the engine a typed-nil *EngineProbe, whose OnStep
+// is a nil check and a return), and "on" is a live trace probe. All
+// three must report zero allocations per run.
+func BenchmarkEngineTraceOverhead(b *testing.B) {
+	run := func(b *testing.B, probe StepProbe) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			net := buildWavefront(1024, 4096, 42)
+			net.SetProbe(probe)
+			b.StartTimer()
+			net.Run(1 << 30)
+		}
+	}
+	var nilActive *trace.Active
+	b.Run("off", func(b *testing.B) { run(b, nil) })
+	b.Run("nil-active", func(b *testing.B) { run(b, nilActive.Probe()) })
+	b.Run("on", func(b *testing.B) { run(b, &trace.EngineProbe{}) })
+}
+
+// TestEngineTraceZeroAlloc pins the zero-allocation contract in the
+// regular suite (benchmarks don't run on every push): a full wavefront
+// simulation with a trace.EngineProbe attached — or with the typed-nil
+// probe of an untraced query — allocates exactly as much as the same
+// simulation with no probe.
+func TestEngineTraceZeroAlloc(t *testing.T) {
+	measure := func(probe StepProbe) float64 {
+		return testing.AllocsPerRun(5, func() {
+			net := buildWavefront(512, 2048, 9)
+			net.SetProbe(probe)
+			net.Run(1 << 30)
+		})
+	}
+	base := measure(nil)
+	var nilActive *trace.Active
+	if with := measure(nilActive.Probe()); with > base+4 {
+		t.Errorf("nil-sampler probe added allocations: %.0f objects/run, %.0f without", with, base)
+	}
+	p := &trace.EngineProbe{}
+	if with := measure(p); with > base+4 {
+		t.Errorf("trace.EngineProbe added allocations: %.0f objects/run, %.0f without", with, base)
+	}
+	if p.Steps() == 0 || p.Deliveries() == 0 {
+		t.Errorf("probe saw no traffic: steps=%d deliveries=%d", p.Steps(), p.Deliveries())
+	}
+}

@@ -69,7 +69,12 @@ func (d Drift) String() string {
 //   - energy (when both sides carry the section): event totals, classic
 //     op count and totals under the tolerance; tariff figures
 //     (classic_op_millipj, per-platform delivery_millipj) exactly —
-//     the whole section is wall-free, so everything is comparable.
+//     the whole section is wall-free, so everything is comparable,
+//   - trace (when both sides carry the section): sampler counters and
+//     per-stage count/unit/engine totals under the tolerance. Wall-mode
+//     trace sections never reach a committed baseline (Finalize strips
+//     them), so the comparison is over logical units only; the sampled
+//     trace window itself is compared by size, not contents.
 func DiffManifests(base, fresh *Manifest, tol Tolerance) []Drift {
 	var out []Drift
 	check := func(field string, b, f int64, exact bool) {
@@ -129,6 +134,7 @@ func DiffManifests(base, fresh *Manifest, tol Tolerance) []Drift {
 		check("energy.deliveries", base.Energy.Deliveries, fresh.Energy.Deliveries, false)
 		check("energy.steps", base.Energy.Steps, fresh.Energy.Steps, false)
 		check("energy.idle_steps", base.Energy.IdleSteps, fresh.Energy.IdleSteps, false)
+		check("energy.load_events", base.Energy.LoadEvents, fresh.Energy.LoadEvents, false)
 		check("energy.classic_ops", base.Energy.ClassicOps, fresh.Energy.ClassicOps, false)
 		// Tariff figures are Table 3 data, not workload cost: any change
 		// means the pricing model moved, which must always surface.
@@ -148,6 +154,53 @@ func DiffManifests(base, fresh *Manifest, tol Tolerance) []Drift {
 			if base.Energy.PlatformRow(fRow.Platform) == nil {
 				out = append(out, Drift{Field: "energy.platforms." + fRow.Platform + " (new)", Base: 0, Fresh: fRow.SpikingMilliPJ})
 			}
+		}
+		for _, bPh := range base.Energy.Phases {
+			fPh := fresh.Energy.PhaseRow(bPh.Phase)
+			if fPh == nil {
+				out = append(out, Drift{Field: "energy.phases." + bPh.Phase + " (gone)", Base: bPh.MilliPJ, Fresh: 0})
+				continue
+			}
+			check("energy.phases."+bPh.Phase+".events", bPh.Events, fPh.Events, false)
+			check("energy.phases."+bPh.Phase+".millipj", bPh.MilliPJ, fPh.MilliPJ, false)
+		}
+		for _, fPh := range fresh.Energy.Phases {
+			if base.Energy.PhaseRow(fPh.Phase) == nil {
+				out = append(out, Drift{Field: "energy.phases." + fPh.Phase + " (new)", Base: 0, Fresh: fPh.MilliPJ})
+			}
+		}
+	}
+
+	switch {
+	case base.Trace == nil && fresh.Trace == nil:
+	case base.Trace == nil || fresh.Trace == nil:
+		out = append(out, Drift{Field: "trace", Msg: "present on one side only"})
+	default:
+		check("trace.started", base.Trace.Started, fresh.Trace.Started, false)
+		check("trace.sampled", base.Trace.Sampled, fresh.Trace.Sampled, false)
+		check("trace.dropped", base.Trace.Dropped, fresh.Trace.Dropped, false)
+		check("trace.spans", base.Trace.Spans, fresh.Trace.Spans, false)
+		check("trace.traces", int64(len(base.Trace.Traces)), int64(len(fresh.Trace.Traces)), false)
+		freshStages := make(map[string]int, len(fresh.Trace.Stages))
+		for i := range fresh.Trace.Stages {
+			freshStages[fresh.Trace.Stages[i].Stage] = i
+		}
+		for _, bs := range base.Trace.Stages {
+			fi, ok := freshStages[bs.Stage]
+			if !ok {
+				out = append(out, Drift{Field: "trace.stages." + bs.Stage + " (gone)", Base: bs.Count, Fresh: 0})
+				continue
+			}
+			fs := fresh.Trace.Stages[fi]
+			delete(freshStages, bs.Stage)
+			check("trace.stages."+bs.Stage+".count", bs.Count, fs.Count, false)
+			check("trace.stages."+bs.Stage+".units", bs.Units, fs.Units, false)
+			check("trace.stages."+bs.Stage+".steps", bs.Steps, fs.Steps, false)
+			check("trace.stages."+bs.Stage+".deliveries", bs.Deliveries, fs.Deliveries, false)
+		}
+		for _, name := range sortedStageNames(freshStages) {
+			out = append(out, Drift{Field: "trace.stages." + name + " (new)", Base: 0,
+				Fresh: fresh.Trace.Stages[freshStages[name]].Count})
 		}
 	}
 
@@ -180,6 +233,18 @@ func DiffManifests(base, fresh *Manifest, tol Tolerance) []Drift {
 		}
 	}
 	return out
+}
+
+// sortedStageNames returns the map's keys sorted (the leftover fresh-side
+// trace stages after the baseline pass).
+func sortedStageNames(m map[string]int) []string {
+	names := make([]string, 0, len(m))
+	//lint:deterministic keys are collected here and sorted below
+	for k := range m {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	return names
 }
 
 // counterNames returns the sorted union of counter names.

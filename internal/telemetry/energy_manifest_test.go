@@ -11,7 +11,7 @@ import (
 
 func energyManifest() *Manifest {
 	m := NewManifest("spaabench", "energy:test")
-	m.Energy = energy.NewReport(40, 2500, 12, 100, 5000, energy.Tariffs())
+	m.Energy = energy.NewReport(40, 2500, 320, 12, 100, 5000, energy.Tariffs())
 	return m
 }
 

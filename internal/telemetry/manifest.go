@@ -10,6 +10,7 @@ import (
 	"repro/internal/energy"
 	"repro/internal/perf"
 	"repro/internal/snn"
+	"repro/internal/trace"
 )
 
 // ManifestSchema identifies the run-manifest JSON format; bump the suffix
@@ -74,6 +75,12 @@ type Manifest struct {
 	// the seeded workload and the Table 3 tariffs — so finalization
 	// never touches it and deterministic manifests embed it verbatim.
 	Energy *energy.Report `json:"energy,omitempty"`
+
+	// Trace is the spaa-trace/v1 per-query tracing section: sampler
+	// counters, stage aggregates, and the tail-sampled traces. Logical-
+	// unit reports are wall-free by construction; wall-mode reports are
+	// stripped by deterministic finalization (trace.Report.ZeroWallClock).
+	Trace *trace.Report `json:"trace,omitempty"`
 }
 
 // NewManifest returns a manifest skeleton for the given tool/command.
@@ -100,6 +107,7 @@ func (m *Manifest) Finalize(start time.Time, wall time.Duration, opts ManifestOp
 	if opts.Deterministic {
 		m.CreatedUnixMS, m.WallMS = 0, 0
 		m.Perf.ZeroWallClock()
+		m.Trace.ZeroWallClock()
 		return
 	}
 	m.CreatedUnixMS = start.UnixMilli()

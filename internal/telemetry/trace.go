@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+
+	"repro/internal/trace"
 )
 
 // Tracer collects Chrome trace_event records and serializes them in the
@@ -78,6 +80,33 @@ func (tr *Tracer) Counter(name string, ts, value int64) {
 
 // Events returns the number of recorded (non-metadata) events.
 func (tr *Tracer) Events() int { return len(tr.events) }
+
+// AddTraceReport emits a spaa-trace/v1 report's sampled traces as span
+// tracks — one lane per trace, one complete event per span (named
+// stage:detail), instants for zero-width events — so a chaos campaign's
+// kept tail opens directly in Perfetto as a waterfall. Logical-unit
+// reports read one microsecond per unit; wall-mode reports already carry
+// microseconds in the span refinements, but the logical timeline is used
+// for both so the export stays deterministic.
+func (tr *Tracer) AddTraceReport(r *trace.Report) {
+	if r == nil {
+		return
+	}
+	for _, t := range r.Traces {
+		lane := fmt.Sprintf("trace %s %s [%s]", t.ID, t.Workload, t.Flags)
+		for _, s := range t.Spans {
+			name := s.Stage
+			if s.Detail != "" {
+				name += ":" + s.Detail
+			}
+			if s.Dur == 0 {
+				tr.Instant(lane, name, s.Start)
+				continue
+			}
+			tr.Span(lane, name, s.Start, s.Dur)
+		}
+	}
+}
 
 // AddRecorder emits a Recorder's series as counter tracks: the per-step
 // simulator series, the per-round CONGEST series, and one counter per

@@ -1,0 +1,117 @@
+package telemetry
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/trace"
+)
+
+func traceManifest() *Manifest {
+	col := trace.NewCollector(trace.Config{Seed: 3, KeepEvery: 2})
+	for i := 0; i < 12; i++ {
+		a := col.StartTrace(int64(i), "sssp", "t0", "")
+		r := a.Begin(trace.StageRung, "exact")
+		e := a.BeginUnder(r, trace.StageRun, "wavefront")
+		a.End(e, int64(10+i))
+		a.EndAt(r)
+		var f trace.Flags
+		if i%4 == 0 {
+			f = trace.FlagDegraded
+		}
+		a.Finish(int64(i)+10, f)
+	}
+	m := NewManifest("spaabench", "trace:test")
+	m.Trace = col.Report()
+	return m
+}
+
+// TestManifestTraceRoundTrip: a manifest carrying a spaa-trace/v1
+// section encodes deterministically and the section survives a parse.
+func TestManifestTraceRoundTrip(t *testing.T) {
+	encode := func() []byte {
+		m := traceManifest()
+		m.Finalize(time.Now(), 5*time.Millisecond, ManifestOptions{Deterministic: true})
+		var buf bytes.Buffer
+		if err := m.Encode(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	a, b := encode(), encode()
+	if !bytes.Equal(a, b) {
+		t.Fatalf("deterministic trace manifests differ:\n%s\n%s", a, b)
+	}
+	got, err := ReadManifest(bytes.NewReader(a))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Trace == nil || got.Trace.Schema != trace.Schema || got.Trace.Started != 12 {
+		t.Fatalf("trace section lost in round trip: %+v", got.Trace)
+	}
+	if len(got.Trace.Traces) == 0 || got.Trace.Traces[0].ID == 0 {
+		t.Fatalf("sampled traces lost in round trip: %+v", got.Trace)
+	}
+}
+
+func TestDiffManifestsTrace(t *testing.T) {
+	base, fresh := traceManifest(), traceManifest()
+	if drifts := DiffManifests(base, fresh, Tolerance{}); len(drifts) != 0 {
+		t.Fatalf("identical trace sections drift: %v", drifts)
+	}
+
+	// Counter and stage drifts are flagged under zero tolerance.
+	fresh.Trace.Sampled++
+	fresh.Trace.Stages[0].Units += 5
+	drifts := DiffManifests(base, fresh, Tolerance{})
+	var fields []string
+	for _, d := range drifts {
+		fields = append(fields, d.Field)
+	}
+	joined := strings.Join(fields, " ")
+	if !strings.Contains(joined, "trace.sampled") || !strings.Contains(joined, "trace.stages.") {
+		t.Errorf("trace drift not flagged: %v", drifts)
+	}
+
+	// A stage on one side only is structural drift.
+	fresh = traceManifest()
+	fresh.Trace.Stages = fresh.Trace.Stages[:1]
+	drifts = DiffManifests(base, fresh, Tolerance{})
+	var gone bool
+	for _, d := range drifts {
+		if strings.Contains(d.Field, "(gone)") {
+			gone = true
+		}
+	}
+	if !gone {
+		t.Errorf("vanished stage not flagged: %v", drifts)
+	}
+
+	// Section present on one side only is structural drift.
+	fresh = traceManifest()
+	fresh.Trace = nil
+	if drifts := DiffManifests(base, fresh, Tolerance{}); len(drifts) != 1 || drifts[0].Field != "trace" {
+		t.Errorf("one-sided trace section not flagged: %v", drifts)
+	}
+}
+
+// TestTracerAddTraceReport: sampled traces convert to Chrome
+// trace_event lanes (one per trace) with spans as duration events.
+func TestTracerAddTraceReport(t *testing.T) {
+	m := traceManifest()
+	tracer := NewTracer()
+	tracer.AddTraceReport(m.Trace)
+	var buf bytes.Buffer
+	if err := tracer.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "trace "+m.Trace.Traces[0].ID.String()) {
+		t.Errorf("trace lane missing from Chrome export:\n%s", out)
+	}
+	if !strings.Contains(out, trace.StageRun+":wavefront") {
+		t.Errorf("run span missing from Chrome export:\n%s", out)
+	}
+}

@@ -1,0 +1,83 @@
+package trace
+
+import "strconv"
+
+// splitmix64 is the same finalizer internal/faults builds its named
+// streams from, reimplemented locally to keep this package a
+// stdlib-only leaf. One full splitmix64 step over a counter yields
+// 2^64-period, statistically independent IDs.
+func splitmix64(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}
+
+// deriveTraceID derives the seq-th trace ID of a collector seeded with
+// seed: deterministic, so two runs of the same campaign mint identical
+// IDs in identical order. IDs are never zero (the W3C invalid value).
+func deriveTraceID(seed int64, seq uint64) TraceID {
+	id := splitmix64(uint64(seed) ^ splitmix64(seq))
+	if id == 0 {
+		id = 0x9E3779B97F4A7C15
+	}
+	return TraceID(id)
+}
+
+// deriveSpanID derives the idx-th span ID within a trace.
+func deriveSpanID(tid TraceID, idx int) SpanID {
+	id := splitmix64(uint64(tid) + uint64(idx))
+	if id == 0 {
+		id = 0x9E3779B97F4A7C15
+	}
+	return SpanID(id)
+}
+
+// FormatTraceparent renders a W3C traceparent header (version 00,
+// sampled flag set). The repo's 64-bit trace IDs occupy the low half of
+// the 128-bit field; the high half is zero.
+func FormatTraceparent(tid TraceID, sid SpanID) string {
+	return "00-0000000000000000" + tid.String() + "-" + sid.String() + "-01"
+}
+
+// ParseTraceparent parses a W3C traceparent header value, returning the
+// low 64 bits of the trace-id field and the parent span ID. ok is false
+// for malformed headers and the all-zero invalid IDs — callers then
+// mint a fresh root trace instead.
+func ParseTraceparent(s string) (TraceID, SpanID, bool) {
+	// version(2) '-' traceid(32) '-' spanid(16) '-' flags(2)
+	if len(s) < 55 || s[2] != '-' || s[35] != '-' || s[52] != '-' {
+		return 0, 0, false
+	}
+	if s[:2] == "ff" {
+		return 0, 0, false // forbidden version
+	}
+	if !isHex(s[:2]) || !isHex(s[3:35]) || !isHex(s[36:52]) || !isHex(s[53:55]) {
+		return 0, 0, false
+	}
+	tid, err := strconv.ParseUint(s[19:35], 16, 64)
+	if err != nil {
+		return 0, 0, false
+	}
+	sid, err := strconv.ParseUint(s[36:52], 16, 64)
+	if err != nil {
+		return 0, 0, false
+	}
+	// All-zero trace or span IDs are invalid per the spec. A 128-bit
+	// trace ID whose low half is zero is indistinguishable from one here;
+	// treat it as invalid too rather than minting colliding zero IDs.
+	if tid == 0 || sid == 0 {
+		return 0, 0, false
+	}
+	return TraceID(tid), SpanID(sid), true
+}
+
+func isHex(s string) bool {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,61 @@
+package trace
+
+// EngineProbe samples engine step/delivery sub-events for the run span
+// of a traced query. It satisfies snn.StepProbe structurally (the
+// engine does not import trace) and follows the probe fabric's
+// contract: nil-receiver safe, zero allocations, plain field
+// arithmetic — the probe is owned by the single goroutine running the
+// query, so no atomics are needed. BenchmarkEngineTraceOverhead pins
+// the attached cost; the nil-probe path costs the engine one interface
+// nil check.
+type EngineProbe struct {
+	steps, spikes, deliveries, maxQueue int64
+}
+
+// OnStep implements snn.StepProbe: one call per non-silent simulated
+// step.
+//
+//lint:hotpath
+func (p *EngineProbe) OnStep(t int64, spikes, deliveries, active, queueDepth int) {
+	if p == nil {
+		return
+	}
+	p.steps++
+	p.spikes += int64(spikes)
+	p.deliveries += int64(deliveries)
+	if q := int64(queueDepth); q > p.maxQueue {
+		p.maxQueue = q
+	}
+}
+
+// Steps returns the observed non-silent step count.
+func (p *EngineProbe) Steps() int64 {
+	if p == nil {
+		return 0
+	}
+	return p.steps
+}
+
+// Spikes returns the observed neuron-firing count.
+func (p *EngineProbe) Spikes() int64 {
+	if p == nil {
+		return 0
+	}
+	return p.spikes
+}
+
+// Deliveries returns the observed synaptic-delivery count.
+func (p *EngineProbe) Deliveries() int64 {
+	if p == nil {
+		return 0
+	}
+	return p.deliveries
+}
+
+// Reset zeroes the counters between engine attempts.
+func (p *EngineProbe) Reset() {
+	if p == nil {
+		return
+	}
+	p.steps, p.spikes, p.deliveries, p.maxQueue = 0, 0, 0, 0
+}

@@ -1,0 +1,202 @@
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Schema identifies the trace-report JSON format embedded in run
+// manifests (the `trace` key of spaa-run-manifest/v1 documents); bump
+// the suffix on breaking changes.
+const Schema = "spaa-trace/v1"
+
+// StageTotal aggregates every span of one stage across all finished
+// traces — sampled and dropped alike, so the totals describe the whole
+// campaign, not just the kept tail.
+type StageTotal struct {
+	Stage      string `json:"stage"`
+	Count      int64  `json:"count"`
+	Units      int64  `json:"units"`
+	Steps      int64  `json:"steps,omitempty"`
+	Spikes     int64  `json:"spikes,omitempty"`
+	Deliveries int64  `json:"deliveries,omitempty"`
+}
+
+// Report is the spaa-trace/v1 manifest section: sampler counters,
+// per-stage aggregates, and the sampled traces themselves. For a
+// logical-unit collector it is wall-free by construction and therefore
+// byte-reproducible; wall-mode reports carry Wall=true and are
+// stripped by ZeroWallClock before landing in deterministic manifests.
+type Report struct {
+	Schema string `json:"schema"`
+	// Wall marks timestamps as wall-clock (ms / µs) rather than logical
+	// units; ZeroWallClock clears it along with the data.
+	Wall bool `json:"wall,omitempty"`
+
+	// Sampler counters. Started == Sampled + Dropped once every started
+	// trace has finished; Evicted counts sampled traces later
+	// overwritten in the bounded ring (they remain in Sampled).
+	Started int64 `json:"started"`
+	Sampled int64 `json:"sampled"`
+	Dropped int64 `json:"dropped"`
+	Evicted int64 `json:"evicted"`
+	Spans   int64 `json:"spans"`
+
+	Stages []StageTotal `json:"stages,omitempty"`
+	Traces []*Trace     `json:"traces,omitempty"`
+}
+
+// Report renders the collector's current state as a spaa-trace/v1
+// section: counters, sorted stage totals, and the sampled-trace window
+// oldest first.
+func (c *Collector) Report() *Report {
+	if c == nil {
+		return nil
+	}
+	r := &Report{Schema: Schema, Wall: c.cfg.Wall}
+	r.Started, r.Sampled, r.Dropped, r.Evicted, r.Spans = c.Counters()
+	c.mu.Lock()
+	names := make([]string, 0, len(c.stages))
+	//lint:deterministic keys are sorted before use
+	for name := range c.stages {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		r.Stages = append(r.Stages, *c.stages[name])
+	}
+	c.mu.Unlock()
+	r.Traces = c.Snapshot()
+	return r
+}
+
+// ZeroWallClock strips every wall-clock reading from a wall-mode
+// report (trace start timestamps, wall durations, span µs refinements),
+// making it byte-stable for a given workload. A no-op on logical-unit
+// reports, whose timeline is deterministic already — the same contract
+// as perf.Report.ZeroWallClock, applied by Manifest.Finalize under
+// -deterministic.
+func (r *Report) ZeroWallClock() {
+	if r == nil || !r.Wall {
+		return
+	}
+	r.Wall = false
+	for _, tr := range r.Traces {
+		tr.Start = 0
+		tr.WallMS = 0
+		for i := range tr.Spans {
+			tr.Spans[i].WallMicros = 0
+		}
+	}
+}
+
+// FindTrace returns the sampled trace with the given 16-hex-digit ID,
+// nil when absent — the coverage gate's lookup.
+func (r *Report) FindTrace(idHex string) *Trace {
+	if r == nil {
+		return nil
+	}
+	for _, tr := range r.Traces {
+		if tr.ID.String() == idHex {
+			return tr
+		}
+	}
+	return nil
+}
+
+// renderBarWidth is the waterfall bar width in characters.
+const renderBarWidth = 32
+
+// Render writes the report as a deterministic ASCII waterfall: sampler
+// counters, stage totals, then up to maxTraces sampled traces (newest
+// last; maxTraces <= 0 renders all). Suitable for terminals and for
+// byte-comparison across reruns of a deterministic campaign.
+func (r *Report) Render(maxTraces int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "traces: %d started, %d sampled, %d dropped, %d evicted, %d spans\n",
+		r.Started, r.Sampled, r.Dropped, r.Evicted, r.Spans)
+	for _, st := range r.Stages {
+		fmt.Fprintf(&b, "  stage %-10s count %-6d units %d", st.Stage, st.Count, st.Units)
+		if st.Steps > 0 {
+			fmt.Fprintf(&b, " steps %d spikes %d deliveries %d", st.Steps, st.Spikes, st.Deliveries)
+		}
+		b.WriteByte('\n')
+	}
+	traces := r.Traces
+	if maxTraces > 0 && len(traces) > maxTraces {
+		fmt.Fprintf(&b, "  ... %d older sampled traces omitted\n", len(traces)-maxTraces)
+		traces = traces[len(traces)-maxTraces:]
+	}
+	for _, tr := range traces {
+		b.WriteString(RenderTrace(tr))
+	}
+	return b.String()
+}
+
+// RenderTrace renders one trace as an ASCII waterfall, each span a bar
+// scaled to the trace's logical duration:
+//
+//	trace 79a1c6e055304116 sssp/t1 [degraded,timed_out] dur=352
+//	  query                |################################| 0+352
+//	  admission:ok         |.                               | 0+0
+//	  rung:nmr             |######################          | 0+240
+func RenderTrace(tr *Trace) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "trace %s %s/%s [%s] dur=%d", tr.ID, tr.Workload, tr.Tenant, tr.Flags, tr.Dur)
+	if tr.WallMS > 0 {
+		fmt.Fprintf(&b, " wall_ms=%d", tr.WallMS)
+	}
+	b.WriteByte('\n')
+	scale := tr.Dur
+	if scale < 1 {
+		scale = 1
+	}
+	for _, s := range tr.Spans {
+		name := s.Stage
+		if s.Detail != "" {
+			name += ":" + s.Detail
+		}
+		if len(name) > 20 {
+			name = name[:20]
+		}
+		indent := "  "
+		if s.Parent != tr.Root && s.Parent != tr.RemoteParent {
+			indent = "    "
+		}
+		fmt.Fprintf(&b, "%s%-*s |%s| %d+%d", indent, 22-len(indent), name, bar(s.Start, s.Dur, scale), s.Start, s.Dur)
+		if s.Steps > 0 {
+			fmt.Fprintf(&b, " steps=%d spikes=%d deliveries=%d", s.Steps, s.Spikes, s.Deliveries)
+		}
+		if s.WallMicros > 0 {
+			fmt.Fprintf(&b, " wall_us=%d", s.WallMicros)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// bar renders one span's position on the scaled timeline: '#' cells
+// the span covers, '.' for a zero-width event, spaces elsewhere.
+func bar(start, dur, scale int64) string {
+	cells := [renderBarWidth]byte{}
+	for i := range cells {
+		cells[i] = ' '
+	}
+	from := int(start * renderBarWidth / scale)
+	to := int((start + dur) * renderBarWidth / scale)
+	if from >= renderBarWidth {
+		from = renderBarWidth - 1
+	}
+	if to > renderBarWidth {
+		to = renderBarWidth
+	}
+	if to <= from {
+		cells[from] = '.'
+	} else {
+		for i := from; i < to; i++ {
+			cells[i] = '#'
+		}
+	}
+	return string(cells[:])
+}
